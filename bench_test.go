@@ -1,0 +1,417 @@
+// Package repro's benchmark harness: one benchmark per table/figure of
+// the paper's evaluation (§V), plus real-stack micro-benchmarks and
+// ablations of the design choices called out in DESIGN.md §6.
+//
+// The Fig benchmarks drive the calibrated discrete-event model and
+// report virtual-time throughput ("vops/s") — these regenerate the
+// paper's curves. The RealStack benchmarks measure the actual Go
+// implementation over the in-process transport on this machine.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig10Comparison -benchtime=1x
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/backend/memfs"
+	"repro/internal/cluster"
+	"repro/internal/coord/znode"
+	"repro/internal/core"
+	"repro/internal/fid"
+	"repro/internal/mdtest"
+	"repro/internal/memacct"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// runModel executes one modelled phase per b.N iteration and reports
+// the virtual throughput.
+func runModel(b *testing.B, mk func(eng *sim.Engine, clients int) model.System, op model.Op, clients, opsPerClient int) {
+	b.Helper()
+	var last model.Result
+	for i := 0; i < b.N; i++ {
+		var eng sim.Engine
+		sys := mk(&eng, clients)
+		last = model.RunPhase(&eng, sys, op, clients, opsPerClient)
+	}
+	b.ReportMetric(last.Throughput, "vops/s")
+}
+
+// BenchmarkFig7CoordThroughput regenerates Fig 7a-d: raw coordination
+// service throughput per basic operation and ensemble size at 256
+// client processes.
+func BenchmarkFig7CoordThroughput(b *testing.B) {
+	p := model.DefaultParams()
+	for _, op := range []model.Op{model.OpZKCreate, model.OpZKDelete, model.OpZKSet, model.OpZKGet} {
+		for _, servers := range []int{1, 4, 8} {
+			servers := servers
+			b.Run(fmt.Sprintf("%s/servers=%d", op, servers), func(b *testing.B) {
+				runModel(b, func(eng *sim.Engine, clients int) model.System {
+					return model.NewRawCoord(eng, p, servers)
+				}, op, 256, 100)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8ZKServers regenerates Fig 8a-f: the six mdtest
+// operations with 1/4/8 coordination servers over 2 Lustre back-ends,
+// at 256 processes, vs the Basic Lustre baseline.
+func BenchmarkFig8ZKServers(b *testing.B) {
+	p := model.DefaultParams()
+	for _, op := range model.MdtestOps {
+		b.Run(fmt.Sprintf("%s/BasicLustre", op), func(b *testing.B) {
+			runModel(b, func(eng *sim.Engine, clients int) model.System {
+				return model.NewBasicLustre(eng, p, clients)
+			}, op, 256, 100)
+		})
+		for _, servers := range []int{1, 4, 8} {
+			servers := servers
+			b.Run(fmt.Sprintf("%s/zk=%d", op, servers), func(b *testing.B) {
+				runModel(b, func(eng *sim.Engine, clients int) model.System {
+					return model.NewDUFS(eng, p, model.DUFSConfig{
+						ZKServers: servers, Backends: 2, Kind: model.DUFSOverLustre, Clients: clients,
+					})
+				}, op, 256, 100)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9Backends regenerates Fig 9a-c: file operations with 2
+// vs 4 back-end storages at 256 processes.
+func BenchmarkFig9Backends(b *testing.B) {
+	p := model.DefaultParams()
+	for _, op := range []model.Op{model.OpFileCreate, model.OpFileRemove, model.OpFileStat} {
+		for _, backends := range []int{2, 4} {
+			backends := backends
+			b.Run(fmt.Sprintf("%s/backends=%d", op, backends), func(b *testing.B) {
+				runModel(b, func(eng *sim.Engine, clients int) model.System {
+					return model.NewDUFS(eng, p, model.DUFSConfig{
+						ZKServers: 8, Backends: backends, Kind: model.DUFSOverLustre, Clients: clients,
+					})
+				}, op, 256, 100)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10Comparison regenerates Fig 10a-f: DUFS vs Basic Lustre
+// vs Basic PVFS for all six operations at 256 processes (the paper's
+// headline column).
+func BenchmarkFig10Comparison(b *testing.B) {
+	p := model.DefaultParams()
+	for _, op := range model.MdtestOps {
+		ops := 100
+		if op == model.OpDirCreate || op == model.OpDirRemove {
+			ops = 20 // PVFS dir mutations are ~250/s; keep runs short
+		}
+		b.Run(fmt.Sprintf("%s/DUFS-Lustre", op), func(b *testing.B) {
+			runModel(b, func(eng *sim.Engine, clients int) model.System {
+				return model.NewDUFS(eng, p, model.DUFSConfig{
+					ZKServers: 8, Backends: 2, Kind: model.DUFSOverLustre, Clients: clients,
+				})
+			}, op, 256, 100)
+		})
+		b.Run(fmt.Sprintf("%s/DUFS-PVFS", op), func(b *testing.B) {
+			runModel(b, func(eng *sim.Engine, clients int) model.System {
+				return model.NewDUFS(eng, p, model.DUFSConfig{
+					ZKServers: 8, Backends: 2, Kind: model.DUFSOverPVFS, Clients: clients,
+				})
+			}, op, 256, ops)
+		})
+		b.Run(fmt.Sprintf("%s/BasicLustre", op), func(b *testing.B) {
+			runModel(b, func(eng *sim.Engine, clients int) model.System {
+				return model.NewBasicLustre(eng, p, clients)
+			}, op, 256, 100)
+		})
+		b.Run(fmt.Sprintf("%s/BasicPVFS", op), func(b *testing.B) {
+			runModel(b, func(eng *sim.Engine, clients int) model.System {
+				return model.NewBasicPVFS(eng, p)
+			}, op, 256, ops)
+		})
+	}
+}
+
+// BenchmarkFig11Memory regenerates Fig 11: znode memory per directory
+// created (the paper: ≈417 MB per million).
+func BenchmarkFig11Memory(b *testing.B) {
+	var mbPerMillion float64
+	for i := 0; i < b.N; i++ {
+		points := memacct.MeasureZnodeTree([]int64{50000, 100000})
+		mbPerMillion = memacct.MBPerMillion(memacct.BytesPerZnode(points))
+	}
+	b.ReportMetric(mbPerMillion, "MB/1e6-dirs")
+}
+
+// --- Real-stack micro-benchmarks --------------------------------------
+
+func startBenchCluster(b *testing.B, kind cluster.BackendKind, coordServers, backends int) *cluster.Cluster {
+	b.Helper()
+	c, err := cluster.Start(cluster.Config{
+		Name:         fmt.Sprintf("bench-%s-%d-%d-%d", kind, coordServers, backends, rand.Int()),
+		CoordServers: coordServers,
+		Backends:     backends,
+		Kind:         kind,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	return c
+}
+
+// BenchmarkRealStackDUFSCreate measures real file creation through
+// the full stack: FUSE-equivalent dispatch, replicated znode create,
+// MD5 placement, Lustre-like back-end create.
+func BenchmarkRealStackDUFSCreate(b *testing.B) {
+	c := startBenchCluster(b, cluster.Lustre, 3, 2)
+	cl, err := c.NewClient(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.FS.Mkdir("/bench", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := cl.FS.Create(fmt.Sprintf("/bench/f%d", i), 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Close()
+	}
+}
+
+// BenchmarkRealStackDUFSStat measures directory stat, which never
+// touches the back-end (paper §IV-A).
+func BenchmarkRealStackDUFSStat(b *testing.B) {
+	c := startBenchCluster(b, cluster.Lustre, 3, 2)
+	cl, err := c.NewClient(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.FS.Mkdir("/bench", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.FS.Stat("/bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealStackMdtest runs a small full mdtest cycle on the real
+// stack, reporting per-phase throughput once.
+func BenchmarkRealStackMdtest(b *testing.B) {
+	c := startBenchCluster(b, cluster.MemFS, 3, 2)
+	const procs = 4
+	mounts := make([]vfs.FileSystem, procs)
+	for p := 0; p < procs; p++ {
+		cl, err := c.NewClient(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mounts[p] = cl.FS
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mdtest.Run(mdtest.Config{
+			Mounts:          mounts,
+			Processes:       procs,
+			ItemsPerProcess: 20,
+			Fanout:          10,
+			Depth:           2,
+			Root:            fmt.Sprintf("/mdt%d", i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res[mdtest.FileCreate].Throughput(), "create-ops/s")
+			b.ReportMetric(res[mdtest.FileStat].Throughput(), "stat-ops/s")
+		}
+	}
+}
+
+// BenchmarkRealStackCoordWriteQuorum quantifies the quorum write cost
+// as the real ensemble grows — the Fig 7a effect on the real stack.
+func BenchmarkRealStackCoordWriteQuorum(b *testing.B) {
+	for _, servers := range []int{1, 3, 5} {
+		servers := servers
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			c := startBenchCluster(b, cluster.MemFS, servers, 1)
+			cl, err := c.NewClient(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cl.FS.Mkdir(fmt.Sprintf("/w%d", i), 0o755); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ------------------------------------------
+
+// BenchmarkAblationMappingFunction compares the paper's MD5 mod N
+// against the consistent-hash ring on pure lookup cost.
+func BenchmarkAblationMappingFunction(b *testing.B) {
+	fids := make([]fid.FID, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range fids {
+		fids[i] = fid.FID{Hi: rng.Uint64(), Lo: rng.Uint64()}
+	}
+	b.Run("md5-mod-n", func(b *testing.B) {
+		m, _ := placement.NewModN(8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = m.Locate(fids[i%len(fids)])
+		}
+	})
+	b.Run("consistent-hash", func(b *testing.B) {
+		r, _ := placement.NewRing([]int{0, 1, 2, 3, 4, 5, 6, 7}, placement.DefaultReplicas)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = r.Locate(fids[i%len(fids)])
+		}
+	})
+}
+
+// BenchmarkConsistentHashRelocation measures the §VII future-work
+// claim: relocation fraction when adding one back-end.
+func BenchmarkConsistentHashRelocation(b *testing.B) {
+	fids := make([]fid.FID, 20000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range fids {
+		fids[i] = fid.FID{Hi: rng.Uint64(), Lo: rng.Uint64()}
+	}
+	var modFrac, ringFrac float64
+	for i := 0; i < b.N; i++ {
+		m4, _ := placement.NewModN(4)
+		m5, _ := placement.NewModN(5)
+		r4, _ := placement.NewRing([]int{0, 1, 2, 3}, placement.DefaultReplicas)
+		r5, _ := placement.NewRing([]int{0, 1, 2, 3, 4}, placement.DefaultReplicas)
+		modFrac = float64(placement.RelocationReport(m4, m5, fids)) / float64(len(fids))
+		ringFrac = float64(placement.RelocationReport(r4, r5, fids)) / float64(len(fids))
+	}
+	b.ReportMetric(modFrac*100, "modN-%moved")
+	b.ReportMetric(ringFrac*100, "ring-%moved")
+}
+
+// BenchmarkAblationFIDPathFanout compares creation under the paper's
+// FID-derived multi-level hierarchy (Fig 4) against a single flat
+// directory — the congestion the hierarchy exists to avoid (§IV-G).
+func BenchmarkAblationFIDPathFanout(b *testing.B) {
+	b.Run("fid-hierarchy", func(b *testing.B) {
+		fs := newBenchMemfs(b)
+		g, _ := fid.NewGenerator(7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := g.Next()
+			p := "/" + f.PhysicalPath()
+			mkAll(b, fs, f)
+			h, err := fs.Create(p, 0o644)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Close()
+		}
+	})
+	b.Run("flat-directory", func(b *testing.B) {
+		fs := newBenchMemfs(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := fs.Create(fmt.Sprintf("/f%d", i), 0o644)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Close()
+		}
+	})
+}
+
+// BenchmarkAblationClientCache compares directory stat on the plain
+// DUFS client (every stat is a coordination-service round trip, as in
+// the paper's prototype) against the watch-coherent client cache this
+// repository adds.
+func BenchmarkAblationClientCache(b *testing.B) {
+	run := func(b *testing.B, cached bool) {
+		c := startBenchCluster(b, cluster.MemFS, 3, 2)
+		cl, err := c.NewClient(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fs vfs.FileSystem = cl.FS
+		if cached {
+			cc := core.NewCached(cl.FS, nil)
+			defer cc.Close()
+			fs = cc
+		}
+		if err := fs.Mkdir("/hot", 0o755); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fs.Stat("/hot"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, false) })
+	b.Run("cached", func(b *testing.B) { run(b, true) })
+}
+
+func newBenchMemfs(b *testing.B) vfs.FileSystem {
+	b.Helper()
+	return memfs.New()
+}
+
+// mkAll creates the FID's directory chain, ignoring "exists".
+func mkAll(b *testing.B, fs vfs.FileSystem, f fid.FID) {
+	b.Helper()
+	cur := ""
+	for _, seg := range f.PhysicalDirs() {
+		cur += "/" + seg
+		if err := fs.Mkdir(cur, 0o755); err != nil && err != vfs.ErrExist {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationZnodeTreeOps isolates the replicated state
+// machine's data structure costs (no network, no consensus).
+func BenchmarkAblationZnodeTreeOps(b *testing.B) {
+	b.Run("create", func(b *testing.B) {
+		tr := znode.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Create(fmt.Sprintf("/n%d", i), nil, znode.ModePersistent, 0, uint64(i+1), int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("get", func(b *testing.B) {
+		tr := znode.New()
+		for i := 0; i < 1024; i++ {
+			if _, err := tr.Create(fmt.Sprintf("/n%d", i), []byte("x"), znode.ModePersistent, 0, uint64(i+1), int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tr.Get(fmt.Sprintf("/n%d", i%1024)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

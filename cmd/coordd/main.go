@@ -1,0 +1,141 @@
+// Command coordd runs one server of the coordination service over
+// real TCP sockets — the deployable equivalent of one ZooKeeper server
+// in the paper's ensemble.
+//
+// A three-server ensemble on one machine:
+//
+//	coordd -id 1 -peers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103 -client 127.0.0.1:7201 &
+//	coordd -id 2 -peers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103 -client 127.0.0.1:7202 &
+//	coordd -id 3 -peers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103 -client 127.0.0.1:7203 &
+//
+// With -checkpoint FILE the server periodically persists its applied
+// state and reloads it at boot, giving the paper's §IV-I full-restart
+// tolerance ("it can tolerate the failure of all servers by restarting
+// them later").
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/transport"
+)
+
+func main() {
+	id := flag.Uint64("id", 0, "this server's ensemble ID (must appear in -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port peer list")
+	clientAddr := flag.String("client", "", "host:port for client sessions")
+	checkpoint := flag.String("checkpoint", "", "path for periodic durable checkpoints")
+	interval := flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint period")
+	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("coordd: %v", err)
+	}
+	if *id == 0 || peers[*id] == "" {
+		log.Fatalf("coordd: -id %d not present in -peers", *id)
+	}
+	if *clientAddr == "" {
+		log.Fatal("coordd: -client is required")
+	}
+
+	cfg := coord.ServerConfig{
+		ID:         *id,
+		PeerAddrs:  peers,
+		ClientAddr: *clientAddr,
+		Net:        transport.TCP{},
+	}
+	if *checkpoint != "" {
+		if snap, zxid, err := loadCheckpoint(*checkpoint); err == nil {
+			cfg.Checkpoint = snap
+			cfg.CheckpointZxid = zxid
+			log.Printf("coordd: restored checkpoint at zxid %x", zxid)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("coordd: reading checkpoint: %v", err)
+		}
+	}
+
+	srv, err := coord.NewServer(cfg)
+	if err != nil {
+		log.Fatalf("coordd: %v", err)
+	}
+	log.Printf("coordd: server %d up, peers=%v, clients on %s", *id, peers, *clientAddr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if *checkpoint != "" {
+				if err := saveCheckpoint(*checkpoint, srv); err != nil {
+					log.Printf("coordd: checkpoint failed: %v", err)
+				}
+			}
+		case sig := <-stop:
+			log.Printf("coordd: %v, shutting down", sig)
+			if *checkpoint != "" {
+				if err := saveCheckpoint(*checkpoint, srv); err != nil {
+					log.Printf("coordd: final checkpoint failed: %v", err)
+				}
+			}
+			srv.Stop()
+			return
+		}
+	}
+}
+
+func parsePeers(s string) (map[uint64]string, error) {
+	peers := make(map[uint64]string)
+	if s == "" {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		peers[id] = kv[1]
+	}
+	return peers, nil
+}
+
+// Checkpoint file layout: 8-byte big-endian zxid, then the snapshot.
+func saveCheckpoint(path string, srv *coord.Server) error {
+	snap, zxid := srv.Checkpoint()
+	buf := make([]byte, 8+len(snap))
+	binary.BigEndian.PutUint64(buf, zxid)
+	copy(buf[8:], snap)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func loadCheckpoint(path string) ([]byte, uint64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(buf) < 8 {
+		return nil, 0, fmt.Errorf("checkpoint %s truncated", path)
+	}
+	return buf[8:], binary.BigEndian.Uint64(buf), nil
+}

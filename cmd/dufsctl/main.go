@@ -1,0 +1,189 @@
+// Command dufsctl is an interactive shell on a DUFS namespace: it
+// boots a full in-process deployment (coordination ensemble + back-end
+// filesystem instances) and exposes the familiar commands — mkdir, ls,
+// stat, put, cat, rm, rmdir, mv, ln — against the unioned mount, the
+// way the paper's prototype exposes a FUSE mount point.
+//
+//	dufsctl -backends 4 -coord 3 -kind lustre
+//	dufs> mkdir /projects
+//	dufs> put /projects/readme hello-dufs
+//	dufs> ls /projects
+//	dufs> stat /projects/readme
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/vfs"
+)
+
+func main() {
+	backends := flag.Int("backends", 2, "back-end mounts to union")
+	coordServers := flag.Int("coord", 3, "coordination ensemble size")
+	kind := flag.String("kind", "lustre", "back-end kind: lustre, pvfs, memfs")
+	flag.Parse()
+
+	c, err := cluster.Start(cluster.Config{
+		Name:         "dufsctl",
+		CoordServers: *coordServers,
+		Backends:     *backends,
+		Kind:         cluster.BackendKind(*kind),
+	})
+	if err != nil {
+		log.Fatalf("dufsctl: %v", err)
+	}
+	defer c.Stop()
+	cl, err := c.NewClient(0)
+	if err != nil {
+		log.Fatalf("dufsctl: %v", err)
+	}
+	fs := cl.FS
+	fmt.Printf("DUFS shell: %d back-end %s mounts, %d coordination servers (client ID %d)\n",
+		*backends, *kind, *coordServers, fs.ClientID())
+	fmt.Println(`commands: mkdir ls stat put cat rm rmdir mv ln readlink chmod truncate help quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("dufs> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		if args[0] == "quit" || args[0] == "exit" {
+			return
+		}
+		if err := run(fs, args); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func run(fs vfs.FileSystem, args []string) error {
+	need := func(n int) error {
+		if len(args) < n+1 {
+			return fmt.Errorf("%s needs %d argument(s)", args[0], n)
+		}
+		return nil
+	}
+	switch args[0] {
+	case "help":
+		fmt.Println("mkdir PATH | ls PATH | stat PATH | put PATH DATA | cat PATH |")
+		fmt.Println("rm PATH | rmdir PATH | mv OLD NEW | ln TARGET LINK | readlink PATH |")
+		fmt.Println("chmod PATH OCTAL | truncate PATH SIZE | quit")
+		return nil
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.Mkdir(args[1], 0o755)
+	case "ls":
+		if err := need(1); err != nil {
+			return err
+		}
+		es, err := fs.Readdir(args[1])
+		if err != nil {
+			return err
+		}
+		for _, e := range es {
+			suffix := ""
+			if e.IsDir {
+				suffix = "/"
+			}
+			fmt.Println(e.Name + suffix)
+		}
+		return nil
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		fi, err := fs.Stat(args[1])
+		if err != nil {
+			return err
+		}
+		kind := "file"
+		if fi.IsDir() {
+			kind = "dir"
+		} else if fi.IsSymlink() {
+			kind = "symlink"
+		}
+		fmt.Printf("%s %s mode=%o size=%d nlink=%d mtime=%s\n",
+			kind, fi.Name, fi.Mode&vfs.PermMask, fi.Size, fi.Nlink, fi.Mtime.Format("15:04:05.000"))
+		return nil
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		return vfs.WriteFile(fs, args[1], []byte(strings.Join(args[2:], " ")))
+	case "cat":
+		if err := need(1); err != nil {
+			return err
+		}
+		data, err := vfs.ReadFile(fs, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.Unlink(args[1])
+	case "rmdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.Rmdir(args[1])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return fs.Rename(args[1], args[2])
+	case "ln":
+		if err := need(2); err != nil {
+			return err
+		}
+		return fs.Symlink(args[1], args[2])
+	case "readlink":
+		if err := need(1); err != nil {
+			return err
+		}
+		target, err := fs.Readlink(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(target)
+		return nil
+	case "chmod":
+		if err := need(2); err != nil {
+			return err
+		}
+		var mode uint32
+		if _, err := fmt.Sscanf(args[2], "%o", &mode); err != nil {
+			return fmt.Errorf("bad mode %q", args[2])
+		}
+		return fs.Chmod(args[1], mode)
+	case "truncate":
+		if err := need(2); err != nil {
+			return err
+		}
+		var size int64
+		if _, err := fmt.Sscanf(args[2], "%d", &size); err != nil {
+			return fmt.Errorf("bad size %q", args[2])
+		}
+		return fs.Truncate(args[1], size)
+	default:
+		return fmt.Errorf("unknown command %q (try help)", args[0])
+	}
+}

@@ -1,0 +1,170 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (§V) and prints the series as aligned text.
+//
+// Usage:
+//
+//	experiments -fig 7      # Fig 7a-d: raw coordination-service throughput
+//	experiments -fig 8      # Fig 8a-f: DUFS vs #ZooKeeper servers
+//	experiments -fig 9      # Fig 9a-c: DUFS vs #back-end storages
+//	experiments -fig 10     # Fig 10a-f: DUFS vs Basic Lustre / Basic PVFS
+//	experiments -fig 11     # Fig 11: memory usage vs directories created
+//	experiments -headline   # abstract's speedup table
+//	experiments             # everything
+//
+// Figures 7-10 come from the calibrated discrete-event model
+// (internal/model); Figure 11 measures real znode trees in this
+// process (internal/memacct). EXPERIMENTS.md records paper-vs-measured
+// for every series printed here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/memacct"
+	"repro/internal/model"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (7-11); 0 = all")
+	headline := flag.Bool("headline", false, "print only the abstract's speedup table")
+	dirs := flag.Int64("fig11-dirs", 1_000_000, "directory count ceiling for Fig 11")
+	flag.Parse()
+
+	if *headline {
+		printHeadline()
+		return
+	}
+	switch *fig {
+	case 0:
+		printFig7()
+		printFig8()
+		printFig9()
+		printFig10()
+		printFig11(*dirs)
+		printHeadline()
+	case 7:
+		printFig7()
+	case 8:
+		printFig8()
+	case 9:
+		printFig9()
+	case 10:
+		printFig10()
+	case 11:
+		printFig11(*dirs)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d (want 7-11)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// printSeries renders one sub-figure: rows are client counts, columns
+// are the series (sorted by name for stable output).
+func printSeries(series map[string][]model.Result) {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-10s", "procs")
+	for _, n := range names {
+		fmt.Printf("  %28s", n)
+	}
+	fmt.Println()
+	if len(names) == 0 {
+		return
+	}
+	for i := range series[names[0]] {
+		fmt.Printf("%-10d", series[names[0]][i].Clients)
+		for _, n := range names {
+			fmt.Printf("  %22.0f ops/s", series[n][i].Throughput)
+		}
+		fmt.Println()
+	}
+}
+
+func printFig7() {
+	header("Fig 7: ZooKeeper throughput for basic operations, 1/4/8 servers")
+	results := model.Fig7()
+	for _, op := range []model.Op{model.OpZKCreate, model.OpZKDelete, model.OpZKSet, model.OpZKGet} {
+		fmt.Printf("\n--- %s ---\n", op)
+		byServer := results[op]
+		series := make(map[string][]model.Result, len(byServer))
+		for n, rs := range byServer {
+			series[fmt.Sprintf("%d ZooKeeper servers", n)] = rs
+		}
+		printSeries(series)
+	}
+}
+
+func printFig8() {
+	header("Fig 8: operation throughput vs #ZooKeeper servers (2 Lustre back-ends)")
+	results := model.Fig8()
+	for _, op := range model.MdtestOps {
+		fmt.Printf("\n--- %s ---\n", op)
+		printSeries(results[op])
+	}
+}
+
+func printFig9() {
+	header("Fig 9: file operation throughput vs #back-end storages")
+	results := model.Fig9()
+	for _, op := range []model.Op{model.OpFileCreate, model.OpFileRemove, model.OpFileStat} {
+		fmt.Printf("\n--- %s ---\n", op)
+		printSeries(results[op])
+	}
+}
+
+func printFig10() {
+	header("Fig 10: DUFS vs Basic Lustre and Basic PVFS")
+	results := model.Fig10()
+	for _, op := range model.MdtestOps {
+		fmt.Printf("\n--- %s ---\n", op)
+		printSeries(results[op])
+	}
+}
+
+func printFig11(maxDirs int64) {
+	header("Fig 11: memory usage vs directories created")
+	steps := fig11Steps(maxDirs)
+	zk := memacct.MeasureZnodeTree(steps)
+	dufs := memacct.MeasureDUFSClient(steps)
+	dummy := memacct.MeasureDummyFUSE(steps)
+	fmt.Printf("%-16s %16s %16s %16s\n", "directories", "Zookeeper (MB)", "DUFS (MB)", "Dummy FUSE (MB)")
+	for i := range steps {
+		fmt.Printf("%-16d %16.1f %16.1f %16.1f\n",
+			zk[i].Created, zk[i].HeapMB, dufs[i].HeapMB, dummy[i].HeapMB)
+	}
+	bpz := memacct.BytesPerZnode(zk)
+	fmt.Printf("\nmeasured: %.0f bytes/znode = %.0f MB per million directories (paper: ~417 MB)\n",
+		bpz, memacct.MBPerMillion(bpz))
+}
+
+func fig11Steps(maxDirs int64) []int64 {
+	if maxDirs < 5 {
+		maxDirs = 5
+	}
+	steps := make([]int64, 0, 5)
+	for i := int64(1); i <= 5; i++ {
+		steps = append(steps, maxDirs*i/5)
+	}
+	return steps
+}
+
+func printHeadline() {
+	header("Headline (abstract): DUFS at 256 client processes")
+	fmt.Printf("%-20s %12s %12s %12s %14s %14s\n",
+		"operation", "DUFS", "Lustre", "PVFS", "vs Lustre", "vs PVFS")
+	for _, h := range model.Headline() {
+		fmt.Printf("%-20s %8.0f o/s %8.0f o/s %8.0f o/s %13.2fx %13.1fx\n",
+			h.Op, h.DUFS, h.Lustre, h.PVFS, h.SpeedupVsLustre, h.SpeedupVsPVFS)
+	}
+	fmt.Println("\npaper: dir create 1.9x vs Lustre, 23x vs PVFS2; file stat 1.3x vs Lustre, 3.0x vs PVFS2")
+}

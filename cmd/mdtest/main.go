@@ -1,0 +1,113 @@
+// Command mdtest runs the paper's metadata benchmark (§V, ref [13])
+// against the real DUFS stack or a bare back-end baseline, all booted
+// in-process over the in-memory transport.
+//
+// Usage:
+//
+//	mdtest -system dufs   -procs 16 -items 200 -backends 2 -coord 3
+//	mdtest -system lustre -procs 16 -items 200
+//	mdtest -system pvfs   -procs 16 -items 200
+//	mdtest -system dufs   -shared            # many files in one directory
+//
+// Throughput here is real wall-clock throughput of the Go
+// implementation on the local machine — useful for regression tracking
+// and for comparing the three stacks' relative costs, not for
+// reproducing the paper's absolute 2011 numbers (use cmd/experiments
+// for the calibrated figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mdtest"
+	"repro/internal/vfs"
+)
+
+func main() {
+	system := flag.String("system", "dufs", "system under test: dufs, lustre, pvfs")
+	procs := flag.Int("procs", 8, "client processes")
+	items := flag.Int("items", 100, "items per process per phase")
+	backends := flag.Int("backends", 2, "back-end mounts unioned by DUFS")
+	coordServers := flag.Int("coord", 3, "coordination ensemble size")
+	fanout := flag.Int("fanout", 10, "directory tree fan-out")
+	depth := flag.Int("depth", 5, "directory tree depth")
+	shared := flag.Bool("shared", false, "create all items in a single shared directory")
+	kind := flag.String("backend-kind", "lustre", "dufs back-end kind: lustre, pvfs, memfs")
+	flag.Parse()
+
+	cfg := cluster.Config{
+		Name:         "mdtest",
+		CoordServers: *coordServers,
+		Backends:     *backends,
+		Kind:         cluster.BackendKind(*kind),
+	}
+	c, err := cluster.Start(cfg)
+	if err != nil {
+		log.Fatalf("starting cluster: %v", err)
+	}
+	defer c.Stop()
+
+	mounts := make([]vfs.FileSystem, *procs)
+	switch *system {
+	case "dufs":
+		for p := 0; p < *procs; p++ {
+			cl, err := c.NewClient(p)
+			if err != nil {
+				log.Fatalf("client %d: %v", p, err)
+			}
+			mounts[p] = cl.FS
+		}
+	case "lustre":
+		base, err := c.BasicLustreClient()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer base.Close()
+		for p := range mounts {
+			mounts[p] = base
+		}
+	case "pvfs":
+		pc, perr := cluster.Start(cluster.Config{Name: "mdtest-pvfs", CoordServers: 1, Backends: 1, Kind: cluster.PVFS})
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		defer pc.Stop()
+		base, err := pc.BasicPVFSClient()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer base.Close()
+		for p := range mounts {
+			mounts[p] = base
+		}
+	default:
+		log.Fatalf("unknown system %q (want dufs, lustre, pvfs)", *system)
+	}
+
+	fmt.Printf("mdtest: system=%s procs=%d items=%d fanout=%d depth=%d shared=%v\n\n",
+		*system, *procs, *items, *fanout, *depth, *shared)
+	res, err := mdtest.Run(mdtest.Config{
+		Mounts:          mounts,
+		Processes:       *procs,
+		ItemsPerProcess: *items,
+		Fanout:          *fanout,
+		Depth:           *depth,
+		SharedDir:       *shared,
+		Phases:          mdtest.AllPhases,
+	})
+	if err != nil {
+		log.Fatalf("mdtest: %v", err)
+	}
+	for _, ph := range mdtest.AllPhases {
+		r := res[ph]
+		fmt.Printf("%s   p50=%-10s p99=%-10s max=%s\n",
+			r.String(),
+			r.Latency.Quantile(0.50).Round(time.Microsecond),
+			r.Latency.Quantile(0.99).Round(time.Microsecond),
+			r.Latency.Max().Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,105 @@
+// Consistency: the paper's Figure 1 scenario, live.
+//
+// Two clients race on the same name: client 1 creates directory d1
+// while client 2 renames d1 to d2. With two *uncoordinated* metadata
+// servers the operations can interleave differently on each server and
+// leave the replicas inconsistent (Fig 1b). With the coordination
+// service, every mutation is atomically broadcast in one total order,
+// so all replicas agree on one of the two serializable outcomes.
+//
+// This example runs the race many times against the real replicated
+// service and verifies replica agreement after every round.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/coord"
+)
+
+func main() {
+	c, err := cluster.Start(cluster.Config{
+		Name:         "fig1",
+		CoordServers: 3,
+		Backends:     2,
+		Kind:         cluster.MemFS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	client1, err := c.NewClient(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client2, err := c.NewClient(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	outcomes := map[string]int{}
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		d1 := fmt.Sprintf("/d1-%d", round)
+		d2 := fmt.Sprintf("/d2-%d", round)
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // client 1: mkdir d1
+			defer wg.Done()
+			time.Sleep(time.Duration(rand.Intn(300)) * time.Microsecond)
+			_ = client1.FS.Mkdir(d1, 0o755)
+		}()
+		go func() { // client 2: mv d1 d2 (may legally fail if d1 is not there yet)
+			defer wg.Done()
+			time.Sleep(time.Duration(rand.Intn(300)) * time.Microsecond)
+			_ = client2.FS.Sync()
+			_ = client2.FS.Rename(d1, d2)
+		}()
+		wg.Wait()
+
+		// Every replica of the coordination service must agree.
+		if err := replicasAgree(c.Ensemble); err != nil {
+			log.Fatalf("round %d: %v", round, err)
+		}
+		_, e1 := client1.FS.Stat(d1)
+		_, e2 := client1.FS.Stat(d2)
+		outcomes[fmt.Sprintf("d1=%v d2=%v", e1 == nil, e2 == nil)]++
+	}
+
+	fmt.Println("outcomes over", rounds, "racing rounds (all serializable, replicas always agree):")
+	for k, v := range outcomes {
+		fmt.Printf("  %-24s %d\n", k, v)
+	}
+	fmt.Println("consistency example OK")
+}
+
+// replicasAgree compares the znode-tree fingerprint of every live
+// coordination server, waiting briefly for followers to apply the
+// latest commits.
+func replicasAgree(e *coord.Ensemble) error {
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		fp := e.Servers[0].Tree().Fingerprint()
+		same := true
+		for _, srv := range e.Servers[1:] {
+			if srv.Tree().Fingerprint() != fp {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replicas diverged and did not converge within 3s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,349 @@
+// Package backendtest is a reusable conformance suite for
+// vfs.FileSystem implementations. Every filesystem in the repository —
+// memfs, the Lustre-like client, the PVFS-like client and DUFS itself —
+// must pass it, which keeps POSIX semantics identical no matter which
+// layer an application mounts.
+package backendtest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// Options tweak the suite for implementations with documented gaps.
+type Options struct {
+	// SkipDirRename skips directory-rename cases (the PVFS-like client
+	// documents them as unsupported).
+	SkipDirRename bool
+}
+
+// Run executes the conformance suite against a fresh filesystem
+// produced by mkfs (called once per subtest for isolation).
+func Run(t *testing.T, mkfs func(t *testing.T) vfs.FileSystem, opts Options) {
+	t.Helper()
+	sub := func(name string, fn func(t *testing.T, fs vfs.FileSystem)) {
+		t.Run(name, func(t *testing.T) {
+			fn(t, mkfs(t))
+		})
+	}
+
+	sub("MkdirStatRmdir", func(t *testing.T, fs vfs.FileSystem) {
+		if err := fs.Mkdir("/d", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := fs.Stat("/d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fi.IsDir() {
+			t.Fatalf("not a dir: %+v", fi)
+		}
+		if err := fs.Rmdir("/d"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Stat("/d"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("stat removed dir err = %v", err)
+		}
+	})
+
+	sub("MkdirDupFails", func(t *testing.T, fs vfs.FileSystem) {
+		if err := fs.Mkdir("/d", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Mkdir("/d", 0o755); !errors.Is(err, vfs.ErrExist) {
+			t.Fatalf("dup mkdir err = %v", err)
+		}
+	})
+
+	sub("MkdirNoParentFails", func(t *testing.T, fs vfs.FileSystem) {
+		if err := fs.Mkdir("/no/parent", 0o755); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("orphan mkdir err = %v", err)
+		}
+	})
+
+	sub("RmdirNonEmptyFails", func(t *testing.T, fs vfs.FileSystem) {
+		if err := fs.Mkdir("/d", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Mkdir("/d/c", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rmdir("/d"); !errors.Is(err, vfs.ErrNotEmpty) {
+			t.Fatalf("rmdir non-empty err = %v", err)
+		}
+	})
+
+	sub("CreateWriteReadStat", func(t *testing.T, fs vfs.FileSystem) {
+		h, err := fs.Create("/f", 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.WriteAt([]byte("payload"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := vfs.ReadFile(fs, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "payload" {
+			t.Fatalf("content = %q", got)
+		}
+		fi, err := fs.Stat("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size != 7 || fi.IsDir() {
+			t.Fatalf("fi = %+v", fi)
+		}
+	})
+
+	sub("CreateDupFails", func(t *testing.T, fs vfs.FileSystem) {
+		if _, err := fs.Create("/f", 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Create("/f", 0o644); !errors.Is(err, vfs.ErrExist) {
+			t.Fatalf("dup create err = %v", err)
+		}
+	})
+
+	sub("OpenMissingFails", func(t *testing.T, fs vfs.FileSystem) {
+		if _, err := fs.Open("/missing", vfs.OpenRead); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("open missing err = %v", err)
+		}
+	})
+
+	sub("OpenCreateFlag", func(t *testing.T, fs vfs.FileSystem) {
+		h, err := fs.Open("/auto", vfs.OpenCreate|vfs.OpenWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.WriteAt([]byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+		h.Close()
+		if _, err := fs.Stat("/auto"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	sub("OpenTruncResets", func(t *testing.T, fs vfs.FileSystem) {
+		if err := vfs.WriteFile(fs, "/f", []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		h, err := fs.Open("/f", vfs.OpenWrite|vfs.OpenTrunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Close()
+		fi, err := fs.Stat("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size != 0 {
+			t.Fatalf("size after O_TRUNC = %d", fi.Size)
+		}
+	})
+
+	sub("UnlinkSemantics", func(t *testing.T, fs vfs.FileSystem) {
+		if err := vfs.WriteFile(fs, "/f", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink("/f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink("/f"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("double unlink err = %v", err)
+		}
+		if err := fs.Mkdir("/d", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink("/d"); !errors.Is(err, vfs.ErrIsDir) {
+			t.Fatalf("unlink dir err = %v", err)
+		}
+	})
+
+	sub("ReaddirListsSorted", func(t *testing.T, fs vfs.FileSystem) {
+		if err := fs.Mkdir("/p", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []string{"c", "a", "b"} {
+			if err := fs.Mkdir("/p/"+n, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := vfs.WriteFile(fs, "/p/z", nil); err != nil {
+			t.Fatal(err)
+		}
+		es, err := fs.Readdir("/p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) != 4 {
+			t.Fatalf("entries = %v", es)
+		}
+		order := ""
+		for _, e := range es {
+			order += e.Name + ","
+		}
+		if order != "a,b,c,z," {
+			t.Fatalf("order = %q", order)
+		}
+		if !es[0].IsDir || es[3].IsDir {
+			t.Fatal("IsDir flags wrong")
+		}
+	})
+
+	sub("ReaddirOnFileFails", func(t *testing.T, fs vfs.FileSystem) {
+		if err := vfs.WriteFile(fs, "/f", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Readdir("/f"); err == nil {
+			t.Fatal("readdir on file succeeded")
+		}
+	})
+
+	sub("RenameFile", func(t *testing.T, fs vfs.FileSystem) {
+		if err := vfs.WriteFile(fs, "/a", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rename("/a", "/b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Stat("/a"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatal("source still exists")
+		}
+		got, err := vfs.ReadFile(fs, "/b")
+		if err != nil || string(got) != "v" {
+			t.Fatalf("content = %q, %v", got, err)
+		}
+	})
+
+	if !opts.SkipDirRename {
+		sub("RenameDirCarriesChildren", func(t *testing.T, fs vfs.FileSystem) {
+			if err := fs.Mkdir("/d1", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := vfs.WriteFile(fs, "/d1/x", []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Rename("/d1", "/d2"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Stat("/d2/x"); err != nil {
+				t.Fatalf("child lost: %v", err)
+			}
+		})
+	}
+
+	sub("SymlinkReadlink", func(t *testing.T, fs vfs.FileSystem) {
+		if err := fs.Symlink("/target/path", "/lnk"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.Readlink("/lnk")
+		if err != nil || got != "/target/path" {
+			t.Fatalf("readlink = %q, %v", got, err)
+		}
+		fi, err := fs.Stat("/lnk")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fi.IsSymlink() {
+			t.Fatalf("mode = %o", fi.Mode)
+		}
+	})
+
+	sub("TruncateShrinkGrow", func(t *testing.T, fs vfs.FileSystem) {
+		if err := vfs.WriteFile(fs, "/f", []byte("123456")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Truncate("/f", 3); err != nil {
+			t.Fatal(err)
+		}
+		fi, _ := fs.Stat("/f")
+		if fi.Size != 3 {
+			t.Fatalf("size after shrink = %d", fi.Size)
+		}
+		if err := fs.Truncate("/f", 8); err != nil {
+			t.Fatal(err)
+		}
+		fi, _ = fs.Stat("/f")
+		if fi.Size != 8 {
+			t.Fatalf("size after grow = %d", fi.Size)
+		}
+	})
+
+	sub("ChmodAccess", func(t *testing.T, fs vfs.FileSystem) {
+		if err := vfs.WriteFile(fs, "/f", nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Chmod("/f", 0o400); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Access("/f", vfs.AccessRead); err != nil {
+			t.Fatalf("read denied: %v", err)
+		}
+		if err := fs.Access("/f", vfs.AccessWrite); !errors.Is(err, vfs.ErrAccess) {
+			t.Fatalf("write err = %v", err)
+		}
+	})
+
+	sub("DeepPaths", func(t *testing.T, fs vfs.FileSystem) {
+		// The paper's mdtest tree: fan-out at depth. Build a depth-5
+		// chain and a file at the bottom.
+		path := ""
+		for i := 0; i < 5; i++ {
+			path = fmt.Sprintf("%s/l%d", path, i)
+			if err := fs.Mkdir(path, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		leaf := path + "/leaf"
+		if err := vfs.WriteFile(fs, leaf, []byte("deep")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := vfs.ReadFile(fs, leaf)
+		if err != nil || string(got) != "deep" {
+			t.Fatalf("leaf = %q, %v", got, err)
+		}
+	})
+
+	sub("ConcurrentCreatesOneDir", func(t *testing.T, fs vfs.FileSystem) {
+		// "experiments where many files are created in a single
+		// directory" (§V) — heavy shared-directory churn must not lose
+		// or duplicate entries.
+		if err := fs.Mkdir("/shared", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		const workers = 8
+		const per = 25
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					p := fmt.Sprintf("/shared/f-%d-%d", w, i)
+					if err := vfs.WriteFile(fs, p, []byte("x")); err != nil {
+						t.Errorf("%s: %v", p, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		es, err := fs.Readdir("/shared")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) != workers*per {
+			t.Fatalf("entries = %d, want %d", len(es), workers*per)
+		}
+	})
+}

@@ -1,0 +1,355 @@
+package lustre
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/backend/objstore"
+	"repro/internal/backend/proto"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Client is a Lustre client (the paper's OSC): it talks to the MDS for
+// every namespace operation and directly to the owning OSS for data.
+// It implements vfs.FileSystem, so DUFS can mount it as a back-end.
+type Client struct {
+	net      transport.Network
+	mdsAddr  string
+	ossAddrs []string
+
+	mu  sync.Mutex
+	mds transport.Conn
+	oss map[uint32]*objstore.Client
+}
+
+// NewClient connects lazily to the given instance addresses.
+func NewClient(net transport.Network, mdsAddr string, ossAddrs []string) *Client {
+	return &Client{
+		net:      net,
+		mdsAddr:  mdsAddr,
+		ossAddrs: append([]string(nil), ossAddrs...),
+		oss:      make(map[uint32]*objstore.Client),
+	}
+}
+
+// Close drops all connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mds != nil {
+		c.mds.Close()
+		c.mds = nil
+	}
+	c.oss = make(map[uint32]*objstore.Client)
+	return nil
+}
+
+func (c *Client) mdsConn() (transport.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mds != nil {
+		return c.mds, nil
+	}
+	conn, err := c.net.Dial(c.mdsAddr)
+	if err != nil {
+		return nil, err
+	}
+	c.mds = conn
+	return conn, nil
+}
+
+func (c *Client) ossClient(idx uint32) (*objstore.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if oc, ok := c.oss[idx]; ok {
+		return oc, nil
+	}
+	if int(idx) >= len(c.ossAddrs) {
+		return nil, fmt.Errorf("lustre: OSS index %d out of range", idx)
+	}
+	conn, err := c.net.Dial(c.ossAddrs[idx])
+	if err != nil {
+		return nil, err
+	}
+	oc := objstore.NewClient(conn)
+	c.oss[idx] = oc
+	return oc, nil
+}
+
+func (c *Client) mdsCall(req *wire.Writer) (*wire.Reader, error) {
+	conn, err := c.mdsConn()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conn.Call(req.Bytes())
+	if err != nil {
+		c.mu.Lock()
+		if c.mds == conn {
+			c.mds.Close()
+			c.mds = nil
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	if err := proto.ReadHeader(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Mkdir implements vfs.FileSystem.
+func (c *Client) Mkdir(path string, perm uint32) error {
+	w := wire.NewWriter(16 + len(path))
+	w.Uint8(opMkdir)
+	w.String(path)
+	w.Uint32(perm)
+	_, err := c.mdsCall(w)
+	return err
+}
+
+// Rmdir implements vfs.FileSystem.
+func (c *Client) Rmdir(path string) error {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opRmdir)
+	w.String(path)
+	_, err := c.mdsCall(w)
+	return err
+}
+
+// fileHandle is an open file bound to its object on one OSS.
+type fileHandle struct {
+	c     *Client
+	obj   uint64
+	ost   uint32
+	write bool
+}
+
+// ReadAt implements vfs.Handle.
+func (h *fileHandle) ReadAt(p []byte, off int64) (int, error) {
+	oc, err := h.c.ossClient(h.ost)
+	if err != nil {
+		return 0, err
+	}
+	return oc.Read(h.obj, p, off)
+}
+
+// WriteAt implements vfs.Handle.
+func (h *fileHandle) WriteAt(p []byte, off int64) (int, error) {
+	if !h.write {
+		return 0, vfs.ErrPerm
+	}
+	oc, err := h.c.ossClient(h.ost)
+	if err != nil {
+		return 0, err
+	}
+	return oc.Write(h.obj, p, off)
+}
+
+// Close implements vfs.Handle.
+func (h *fileHandle) Close() error { return nil }
+
+// Create implements vfs.FileSystem.
+func (c *Client) Create(path string, perm uint32) (vfs.Handle, error) {
+	w := wire.NewWriter(16 + len(path))
+	w.Uint8(opCreate)
+	w.String(path)
+	w.Uint32(perm)
+	r, err := c.mdsCall(w)
+	if err != nil {
+		return nil, err
+	}
+	obj := r.Uint64()
+	ost := r.Uint32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return &fileHandle{c: c, obj: obj, ost: ost, write: true}, nil
+}
+
+// Open implements vfs.FileSystem.
+func (c *Client) Open(path string, flags int) (vfs.Handle, error) {
+	w := wire.NewWriter(16 + len(path))
+	w.Uint8(opOpen)
+	w.String(path)
+	w.Int32(int32(flags))
+	r, err := c.mdsCall(w)
+	if err != nil {
+		return nil, err
+	}
+	obj := r.Uint64()
+	ost := r.Uint32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	h := &fileHandle{
+		c: c, obj: obj, ost: ost,
+		write: flags&(vfs.OpenWrite|vfs.OpenRDWR|vfs.OpenCreate|vfs.OpenTrunc) != 0,
+	}
+	if flags&vfs.OpenTrunc != 0 {
+		oc, err := c.ossClient(ost)
+		if err != nil {
+			return nil, err
+		}
+		if err := oc.Trunc(obj, 0); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Unlink implements vfs.FileSystem: remove the name on the MDS, then
+// destroy the object on its OSS (Lustre does the destroy
+// asynchronously; we do it inline for determinism).
+func (c *Client) Unlink(path string) error {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opUnlink)
+	w.String(path)
+	r, err := c.mdsCall(w)
+	if err != nil {
+		return err
+	}
+	obj := r.Uint64()
+	ost := r.Uint32()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	oc, err := c.ossClient(ost)
+	if err != nil {
+		return err
+	}
+	return oc.Destroy(obj)
+}
+
+// Stat implements vfs.FileSystem. Directory stats are answered by the
+// MDS alone; file stats additionally fetch size/mtime from the owning
+// OSS, mirroring Lustre's size-on-OST design.
+func (c *Client) Stat(path string) (vfs.FileInfo, error) {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opStat)
+	w.String(path)
+	r, err := c.mdsCall(w)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	fi := proto.DecodeFileInfo(r)
+	isFile := r.Bool()
+	obj := r.Uint64()
+	ost := r.Uint32()
+	if err := r.Err(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	if isFile {
+		oc, err := c.ossClient(ost)
+		if err != nil {
+			return vfs.FileInfo{}, err
+		}
+		size, mtime, err := oc.Getattr(obj)
+		if err != nil {
+			return vfs.FileInfo{}, err
+		}
+		fi.Size = size
+		if mtime > 0 {
+			fi.Mtime = time.Unix(0, mtime)
+		}
+	}
+	return fi, nil
+}
+
+// Readdir implements vfs.FileSystem.
+func (c *Client) Readdir(path string) ([]vfs.DirEntry, error) {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opReaddir)
+	w.String(path)
+	r, err := c.mdsCall(w)
+	if err != nil {
+		return nil, err
+	}
+	es := proto.DecodeDirEntries(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	sortEntries(es)
+	return es, nil
+}
+
+func sortEntries(es []vfs.DirEntry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Name < es[j-1].Name; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// Rename implements vfs.FileSystem.
+func (c *Client) Rename(oldPath, newPath string) error {
+	w := wire.NewWriter(16 + len(oldPath) + len(newPath))
+	w.Uint8(opRename)
+	w.String(oldPath)
+	w.String(newPath)
+	_, err := c.mdsCall(w)
+	return err
+}
+
+// Symlink implements vfs.FileSystem.
+func (c *Client) Symlink(target, linkPath string) error {
+	w := wire.NewWriter(16 + len(target) + len(linkPath))
+	w.Uint8(opSymlink)
+	w.String(target)
+	w.String(linkPath)
+	_, err := c.mdsCall(w)
+	return err
+}
+
+// Readlink implements vfs.FileSystem.
+func (c *Client) Readlink(path string) (string, error) {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opReadlink)
+	w.String(path)
+	r, err := c.mdsCall(w)
+	if err != nil {
+		return "", err
+	}
+	target := r.String()
+	return target, r.Err()
+}
+
+// Truncate implements vfs.FileSystem.
+func (c *Client) Truncate(path string, size int64) error {
+	h, err := c.Open(path, vfs.OpenWrite)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	fh := h.(*fileHandle)
+	oc, err := c.ossClient(fh.ost)
+	if err != nil {
+		return err
+	}
+	return oc.Trunc(fh.obj, size)
+}
+
+// Chmod implements vfs.FileSystem.
+func (c *Client) Chmod(path string, perm uint32) error {
+	w := wire.NewWriter(16 + len(path))
+	w.Uint8(opChmod)
+	w.String(path)
+	w.Uint32(perm)
+	_, err := c.mdsCall(w)
+	return err
+}
+
+// Access implements vfs.FileSystem.
+func (c *Client) Access(path string, mask uint32) error {
+	w := wire.NewWriter(16 + len(path))
+	w.Uint8(opAccess)
+	w.String(path)
+	w.Uint32(mask)
+	_, err := c.mdsCall(w)
+	return err
+}
+
+var _ vfs.FileSystem = (*Client)(nil)

@@ -1,0 +1,573 @@
+// Package lustre simulates a Lustre filesystem instance (paper §II-A):
+// one MetaData Server (MDS) owning the whole namespace and the layout
+// extended attributes, plus N Object Storage Servers (OSS) holding the
+// file bodies as numbered objects.
+//
+// The shape the paper measures emerges from this architecture by
+// construction:
+//
+//   - every metadata operation — mkdir, create, stat, unlink, readdir,
+//     rename — is one RPC to the single MDS, whose namespace lock
+//     serializes mutations ("Lustre metadata operations can be
+//     processed only as quickly as what a single server ... can
+//     manage");
+//   - data I/O goes directly client->OSS and scales with the number of
+//     OSSes, which is why parallel filesystems scale bandwidth but not
+//     metadata throughput (§I).
+//
+// ServiceDelay optionally injects per-op service time so real-stack
+// runs approximate the 2011 testbed; the discrete-event model in
+// internal/model reproduces the published curves instead.
+package lustre
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/backend/objstore"
+	"repro/internal/backend/proto"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// MDS op codes.
+const (
+	opMkdir uint8 = iota + 1
+	opRmdir
+	opCreate
+	opOpen
+	opUnlink
+	opStat
+	opReaddir
+	opRename
+	opSymlink
+	opReadlink
+	opChmod
+	opAccess
+)
+
+// entry is one MDS namespace node. For regular files the layout EA is
+// the (objectID, ostIdx) pair — stripe count 1, the common 2011
+// default.
+type entry struct {
+	mode     uint32
+	children map[string]*entry
+	target   string // symlink
+	objectID uint64
+	ostIdx   uint32
+	ctime    int64
+	mtime    int64
+	nlink    uint32
+}
+
+func (e *entry) isDir() bool     { return e.mode&vfs.ModeDir != 0 }
+func (e *entry) isSymlink() bool { return e.mode&vfs.ModeSymlink == vfs.ModeSymlink }
+
+// MDS is the single metadata server.
+type MDS struct {
+	mu      sync.Mutex
+	root    *entry
+	nextObj uint64
+	numOST  uint32
+	delay   func(op uint8) time.Duration
+	ln      io.Closer
+}
+
+// Config assembles one Lustre instance.
+type Config struct {
+	// Net is the shared transport.
+	Net transport.Network
+	// MDSAddr is the metadata server's address.
+	MDSAddr string
+	// OSSAddrs are the object server addresses (at least one).
+	OSSAddrs []string
+	// ServiceDelay, when non-nil, sleeps per MDS op to emulate the
+	// paper's MDS service times in real-stack runs.
+	ServiceDelay func(op uint8) time.Duration
+}
+
+// Instance is a running Lustre filesystem (servers only; clients are
+// created with NewClient).
+type Instance struct {
+	mds    *MDS
+	oss    []*objstore.Server
+	ossLns []io.Closer
+	cfg    Config
+}
+
+// Start boots the MDS and OSSes.
+func Start(cfg Config) (*Instance, error) {
+	if len(cfg.OSSAddrs) == 0 {
+		return nil, fmt.Errorf("lustre: need at least one OSS")
+	}
+	now := time.Now().UnixNano()
+	mds := &MDS{
+		root: &entry{
+			mode: vfs.ModeDir | 0o755, children: make(map[string]*entry),
+			ctime: now, mtime: now, nlink: 2,
+		},
+		numOST: uint32(len(cfg.OSSAddrs)),
+		delay:  cfg.ServiceDelay,
+	}
+	ln, err := cfg.Net.Listen(cfg.MDSAddr, transport.HandlerFunc(mds.handle))
+	if err != nil {
+		return nil, fmt.Errorf("lustre: mds listen: %w", err)
+	}
+	mds.ln = ln
+	inst := &Instance{mds: mds, cfg: cfg}
+	for _, addr := range cfg.OSSAddrs {
+		oss := objstore.NewServer()
+		oln, err := cfg.Net.Listen(addr, transport.HandlerFunc(oss.Handle))
+		if err != nil {
+			inst.Stop()
+			return nil, fmt.Errorf("lustre: oss listen %s: %w", addr, err)
+		}
+		inst.oss = append(inst.oss, oss)
+		inst.ossLns = append(inst.ossLns, oln)
+	}
+	return inst, nil
+}
+
+// ObjectCounts returns the number of objects held by each OSS, in
+// address order — used to verify placement spreads file bodies.
+func (i *Instance) ObjectCounts() []int {
+	out := make([]int, len(i.oss))
+	for k, o := range i.oss {
+		out[k] = o.Count()
+	}
+	return out
+}
+
+// Stop shuts down all servers of the instance.
+func (i *Instance) Stop() {
+	if i.mds != nil && i.mds.ln != nil {
+		i.mds.ln.Close()
+	}
+	for _, ln := range i.ossLns {
+		ln.Close()
+	}
+}
+
+// --- MDS implementation ----------------------------------------------
+
+func (m *MDS) lookup(path string) (*entry, error) {
+	if path == "/" {
+		return m.root, nil
+	}
+	cur := m.root
+	for _, seg := range strings.Split(path[1:], "/") {
+		if !cur.isDir() {
+			return nil, vfs.ErrNotDir
+		}
+		next, ok := cur.children[seg]
+		if !ok {
+			return nil, vfs.ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (m *MDS) lookupParent(path string) (*entry, string, error) {
+	dir, name := vfs.Split(path)
+	if name == "" {
+		return nil, "", vfs.ErrInvalid
+	}
+	p, err := m.lookup(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !p.isDir() {
+		return nil, "", vfs.ErrNotDir
+	}
+	return p, name, nil
+}
+
+func cleanArg(r *wire.Reader) (string, error) {
+	p := r.String()
+	if err := r.Err(); err != nil {
+		return "", err
+	}
+	return vfs.Clean(p)
+}
+
+// handle processes one MDS RPC. The single mutex is the Lustre single-
+// MDS bottleneck in miniature.
+func (m *MDS) handle(req []byte) ([]byte, error) {
+	r := wire.NewReader(req)
+	op := r.Uint8()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if m.delay != nil {
+		if d := m.delay(op); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	w := wire.NewWriter(64)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now().UnixNano()
+	switch op {
+	case opMkdir:
+		path, err := cleanArg(r)
+		perm := r.Uint32()
+		if err == nil {
+			err = r.Err()
+		}
+		if err == nil {
+			err = m.mkdir(path, perm, now)
+		}
+		proto.WriteHeader(w, err)
+	case opRmdir:
+		path, err := cleanArg(r)
+		if err == nil {
+			err = m.rmdir(path, now)
+		}
+		proto.WriteHeader(w, err)
+	case opCreate:
+		path, err := cleanArg(r)
+		perm := r.Uint32()
+		if err == nil {
+			err = r.Err()
+		}
+		var obj uint64
+		var ost uint32
+		if err == nil {
+			obj, ost, err = m.create(path, perm, now)
+		}
+		proto.WriteHeader(w, err)
+		if err == nil {
+			w.Uint64(obj)
+			w.Uint32(ost)
+		}
+	case opOpen:
+		path, err := cleanArg(r)
+		flags := int(r.Int32())
+		if err == nil {
+			err = r.Err()
+		}
+		var obj uint64
+		var ost uint32
+		if err == nil {
+			obj, ost, err = m.open(path, flags, now)
+		}
+		proto.WriteHeader(w, err)
+		if err == nil {
+			w.Uint64(obj)
+			w.Uint32(ost)
+		}
+	case opUnlink:
+		path, err := cleanArg(r)
+		var obj uint64
+		var ost uint32
+		if err == nil {
+			obj, ost, err = m.unlink(path, now)
+		}
+		proto.WriteHeader(w, err)
+		if err == nil {
+			w.Uint64(obj)
+			w.Uint32(ost)
+		}
+	case opStat:
+		path, err := cleanArg(r)
+		var fi vfs.FileInfo
+		var obj uint64
+		var ost uint32
+		var isFile bool
+		if err == nil {
+			fi, obj, ost, isFile, err = m.stat(path)
+		}
+		proto.WriteHeader(w, err)
+		if err == nil {
+			proto.EncodeFileInfo(w, fi)
+			w.Bool(isFile)
+			w.Uint64(obj)
+			w.Uint32(ost)
+		}
+	case opReaddir:
+		path, err := cleanArg(r)
+		var es []vfs.DirEntry
+		if err == nil {
+			es, err = m.readdir(path)
+		}
+		proto.WriteHeader(w, err)
+		if err == nil {
+			proto.EncodeDirEntries(w, es)
+		}
+	case opRename:
+		oldPath, err := cleanArg(r)
+		var newPath string
+		if err == nil {
+			newPath, err = cleanArg(r)
+		}
+		if err == nil {
+			err = m.rename(oldPath, newPath, now)
+		}
+		proto.WriteHeader(w, err)
+	case opSymlink:
+		target := r.String()
+		path, err := cleanArg(r)
+		if err == nil {
+			err = r.Err()
+		}
+		if err == nil {
+			err = m.symlink(target, path, now)
+		}
+		proto.WriteHeader(w, err)
+	case opReadlink:
+		path, err := cleanArg(r)
+		var target string
+		if err == nil {
+			target, err = m.readlink(path)
+		}
+		proto.WriteHeader(w, err)
+		if err == nil {
+			w.String(target)
+		}
+	case opChmod:
+		path, err := cleanArg(r)
+		perm := r.Uint32()
+		if err == nil {
+			err = r.Err()
+		}
+		if err == nil {
+			err = m.chmod(path, perm)
+		}
+		proto.WriteHeader(w, err)
+	case opAccess:
+		path, err := cleanArg(r)
+		mask := r.Uint32()
+		if err == nil {
+			err = r.Err()
+		}
+		if err == nil {
+			err = m.access(path, mask)
+		}
+		proto.WriteHeader(w, err)
+	default:
+		return nil, fmt.Errorf("lustre: unknown MDS op %d", op)
+	}
+	return w.Bytes(), nil
+}
+
+func (m *MDS) mkdir(path string, perm uint32, now int64) error {
+	if path == "/" {
+		return vfs.ErrExist
+	}
+	parent, name, err := m.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	if _, dup := parent.children[name]; dup {
+		return vfs.ErrExist
+	}
+	parent.children[name] = &entry{
+		mode: vfs.ModeDir | (perm & vfs.PermMask), children: make(map[string]*entry),
+		ctime: now, mtime: now, nlink: 2,
+	}
+	parent.nlink++
+	parent.mtime = now
+	return nil
+}
+
+func (m *MDS) rmdir(path string, now int64) error {
+	if path == "/" {
+		return vfs.ErrPerm
+	}
+	parent, name, err := m.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	if !n.isDir() {
+		return vfs.ErrNotDir
+	}
+	if len(n.children) > 0 {
+		return vfs.ErrNotEmpty
+	}
+	delete(parent.children, name)
+	parent.nlink--
+	parent.mtime = now
+	return nil
+}
+
+func (m *MDS) create(path string, perm uint32, now int64) (uint64, uint32, error) {
+	parent, name, err := m.lookupParent(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, dup := parent.children[name]; dup {
+		return 0, 0, vfs.ErrExist
+	}
+	m.nextObj++
+	obj := m.nextObj
+	ost := uint32(obj % uint64(m.numOST))
+	parent.children[name] = &entry{
+		mode:     vfs.ModeRegular | (perm & vfs.PermMask),
+		objectID: obj, ostIdx: ost, ctime: now, mtime: now, nlink: 1,
+	}
+	parent.mtime = now
+	return obj, ost, nil
+}
+
+func (m *MDS) open(path string, flags int, now int64) (uint64, uint32, error) {
+	n, err := m.lookup(path)
+	if err != nil {
+		if err == vfs.ErrNotExist && flags&vfs.OpenCreate != 0 {
+			return m.create(path, 0o644, now)
+		}
+		return 0, 0, err
+	}
+	if n.isDir() {
+		return 0, 0, vfs.ErrIsDir
+	}
+	return n.objectID, n.ostIdx, nil
+}
+
+func (m *MDS) unlink(path string, now int64) (uint64, uint32, error) {
+	parent, name, err := m.lookupParent(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return 0, 0, vfs.ErrNotExist
+	}
+	if n.isDir() {
+		return 0, 0, vfs.ErrIsDir
+	}
+	delete(parent.children, name)
+	parent.mtime = now
+	return n.objectID, n.ostIdx, nil
+}
+
+func (m *MDS) stat(path string) (vfs.FileInfo, uint64, uint32, bool, error) {
+	n, err := m.lookup(path)
+	if err != nil {
+		return vfs.FileInfo{}, 0, 0, false, err
+	}
+	_, name := vfs.Split(path)
+	fi := vfs.FileInfo{
+		Name: name, Mode: n.mode, Nlink: n.nlink,
+		Ctime: time.Unix(0, n.ctime), Mtime: time.Unix(0, n.mtime),
+	}
+	isFile := !n.isDir() && !n.isSymlink()
+	return fi, n.objectID, n.ostIdx, isFile, nil
+}
+
+func (m *MDS) readdir(path string) ([]vfs.DirEntry, error) {
+	n, err := m.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if !n.isDir() {
+		return nil, vfs.ErrNotDir
+	}
+	out := make([]vfs.DirEntry, 0, len(n.children))
+	for name, c := range n.children {
+		out = append(out, vfs.DirEntry{Name: name, IsDir: c.isDir()})
+	}
+	return out, nil
+}
+
+func (m *MDS) rename(oldPath, newPath string, now int64) error {
+	if oldPath == "/" || newPath == "/" {
+		return vfs.ErrPerm
+	}
+	if oldPath == newPath {
+		return nil
+	}
+	if strings.HasPrefix(newPath, oldPath+"/") {
+		return vfs.ErrInvalid
+	}
+	oparent, oname, err := m.lookupParent(oldPath)
+	if err != nil {
+		return err
+	}
+	n, ok := oparent.children[oname]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	nparent, nname, err := m.lookupParent(newPath)
+	if err != nil {
+		return err
+	}
+	if existing, ok := nparent.children[nname]; ok {
+		switch {
+		case existing.isDir() && !n.isDir():
+			return vfs.ErrIsDir
+		case !existing.isDir() && n.isDir():
+			return vfs.ErrNotDir
+		case existing.isDir() && len(existing.children) > 0:
+			return vfs.ErrNotEmpty
+		}
+		if existing.isDir() {
+			nparent.nlink--
+		}
+	}
+	delete(oparent.children, oname)
+	nparent.children[nname] = n
+	oparent.mtime = now
+	nparent.mtime = now
+	if n.isDir() {
+		oparent.nlink--
+		nparent.nlink++
+	}
+	return nil
+}
+
+func (m *MDS) symlink(target, path string, now int64) error {
+	parent, name, err := m.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	if _, dup := parent.children[name]; dup {
+		return vfs.ErrExist
+	}
+	parent.children[name] = &entry{
+		mode: vfs.ModeSymlink | 0o777, target: target,
+		ctime: now, mtime: now, nlink: 1,
+	}
+	parent.mtime = now
+	return nil
+}
+
+func (m *MDS) readlink(path string) (string, error) {
+	n, err := m.lookup(path)
+	if err != nil {
+		return "", err
+	}
+	if !n.isSymlink() {
+		return "", vfs.ErrInvalid
+	}
+	return n.target, nil
+}
+
+func (m *MDS) chmod(path string, perm uint32) error {
+	n, err := m.lookup(path)
+	if err != nil {
+		return err
+	}
+	n.mode = (n.mode &^ vfs.PermMask) | (perm & vfs.PermMask)
+	return nil
+}
+
+func (m *MDS) access(path string, mask uint32) error {
+	n, err := m.lookup(path)
+	if err != nil {
+		return err
+	}
+	perm := (n.mode & vfs.PermMask) >> 6
+	if mask&perm != mask {
+		return vfs.ErrAccess
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package lustre
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/backend/backendtest"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+)
+
+var instSeq int
+
+func startInstance(t *testing.T, numOSS int, delay func(uint8) time.Duration) (*Instance, *Client) {
+	t.Helper()
+	instSeq++
+	net := transport.NewInProc()
+	mdsAddr := fmt.Sprintf("lustre%d-mds", instSeq)
+	var ossAddrs []string
+	for i := 0; i < numOSS; i++ {
+		ossAddrs = append(ossAddrs, fmt.Sprintf("lustre%d-oss%d", instSeq, i))
+	}
+	inst, err := Start(Config{Net: net, MDSAddr: mdsAddr, OSSAddrs: ossAddrs, ServiceDelay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Stop)
+	c := NewClient(net, mdsAddr, ossAddrs)
+	t.Cleanup(func() { c.Close() })
+	return inst, c
+}
+
+func TestConformance(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) vfs.FileSystem {
+		_, c := startInstance(t, 2, nil)
+		return c
+	}, backendtest.Options{})
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{Net: transport.NewInProc(), MDSAddr: "m"}); err == nil {
+		t.Fatal("Start without OSS succeeded")
+	}
+}
+
+func TestObjectsSpreadAcrossOSSes(t *testing.T) {
+	inst, c := startInstance(t, 4, nil)
+	for i := 0; i < 64; i++ {
+		if err := vfs.WriteFile(c, fmt.Sprintf("/f%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := inst.ObjectCounts()
+	total := 0
+	for idx, n := range counts {
+		total += n
+		if n == 0 {
+			t.Fatalf("OSS %d holds no objects: %v", idx, counts)
+		}
+	}
+	if total != 64 {
+		t.Fatalf("total objects = %d, want 64", total)
+	}
+}
+
+func TestUnlinkDestroysObject(t *testing.T) {
+	inst, c := startInstance(t, 1, nil)
+	if err := vfs.WriteFile(c, "/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if inst.ObjectCounts()[0] != 1 {
+		t.Fatalf("objects = %v", inst.ObjectCounts())
+	}
+	if err := c.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if inst.ObjectCounts()[0] != 0 {
+		t.Fatalf("object leaked after unlink: %v", inst.ObjectCounts())
+	}
+}
+
+func TestStatSizeComesFromOSS(t *testing.T) {
+	_, c := startInstance(t, 2, nil)
+	h, err := c.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(make([]byte, 12345), 0); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	fi, err := c.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 12345 {
+		t.Fatalf("size = %d", fi.Size)
+	}
+}
+
+func TestServiceDelayInjectsLatency(t *testing.T) {
+	_, c := startInstance(t, 1, func(op uint8) time.Duration {
+		if op == opMkdir {
+			return 10 * time.Millisecond
+		}
+		return 0
+	})
+	start := time.Now()
+	if err := c.Mkdir("/slow", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("mkdir returned in %v, want >= 10ms", elapsed)
+	}
+}
+
+func TestMultipleClientsShareNamespace(t *testing.T) {
+	instSeq++
+	net := transport.NewInProc()
+	mdsAddr := fmt.Sprintf("lustre%d-mds", instSeq)
+	ossAddrs := []string{fmt.Sprintf("lustre%d-oss0", instSeq)}
+	inst, err := Start(Config{Net: net, MDSAddr: mdsAddr, OSSAddrs: ossAddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	a := NewClient(net, mdsAddr, ossAddrs)
+	b := NewClient(net, mdsAddr, ossAddrs)
+	defer a.Close()
+	defer b.Close()
+	if err := vfs.WriteFile(a, "/from-a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(b, "/from-a")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("b sees %q, %v", got, err)
+	}
+}

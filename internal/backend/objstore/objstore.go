@@ -1,0 +1,254 @@
+// Package objstore is the object storage node shared by the back-end
+// filesystem simulators: a Lustre OSS and a PVFS data server are both,
+// at bottom, a flat store of numbered byte objects with size and mtime
+// — file bodies live here while the namespace lives on the metadata
+// servers.
+package objstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/backend/proto"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Op codes of the object protocol.
+const (
+	OpRead uint8 = iota + 1
+	OpWrite
+	OpTrunc
+	OpGetattr
+	OpDestroy
+)
+
+type object struct {
+	data  []byte
+	mtime int64
+}
+
+// Server is one object storage node.
+type Server struct {
+	mu      sync.RWMutex
+	objects map[uint64]*object
+}
+
+// NewServer returns an empty object store.
+func NewServer() *Server {
+	return &Server{objects: make(map[uint64]*object)}
+}
+
+// Count returns the number of stored objects.
+func (s *Server) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Bytes returns the total payload bytes stored.
+func (s *Server) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, o := range s.objects {
+		n += int64(len(o.data))
+	}
+	return n
+}
+
+// Handle implements the transport handler for the object protocol.
+func (s *Server) Handle(req []byte) ([]byte, error) {
+	r := wire.NewReader(req)
+	op := r.Uint8()
+	obj := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(64)
+	switch op {
+	case OpRead:
+		off := r.Int64()
+		length := r.Uint32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		ob := s.objects[obj]
+		var chunk []byte
+		if ob != nil && off < int64(len(ob.data)) {
+			end := off + int64(length)
+			if end > int64(len(ob.data)) {
+				end = int64(len(ob.data))
+			}
+			chunk = append([]byte(nil), ob.data[off:end]...)
+		}
+		s.mu.RUnlock()
+		proto.WriteHeader(w, nil)
+		w.Bytes32(chunk)
+	case OpWrite:
+		off := r.Int64()
+		data := r.Bytes32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if off < 0 {
+			proto.WriteHeader(w, vfs.ErrInvalid)
+			break
+		}
+		s.mu.Lock()
+		ob := s.objects[obj]
+		if ob == nil {
+			ob = &object{}
+			s.objects[obj] = ob
+		}
+		end := off + int64(len(data))
+		if end > int64(len(ob.data)) {
+			grown := make([]byte, end)
+			copy(grown, ob.data)
+			ob.data = grown
+		}
+		copy(ob.data[off:], data)
+		ob.mtime = time.Now().UnixNano()
+		s.mu.Unlock()
+		proto.WriteHeader(w, nil)
+		w.Uint32(uint32(len(data)))
+	case OpTrunc:
+		size := r.Int64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if size < 0 {
+			proto.WriteHeader(w, vfs.ErrInvalid)
+			break
+		}
+		s.mu.Lock()
+		ob := s.objects[obj]
+		if ob == nil {
+			ob = &object{}
+			s.objects[obj] = ob
+		}
+		switch {
+		case int64(len(ob.data)) > size:
+			ob.data = ob.data[:size]
+		case int64(len(ob.data)) < size:
+			grown := make([]byte, size)
+			copy(grown, ob.data)
+			ob.data = grown
+		}
+		ob.mtime = time.Now().UnixNano()
+		s.mu.Unlock()
+		proto.WriteHeader(w, nil)
+	case OpGetattr:
+		s.mu.RLock()
+		ob := s.objects[obj]
+		var size, mtime int64
+		if ob != nil {
+			size, mtime = int64(len(ob.data)), ob.mtime
+		}
+		s.mu.RUnlock()
+		proto.WriteHeader(w, nil)
+		w.Int64(size)
+		w.Int64(mtime)
+	case OpDestroy:
+		s.mu.Lock()
+		delete(s.objects, obj)
+		s.mu.Unlock()
+		proto.WriteHeader(w, nil)
+	default:
+		return nil, fmt.Errorf("objstore: unknown op %d", op)
+	}
+	return w.Bytes(), nil
+}
+
+// Client wraps a connection to one object server.
+type Client struct {
+	conn transport.Conn
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn transport.Conn) *Client { return &Client{conn: conn} }
+
+func (c *Client) call(w *wire.Writer) (*wire.Reader, error) {
+	resp, err := c.conn.Call(w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	if err := proto.ReadHeader(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Read fills p from the object at off; returns bytes read (short reads
+// at EOF return n < len(p) with no error, like pread).
+func (c *Client) Read(obj uint64, p []byte, off int64) (int, error) {
+	w := wire.NewWriter(32)
+	w.Uint8(OpRead)
+	w.Uint64(obj)
+	w.Int64(off)
+	w.Uint32(uint32(len(p)))
+	r, err := c.call(w)
+	if err != nil {
+		return 0, err
+	}
+	chunk := r.Bytes32()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return copy(p, chunk), nil
+}
+
+// Write stores p at off, growing the object as needed.
+func (c *Client) Write(obj uint64, p []byte, off int64) (int, error) {
+	w := wire.NewWriter(32 + len(p))
+	w.Uint8(OpWrite)
+	w.Uint64(obj)
+	w.Int64(off)
+	w.Bytes32(p)
+	r, err := c.call(w)
+	if err != nil {
+		return 0, err
+	}
+	n := r.Uint32()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// Trunc resizes the object.
+func (c *Client) Trunc(obj uint64, size int64) error {
+	w := wire.NewWriter(24)
+	w.Uint8(OpTrunc)
+	w.Uint64(obj)
+	w.Int64(size)
+	_, err := c.call(w)
+	return err
+}
+
+// Getattr returns the object's size and mtime (zeroes if absent).
+func (c *Client) Getattr(obj uint64) (size int64, mtime int64, err error) {
+	w := wire.NewWriter(16)
+	w.Uint8(OpGetattr)
+	w.Uint64(obj)
+	r, err := c.call(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	size = r.Int64()
+	mtime = r.Int64()
+	return size, mtime, r.Err()
+}
+
+// Destroy removes the object (idempotent).
+func (c *Client) Destroy(obj uint64) error {
+	w := wire.NewWriter(16)
+	w.Uint8(OpDestroy)
+	w.Uint64(obj)
+	_, err := c.call(w)
+	return err
+}

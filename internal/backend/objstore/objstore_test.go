@@ -1,0 +1,170 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/vfs"
+)
+
+func startPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	net := transport.NewInProc()
+	srv := NewServer()
+	ln, err := net.Listen("obj", transport.HandlerFunc(srv.Handle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	conn, err := net.Dial("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, NewClient(conn)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	_, c := startPair(t)
+	data := []byte("object body")
+	n, err := c.Write(7, data, 0)
+	if err != nil || n != len(data) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	buf := make([]byte, 32)
+	n, err = c.Read(7, buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], data) {
+		t.Fatalf("read = %q", buf[:n])
+	}
+}
+
+func TestReadPastEOFShort(t *testing.T) {
+	_, c := startPair(t)
+	if _, err := c.Write(1, []byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	n, err := c.Read(1, buf, 2)
+	if err != nil || n != 1 || buf[0] != 'c' {
+		t.Fatalf("read = %d %q, %v", n, buf[:n], err)
+	}
+	n, err = c.Read(1, buf, 100)
+	if err != nil || n != 0 {
+		t.Fatalf("read past EOF = %d, %v", n, err)
+	}
+}
+
+func TestMissingObjectReadsEmpty(t *testing.T) {
+	_, c := startPair(t)
+	buf := make([]byte, 8)
+	n, err := c.Read(99, buf, 0)
+	if err != nil || n != 0 {
+		t.Fatalf("read missing = %d, %v", n, err)
+	}
+	size, mtime, err := c.Getattr(99)
+	if err != nil || size != 0 || mtime != 0 {
+		t.Fatalf("getattr missing = %d %d, %v", size, mtime, err)
+	}
+}
+
+func TestSparseWriteZeroFills(t *testing.T) {
+	_, c := startPair(t)
+	if _, err := c.Write(2, []byte("x"), 5); err != nil {
+		t.Fatal(err)
+	}
+	size, _, err := c.Getattr(2)
+	if err != nil || size != 6 {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+	buf := make([]byte, 6)
+	n, _ := c.Read(2, buf, 0)
+	if n != 6 || !bytes.Equal(buf, []byte{0, 0, 0, 0, 0, 'x'}) {
+		t.Fatalf("content = %v", buf[:n])
+	}
+}
+
+func TestNegativeOffsetsRejected(t *testing.T) {
+	_, c := startPair(t)
+	if _, err := c.Write(3, []byte("x"), -1); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatalf("negative write err = %v", err)
+	}
+	if err := c.Trunc(3, -5); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatalf("negative trunc err = %v", err)
+	}
+}
+
+func TestTruncGrowShrink(t *testing.T) {
+	srv, c := startPair(t)
+	if _, err := c.Write(4, []byte("123456"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Trunc(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	size, _, _ := c.Getattr(4)
+	if size != 3 {
+		t.Fatalf("size after shrink = %d", size)
+	}
+	if err := c.Trunc(4, 10); err != nil {
+		t.Fatal(err)
+	}
+	size, _, _ = c.Getattr(4)
+	if size != 10 {
+		t.Fatalf("size after grow = %d", size)
+	}
+	if srv.Bytes() != 10 {
+		t.Fatalf("server bytes = %d", srv.Bytes())
+	}
+}
+
+func TestDestroyIdempotent(t *testing.T) {
+	srv, c := startPair(t)
+	if _, err := c.Write(5, []byte("gone"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Count() != 1 {
+		t.Fatalf("count = %d", srv.Count())
+	}
+	if err := c.Destroy(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Destroy(5); err != nil {
+		t.Fatalf("second destroy = %v", err)
+	}
+	if srv.Count() != 0 {
+		t.Fatalf("count after destroy = %d", srv.Count())
+	}
+}
+
+func TestConcurrentObjects(t *testing.T) {
+	srv, c := startPair(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			obj := uint64(w + 1)
+			for i := 0; i < 50; i++ {
+				if _, err := c.Write(obj, []byte{byte(i)}, int64(i)); err != nil {
+					t.Errorf("obj %d write %d: %v", obj, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if srv.Count() != 8 {
+		t.Fatalf("objects = %d", srv.Count())
+	}
+	for obj := uint64(1); obj <= 8; obj++ {
+		size, _, err := c.Getattr(obj)
+		if err != nil || size != 50 {
+			t.Fatalf("obj %d size = %d, %v", obj, size, err)
+		}
+	}
+}

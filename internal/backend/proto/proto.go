@@ -1,0 +1,150 @@
+// Package proto holds the small pieces shared by the back-end
+// filesystem protocols (Lustre-like and PVFS-like): the errno-style
+// status codes that cross the wire and the FileInfo codec.
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Status codes, mirroring the POSIX errno values vfs defines.
+const (
+	OK uint8 = iota
+	ENOENT
+	EEXIST
+	ENOTDIR
+	EISDIR
+	ENOTEMPTY
+	EINVAL
+	EPERM
+	EACCES
+	EOTHER
+)
+
+// CodeFor maps a vfs error to a wire status code.
+func CodeFor(err error) uint8 {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, vfs.ErrNotExist):
+		return ENOENT
+	case errors.Is(err, vfs.ErrExist):
+		return EEXIST
+	case errors.Is(err, vfs.ErrNotDir):
+		return ENOTDIR
+	case errors.Is(err, vfs.ErrIsDir):
+		return EISDIR
+	case errors.Is(err, vfs.ErrNotEmpty):
+		return ENOTEMPTY
+	case errors.Is(err, vfs.ErrInvalid):
+		return EINVAL
+	case errors.Is(err, vfs.ErrPerm):
+		return EPERM
+	case errors.Is(err, vfs.ErrAccess):
+		return EACCES
+	default:
+		return EOTHER
+	}
+}
+
+// ErrFor maps a wire status code back to the vfs error.
+func ErrFor(code uint8, detail string) error {
+	switch code {
+	case OK:
+		return nil
+	case ENOENT:
+		return vfs.ErrNotExist
+	case EEXIST:
+		return vfs.ErrExist
+	case ENOTDIR:
+		return vfs.ErrNotDir
+	case EISDIR:
+		return vfs.ErrIsDir
+	case ENOTEMPTY:
+		return vfs.ErrNotEmpty
+	case EINVAL:
+		return vfs.ErrInvalid
+	case EPERM:
+		return vfs.ErrPerm
+	case EACCES:
+		return vfs.ErrAccess
+	default:
+		if detail == "" {
+			detail = "unknown backend error"
+		}
+		return fmt.Errorf("backend: %s", detail)
+	}
+}
+
+// WriteHeader appends the status header for err (OK writes an empty
+// detail string).
+func WriteHeader(w *wire.Writer, err error) {
+	w.Uint8(CodeFor(err))
+	if err != nil {
+		w.String(err.Error())
+	} else {
+		w.String("")
+	}
+}
+
+// ReadHeader consumes the status header and returns the decoded error.
+func ReadHeader(r *wire.Reader) error {
+	code := r.Uint8()
+	detail := r.String()
+	if rerr := r.Err(); rerr != nil {
+		return fmt.Errorf("backend: malformed reply: %w", rerr)
+	}
+	return ErrFor(code, detail)
+}
+
+// EncodeFileInfo serializes a vfs.FileInfo.
+func EncodeFileInfo(w *wire.Writer, fi vfs.FileInfo) {
+	w.String(fi.Name)
+	w.Int64(fi.Size)
+	w.Uint32(fi.Mode)
+	w.Uint32(fi.Nlink)
+	w.Int64(fi.Ctime.UnixNano())
+	w.Int64(fi.Mtime.UnixNano())
+}
+
+// DecodeFileInfo deserializes a vfs.FileInfo.
+func DecodeFileInfo(r *wire.Reader) vfs.FileInfo {
+	return vfs.FileInfo{
+		Name:  r.String(),
+		Size:  r.Int64(),
+		Mode:  r.Uint32(),
+		Nlink: r.Uint32(),
+		Ctime: time.Unix(0, r.Int64()),
+		Mtime: time.Unix(0, r.Int64()),
+	}
+}
+
+// EncodeDirEntries serializes a readdir result.
+func EncodeDirEntries(w *wire.Writer, es []vfs.DirEntry) {
+	w.Uint32(uint32(len(es)))
+	for _, e := range es {
+		w.String(e.Name)
+		w.Bool(e.IsDir)
+	}
+}
+
+// DecodeDirEntries deserializes a readdir result.
+func DecodeDirEntries(r *wire.Reader) []vfs.DirEntry {
+	n := r.Uint32()
+	if r.Err() != nil {
+		return nil
+	}
+	if int(n) > r.Remaining() {
+		return nil
+	}
+	out := make([]vfs.DirEntry, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		out = append(out, vfs.DirEntry{Name: r.String(), IsDir: r.Bool()})
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package proto
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	cases := []error{
+		nil,
+		vfs.ErrNotExist,
+		vfs.ErrExist,
+		vfs.ErrNotDir,
+		vfs.ErrIsDir,
+		vfs.ErrNotEmpty,
+		vfs.ErrInvalid,
+		vfs.ErrPerm,
+		vfs.ErrAccess,
+	}
+	for _, in := range cases {
+		got := ErrFor(CodeFor(in), "")
+		if in == nil {
+			if got != nil {
+				t.Fatalf("nil -> %v", got)
+			}
+			continue
+		}
+		if !errors.Is(got, in) {
+			t.Fatalf("%v -> code %d -> %v", in, CodeFor(in), got)
+		}
+	}
+}
+
+func TestUnknownErrorCarriesDetail(t *testing.T) {
+	in := errors.New("disk exploded")
+	code := CodeFor(in)
+	if code != EOTHER {
+		t.Fatalf("code = %d", code)
+	}
+	out := ErrFor(code, in.Error())
+	if out == nil || out.Error() != "backend: disk exploded" {
+		t.Fatalf("out = %v", out)
+	}
+	if ErrFor(EOTHER, "") == nil {
+		t.Fatal("EOTHER with empty detail must still be an error")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	w := wire.NewWriter(0)
+	WriteHeader(w, vfs.ErrNotEmpty)
+	r := wire.NewReader(w.Bytes())
+	if err := ReadHeader(r); !errors.Is(err, vfs.ErrNotEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	w2 := wire.NewWriter(0)
+	WriteHeader(w2, nil)
+	r2 := wire.NewReader(w2.Bytes())
+	if err := ReadHeader(r2); err != nil {
+		t.Fatalf("ok header -> %v", err)
+	}
+}
+
+func TestHeaderTruncated(t *testing.T) {
+	r := wire.NewReader([]byte{0})
+	if err := ReadHeader(r); err == nil {
+		t.Fatal("truncated header decoded")
+	}
+}
+
+func TestFileInfoRoundTrip(t *testing.T) {
+	in := vfs.FileInfo{
+		Name:  "f",
+		Size:  12345,
+		Mode:  vfs.ModeRegular | 0o640,
+		Nlink: 3,
+		Ctime: time.Unix(100, 200),
+		Mtime: time.Unix(300, 400),
+	}
+	w := wire.NewWriter(0)
+	EncodeFileInfo(w, in)
+	r := wire.NewReader(w.Bytes())
+	got := DecodeFileInfo(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if got.Name != in.Name || got.Size != in.Size || got.Mode != in.Mode ||
+		got.Nlink != in.Nlink || !got.Ctime.Equal(in.Ctime) || !got.Mtime.Equal(in.Mtime) {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
+	}
+}
+
+func TestDirEntriesRoundTrip(t *testing.T) {
+	in := []vfs.DirEntry{{Name: "a", IsDir: true}, {Name: "b", IsDir: false}}
+	w := wire.NewWriter(0)
+	EncodeDirEntries(w, in)
+	r := wire.NewReader(w.Bytes())
+	got := DecodeDirEntries(r)
+	if len(got) != 2 || got[0] != in[0] || got[1] != in[1] {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestDirEntriesCorruptCountSafe(t *testing.T) {
+	w := wire.NewWriter(0)
+	w.Uint32(1 << 30) // absurd claimed count
+	r := wire.NewReader(w.Bytes())
+	if got := DecodeDirEntries(r); len(got) != 0 {
+		t.Fatalf("decoded %d entries from corrupt input", len(got))
+	}
+}

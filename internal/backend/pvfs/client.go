@@ -1,0 +1,528 @@
+package pvfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend/objstore"
+	"repro/internal/backend/proto"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Client is a PVFS client. It implements vfs.FileSystem by issuing the
+// multi-server protocol described in the package comment.
+//
+// Simplification vs. real PVFS2: directory bodies are keyed by path,
+// not by immutable handle, so renaming a *directory* would require
+// rehoming every descendant body and is rejected with ErrNotionSup.
+// File renames work. DUFS never renames directories on the back-end
+// (directories live only in the coordination service), and the paper
+// does not benchmark rename, so nothing measured depends on this.
+type Client struct {
+	net       transport.Network
+	metaAddrs []string
+	dataAddrs []string
+
+	handleBase uint64
+	handleSeq  atomic.Uint64
+
+	mu   sync.Mutex
+	meta map[int]transport.Conn
+	data map[uint32]*objstore.Client
+}
+
+// NewClient connects lazily to the given instance addresses.
+func NewClient(net transport.Network, metaAddrs, dataAddrs []string) *Client {
+	return &Client{
+		net:       net,
+		metaAddrs: append([]string(nil), metaAddrs...),
+		dataAddrs: append([]string(nil), dataAddrs...),
+		// A random high base makes data handles unique across clients
+		// without coordination (PVFS2 hands out per-server handle
+		// ranges; this plays the same role in the simulator).
+		handleBase: rand.Uint64() &^ 0xfffff,
+		meta:       make(map[int]transport.Conn),
+		data:       make(map[uint32]*objstore.Client),
+	}
+}
+
+// Close drops all connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, conn := range c.meta {
+		conn.Close()
+		delete(c.meta, k)
+	}
+	c.data = make(map[uint32]*objstore.Client)
+	return nil
+}
+
+func (c *Client) newHandle() uint64 { return c.handleBase + c.handleSeq.Add(1) }
+
+func (c *Client) owner(dirPath string) int { return ownerOf(dirPath, len(c.metaAddrs)) }
+
+func (c *Client) metaConn(idx int) (transport.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.meta[idx]; ok {
+		return conn, nil
+	}
+	conn, err := c.net.Dial(c.metaAddrs[idx])
+	if err != nil {
+		return nil, err
+	}
+	c.meta[idx] = conn
+	return conn, nil
+}
+
+func (c *Client) dataClient(idx uint32) (*objstore.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dc, ok := c.data[idx]; ok {
+		return dc, nil
+	}
+	if int(idx) >= len(c.dataAddrs) {
+		return nil, fmt.Errorf("pvfs: data server index %d out of range", idx)
+	}
+	conn, err := c.net.Dial(c.dataAddrs[idx])
+	if err != nil {
+		return nil, err
+	}
+	dc := objstore.NewClient(conn)
+	c.data[idx] = dc
+	return dc, nil
+}
+
+func (c *Client) metaCall(idx int, req *wire.Writer) (*wire.Reader, error) {
+	conn, err := c.metaConn(idx)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conn.Call(req.Bytes())
+	if err != nil {
+		c.mu.Lock()
+		delete(c.meta, idx)
+		c.mu.Unlock()
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	if err := proto.ReadHeader(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (c *Client) dirInsert(dir, name string, a attr, exclusive bool) error {
+	w := wire.NewWriter(64 + len(dir) + len(name))
+	w.Uint8(opDirInsert)
+	w.String(dir)
+	w.String(name)
+	encodeAttr(w, a)
+	w.Bool(exclusive)
+	_, err := c.metaCall(c.owner(dir), w)
+	return err
+}
+
+func (c *Client) dirRemove(dir, name string, wantDir bool) (attr, error) {
+	w := wire.NewWriter(32 + len(dir) + len(name))
+	w.Uint8(opDirRemove)
+	w.String(dir)
+	w.String(name)
+	w.Bool(wantDir)
+	r, err := c.metaCall(c.owner(dir), w)
+	if err != nil {
+		return attr{}, err
+	}
+	a := decodeAttr(r)
+	return a, r.Err()
+}
+
+func (c *Client) dirLookup(dir, name string) (attr, error) {
+	w := wire.NewWriter(32 + len(dir) + len(name))
+	w.Uint8(opDirLookup)
+	w.String(dir)
+	w.String(name)
+	r, err := c.metaCall(c.owner(dir), w)
+	if err != nil {
+		return attr{}, err
+	}
+	a := decodeAttr(r)
+	return a, r.Err()
+}
+
+func (c *Client) dirUpdate(dir, name string, a attr) error {
+	w := wire.NewWriter(64 + len(dir) + len(name))
+	w.Uint8(opDirUpdate)
+	w.String(dir)
+	w.String(name)
+	encodeAttr(w, a)
+	_, err := c.metaCall(c.owner(dir), w)
+	return err
+}
+
+func (c *Client) bodyOp(op uint8, dir string) (*wire.Reader, error) {
+	w := wire.NewWriter(16 + len(dir))
+	w.Uint8(op)
+	w.String(dir)
+	return c.metaCall(c.owner(dir), w)
+}
+
+// Mkdir implements vfs.FileSystem: dirent insert on the parent's
+// owner, then body create on the new directory's owner — two RPCs,
+// usually to two different servers.
+func (c *Client) Mkdir(path string, perm uint32) error {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return vfs.ErrExist
+	}
+	dir, name := vfs.Split(p)
+	now := time.Now().UnixNano()
+	a := attr{Mode: vfs.ModeDir | (perm & vfs.PermMask), Ctime: now, Mtime: now}
+	if err := c.dirInsert(dir, name, a, true); err != nil {
+		return err
+	}
+	if _, err := c.bodyOp(opBodyCreate, p); err != nil {
+		// Roll the dirent back so a failed mkdir is not half-visible.
+		_, _ = c.dirRemove(dir, name, true)
+		return err
+	}
+	return nil
+}
+
+// Rmdir implements vfs.FileSystem: body remove (fails on non-empty),
+// then dirent remove on the parent's owner.
+func (c *Client) Rmdir(path string) error {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return vfs.ErrPerm
+	}
+	dir, name := vfs.Split(p)
+	if _, err := c.dirLookup(dir, name); err != nil {
+		return err
+	}
+	if _, err := c.bodyOp(opBodyRemove, p); err != nil {
+		return err
+	}
+	_, err = c.dirRemove(dir, name, true)
+	return err
+}
+
+type fileHandle struct {
+	c      *Client
+	handle uint64
+	server uint32
+	write  bool
+}
+
+// ReadAt implements vfs.Handle.
+func (h *fileHandle) ReadAt(p []byte, off int64) (int, error) {
+	dc, err := h.c.dataClient(h.server)
+	if err != nil {
+		return 0, err
+	}
+	return dc.Read(h.handle, p, off)
+}
+
+// WriteAt implements vfs.Handle.
+func (h *fileHandle) WriteAt(p []byte, off int64) (int, error) {
+	if !h.write {
+		return 0, vfs.ErrPerm
+	}
+	dc, err := h.c.dataClient(h.server)
+	if err != nil {
+		return 0, err
+	}
+	return dc.Write(h.handle, p, off)
+}
+
+// Close implements vfs.Handle.
+func (h *fileHandle) Close() error { return nil }
+
+// Create implements vfs.FileSystem: dirent insert plus eager datafile
+// instantiation on the data server, matching PVFS2's create protocol
+// cost.
+func (c *Client) Create(path string, perm uint32) (vfs.Handle, error) {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	dir, name := vfs.Split(p)
+	if name == "" {
+		return nil, vfs.ErrInvalid
+	}
+	now := time.Now().UnixNano()
+	handle := c.newHandle()
+	server := uint32(handle % uint64(len(c.dataAddrs)))
+	a := attr{
+		Mode:       vfs.ModeRegular | (perm & vfs.PermMask),
+		DataHandle: handle, DataServer: server,
+		Ctime: now, Mtime: now,
+	}
+	if err := c.dirInsert(dir, name, a, true); err != nil {
+		return nil, err
+	}
+	dc, err := c.dataClient(server)
+	if err != nil {
+		return nil, err
+	}
+	if err := dc.Trunc(handle, 0); err != nil {
+		return nil, err
+	}
+	return &fileHandle{c: c, handle: handle, server: server, write: true}, nil
+}
+
+// Open implements vfs.FileSystem.
+func (c *Client) Open(path string, flags int) (vfs.Handle, error) {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	dir, name := vfs.Split(p)
+	if name == "" {
+		return nil, vfs.ErrIsDir
+	}
+	a, err := c.dirLookup(dir, name)
+	if err != nil {
+		if err == vfs.ErrNotExist && flags&vfs.OpenCreate != 0 {
+			return c.Create(p, 0o644)
+		}
+		return nil, err
+	}
+	if a.isDir() {
+		return nil, vfs.ErrIsDir
+	}
+	h := &fileHandle{
+		c: c, handle: a.DataHandle, server: a.DataServer,
+		write: flags&(vfs.OpenWrite|vfs.OpenRDWR|vfs.OpenCreate|vfs.OpenTrunc) != 0,
+	}
+	if flags&vfs.OpenTrunc != 0 {
+		dc, err := c.dataClient(h.server)
+		if err != nil {
+			return nil, err
+		}
+		if err := dc.Trunc(h.handle, 0); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Unlink implements vfs.FileSystem.
+func (c *Client) Unlink(path string) error {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	dir, name := vfs.Split(p)
+	a, err := c.dirRemove(dir, name, false)
+	if err != nil {
+		return err
+	}
+	dc, err := c.dataClient(a.DataServer)
+	if err != nil {
+		return err
+	}
+	return dc.Destroy(a.DataHandle)
+}
+
+// Stat implements vfs.FileSystem: dirent lookup on the parent's owner,
+// plus a data-server getattr for regular files.
+func (c *Client) Stat(path string) (vfs.FileInfo, error) {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	if p == "/" {
+		return vfs.FileInfo{Name: "", Mode: vfs.ModeDir | 0o755, Nlink: 2}, nil
+	}
+	dir, name := vfs.Split(p)
+	a, err := c.dirLookup(dir, name)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	fi := vfs.FileInfo{
+		Name: name, Mode: a.Mode, Nlink: 1,
+		Ctime: time.Unix(0, a.Ctime), Mtime: time.Unix(0, a.Mtime),
+	}
+	if a.isDir() {
+		fi.Nlink = 2
+	}
+	if !a.isDir() && !a.isSymlink() {
+		dc, err := c.dataClient(a.DataServer)
+		if err != nil {
+			return vfs.FileInfo{}, err
+		}
+		size, mtime, err := dc.Getattr(a.DataHandle)
+		if err != nil {
+			return vfs.FileInfo{}, err
+		}
+		fi.Size = size
+		if mtime > 0 {
+			fi.Mtime = time.Unix(0, mtime)
+		}
+	}
+	return fi, nil
+}
+
+// Readdir implements vfs.FileSystem.
+func (c *Client) Readdir(path string) ([]vfs.DirEntry, error) {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.bodyOp(opDirList, p)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Uint32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]vfs.DirEntry, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		out = append(out, vfs.DirEntry{Name: r.String(), IsDir: r.Bool()})
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+func sortEntries(es []vfs.DirEntry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Name < es[j-1].Name; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// Rename implements vfs.FileSystem for regular files and symlinks;
+// directory renames are unsupported (see the Client doc comment).
+func (c *Client) Rename(oldPath, newPath string) error {
+	op, err := vfs.Clean(oldPath)
+	if err != nil {
+		return err
+	}
+	np, err := vfs.Clean(newPath)
+	if err != nil {
+		return err
+	}
+	if op == np {
+		return nil
+	}
+	odir, oname := vfs.Split(op)
+	ndir, nname := vfs.Split(np)
+	a, err := c.dirLookup(odir, oname)
+	if err != nil {
+		return err
+	}
+	if a.isDir() {
+		return vfs.ErrNotionSup
+	}
+	if err := c.dirInsert(ndir, nname, a, false); err != nil {
+		return err
+	}
+	_, err = c.dirRemove(odir, oname, false)
+	return err
+}
+
+// Symlink implements vfs.FileSystem.
+func (c *Client) Symlink(target, linkPath string) error {
+	p, err := vfs.Clean(linkPath)
+	if err != nil {
+		return err
+	}
+	dir, name := vfs.Split(p)
+	now := time.Now().UnixNano()
+	a := attr{Mode: vfs.ModeSymlink | 0o777, Target: target, Ctime: now, Mtime: now}
+	return c.dirInsert(dir, name, a, true)
+}
+
+// Readlink implements vfs.FileSystem.
+func (c *Client) Readlink(path string) (string, error) {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return "", err
+	}
+	dir, name := vfs.Split(p)
+	a, err := c.dirLookup(dir, name)
+	if err != nil {
+		return "", err
+	}
+	if !a.isSymlink() {
+		return "", vfs.ErrInvalid
+	}
+	return a.Target, nil
+}
+
+// Truncate implements vfs.FileSystem.
+func (c *Client) Truncate(path string, size int64) error {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	dir, name := vfs.Split(p)
+	a, err := c.dirLookup(dir, name)
+	if err != nil {
+		return err
+	}
+	if a.isDir() {
+		return vfs.ErrIsDir
+	}
+	dc, err := c.dataClient(a.DataServer)
+	if err != nil {
+		return err
+	}
+	return dc.Trunc(a.DataHandle, size)
+}
+
+// Chmod implements vfs.FileSystem.
+func (c *Client) Chmod(path string, perm uint32) error {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	dir, name := vfs.Split(p)
+	a, err := c.dirLookup(dir, name)
+	if err != nil {
+		return err
+	}
+	a.Mode = (a.Mode &^ vfs.PermMask) | (perm & vfs.PermMask)
+	return c.dirUpdate(dir, name, a)
+}
+
+// Access implements vfs.FileSystem.
+func (c *Client) Access(path string, mask uint32) error {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return nil
+	}
+	dir, name := vfs.Split(p)
+	a, err := c.dirLookup(dir, name)
+	if err != nil {
+		return err
+	}
+	perm := (a.Mode & vfs.PermMask) >> 6
+	if mask&perm != mask {
+		return vfs.ErrAccess
+	}
+	return nil
+}
+
+var _ vfs.FileSystem = (*Client)(nil)

@@ -1,0 +1,266 @@
+// Package cluster boots a complete DUFS deployment inside one process:
+// a coordination ensemble, N back-end parallel filesystem instances
+// (Lustre-like, PVFS-like or plain memfs), and K DUFS client mounts —
+// the paper's experimental setup (§V: "Each client node mounts
+// multiple instances of Lustre and PVFS2 filesystems and uses DUFS to
+// merge these distinct physical partitions into one logically
+// uniformed partition").
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/backend/lustre"
+	"repro/internal/backend/memfs"
+	"repro/internal/backend/pvfs"
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+)
+
+// BackendKind selects the parallel filesystem used for the physical
+// mounts.
+type BackendKind string
+
+// Supported back-end kinds.
+const (
+	Lustre BackendKind = "lustre"
+	PVFS   BackendKind = "pvfs"
+	MemFS  BackendKind = "memfs"
+)
+
+// Config sizes the deployment.
+type Config struct {
+	// Name namespaces transport addresses so several clusters can
+	// share one in-process network.
+	Name string
+	// Net defaults to a fresh in-process network.
+	Net transport.Network
+
+	// CoordServers is the coordination ensemble size (paper: 1–8).
+	CoordServers int
+	// Backends is the number of filesystem instances DUFS unions
+	// (paper: 2 or 4).
+	Backends int
+	// Kind picks the back-end filesystem. Default Lustre.
+	Kind BackendKind
+	// ServersPerBackend sizes each back-end instance: OSS count for
+	// Lustre, metadata+data server count for PVFS. Default 2.
+	ServersPerBackend int
+
+	// LustreDelay / PVFSDelay inject per-op service time into the
+	// back-end metadata servers (real-stack shaping).
+	LustreDelay func(op uint8) time.Duration
+	PVFSDelay   func(op uint8) time.Duration
+
+	// Coord tunables (zero = package defaults).
+	HeartbeatInterval time.Duration
+	ElectionTimeout   time.Duration
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg      Config
+	net      transport.Network
+	Ensemble *coord.Ensemble
+
+	lustres []*lustre.Instance
+	pvfses  []*pvfs.Instance
+	memfses []*memfs.FS
+
+	clients []*Client
+}
+
+// Client is one DUFS mount: its session, its per-backend filesystem
+// clients and the DUFS instance built on them.
+type Client struct {
+	FS       *core.DUFS
+	Session  *coord.Session
+	Metrics  *metrics.Registry
+	backends []vfs.FileSystem
+	closers  []interface{ Close() error }
+}
+
+// Close tears the client down (session close expires its ephemerals).
+func (c *Client) Close() error {
+	err := c.Session.Close()
+	for _, cl := range c.closers {
+		cl.Close()
+	}
+	return err
+}
+
+// Start boots the deployment and waits for a coordination leader.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.CoordServers <= 0 {
+		cfg.CoordServers = 3
+	}
+	if cfg.Backends <= 0 {
+		cfg.Backends = 2
+	}
+	if cfg.ServersPerBackend <= 0 {
+		cfg.ServersPerBackend = 2
+	}
+	if cfg.Kind == "" {
+		cfg.Kind = Lustre
+	}
+	if cfg.Net == nil {
+		cfg.Net = transport.NewInProc()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "cluster"
+	}
+	c := &Cluster{cfg: cfg, net: cfg.Net}
+
+	ens, err := coord.StartEnsemble(coord.EnsembleConfig{
+		Servers:           cfg.CoordServers,
+		Net:               cfg.Net,
+		AddrPrefix:        cfg.Name + "-coord",
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		ElectionTimeout:   cfg.ElectionTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: coordination ensemble: %w", err)
+	}
+	c.Ensemble = ens
+
+	for b := 0; b < cfg.Backends; b++ {
+		switch cfg.Kind {
+		case Lustre:
+			var ossAddrs []string
+			for i := 0; i < cfg.ServersPerBackend; i++ {
+				ossAddrs = append(ossAddrs, fmt.Sprintf("%s-l%d-oss%d", cfg.Name, b, i))
+			}
+			inst, err := lustre.Start(lustre.Config{
+				Net:          cfg.Net,
+				MDSAddr:      fmt.Sprintf("%s-l%d-mds", cfg.Name, b),
+				OSSAddrs:     ossAddrs,
+				ServiceDelay: cfg.LustreDelay,
+			})
+			if err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("cluster: lustre %d: %w", b, err)
+			}
+			c.lustres = append(c.lustres, inst)
+		case PVFS:
+			var metaAddrs, dataAddrs []string
+			for i := 0; i < cfg.ServersPerBackend; i++ {
+				metaAddrs = append(metaAddrs, fmt.Sprintf("%s-p%d-meta%d", cfg.Name, b, i))
+				dataAddrs = append(dataAddrs, fmt.Sprintf("%s-p%d-data%d", cfg.Name, b, i))
+			}
+			inst, err := pvfs.Start(pvfs.Config{
+				Net:          cfg.Net,
+				MetaAddrs:    metaAddrs,
+				DataAddrs:    dataAddrs,
+				ServiceDelay: cfg.PVFSDelay,
+			})
+			if err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("cluster: pvfs %d: %w", b, err)
+			}
+			c.pvfses = append(c.pvfses, inst)
+		case MemFS:
+			c.memfses = append(c.memfses, memfs.New())
+		default:
+			c.Stop()
+			return nil, fmt.Errorf("cluster: unknown backend kind %q", cfg.Kind)
+		}
+	}
+	return c, nil
+}
+
+// NewClient attaches a fresh DUFS client (session + back-end mounts).
+// preferred picks which coordination server the session favors, so
+// clients spread across the ensemble like the paper's co-located
+// DUFS/ZooKeeper pairs.
+func (c *Cluster) NewClient(preferred int) (*Client, error) {
+	sess, err := c.Ensemble.Connect(preferred)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{Session: sess, Metrics: metrics.NewRegistry()}
+	for b := 0; b < c.cfg.Backends; b++ {
+		switch c.cfg.Kind {
+		case Lustre:
+			var ossAddrs []string
+			for i := 0; i < c.cfg.ServersPerBackend; i++ {
+				ossAddrs = append(ossAddrs, fmt.Sprintf("%s-l%d-oss%d", c.cfg.Name, b, i))
+			}
+			lc := lustre.NewClient(c.net, fmt.Sprintf("%s-l%d-mds", c.cfg.Name, b), ossAddrs)
+			cl.backends = append(cl.backends, lc)
+			cl.closers = append(cl.closers, lc)
+		case PVFS:
+			var metaAddrs, dataAddrs []string
+			for i := 0; i < c.cfg.ServersPerBackend; i++ {
+				metaAddrs = append(metaAddrs, fmt.Sprintf("%s-p%d-meta%d", c.cfg.Name, b, i))
+				dataAddrs = append(dataAddrs, fmt.Sprintf("%s-p%d-data%d", c.cfg.Name, b, i))
+			}
+			pc := pvfs.NewClient(c.net, metaAddrs, dataAddrs)
+			cl.backends = append(cl.backends, pc)
+			cl.closers = append(cl.closers, pc)
+		case MemFS:
+			cl.backends = append(cl.backends, c.memfses[b])
+		}
+	}
+	dufs, err := core.New(core.Config{
+		Session:  sess,
+		Backends: cl.backends,
+		Metrics:  cl.Metrics,
+	})
+	if err != nil {
+		sess.Close()
+		return nil, err
+	}
+	cl.FS = dufs
+	c.clients = append(c.clients, cl)
+	return cl, nil
+}
+
+// BasicLustreClient returns a plain Lustre client against back-end 0 —
+// the paper's "Basic Lustre" baseline, bypassing DUFS entirely.
+func (c *Cluster) BasicLustreClient() (*lustre.Client, error) {
+	if c.cfg.Kind != Lustre {
+		return nil, fmt.Errorf("cluster: backend kind is %q, not lustre", c.cfg.Kind)
+	}
+	var ossAddrs []string
+	for i := 0; i < c.cfg.ServersPerBackend; i++ {
+		ossAddrs = append(ossAddrs, fmt.Sprintf("%s-l0-oss%d", c.cfg.Name, i))
+	}
+	return lustre.NewClient(c.net, c.cfg.Name+"-l0-mds", ossAddrs), nil
+}
+
+// BasicPVFSClient returns a plain PVFS client against back-end 0 — the
+// paper's "Basic PVFS" baseline.
+func (c *Cluster) BasicPVFSClient() (*pvfs.Client, error) {
+	if c.cfg.Kind != PVFS {
+		return nil, fmt.Errorf("cluster: backend kind is %q, not pvfs", c.cfg.Kind)
+	}
+	var metaAddrs, dataAddrs []string
+	for i := 0; i < c.cfg.ServersPerBackend; i++ {
+		metaAddrs = append(metaAddrs, fmt.Sprintf("%s-p0-meta%d", c.cfg.Name, i))
+		dataAddrs = append(dataAddrs, fmt.Sprintf("%s-p0-data%d", c.cfg.Name, i))
+	}
+	return pvfs.NewClient(c.net, metaAddrs, dataAddrs), nil
+}
+
+// LustreInstances exposes the running Lustre back-ends (tests).
+func (c *Cluster) LustreInstances() []*lustre.Instance { return c.lustres }
+
+// Stop closes every client and shuts every server down.
+func (c *Cluster) Stop() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, inst := range c.lustres {
+		inst.Stop()
+	}
+	for _, inst := range c.pvfses {
+		inst.Stop()
+	}
+	if c.Ensemble != nil {
+		c.Ensemble.Stop()
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+var seq int
+
+func startCluster(t *testing.T, kind BackendKind, coordServers, backends int) *Cluster {
+	t.Helper()
+	seq++
+	c, err := Start(Config{
+		Name:              fmt.Sprintf("t%d", seq),
+		CoordServers:      coordServers,
+		Backends:          backends,
+		Kind:              kind,
+		ServersPerBackend: 2,
+		HeartbeatInterval: 5 * time.Millisecond,
+		ElectionTimeout:   40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestLustreBackedCluster(t *testing.T) {
+	c := startCluster(t, Lustre, 3, 2)
+	a, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.NewClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FS.Mkdir("/proj", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(a.FS, "/proj/data", []byte("lustre-backed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FS.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(b.FS, "/proj/data")
+	if err != nil || string(got) != "lustre-backed" {
+		t.Fatalf("cross-client read = %q, %v", got, err)
+	}
+	// The physical body must actually live inside one of the Lustre
+	// instances' object stores.
+	total := 0
+	for _, inst := range c.LustreInstances() {
+		for _, n := range inst.ObjectCounts() {
+			total += n
+		}
+	}
+	if total != 1 {
+		t.Fatalf("objects across Lustre instances = %d, want 1", total)
+	}
+}
+
+func TestPVFSBackedCluster(t *testing.T) {
+	c := startCluster(t, PVFS, 3, 2)
+	cl, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FS.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(cl.FS, "/d/f", []byte("pvfs-backed")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(cl.FS, "/d/f")
+	if err != nil || string(got) != "pvfs-backed" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestMemFSBackedCluster(t *testing.T) {
+	c := startCluster(t, MemFS, 1, 4)
+	cl, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := vfs.WriteFile(cl.FS, fmt.Sprintf("/f%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es, err := cl.FS.Readdir("/")
+	if err != nil || len(es) != 20 {
+		t.Fatalf("readdir = %d entries, %v", len(es), err)
+	}
+}
+
+func TestBaselineClients(t *testing.T) {
+	c := startCluster(t, Lustre, 1, 2)
+	base, err := c.BasicLustreClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	if err := vfs.WriteFile(base, "/direct", []byte("no dufs")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(base, "/direct")
+	if err != nil || string(got) != "no dufs" {
+		t.Fatalf("baseline read = %q, %v", got, err)
+	}
+	if _, err := c.BasicPVFSClient(); err == nil {
+		t.Fatal("PVFS baseline on a Lustre cluster succeeded")
+	}
+
+	p := startCluster(t, PVFS, 1, 2)
+	pbase, err := p.BasicPVFSClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pbase.Close()
+	if err := pbase.Mkdir("/raw", 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientIDsUniqueAcrossClients(t *testing.T) {
+	c := startCluster(t, MemFS, 3, 2)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 6; i++ {
+		cl, err := c.NewClient(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := cl.FS.ClientID()
+		if seen[id] {
+			t.Fatalf("duplicate client ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestUnknownBackendKind(t *testing.T) {
+	if _, err := Start(Config{Name: "bad", Kind: BackendKind("tapefs"), CoordServers: 1}); err == nil {
+		t.Fatal("unknown backend kind accepted")
+	}
+}

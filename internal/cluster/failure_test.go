@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// TestCreateRollsBackWhenBackendDown verifies DUFS's cleanup path:
+// if the znode registers but the physical create fails (back-end
+// storage unreachable), the namespace entry must be rolled back so no
+// phantom file is left behind (a create that errored must be
+// invisible).
+func TestCreateRollsBackWhenBackendDown(t *testing.T) {
+	c := startCluster(t, Lustre, 1, 2)
+	cl, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FS.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Take down every Lustre instance: physical creates now fail.
+	for _, inst := range c.LustreInstances() {
+		inst.Stop()
+	}
+	_, err = cl.FS.Create("/d/doomed", 0o644)
+	if err == nil {
+		t.Fatal("create succeeded with all back-ends down")
+	}
+	// The name must NOT exist: stat must answer ENOENT from the
+	// (healthy) coordination service, and readdir must not list it.
+	if _, serr := cl.FS.Stat("/d/doomed"); !errors.Is(serr, vfs.ErrNotExist) {
+		t.Fatalf("phantom file after failed create: stat err = %v", serr)
+	}
+	es, err := cl.FS.Readdir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 0 {
+		t.Fatalf("phantom entries after failed create: %v", es)
+	}
+	// Directory metadata operations keep working: they never touch the
+	// dead back-ends (paper §IV-A).
+	if err := cl.FS.Mkdir("/d/still-works", 0o755); err != nil {
+		t.Fatalf("directory op failed with back-ends down: %v", err)
+	}
+}
+
+// TestReadsFailCleanlyWhenBackendDown: file data ops report errors,
+// they do not hang or corrupt the namespace.
+func TestReadsFailCleanlyWhenBackendDown(t *testing.T) {
+	c := startCluster(t, Lustre, 1, 2)
+	cl, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(cl.FS, "/f", []byte("pre-failure")); err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range c.LustreInstances() {
+		inst.Stop()
+	}
+	if _, err := vfs.ReadFile(cl.FS, "/f"); err == nil {
+		t.Fatal("read succeeded with back-ends down")
+	}
+	// The namespace still knows the file (metadata lives in the
+	// coordination service); only the body is unreachable.
+	es, err := cl.FS.Readdir("/")
+	if err != nil || len(es) != 1 {
+		t.Fatalf("readdir = %v, %v", es, err)
+	}
+}

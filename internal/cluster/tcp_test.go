@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/backend/lustre"
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+)
+
+// TestDUFSOverTCPEndToEnd deploys the entire stack over real sockets:
+// a 3-server coordination ensemble, one Lustre-like instance (MDS +
+// 2 OSS), and a DUFS client — every RPC crossing the loopback TCP
+// stack, as a real deployment via cmd/coordd would.
+func TestDUFSOverTCPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tcp := transport.TCP{}
+	port := func() string {
+		ln, err := tcp.Listen("127.0.0.1:0", transport.HandlerFunc(func(b []byte) ([]byte, error) { return b, nil }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.(interface{ Addr() net.Addr }).Addr().String()
+		ln.Close()
+		return addr
+	}
+
+	// Coordination ensemble.
+	peers := map[uint64]string{1: port(), 2: port(), 3: port()}
+	var clientAddrs []string
+	var servers []*coord.Server
+	for id := uint64(1); id <= 3; id++ {
+		ca := port()
+		srv, err := coord.NewServer(coord.ServerConfig{
+			ID: id, PeerAddrs: peers, ClientAddr: ca, Net: tcp,
+			HeartbeatInterval: 10 * time.Millisecond,
+			ElectionTimeout:   80 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Stop()
+		servers = append(servers, srv)
+		clientAddrs = append(clientAddrs, ca)
+	}
+	ens := &coord.Ensemble{Servers: servers, ClientAddrs: clientAddrs}
+	if err := ens.WaitLeader(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// One Lustre instance over TCP.
+	mdsAddr := port()
+	ossAddrs := []string{port(), port()}
+	inst, err := lustre.Start(lustre.Config{Net: tcp, MDSAddr: mdsAddr, OSSAddrs: ossAddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+
+	// DUFS client.
+	sess, err := coord.Connect(tcp, clientAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	lc := lustre.NewClient(tcp, mdsAddr, ossAddrs)
+	defer lc.Close()
+	dufs, err := core.New(core.Config{
+		Session:  sess,
+		Backends: []vfs.FileSystem{lc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exercise the full surface over sockets.
+	if err := dufs.Mkdir("/tcp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := vfs.WriteFile(dufs, fmt.Sprintf("/tcp/f%d", i), []byte("over-the-wire")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es, err := dufs.Readdir("/tcp")
+	if err != nil || len(es) != 10 {
+		t.Fatalf("readdir = %d entries, %v", len(es), err)
+	}
+	got, err := vfs.ReadFile(dufs, "/tcp/f7")
+	if err != nil || string(got) != "over-the-wire" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if err := dufs.Rename("/tcp/f7", "/tcp/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := dufs.Stat("/tcp/renamed")
+	if err != nil || fi.Size != 13 {
+		t.Fatalf("stat = %+v, %v", fi, err)
+	}
+	// The object bodies really are on the TCP Lustre instance.
+	total := 0
+	for _, n := range inst.ObjectCounts() {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("objects on lustre = %d, want 10", total)
+	}
+}

@@ -1,0 +1,134 @@
+// Package coord implements the client-facing layer of the
+// coordination service: the ZooKeeper-equivalent DUFS depends on
+// (paper §II-C, §IV-D).
+//
+// A Server couples a znode.Tree state machine with a zab.Node replica.
+// Clients connect to any server with a Session; read operations
+// (Get/Exists/Children) are served from that server's local replica —
+// which is why read throughput scales with the number of servers in
+// Fig 7d — while write operations (Create/Set/Delete) are proposed
+// through the atomic broadcast and therefore slow down as the ensemble
+// grows (Fig 7a–c).
+package coord
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coord/znode"
+	"repro/internal/wire"
+)
+
+// Op codes of the client protocol and of replicated transactions.
+const (
+	opCreate uint8 = iota + 1
+	opDelete
+	opSet
+	opGet
+	opExists
+	opChildren
+	opNewSession
+	opCloseSession
+	opStatus
+	opSync
+	opGetWatch
+	opExistsWatch
+	opChildrenWatch
+	opPollEvents
+)
+
+// Status codes carried in replies. They replicate deterministically as
+// part of the transaction result, so every replica agrees on the
+// outcome of every write.
+const (
+	codeOK uint8 = iota
+	codeNoNode
+	codeNodeExists
+	codeNotEmpty
+	codeBadVersion
+	codeBadPath
+	codeNoParent
+	codeOther
+)
+
+// Error values surfaced to DUFS. They intentionally mirror the znode
+// package errors; the mapping crosses the wire as a status code.
+var (
+	ErrNoNode     = znode.ErrNoNode
+	ErrNodeExists = znode.ErrNodeExists
+	ErrNotEmpty   = znode.ErrNotEmpty
+	ErrBadVersion = znode.ErrBadVersion
+	ErrBadPath    = znode.ErrBadPath
+	ErrNoParent   = znode.ErrNoParent
+)
+
+func codeForError(err error) uint8 {
+	switch {
+	case err == nil:
+		return codeOK
+	case errors.Is(err, znode.ErrNoNode):
+		return codeNoNode
+	case errors.Is(err, znode.ErrNodeExists):
+		return codeNodeExists
+	case errors.Is(err, znode.ErrNotEmpty):
+		return codeNotEmpty
+	case errors.Is(err, znode.ErrBadVersion):
+		return codeBadVersion
+	case errors.Is(err, znode.ErrBadPath):
+		return codeBadPath
+	case errors.Is(err, znode.ErrNoParent):
+		return codeNoParent
+	default:
+		return codeOther
+	}
+}
+
+func errorForCode(code uint8, detail string) error {
+	switch code {
+	case codeOK:
+		return nil
+	case codeNoNode:
+		return ErrNoNode
+	case codeNodeExists:
+		return ErrNodeExists
+	case codeNotEmpty:
+		return ErrNotEmpty
+	case codeBadVersion:
+		return ErrBadVersion
+	case codeBadPath:
+		return ErrBadPath
+	case codeNoParent:
+		return ErrNoParent
+	default:
+		if detail == "" {
+			detail = "unknown coordination error"
+		}
+		return fmt.Errorf("coord: %s", detail)
+	}
+}
+
+func encodeStat(w *wire.Writer, s znode.Stat) {
+	w.Uint64(s.Czxid)
+	w.Uint64(s.Mzxid)
+	w.Int64(s.Ctime)
+	w.Int64(s.Mtime)
+	w.Int32(s.Version)
+	w.Int32(s.Cversion)
+	w.Int32(s.NumChildren)
+	w.Int32(s.DataLength)
+	w.Uint64(s.EphemeralOwner)
+}
+
+func decodeStat(r *wire.Reader) znode.Stat {
+	return znode.Stat{
+		Czxid:          r.Uint64(),
+		Mzxid:          r.Uint64(),
+		Ctime:          r.Int64(),
+		Mtime:          r.Int64(),
+		Version:        r.Int32(),
+		Cversion:       r.Int32(),
+		NumChildren:    r.Int32(),
+		DataLength:     r.Int32(),
+		EphemeralOwner: r.Uint64(),
+	}
+}

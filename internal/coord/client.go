@@ -1,0 +1,396 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/coord/znode"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Session is a client connection to the coordination service,
+// equivalent to a ZooKeeper handle. DUFS uses the synchronous API
+// exactly as the paper does ("The synchronous ZooKeeper API were used
+// for this purpose", §IV-D).
+//
+// A session connects to one server; reads are answered by that server
+// from its local replica, writes are forwarded by the server through
+// the atomic broadcast. If the server dies, the session fails over to
+// the next address in its list.
+type Session struct {
+	net   transport.Network
+	addrs []string
+	seq   atomic.Uint64 // per-session write sequence, for exact-once retries
+
+	mu     sync.Mutex
+	conn   transport.Conn
+	cur    int // index into addrs of the current server
+	id     uint64
+	closed bool
+}
+
+// DialTimeout bounds how long Connect and request retries keep trying
+// before giving up (elections take a few heartbeats to settle).
+const DialTimeout = 10 * time.Second
+
+// Connect establishes a session against any of the given client
+// addresses. The first address that accepts the session wins; the
+// rest serve as failover targets.
+func Connect(net transport.Network, addrs []string) (*Session, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("coord: no server addresses")
+	}
+	s := &Session{net: net, addrs: append([]string(nil), addrs...)}
+	resp, err := s.request(encodeNewSessionTxn())
+	if err != nil {
+		return nil, fmt.Errorf("coord: establishing session: %w", err)
+	}
+	r := wire.NewReader(resp)
+	s.id = r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("coord: malformed session reply: %w", err)
+	}
+	return s, nil
+}
+
+// ID returns the unique session ID assigned by the replicated state
+// machine. DUFS uses it as the 64-bit client ID half of new FIDs.
+func (s *Session) ID() uint64 { return s.id }
+
+// Close terminates the session, expiring its ephemeral nodes.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	_, err := s.request(encodeCloseSessionTxn(s.id, s.seq.Add(1)))
+	s.mu.Lock()
+	s.closed = true
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// getConn returns the live connection, dialing (with failover) if
+// necessary. It never holds the lock across a dial of more than one
+// candidate address.
+func (s *Session) getConn() (transport.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("coord: session closed")
+	}
+	if s.conn != nil {
+		return s.conn, nil
+	}
+	var lastErr error
+	for i := 0; i < len(s.addrs); i++ {
+		addr := s.addrs[(s.cur+i)%len(s.addrs)]
+		c, err := s.net.Dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s.cur = (s.cur + i) % len(s.addrs)
+		s.conn = c
+		return c, nil
+	}
+	return nil, fmt.Errorf("coord: all servers unreachable: %w", lastErr)
+}
+
+func (s *Session) dropConn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	s.cur = (s.cur + 1) % len(s.addrs) // try the next server first
+}
+
+// request sends one protocol message and returns the payload after the
+// status header, retrying transient failures (dead server, election in
+// progress) until DialTimeout.
+func (s *Session) request(msg []byte) ([]byte, error) {
+	deadline := time.Now().Add(DialTimeout)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("coord: request failed after retries: %w", lastErr)
+		}
+		c, err := s.getConn()
+		if err != nil {
+			lastErr = err
+			time.Sleep(retryDelay(attempt))
+			continue
+		}
+		resp, err := c.Call(msg)
+		if err != nil {
+			lastErr = err
+			var remote *transport.RemoteError
+			if errors.As(err, &remote) {
+				// The server is alive but the proposal failed (e.g. an
+				// election is in flight). Retry on the same server.
+				time.Sleep(retryDelay(attempt))
+				continue
+			}
+			s.dropConn()
+			time.Sleep(retryDelay(attempt))
+			continue
+		}
+		r := wire.NewReader(resp)
+		code := r.Uint8()
+		detail := r.String()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("coord: malformed reply: %w", err)
+		}
+		if err := errorForCode(code, detail); err != nil {
+			return nil, err
+		}
+		return resp[len(resp)-r.Remaining():], nil
+	}
+}
+
+func retryDelay(attempt int) time.Duration {
+	d := time.Duration(attempt+1) * 2 * time.Millisecond
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// Create creates a znode and returns the created path (which differs
+// from the requested path for sequential modes).
+func (s *Session) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	msg := encodeCreateTxn(path, data, mode, s.id, s.seq.Add(1), time.Now().UnixNano())
+	payload, err := s.request(msg)
+	if err != nil {
+		return "", err
+	}
+	r := wire.NewReader(payload)
+	created := r.String()
+	if err := r.Err(); err != nil {
+		return "", fmt.Errorf("coord: malformed create reply: %w", err)
+	}
+	return created, nil
+}
+
+// Get returns the znode's data and stat.
+func (s *Session) Get(path string) ([]byte, znode.Stat, error) {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opGet)
+	w.String(path)
+	payload, err := s.request(w.Bytes())
+	if err != nil {
+		return nil, znode.Stat{}, err
+	}
+	r := wire.NewReader(payload)
+	data := r.BytesCopy32()
+	stat := decodeStat(r)
+	if err := r.Err(); err != nil {
+		return nil, znode.Stat{}, fmt.Errorf("coord: malformed get reply: %w", err)
+	}
+	return data, stat, nil
+}
+
+// Set replaces the znode's data; version -1 disables the optimistic
+// concurrency check.
+func (s *Session) Set(path string, data []byte, version int32) (znode.Stat, error) {
+	msg := encodeSetTxn(path, data, version, s.id, s.seq.Add(1), time.Now().UnixNano())
+	payload, err := s.request(msg)
+	if err != nil {
+		return znode.Stat{}, err
+	}
+	r := wire.NewReader(payload)
+	stat := decodeStat(r)
+	if err := r.Err(); err != nil {
+		return znode.Stat{}, fmt.Errorf("coord: malformed set reply: %w", err)
+	}
+	return stat, nil
+}
+
+// Delete removes a childless znode; version -1 disables the check.
+func (s *Session) Delete(path string, version int32) error {
+	_, err := s.request(encodeDeleteTxn(path, version, s.id, s.seq.Add(1)))
+	return err
+}
+
+// Exists returns the stat and whether the znode exists.
+func (s *Session) Exists(path string) (znode.Stat, bool, error) {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opExists)
+	w.String(path)
+	payload, err := s.request(w.Bytes())
+	if err != nil {
+		return znode.Stat{}, false, err
+	}
+	r := wire.NewReader(payload)
+	ok := r.Bool()
+	stat := decodeStat(r)
+	if err := r.Err(); err != nil {
+		return znode.Stat{}, false, fmt.Errorf("coord: malformed exists reply: %w", err)
+	}
+	return stat, ok, nil
+}
+
+// Children returns the sorted child names of the znode.
+func (s *Session) Children(path string) ([]string, error) {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opChildren)
+	w.String(path)
+	payload, err := s.request(w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(payload)
+	kids := r.StringSlice()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("coord: malformed children reply: %w", err)
+	}
+	return kids, nil
+}
+
+// GetW is Get plus a one-shot data watch: the next create/delete/set
+// on the path (as applied by the session's server) queues an Event
+// retrievable with PollEvents. A failed GetW leaves no watch.
+func (s *Session) GetW(path string) ([]byte, znode.Stat, error) {
+	w := wire.NewWriter(16 + len(path))
+	w.Uint8(opGetWatch)
+	w.Uint64(s.id)
+	w.String(path)
+	payload, err := s.request(w.Bytes())
+	if err != nil {
+		return nil, znode.Stat{}, err
+	}
+	r := wire.NewReader(payload)
+	data := r.BytesCopy32()
+	stat := decodeStat(r)
+	if err := r.Err(); err != nil {
+		return nil, znode.Stat{}, fmt.Errorf("coord: malformed getw reply: %w", err)
+	}
+	return data, stat, nil
+}
+
+// ExistsW is Exists plus a one-shot watch; it fires on creation of a
+// currently-absent node as well, matching ZooKeeper.
+func (s *Session) ExistsW(path string) (znode.Stat, bool, error) {
+	w := wire.NewWriter(16 + len(path))
+	w.Uint8(opExistsWatch)
+	w.Uint64(s.id)
+	w.String(path)
+	payload, err := s.request(w.Bytes())
+	if err != nil {
+		return znode.Stat{}, false, err
+	}
+	r := wire.NewReader(payload)
+	ok := r.Bool()
+	stat := decodeStat(r)
+	if err := r.Err(); err != nil {
+		return znode.Stat{}, false, fmt.Errorf("coord: malformed existsw reply: %w", err)
+	}
+	return stat, ok, nil
+}
+
+// ChildrenW is Children plus a one-shot child watch (fires when an
+// entry is added to or removed from the directory, or the directory
+// itself is deleted).
+func (s *Session) ChildrenW(path string) ([]string, error) {
+	w := wire.NewWriter(16 + len(path))
+	w.Uint8(opChildrenWatch)
+	w.Uint64(s.id)
+	w.String(path)
+	payload, err := s.request(w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(payload)
+	kids := r.StringSlice()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("coord: malformed childrenw reply: %w", err)
+	}
+	return kids, nil
+}
+
+// PollEvents drains the session's fired watches on its server.
+// Delivery is pull-based (the transport is request/response); watches
+// are one-shot and server-local, as in ZooKeeper.
+func (s *Session) PollEvents() ([]Event, error) {
+	w := wire.NewWriter(16)
+	w.Uint8(opPollEvents)
+	w.Uint64(s.id)
+	payload, err := s.request(w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(payload)
+	evs := decodeEvents(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("coord: malformed events reply: %w", err)
+	}
+	return evs, nil
+}
+
+// WaitEvent polls until an event arrives or the timeout expires.
+func (s *Session) WaitEvent(timeout time.Duration) ([]Event, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		evs, err := s.PollEvents()
+		if err != nil || len(evs) > 0 {
+			return evs, err
+		}
+		if time.Now().After(deadline) {
+			return nil, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Sync is ZooKeeper's sync(): a no-op barrier through the atomic
+// broadcast. When it returns, the session's server has applied every
+// write committed before the call, so subsequent local reads observe
+// them — the cross-client visibility guarantee DUFS needs after
+// another client's mutation.
+func (s *Session) Sync() error {
+	_, err := s.request(encodeSyncTxn(s.id, s.seq.Add(1)))
+	return err
+}
+
+// Status reports a server's view of the ensemble, for tools and tests.
+type Status struct {
+	ServerID uint64
+	LeaderID uint64
+	Epoch    uint64
+	IsLeader bool
+	Znodes   uint64
+}
+
+// Status queries the connected server.
+func (s *Session) Status() (Status, error) {
+	w := wire.NewWriter(1)
+	w.Uint8(opStatus)
+	payload, err := s.request(w.Bytes())
+	if err != nil {
+		return Status{}, err
+	}
+	r := wire.NewReader(payload)
+	st := Status{
+		ServerID: r.Uint64(),
+		LeaderID: r.Uint64(),
+		Epoch:    r.Uint64(),
+		IsLeader: r.Bool(),
+		Znodes:   r.Uint64(),
+	}
+	if err := r.Err(); err != nil {
+		return Status{}, fmt.Errorf("coord: malformed status reply: %w", err)
+	}
+	return st, nil
+}

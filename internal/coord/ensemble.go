@@ -1,0 +1,126 @@
+package coord
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// EnsembleConfig parameterizes StartEnsemble.
+type EnsembleConfig struct {
+	// Servers is the ensemble size (1, 3, 5, ... — an even size works
+	// but wastes a vote, exactly as in ZooKeeper).
+	Servers int
+	// Net is the shared transport.
+	Net transport.Network
+	// AddrPrefix namespaces the listen addresses; for TCP use
+	// "127.0.0.1:0"-style addresses via AddrFor instead.
+	AddrPrefix string
+	// AddrFor, when non-nil, overrides address generation. kind is
+	// "peer" or "client".
+	AddrFor func(id uint64, kind string) string
+
+	HeartbeatInterval time.Duration
+	ElectionTimeout   time.Duration
+	MaxLogEntries     int
+}
+
+// Ensemble is a running coordination service.
+type Ensemble struct {
+	Servers     []*Server
+	ClientAddrs []string
+	net         transport.Network
+}
+
+// StartEnsemble boots a full coordination ensemble and waits for a
+// leader, mirroring how the paper runs 1–8 ZooKeeper servers
+// (§V-A/V-B).
+func StartEnsemble(cfg EnsembleConfig) (*Ensemble, error) {
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("coord: ensemble needs at least one server, got %d", cfg.Servers)
+	}
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("coord: ensemble needs a transport")
+	}
+	addrFor := cfg.AddrFor
+	if addrFor == nil {
+		addrFor = func(id uint64, kind string) string {
+			return fmt.Sprintf("%s-%s-%d", cfg.AddrPrefix, kind, id)
+		}
+	}
+	peers := make(map[uint64]string, cfg.Servers)
+	for i := 1; i <= cfg.Servers; i++ {
+		peers[uint64(i)] = addrFor(uint64(i), "peer")
+	}
+	e := &Ensemble{net: cfg.Net}
+	for i := 1; i <= cfg.Servers; i++ {
+		clientAddr := addrFor(uint64(i), "client")
+		srv, err := NewServer(ServerConfig{
+			ID:                uint64(i),
+			PeerAddrs:         peers,
+			ClientAddr:        clientAddr,
+			Net:               cfg.Net,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			ElectionTimeout:   cfg.ElectionTimeout,
+			MaxLogEntries:     cfg.MaxLogEntries,
+		})
+		if err != nil {
+			e.Stop()
+			return nil, err
+		}
+		e.Servers = append(e.Servers, srv)
+		e.ClientAddrs = append(e.ClientAddrs, clientAddr)
+	}
+	if err := e.WaitLeader(10 * time.Second); err != nil {
+		e.Stop()
+		return nil, err
+	}
+	return e, nil
+}
+
+// WaitLeader blocks until a leader is elected or the timeout expires.
+func (e *Ensemble) WaitLeader(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, s := range e.Servers {
+			if s.IsLeader() {
+				return nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("coord: no leader within %v", timeout)
+}
+
+// Leader returns the current leader server, or nil.
+func (e *Ensemble) Leader() *Server {
+	for _, s := range e.Servers {
+		if s.IsLeader() {
+			return s
+		}
+	}
+	return nil
+}
+
+// Connect opens a session against the ensemble. preferred selects the
+// server index (sessions spread across servers, like the paper's DUFS
+// clients each talking to a co-located ZooKeeper server); a negative
+// value keeps the natural failover order.
+func (e *Ensemble) Connect(preferred int) (*Session, error) {
+	addrs := append([]string(nil), e.ClientAddrs...)
+	if preferred >= 0 && len(addrs) > 1 {
+		p := preferred % len(addrs)
+		addrs[0], addrs[p] = addrs[p], addrs[0]
+	}
+	return Connect(e.net, addrs)
+}
+
+// Stop shuts every server down.
+func (e *Ensemble) Stop() {
+	for _, s := range e.Servers {
+		if s != nil {
+			s.Stop()
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package coord
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/coord/zab"
+	"repro/internal/coord/znode"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ServerConfig describes one coordination server.
+type ServerConfig struct {
+	// ID is this server's ensemble identity (key of PeerAddrs).
+	ID uint64
+	// PeerAddrs maps every ensemble member to its peer-traffic address.
+	PeerAddrs map[uint64]string
+	// ClientAddr is where this server accepts client sessions.
+	ClientAddr string
+	// Net is the transport for both peer and client traffic.
+	Net transport.Network
+
+	// Tunables forwarded to the replication layer (zero = defaults).
+	HeartbeatInterval time.Duration
+	ElectionTimeout   time.Duration
+	MaxLogEntries     int
+
+	// Checkpoint, when non-nil, primes the server from a durable
+	// snapshot produced by Server.Checkpoint (paper §IV-I: ZooKeeper
+	// tolerates the failure of all servers by restarting from disk).
+	Checkpoint     []byte
+	CheckpointZxid uint64
+}
+
+// Server is one member of the coordination ensemble: a replicated
+// znode tree plus the client-facing request pipeline.
+type Server struct {
+	cfg      ServerConfig
+	sm       *stateMachine
+	node     *zab.Node
+	clientLn io.Closer
+	reg      *metrics.Registry
+	watches  *watchTable
+}
+
+// NewServer builds and starts a coordination server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	sm := newStateMachine()
+	watches := newWatchTable()
+	sm.notify = func(op uint8, path string, session uint64, ok bool) {
+		if op == opCloseSession {
+			watches.dropSession(session)
+			return
+		}
+		watches.observeApply(op, path, ok)
+	}
+	node, err := zab.NewNode(zab.Config{
+		ID:                cfg.ID,
+		Peers:             cfg.PeerAddrs,
+		Net:               cfg.Net,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		ElectionTimeout:   cfg.ElectionTimeout,
+		MaxLogEntries:     cfg.MaxLogEntries,
+		InitialSnapshot:   cfg.Checkpoint,
+		InitialZxid:       cfg.CheckpointZxid,
+	}, sm)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, sm: sm, node: node, reg: metrics.NewRegistry(), watches: watches}
+	if err := node.Start(); err != nil {
+		return nil, err
+	}
+	ln, err := cfg.Net.Listen(cfg.ClientAddr, transport.HandlerFunc(s.handleClient))
+	if err != nil {
+		node.Stop()
+		return nil, fmt.Errorf("coord: client listener: %w", err)
+	}
+	s.clientLn = ln
+	return s, nil
+}
+
+// Stop shuts the server down.
+func (s *Server) Stop() {
+	if s.clientLn != nil {
+		s.clientLn.Close()
+	}
+	s.node.Stop()
+}
+
+// ID returns the server's ensemble identity.
+func (s *Server) ID() uint64 { return s.cfg.ID }
+
+// IsLeader reports whether this server currently leads the ensemble.
+func (s *Server) IsLeader() bool { return s.node.IsLeader() }
+
+// LeaderID returns the current leader's ID, or 0 if unknown.
+func (s *Server) LeaderID() uint64 { return s.node.LeaderID() }
+
+// Tree exposes the server's local replica for read-side inspection
+// (memory accounting, tests). Mutations must go through sessions.
+func (s *Server) Tree() *znode.Tree { return s.sm.treeRef() }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// DebugString reports the underlying replication state (diagnostics).
+func (s *Server) DebugString() string { return s.node.DebugString() }
+
+// Checkpoint serializes the applied state for durable storage.
+func (s *Server) Checkpoint() (snap []byte, zxid uint64) {
+	return s.node.Checkpoint()
+}
+
+// handleClient implements the client protocol. Reads are served from
+// the local replica (the source of Fig 7d's read scaling); writes are
+// proposed through the atomic broadcast.
+func (s *Server) handleClient(req []byte) ([]byte, error) {
+	r := wire.NewReader(req)
+	op := r.Uint8()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	switch op {
+	case opGet:
+		path := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.reg.Counter("reads").Inc()
+		data, stat, err := s.sm.treeRef().Get(path)
+		if err != nil {
+			return errResult(err), nil
+		}
+		return okResult(func(w *wire.Writer) {
+			w.Bytes32(data)
+			encodeStat(w, stat)
+		}), nil
+	case opExists:
+		path := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.reg.Counter("reads").Inc()
+		stat, ok := s.sm.treeRef().Exists(path)
+		return okResult(func(w *wire.Writer) {
+			w.Bool(ok)
+			encodeStat(w, stat)
+		}), nil
+	case opChildren:
+		path := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.reg.Counter("reads").Inc()
+		kids, err := s.sm.treeRef().Children(path)
+		if err != nil {
+			return errResult(err), nil
+		}
+		return okResult(func(w *wire.Writer) { w.StringSlice(kids) }), nil
+	case opStatus:
+		return okResult(func(w *wire.Writer) {
+			w.Uint64(s.cfg.ID)
+			w.Uint64(s.node.LeaderID())
+			w.Uint64(s.node.Epoch())
+			w.Bool(s.node.IsLeader())
+			w.Uint64(uint64(s.sm.treeRef().Count()))
+		}), nil
+	case opGetWatch:
+		session := r.Uint64()
+		path := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.reg.Counter("reads").Inc()
+		// Register before reading so no mutation can slip between the
+		// read and the watch (a mutation in the window fires a
+		// conservative extra event instead of being missed).
+		s.watches.register(watchData, path, session)
+		data, stat, err := s.sm.treeRef().Get(path)
+		if err != nil {
+			// Like ZooKeeper, a failed get leaves no watch.
+			s.watches.unregister(watchData, path, session)
+			return errResult(err), nil
+		}
+		return okResult(func(w *wire.Writer) {
+			w.Bytes32(data)
+			encodeStat(w, stat)
+		}), nil
+	case opExistsWatch:
+		session := r.Uint64()
+		path := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.reg.Counter("reads").Inc()
+		stat, ok := s.sm.treeRef().Exists(path)
+		// exists() watches fire on creation too, so register either way.
+		s.watches.register(watchData, path, session)
+		return okResult(func(w *wire.Writer) {
+			w.Bool(ok)
+			encodeStat(w, stat)
+		}), nil
+	case opChildrenWatch:
+		session := r.Uint64()
+		path := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.reg.Counter("reads").Inc()
+		s.watches.register(watchChildren, path, session)
+		kids, err := s.sm.treeRef().Children(path)
+		if err != nil {
+			s.watches.unregister(watchChildren, path, session)
+			return errResult(err), nil
+		}
+		return okResult(func(w *wire.Writer) { w.StringSlice(kids) }), nil
+	case opPollEvents:
+		session := r.Uint64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		evs := s.watches.drain(session)
+		return okResult(func(w *wire.Writer) { encodeEvents(w, evs) }), nil
+	case opCreate, opDelete, opSet, opNewSession, opCloseSession, opSync:
+		// The remaining request payload after the op byte is already in
+		// transaction layout; re-prefix the op and propose it whole.
+		s.reg.Counter("writes").Inc()
+		result, err := s.node.Propose(req)
+		if err != nil {
+			return nil, fmt.Errorf("coord: proposal failed: %w", err)
+		}
+		return result, nil
+	default:
+		return nil, fmt.Errorf("coord: unknown client op %d", op)
+	}
+}
+
+// treeRef returns the current tree pointer under the state-machine
+// lock, so a concurrent snapshot Restore cannot race the read side.
+func (s *stateMachine) treeRef() *znode.Tree {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree
+}

@@ -1,0 +1,368 @@
+package coord
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/coord/znode"
+	"repro/internal/wire"
+)
+
+// stateMachine is the replicated application state: the znode tree
+// plus session bookkeeping. It implements zab.StateMachine. All write
+// outcomes — including application-level failures like "node exists" —
+// are encoded into the returned result bytes so replicas stay
+// identical no matter which outcome occurred.
+//
+// Write transactions carry a per-session sequence number. The state
+// machine remembers each session's last applied sequence and result,
+// so a client retry of a write that already committed (leader change,
+// dropped reply) returns the original result instead of re-executing —
+// exact-once semantics per session, the same guarantee a ZooKeeper
+// server gives reconnecting clients.
+type stateMachine struct {
+	mu          sync.Mutex
+	tree        *znode.Tree
+	sessions    map[uint64]bool
+	nextSession uint64
+	dedup       map[uint64]*dedupWindow
+
+	// notify, when set, observes every applied mutation on this
+	// replica (op code, affected path, acting session, success). The
+	// server uses it to fire watches and clean up session queues; it
+	// is server-local, not replicated state.
+	notify func(op uint8, path string, session uint64, ok bool)
+}
+
+// dedupWindow remembers a session's most recent write results, keyed
+// by exact sequence number. Concurrent requests on one session may
+// commit out of order, so only an exact seq match is a retry; the
+// window is bounded (oldest entries evicted FIFO) because a client
+// only ever retries its in-flight requests.
+type dedupWindow struct {
+	results map[uint64][]byte
+	order   []uint64
+}
+
+// dedupWindowSize bounds remembered results per session. It must
+// exceed the client's maximum concurrent in-flight writes.
+const dedupWindowSize = 256
+
+func (w *dedupWindow) lookup(seq uint64) ([]byte, bool) {
+	r, ok := w.results[seq]
+	return r, ok
+}
+
+func (w *dedupWindow) store(seq uint64, result []byte) {
+	if _, dup := w.results[seq]; dup {
+		return
+	}
+	w.results[seq] = result
+	w.order = append(w.order, seq)
+	for len(w.order) > dedupWindowSize {
+		delete(w.results, w.order[0])
+		w.order = w.order[1:]
+	}
+}
+
+func newStateMachine() *stateMachine {
+	return &stateMachine{
+		tree:     znode.New(),
+		sessions: make(map[uint64]bool),
+		dedup:    make(map[uint64]*dedupWindow),
+	}
+}
+
+// Transaction layouts (after the op byte):
+//
+//	create:       session u64, seq u64, path, data, mode u8, nowNano i64
+//	delete:       session u64, seq u64, path, version i32
+//	set:          session u64, seq u64, path, data, version i32, nowNano i64
+//	newSession:   (nothing)
+//	closeSession: session u64, seq u64
+//
+// Session 0 / seq 0 marks an undeduplicated transaction (session
+// establishment happens before the client has an identity).
+func encodeCreateTxn(path string, data []byte, mode znode.CreateMode, session, seq uint64, nowNano int64) []byte {
+	w := wire.NewWriter(48 + len(path) + len(data))
+	w.Uint8(opCreate)
+	w.Uint64(session)
+	w.Uint64(seq)
+	w.String(path)
+	w.Bytes32(data)
+	w.Uint8(uint8(mode))
+	w.Int64(nowNano)
+	return w.Bytes()
+}
+
+func encodeDeleteTxn(path string, version int32, session, seq uint64) []byte {
+	w := wire.NewWriter(32 + len(path))
+	w.Uint8(opDelete)
+	w.Uint64(session)
+	w.Uint64(seq)
+	w.String(path)
+	w.Int32(version)
+	return w.Bytes()
+}
+
+func encodeSetTxn(path string, data []byte, version int32, session, seq uint64, nowNano int64) []byte {
+	w := wire.NewWriter(48 + len(path) + len(data))
+	w.Uint8(opSet)
+	w.Uint64(session)
+	w.Uint64(seq)
+	w.String(path)
+	w.Bytes32(data)
+	w.Int32(version)
+	w.Int64(nowNano)
+	return w.Bytes()
+}
+
+func encodeNewSessionTxn() []byte {
+	w := wire.NewWriter(1)
+	w.Uint8(opNewSession)
+	return w.Bytes()
+}
+
+func encodeCloseSessionTxn(session, seq uint64) []byte {
+	w := wire.NewWriter(24)
+	w.Uint8(opCloseSession)
+	w.Uint64(session)
+	w.Uint64(seq)
+	return w.Bytes()
+}
+
+func encodeSyncTxn(session, seq uint64) []byte {
+	w := wire.NewWriter(24)
+	w.Uint8(opSync)
+	w.Uint64(session)
+	w.Uint64(seq)
+	return w.Bytes()
+}
+
+// okResult builds a successful result with an optional payload writer.
+func okResult(fill func(w *wire.Writer)) []byte {
+	w := wire.NewWriter(64)
+	w.Uint8(codeOK)
+	w.String("") // detail
+	if fill != nil {
+		fill(w)
+	}
+	return w.Bytes()
+}
+
+func errResult(err error) []byte {
+	w := wire.NewWriter(64)
+	w.Uint8(codeForError(err))
+	w.String(err.Error())
+	return w.Bytes()
+}
+
+// Apply implements zab.StateMachine.
+func (s *stateMachine) Apply(txn []byte, zxid uint64) []byte {
+	r := wire.NewReader(txn)
+	op := r.Uint8()
+	if r.Err() != nil {
+		return errResult(fmt.Errorf("malformed transaction: %w", r.Err()))
+	}
+	if op == opNewSession {
+		s.mu.Lock()
+		s.nextSession++
+		id := s.nextSession
+		s.sessions[id] = true
+		s.mu.Unlock()
+		return okResult(func(w *wire.Writer) { w.Uint64(id) })
+	}
+
+	session := r.Uint64()
+	seq := r.Uint64()
+	if err := r.Err(); err != nil {
+		return errResult(err)
+	}
+	if session != 0 && seq != 0 {
+		s.mu.Lock()
+		if w, ok := s.dedup[session]; ok {
+			if cached, hit := w.lookup(seq); hit {
+				s.mu.Unlock()
+				return cached // retry of an already-applied write
+			}
+		}
+		s.mu.Unlock()
+	}
+	result := s.applyWrite(op, session, r, zxid)
+	if session != 0 && seq != 0 {
+		s.mu.Lock()
+		w, ok := s.dedup[session]
+		if !ok {
+			w = &dedupWindow{results: make(map[uint64][]byte)}
+			s.dedup[session] = w
+		}
+		w.store(seq, result)
+		s.mu.Unlock()
+	}
+	return result
+}
+
+func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid uint64) []byte {
+	switch op {
+	case opCreate:
+		path := r.String()
+		data := r.BytesCopy32()
+		mode := znode.CreateMode(r.Uint8())
+		now := r.Int64()
+		if err := r.Err(); err != nil {
+			return errResult(err)
+		}
+		created, err := s.tree.Create(path, data, mode, session, zxid, now)
+		if s.notify != nil {
+			s.notify(opCreate, created, session, err == nil)
+		}
+		if err != nil {
+			return errResult(err)
+		}
+		return okResult(func(w *wire.Writer) { w.String(created) })
+	case opDelete:
+		path := r.String()
+		version := r.Int32()
+		if err := r.Err(); err != nil {
+			return errResult(err)
+		}
+		derr := s.tree.Delete(path, version, zxid)
+		if s.notify != nil {
+			s.notify(opDelete, path, session, derr == nil)
+		}
+		if derr != nil {
+			return errResult(derr)
+		}
+		return okResult(nil)
+	case opSet:
+		path := r.String()
+		data := r.BytesCopy32()
+		version := r.Int32()
+		now := r.Int64()
+		if err := r.Err(); err != nil {
+			return errResult(err)
+		}
+		stat, err := s.tree.Set(path, data, version, zxid, now)
+		if s.notify != nil {
+			s.notify(opSet, path, session, err == nil)
+		}
+		if err != nil {
+			return errResult(err)
+		}
+		return okResult(func(w *wire.Writer) { encodeStat(w, stat) })
+	case opCloseSession:
+		s.mu.Lock()
+		delete(s.sessions, session)
+		delete(s.dedup, session)
+		s.mu.Unlock()
+		deleted := s.tree.ExpireSession(session, zxid)
+		if s.notify != nil {
+			for _, p := range deleted {
+				s.notify(opDelete, p, session, true)
+			}
+			s.notify(opCloseSession, "", session, true)
+		}
+		return okResult(func(w *wire.Writer) { w.Uint32(uint32(len(deleted))) })
+	case opSync:
+		// A no-op barrier: once this transaction applies on the
+		// session's server, that replica has caught up with every
+		// write committed before the sync — ZooKeeper's sync().
+		return okResult(nil)
+	default:
+		return errResult(fmt.Errorf("unknown transaction op %d", op))
+	}
+}
+
+// Snapshot implements zab.StateMachine: session state followed by the
+// full tree walk, parents before children.
+func (s *stateMachine) Snapshot() []byte {
+	s.mu.Lock()
+	w := wire.NewWriter(1 << 16)
+	w.Uint64(s.nextSession)
+	w.Uint32(uint32(len(s.sessions)))
+	for id := range s.sessions {
+		w.Uint64(id)
+	}
+	w.Uint32(uint32(len(s.dedup)))
+	for id, win := range s.dedup {
+		w.Uint64(id)
+		w.Uint32(uint32(len(win.order)))
+		for _, seq := range win.order {
+			w.Uint64(seq)
+			w.Bytes32(win.results[seq])
+		}
+	}
+	tree := s.tree
+	s.mu.Unlock()
+
+	tree.Walk(func(e znode.WalkEntry) {
+		w.Bool(true)
+		w.String(e.Path)
+		w.Bytes32(e.Data)
+		encodeStat(w, e.Stat)
+		w.Int64(e.Seq)
+	})
+	w.Bool(false)
+	return w.Bytes()
+}
+
+// Restore implements zab.StateMachine.
+func (s *stateMachine) Restore(snap []byte, _ uint64) error {
+	r := wire.NewReader(snap)
+	next := r.Uint64()
+	nSessions := r.Uint32()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("coord: corrupt snapshot header: %w", err)
+	}
+	sessions := make(map[uint64]bool, nSessions)
+	for i := uint32(0); i < nSessions; i++ {
+		sessions[r.Uint64()] = true
+	}
+	nDedup := r.Uint32()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("coord: corrupt snapshot dedup header: %w", err)
+	}
+	dedup := make(map[uint64]*dedupWindow, nDedup)
+	for i := uint32(0); i < nDedup; i++ {
+		id := r.Uint64()
+		nEntries := r.Uint32()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("coord: corrupt snapshot dedup entry: %w", err)
+		}
+		win := &dedupWindow{results: make(map[uint64][]byte, nEntries)}
+		for j := uint32(0); j < nEntries; j++ {
+			seq := r.Uint64()
+			result := r.BytesCopy32()
+			if err := r.Err(); err != nil {
+				return fmt.Errorf("coord: corrupt snapshot dedup result: %w", err)
+			}
+			win.store(seq, result)
+		}
+		dedup[id] = win
+	}
+	tree := znode.New()
+	for r.Bool() {
+		e := znode.WalkEntry{
+			Path: r.String(),
+			Data: r.BytesCopy32(),
+			Stat: decodeStat(r),
+			Seq:  r.Int64(),
+		}
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("coord: corrupt snapshot entry: %w", err)
+		}
+		if err := tree.RestoreEntry(e); err != nil {
+			return fmt.Errorf("coord: restoring %q: %w", e.Path, err)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("coord: corrupt snapshot: %w", err)
+	}
+	s.mu.Lock()
+	s.nextSession = next
+	s.sessions = sessions
+	s.dedup = dedup
+	s.tree = tree
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,201 @@
+package coord
+
+import (
+	"sync"
+
+	"repro/internal/coord/znode"
+	"repro/internal/wire"
+)
+
+// Watches are one-shot notifications, modelled on ZooKeeper's: a read
+// operation (get/exists/children) may leave a watch on the path; the
+// next committed mutation touching it produces an event. Watches are
+// server-local state — they live on the server the session is
+// connected to, not in the replicated state machine — exactly like
+// ZooKeeper, which is why a failover loses them and clients must
+// re-register.
+//
+// Delivery is by polling (Session.PollEvents): our transport is pure
+// request/response, so the server queues events per session and the
+// client drains them. The paper's DUFS uses only the synchronous API;
+// watches are provided as the natural extension for client-side
+// metadata caching (the FUSE entry-cache invalidation the paper leaves
+// to future work).
+
+// EventType classifies a watch event.
+type EventType uint8
+
+// Watch event types.
+const (
+	EventCreated EventType = iota + 1
+	EventDeleted
+	EventDataChanged
+	EventChildrenChanged
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventCreated:
+		return "created"
+	case EventDeleted:
+		return "deleted"
+	case EventDataChanged:
+		return "data-changed"
+	case EventChildrenChanged:
+		return "children-changed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one fired watch.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// watchKind distinguishes what a watch observes.
+type watchKind uint8
+
+const (
+	watchData watchKind = iota + 1 // get/exists watches: node create/delete/set
+	watchChildren
+)
+
+// watchTable is one server's watch state.
+type watchTable struct {
+	mu sync.Mutex
+	// data[path] and children[path] hold the waiting session IDs.
+	data     map[string]map[uint64]bool
+	children map[string]map[uint64]bool
+	// queues holds undelivered events per session.
+	queues map[uint64][]Event
+}
+
+func newWatchTable() *watchTable {
+	return &watchTable{
+		data:     make(map[string]map[uint64]bool),
+		children: make(map[string]map[uint64]bool),
+		queues:   make(map[uint64][]Event),
+	}
+}
+
+func (w *watchTable) register(kind watchKind, path string, session uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := w.data
+	if kind == watchChildren {
+		m = w.children
+	}
+	set := m[path]
+	if set == nil {
+		set = make(map[uint64]bool)
+		m[path] = set
+	}
+	set[session] = true
+}
+
+// unregister removes a pending watch (used when the guarded read
+// fails, so a failed get leaves no watch).
+func (w *watchTable) unregister(kind watchKind, path string, session uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := w.data
+	if kind == watchChildren {
+		m = w.children
+	}
+	if set := m[path]; set != nil {
+		delete(set, session)
+		if len(set) == 0 {
+			delete(m, path)
+		}
+	}
+}
+
+// fire dispatches one event to every watcher of the path and removes
+// the watches (one-shot semantics).
+func (w *watchTable) fire(kind watchKind, path string, ev Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := w.data
+	if kind == watchChildren {
+		m = w.children
+	}
+	set := m[path]
+	if len(set) == 0 {
+		return
+	}
+	delete(m, path)
+	for session := range set {
+		w.queues[session] = append(w.queues[session], ev)
+	}
+}
+
+// drain returns and clears a session's pending events.
+func (w *watchTable) drain(session uint64) []Event {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	evs := w.queues[session]
+	delete(w.queues, session)
+	return evs
+}
+
+// dropSession discards a closed session's watches and queue.
+func (w *watchTable) dropSession(session uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for path, set := range w.data {
+		delete(set, session)
+		if len(set) == 0 {
+			delete(w.data, path)
+		}
+	}
+	for path, set := range w.children {
+		delete(set, session)
+		if len(set) == 0 {
+			delete(w.children, path)
+		}
+	}
+	delete(w.queues, session)
+}
+
+// observeApply translates one committed mutation into watch events.
+// Called by the server for every transaction its replica applies.
+func (w *watchTable) observeApply(op uint8, path string, ok bool) {
+	if !ok || path == "" {
+		return
+	}
+	parent, _ := znode.SplitPath(path)
+	switch op {
+	case opCreate:
+		w.fire(watchData, path, Event{Type: EventCreated, Path: path})
+		w.fire(watchChildren, parent, Event{Type: EventChildrenChanged, Path: parent})
+	case opDelete:
+		w.fire(watchData, path, Event{Type: EventDeleted, Path: path})
+		w.fire(watchChildren, path, Event{Type: EventDeleted, Path: path})
+		w.fire(watchChildren, parent, Event{Type: EventChildrenChanged, Path: parent})
+	case opSet:
+		w.fire(watchData, path, Event{Type: EventDataChanged, Path: path})
+	}
+}
+
+func encodeEvents(w *wire.Writer, evs []Event) {
+	w.Uint32(uint32(len(evs)))
+	for _, e := range evs {
+		w.Uint8(uint8(e.Type))
+		w.String(e.Path)
+	}
+}
+
+func decodeEvents(r *wire.Reader) []Event {
+	n := r.Uint32()
+	if r.Err() != nil || int(n) > r.Remaining() {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		out = append(out, Event{Type: EventType(r.Uint8()), Path: r.String()})
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package zab
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Peer-to-peer message kinds. Every message starts with one kind byte.
+const (
+	msgPropose uint8 = iota + 1
+	msgCommit
+	msgHeartbeat
+	msgRequestVote
+	msgSync
+	msgForward
+)
+
+// entry is one replicated log record. Txn bytes are opaque to this
+// package; kind noopTxn entries are leader barriers that never reach
+// the state machine.
+type entry struct {
+	Zxid uint64
+	Noop bool
+	Txn  []byte
+}
+
+func encodeEntry(w *wire.Writer, e entry) {
+	w.Uint64(e.Zxid)
+	w.Bool(e.Noop)
+	w.Bytes32(e.Txn)
+}
+
+func decodeEntry(r *wire.Reader) entry {
+	return entry{
+		Zxid: r.Uint64(),
+		Noop: r.Bool(),
+		Txn:  r.BytesCopy32(),
+	}
+}
+
+// proposeReq replicates a single entry with a Raft-style consistency
+// check: the follower accepts only if its last zxid equals PrevZxid.
+type proposeReq struct {
+	Epoch    uint64
+	LeaderID uint64
+	PrevZxid uint64
+	Entry    entry
+	Commit   uint64 // leader's commit zxid, piggybacked
+}
+
+func (m proposeReq) encode() []byte {
+	w := wire.NewWriter(64 + len(m.Entry.Txn))
+	w.Uint8(msgPropose)
+	w.Uint64(m.Epoch)
+	w.Uint64(m.LeaderID)
+	w.Uint64(m.PrevZxid)
+	encodeEntry(w, m.Entry)
+	w.Uint64(m.Commit)
+	return w.Bytes()
+}
+
+func decodeProposeReq(r *wire.Reader) proposeReq {
+	return proposeReq{
+		Epoch:    r.Uint64(),
+		LeaderID: r.Uint64(),
+		PrevZxid: r.Uint64(),
+		Entry:    decodeEntry(r),
+		Commit:   r.Uint64(),
+	}
+}
+
+// proposeResp acknowledges (or refuses) a proposal.
+type proposeResp struct {
+	Ack      bool
+	NeedSync bool
+	Epoch    uint64 // responder's epoch, so a stale leader steps down
+}
+
+func (m proposeResp) encode() []byte {
+	w := wire.NewWriter(16)
+	w.Bool(m.Ack)
+	w.Bool(m.NeedSync)
+	w.Uint64(m.Epoch)
+	return w.Bytes()
+}
+
+func decodeProposeResp(b []byte) (proposeResp, error) {
+	r := wire.NewReader(b)
+	m := proposeResp{Ack: r.Bool(), NeedSync: r.Bool(), Epoch: r.Uint64()}
+	return m, r.Err()
+}
+
+// commitReq tells followers everything up to Zxid is durable on a
+// quorum and must be applied.
+type commitReq struct {
+	Epoch uint64
+	Zxid  uint64
+}
+
+func (m commitReq) encode() []byte {
+	w := wire.NewWriter(24)
+	w.Uint8(msgCommit)
+	w.Uint64(m.Epoch)
+	w.Uint64(m.Zxid)
+	return w.Bytes()
+}
+
+// heartbeat keeps followership alive and carries the commit horizon.
+type heartbeatReq struct {
+	Epoch    uint64
+	LeaderID uint64
+	Commit   uint64
+}
+
+func (m heartbeatReq) encode() []byte {
+	w := wire.NewWriter(32)
+	w.Uint8(msgHeartbeat)
+	w.Uint64(m.Epoch)
+	w.Uint64(m.LeaderID)
+	w.Uint64(m.Commit)
+	return w.Bytes()
+}
+
+type heartbeatResp struct {
+	Epoch    uint64
+	LastZxid uint64
+}
+
+func (m heartbeatResp) encode() []byte {
+	w := wire.NewWriter(16)
+	w.Uint64(m.Epoch)
+	w.Uint64(m.LastZxid)
+	return w.Bytes()
+}
+
+func decodeHeartbeatResp(b []byte) (heartbeatResp, error) {
+	r := wire.NewReader(b)
+	m := heartbeatResp{Epoch: r.Uint64(), LastZxid: r.Uint64()}
+	return m, r.Err()
+}
+
+// requestVote asks for leadership of a new epoch. A peer grants when
+// the epoch is new to it and the candidate's log is at least as
+// up-to-date (lastZxid ordering subsumes epoch ordering because the
+// epoch is the zxid's high half).
+type requestVoteReq struct {
+	Epoch       uint64
+	CandidateID uint64
+	LastZxid    uint64
+}
+
+func (m requestVoteReq) encode() []byte {
+	w := wire.NewWriter(32)
+	w.Uint8(msgRequestVote)
+	w.Uint64(m.Epoch)
+	w.Uint64(m.CandidateID)
+	w.Uint64(m.LastZxid)
+	return w.Bytes()
+}
+
+type requestVoteResp struct {
+	Granted bool
+	Epoch   uint64
+}
+
+func (m requestVoteResp) encode() []byte {
+	w := wire.NewWriter(16)
+	w.Bool(m.Granted)
+	w.Uint64(m.Epoch)
+	return w.Bytes()
+}
+
+func decodeRequestVoteResp(b []byte) (requestVoteResp, error) {
+	r := wire.NewReader(b)
+	m := requestVoteResp{Granted: r.Bool(), Epoch: r.Uint64()}
+	return m, r.Err()
+}
+
+// syncReq is a lagging follower pulling state from the leader.
+type syncReq struct {
+	FromZxid uint64
+}
+
+func (m syncReq) encode() []byte {
+	w := wire.NewWriter(16)
+	w.Uint8(msgSync)
+	w.Uint64(m.FromZxid)
+	return w.Bytes()
+}
+
+// syncResp carries either a snapshot plus trailing entries (when the
+// follower is behind the leader's log horizon or has diverged) or just
+// the entries after FromZxid.
+type syncResp struct {
+	HasSnapshot bool
+	SnapZxid    uint64
+	Snapshot    []byte
+	Entries     []entry
+	Commit      uint64
+	Epoch       uint64
+	LeaderID    uint64
+}
+
+func (m syncResp) encode() []byte {
+	w := wire.NewWriter(64 + len(m.Snapshot))
+	w.Bool(m.HasSnapshot)
+	w.Uint64(m.SnapZxid)
+	w.Bytes32(m.Snapshot)
+	w.Uint32(uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		encodeEntry(w, e)
+	}
+	w.Uint64(m.Commit)
+	w.Uint64(m.Epoch)
+	w.Uint64(m.LeaderID)
+	return w.Bytes()
+}
+
+func decodeSyncResp(b []byte) (syncResp, error) {
+	r := wire.NewReader(b)
+	m := syncResp{
+		HasSnapshot: r.Bool(),
+		SnapZxid:    r.Uint64(),
+		Snapshot:    r.BytesCopy32(),
+	}
+	n := r.Uint32()
+	if r.Err() != nil {
+		return m, r.Err()
+	}
+	if int(n) > r.Remaining() {
+		return m, fmt.Errorf("zab: sync response claims %d entries in %d bytes", n, r.Remaining())
+	}
+	m.Entries = make([]entry, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		m.Entries = append(m.Entries, decodeEntry(r))
+	}
+	m.Commit = r.Uint64()
+	m.Epoch = r.Uint64()
+	m.LeaderID = r.Uint64()
+	return m, r.Err()
+}
+
+// forwardReq routes a client write from a follower to the leader.
+type forwardReq struct {
+	Txn []byte
+}
+
+func (m forwardReq) encode() []byte {
+	w := wire.NewWriter(8 + len(m.Txn))
+	w.Uint8(msgForward)
+	w.Bytes32(m.Txn)
+	return w.Bytes()
+}
+
+// forwardResp returns the state-machine result of the committed txn
+// and its zxid, so the forwarding server can wait for local apply
+// before answering its client (session read-your-writes).
+type forwardResp struct {
+	Zxid   uint64
+	Result []byte
+}
+
+func (m forwardResp) encode() []byte {
+	w := wire.NewWriter(16 + len(m.Result))
+	w.Uint64(m.Zxid)
+	w.Bytes32(m.Result)
+	return w.Bytes()
+}
+
+func decodeForwardResp(b []byte) (forwardResp, error) {
+	r := wire.NewReader(b)
+	m := forwardResp{Zxid: r.Uint64(), Result: r.BytesCopy32()}
+	return m, r.Err()
+}

@@ -1,0 +1,977 @@
+// Package zab implements the replication core of the coordination
+// service: a leader-based atomic broadcast in the spirit of ZooKeeper's
+// Zab protocol (paper §II-C, ref [8]).
+//
+// Every state mutation is wrapped in a transaction, assigned a zxid
+// (epoch in the high 32 bits, a per-epoch counter in the low 32 bits),
+// replicated to a quorum of followers, and only then committed and
+// applied — in strict zxid order, identically on every server. That is
+// the property DUFS leans on: "all modifications on the namespace
+// appear to be atomic and strictly ordered to all the clients".
+//
+// Differences from production Zab, chosen for clarity and testability:
+//
+//   - Leader election is a Raft-style vote (epoch + last-zxid
+//     up-to-dateness check) rather than ZooKeeper's fast leader
+//     election; the elected-leader safety property is the same.
+//   - Proposals are replicated one at a time (the leader serializes);
+//     production Zab pipelines. An ablation bench quantifies this.
+//   - The log lives in memory with snapshot-based truncation, like
+//     ZooKeeper's in-memory database; durable checkpoints are layered
+//     on top by internal/coord (paper §IV-I: "periodically
+//     checkpointed on disk").
+package zab
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// StateMachine is the replicated application state. Apply must be
+// deterministic: given the same transaction stream in the same order,
+// every replica must produce the same state. Application-level
+// failures (e.g. "node exists") are encoded inside the result bytes,
+// not returned as errors, so they replicate deterministically too.
+type StateMachine interface {
+	// Apply executes a committed transaction. Called in strict zxid
+	// order, never concurrently.
+	Apply(txn []byte, zxid uint64) []byte
+	// Snapshot serializes the full state at the current applied point.
+	Snapshot() []byte
+	// Restore replaces the state with a snapshot taken at snapZxid.
+	Restore(snap []byte, snapZxid uint64) error
+}
+
+// Config describes one ensemble member.
+type Config struct {
+	// ID is this server's identity; it must be a key of Peers.
+	ID uint64
+	// Peers maps every ensemble member ID to its transport address,
+	// including this server.
+	Peers map[uint64]string
+	// Net is the transport to use (TCP or in-process).
+	Net transport.Network
+
+	// HeartbeatInterval is the leader's heartbeat period.
+	// Defaults to 15ms.
+	HeartbeatInterval time.Duration
+	// ElectionTimeout is the base follower patience before starting an
+	// election; the effective timeout is randomized in [1x, 2x).
+	// Defaults to 10 * HeartbeatInterval.
+	ElectionTimeout time.Duration
+	// MaxLogEntries bounds the in-memory log; once exceeded, applied
+	// entries are folded into a state-machine snapshot.
+	// Defaults to 8192.
+	MaxLogEntries int
+	// InitialSnapshot, when non-nil, primes the node from a durable
+	// checkpoint: the state machine is restored before Start and the
+	// log begins at InitialZxid.
+	InitialSnapshot []byte
+	InitialZxid     uint64
+}
+
+// Roles of an ensemble member.
+const (
+	roleFollower = iota
+	roleCandidate
+	roleLeader
+)
+
+// Errors returned by Propose.
+var (
+	ErrStopped  = errors.New("zab: node stopped")
+	ErrNoLeader = errors.New("zab: no leader known")
+	ErrNoQuorum = errors.New("zab: failed to reach quorum")
+)
+
+// Node is one member of the replicated ensemble.
+type Node struct {
+	cfg Config
+	sm  StateMachine
+	rng *rand.Rand
+
+	mu           sync.Mutex
+	role         int
+	epoch        uint64
+	grantedEpoch uint64 // highest epoch we granted a vote for
+	leaderID     uint64 // 0 when unknown
+	log          []entry
+	snapZxid     uint64 // zxid covered by the latest state snapshot
+	commitZxid   uint64
+	lastApplied  uint64
+	nextSeq      uint32 // per-epoch proposal counter (leader only)
+	lastContact  time.Time
+	electionDue  time.Duration
+	syncing      bool
+	stopped      bool
+	results      map[uint64][]byte // zxid -> apply result (leader-side)
+	applyCond    *sync.Cond        // signalled when lastApplied advances
+
+	proposeMu sync.Mutex // serializes the propose->commit pipeline
+
+	connMu sync.Mutex
+	conns  map[uint64]transport.Conn
+
+	listener io.Closer
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewNode validates the configuration and builds a node. Call Start to
+// join the ensemble.
+func NewNode(cfg Config, sm StateMachine) (*Node, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("zab: Config.Net is required")
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok {
+		return nil, fmt.Errorf("zab: node ID %d not present in peer map", cfg.ID)
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 15 * time.Millisecond
+	}
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = 10 * cfg.HeartbeatInterval
+	}
+	if cfg.MaxLogEntries <= 0 {
+		cfg.MaxLogEntries = 8192
+	}
+	n := &Node{
+		cfg:     cfg,
+		sm:      sm,
+		rng:     rand.New(rand.NewSource(int64(cfg.ID))),
+		conns:   make(map[uint64]transport.Conn),
+		stopCh:  make(chan struct{}),
+		results: make(map[uint64][]byte),
+	}
+	n.applyCond = sync.NewCond(&n.mu)
+	if cfg.InitialSnapshot != nil {
+		if err := sm.Restore(cfg.InitialSnapshot, cfg.InitialZxid); err != nil {
+			return nil, fmt.Errorf("zab: restoring initial snapshot: %w", err)
+		}
+		n.snapZxid = cfg.InitialZxid
+		n.commitZxid = cfg.InitialZxid
+		n.lastApplied = cfg.InitialZxid
+		n.epoch = epochOf(cfg.InitialZxid)
+	}
+	n.resetElectionTimer()
+	return n, nil
+}
+
+func makeZxid(epoch uint64, seq uint32) uint64 { return epoch<<32 | uint64(seq) }
+func epochOf(zxid uint64) uint64               { return zxid >> 32 }
+
+// Start begins listening for peer traffic and starts the election and
+// heartbeat loops.
+func (n *Node) Start() error {
+	ln, err := n.cfg.Net.Listen(n.cfg.Peers[n.cfg.ID], transport.HandlerFunc(n.handle))
+	if err != nil {
+		return fmt.Errorf("zab: node %d: %w", n.cfg.ID, err)
+	}
+	n.listener = ln
+	n.wg.Add(2)
+	go n.electionLoop()
+	go n.heartbeatLoop()
+	return nil
+}
+
+// Stop shuts the node down and waits for its goroutines.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.role = roleFollower // a stopped node must not report leadership
+	n.leaderID = 0
+	n.applyCond.Broadcast()
+	n.mu.Unlock()
+	close(n.stopCh)
+	if n.listener != nil {
+		n.listener.Close()
+	}
+	n.connMu.Lock()
+	for id, c := range n.conns {
+		c.Close()
+		delete(n.conns, id)
+	}
+	n.connMu.Unlock()
+	n.wg.Wait()
+}
+
+// ID returns the node's ensemble identity.
+func (n *Node) ID() uint64 { return n.cfg.ID }
+
+// IsLeader reports whether this node currently leads the ensemble.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == roleLeader
+}
+
+// LeaderID returns the known leader's ID, or 0.
+func (n *Node) LeaderID() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == roleLeader {
+		return n.cfg.ID
+	}
+	return n.leaderID
+}
+
+// Epoch returns the node's current epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// LastZxid returns the zxid of the last log entry (or snapshot).
+func (n *Node) LastZxid() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastZxidLocked()
+}
+
+// CommitZxid returns the highest committed zxid.
+func (n *Node) CommitZxid() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitZxid
+}
+
+// DebugString reports the node's replication state for diagnostics.
+func (n *Node) DebugString() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	role := "follower"
+	switch n.role {
+	case roleCandidate:
+		role = "candidate"
+	case roleLeader:
+		role = "leader"
+	}
+	return fmt.Sprintf("id=%d role=%s epoch=%d granted=%d leader=%d last=%x commit=%x applied=%x log=%d syncing=%v stopped=%v sinceContact=%s due=%s",
+		n.cfg.ID, role, n.epoch, n.grantedEpoch, n.leaderID,
+		n.lastZxidLocked(), n.commitZxid, n.lastApplied, len(n.log),
+		n.syncing, n.stopped, time.Since(n.lastContact).Round(time.Millisecond), n.electionDue)
+}
+
+// Checkpoint returns a durable snapshot of the applied state and the
+// zxid it covers, for the disk persistence layered above this package.
+func (n *Node) Checkpoint() (snap []byte, zxid uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sm.Snapshot(), n.lastApplied
+}
+
+func (n *Node) lastZxidLocked() uint64 {
+	if len(n.log) == 0 {
+		return n.snapZxid
+	}
+	return n.log[len(n.log)-1].Zxid
+}
+
+func (n *Node) quorum() int { return len(n.cfg.Peers)/2 + 1 }
+
+func (n *Node) resetElectionTimer() {
+	n.lastContact = time.Now()
+	n.electionDue = n.cfg.ElectionTimeout +
+		time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
+}
+
+// --- connections ------------------------------------------------------
+
+func (n *Node) getConn(id uint64) (transport.Conn, error) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if c, ok := n.conns[id]; ok {
+		return c, nil
+	}
+	addr, ok := n.cfg.Peers[id]
+	if !ok {
+		return nil, fmt.Errorf("zab: unknown peer %d", id)
+	}
+	c, err := n.cfg.Net.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.conns[id] = c
+	return c, nil
+}
+
+func (n *Node) dropConn(id uint64) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if c, ok := n.conns[id]; ok {
+		c.Close()
+		delete(n.conns, id)
+	}
+}
+
+// callPeer performs one RPC to a peer, invalidating the cached
+// connection on failure so the next call redials.
+func (n *Node) callPeer(id uint64, req []byte) ([]byte, error) {
+	c, err := n.getConn(id)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Call(req)
+	if err != nil {
+		n.dropConn(id)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// --- request dispatch -------------------------------------------------
+
+func (n *Node) handle(req []byte) ([]byte, error) {
+	r := wire.NewReader(req)
+	kind := r.Uint8()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	switch kind {
+	case msgPropose:
+		m := decodeProposeReq(r)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return n.handlePropose(m).encode(), nil
+	case msgCommit:
+		epoch, zxid := r.Uint64(), r.Uint64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		n.handleCommit(epoch, zxid)
+		return nil, nil
+	case msgHeartbeat:
+		m := heartbeatReq{Epoch: r.Uint64(), LeaderID: r.Uint64(), Commit: r.Uint64()}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return n.handleHeartbeat(m).encode(), nil
+	case msgRequestVote:
+		m := requestVoteReq{Epoch: r.Uint64(), CandidateID: r.Uint64(), LastZxid: r.Uint64()}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return n.handleRequestVote(m).encode(), nil
+	case msgSync:
+		m := syncReq{FromZxid: r.Uint64()}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := n.handleSync(m)
+		if err != nil {
+			return nil, err
+		}
+		return resp.encode(), nil
+	case msgForward:
+		txn := r.BytesCopy32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		result, zxid, err := n.propose(txn)
+		if err != nil {
+			return nil, err
+		}
+		return forwardResp{Zxid: zxid, Result: result}.encode(), nil
+	default:
+		return nil, fmt.Errorf("zab: unknown message kind %d", kind)
+	}
+}
+
+// --- follower side ----------------------------------------------------
+
+// adoptEpochLocked moves the node to follower state for a newer epoch.
+func (n *Node) adoptEpochLocked(epoch, leaderID uint64) {
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+	n.role = roleFollower
+	if leaderID != 0 {
+		n.leaderID = leaderID
+	}
+	n.resetElectionTimer()
+}
+
+func (n *Node) handlePropose(m proposeReq) proposeResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Epoch < n.epoch {
+		return proposeResp{Epoch: n.epoch}
+	}
+	n.adoptEpochLocked(m.Epoch, m.LeaderID)
+	if m.Entry.Zxid == n.lastZxidLocked() {
+		// Idempotent re-send: we already hold this entry (a leader
+		// retry after other followers had to sync). Ack again.
+		n.advanceCommitLocked(m.Commit)
+		return proposeResp{Ack: true, Epoch: n.epoch}
+	}
+	if n.lastZxidLocked() != m.PrevZxid {
+		n.triggerSyncLocked()
+		return proposeResp{NeedSync: true, Epoch: n.epoch}
+	}
+	n.log = append(n.log, m.Entry)
+	n.advanceCommitLocked(m.Commit)
+	return proposeResp{Ack: true, Epoch: n.epoch}
+}
+
+func (n *Node) handleCommit(epoch, zxid uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch < n.epoch {
+		return
+	}
+	n.adoptEpochLocked(epoch, 0)
+	n.advanceCommitLocked(zxid)
+}
+
+func (n *Node) handleHeartbeat(m heartbeatReq) heartbeatResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Epoch >= n.epoch {
+		n.adoptEpochLocked(m.Epoch, m.LeaderID)
+		n.advanceCommitLocked(m.Commit)
+		if m.Commit > n.lastZxidLocked() {
+			n.triggerSyncLocked()
+		}
+	}
+	return heartbeatResp{Epoch: n.epoch, LastZxid: n.lastZxidLocked()}
+}
+
+func (n *Node) handleRequestVote(m requestVoteReq) requestVoteResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Epoch <= n.grantedEpoch || m.Epoch <= n.epoch {
+		return requestVoteResp{Epoch: n.epoch}
+	}
+	if m.LastZxid < n.lastZxidLocked() {
+		return requestVoteResp{Epoch: n.epoch}
+	}
+	n.grantedEpoch = m.Epoch
+	n.epoch = m.Epoch
+	n.role = roleFollower
+	n.leaderID = 0 // unknown until the new leader heartbeats
+	n.resetElectionTimer()
+	return requestVoteResp{Granted: true, Epoch: n.epoch}
+}
+
+// advanceCommitLocked raises the commit horizon (bounded by what we
+// actually hold) and applies newly committed entries in order.
+func (n *Node) advanceCommitLocked(commit uint64) {
+	if commit > n.lastZxidLocked() {
+		commit = n.lastZxidLocked()
+	}
+	if commit <= n.commitZxid {
+		return
+	}
+	n.commitZxid = commit
+	n.applyCommittedLocked()
+}
+
+// applyCommittedLocked feeds committed-but-unapplied entries to the
+// state machine in zxid order and handles log truncation.
+func (n *Node) applyCommittedLocked() {
+	i := sort.Search(len(n.log), func(i int) bool { return n.log[i].Zxid > n.lastApplied })
+	for ; i < len(n.log); i++ {
+		e := n.log[i]
+		if e.Zxid > n.commitZxid {
+			break
+		}
+		if !e.Noop {
+			res := n.sm.Apply(e.Txn, e.Zxid)
+			if n.role == roleLeader {
+				n.results[e.Zxid] = res
+			}
+		}
+		n.lastApplied = e.Zxid
+	}
+	n.applyCond.Broadcast()
+	n.maybeTruncateLocked()
+}
+
+// maybeTruncateLocked drops the bulk of the applied log prefix when
+// the log grows beyond the configured bound, keeping a small margin so
+// slightly-lagging followers can still catch up from the log instead
+// of a full snapshot (which handleSync regenerates on demand).
+func (n *Node) maybeTruncateLocked() {
+	if len(n.log) <= n.cfg.MaxLogEntries {
+		return
+	}
+	const margin = 64
+	cut := sort.Search(len(n.log), func(i int) bool { return n.log[i].Zxid > n.lastApplied })
+	if cut <= margin {
+		return
+	}
+	cut -= margin
+	n.snapZxid = n.log[cut-1].Zxid
+	n.log = append([]entry(nil), n.log[cut:]...)
+	for z := range n.results {
+		if z <= n.snapZxid {
+			delete(n.results, z)
+		}
+	}
+}
+
+// triggerSyncLocked schedules a pull-based catch-up from the leader.
+func (n *Node) triggerSyncLocked() {
+	if n.syncing || n.stopped || n.leaderID == 0 || n.leaderID == n.cfg.ID {
+		return
+	}
+	n.syncing = true
+	leader := n.leaderID
+	from := n.lastZxidLocked()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.syncFromLeader(leader, from)
+		n.mu.Lock()
+		n.syncing = false
+		n.mu.Unlock()
+	}()
+}
+
+func (n *Node) syncFromLeader(leader, from uint64) {
+	respB, err := n.callPeer(leader, syncReq{FromZxid: from}.encode())
+	if err != nil {
+		return
+	}
+	resp, err := decodeSyncResp(respB)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if resp.Epoch < n.epoch || n.stopped {
+		return
+	}
+	n.adoptEpochLocked(resp.Epoch, resp.LeaderID)
+	if resp.HasSnapshot {
+		if err := n.sm.Restore(resp.Snapshot, resp.SnapZxid); err != nil {
+			return
+		}
+		n.snapZxid = resp.SnapZxid
+		n.lastApplied = resp.SnapZxid
+		if n.commitZxid < resp.SnapZxid {
+			n.commitZxid = resp.SnapZxid
+		}
+		n.log = nil
+	} else if n.lastZxidLocked() != from {
+		// Our log moved while the sync was in flight; retry later.
+		return
+	}
+	for _, e := range resp.Entries {
+		if e.Zxid <= n.lastZxidLocked() && len(n.log) > 0 {
+			continue
+		}
+		if e.Zxid <= n.snapZxid {
+			continue
+		}
+		n.log = append(n.log, e)
+	}
+	n.advanceCommitLocked(resp.Commit)
+}
+
+// handleSync runs on the leader: ship either the log suffix after
+// FromZxid, or a full snapshot when the follower's position is unknown
+// to us (trimmed away or divergent).
+func (n *Node) handleSync(m syncReq) (syncResp, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != roleLeader {
+		return syncResp{}, fmt.Errorf("zab: node %d is not the leader", n.cfg.ID)
+	}
+	resp := syncResp{Commit: n.commitZxid, Epoch: n.epoch, LeaderID: n.cfg.ID}
+	if m.FromZxid == n.snapZxid {
+		resp.Entries = append(resp.Entries, n.log...)
+		return resp, nil
+	}
+	for i, e := range n.log {
+		if e.Zxid == m.FromZxid {
+			resp.Entries = append(resp.Entries, n.log[i+1:]...)
+			return resp, nil
+		}
+	}
+	// Unknown position: full snapshot of the applied state plus the
+	// unapplied tail.
+	resp.HasSnapshot = true
+	resp.SnapZxid = n.lastApplied
+	resp.Snapshot = n.sm.Snapshot()
+	for _, e := range n.log {
+		if e.Zxid > n.lastApplied {
+			resp.Entries = append(resp.Entries, e)
+		}
+	}
+	return resp, nil
+}
+
+// --- leader side ------------------------------------------------------
+
+// Propose submits a transaction for atomic broadcast. On a follower it
+// is forwarded to the leader. It returns the state machine's result
+// once the transaction is committed and applied on THIS node, which
+// gives sessions connected here read-your-writes consistency — the
+// same guarantee a ZooKeeper server provides its clients.
+func (n *Node) Propose(txn []byte) ([]byte, error) {
+	result, zxid, err := n.propose(txn)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.waitApplied(zxid); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+func (n *Node) propose(txn []byte) ([]byte, uint64, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil, 0, ErrStopped
+	}
+	isLeader := n.role == roleLeader
+	leader := n.leaderID
+	n.mu.Unlock()
+
+	if !isLeader {
+		if leader == 0 || leader == n.cfg.ID {
+			return nil, 0, ErrNoLeader
+		}
+		respB, err := n.callPeer(leader, forwardReq{Txn: txn}.encode())
+		if err != nil {
+			return nil, 0, err
+		}
+		resp, err := decodeForwardResp(respB)
+		if err != nil {
+			return nil, 0, err
+		}
+		return resp.Result, resp.Zxid, nil
+	}
+	return n.proposeAsLeader(txn, false)
+}
+
+// waitApplied blocks until this node's state machine has applied the
+// given zxid (or the node stops / the wait times out).
+func (n *Node) waitApplied(zxid uint64) error {
+	const timeout = 10 * time.Second
+	timer := time.AfterFunc(timeout, func() {
+		n.mu.Lock()
+		n.applyCond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer timer.Stop()
+	deadline := time.Now().Add(timeout)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.lastApplied < zxid {
+		if n.stopped {
+			return ErrStopped
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("zab: zxid %x not applied locally within %v", zxid, timeout)
+		}
+		n.applyCond.Wait()
+	}
+	return nil
+}
+
+func (n *Node) proposeAsLeader(txn []byte, noop bool) ([]byte, uint64, error) {
+	n.proposeMu.Lock()
+	defer n.proposeMu.Unlock()
+
+	n.mu.Lock()
+	if n.role != roleLeader {
+		n.mu.Unlock()
+		return nil, 0, ErrNoLeader
+	}
+	n.nextSeq++
+	e := entry{Zxid: makeZxid(n.epoch, n.nextSeq), Noop: noop, Txn: txn}
+	req := proposeReq{
+		Epoch:    n.epoch,
+		LeaderID: n.cfg.ID,
+		PrevZxid: n.lastZxidLocked(),
+		Entry:    e,
+		Commit:   n.commitZxid,
+	}
+	n.log = append(n.log, e)
+	n.mu.Unlock()
+
+	// Followers that answer NeedSync are alive but lagging; they pull
+	// our state in the background (triggerSync), so give them a few
+	// rounds before declaring the quorum lost. Without this, a single
+	// lagging follower in a 3-live-of-5 configuration livelocks every
+	// election: the barrier no-op can never commit, the new leader
+	// steps down instantly, and the laggard never finds a leader to
+	// sync from.
+	acks, needSync := n.broadcastPropose(req)
+	for attempt := 0; acks < n.quorum() && acks+needSync >= n.quorum() && attempt < 8; attempt++ {
+		time.Sleep(n.cfg.HeartbeatInterval)
+		n.mu.Lock()
+		stillLeader := n.role == roleLeader && n.epoch == req.Epoch && !n.stopped
+		n.mu.Unlock()
+		if !stillLeader {
+			return nil, 0, ErrNoLeader
+		}
+		acks, needSync = n.broadcastPropose(req)
+	}
+	if acks < n.quorum() {
+		// We could not commit. Step down; a healthier member will win
+		// the next election, and our uncommitted tail will be resolved
+		// by its sync protocol.
+		n.mu.Lock()
+		if n.role == roleLeader && n.epoch == req.Epoch {
+			n.role = roleFollower
+			n.leaderID = 0
+			n.resetElectionTimer()
+		}
+		n.mu.Unlock()
+		return nil, 0, ErrNoQuorum
+	}
+
+	n.mu.Lock()
+	n.advanceCommitLocked(e.Zxid)
+	result := n.results[e.Zxid]
+	delete(n.results, e.Zxid)
+	epoch := n.epoch
+	commit := n.commitZxid
+	n.mu.Unlock()
+
+	n.broadcastAsync(commitReq{Epoch: epoch, Zxid: commit}.encode())
+	return result, e.Zxid, nil
+}
+
+// broadcastPropose replicates one entry to all peers and returns the
+// ack count (including the leader itself) and how many peers asked to
+// sync first.
+func (n *Node) broadcastPropose(req proposeReq) (acks, needSync int) {
+	payload := req.encode()
+	type res struct{ ack, needSync bool }
+	ch := make(chan res, len(n.cfg.Peers))
+	outstanding := 0
+	for id := range n.cfg.Peers {
+		if id == n.cfg.ID {
+			continue
+		}
+		outstanding++
+		go func(id uint64) {
+			respB, err := n.callPeer(id, payload)
+			if err != nil {
+				ch <- res{}
+				return
+			}
+			resp, err := decodeProposeResp(respB)
+			if err != nil {
+				ch <- res{}
+				return
+			}
+			if resp.Epoch > req.Epoch {
+				n.mu.Lock()
+				if resp.Epoch > n.epoch {
+					n.adoptEpochLocked(resp.Epoch, 0)
+					n.leaderID = 0
+				}
+				n.mu.Unlock()
+			}
+			ch <- res{ack: resp.Ack, needSync: resp.NeedSync}
+		}(id)
+	}
+	acks = 1 // self
+	for i := 0; i < outstanding; i++ {
+		r := <-ch
+		if r.ack {
+			acks++
+		}
+		if r.needSync {
+			needSync++
+		}
+		if acks >= n.quorum() {
+			// Drain the rest in the background so goroutines exit.
+			remaining := outstanding - i - 1
+			go func() {
+				for j := 0; j < remaining; j++ {
+					<-ch
+				}
+			}()
+			break
+		}
+	}
+	return acks, needSync
+}
+
+// broadcastAsync fires one payload at every peer without waiting.
+func (n *Node) broadcastAsync(payload []byte) {
+	for id := range n.cfg.Peers {
+		if id == n.cfg.ID {
+			continue
+		}
+		go func(id uint64) {
+			_, _ = n.callPeer(id, payload)
+		}(id)
+	}
+}
+
+// --- background loops -------------------------------------------------
+
+func (n *Node) electionLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		due := n.role != roleLeader && time.Since(n.lastContact) > n.electionDue
+		n.mu.Unlock()
+		if due {
+			n.runElection()
+		}
+	}
+}
+
+func (n *Node) runElection() {
+	n.mu.Lock()
+	if n.stopped || n.role == roleLeader {
+		n.mu.Unlock()
+		return
+	}
+	next := n.epoch + 1
+	if n.grantedEpoch >= next {
+		next = n.grantedEpoch + 1
+	}
+	n.epoch = next
+	n.grantedEpoch = next
+	n.role = roleCandidate
+	n.leaderID = 0
+	n.resetElectionTimer()
+	req := requestVoteReq{Epoch: next, CandidateID: n.cfg.ID, LastZxid: n.lastZxidLocked()}
+	n.mu.Unlock()
+
+	payload := req.encode()
+	grants := make(chan bool, len(n.cfg.Peers))
+	outstanding := 0
+	for id := range n.cfg.Peers {
+		if id == n.cfg.ID {
+			continue
+		}
+		outstanding++
+		go func(id uint64) {
+			respB, err := n.callPeer(id, payload)
+			if err != nil {
+				grants <- false
+				return
+			}
+			resp, err := decodeRequestVoteResp(respB)
+			if err != nil {
+				grants <- false
+				return
+			}
+			if resp.Epoch > req.Epoch {
+				n.mu.Lock()
+				if resp.Epoch > n.epoch {
+					n.adoptEpochLocked(resp.Epoch, 0)
+				}
+				n.mu.Unlock()
+			}
+			grants <- resp.Granted
+		}(id)
+	}
+	votes := 1 // self
+	deadline := time.After(n.cfg.ElectionTimeout)
+	for i := 0; i < outstanding; i++ {
+		select {
+		case g := <-grants:
+			if g {
+				votes++
+			}
+		case <-deadline:
+			i = outstanding // abandon the round
+		case <-n.stopCh:
+			return
+		}
+		if votes >= n.quorum() {
+			break
+		}
+	}
+	if votes < n.quorum() {
+		return
+	}
+	n.becomeLeader(req.Epoch)
+}
+
+func (n *Node) becomeLeader(epoch uint64) {
+	n.mu.Lock()
+	if n.epoch != epoch || n.role != roleCandidate || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.role = roleLeader
+	n.leaderID = n.cfg.ID
+	n.nextSeq = 0
+	n.mu.Unlock()
+	// Commit a barrier entry so every entry inherited from previous
+	// epochs becomes committed under the new epoch (Raft §5.4.2 trick;
+	// Zab achieves the same with its NEWLEADER phase).
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		_, _, _ = n.proposeAsLeader(nil, true)
+	}()
+}
+
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		if n.role != roleLeader {
+			n.mu.Unlock()
+			continue
+		}
+		req := heartbeatReq{Epoch: n.epoch, LeaderID: n.cfg.ID, Commit: n.commitZxid}
+		n.mu.Unlock()
+		payload := req.encode()
+		for id := range n.cfg.Peers {
+			if id == n.cfg.ID {
+				continue
+			}
+			go func(id uint64) {
+				respB, err := n.callPeer(id, payload)
+				if err != nil {
+					return
+				}
+				resp, err := decodeHeartbeatResp(respB)
+				if err != nil {
+					return
+				}
+				if resp.Epoch > req.Epoch {
+					n.mu.Lock()
+					if resp.Epoch > n.epoch {
+						n.adoptEpochLocked(resp.Epoch, 0)
+						n.leaderID = 0
+					}
+					n.mu.Unlock()
+				}
+			}(id)
+		}
+	}
+}

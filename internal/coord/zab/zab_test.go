@@ -1,0 +1,423 @@
+package zab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// kvSM is a deterministic append-log state machine for tests: every
+// applied txn is recorded, and the result echoes the txn with its zxid.
+type kvSM struct {
+	mu      sync.Mutex
+	applied []string
+	zxids   []uint64
+}
+
+func (s *kvSM) Apply(txn []byte, zxid uint64) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied = append(s.applied, string(txn))
+	s.zxids = append(s.zxids, zxid)
+	out := make([]byte, 8+len(txn))
+	binary.BigEndian.PutUint64(out, zxid)
+	copy(out[8:], txn)
+	return out
+}
+
+func (s *kvSM) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.applied)))
+	for i, a := range s.applied {
+		buf = binary.BigEndian.AppendUint64(buf, s.zxids[i])
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(a)))
+		buf = append(buf, a...)
+	}
+	return buf
+}
+
+func (s *kvSM) Restore(snap []byte, snapZxid uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied = nil
+	s.zxids = nil
+	if len(snap) < 4 {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(snap)
+	off := 4
+	for i := uint32(0); i < n; i++ {
+		z := binary.BigEndian.Uint64(snap[off:])
+		s.zxids = append(s.zxids, z)
+		off += 8
+		l := binary.BigEndian.Uint32(snap[off:])
+		off += 4
+		s.applied = append(s.applied, string(snap[off:off+int(l)]))
+		off += int(l)
+	}
+	return nil
+}
+
+func (s *kvSM) snapshotState() ([]string, []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.applied...), append([]uint64(nil), s.zxids...)
+}
+
+type ensemble struct {
+	nodes map[uint64]*Node
+	sms   map[uint64]*kvSM
+	net   *transport.InProc
+	peers map[uint64]string
+}
+
+func newEnsemble(t *testing.T, n int) *ensemble {
+	t.Helper()
+	e := &ensemble{
+		nodes: make(map[uint64]*Node),
+		sms:   make(map[uint64]*kvSM),
+		net:   transport.NewInProc(),
+		peers: make(map[uint64]string),
+	}
+	for i := 1; i <= n; i++ {
+		e.peers[uint64(i)] = fmt.Sprintf("zab-%d", i)
+	}
+	for i := 1; i <= n; i++ {
+		e.startNode(t, uint64(i), nil, 0)
+	}
+	t.Cleanup(e.stopAll)
+	return e
+}
+
+func (e *ensemble) startNode(t *testing.T, id uint64, snap []byte, snapZxid uint64) {
+	t.Helper()
+	sm := &kvSM{}
+	node, err := NewNode(Config{
+		ID:                id,
+		Peers:             e.peers,
+		Net:               e.net,
+		HeartbeatInterval: 5 * time.Millisecond,
+		ElectionTimeout:   30 * time.Millisecond,
+		MaxLogEntries:     128,
+		InitialSnapshot:   snap,
+		InitialZxid:       snapZxid,
+	}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.nodes[id] = node
+	e.sms[id] = sm
+}
+
+func (e *ensemble) stopAll() {
+	for _, n := range e.nodes {
+		n.Stop()
+	}
+}
+
+// waitLeader blocks until exactly one live node claims leadership and a
+// majority agrees on it.
+func (e *ensemble) waitLeader(t *testing.T) *Node {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var leader *Node
+		leaders := 0
+		for _, n := range e.nodes {
+			if n.IsLeader() {
+				leaders++
+				leader = n
+			}
+		}
+		if leaders == 1 {
+			agree := 0
+			for _, n := range e.nodes {
+				if n.LeaderID() == leader.ID() {
+					agree++
+				}
+			}
+			if agree >= len(e.peers)/2+1 {
+				return leader
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no stable leader elected within deadline")
+	return nil
+}
+
+func proposeOK(t *testing.T, n *Node, txn string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := n.Propose([]byte(txn))
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Propose(%q) never succeeded: %v", txn, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitConverged(t *testing.T, e *ensemble, want int, ids ...uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, id := range ids {
+			applied, _ := e.sms[id].snapshotState()
+			if len(applied) != want {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, id := range ids {
+		applied, _ := e.sms[id].snapshotState()
+		t.Logf("node %d applied %d entries", id, len(applied))
+	}
+	t.Fatalf("replicas did not converge to %d applied entries", want)
+}
+
+func TestElectsSingleLeader(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	if leader.Epoch() == 0 {
+		t.Fatal("leader epoch is 0")
+	}
+}
+
+func TestProposeReplicatesInOrder(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	const ops = 50
+	for i := 0; i < ops; i++ {
+		proposeOK(t, leader, fmt.Sprintf("op-%03d", i))
+	}
+	waitConverged(t, e, ops, 1, 2, 3)
+	want, _ := e.sms[leader.ID()].snapshotState()
+	for id, sm := range e.sms {
+		got, zxids := sm.snapshotState()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("node %d applied[%d] = %q, want %q", id, i, got[i], want[i])
+			}
+		}
+		for i := 1; i < len(zxids); i++ {
+			if zxids[i] <= zxids[i-1] {
+				t.Fatalf("node %d zxids not strictly increasing: %d then %d", id, zxids[i-1], zxids[i])
+			}
+		}
+	}
+}
+
+func TestFollowerForwardsProposals(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	var follower *Node
+	for _, n := range e.nodes {
+		if n.ID() != leader.ID() {
+			follower = n
+			break
+		}
+	}
+	proposeOK(t, follower, "via-follower")
+	waitConverged(t, e, 1, 1, 2, 3)
+	applied, _ := e.sms[leader.ID()].snapshotState()
+	if applied[0] != "via-follower" {
+		t.Fatalf("applied = %v", applied)
+	}
+}
+
+func TestConcurrentProposalsTotalOrder(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	const workers = 8
+	const perWorker = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				proposeOK(t, leader, fmt.Sprintf("w%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitConverged(t, e, workers*perWorker, 1, 2, 3)
+	base, _ := e.sms[1].snapshotState()
+	for id := uint64(2); id <= 3; id++ {
+		got, _ := e.sms[id].snapshotState()
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("node %d order diverges at %d: %q vs %q", id, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestMinorityFailureStillCommits(t *testing.T) {
+	e := newEnsemble(t, 5)
+	leader := e.waitLeader(t)
+	// Stop two non-leader nodes (a minority of 5).
+	stopped := 0
+	var live []uint64
+	for id, n := range e.nodes {
+		if id != leader.ID() && stopped < 2 {
+			n.Stop()
+			stopped++
+			continue
+		}
+		live = append(live, id)
+	}
+	for i := 0; i < 10; i++ {
+		proposeOK(t, leader, fmt.Sprintf("after-failure-%d", i))
+	}
+	waitConverged(t, e, 10, live...)
+}
+
+func TestLeaderFailureElectsNewLeaderAndPreservesLog(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	for i := 0; i < 5; i++ {
+		proposeOK(t, leader, fmt.Sprintf("pre-%d", i))
+	}
+	waitConverged(t, e, 5, 1, 2, 3)
+	oldID := leader.ID()
+	leader.Stop()
+	delete(e.nodes, oldID)
+
+	newLeader := e.waitLeader(t)
+	if newLeader.ID() == oldID {
+		t.Fatal("stopped node still leads")
+	}
+	for i := 0; i < 5; i++ {
+		proposeOK(t, newLeader, fmt.Sprintf("post-%d", i))
+	}
+	var live []uint64
+	for id := range e.nodes {
+		live = append(live, id)
+	}
+	waitConverged(t, e, 10, live...)
+	applied, _ := e.sms[newLeader.ID()].snapshotState()
+	for i := 0; i < 5; i++ {
+		if applied[i] != fmt.Sprintf("pre-%d", i) {
+			t.Fatalf("pre-failure entry %d lost: %v", i, applied[:5])
+		}
+	}
+}
+
+func TestNoQuorumBlocksWrites(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	for id, n := range e.nodes {
+		if id != leader.ID() {
+			n.Stop()
+		}
+	}
+	_, err := leader.Propose([]byte("doomed"))
+	if err == nil {
+		t.Fatal("Propose succeeded without a quorum")
+	}
+}
+
+func TestLaggingFollowerCatchesUpViaSync(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	// Stop one follower, write enough to force log truncation
+	// (MaxLogEntries=128), then restart it and expect a snapshot sync.
+	var victim uint64
+	for id, n := range e.nodes {
+		if id != leader.ID() {
+			victim = id
+			n.Stop()
+			break
+		}
+	}
+	const ops = 400
+	for i := 0; i < ops; i++ {
+		proposeOK(t, leader, fmt.Sprintf("op-%d", i))
+	}
+	delete(e.nodes, victim)
+	e.startNode(t, victim, nil, 0)
+	waitConverged(t, e, ops, victim)
+	got, _ := e.sms[victim].snapshotState()
+	if got[0] != "op-0" || got[ops-1] != fmt.Sprintf("op-%d", ops-1) {
+		t.Fatalf("restarted follower state bad: first=%q last=%q", got[0], got[ops-1])
+	}
+}
+
+func TestFullRestartFromCheckpoint(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	for i := 0; i < 20; i++ {
+		proposeOK(t, leader, fmt.Sprintf("durable-%d", i))
+	}
+	waitConverged(t, e, 20, 1, 2, 3)
+	snap, zxid := leader.Checkpoint()
+	e.stopAll()
+
+	// Boot a fresh ensemble from the checkpoint, like ZooKeeper
+	// restarting from its on-disk snapshot (paper §IV-I).
+	e2 := &ensemble{
+		nodes: make(map[uint64]*Node),
+		sms:   make(map[uint64]*kvSM),
+		net:   transport.NewInProc(),
+		peers: map[uint64]string{1: "r1", 2: "r2", 3: "r3"},
+	}
+	for id := uint64(1); id <= 3; id++ {
+		e2.startNode(t, id, snap, zxid)
+	}
+	defer e2.stopAll()
+	leader2 := e2.waitLeader(t)
+	applied, _ := e2.sms[leader2.ID()].snapshotState()
+	if len(applied) != 20 || applied[19] != "durable-19" {
+		t.Fatalf("restored state wrong: %d entries", len(applied))
+	}
+	proposeOK(t, leader2, "after-restart")
+	waitConverged(t, e2, 21, 1, 2, 3)
+}
+
+func TestProposeOnStoppedNode(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	leader.Stop()
+	if _, err := leader.Propose([]byte("x")); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode(Config{}, &kvSM{}); err == nil {
+		t.Fatal("NewNode without Net succeeded")
+	}
+	if _, err := NewNode(Config{Net: transport.NewInProc(), ID: 9, Peers: map[uint64]string{1: "a"}}, &kvSM{}); err == nil {
+		t.Fatal("NewNode with ID outside peers succeeded")
+	}
+}
+
+func TestZxidArithmetic(t *testing.T) {
+	z := makeZxid(3, 7)
+	if epochOf(z) != 3 || z&0xffffffff != 7 {
+		t.Fatalf("zxid layout wrong: %x", z)
+	}
+	if makeZxid(2, 0xffffffff) >= makeZxid(3, 1) {
+		t.Fatal("epoch must dominate ordering")
+	}
+}

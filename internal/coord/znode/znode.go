@@ -1,0 +1,454 @@
+// Package znode implements the hierarchical in-memory namespace of the
+// coordination service — the equivalent of ZooKeeper's znode tree
+// (paper §II-C).
+//
+// Znodes are addressed by slash-separated absolute paths. Each znode
+// carries a custom data field (DUFS stores the entry type and FID
+// there, paper §IV-D), standard stat fields (creation/modification
+// zxids and times, data version, child count) and may be ephemeral
+// (bound to a session) or sequential (server appends a monotonic
+// counter to the name).
+//
+// Tree is purely a state machine: every mutation is applied by the
+// replication layer (internal/coord/zab) in commit order, identically
+// on every server, which is what makes the replicas consistent. Tree
+// itself is safe for concurrent use so that read requests can be
+// served locally while commits apply.
+package znode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors mirror the ZooKeeper client error codes DUFS depends on.
+var (
+	ErrNoNode       = errors.New("znode: no such node")
+	ErrNodeExists   = errors.New("znode: node already exists")
+	ErrNotEmpty     = errors.New("znode: node has children")
+	ErrBadVersion   = errors.New("znode: version mismatch")
+	ErrBadPath      = errors.New("znode: invalid path")
+	ErrNoParent     = errors.New("znode: parent does not exist")
+	ErrRootReadOnly = errors.New("znode: cannot modify the root")
+)
+
+// Stat is the metadata block attached to every znode, mirroring the
+// ZooKeeper stat structure fields DUFS reads (paper §IV-D: "standard
+// fields include Znode creation time, list of children Znodes, etc.").
+type Stat struct {
+	Czxid          uint64 // zxid of the transaction that created the node
+	Mzxid          uint64 // zxid of the last modification
+	Ctime          int64  // creation time, UnixNano, as provided by the leader
+	Mtime          int64  // last-modification time, UnixNano
+	Version        int32  // data version, bumped by Set
+	Cversion       int32  // child version, bumped by child create/delete
+	NumChildren    int32
+	DataLength     int32
+	EphemeralOwner uint64 // session ID when ephemeral, else 0
+}
+
+// CreateMode selects znode flavor at creation.
+type CreateMode uint8
+
+// Create modes. Sequential nodes get a 10-digit zero-padded counter
+// (per parent) appended to the requested name, like ZooKeeper.
+const (
+	ModePersistent CreateMode = iota
+	ModeEphemeral
+	ModeSequential
+	ModeEphemeralSequential
+)
+
+// IsEphemeral reports whether the mode binds the node to a session.
+func (m CreateMode) IsEphemeral() bool {
+	return m == ModeEphemeral || m == ModeEphemeralSequential
+}
+
+// IsSequential reports whether the server appends a sequence number.
+func (m CreateMode) IsSequential() bool {
+	return m == ModeSequential || m == ModeEphemeralSequential
+}
+
+type node struct {
+	name     string
+	data     []byte
+	stat     Stat
+	children map[string]*node
+	nextSeq  int64 // per-parent sequence counter for sequential children
+}
+
+// Tree is the znode namespace. The zero value is not usable; call New.
+type Tree struct {
+	mu   sync.RWMutex
+	root *node
+	// ephemerals indexes ephemeral node paths by owning session so a
+	// session expiry can delete them in one sweep.
+	ephemerals map[uint64]map[string]bool
+	nodes      int64 // total node count, excluding root
+	dataBytes  int64 // sum of data field lengths
+}
+
+// New returns an empty tree containing only the root "/".
+func New() *Tree {
+	return &Tree{
+		root:       &node{name: "/", children: make(map[string]*node)},
+		ephemerals: make(map[uint64]map[string]bool),
+	}
+}
+
+// ValidatePath checks that p is a well-formed absolute znode path.
+func ValidatePath(p string) error {
+	if p == "" || p[0] != '/' {
+		return fmt.Errorf("%w: %q must be absolute", ErrBadPath, p)
+	}
+	if p == "/" {
+		return nil
+	}
+	if strings.HasSuffix(p, "/") {
+		return fmt.Errorf("%w: %q has a trailing slash", ErrBadPath, p)
+	}
+	for _, seg := range strings.Split(p[1:], "/") {
+		if seg == "" {
+			return fmt.Errorf("%w: %q has an empty component", ErrBadPath, p)
+		}
+		if seg == "." || seg == ".." {
+			return fmt.Errorf("%w: %q has a relative component", ErrBadPath, p)
+		}
+	}
+	return nil
+}
+
+// SplitPath returns the parent path and final component of p.
+func SplitPath(p string) (parent, name string) {
+	i := strings.LastIndexByte(p, '/')
+	if i == 0 {
+		return "/", p[1:]
+	}
+	return p[:i], p[i+1:]
+}
+
+// lookup walks to the node at path. Caller holds t.mu.
+func (t *Tree) lookup(path string) (*node, error) {
+	if path == "/" {
+		return t.root, nil
+	}
+	cur := t.root
+	for _, seg := range strings.Split(path[1:], "/") {
+		next, ok := cur.children[seg]
+		if !ok {
+			return nil, ErrNoNode
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Create inserts a node. For sequential modes the stored name has the
+// parent's 10-digit sequence counter appended; the actual created path
+// is returned. zxid and nowNano come from the replication layer so all
+// replicas agree. session is the creator's session ID (used only for
+// ephemeral modes).
+func (t *Tree) Create(path string, data []byte, mode CreateMode, session, zxid uint64, nowNano int64) (string, error) {
+	if err := ValidatePath(path); err != nil {
+		return "", err
+	}
+	if path == "/" {
+		return "", ErrNodeExists
+	}
+	parentPath, name := SplitPath(path)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent, err := t.lookup(parentPath)
+	if err != nil {
+		return "", ErrNoParent
+	}
+	if parent.stat.EphemeralOwner != 0 {
+		return "", fmt.Errorf("znode: parent %q is ephemeral and cannot have children", parentPath)
+	}
+	if mode.IsSequential() {
+		name = fmt.Sprintf("%s%010d", name, parent.nextSeq)
+		parent.nextSeq++
+	}
+	if _, dup := parent.children[name]; dup {
+		return "", ErrNodeExists
+	}
+	n := &node{
+		name:     name,
+		data:     append([]byte(nil), data...),
+		children: make(map[string]*node),
+		stat: Stat{
+			Czxid: zxid, Mzxid: zxid,
+			Ctime: nowNano, Mtime: nowNano,
+			DataLength: int32(len(data)),
+		},
+	}
+	if mode.IsEphemeral() {
+		n.stat.EphemeralOwner = session
+	}
+	parent.children[name] = n
+	parent.stat.NumChildren++
+	parent.stat.Cversion++
+	parent.stat.Mzxid = zxid
+	t.nodes++
+	t.dataBytes += int64(len(data))
+
+	created := parentPath + "/" + name
+	if parentPath == "/" {
+		created = "/" + name
+	}
+	if mode.IsEphemeral() {
+		m := t.ephemerals[session]
+		if m == nil {
+			m = make(map[string]bool)
+			t.ephemerals[session] = m
+		}
+		m[created] = true
+	}
+	return created, nil
+}
+
+// Get returns a copy of the node's data and its stat.
+func (t *Tree) Get(path string) ([]byte, Stat, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, Stat{}, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, err := t.lookup(path)
+	if err != nil {
+		return nil, Stat{}, err
+	}
+	return append([]byte(nil), n.data...), n.stat, nil
+}
+
+// Exists returns the stat if the node exists.
+func (t *Tree) Exists(path string) (Stat, bool) {
+	if err := ValidatePath(path); err != nil {
+		return Stat{}, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, err := t.lookup(path)
+	if err != nil {
+		return Stat{}, false
+	}
+	return n.stat, true
+}
+
+// Set replaces the node's data. version -1 skips the optimistic check,
+// matching ZooKeeper semantics.
+func (t *Tree) Set(path string, data []byte, version int32, zxid uint64, nowNano int64) (Stat, error) {
+	if err := ValidatePath(path); err != nil {
+		return Stat{}, err
+	}
+	if path == "/" {
+		return Stat{}, ErrRootReadOnly
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, err := t.lookup(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	if version != -1 && version != n.stat.Version {
+		return Stat{}, ErrBadVersion
+	}
+	t.dataBytes += int64(len(data)) - int64(len(n.data))
+	n.data = append([]byte(nil), data...)
+	n.stat.Version++
+	n.stat.Mzxid = zxid
+	n.stat.Mtime = nowNano
+	n.stat.DataLength = int32(len(data))
+	return n.stat, nil
+}
+
+// Delete removes a childless node. version -1 skips the check.
+func (t *Tree) Delete(path string, version int32, zxid uint64) error {
+	if err := ValidatePath(path); err != nil {
+		return err
+	}
+	if path == "/" {
+		return ErrRootReadOnly
+	}
+	parentPath, _ := SplitPath(path)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, err := t.lookup(path)
+	if err != nil {
+		return err
+	}
+	if version != -1 && version != n.stat.Version {
+		return ErrBadVersion
+	}
+	if len(n.children) > 0 {
+		return ErrNotEmpty
+	}
+	parent, err := t.lookup(parentPath)
+	if err != nil {
+		return ErrNoParent // unreachable if the tree is consistent
+	}
+	delete(parent.children, n.name)
+	parent.stat.NumChildren--
+	parent.stat.Cversion++
+	parent.stat.Mzxid = zxid
+	t.nodes--
+	t.dataBytes -= int64(len(n.data))
+	if owner := n.stat.EphemeralOwner; owner != 0 {
+		if m := t.ephemerals[owner]; m != nil {
+			delete(m, path)
+			if len(m) == 0 {
+				delete(t.ephemerals, owner)
+			}
+		}
+	}
+	return nil
+}
+
+// Children returns the sorted child names of the node.
+func (t *Tree) Children(path string) ([]string, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, err := t.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ExpireSession deletes every ephemeral node owned by the session and
+// returns the deleted paths (deepest first so parents never block).
+func (t *Tree) ExpireSession(session, zxid uint64) []string {
+	t.mu.Lock()
+	paths := make([]string, 0, len(t.ephemerals[session]))
+	for p := range t.ephemerals[session] {
+		paths = append(paths, p)
+	}
+	t.mu.Unlock()
+	// Deeper paths first; ephemeral nodes cannot have children, but a
+	// deterministic order keeps replicas identical.
+	sort.Slice(paths, func(i, j int) bool {
+		if d1, d2 := strings.Count(paths[i], "/"), strings.Count(paths[j], "/"); d1 != d2 {
+			return d1 > d2
+		}
+		return paths[i] < paths[j]
+	})
+	deleted := paths[:0]
+	for _, p := range paths {
+		if err := t.Delete(p, -1, zxid); err == nil {
+			deleted = append(deleted, p)
+		}
+	}
+	return deleted
+}
+
+// Count returns the number of znodes, excluding the root.
+func (t *Tree) Count() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes
+}
+
+// DataBytes returns the total size of all data fields.
+func (t *Tree) DataBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.dataBytes
+}
+
+// WalkEntry is one node visited by Walk/Snapshot.
+type WalkEntry struct {
+	Path string
+	Data []byte
+	Stat Stat
+	Seq  int64 // the node's sequential-child counter
+}
+
+// Walk visits every node (excluding the root) in depth-first,
+// lexicographic order and calls fn. fn must not mutate the tree.
+func (t *Tree) Walk(fn func(e WalkEntry)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.walk(t.root, "", fn)
+}
+
+func (t *Tree) walk(n *node, prefix string, fn func(e WalkEntry)) {
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := n.children[name]
+		p := prefix + "/" + name
+		fn(WalkEntry{Path: p, Data: c.data, Stat: c.stat, Seq: c.nextSeq})
+		t.walk(c, p, fn)
+	}
+}
+
+// RestoreEntry re-inserts a node captured by Walk, used when loading a
+// snapshot. Entries must arrive parents-first.
+func (t *Tree) RestoreEntry(e WalkEntry) error {
+	parentPath, name := SplitPath(e.Path)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent, err := t.lookup(parentPath)
+	if err != nil {
+		return ErrNoParent
+	}
+	if _, dup := parent.children[name]; dup {
+		return ErrNodeExists
+	}
+	n := &node{
+		name:     name,
+		data:     append([]byte(nil), e.Data...),
+		children: make(map[string]*node),
+		stat:     e.Stat,
+		nextSeq:  e.Seq,
+	}
+	parent.children[name] = n
+	parent.stat.NumChildren++
+	t.nodes++
+	t.dataBytes += int64(len(e.Data))
+	if owner := e.Stat.EphemeralOwner; owner != 0 {
+		m := t.ephemerals[owner]
+		if m == nil {
+			m = make(map[string]bool)
+			t.ephemerals[owner] = m
+		}
+		m[e.Path] = true
+	}
+	return nil
+}
+
+// Fingerprint returns a cheap structural checksum (node count, data
+// bytes, XOR of path hashes and mzxids) used by tests to compare
+// replica states without serializing whole trees.
+func (t *Tree) Fingerprint() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var fp uint64
+	var visit func(n *node, depth uint64)
+	visit = func(n *node, depth uint64) {
+		for name, c := range n.children {
+			var h uint64 = 14695981039346656037
+			for i := 0; i < len(name); i++ {
+				h = (h ^ uint64(name[i])) * 1099511628211
+			}
+			fp ^= h + depth*2654435761 + c.stat.Mzxid + uint64(c.stat.Version)<<32
+			visit(c, depth+1)
+		}
+	}
+	visit(t.root, 1)
+	return fp ^ uint64(t.nodes)<<48 ^ uint64(t.dataBytes)
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// Cached wraps a DUFS client with a coherent client-side metadata
+// cache: directory and symlink attributes plus directory listings are
+// cached locally and invalidated by coordination-service watches.
+//
+// The paper's prototype relies on FUSE's timeout-based entry cache and
+// otherwise pays a znode round trip per lookup. This wrapper is the
+// repository's extension of that design: the watch mechanism makes the
+// cache *coherent* — another client's mkdir/rmdir/rename shows up as
+// an invalidation event rather than waiting out a TTL. File attributes
+// (size, mtime) live on the back-end storage (paper §IV-D) and are
+// deliberately not cached here; only znode-backed metadata is.
+//
+// Cached implements vfs.FileSystem and can be used anywhere a DUFS
+// instance can.
+type Cached struct {
+	*DUFS
+	sess *coord.Session
+	reg  *metrics.Registry
+
+	mu      sync.Mutex
+	attrs   map[string]vfs.FileInfo   // virtual path -> cached stat (dirs/symlinks)
+	listing map[string][]vfs.DirEntry // virtual path -> cached readdir
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewCached wraps d. The wrapper starts a background poller that
+// drains watch events from the session; call Close to stop it.
+func NewCached(d *DUFS, reg *metrics.Registry) *Cached {
+	c := &Cached{
+		DUFS:    d,
+		sess:    d.sess,
+		reg:     reg,
+		attrs:   make(map[string]vfs.FileInfo),
+		listing: make(map[string][]vfs.DirEntry),
+		stop:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.pollLoop()
+	return c
+}
+
+// Close stops the invalidation poller (the underlying DUFS session is
+// owned by the caller and stays open).
+func (c *Cached) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Cached) count(name string) {
+	if c.reg != nil {
+		c.reg.Counter(name).Inc()
+	}
+}
+
+// pollLoop drains fired watches and invalidates affected entries.
+func (c *Cached) pollLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		evs, err := c.sess.PollEvents()
+		if err != nil {
+			continue // session hiccup; retry next tick
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		c.mu.Lock()
+		for _, ev := range evs {
+			vp := c.virtualPath(ev.Path)
+			delete(c.attrs, vp)
+			delete(c.listing, vp)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// virtualPath strips the znode root prefix from a watch event path.
+func (c *Cached) virtualPath(zp string) string {
+	if zp == c.zroot {
+		return "/"
+	}
+	return strings.TrimPrefix(zp, c.zroot)
+}
+
+// invalidate drops local entries for a path and its parent listing,
+// covering the window between this client's own write and the poller
+// seeing the event.
+func (c *Cached) invalidate(p string) {
+	parent, _ := vfs.Split(p)
+	c.mu.Lock()
+	delete(c.attrs, p)
+	delete(c.listing, p)
+	delete(c.listing, parent)
+	delete(c.attrs, parent)
+	c.mu.Unlock()
+}
+
+// Stat implements vfs.FileSystem. Directory and symlink stats are
+// served from cache when warm; the cold path registers a data watch
+// so any later mutation invalidates the entry.
+func (c *Cached) Stat(path string) (vfs.FileInfo, error) {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	c.mu.Lock()
+	if fi, ok := c.attrs[p]; ok {
+		c.mu.Unlock()
+		c.count("cache-hit")
+		return fi, nil
+	}
+	c.mu.Unlock()
+	c.count("cache-miss")
+
+	data, stat, err := c.sess.GetW(c.zpath(p))
+	if err != nil {
+		return vfs.FileInfo{}, mapError(err)
+	}
+	nd, err := decodeNodeData(data)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	_, name := vfs.Split(p)
+	switch nd.Kind {
+	case kindDir:
+		fi := vfs.FileInfo{
+			Name:  name,
+			Mode:  vfs.ModeDir | nd.Mode,
+			Nlink: uint32(2 + stat.NumChildren),
+			Ctime: unixNano(stat.Ctime),
+			Mtime: unixNano(stat.Mtime),
+		}
+		c.mu.Lock()
+		c.attrs[p] = fi
+		c.mu.Unlock()
+		return fi, nil
+	case kindSymlink:
+		fi := vfs.FileInfo{
+			Name:  name,
+			Mode:  vfs.ModeSymlink | nd.Mode,
+			Nlink: 1,
+			Size:  int64(len(nd.Target)),
+			Ctime: unixNano(stat.Ctime),
+			Mtime: unixNano(stat.Mtime),
+		}
+		c.mu.Lock()
+		c.attrs[p] = fi
+		c.mu.Unlock()
+		return fi, nil
+	default:
+		// File sizes/mtimes live on the back-end; never cached here.
+		backend, phys := c.locate(nd.FID)
+		fi, err := backend.Stat(phys)
+		if err != nil {
+			return vfs.FileInfo{}, err
+		}
+		fi.Name = name
+		fi.Mode = vfs.ModeRegular | (fi.Mode & vfs.PermMask)
+		return fi, nil
+	}
+}
+
+// Readdir implements vfs.FileSystem with a watch-coherent listing
+// cache.
+func (c *Cached) Readdir(path string) ([]vfs.DirEntry, error) {
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if es, ok := c.listing[p]; ok {
+		c.mu.Unlock()
+		c.count("cache-hit")
+		return append([]vfs.DirEntry(nil), es...), nil
+	}
+	c.mu.Unlock()
+	c.count("cache-miss")
+
+	// The znode tree lists children of any node kind; POSIX readdir on
+	// a non-directory must fail, so check the entry type first.
+	nd, _, err := c.getNode(p)
+	if err != nil {
+		return nil, err
+	}
+	if nd.Kind != kindDir {
+		return nil, vfs.ErrNotDir
+	}
+	names, err := c.sess.ChildrenW(c.zpath(p))
+	if err != nil {
+		return nil, mapError(err)
+	}
+	out := make([]vfs.DirEntry, 0, len(names))
+	for _, name := range names {
+		child := p + "/" + name
+		if p == "/" {
+			child = "/" + name
+		}
+		nd, _, err := c.getNode(child)
+		if err != nil {
+			continue
+		}
+		out = append(out, vfs.DirEntry{Name: name, IsDir: nd.Kind == kindDir})
+	}
+	c.mu.Lock()
+	c.listing[p] = append([]vfs.DirEntry(nil), out...)
+	c.mu.Unlock()
+	return out, nil
+}
+
+// The mutating operations delegate to DUFS and invalidate locally so
+// this client never reads its own stale entries.
+
+// Mkdir implements vfs.FileSystem.
+func (c *Cached) Mkdir(path string, perm uint32) error {
+	err := c.DUFS.Mkdir(path, perm)
+	if p, cerr := vfs.Clean(path); cerr == nil {
+		c.invalidate(p)
+	}
+	return err
+}
+
+// Rmdir implements vfs.FileSystem.
+func (c *Cached) Rmdir(path string) error {
+	err := c.DUFS.Rmdir(path)
+	if p, cerr := vfs.Clean(path); cerr == nil {
+		c.invalidate(p)
+	}
+	return err
+}
+
+// Create implements vfs.FileSystem.
+func (c *Cached) Create(path string, perm uint32) (vfs.Handle, error) {
+	h, err := c.DUFS.Create(path, perm)
+	if p, cerr := vfs.Clean(path); cerr == nil {
+		c.invalidate(p)
+	}
+	return h, err
+}
+
+// Unlink implements vfs.FileSystem.
+func (c *Cached) Unlink(path string) error {
+	err := c.DUFS.Unlink(path)
+	if p, cerr := vfs.Clean(path); cerr == nil {
+		c.invalidate(p)
+	}
+	return err
+}
+
+// Rename implements vfs.FileSystem.
+func (c *Cached) Rename(oldPath, newPath string) error {
+	err := c.DUFS.Rename(oldPath, newPath)
+	if p, cerr := vfs.Clean(oldPath); cerr == nil {
+		c.invalidate(p)
+	}
+	if p, cerr := vfs.Clean(newPath); cerr == nil {
+		c.invalidate(p)
+	}
+	return err
+}
+
+// Symlink implements vfs.FileSystem.
+func (c *Cached) Symlink(target, linkPath string) error {
+	err := c.DUFS.Symlink(target, linkPath)
+	if p, cerr := vfs.Clean(linkPath); cerr == nil {
+		c.invalidate(p)
+	}
+	return err
+}
+
+// Chmod implements vfs.FileSystem.
+func (c *Cached) Chmod(path string, perm uint32) error {
+	err := c.DUFS.Chmod(path, perm)
+	if p, cerr := vfs.Clean(path); cerr == nil {
+		c.invalidate(p)
+	}
+	return err
+}
+
+// CacheStats reports hit/miss counters when a registry was supplied.
+func (c *Cached) CacheStats() (hits, misses int64) {
+	if c.reg == nil {
+		return 0, 0
+	}
+	return c.reg.Counter("cache-hit").Value(), c.reg.Counter("cache-miss").Value()
+}
+
+// ErrCacheClosed is reserved for future use by callers that want to
+// distinguish a closed cache from a transient failure.
+var ErrCacheClosed = errors.New("dufs: cache closed")
+
+var _ vfs.FileSystem = (*Cached)(nil)

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/backend/backendtest"
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+func newCached(t *testing.T, env *testEnv, zroot string) *Cached {
+	t.Helper()
+	d := env.newDUFS(t, zroot)
+	c := NewCached(d, metrics.NewRegistry())
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCachedConformance(t *testing.T) {
+	// The cached wrapper must be indistinguishable from plain DUFS for
+	// single-client semantics.
+	i := 0
+	backendtest.Run(t, func(t *testing.T) vfs.FileSystem {
+		env := newEnv(t, 3, 2)
+		i++
+		return newCached(t, env, fmt.Sprintf("/cconf%d", i))
+	}, backendtest.Options{})
+}
+
+func TestCachedStatHitsAfterWarmup(t *testing.T) {
+	env := newEnv(t, 1, 1)
+	c := newCached(t, env, "/chit")
+	if err := c.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/d"); err != nil { // cold: miss + watch
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Stat("/d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := c.CacheStats()
+	if hits < 10 {
+		t.Fatalf("hits = %d, want >= 10 (misses=%d)", hits, misses)
+	}
+}
+
+func TestCachedInvalidatedByOtherClient(t *testing.T) {
+	// The coherence property: another client's chmod must invalidate
+	// this client's cached directory stat via the watch, without any
+	// TTL.
+	env := newEnv(t, 3, 2)
+	a := newCached(t, env, "/coh")
+	b := env.newDUFS(t, "/coh")
+
+	if err := a.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := a.Stat("/d")
+	if err != nil || fi.Mode&vfs.PermMask != 0o755 {
+		t.Fatalf("initial stat = %+v, %v", fi, err)
+	}
+	if err := b.Chmod("/d", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	// The watch fires on a's server when the commit applies; the
+	// poller then drops the entry. Poll until the new mode shows.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fi, err := a.Stat("/d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Mode&vfs.PermMask == 0o700 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cached stat never invalidated; still %o", fi.Mode&vfs.PermMask)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCachedListingInvalidatedByRemoteCreate(t *testing.T) {
+	env := newEnv(t, 3, 2)
+	a := newCached(t, env, "/clist")
+	b := env.newDUFS(t, "/clist")
+
+	if err := a.Mkdir("/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	es, err := a.Readdir("/dir")
+	if err != nil || len(es) != 0 {
+		t.Fatalf("initial readdir = %v, %v", es, err)
+	}
+	if err := b.Mkdir("/dir/new", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		es, err := a.Readdir("/dir")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) == 1 && es[0].Name == "new" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cached listing never invalidated: %v", es)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCachedOwnWritesVisibleImmediately(t *testing.T) {
+	// Local invalidation must not wait for the poller.
+	env := newEnv(t, 1, 1)
+	c := newCached(t, env, "/own")
+	if err := c.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Readdir("/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/d2", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	es, err := c.Readdir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 {
+		t.Fatalf("own mkdir not visible through cache: %v", es)
+	}
+	if err := c.Rmdir("/d2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/d2"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("own rmdir not visible: %v", err)
+	}
+}
+
+func TestCachedFileStatsNeverCached(t *testing.T) {
+	// File sizes live on the back-end (§IV-D); the cache must not
+	// serve a stale size.
+	env := newEnv(t, 1, 1)
+	c := newCached(t, env, "/fsize")
+	if err := vfs.WriteFile(c, "/f", []byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := c.Stat("/f")
+	if err != nil || fi.Size != 4 {
+		t.Fatalf("stat = %+v, %v", fi, err)
+	}
+	if err := c.Truncate("/f", 2); err != nil {
+		t.Fatal(err)
+	}
+	fi, err = c.Stat("/f")
+	if err != nil || fi.Size != 2 {
+		t.Fatalf("stat after truncate = %+v, %v (file sizes must not be cached)", fi, err)
+	}
+}

@@ -1,0 +1,647 @@
+// Package core implements DUFS — the Distributed Union File System,
+// the paper's primary contribution (§IV).
+//
+// DUFS presents a single POSIX-style namespace that unions N mounts of
+// a parallel filesystem. The metadata path is the paper's two-step
+// indirection (Fig 2):
+//
+//	virtual path --(coordination service)--> FID --(MD5 mod N)--> physical path
+//
+// Directories and the directory tree exist ONLY in the coordination
+// service: a directory operation never touches the back-end storage
+// (§IV-A: "directories and directory-trees are considered as metadata
+// only"). A file's znode carries its 128-bit FID in the custom data
+// field; the file body lives on the back-end mount selected by the
+// deterministic mapping function, under the FID-derived physical path
+// (Fig 4), so renames never move data.
+//
+// A DUFS instance is stateless (§IV-I): everything lives in the
+// coordination service or on the back-end storage, so clients can
+// appear and disappear freely. DUFS implements vfs.FileSystem, making
+// it mountable wherever the real prototype's FUSE mount point would
+// be.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/fid"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+// Entry kinds stored in the znode custom data field (§IV-D: "this
+// custom field is used to tell the Znode if it is representing a
+// directory or a file. In the latter case, the FID of the file is also
+// stored in this field").
+const (
+	kindDir uint8 = iota + 1
+	kindFile
+	kindSymlink
+)
+
+// nodeData is the decoded znode custom data field.
+type nodeData struct {
+	Kind   uint8
+	Mode   uint32  // permission bits (directories and symlinks)
+	FID    fid.FID // files only
+	Target string  // symlinks only
+}
+
+func encodeNodeData(d nodeData) []byte {
+	w := wire.NewWriter(32 + len(d.Target))
+	w.Uint8(d.Kind)
+	w.Uint32(d.Mode)
+	w.Uint64(d.FID.Hi)
+	w.Uint64(d.FID.Lo)
+	w.String(d.Target)
+	return w.Bytes()
+}
+
+func decodeNodeData(b []byte) (nodeData, error) {
+	r := wire.NewReader(b)
+	d := nodeData{
+		Kind: r.Uint8(),
+		Mode: r.Uint32(),
+	}
+	d.FID.Hi = r.Uint64()
+	d.FID.Lo = r.Uint64()
+	d.Target = r.String()
+	if err := r.Err(); err != nil {
+		return nodeData{}, fmt.Errorf("dufs: corrupt znode data: %w", err)
+	}
+	return d, nil
+}
+
+// Config assembles a DUFS client instance.
+type Config struct {
+	// Session is the coordination-service handle (one per DUFS client,
+	// like the paper's co-located ZooKeeper client library).
+	Session *coord.Session
+	// Backends are the underlying parallel-filesystem mounts to union.
+	Backends []vfs.FileSystem
+	// Mapper overrides the FID->back-end mapping function. Defaults to
+	// the paper's MD5 mod N (§IV-F). Its Backends() must equal
+	// len(Backends).
+	Mapper placement.Mapper
+	// ZRoot is the znode subtree holding this DUFS namespace.
+	// Defaults to "/dufs". Several DUFS filesystems can share one
+	// coordination service under different roots.
+	ZRoot string
+	// Metrics, when non-nil, counts operations by name.
+	Metrics *metrics.Registry
+}
+
+// DUFS is one client instance of the Distributed Union File System.
+type DUFS struct {
+	sess     *coord.Session
+	backends []vfs.FileSystem
+	mapper   placement.Mapper
+	zroot    string
+	gen      *fid.Generator
+	reg      *metrics.Registry
+}
+
+// New builds a DUFS client. It creates the znode root if missing and
+// mints the client's FID generator from the session ID, which the
+// replicated state machine guarantees unique — the paper's "another
+// unique 64-bit client ID" on restart (§IV-E).
+func New(cfg Config) (*DUFS, error) {
+	if cfg.Session == nil {
+		return nil, errors.New("dufs: Config.Session is required")
+	}
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("dufs: at least one back-end mount is required")
+	}
+	mapper := cfg.Mapper
+	if mapper == nil {
+		m, err := placement.NewModN(len(cfg.Backends))
+		if err != nil {
+			return nil, err
+		}
+		mapper = m
+	}
+	if mapper.Backends() != len(cfg.Backends) {
+		return nil, fmt.Errorf("dufs: mapper covers %d back-ends, have %d",
+			mapper.Backends(), len(cfg.Backends))
+	}
+	zroot := cfg.ZRoot
+	if zroot == "" {
+		zroot = "/dufs"
+	}
+	gen, err := fid.NewGenerator(cfg.Session.ID())
+	if err != nil {
+		return nil, fmt.Errorf("dufs: session ID unusable as client ID: %w", err)
+	}
+	d := &DUFS{
+		sess:     cfg.Session,
+		backends: cfg.Backends,
+		mapper:   mapper,
+		zroot:    zroot,
+		gen:      gen,
+		reg:      cfg.Metrics,
+	}
+	// The root directory znode is shared by all clients; racing
+	// creations are fine.
+	rootData := encodeNodeData(nodeData{Kind: kindDir, Mode: 0o755})
+	if _, err := cfg.Session.Create(zroot, rootData, 0); err != nil && !errors.Is(err, coord.ErrNodeExists) {
+		return nil, fmt.Errorf("dufs: creating znode root %s: %w", zroot, err)
+	}
+	return d, nil
+}
+
+// ClientID returns the unique 64-bit DUFS client ID (the FID high
+// half).
+func (d *DUFS) ClientID() uint64 { return d.gen.ClientID() }
+
+// Sync brings this client's namespace view up to date with every
+// metadata mutation committed before the call — the coordination
+// service's sync() barrier. A client always sees its own writes
+// without it; Sync is for reading another client's latest changes.
+func (d *DUFS) Sync() error { return d.sess.Sync() }
+
+func (d *DUFS) count(op string) {
+	if d.reg != nil {
+		d.reg.Counter(op).Inc()
+	}
+}
+
+// zpath maps a cleaned virtual path to its znode path.
+func (d *DUFS) zpath(p string) string {
+	if p == "/" {
+		return d.zroot
+	}
+	return d.zroot + p
+}
+
+// mapError converts coordination-service errors to vfs errors.
+func mapError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, coord.ErrNoNode), errors.Is(err, coord.ErrNoParent):
+		return vfs.ErrNotExist
+	case errors.Is(err, coord.ErrNodeExists):
+		return vfs.ErrExist
+	case errors.Is(err, coord.ErrNotEmpty):
+		return vfs.ErrNotEmpty
+	case errors.Is(err, coord.ErrBadPath):
+		return vfs.ErrInvalid
+	default:
+		return err
+	}
+}
+
+// getNode fetches and decodes a znode (steps A+B of Fig 3).
+func (d *DUFS) getNode(p string) (nodeData, coordStat, error) {
+	data, stat, err := d.sess.Get(d.zpath(p))
+	if err != nil {
+		return nodeData{}, coordStat{}, mapError(err)
+	}
+	nd, err := decodeNodeData(data)
+	if err != nil {
+		return nodeData{}, coordStat{}, err
+	}
+	return nd, coordStat{ctime: stat.Ctime, mtime: stat.Mtime, children: stat.NumChildren}, nil
+}
+
+// coordStat is the subset of znode stat DUFS surfaces.
+type coordStat struct {
+	ctime    int64
+	mtime    int64
+	children int32
+}
+
+// locate resolves a FID to its back-end mount and physical path
+// (step C of Fig 3: the deterministic mapping function needs no
+// coordination).
+func (d *DUFS) locate(f fid.FID) (vfs.FileSystem, string) {
+	idx := d.mapper.Locate(f)
+	return d.backends[idx], "/" + f.PhysicalPath()
+}
+
+// Mkdir implements vfs.FileSystem — the paper's Fig 5 algorithm: the
+// directory exists only as a znode; the back-end is never contacted.
+func (d *DUFS) Mkdir(path string, perm uint32) error {
+	d.count("mkdir")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return vfs.ErrExist
+	}
+	data := encodeNodeData(nodeData{Kind: kindDir, Mode: perm & vfs.PermMask})
+	_, err = d.sess.Create(d.zpath(p), data, 0)
+	return mapError(err)
+}
+
+// Rmdir implements vfs.FileSystem.
+func (d *DUFS) Rmdir(path string) error {
+	d.count("rmdir")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return vfs.ErrPerm
+	}
+	nd, _, err := d.getNode(p)
+	if err != nil {
+		return err
+	}
+	if nd.Kind != kindDir {
+		return vfs.ErrNotDir
+	}
+	return mapError(d.sess.Delete(d.zpath(p), -1))
+}
+
+// Create implements vfs.FileSystem: mint a FID locally, register the
+// filename znode, then create the physical file on the mapped
+// back-end under the FID-derived path.
+func (d *DUFS) Create(path string, perm uint32) (vfs.Handle, error) {
+	d.count("create")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	f := d.gen.Next()
+	data := encodeNodeData(nodeData{Kind: kindFile, Mode: perm & vfs.PermMask, FID: f})
+	if _, err := d.sess.Create(d.zpath(p), data, 0); err != nil {
+		return nil, mapError(err)
+	}
+	backend, phys := d.locate(f)
+	if err := d.ensurePhysDirs(backend, f); err != nil {
+		// Undo the namespace entry so a failed create is invisible.
+		_ = d.sess.Delete(d.zpath(p), -1)
+		return nil, err
+	}
+	h, err := backend.Create(phys, perm)
+	if err != nil {
+		_ = d.sess.Delete(d.zpath(p), -1)
+		return nil, err
+	}
+	return h, nil
+}
+
+// ensurePhysDirs creates the static FID directory hierarchy on demand
+// (§IV-G: identical across back-ends, so there is never a conflict).
+func (d *DUFS) ensurePhysDirs(backend vfs.FileSystem, f fid.FID) error {
+	dirs := f.PhysicalDirs()
+	cur := ""
+	for _, seg := range dirs {
+		cur += "/" + seg
+		if err := backend.Mkdir(cur, 0o755); err != nil && !errors.Is(err, vfs.ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open implements vfs.FileSystem — the paper's Fig 3 walk-through:
+// (A) virtual path in, (B) znode lookup returns the FID, (C) the
+// mapping function picks the back-end, (D) the physical file opens.
+func (d *DUFS) Open(path string, flags int) (vfs.Handle, error) {
+	d.count("open")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	nd, _, err := d.getNode(p)
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotExist) && flags&vfs.OpenCreate != 0 {
+			return d.Create(p, 0o644)
+		}
+		return nil, err
+	}
+	switch nd.Kind {
+	case kindDir:
+		return nil, vfs.ErrIsDir
+	case kindSymlink:
+		return nil, vfs.ErrInvalid // no link chasing at this layer
+	}
+	backend, phys := d.locate(nd.FID)
+	return backend.Open(phys, flags)
+}
+
+// Unlink implements vfs.FileSystem: drop the name from the namespace,
+// then remove the physical body. The FID indirection is what lets the
+// same virtual name later refer to brand-new contents (§IV-A).
+func (d *DUFS) Unlink(path string) error {
+	d.count("unlink")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	nd, _, err := d.getNode(p)
+	if err != nil {
+		return err
+	}
+	if nd.Kind == kindDir {
+		return vfs.ErrIsDir
+	}
+	if err := d.sess.Delete(d.zpath(p), -1); err != nil {
+		return mapError(err)
+	}
+	if nd.Kind == kindFile {
+		backend, phys := d.locate(nd.FID)
+		if err := backend.Unlink(phys); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stat implements vfs.FileSystem — the paper's Fig 6 algorithm:
+// directory stats are satisfied entirely from the znode ("the
+// back-end storage are not contacted"); file stats read the physical
+// file for size and times.
+func (d *DUFS) Stat(path string) (vfs.FileInfo, error) {
+	d.count("stat")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	nd, st, err := d.getNode(p)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	_, name := vfs.Split(p)
+	switch nd.Kind {
+	case kindDir:
+		return vfs.FileInfo{
+			Name:  name,
+			Mode:  vfs.ModeDir | nd.Mode,
+			Nlink: uint32(2 + st.children),
+			Ctime: unixNano(st.ctime),
+			Mtime: unixNano(st.mtime),
+		}, nil
+	case kindSymlink:
+		return vfs.FileInfo{
+			Name:  name,
+			Mode:  vfs.ModeSymlink | nd.Mode,
+			Nlink: 1,
+			Size:  int64(len(nd.Target)),
+			Ctime: unixNano(st.ctime),
+			Mtime: unixNano(st.mtime),
+		}, nil
+	default:
+		backend, phys := d.locate(nd.FID)
+		fi, err := backend.Stat(phys)
+		if err != nil {
+			return vfs.FileInfo{}, err
+		}
+		fi.Name = name
+		fi.Mode = vfs.ModeRegular | (fi.Mode & vfs.PermMask)
+		return fi, nil
+	}
+}
+
+func unixNano(ns int64) time.Time { return time.Unix(0, ns) }
+
+// Readdir implements vfs.FileSystem: one Children query on the
+// coordination service — the back-end is never consulted.
+func (d *DUFS) Readdir(path string) ([]vfs.DirEntry, error) {
+	d.count("readdir")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	nd, _, err := d.getNode(p)
+	if err != nil {
+		return nil, err
+	}
+	if nd.Kind != kindDir {
+		return nil, vfs.ErrNotDir
+	}
+	names, err := d.sess.Children(d.zpath(p))
+	if err != nil {
+		return nil, mapError(err)
+	}
+	out := make([]vfs.DirEntry, 0, len(names))
+	for _, name := range names {
+		child := p + "/" + name
+		if p == "/" {
+			child = "/" + name
+		}
+		cnd, _, err := d.getNode(child)
+		if err != nil {
+			continue // deleted concurrently
+		}
+		out = append(out, vfs.DirEntry{Name: name, IsDir: cnd.Kind == kindDir})
+	}
+	return out, nil
+}
+
+// Rename implements vfs.FileSystem. Thanks to the FID indirection the
+// physical data never moves (§IV-A: "this representation also makes
+// rename operations and physical data relocation easier"): renaming a
+// file re-binds the FID to a new name in the coordination service.
+// Directory renames move the znode subtree.
+func (d *DUFS) Rename(oldPath, newPath string) error {
+	d.count("rename")
+	op, err := vfs.Clean(oldPath)
+	if err != nil {
+		return err
+	}
+	np, err := vfs.Clean(newPath)
+	if err != nil {
+		return err
+	}
+	if op == "/" || np == "/" {
+		return vfs.ErrPerm
+	}
+	if op == np {
+		return nil
+	}
+	if len(np) > len(op) && np[:len(op)] == op && np[len(op)] == '/' {
+		return vfs.ErrInvalid
+	}
+	nd, _, err := d.getNode(op)
+	if err != nil {
+		return err
+	}
+	if nd.Kind == kindDir {
+		return d.renameDir(op, np)
+	}
+	// Replace semantics: an existing destination file is superseded.
+	if existing, _, err := d.getNode(np); err == nil {
+		if existing.Kind == kindDir {
+			return vfs.ErrIsDir
+		}
+		if err := d.Unlink(np); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+			return err
+		}
+	}
+	data := encodeNodeData(nd)
+	if _, err := d.sess.Create(d.zpath(np), data, 0); err != nil {
+		return mapError(err)
+	}
+	return mapError(d.sess.Delete(d.zpath(op), -1))
+}
+
+// renameDir moves a directory subtree znode-by-znode (children first
+// would orphan them, so parents first, then delete the old subtree
+// bottom-up).
+func (d *DUFS) renameDir(op, np string) error {
+	if existing, _, err := d.getNode(np); err == nil {
+		if existing.Kind != kindDir {
+			return vfs.ErrNotDir
+		}
+		names, err := d.sess.Children(d.zpath(np))
+		if err != nil {
+			return mapError(err)
+		}
+		if len(names) > 0 {
+			return vfs.ErrNotEmpty
+		}
+		if err := d.sess.Delete(d.zpath(np), -1); err != nil {
+			return mapError(err)
+		}
+	}
+	var copyTree func(from, to string) error
+	copyTree = func(from, to string) error {
+		data, _, err := d.sess.Get(d.zpath(from))
+		if err != nil {
+			return mapError(err)
+		}
+		if _, err := d.sess.Create(d.zpath(to), data, 0); err != nil {
+			return mapError(err)
+		}
+		names, err := d.sess.Children(d.zpath(from))
+		if err != nil {
+			return mapError(err)
+		}
+		for _, name := range names {
+			if err := copyTree(from+"/"+name, to+"/"+name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var remove func(p string) error
+	remove = func(p string) error {
+		names, err := d.sess.Children(d.zpath(p))
+		if err != nil {
+			return mapError(err)
+		}
+		for _, name := range names {
+			if err := remove(p + "/" + name); err != nil {
+				return err
+			}
+		}
+		return mapError(d.sess.Delete(d.zpath(p), -1))
+	}
+	if err := copyTree(op, np); err != nil {
+		return err
+	}
+	return remove(op)
+}
+
+// Symlink implements vfs.FileSystem: pure metadata, znode only.
+func (d *DUFS) Symlink(target, linkPath string) error {
+	d.count("symlink")
+	p, err := vfs.Clean(linkPath)
+	if err != nil {
+		return err
+	}
+	data := encodeNodeData(nodeData{Kind: kindSymlink, Mode: 0o777, Target: target})
+	_, err = d.sess.Create(d.zpath(p), data, 0)
+	return mapError(err)
+}
+
+// Readlink implements vfs.FileSystem.
+func (d *DUFS) Readlink(path string) (string, error) {
+	d.count("readlink")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return "", err
+	}
+	nd, _, err := d.getNode(p)
+	if err != nil {
+		return "", err
+	}
+	if nd.Kind != kindSymlink {
+		return "", vfs.ErrInvalid
+	}
+	return nd.Target, nil
+}
+
+// Truncate implements vfs.FileSystem: resolved through the FID, then
+// forwarded to the physical file.
+func (d *DUFS) Truncate(path string, size int64) error {
+	d.count("truncate")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	nd, _, err := d.getNode(p)
+	if err != nil {
+		return err
+	}
+	if nd.Kind == kindDir {
+		return vfs.ErrIsDir
+	}
+	if nd.Kind != kindFile {
+		return vfs.ErrInvalid
+	}
+	backend, phys := d.locate(nd.FID)
+	return backend.Truncate(phys, size)
+}
+
+// Chmod implements vfs.FileSystem. Directory and symlink modes live in
+// the znode; file modes live with the physical file, matching the
+// paper's split of metadata ownership (§IV-D).
+func (d *DUFS) Chmod(path string, perm uint32) error {
+	d.count("chmod")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	nd, _, err := d.getNode(p)
+	if err != nil {
+		return err
+	}
+	if nd.Kind == kindFile {
+		backend, phys := d.locate(nd.FID)
+		return backend.Chmod(phys, perm)
+	}
+	nd.Mode = perm & vfs.PermMask
+	_, err = d.sess.Set(d.zpath(p), encodeNodeData(nd), -1)
+	return mapError(err)
+}
+
+// Access implements vfs.FileSystem.
+func (d *DUFS) Access(path string, mask uint32) error {
+	d.count("access")
+	p, err := vfs.Clean(path)
+	if err != nil {
+		return err
+	}
+	nd, _, err := d.getNode(p)
+	if err != nil {
+		return err
+	}
+	var perm uint32
+	if nd.Kind == kindFile {
+		backend, phys := d.locate(nd.FID)
+		fi, err := backend.Stat(phys)
+		if err != nil {
+			return err
+		}
+		perm = (fi.Mode & vfs.PermMask) >> 6
+	} else {
+		perm = (nd.Mode & vfs.PermMask) >> 6
+	}
+	if mask&perm != mask {
+		return vfs.ErrAccess
+	}
+	return nil
+}
+
+var _ vfs.FileSystem = (*DUFS)(nil)

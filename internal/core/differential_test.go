@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/backend/memfs"
+	"repro/internal/vfs"
+)
+
+// TestDifferentialAgainstMemfs drives identical pseudo-random
+// operation sequences into DUFS (over a real coordination ensemble and
+// two back-end mounts) and into a plain memfs reference, and requires
+// identical outcomes: same success/failure class per op and the same
+// observable namespace afterwards.
+//
+// This is the strongest correctness statement in the suite: DUFS's
+// two-level indirection (znodes + FID placement) must be invisible to
+// applications.
+func TestDifferentialAgainstMemfs(t *testing.T) {
+	env := newEnv(t, 3, 2)
+	dufs := env.newDUFS(t, "/diff")
+	ref := memfs.New()
+
+	rng := rand.New(rand.NewSource(20110923)) // CLUSTER 2011 conference date
+	// A small pool of paths keeps collisions (exists/not-exists races)
+	// frequent, which is where bugs live.
+	dirs := []string{"/a", "/b", "/a/x", "/b/y", "/c"}
+	files := []string{"/f1", "/a/f2", "/b/f3", "/a/x/f4", "/c/f5"}
+
+	const ops = 600
+	for i := 0; i < ops; i++ {
+		op := rng.Intn(8)
+		var dufsErr, refErr error
+		desc := ""
+		switch op {
+		case 0:
+			p := dirs[rng.Intn(len(dirs))]
+			desc = "mkdir " + p
+			dufsErr = dufs.Mkdir(p, 0o755)
+			refErr = ref.Mkdir(p, 0o755)
+		case 1:
+			p := dirs[rng.Intn(len(dirs))]
+			desc = "rmdir " + p
+			dufsErr = dufs.Rmdir(p)
+			refErr = ref.Rmdir(p)
+		case 2:
+			p := files[rng.Intn(len(files))]
+			data := []byte(fmt.Sprintf("v%d", i))
+			desc = "write " + p
+			dufsErr = writeOnce(dufs, p, data)
+			refErr = writeOnce(ref, p, data)
+		case 3:
+			p := files[rng.Intn(len(files))]
+			desc = "unlink " + p
+			dufsErr = dufs.Unlink(p)
+			refErr = ref.Unlink(p)
+		case 4:
+			p := files[rng.Intn(len(files))]
+			desc = "stat " + p
+			_, dufsErr = dufs.Stat(p)
+			_, refErr = ref.Stat(p)
+		case 5:
+			a := files[rng.Intn(len(files))]
+			b := files[rng.Intn(len(files))]
+			desc = "rename " + a + " -> " + b
+			dufsErr = dufs.Rename(a, b)
+			refErr = ref.Rename(a, b)
+		case 6:
+			p := dirs[rng.Intn(len(dirs))]
+			desc = "readdir " + p
+			var d1 []vfs.DirEntry
+			var d2 []vfs.DirEntry
+			d1, dufsErr = dufs.Readdir(p)
+			d2, refErr = ref.Readdir(p)
+			if dufsErr == nil && refErr == nil && !sameEntries(d1, d2) {
+				t.Fatalf("op %d (%s): readdir diverged: dufs=%v ref=%v", i, desc, d1, d2)
+			}
+		case 7:
+			p := files[rng.Intn(len(files))]
+			size := int64(rng.Intn(64))
+			desc = fmt.Sprintf("truncate %s %d", p, size)
+			dufsErr = dufs.Truncate(p, size)
+			refErr = ref.Truncate(p, size)
+		}
+		if errClass(dufsErr) != errClass(refErr) {
+			t.Fatalf("op %d (%s): dufs err=%v ref err=%v", i, desc, dufsErr, refErr)
+		}
+	}
+
+	// Final namespace comparison, recursively.
+	compareTrees(t, dufs, ref, "/")
+}
+
+// writeOnce creates the file exclusively (matching memfs.Create
+// semantics) and writes one payload.
+func writeOnce(fs vfs.FileSystem, p string, data []byte) error {
+	h, err := fs.Create(p, 0o644)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	_, err = h.WriteAt(data, 0)
+	return err
+}
+
+// errClass buckets errors so "same failure" can be compared across
+// implementations.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, vfs.ErrNotExist):
+		return "noent"
+	case errors.Is(err, vfs.ErrExist):
+		return "exist"
+	case errors.Is(err, vfs.ErrNotDir):
+		return "notdir"
+	case errors.Is(err, vfs.ErrIsDir):
+		return "isdir"
+	case errors.Is(err, vfs.ErrNotEmpty):
+		return "notempty"
+	case errors.Is(err, vfs.ErrInvalid):
+		return "inval"
+	default:
+		return "other:" + err.Error()
+	}
+}
+
+func sameEntries(a, b []vfs.DirEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compareTrees walks both filesystems and compares structure, file
+// sizes and contents.
+func compareTrees(t *testing.T, a, b vfs.FileSystem, dir string) {
+	t.Helper()
+	ea, err := a.Readdir(dir)
+	if err != nil {
+		t.Fatalf("readdir %s on dufs: %v", dir, err)
+	}
+	eb, err := b.Readdir(dir)
+	if err != nil {
+		t.Fatalf("readdir %s on ref: %v", dir, err)
+	}
+	if !sameEntries(ea, eb) {
+		t.Fatalf("dir %s differs: dufs=%v ref=%v", dir, ea, eb)
+	}
+	for _, e := range ea {
+		child := dir + "/" + e.Name
+		if dir == "/" {
+			child = "/" + e.Name
+		}
+		if e.IsDir {
+			compareTrees(t, a, b, child)
+			continue
+		}
+		ca, err := vfs.ReadFile(a, child)
+		if err != nil {
+			t.Fatalf("read %s on dufs: %v", child, err)
+		}
+		cb, err := vfs.ReadFile(b, child)
+		if err != nil {
+			t.Fatalf("read %s on ref: %v", child, err)
+		}
+		if string(ca) != string(cb) {
+			t.Fatalf("content of %s differs: dufs=%q ref=%q", child, ca, cb)
+		}
+	}
+}

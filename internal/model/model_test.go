@@ -1,0 +1,192 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func runOne(t *testing.T, mk func(eng *sim.Engine) System, op Op, clients int) Result {
+	t.Helper()
+	var eng sim.Engine
+	sys := mk(&eng)
+	return RunPhase(&eng, sys, op, clients, 100)
+}
+
+func dufsLustre(zk, backends, clients int) func(eng *sim.Engine) System {
+	return func(eng *sim.Engine) System {
+		return NewDUFS(eng, DefaultParams(), DUFSConfig{
+			ZKServers: zk, Backends: backends, Kind: DUFSOverLustre, Clients: clients,
+		})
+	}
+}
+
+func TestRunPhaseCompletesAllOps(t *testing.T) {
+	r := runOne(t, func(eng *sim.Engine) System {
+		return NewBasicLustre(eng, DefaultParams(), 16)
+	}, OpDirCreate, 16)
+	if r.Ops != 16*100 {
+		t.Fatalf("ops = %d", r.Ops)
+	}
+	if r.Throughput <= 0 {
+		t.Fatalf("throughput = %f", r.Throughput)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runOne(t, dufsLustre(8, 2, 64), OpFileStat, 64)
+	b := runOne(t, dufsLustre(8, 2, 64), OpFileStat, 64)
+	if a.Throughput != b.Throughput || a.Elapsed != b.Elapsed {
+		t.Fatalf("model is not deterministic: %v vs %v", a, b)
+	}
+}
+
+// --- Shape assertions: the paper's qualitative claims must hold in
+// the model. Quantitative anchors are checked loosely; see
+// EXPERIMENTS.md for the exact measured values.
+
+func TestCoordReadsScaleWithServers(t *testing.T) {
+	// Fig 7d: zoo_get throughput grows with ensemble size.
+	get := func(n int) float64 {
+		return runOne(t, func(eng *sim.Engine) System {
+			return NewRawCoord(eng, DefaultParams(), n)
+		}, OpZKGet, 256).Throughput
+	}
+	t1, t4, t8 := get(1), get(4), get(8)
+	if !(t1 < t4 && t4 < t8) {
+		t.Fatalf("zoo_get does not scale: 1=%0.f 4=%0.f 8=%0.f", t1, t4, t8)
+	}
+	if t8 < 3*t1 {
+		t.Fatalf("8-server read speedup too small: %0.f vs %0.f", t8, t1)
+	}
+}
+
+func TestCoordWritesDegradeWithServers(t *testing.T) {
+	// Fig 7a: zoo_create throughput drops as the ensemble grows.
+	create := func(n int) float64 {
+		return runOne(t, func(eng *sim.Engine) System {
+			return NewRawCoord(eng, DefaultParams(), n)
+		}, OpZKCreate, 256).Throughput
+	}
+	t1, t8 := create(1), create(8)
+	if t8 >= t1 {
+		t.Fatalf("zoo_create does not degrade: 1=%0.f 8=%0.f", t1, t8)
+	}
+}
+
+func TestLustreDegradesAtScaleDUFSDoesNot(t *testing.T) {
+	// Fig 10a shape: Lustre peaks in the middle and declines; DUFS
+	// rises monotonically and wins at 256.
+	lus := func(c int) float64 {
+		return runOne(t, func(eng *sim.Engine) System {
+			return NewBasicLustre(eng, DefaultParams(), c)
+		}, OpDirCreate, c).Throughput
+	}
+	dufs := func(c int) float64 {
+		return runOne(t, dufsLustre(8, 2, c), OpDirCreate, c).Throughput
+	}
+	if lus(64) <= lus(256) {
+		t.Fatalf("Lustre does not degrade: 64=%0.f 256=%0.f", lus(64), lus(256))
+	}
+	if dufs(8) >= lus(8) {
+		t.Fatalf("DUFS should lose at small scale: dufs=%0.f lustre=%0.f", dufs(8), lus(8))
+	}
+	if dufs(256) <= lus(256) {
+		t.Fatalf("DUFS should win at 256 procs: dufs=%0.f lustre=%0.f", dufs(256), lus(256))
+	}
+}
+
+func TestHeadlineRatios(t *testing.T) {
+	// Abstract: dir create x1.9 vs Lustre and x23 vs PVFS; file stat
+	// x1.3 vs Lustre and x3.0 vs PVFS. Accept generous bands — the
+	// claim is the ordering and the rough factor.
+	hs := Headline()
+	if len(hs) != 2 {
+		t.Fatalf("headline results = %d", len(hs))
+	}
+	dir, stat := hs[0], hs[1]
+	if dir.Op != OpDirCreate || stat.Op != OpFileStat {
+		t.Fatalf("unexpected ops: %v %v", dir.Op, stat.Op)
+	}
+	if dir.SpeedupVsLustre < 1.3 || dir.SpeedupVsLustre > 3.0 {
+		t.Fatalf("dir create vs Lustre = %.2fx, want ~1.9x", dir.SpeedupVsLustre)
+	}
+	if dir.SpeedupVsPVFS < 10 || dir.SpeedupVsPVFS > 45 {
+		t.Fatalf("dir create vs PVFS = %.1fx, want ~23x", dir.SpeedupVsPVFS)
+	}
+	if stat.SpeedupVsLustre < 1.05 || stat.SpeedupVsLustre > 2.0 {
+		t.Fatalf("file stat vs Lustre = %.2fx, want ~1.3x", stat.SpeedupVsLustre)
+	}
+	if stat.SpeedupVsPVFS < 1.8 || stat.SpeedupVsPVFS > 5.0 {
+		t.Fatalf("file stat vs PVFS = %.1fx, want ~3.0x", stat.SpeedupVsPVFS)
+	}
+}
+
+func TestMoreBackendsHelpFileStatNotCreate(t *testing.T) {
+	// Fig 9: going 2 -> 4 back-ends improves file stat (paper: +37%
+	// at 256 procs) but barely moves file create (znode mutation
+	// dominates).
+	stat2 := runOne(t, dufsLustre(8, 2, 256), OpFileStat, 256).Throughput
+	stat4 := runOne(t, dufsLustre(8, 4, 256), OpFileStat, 256).Throughput
+	if gain := stat4 / stat2; gain < 1.10 {
+		t.Fatalf("file stat 2->4 backends gain = %.2fx, want >= 1.10x", gain)
+	}
+	cr2 := runOne(t, dufsLustre(8, 2, 256), OpFileCreate, 256).Throughput
+	cr4 := runOne(t, dufsLustre(8, 4, 256), OpFileCreate, 256).Throughput
+	if gain := cr4 / cr2; gain > 1.25 {
+		t.Fatalf("file create 2->4 backends gain = %.2fx, want ~flat", gain)
+	}
+}
+
+func TestDirStatScalesWithZKServers(t *testing.T) {
+	// Fig 8c: directory stat improves markedly with more coordination
+	// servers.
+	s1 := runOne(t, dufsLustre(1, 2, 256), OpDirStat, 256).Throughput
+	s8 := runOne(t, dufsLustre(8, 2, 256), OpDirStat, 256).Throughput
+	if s8 < 2*s1 {
+		t.Fatalf("dir stat 1->8 zk gain = %.2fx, want >= 2x", s8/s1)
+	}
+}
+
+func TestPVFSDirMutationsAreGlacial(t *testing.T) {
+	// Fig 10a/b: Basic PVFS directory create/remove sit orders of
+	// magnitude below everything else.
+	pv := runOne(t, func(eng *sim.Engine) System {
+		return NewBasicPVFS(eng, DefaultParams())
+	}, OpDirCreate, 256)
+	if pv.Throughput > 1000 {
+		t.Fatalf("PVFS dir create = %0.f ops/s, expected a few hundred", pv.Throughput)
+	}
+	if pv.Ops != 256*100 {
+		t.Fatalf("ops = %d", pv.Ops)
+	}
+}
+
+func TestSeriesGeneratorsProduceFullGrids(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f7 := Fig7()
+	if len(f7) != 4 {
+		t.Fatalf("fig7 ops = %d", len(f7))
+	}
+	for op, byServers := range f7 {
+		if len(byServers) != 3 {
+			t.Fatalf("fig7[%v] server variants = %d", op, len(byServers))
+		}
+		for n, series := range byServers {
+			if len(series) != 7 {
+				t.Fatalf("fig7[%v][%d] points = %d", op, n, len(series))
+			}
+		}
+	}
+	f9 := Fig9()
+	if len(f9) != 3 {
+		t.Fatalf("fig9 ops = %d", len(f9))
+	}
+	for _, op := range []Op{OpFileCreate, OpFileRemove, OpFileStat} {
+		if len(f9[op]) != 3 {
+			t.Fatalf("fig9[%v] series = %d", op, len(f9[op]))
+		}
+	}
+}

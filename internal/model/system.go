@@ -1,0 +1,506 @@
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// System issues modelled operations on behalf of client processes.
+// Implementations wire the §V testbed's stations together for one of
+// the three measured systems.
+type System interface {
+	// Issue runs one operation for the given client process and calls
+	// done at its completion (virtual time).
+	Issue(client int, op Op, done func())
+	// Name labels the system in reports.
+	Name() string
+}
+
+// testbed holds the stations shared by every system: client node CPUs
+// and the flat network latency.
+type testbed struct {
+	eng   *sim.Engine
+	p     Params
+	nodes []*sim.Resource
+}
+
+func newTestbed(eng *sim.Engine, p Params) *testbed {
+	tb := &testbed{eng: eng, p: p}
+	for i := 0; i < p.ClientNodes; i++ {
+		tb.nodes = append(tb.nodes, sim.NewResource(eng, p.CoresPerNode))
+	}
+	return tb
+}
+
+// node returns the client node hosting the given process (processes
+// spread round-robin over nodes, as mpirun does).
+func (tb *testbed) node(client int) *sim.Resource {
+	return tb.nodes[client%len(tb.nodes)]
+}
+
+// rpc models one network round trip followed by cont.
+func (tb *testbed) rpc(cont func()) {
+	tb.eng.Schedule(tb.p.NetRTT, cont)
+}
+
+// --- Coordination-service model --------------------------------------
+
+// coordModel is the replicated coordination service: per-server read
+// CPUs, a leader write CPU and a group-committed transaction log.
+type coordModel struct {
+	tb      *testbed
+	servers []*sim.Resource
+	leader  *sim.Resource
+	log     *sim.GroupCommit
+	n       int
+}
+
+func newCoordModel(tb *testbed, servers int) *coordModel {
+	cm := &coordModel{tb: tb, n: servers}
+	for i := 0; i < servers; i++ {
+		cm.servers = append(cm.servers, sim.NewResource(tb.eng, 1))
+	}
+	cm.leader = cm.servers[0] // leader CPU shared with its read duty
+	cm.log = sim.NewGroupCommit(tb.eng, tb.p.ZKFlush, 0)
+	return cm
+}
+
+// read serves a zoo_get/exists/children from the client's replica.
+func (cm *coordModel) read(client int, done func()) {
+	srv := cm.servers[client%cm.n]
+	cm.tb.rpc(func() {
+		srv.Acquire(cm.tb.p.ZKRead, done)
+	})
+}
+
+// write proposes a mutation: leader CPU (fan-out grows with ensemble
+// size), group-committed log flush, then the commit round.
+func (cm *coordModel) write(dirClass bool, done func()) {
+	p := cm.tb.p
+	service := p.ZKWriteBase + time.Duration(cm.n)*p.ZKWritePerServer
+	if dirClass {
+		service = time.Duration(float64(service) * p.ZKDirWriteFactor)
+	}
+	cm.tb.rpc(func() {
+		cm.leader.Acquire(service, func() {
+			cm.log.Commit(func() {
+				cm.tb.eng.Schedule(p.ZKCommitLatency, done)
+			})
+		})
+	})
+}
+
+// --- Lustre model -----------------------------------------------------
+
+// lustreModel is one Lustre instance: a single MDS CPU with journal
+// group commit and a set of OST stations.
+type lustreModel struct {
+	tb      *testbed
+	mds     *sim.Resource
+	journal *sim.GroupCommit
+	osts    []*sim.Resource
+	clients int // concurrency knob for the contention term
+}
+
+func newLustreModel(tb *testbed, osts, clients int) *lustreModel {
+	lm := &lustreModel{
+		tb:      tb,
+		mds:     sim.NewResource(tb.eng, 1),
+		journal: sim.NewGroupCommit(tb.eng, tb.p.LustreFlush, 0),
+		clients: clients,
+	}
+	for i := 0; i < osts; i++ {
+		lm.osts = append(lm.osts, sim.NewResource(tb.eng, 1))
+	}
+	return lm
+}
+
+func (lm *lustreModel) contended(base time.Duration, alpha float64) time.Duration {
+	return time.Duration(float64(base) * (1 + alpha*float64(lm.clients)))
+}
+
+// mdsRead is a lock-read on the MDS (stat, lookup). Reads take shared
+// DLM locks, so their contention term is much weaker than writes'.
+func (lm *lustreModel) mdsRead(done func()) {
+	p := lm.tb.p
+	lm.tb.rpc(func() {
+		lm.mds.Acquire(lm.contended(p.LustreMDSRead, p.LustreReadContention), done)
+	})
+}
+
+// mdsWrite is a namespace mutation under the mdtest shared tree: MDS
+// CPU with the full write-lock contention term, plus journal commit.
+func (lm *lustreModel) mdsWrite(base time.Duration, done func()) {
+	p := lm.tb.p
+	lm.tb.rpc(func() {
+		lm.mds.Acquire(lm.contended(base, p.LustreContention), func() {
+			lm.journal.Commit(done)
+		})
+	})
+}
+
+// mdsWriteFlat is a namespace mutation in DUFS's FID-derived physical
+// hierarchy: creations scatter over many directories, so the
+// shared-directory lock contention term vanishes — the §IV-G design
+// goal ("avoid congestion due to file creation at a single directory
+// level").
+func (lm *lustreModel) mdsWriteFlat(done func()) {
+	p := lm.tb.p
+	lm.tb.rpc(func() {
+		lm.mds.Acquire(p.LustreMDSWriteFlat, func() {
+			lm.journal.Commit(done)
+		})
+	})
+}
+
+// scramble is a Knuth multiplicative hash used to route a client to a
+// station independently of other modulo-based routings (a plain odd
+// stride preserves parity, which would collapse 2x2 station grids onto
+// a diagonal).
+func scramble(client int) int {
+	return int((uint32(client) * 2654435761 >> 8) & 0x7fffffff)
+}
+
+// ost hits the object server owning the file; the hash decorrelates
+// OST choice from back-end choice so file bodies spread over every
+// (backend, OST) pair, as the MD5 mapping and Lustre's allocator do.
+func (lm *lustreModel) ost(client int, service time.Duration, done func()) {
+	srv := lm.osts[scramble(client)%len(lm.osts)]
+	lm.tb.rpc(func() {
+		srv.Acquire(service, done)
+	})
+}
+
+// --- PVFS model --------------------------------------------------------
+
+// pvfsModel is one PVFS2 instance: hash-partitioned metadata servers,
+// each with a sync-transaction DB device, plus data servers.
+type pvfsModel struct {
+	tb     *testbed
+	meta   []*sim.Resource
+	dirDB  []*sim.GroupCommit
+	fileDB []*sim.GroupCommit
+	data   []*sim.Resource
+}
+
+func newPVFSModel(tb *testbed, metaServers, dataServers int) *pvfsModel {
+	pm := &pvfsModel{tb: tb}
+	for i := 0; i < metaServers; i++ {
+		pm.meta = append(pm.meta, sim.NewResource(tb.eng, 1))
+		pm.dirDB = append(pm.dirDB, sim.NewGroupCommit(tb.eng, tb.p.PVFSDirFlush, tb.p.PVFSDirBatch))
+		pm.fileDB = append(pm.fileDB, sim.NewGroupCommit(tb.eng, tb.p.PVFSFileFlush, tb.p.PVFSFileBatch))
+	}
+	for i := 0; i < dataServers; i++ {
+		pm.data = append(pm.data, sim.NewResource(tb.eng, 1))
+	}
+	return pm
+}
+
+func (pm *pvfsModel) metaIdx(client, salt int) int {
+	return (client*7 + salt*13) % len(pm.meta)
+}
+
+// metaRead is a dirent lookup / listing on the owning meta server.
+func (pm *pvfsModel) metaRead(client, salt int, done func()) {
+	srv := pm.meta[pm.metaIdx(client, salt)]
+	pm.tb.rpc(func() {
+		srv.Acquire(pm.tb.p.PVFSMetaRead, done)
+	})
+}
+
+// metaWrite is a dirent/body mutation: meta CPU plus one sync DB
+// transaction on the same server's device.
+func (pm *pvfsModel) metaWrite(client, salt int, dirClass bool, done func()) {
+	idx := pm.metaIdx(client, salt)
+	db := pm.fileDB[idx]
+	if dirClass {
+		db = pm.dirDB[idx]
+	}
+	pm.tb.rpc(func() {
+		pm.meta[idx].Acquire(pm.tb.p.PVFSMetaWrite, func() {
+			db.Commit(done)
+		})
+	})
+}
+
+// dataOp hits a data server (datafile create/destroy/getattr); the
+// hash decorrelates data-server choice from back-end choice.
+func (pm *pvfsModel) dataOp(client int, service time.Duration, done func()) {
+	srv := pm.data[scramble(client)%len(pm.data)]
+	pm.tb.rpc(func() {
+		srv.Acquire(service, done)
+	})
+}
+
+// --- Systems -----------------------------------------------------------
+
+// BasicLustre is the paper's "Basic Lustre" baseline: one Lustre
+// instance, kernel client (cached lookups), no DUFS.
+type BasicLustre struct {
+	tb *testbed
+	lm *lustreModel
+}
+
+// NewBasicLustre builds the baseline for a run with the given client
+// count (the contention term needs it). The baseline gets all four
+// storage nodes as OSSes — the same total hardware the DUFS
+// configurations split into 2x2 (paper §V: "a fair comparison").
+func NewBasicLustre(eng *sim.Engine, p Params, clients int) *BasicLustre {
+	tb := newTestbed(eng, p)
+	return &BasicLustre{tb: tb, lm: newLustreModel(tb, 4, clients)}
+}
+
+// Name implements System.
+func (s *BasicLustre) Name() string { return "Basic Lustre" }
+
+// Issue implements System.
+func (s *BasicLustre) Issue(client int, op Op, done func()) {
+	node := s.tb.node(client)
+	node.Acquire(s.tb.p.ClientWork, func() {
+		switch op {
+		case OpDirCreate, OpDirRemove:
+			s.lm.mdsWrite(s.tb.p.LustreMDSWrite, done)
+		case OpDirStat:
+			s.lm.mdsRead(done)
+		case OpFileCreate:
+			s.lm.mdsWrite(s.tb.p.LustreMDSCreateFile, func() {
+				s.lm.ost(client, s.tb.p.LustreOSTCreate, done)
+			})
+		case OpFileRemove:
+			s.lm.mdsWrite(s.tb.p.LustreMDSCreateFile, func() {
+				s.lm.ost(client, s.tb.p.LustreOSTCreate, done)
+			})
+		case OpFileStat:
+			s.lm.mdsRead(func() {
+				s.lm.ost(client, s.tb.p.LustreOSTGetattr, done)
+			})
+		default:
+			panic(fmt.Sprintf("model: op %v not valid for Basic Lustre", op))
+		}
+	})
+}
+
+// BasicPVFS is the paper's "Basic PVFS" baseline: one PVFS2 instance
+// with 2 metadata and 2 data servers.
+type BasicPVFS struct {
+	tb *testbed
+	pm *pvfsModel
+}
+
+// NewBasicPVFS builds the baseline (2 metadata servers, all 4 storage
+// nodes as data servers — same fair-hardware split as Basic Lustre).
+func NewBasicPVFS(eng *sim.Engine, p Params) *BasicPVFS {
+	tb := newTestbed(eng, p)
+	return &BasicPVFS{tb: tb, pm: newPVFSModel(tb, 2, 4)}
+}
+
+// Name implements System.
+func (s *BasicPVFS) Name() string { return "Basic PVFS" }
+
+// Issue implements System.
+func (s *BasicPVFS) Issue(client int, op Op, done func()) {
+	node := s.tb.node(client)
+	node.Acquire(s.tb.p.ClientWork, func() {
+		switch op {
+		case OpDirCreate:
+			// dirent insert on owner(parent) — the serialized sync DB
+			// transaction — then the cheaper body initialization on
+			// owner(dir).
+			s.pm.metaWrite(client, 0, true, func() {
+				s.pm.metaWrite(client, 1, false, done)
+			})
+		case OpDirRemove:
+			s.pm.metaWrite(client, 1, false, func() {
+				s.pm.metaWrite(client, 0, true, done)
+			})
+		case OpDirStat:
+			s.pm.metaRead(client, 0, done)
+		case OpFileCreate:
+			s.pm.metaWrite(client, 0, false, func() {
+				s.pm.dataOp(client, s.tb.p.PVFSDataCreate, done)
+			})
+		case OpFileRemove:
+			s.pm.metaWrite(client, 0, false, func() {
+				s.pm.dataOp(client, s.tb.p.PVFSDataCreate, done)
+			})
+		case OpFileStat:
+			s.pm.metaRead(client, 0, func() {
+				s.pm.dataOp(client, s.tb.p.PVFSDataGetattr, done)
+			})
+		default:
+			panic(fmt.Sprintf("model: op %v not valid for Basic PVFS", op))
+		}
+	})
+}
+
+// DUFSKind selects the back-end behind the DUFS model.
+type DUFSKind int
+
+// Back-end kinds for the DUFS model.
+const (
+	DUFSOverLustre DUFSKind = iota
+	DUFSOverPVFS
+)
+
+// DUFS is the modelled DUFS stack: FUSE crossing on the client node,
+// coordination-service metadata, and back-end instances for file
+// bodies.
+type DUFS struct {
+	tb       *testbed
+	cm       *coordModel
+	kind     DUFSKind
+	lustres  []*lustreModel
+	pvfses   []*pvfsModel
+	backends int
+}
+
+// DUFSConfig sizes the modelled deployment.
+type DUFSConfig struct {
+	ZKServers int // 1..8 (paper Fig 7/8)
+	Backends  int // 2 or 4 (paper Fig 9)
+	Kind      DUFSKind
+	Clients   int // for the Lustre contention term
+}
+
+// NewDUFS builds the modelled DUFS deployment.
+func NewDUFS(eng *sim.Engine, p Params, cfg DUFSConfig) *DUFS {
+	tb := newTestbed(eng, p)
+	d := &DUFS{
+		tb:       tb,
+		cm:       newCoordModel(tb, cfg.ZKServers),
+		kind:     cfg.Kind,
+		backends: cfg.Backends,
+	}
+	for b := 0; b < cfg.Backends; b++ {
+		switch cfg.Kind {
+		case DUFSOverLustre:
+			d.lustres = append(d.lustres, newLustreModel(tb, 2, cfg.Clients/cfg.Backends+1))
+		case DUFSOverPVFS:
+			d.pvfses = append(d.pvfses, newPVFSModel(tb, 2, 2))
+		}
+	}
+	return d
+}
+
+// Name implements System.
+func (d *DUFS) Name() string {
+	kind := "Lustre"
+	if d.kind == DUFSOverPVFS {
+		kind = "PVFS"
+	}
+	return fmt.Sprintf("DUFS (%d %s mounts)", d.backends, kind)
+}
+
+// backendFor spreads files over back-ends like the MD5 mapping does.
+func (d *DUFS) backendFor(client int) int { return client % d.backends }
+
+// Issue implements System. Every DUFS op pays the FUSE crossing and a
+// leaf znode lookup (FUSE's entry cache holds parents, not the leaf
+// being operated on); directory ops never touch the back-end (§IV-A).
+func (d *DUFS) Issue(client int, op Op, done func()) {
+	p := d.tb.p
+	node := d.tb.node(client)
+	node.Acquire(p.ClientWork+p.FUSECross+p.ZKClientWork, func() {
+		switch op {
+		case OpDirCreate, OpDirRemove:
+			d.cm.read(client, func() { // leaf lookup
+				d.cm.write(true, done)
+			})
+		case OpDirStat:
+			d.cm.read(client, func() {
+				d.cm.read(client, done)
+			})
+		case OpFileCreate:
+			d.cm.read(client, func() {
+				d.cm.write(false, func() {
+					d.backendCreate(client, done)
+				})
+			})
+		case OpFileRemove:
+			d.cm.read(client, func() {
+				d.cm.write(false, func() {
+					d.backendRemove(client, done)
+				})
+			})
+		case OpFileStat:
+			d.cm.read(client, func() {
+				d.cm.read(client, func() {
+					d.backendGetattr(client, done)
+				})
+			})
+		default:
+			panic(fmt.Sprintf("model: op %v not valid for DUFS", op))
+		}
+	})
+}
+
+func (d *DUFS) backendCreate(client int, done func()) {
+	b := d.backendFor(client)
+	switch d.kind {
+	case DUFSOverLustre:
+		lm := d.lustres[b]
+		lm.mdsWriteFlat(func() {
+			lm.ost(client, d.tb.p.LustreOSTCreate, done)
+		})
+	case DUFSOverPVFS:
+		pm := d.pvfses[b]
+		pm.metaWrite(client, 0, false, func() {
+			pm.dataOp(client, d.tb.p.PVFSDataCreate, done)
+		})
+	}
+}
+
+func (d *DUFS) backendRemove(client int, done func()) {
+	d.backendCreate(client, done) // same station demands
+}
+
+func (d *DUFS) backendGetattr(client int, done func()) {
+	b := d.backendFor(client)
+	switch d.kind {
+	case DUFSOverLustre:
+		d.lustres[b].ost(client, d.tb.p.LustreOSTGetattr, done)
+	case DUFSOverPVFS:
+		pm := d.pvfses[b]
+		pm.dataOp(client, d.tb.p.PVFSDataGetattr, done)
+	}
+}
+
+// RawCoord models Fig 7: clients exercising the coordination service
+// directly (no FUSE, no back-end).
+type RawCoord struct {
+	tb *testbed
+	cm *coordModel
+}
+
+// NewRawCoord builds the Fig 7 harness.
+func NewRawCoord(eng *sim.Engine, p Params, servers int) *RawCoord {
+	tb := newTestbed(eng, p)
+	return &RawCoord{tb: tb, cm: newCoordModel(tb, servers)}
+}
+
+// Name implements System.
+func (s *RawCoord) Name() string {
+	return fmt.Sprintf("ZooKeeper x%d", s.cm.n)
+}
+
+// Issue implements System.
+func (s *RawCoord) Issue(client int, op Op, done func()) {
+	node := s.tb.node(client)
+	node.Acquire(s.tb.p.ClientWork+s.tb.p.ZKClientWork, func() {
+		switch op {
+		case OpZKGet:
+			s.cm.read(client, done)
+		case OpZKCreate:
+			s.cm.write(false, done)
+		case OpZKSet, OpZKDelete:
+			// Set/delete carry a version check and larger txn payloads
+			// than create (Fig 7b/c sit below 7a): model as the dir
+			// write class.
+			s.cm.write(true, done)
+		default:
+			panic(fmt.Sprintf("model: op %v not valid for raw coordination", op))
+		}
+	})
+}

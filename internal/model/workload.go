@@ -1,0 +1,236 @@
+package model
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Result is one measured point: a system, an operation, a client
+// count and the closed-loop throughput in ops/sec of virtual time.
+type Result struct {
+	System     string
+	Op         Op
+	Clients    int
+	Ops        int64
+	Elapsed    time.Duration
+	Throughput float64
+}
+
+// RunPhase drives one mdtest-style phase: clients closed-loop issue
+// opsPerClient operations of one type; throughput is total ops over
+// the virtual makespan.
+func RunPhase(eng *sim.Engine, sys System, op Op, clients, opsPerClient int) Result {
+	start := eng.Now()
+	total := int64(0)
+	for c := 0; c < clients; c++ {
+		c := c
+		var loop func(left int)
+		loop = func(left int) {
+			if left == 0 {
+				return
+			}
+			sys.Issue(c, op, func() {
+				total++
+				loop(left - 1)
+			})
+		}
+		loop(opsPerClient)
+	}
+	end := eng.Run()
+	elapsed := end - start
+	r := Result{
+		System:  sys.Name(),
+		Op:      op,
+		Clients: clients,
+		Ops:     total,
+		Elapsed: elapsed,
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(total) / elapsed.Seconds()
+	}
+	return r
+}
+
+// OpsPerClient sizes phases so makespans are long enough to wash out
+// warm-up (group-commit batching reaches steady state) while staying
+// fast to simulate.
+const OpsPerClient = 200
+
+// Fig7 returns the Fig 7 series: raw coordination-service throughput
+// for each basic operation, ensemble sizes 1/4/8, client counts 8-256.
+func Fig7() map[Op]map[int][]Result {
+	ops := []Op{OpZKCreate, OpZKDelete, OpZKSet, OpZKGet}
+	servers := []int{1, 4, 8}
+	clients := []int{8, 16, 32, 64, 128, 192, 256}
+	out := make(map[Op]map[int][]Result)
+	p := DefaultParams()
+	for _, op := range ops {
+		out[op] = make(map[int][]Result)
+		for _, n := range servers {
+			for _, c := range clients {
+				var eng sim.Engine
+				sys := NewRawCoord(&eng, p, n)
+				out[op][n] = append(out[op][n], RunPhase(&eng, sys, op, c, OpsPerClient))
+			}
+		}
+	}
+	return out
+}
+
+// MdtestOps are the six operations of Figs 8 and 10.
+var MdtestOps = []Op{
+	OpDirCreate, OpDirRemove, OpDirStat,
+	OpFileCreate, OpFileRemove, OpFileStat,
+}
+
+// Fig8 returns the Fig 8 series: DUFS over 2 Lustre back-ends with
+// 1/4/8 coordination servers vs Basic Lustre, at 64/128/256 procs.
+func Fig8() map[Op]map[string][]Result {
+	servers := []int{1, 4, 8}
+	clients := []int{64, 128, 256}
+	p := DefaultParams()
+	out := make(map[Op]map[string][]Result)
+	for _, op := range MdtestOps {
+		out[op] = make(map[string][]Result)
+		for _, c := range clients {
+			var eng sim.Engine
+			base := NewBasicLustre(&eng, p, c)
+			out[op]["Basic Lustre"] = append(out[op]["Basic Lustre"],
+				RunPhase(&eng, base, op, c, OpsPerClient))
+		}
+		for _, n := range servers {
+			key := seriesName(n)
+			for _, c := range clients {
+				var eng sim.Engine
+				sys := NewDUFS(&eng, p, DUFSConfig{ZKServers: n, Backends: 2, Kind: DUFSOverLustre, Clients: c})
+				out[op][key] = append(out[op][key], RunPhase(&eng, sys, op, c, OpsPerClient))
+			}
+		}
+	}
+	return out
+}
+
+func seriesName(n int) string {
+	switch n {
+	case 1:
+		return "1 Zookeeper"
+	case 4:
+		return "4 Zookeeper"
+	default:
+		return "8 Zookeeper"
+	}
+}
+
+// Fig9 returns the Fig 9 series: file operations with 2 vs 4 Lustre
+// back-ends vs Basic Lustre.
+func Fig9() map[Op]map[string][]Result {
+	clients := []int{64, 128, 256}
+	p := DefaultParams()
+	ops := []Op{OpFileCreate, OpFileRemove, OpFileStat}
+	out := make(map[Op]map[string][]Result)
+	for _, op := range ops {
+		out[op] = make(map[string][]Result)
+		for _, c := range clients {
+			var eng sim.Engine
+			base := NewBasicLustre(&eng, p, c)
+			out[op]["Basic Lustre"] = append(out[op]["Basic Lustre"],
+				RunPhase(&eng, base, op, c, OpsPerClient))
+		}
+		for _, backends := range []int{2, 4} {
+			key := backendSeries(backends)
+			for _, c := range clients {
+				var eng sim.Engine
+				sys := NewDUFS(&eng, p, DUFSConfig{ZKServers: 8, Backends: backends, Kind: DUFSOverLustre, Clients: c})
+				out[op][key] = append(out[op][key], RunPhase(&eng, sys, op, c, OpsPerClient))
+			}
+		}
+	}
+	return out
+}
+
+func backendSeries(n int) string {
+	if n == 2 {
+		return "DUFS with 2 Lustre backend storages"
+	}
+	return "DUFS with 4 Lustre backend storages"
+}
+
+// Fig10 returns the Fig 10 series: DUFS (2 Lustre mounts / 2 PVFS
+// mounts) vs the Basic Lustre and Basic PVFS baselines across client
+// counts.
+func Fig10() map[Op]map[string][]Result {
+	clients := []int{8, 16, 32, 64, 128, 192, 256}
+	p := DefaultParams()
+	out := make(map[Op]map[string][]Result)
+	for _, op := range MdtestOps {
+		out[op] = make(map[string][]Result)
+		for _, c := range clients {
+			var eng1 sim.Engine
+			lus := NewBasicLustre(&eng1, p, c)
+			out[op]["Basic Lustre"] = append(out[op]["Basic Lustre"],
+				RunPhase(&eng1, lus, op, c, OpsPerClient))
+
+			var eng2 sim.Engine
+			dl := NewDUFS(&eng2, p, DUFSConfig{ZKServers: 8, Backends: 2, Kind: DUFSOverLustre, Clients: c})
+			out[op]["DUFS over 2 Lustre mounts"] = append(out[op]["DUFS over 2 Lustre mounts"],
+				RunPhase(&eng2, dl, op, c, OpsPerClient))
+
+			var eng3 sim.Engine
+			pv := NewBasicPVFS(&eng3, p)
+			out[op]["Basic PVFS"] = append(out[op]["Basic PVFS"],
+				RunPhase(&eng3, pv, op, c, opsForPVFS(op)))
+
+			var eng4 sim.Engine
+			dp := NewDUFS(&eng4, p, DUFSConfig{ZKServers: 8, Backends: 2, Kind: DUFSOverPVFS, Clients: c})
+			out[op]["DUFS over 2 PVFS mounts"] = append(out[op]["DUFS over 2 PVFS mounts"],
+				RunPhase(&eng4, dp, op, c, opsForPVFS(op)))
+		}
+	}
+	return out
+}
+
+// opsForPVFS shrinks phases on the very slow PVFS directory mutations
+// so simulations stay quick without changing the steady-state rate.
+func opsForPVFS(op Op) int {
+	if op == OpDirCreate || op == OpDirRemove {
+		return 20
+	}
+	return OpsPerClient
+}
+
+// Headline computes the abstract's claims from the Fig 10 model at
+// 256 client processes: dir create x1.9 vs Lustre / x23 vs PVFS, and
+// file stat x1.3 vs Lustre / x3.0 vs PVFS.
+type HeadlineResult struct {
+	Op              Op
+	DUFS            float64 // DUFS over Lustre, 256 procs
+	Lustre          float64
+	PVFS            float64
+	SpeedupVsLustre float64
+	SpeedupVsPVFS   float64
+}
+
+// Headline returns the two headline comparisons.
+func Headline() []HeadlineResult {
+	p := DefaultParams()
+	const c = 256
+	out := make([]HeadlineResult, 0, 2)
+	for _, op := range []Op{OpDirCreate, OpFileStat} {
+		var e1 sim.Engine
+		dufs := RunPhase(&e1, NewDUFS(&e1, p, DUFSConfig{ZKServers: 8, Backends: 2, Kind: DUFSOverLustre, Clients: c}), op, c, OpsPerClient)
+		var e2 sim.Engine
+		lus := RunPhase(&e2, NewBasicLustre(&e2, p, c), op, c, OpsPerClient)
+		var e3 sim.Engine
+		pv := RunPhase(&e3, NewBasicPVFS(&e3, p), op, c, opsForPVFS(op))
+		out = append(out, HeadlineResult{
+			Op:              op,
+			DUFS:            dufs.Throughput,
+			Lustre:          lus.Throughput,
+			PVFS:            pv.Throughput,
+			SpeedupVsLustre: dufs.Throughput / lus.Throughput,
+			SpeedupVsPVFS:   dufs.Throughput / pv.Throughput,
+		})
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(30*time.Microsecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Microsecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Microsecond, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30*time.Microsecond {
+		t.Fatalf("end = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	hits := 0
+	e.Schedule(time.Millisecond, func() {
+		hits++
+		e.Schedule(time.Millisecond, func() {
+			hits++
+		})
+	})
+	end := e.Run()
+	if hits != 2 || end != 2*time.Millisecond {
+		t.Fatalf("hits=%d end=%v", hits, end)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(-time.Second, func() { ran = true })
+	if e.Run() != 0 || !ran {
+		t.Fatal("negative delay mishandled")
+	}
+}
+
+func TestSingleServerResourceSerializes(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, 1)
+	var completions []time.Duration
+	for i := 0; i < 3; i++ {
+		r.Acquire(10*time.Millisecond, func() {
+			completions = append(completions, e.Now())
+		})
+	}
+	e.Run()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if completions[i] != want[i] {
+			t.Fatalf("completions = %v", completions)
+		}
+	}
+	if r.Served != 3 {
+		t.Fatalf("served = %d", r.Served)
+	}
+}
+
+func TestMultiServerResourceParallelizes(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, 3)
+	done := 0
+	for i := 0; i < 3; i++ {
+		r.Acquire(10*time.Millisecond, func() { done++ })
+	}
+	end := e.Run()
+	if end != 10*time.Millisecond || done != 3 {
+		t.Fatalf("end=%v done=%d", end, done)
+	}
+}
+
+func TestResourceThroughputMatchesTheory(t *testing.T) {
+	// Closed loop: 8 clients on a 1-server station with 100µs service
+	// must sustain ~10k ops/sec of virtual time.
+	var e Engine
+	r := NewResource(&e, 1)
+	const perClient = 500
+	total := 0
+	var loop func(left int)
+	loop = func(left int) {
+		if left == 0 {
+			return
+		}
+		r.Acquire(100*time.Microsecond, func() {
+			total++
+			loop(left - 1)
+		})
+	}
+	for c := 0; c < 8; c++ {
+		loop(perClient)
+	}
+	end := e.Run()
+	if total != 8*perClient {
+		t.Fatalf("total = %d", total)
+	}
+	thr := float64(total) / end.Seconds()
+	if thr < 9900 || thr > 10100 {
+		t.Fatalf("throughput = %.0f ops/s, want ~10000", thr)
+	}
+	if u := r.Utilization(end); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %f", u)
+	}
+}
+
+func TestGroupCommitBatchesUnderLoad(t *testing.T) {
+	var e Engine
+	g := NewGroupCommit(&e, 5*time.Millisecond, 0)
+	done := 0
+	// 10 requests arrive while the first flush is busy: flush 1 has 1
+	// request, flush 2 has the other 9.
+	g.Commit(func() { done++ })
+	for i := 0; i < 9; i++ {
+		e.Schedule(time.Millisecond, func() {
+			g.Commit(func() { done++ })
+		})
+	}
+	end := e.Run()
+	if done != 10 {
+		t.Fatalf("done = %d", done)
+	}
+	if g.Flushes != 2 {
+		t.Fatalf("flushes = %d, want 2", g.Flushes)
+	}
+	if end != 10*time.Millisecond {
+		t.Fatalf("end = %v", end)
+	}
+	if ab := g.AvgBatch(); ab != 5 {
+		t.Fatalf("avg batch = %f", ab)
+	}
+}
+
+func TestGroupCommitMaxBatch(t *testing.T) {
+	var e Engine
+	g := NewGroupCommit(&e, time.Millisecond, 2)
+	done := 0
+	for i := 0; i < 5; i++ {
+		g.Commit(func() { done++ })
+	}
+	e.Run()
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	// 5 requests, batch cap 2: ceil(5/2)=3 flushes... the first flush
+	// starts immediately with only what is queued (all 5 arrived at
+	// t=0, so batches are 2,2,1).
+	if g.Flushes != 3 {
+		t.Fatalf("flushes = %d, want 3", g.Flushes)
+	}
+}
+
+func TestGroupCommitLatencyBoundAtLowLoad(t *testing.T) {
+	// One client issuing serially: every request pays the full flush
+	// latency — the "Lustre is fine at small scale, ZooKeeper is not"
+	// effect in miniature.
+	var e Engine
+	g := NewGroupCommit(&e, 3*time.Millisecond, 0)
+	count := 0
+	var loop func(left int)
+	loop = func(left int) {
+		if left == 0 {
+			return
+		}
+		g.Commit(func() {
+			count++
+			loop(left - 1)
+		})
+	}
+	loop(10)
+	end := e.Run()
+	if count != 10 || end != 30*time.Millisecond {
+		t.Fatalf("count=%d end=%v", count, end)
+	}
+}

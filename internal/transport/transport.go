@@ -1,0 +1,415 @@
+// Package transport provides the RPC plumbing used by every service in
+// this repository: the coordination service ensemble, the Lustre-like
+// MDS/OSS servers and the PVFS-like metadata/data servers.
+//
+// Two interchangeable implementations are provided:
+//
+//   - TCP: real sockets via net, multiplexing concurrent calls over a
+//     single connection with length-prefixed frames (internal/wire).
+//     This is what cmd/coordd and the integration tests use.
+//   - InProc: a channel-free direct-dispatch network keyed by address
+//     string, used to boot whole clusters inside one test process.
+//
+// A Latency wrapper injects a synthetic per-call delay so functional
+// runs can approximate the paper's 1 GigE interconnect without the
+// discrete-event simulator.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Handler processes one request payload and returns a response payload.
+// Returning an error transmits the error text to the caller instead of
+// a payload.
+type Handler interface {
+	Handle(req []byte) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req []byte) ([]byte, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(req []byte) ([]byte, error) { return f(req) }
+
+// Conn is a client connection to one server.
+type Conn interface {
+	// Call sends a request and blocks for the matching response.
+	// Safe for concurrent use.
+	Call(req []byte) ([]byte, error)
+	Close() error
+}
+
+// Network abstracts how servers listen and clients dial, so the same
+// service code runs over TCP or in-process dispatch.
+type Network interface {
+	// Listen registers a handler at addr and starts serving.
+	Listen(addr string, h Handler) (io.Closer, error)
+	// Dial connects to the server registered at addr.
+	Dial(addr string) (Conn, error)
+}
+
+// ErrClosed is returned by calls on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// RemoteError carries an error string produced by the server handler.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// --- TCP implementation ---------------------------------------------
+
+// TCP is a Network over real sockets. The zero value is ready to use;
+// addresses are host:port strings (use "127.0.0.1:0" to pick a free
+// port and read it back from the returned listener).
+type TCP struct{}
+
+type tcpServer struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+}
+
+// Listen implements Network. The returned io.Closer also satisfies
+// interface{ Addr() net.Addr } so callers can recover the bound port.
+func (TCP) Listen(addr string, h Handler) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &tcpServer{ln: ln, handler: h, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *tcpServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes every accepted connection (so blocked
+// readers unwind) and waits for all server goroutines.
+func (s *tcpServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *tcpServer) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	var wmu sync.Mutex
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	for {
+		frame, err := wire.ReadFrame(c)
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(frame)
+		id := r.Uint64()
+		req := r.BytesCopy32()
+		if r.Err() != nil {
+			return // protocol violation; drop the connection
+		}
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			resp, herr := s.handler.Handle(req)
+			w := wire.NewWriter(16 + len(resp))
+			w.Uint64(id)
+			if herr != nil {
+				w.Uint8(statusErr)
+				w.String(herr.Error())
+			} else {
+				w.Uint8(statusOK)
+				w.Bytes32(resp)
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = wire.WriteFrame(c, w.Bytes())
+		}()
+	}
+}
+
+type tcpConn struct {
+	c      net.Conn
+	wmu    sync.Mutex
+	mu     sync.Mutex
+	nextID uint64
+	pend   map[uint64]chan callResult
+	closed bool
+}
+
+type callResult struct {
+	payload []byte
+	err     error
+}
+
+// Dial implements Network.
+func (TCP) Dial(addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	tc := &tcpConn{c: c, pend: make(map[uint64]chan callResult)}
+	go tc.readLoop()
+	return tc, nil
+}
+
+func (tc *tcpConn) readLoop() {
+	for {
+		frame, err := wire.ReadFrame(tc.c)
+		if err != nil {
+			tc.failAll(err)
+			return
+		}
+		r := wire.NewReader(frame)
+		id := r.Uint64()
+		status := r.Uint8()
+		var res callResult
+		if status == statusErr {
+			res.err = &RemoteError{Msg: r.String()}
+		} else {
+			res.payload = r.BytesCopy32()
+		}
+		if r.Err() != nil {
+			tc.failAll(r.Err())
+			return
+		}
+		tc.mu.Lock()
+		ch, ok := tc.pend[id]
+		delete(tc.pend, id)
+		tc.mu.Unlock()
+		if ok {
+			ch <- res
+		}
+	}
+}
+
+func (tc *tcpConn) failAll(err error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.closed {
+		err = ErrClosed
+	}
+	for id, ch := range tc.pend {
+		delete(tc.pend, id)
+		ch <- callResult{err: err}
+	}
+	tc.closed = true
+}
+
+// Call implements Conn.
+func (tc *tcpConn) Call(req []byte) ([]byte, error) {
+	ch := make(chan callResult, 1)
+	tc.mu.Lock()
+	if tc.closed {
+		tc.mu.Unlock()
+		return nil, ErrClosed
+	}
+	tc.nextID++
+	id := tc.nextID
+	tc.pend[id] = ch
+	tc.mu.Unlock()
+
+	w := wire.NewWriter(16 + len(req))
+	w.Uint64(id)
+	w.Bytes32(req)
+	tc.wmu.Lock()
+	err := wire.WriteFrame(tc.c, w.Bytes())
+	tc.wmu.Unlock()
+	if err != nil {
+		tc.mu.Lock()
+		delete(tc.pend, id)
+		tc.mu.Unlock()
+		return nil, err
+	}
+	res := <-ch
+	return res.payload, res.err
+}
+
+// Close implements Conn.
+func (tc *tcpConn) Close() error {
+	tc.mu.Lock()
+	already := tc.closed
+	tc.closed = true
+	tc.mu.Unlock()
+	if already {
+		return nil
+	}
+	err := tc.c.Close()
+	return err
+}
+
+// --- In-process implementation --------------------------------------
+
+// InProc is a Network that dispatches calls directly to registered
+// handlers inside the same process. It is the workhorse for unit and
+// integration tests and for the full-cluster examples.
+type InProc struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewInProc returns an empty in-process network.
+func NewInProc() *InProc {
+	return &InProc{handlers: make(map[string]Handler)}
+}
+
+type inprocListener struct {
+	n    *InProc
+	addr string
+}
+
+func (l *inprocListener) Close() error {
+	l.n.mu.Lock()
+	defer l.n.mu.Unlock()
+	delete(l.n.handlers, l.addr)
+	return nil
+}
+
+// Listen implements Network.
+func (n *InProc) Listen(addr string, h Handler) (io.Closer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.handlers[addr]; dup {
+		return nil, fmt.Errorf("transport: address %s already registered", addr)
+	}
+	n.handlers[addr] = h
+	return &inprocListener{n: n, addr: addr}, nil
+}
+
+type inprocConn struct {
+	n      *InProc
+	addr   string
+	closed atomic.Bool
+}
+
+// Dial implements Network. Dialing succeeds even before the handler is
+// registered is NOT allowed: the address must be listening.
+func (n *InProc) Dial(addr string) (Conn, error) {
+	n.mu.RLock()
+	_, ok := n.handlers[addr]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %s", addr)
+	}
+	return &inprocConn{n: n, addr: addr}, nil
+}
+
+// Call implements Conn.
+func (c *inprocConn) Call(req []byte) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.n.mu.RLock()
+	h, ok := c.n.handlers[c.addr]
+	c.n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: listener at %s went away", c.addr)
+	}
+	resp, err := h.Handle(req)
+	if err != nil {
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// Close implements Conn.
+func (c *inprocConn) Close() error {
+	c.closed.Store(true)
+	return nil
+}
+
+// --- Latency wrapper -------------------------------------------------
+
+// Latency wraps a Network, sleeping for delay() before each call is
+// dispatched, to approximate interconnect round-trip time in
+// functional (non-DES) runs.
+type Latency struct {
+	Inner Network
+	Delay func() time.Duration
+}
+
+// Listen implements Network by delegating to the inner network.
+func (l *Latency) Listen(addr string, h Handler) (io.Closer, error) {
+	return l.Inner.Listen(addr, h)
+}
+
+// Dial implements Network; calls on the returned Conn are delayed.
+func (l *Latency) Dial(addr string) (Conn, error) {
+	c, err := l.Inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &latencyConn{inner: c, delay: l.Delay}, nil
+}
+
+type latencyConn struct {
+	inner Conn
+	delay func() time.Duration
+}
+
+func (c *latencyConn) Call(req []byte) ([]byte, error) {
+	if d := c.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	return c.inner.Call(req)
+}
+
+func (c *latencyConn) Close() error { return c.inner.Close() }

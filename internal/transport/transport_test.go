@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler responds with the request payload prefixed by "echo:".
+var echoHandler = HandlerFunc(func(req []byte) ([]byte, error) {
+	return append([]byte("echo:"), req...), nil
+})
+
+func testNetworkEcho(t *testing.T, n Network, addr string) {
+	t.Helper()
+	ln, err := n.Listen(addr, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	dialAddr := addr
+	if a, ok := ln.(interface{ Addr() net.Addr }); ok {
+		dialAddr = a.Addr().String()
+	}
+	c, err := n.Dial(dialAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Call([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestTCPEcho(t *testing.T) {
+	testNetworkEcho(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestInProcEcho(t *testing.T) {
+	testNetworkEcho(t, NewInProc(), "node1")
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	n := TCP{}
+	ln, err := n.Listen("127.0.0.1:0", HandlerFunc(func(req []byte) ([]byte, error) {
+		return req, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.(interface{ Addr() net.Addr }).Addr().String()
+
+	c, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 16
+	const calls = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*calls)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				msg := []byte(fmt.Sprintf("w%d-c%d", w, i))
+				resp, err := c.Call(msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, msg) {
+					errs <- fmt.Errorf("mismatched response %q for %q", resp, msg)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteErrorPropagation(t *testing.T) {
+	for name, mk := range map[string]func() (Network, string){
+		"tcp":    func() (Network, string) { return TCP{}, "127.0.0.1:0" },
+		"inproc": func() (Network, string) { return NewInProc(), "svc" },
+	} {
+		t.Run(name, func(t *testing.T) {
+			n, addr := mk()
+			ln, err := n.Listen(addr, HandlerFunc(func(req []byte) ([]byte, error) {
+				return nil, errors.New("boom")
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			dialAddr := addr
+			if a, ok := ln.(interface{ Addr() net.Addr }); ok {
+				dialAddr = a.Addr().String()
+			}
+			c, err := n.Dial(dialAddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			_, err = c.Call([]byte("x"))
+			var re *RemoteError
+			if !errors.As(err, &re) {
+				t.Fatalf("error = %v, want RemoteError", err)
+			}
+			if !strings.Contains(re.Error(), "boom") {
+				t.Fatalf("error text = %q", re.Error())
+			}
+		})
+	}
+}
+
+func TestTCPCallAfterClose(t *testing.T) {
+	n := TCP{}
+	ln, err := n.Listen("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.(interface{ Addr() net.Addr }).Addr().String()
+	c, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call([]byte("x")); err == nil {
+		t.Fatal("Call on closed conn succeeded")
+	}
+}
+
+func TestTCPServerShutdownFailsPendingDials(t *testing.T) {
+	n := TCP{}
+	block := make(chan struct{})
+	ln, err := n.Listen("127.0.0.1:0", HandlerFunc(func(req []byte) ([]byte, error) {
+		<-block
+		return req, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.(interface{ Addr() net.Addr }).Addr().String()
+	c, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call([]byte("x"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call reach the server
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("call failed: %v", err)
+	}
+	ln.Close()
+	c.Close()
+}
+
+func TestInProcDialRequiresListener(t *testing.T) {
+	n := NewInProc()
+	if _, err := n.Dial("missing"); err == nil {
+		t.Fatal("Dial of unregistered address succeeded")
+	}
+}
+
+func TestInProcDuplicateListen(t *testing.T) {
+	n := NewInProc()
+	ln, err := n.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := n.Listen("a", echoHandler); err == nil {
+		t.Fatal("duplicate Listen succeeded")
+	}
+}
+
+func TestInProcListenerClose(t *testing.T) {
+	n := NewInProc()
+	ln, err := n.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	if _, err := c.Call([]byte("x")); err == nil {
+		t.Fatal("Call after listener close succeeded")
+	}
+}
+
+func TestLatencyWrapperDelays(t *testing.T) {
+	n := &Latency{
+		Inner: NewInProc(),
+		Delay: func() time.Duration { return 5 * time.Millisecond },
+	}
+	ln, err := n.Listen("svc", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c, err := n.Dial("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Call([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("call returned in %v, want >= 5ms", elapsed)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+package vfs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MountTable routes absolute paths to mounted filesystems by longest
+// matching prefix, the way the kernel VFS routes into FUSE mounts.
+// DUFS appears to applications as one mount point in this table,
+// hiding the N physical back-end mounts behind it (paper §IV-A).
+type MountTable struct {
+	mu     sync.RWMutex
+	mounts []mount // sorted by descending prefix length
+}
+
+type mount struct {
+	prefix string // "/" or "/a/b" (no trailing slash)
+	fs     FileSystem
+}
+
+// NewMountTable returns an empty table.
+func NewMountTable() *MountTable { return &MountTable{} }
+
+// Mount attaches fs at prefix. Mounting over an existing prefix
+// replaces it.
+func (m *MountTable) Mount(prefix string, fs FileSystem) error {
+	p, err := Clean(prefix)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.mounts {
+		if m.mounts[i].prefix == p {
+			m.mounts[i].fs = fs
+			return nil
+		}
+	}
+	m.mounts = append(m.mounts, mount{prefix: p, fs: fs})
+	sort.Slice(m.mounts, func(i, j int) bool {
+		return len(m.mounts[i].prefix) > len(m.mounts[j].prefix)
+	})
+	return nil
+}
+
+// Unmount detaches the filesystem at prefix.
+func (m *MountTable) Unmount(prefix string) error {
+	p, err := Clean(prefix)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.mounts {
+		if m.mounts[i].prefix == p {
+			m.mounts = append(m.mounts[:i], m.mounts[i+1:]...)
+			return nil
+		}
+	}
+	return ErrNotExist
+}
+
+// Resolve returns the filesystem owning path and the path relative to
+// its mount point (always absolute, "/" for the mount root).
+func (m *MountTable) Resolve(path string) (FileSystem, string, error) {
+	p, err := Clean(path)
+	if err != nil {
+		return nil, "", err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, mt := range m.mounts {
+		if mt.prefix == "/" {
+			return mt.fs, p, nil
+		}
+		if p == mt.prefix {
+			return mt.fs, "/", nil
+		}
+		if strings.HasPrefix(p, mt.prefix+"/") {
+			return mt.fs, p[len(mt.prefix):], nil
+		}
+	}
+	return nil, "", ErrNotExist
+}
+
+// Mounts returns the mounted prefixes, longest first.
+func (m *MountTable) Mounts() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, len(m.mounts))
+	for i, mt := range m.mounts {
+		out[i] = mt.prefix
+	}
+	return out
+}
+
+// Dispatcher exposes the union of all mounts as one FileSystem, the
+// way applications see the kernel VFS. Cross-mount renames are
+// rejected with ErrCrossDev, as on a real system.
+type Dispatcher struct {
+	table *MountTable
+}
+
+// NewDispatcher returns a dispatcher over the table.
+func NewDispatcher(table *MountTable) *Dispatcher { return &Dispatcher{table: table} }
+
+func (d *Dispatcher) route(path string) (FileSystem, string, error) {
+	return d.table.Resolve(path)
+}
+
+// Mkdir implements FileSystem.
+func (d *Dispatcher) Mkdir(path string, perm uint32) error {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return err
+	}
+	return fs.Mkdir(rel, perm)
+}
+
+// Rmdir implements FileSystem.
+func (d *Dispatcher) Rmdir(path string) error {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return err
+	}
+	return fs.Rmdir(rel)
+}
+
+// Create implements FileSystem.
+func (d *Dispatcher) Create(path string, perm uint32) (Handle, error) {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Create(rel, perm)
+}
+
+// Open implements FileSystem.
+func (d *Dispatcher) Open(path string, flags int) (Handle, error) {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Open(rel, flags)
+}
+
+// Unlink implements FileSystem.
+func (d *Dispatcher) Unlink(path string) error {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return err
+	}
+	return fs.Unlink(rel)
+}
+
+// Stat implements FileSystem.
+func (d *Dispatcher) Stat(path string) (FileInfo, error) {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return fs.Stat(rel)
+}
+
+// Readdir implements FileSystem.
+func (d *Dispatcher) Readdir(path string) ([]DirEntry, error) {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Readdir(rel)
+}
+
+// Rename implements FileSystem.
+func (d *Dispatcher) Rename(oldPath, newPath string) error {
+	ofs, orel, err := d.route(oldPath)
+	if err != nil {
+		return err
+	}
+	nfs, nrel, err := d.route(newPath)
+	if err != nil {
+		return err
+	}
+	if ofs != nfs {
+		return ErrCrossDev
+	}
+	return ofs.Rename(orel, nrel)
+}
+
+// Symlink implements FileSystem.
+func (d *Dispatcher) Symlink(target, linkPath string) error {
+	fs, rel, err := d.route(linkPath)
+	if err != nil {
+		return err
+	}
+	return fs.Symlink(target, rel)
+}
+
+// Readlink implements FileSystem.
+func (d *Dispatcher) Readlink(path string) (string, error) {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return "", err
+	}
+	return fs.Readlink(rel)
+}
+
+// Truncate implements FileSystem.
+func (d *Dispatcher) Truncate(path string, size int64) error {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return err
+	}
+	return fs.Truncate(rel, size)
+}
+
+// Chmod implements FileSystem.
+func (d *Dispatcher) Chmod(path string, perm uint32) error {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return err
+	}
+	return fs.Chmod(rel, perm)
+}
+
+// Access implements FileSystem.
+func (d *Dispatcher) Access(path string, mask uint32) error {
+	fs, rel, err := d.route(path)
+	if err != nil {
+		return err
+	}
+	return fs.Access(rel, mask)
+}
+
+var _ FileSystem = (*Dispatcher)(nil)
+
+// Dummy is the paper's "dummy FUSE filesystem which just does nothing,
+// except forwarding the requests to a local filesystem" (§V-E). It
+// wraps an inner filesystem and forwards every call, optionally
+// counting operations so the memory study can correlate footprint with
+// request volume.
+type Dummy struct {
+	Inner FileSystem
+	ops   sync.Map // op name -> *int64 (simple counters)
+}
+
+// NewDummy wraps inner.
+func NewDummy(inner FileSystem) *Dummy { return &Dummy{Inner: inner} }
+
+// Mkdir implements FileSystem.
+func (d *Dummy) Mkdir(path string, perm uint32) error { return d.Inner.Mkdir(path, perm) }
+
+// Rmdir implements FileSystem.
+func (d *Dummy) Rmdir(path string) error { return d.Inner.Rmdir(path) }
+
+// Create implements FileSystem.
+func (d *Dummy) Create(path string, perm uint32) (Handle, error) { return d.Inner.Create(path, perm) }
+
+// Open implements FileSystem.
+func (d *Dummy) Open(path string, flags int) (Handle, error) { return d.Inner.Open(path, flags) }
+
+// Unlink implements FileSystem.
+func (d *Dummy) Unlink(path string) error { return d.Inner.Unlink(path) }
+
+// Stat implements FileSystem.
+func (d *Dummy) Stat(path string) (FileInfo, error) { return d.Inner.Stat(path) }
+
+// Readdir implements FileSystem.
+func (d *Dummy) Readdir(path string) ([]DirEntry, error) { return d.Inner.Readdir(path) }
+
+// Rename implements FileSystem.
+func (d *Dummy) Rename(o, n string) error { return d.Inner.Rename(o, n) }
+
+// Symlink implements FileSystem.
+func (d *Dummy) Symlink(t, l string) error { return d.Inner.Symlink(t, l) }
+
+// Readlink implements FileSystem.
+func (d *Dummy) Readlink(p string) (string, error) { return d.Inner.Readlink(p) }
+
+// Truncate implements FileSystem.
+func (d *Dummy) Truncate(p string, s int64) error { return d.Inner.Truncate(p, s) }
+
+// Chmod implements FileSystem.
+func (d *Dummy) Chmod(p string, m uint32) error { return d.Inner.Chmod(p, m) }
+
+// Access implements FileSystem.
+func (d *Dummy) Access(p string, m uint32) error { return d.Inner.Access(p, m) }
+
+var _ FileSystem = (*Dummy)(nil)

@@ -1,0 +1,283 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeFS records which (op, path) pairs were invoked. It implements
+// FileSystem with no behaviour, for routing tests.
+type fakeFS struct {
+	calls []string
+}
+
+func (f *fakeFS) record(op, path string) { f.calls = append(f.calls, op+":"+path) }
+
+func (f *fakeFS) Mkdir(p string, _ uint32) error { f.record("mkdir", p); return nil }
+func (f *fakeFS) Rmdir(p string) error           { f.record("rmdir", p); return nil }
+func (f *fakeFS) Create(p string, _ uint32) (Handle, error) {
+	f.record("create", p)
+	return nopHandle{}, nil
+}
+func (f *fakeFS) Open(p string, _ int) (Handle, error) { f.record("open", p); return nopHandle{}, nil }
+func (f *fakeFS) Unlink(p string) error                { f.record("unlink", p); return nil }
+func (f *fakeFS) Stat(p string) (FileInfo, error) {
+	f.record("stat", p)
+	return FileInfo{Name: p, Mtime: time.Now()}, nil
+}
+func (f *fakeFS) Readdir(p string) ([]DirEntry, error) { f.record("readdir", p); return nil, nil }
+func (f *fakeFS) Rename(o, n string) error             { f.record("rename", o+"->"+n); return nil }
+func (f *fakeFS) Symlink(t, l string) error            { f.record("symlink", l); return nil }
+func (f *fakeFS) Readlink(p string) (string, error)    { f.record("readlink", p); return "", nil }
+func (f *fakeFS) Truncate(p string, _ int64) error     { f.record("truncate", p); return nil }
+func (f *fakeFS) Chmod(p string, _ uint32) error       { f.record("chmod", p); return nil }
+func (f *fakeFS) Access(p string, _ uint32) error      { f.record("access", p); return nil }
+
+type nopHandle struct{}
+
+func (nopHandle) ReadAt(p []byte, off int64) (int, error)  { return 0, nil }
+func (nopHandle) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+func (nopHandle) Close() error                             { return nil }
+
+func TestClean(t *testing.T) {
+	cases := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{"/", "/", false},
+		{"/a", "/a", false},
+		{"/a/b/", "/a/b", false},
+		{"//a//b", "/a/b", false},
+		{"/a/./b", "/a/b", false},
+		{"/a/../b", "/b", false},
+		{"/..", "", true},
+		{"relative", "", true},
+		{"", "", true},
+	}
+	for _, c := range cases {
+		got, err := Clean(c.in)
+		if c.wantErr != (err != nil) {
+			t.Errorf("Clean(%q) err = %v, wantErr=%v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("Clean(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCleanIdempotentProperty(t *testing.T) {
+	if err := quick.Check(func(s string) bool {
+		p, err := Clean("/" + s)
+		if err != nil {
+			return true // rejected input; nothing to verify
+		}
+		p2, err := Clean(p)
+		return err == nil && p2 == p
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct{ in, dir, name string }{
+		{"/", "/", ""},
+		{"/a", "/", "a"},
+		{"/a/b", "/a", "b"},
+	}
+	for _, c := range cases {
+		d, n := Split(c.in)
+		if d != c.dir || n != c.name {
+			t.Errorf("Split(%q) = (%q,%q)", c.in, d, n)
+		}
+	}
+}
+
+func TestMountResolution(t *testing.T) {
+	mt := NewMountTable()
+	rootFS := &fakeFS{}
+	dufsFS := &fakeFS{}
+	deepFS := &fakeFS{}
+	if err := mt.Mount("/", rootFS); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Mount("/dufs", dufsFS); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Mount("/dufs/deep", deepFS); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		path    string
+		wantFS  FileSystem
+		wantRel string
+	}{
+		{"/etc/hosts", rootFS, "/etc/hosts"},
+		{"/dufs", dufsFS, "/"},
+		{"/dufs/a/b", dufsFS, "/a/b"},
+		{"/dufs/deep/x", deepFS, "/x"},
+		{"/dufsx", rootFS, "/dufsx"}, // prefix must match at a boundary
+	}
+	for _, c := range cases {
+		fs, rel, err := mt.Resolve(c.path)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", c.path, err)
+		}
+		if fs != c.wantFS || rel != c.wantRel {
+			t.Errorf("Resolve(%q) = (%p,%q), want (%p,%q)", c.path, fs, rel, c.wantFS, c.wantRel)
+		}
+	}
+}
+
+func TestResolveNoMount(t *testing.T) {
+	mt := NewMountTable()
+	if err := mt.Mount("/only", &fakeFS{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mt.Resolve("/elsewhere"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnmount(t *testing.T) {
+	mt := NewMountTable()
+	fs := &fakeFS{}
+	if err := mt.Mount("/m", fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Unmount("/m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Unmount("/m"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double unmount err = %v", err)
+	}
+}
+
+func TestMountReplaces(t *testing.T) {
+	mt := NewMountTable()
+	a, b := &fakeFS{}, &fakeFS{}
+	if err := mt.Mount("/m", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Mount("/m", b); err != nil {
+		t.Fatal(err)
+	}
+	fs, _, err := mt.Resolve("/m/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs != b {
+		t.Fatal("mount did not replace")
+	}
+	if got := len(mt.Mounts()); got != 1 {
+		t.Fatalf("mounts = %d", got)
+	}
+}
+
+func TestDispatcherRoutesEveryOp(t *testing.T) {
+	mt := NewMountTable()
+	fs := &fakeFS{}
+	if err := mt.Mount("/m", fs); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(mt)
+
+	if err := d.Mkdir("/m/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rmdir("/m/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("/m/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Open("/m/f", OpenRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Unlink("/m/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Stat("/m/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Readdir("/m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("/m/a", "/m/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Symlink("/t", "/m/l"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Readlink("/m/l"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Truncate("/m/f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Chmod("/m/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Access("/m/f", AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"mkdir:/d", "rmdir:/d", "create:/f", "open:/f", "unlink:/f",
+		"stat:/f", "readdir:/", "rename:/a->/b", "symlink:/l",
+		"readlink:/l", "truncate:/f", "chmod:/f", "access:/f",
+	}
+	if len(fs.calls) != len(want) {
+		t.Fatalf("calls = %v", fs.calls)
+	}
+	for i := range want {
+		if fs.calls[i] != want[i] {
+			t.Fatalf("call %d = %q, want %q", i, fs.calls[i], want[i])
+		}
+	}
+}
+
+func TestDispatcherCrossMountRename(t *testing.T) {
+	mt := NewMountTable()
+	if err := mt.Mount("/a", &fakeFS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Mount("/b", &fakeFS{}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(mt)
+	if err := d.Rename("/a/x", "/b/x"); !errors.Is(err, ErrCrossDev) {
+		t.Fatalf("cross-mount rename err = %v", err)
+	}
+}
+
+func TestDummyForwardsEverything(t *testing.T) {
+	inner := &fakeFS{}
+	d := NewDummy(inner)
+	if err := d.Mkdir("/x", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Stat("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.calls) != 2 {
+		t.Fatalf("calls = %v", inner.calls)
+	}
+}
+
+func TestFileInfoPredicates(t *testing.T) {
+	dir := FileInfo{Mode: ModeDir | 0o755}
+	if !dir.IsDir() || dir.IsSymlink() {
+		t.Fatal("dir predicates wrong")
+	}
+	link := FileInfo{Mode: ModeSymlink | 0o777}
+	if !link.IsSymlink() || link.IsDir() {
+		t.Fatal("symlink predicates wrong")
+	}
+	reg := FileInfo{Mode: ModeRegular | 0o644}
+	if reg.IsDir() || reg.IsSymlink() {
+		t.Fatal("regular predicates wrong")
+	}
+}

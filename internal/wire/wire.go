@@ -1,0 +1,261 @@
+// Package wire implements the binary message codec and length-prefixed
+// framing shared by every RPC protocol in this repository (coordination
+// service, Lustre-like MDS/OSS, PVFS-like servers).
+//
+// The encoding is deliberately simple and allocation-conscious:
+// fixed-width big-endian integers, length-prefixed byte strings, and a
+// 4-byte frame header on the stream. There is no reflection; each
+// protocol marshals its own structs with Writer/Reader.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame to keep a malformed or hostile
+// peer from forcing an enormous allocation. 16 MiB comfortably covers
+// the largest snapshot chunk the coordination service ships.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Writer serializes values into an append-grown buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The slice is owned by the Writer
+// and is invalidated by further writes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of encoded bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the buffer for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uint8 appends a single byte.
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.Uint8(1)
+	} else {
+		w.Uint8(0)
+	}
+}
+
+// Uint16 appends a big-endian uint16.
+func (w *Writer) Uint16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+// Uint32 appends a big-endian uint32.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// Uint64 appends a big-endian uint64.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
+
+// Int64 appends a big-endian int64 (two's complement).
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Int32 appends a big-endian int32 (two's complement).
+func (w *Writer) Int32(v int32) { w.Uint32(uint32(v)) }
+
+// Bytes32 appends a uint32 length prefix followed by the bytes.
+func (w *Writer) Bytes32(b []byte) {
+	w.Uint32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a uint32 length prefix followed by the string bytes.
+func (w *Writer) String(s string) {
+	w.Uint32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// StringSlice appends a uint32 count followed by each string.
+func (w *Writer) StringSlice(ss []string) {
+	w.Uint32(uint32(len(ss)))
+	for _, s := range ss {
+		w.String(s)
+	}
+}
+
+// Reader deserializes values from a byte slice. Errors are sticky:
+// after the first failure every subsequent read returns the zero value
+// and Err() reports the original problem, so call sites can decode a
+// whole struct and check once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(what string, need int) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated %s: need %d bytes, have %d", what, need, r.Remaining())
+	}
+}
+
+func (r *Reader) take(what string, n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.fail(what, n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Uint8 reads one byte.
+func (r *Reader) Uint8() uint8 {
+	b := r.take("uint8", 1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte as a boolean.
+func (r *Reader) Bool() bool { return r.Uint8() != 0 }
+
+// Uint16 reads a big-endian uint16.
+func (r *Reader) Uint16() uint16 {
+	b := r.take("uint16", 2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// Uint32 reads a big-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	b := r.take("uint32", 4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Uint64 reads a big-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	b := r.take("uint64", 8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads a big-endian int64.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Int32 reads a big-endian int32.
+func (r *Reader) Int32() int32 { return int32(r.Uint32()) }
+
+// Bytes32 reads a uint32 length prefix and returns that many bytes.
+// The returned slice aliases the Reader's buffer.
+func (r *Reader) Bytes32() []byte {
+	n := r.Uint32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) > r.Remaining() {
+		r.fail("bytes", int(n))
+		return nil
+	}
+	return r.take("bytes", int(n))
+}
+
+// BytesCopy32 reads like Bytes32 but returns a copy safe to retain.
+func (r *Reader) BytesCopy32() []byte {
+	b := r.Bytes32()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// String reads a uint32 length prefix and returns that many bytes as a
+// string (always a copy).
+func (r *Reader) String() string {
+	return string(r.Bytes32())
+}
+
+// StringSlice reads a uint32 count followed by that many strings.
+func (r *Reader) StringSlice() []string {
+	n := r.Uint32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) > r.Remaining() { // each string needs >= 4 bytes of prefix
+		r.fail("string slice", int(n))
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		out = append(out, r.String())
+	}
+	return out
+}
+
+// WriteFrame writes a 4-byte big-endian length header followed by the
+// payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame. It allocates the payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
