@@ -12,6 +12,19 @@
 // state and reloads it at boot, giving the paper's §IV-I full-restart
 // tolerance ("it can tolerate the failure of all servers by restarting
 // them later").
+//
+// With -shards K the process hosts this machine's member of K
+// INDEPENDENT ensembles — the sharded coordination service that
+// clients address through a shard router. Shard s reuses the -peers
+// and -client addresses with every port offset by s*stride
+// (-shard-stride, default 10), so the 3-machine 4-shard deployment is
+// still one flag line per machine:
+//
+//	coordd -id 1 -peers 1=h1:7101,2=h2:7102,3=h3:7103 -client h1:7201 -shards 4
+//
+// serves shard 0 peers on 7101 and clients on 7201, shard 1 on
+// 7111/7211, shard 2 on 7121/7221, shard 3 on 7131/7231. Checkpoint
+// files get a ".s<shard>" suffix.
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -36,6 +50,8 @@ func main() {
 	clientAddr := flag.String("client", "", "host:port for client sessions")
 	checkpoint := flag.String("checkpoint", "", "path for periodic durable checkpoints")
 	interval := flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint period")
+	shards := flag.Int("shards", 1, "number of independent ensembles this process serves a member of")
+	stride := flag.Int("shard-stride", 10, "port offset between consecutive shards")
 	flag.Parse()
 
 	peers, err := parsePeers(*peersFlag)
@@ -48,28 +64,47 @@ func main() {
 	if *clientAddr == "" {
 		log.Fatal("coordd: -client is required")
 	}
-
-	cfg := coord.ServerConfig{
-		ID:         *id,
-		PeerAddrs:  peers,
-		ClientAddr: *clientAddr,
-		Net:        transport.TCP{},
+	if *shards < 1 {
+		log.Fatalf("coordd: -shards must be >= 1, got %d", *shards)
 	}
-	if *checkpoint != "" {
-		if snap, zxid, err := loadCheckpoint(*checkpoint); err == nil {
-			cfg.Checkpoint = snap
-			cfg.CheckpointZxid = zxid
-			log.Printf("coordd: restored checkpoint at zxid %x", zxid)
-		} else if !os.IsNotExist(err) {
-			log.Fatalf("coordd: reading checkpoint: %v", err)
+
+	servers := make([]*shardServer, 0, *shards)
+	for s := 0; s < *shards; s++ {
+		shardPeers := make(map[uint64]string, len(peers))
+		for pid, addr := range peers {
+			a, err := offsetAddr(addr, s**stride)
+			if err != nil {
+				log.Fatalf("coordd: shard %d peer %d: %v", s, pid, err)
+			}
+			shardPeers[pid] = a
 		}
+		shardClient, err := offsetAddr(*clientAddr, s**stride)
+		if err != nil {
+			log.Fatalf("coordd: shard %d client addr: %v", s, err)
+		}
+		cfg := coord.ServerConfig{
+			ID:         *id,
+			PeerAddrs:  shardPeers,
+			ClientAddr: shardClient,
+			Net:        transport.TCP{},
+		}
+		ckpt := checkpointPath(*checkpoint, s, *shards)
+		if ckpt != "" {
+			if snap, zxid, err := loadCheckpoint(ckpt); err == nil {
+				cfg.Checkpoint = snap
+				cfg.CheckpointZxid = zxid
+				log.Printf("coordd: shard %d restored checkpoint at zxid %x", s, zxid)
+			} else if !os.IsNotExist(err) {
+				log.Fatalf("coordd: reading checkpoint %s: %v", ckpt, err)
+			}
+		}
+		srv, err := coord.NewServer(cfg)
+		if err != nil {
+			log.Fatalf("coordd: shard %d: %v", s, err)
+		}
+		servers = append(servers, &shardServer{srv: srv, ckpt: ckpt})
+		log.Printf("coordd: shard %d server %d up, peers=%v, clients on %s", s, *id, shardPeers, shardClient)
 	}
-
-	srv, err := coord.NewServer(cfg)
-	if err != nil {
-		log.Fatalf("coordd: %v", err)
-	}
-	log.Printf("coordd: server %d up, peers=%v, clients on %s", *id, peers, *clientAddr)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -79,22 +114,58 @@ func main() {
 	for {
 		select {
 		case <-ticker.C:
-			if *checkpoint != "" {
-				if err := saveCheckpoint(*checkpoint, srv); err != nil {
-					log.Printf("coordd: checkpoint failed: %v", err)
-				}
-			}
+			saveAll(servers, "checkpoint")
 		case sig := <-stop:
 			log.Printf("coordd: %v, shutting down", sig)
-			if *checkpoint != "" {
-				if err := saveCheckpoint(*checkpoint, srv); err != nil {
-					log.Printf("coordd: final checkpoint failed: %v", err)
-				}
+			saveAll(servers, "final checkpoint")
+			for _, ss := range servers {
+				ss.srv.Stop()
 			}
-			srv.Stop()
 			return
 		}
 	}
+}
+
+// shardServer pairs one ensemble member with its checkpoint path.
+type shardServer struct {
+	srv  *coord.Server
+	ckpt string
+}
+
+func saveAll(servers []*shardServer, what string) {
+	for s, ss := range servers {
+		if ss.ckpt == "" {
+			continue
+		}
+		if err := saveCheckpoint(ss.ckpt, ss.srv); err != nil {
+			log.Printf("coordd: shard %d %s failed: %v", s, what, err)
+		}
+	}
+}
+
+// checkpointPath namespaces the checkpoint file per shard; a
+// single-shard deployment keeps the bare path for compatibility.
+func checkpointPath(base string, shard, shards int) string {
+	if base == "" || shards == 1 {
+		return base
+	}
+	return fmt.Sprintf("%s.s%d", base, shard)
+}
+
+// offsetAddr shifts host:port by delta ports (shard address derivation).
+func offsetAddr(addr string, delta int) (string, error) {
+	if delta == 0 {
+		return addr, nil
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("address %q: %v", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("address %q: bad port: %v", addr, err)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+delta)), nil
 }
 
 func parsePeers(s string) (map[uint64]string, error) {

@@ -4,11 +4,16 @@
 // stat, put, cat, rm, rmdir, mv, ln — against the unioned mount, the
 // way the paper's prototype exposes a FUSE mount point.
 //
-//	dufsctl -backends 4 -coord 3 -kind lustre
+//	dufsctl -backends 4 -coord 3 -kind lustre -shards 2
 //	dufs> mkdir /projects
 //	dufs> put /projects/readme hello-dufs
 //	dufs> ls /projects
 //	dufs> stat /projects/readme
+//	dufs> status
+//
+// With -shards K the namespace is partitioned across K independent
+// coordination ensembles behind a client-side shard router; `status`
+// shows each shard's leader and znode count.
 package main
 
 import (
@@ -20,18 +25,22 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/coord"
+	"repro/internal/coord/shard"
 	"repro/internal/vfs"
 )
 
 func main() {
 	backends := flag.Int("backends", 2, "back-end mounts to union")
 	coordServers := flag.Int("coord", 3, "coordination ensemble size")
+	shards := flag.Int("shards", 1, "independent coordination ensembles to partition the namespace across")
 	kind := flag.String("kind", "lustre", "back-end kind: lustre, pvfs, memfs")
 	flag.Parse()
 
 	c, err := cluster.Start(cluster.Config{
 		Name:         "dufsctl",
 		CoordServers: *coordServers,
+		CoordShards:  *shards,
 		Backends:     *backends,
 		Kind:         cluster.BackendKind(*kind),
 	})
@@ -44,9 +53,9 @@ func main() {
 		log.Fatalf("dufsctl: %v", err)
 	}
 	fs := cl.FS
-	fmt.Printf("DUFS shell: %d back-end %s mounts, %d coordination servers (client ID %d)\n",
-		*backends, *kind, *coordServers, fs.ClientID())
-	fmt.Println(`commands: mkdir ls stat put cat rm rmdir mv ln readlink chmod truncate help quit`)
+	fmt.Printf("DUFS shell: %d back-end %s mounts, %d coordination shard(s) of %d server(s) (client ID %d)\n",
+		*backends, *kind, *shards, *coordServers, fs.ClientID())
+	fmt.Println(`commands: mkdir ls stat put cat rm rmdir mv ln readlink chmod truncate status help quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -63,10 +72,38 @@ func main() {
 		if args[0] == "quit" || args[0] == "exit" {
 			return
 		}
+		if args[0] == "status" {
+			if err := status(cl.Session); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			continue
+		}
 		if err := run(fs, args); err != nil {
 			fmt.Printf("error: %v\n", err)
 		}
 	}
+}
+
+// status prints the coordination service's view of itself — per shard
+// when the handle is a router, as a single line otherwise.
+func status(sess coord.Client) error {
+	if r, ok := sess.(*shard.Router); ok {
+		sts, err := r.ShardStatus()
+		if err != nil {
+			return err
+		}
+		for i, st := range sts {
+			fmt.Printf("shard %d: server=%d leader=%d epoch=%d znodes=%d\n",
+				i, st.ServerID, st.LeaderID, st.Epoch, st.Znodes)
+		}
+		return nil
+	}
+	st, err := sess.Status()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server=%d leader=%d epoch=%d znodes=%d\n", st.ServerID, st.LeaderID, st.Epoch, st.Znodes)
+	return nil
 }
 
 func run(fs vfs.FileSystem, args []string) error {
@@ -80,7 +117,7 @@ func run(fs vfs.FileSystem, args []string) error {
 	case "help":
 		fmt.Println("mkdir PATH | ls PATH | stat PATH | put PATH DATA | cat PATH |")
 		fmt.Println("rm PATH | rmdir PATH | mv OLD NEW | ln TARGET LINK | readlink PATH |")
-		fmt.Println("chmod PATH OCTAL | truncate PATH SIZE | quit")
+		fmt.Println("chmod PATH OCTAL | truncate PATH SIZE | status | quit")
 		return nil
 	case "mkdir":
 		if err := need(1); err != nil {

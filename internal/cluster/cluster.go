@@ -15,6 +15,7 @@ import (
 	"repro/internal/backend/memfs"
 	"repro/internal/backend/pvfs"
 	"repro/internal/coord"
+	"repro/internal/coord/shard"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/transport"
@@ -40,8 +41,15 @@ type Config struct {
 	// Net defaults to a fresh in-process network.
 	Net transport.Network
 
-	// CoordServers is the coordination ensemble size (paper: 1–8).
+	// CoordServers is the size of each coordination ensemble
+	// (paper: 1–8).
 	CoordServers int
+	// CoordShards is the number of independent coordination ensembles
+	// the namespace is partitioned across (default 1 — the paper's
+	// configuration). With more than one, every client talks through a
+	// shard.Router that consistent-hashes znode paths by parent
+	// directory.
+	CoordShards int
 	// Backends is the number of filesystem instances DUFS unions
 	// (paper: 2 or 4).
 	Backends int
@@ -63,9 +71,14 @@ type Config struct {
 
 // Cluster is a running deployment.
 type Cluster struct {
-	cfg      Config
-	net      transport.Network
+	cfg Config
+	net transport.Network
+	// Ensemble is the first (or only) coordination ensemble, kept as a
+	// field so single-shard callers read naturally.
 	Ensemble *coord.Ensemble
+	// Ensembles holds every coordination shard, Ensembles[0] ==
+	// Ensemble.
+	Ensembles []*coord.Ensemble
 
 	lustres []*lustre.Instance
 	pvfses  []*pvfs.Instance
@@ -74,11 +87,13 @@ type Cluster struct {
 	clients []*Client
 }
 
-// Client is one DUFS mount: its session, its per-backend filesystem
-// clients and the DUFS instance built on them.
+// Client is one DUFS mount: its coordination handle, its per-backend
+// filesystem clients and the DUFS instance built on them.
 type Client struct {
-	FS       *core.DUFS
-	Session  *coord.Session
+	FS *core.DUFS
+	// Session is the coordination handle: a *coord.Session on a
+	// single-shard cluster, a *shard.Router when CoordShards > 1.
+	Session  coord.Client
 	Metrics  *metrics.Registry
 	backends []vfs.FileSystem
 	closers  []interface{ Close() error }
@@ -113,19 +128,26 @@ func Start(cfg Config) (*Cluster, error) {
 	if cfg.Name == "" {
 		cfg.Name = "cluster"
 	}
+	if cfg.CoordShards <= 0 {
+		cfg.CoordShards = 1
+	}
 	c := &Cluster{cfg: cfg, net: cfg.Net}
 
-	ens, err := coord.StartEnsemble(coord.EnsembleConfig{
-		Servers:           cfg.CoordServers,
-		Net:               cfg.Net,
-		AddrPrefix:        cfg.Name + "-coord",
-		HeartbeatInterval: cfg.HeartbeatInterval,
-		ElectionTimeout:   cfg.ElectionTimeout,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("cluster: coordination ensemble: %w", err)
+	for s := 0; s < cfg.CoordShards; s++ {
+		ens, err := coord.StartEnsemble(coord.EnsembleConfig{
+			Servers:           cfg.CoordServers,
+			Net:               cfg.Net,
+			AddrPrefix:        fmt.Sprintf("%s-coord%d", cfg.Name, s),
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			ElectionTimeout:   cfg.ElectionTimeout,
+		})
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: coordination ensemble %d: %w", s, err)
+		}
+		c.Ensembles = append(c.Ensembles, ens)
 	}
-	c.Ensemble = ens
+	c.Ensemble = c.Ensembles[0]
 
 	for b := 0; b < cfg.Backends; b++ {
 		switch cfg.Kind {
@@ -173,11 +195,12 @@ func Start(cfg Config) (*Cluster, error) {
 }
 
 // NewClient attaches a fresh DUFS client (session + back-end mounts).
-// preferred picks which coordination server the session favors, so
+// preferred picks which coordination server each session favors, so
 // clients spread across the ensemble like the paper's co-located
-// DUFS/ZooKeeper pairs.
+// DUFS/ZooKeeper pairs. On a sharded cluster the client holds one
+// session per shard behind a shard.Router.
 func (c *Cluster) NewClient(preferred int) (*Client, error) {
-	sess, err := c.Ensemble.Connect(preferred)
+	sess, err := c.connect(preferred)
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +240,27 @@ func (c *Cluster) NewClient(preferred int) (*Client, error) {
 	cl.FS = dufs
 	c.clients = append(c.clients, cl)
 	return cl, nil
+}
+
+// connect opens the coordination handle for one client: a bare
+// session on a single-shard cluster, a router over one session per
+// ensemble otherwise.
+func (c *Cluster) connect(preferred int) (coord.Client, error) {
+	if len(c.Ensembles) == 1 {
+		return c.Ensemble.Connect(preferred)
+	}
+	sessions := make([]coord.Client, 0, len(c.Ensembles))
+	for _, ens := range c.Ensembles {
+		s, err := ens.Connect(preferred)
+		if err != nil {
+			for _, open := range sessions {
+				open.Close()
+			}
+			return nil, err
+		}
+		sessions = append(sessions, s)
+	}
+	return shard.New(sessions)
 }
 
 // BasicLustreClient returns a plain Lustre client against back-end 0 —
@@ -260,7 +304,7 @@ func (c *Cluster) Stop() {
 	for _, inst := range c.pvfses {
 		inst.Stop()
 	}
-	if c.Ensemble != nil {
-		c.Ensemble.Stop()
+	for _, ens := range c.Ensembles {
+		ens.Stop()
 	}
 }

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coord/shard"
+	"repro/internal/vfs"
+)
+
+// TestShardedClusterEndToEnd runs the full DUFS stack over a 4-shard
+// coordination service: namespace operations from two clients, with
+// cross-client visibility through the per-shard Sync barrier and a
+// rename whose source and destination parents live on different
+// ensembles.
+func TestShardedClusterEndToEnd(t *testing.T) {
+	c, err := Start(Config{
+		Name:         "shardtest",
+		CoordServers: 1,
+		CoordShards:  4,
+		Backends:     2,
+		Kind:         MemFS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if len(c.Ensembles) != 4 {
+		t.Fatalf("cluster has %d ensembles, want 4", len(c.Ensembles))
+	}
+
+	alice, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := c.NewClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, ok := alice.Session.(*shard.Router)
+	if !ok {
+		t.Fatalf("sharded cluster handed out %T, want *shard.Router", alice.Session)
+	}
+	if router.Shards() != 4 {
+		t.Fatalf("router spans %d shards, want 4", router.Shards())
+	}
+
+	// Spread a small tree over the shards and read it back from the
+	// other client.
+	for i := 0; i < 8; i++ {
+		dir := fmt.Sprintf("/proj%d", i)
+		if err := alice.FS.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := vfs.WriteFile(alice.FS, dir+"/data", []byte(dir)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bob.FS.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := bob.FS.Readdir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 8 {
+		t.Fatalf("bob sees %d root entries, want 8: %v", len(ents), ents)
+	}
+	for i := 0; i < 8; i++ {
+		dir := fmt.Sprintf("/proj%d", i)
+		data, err := vfs.ReadFile(bob.FS, dir+"/data")
+		if err != nil || string(data) != dir {
+			t.Fatalf("bob reads %s/data = %q, %v", dir, data, err)
+		}
+	}
+
+	// Cross-shard rename: find two directories on different shards.
+	src, dst := "", ""
+	for i := 0; i < 8 && src == ""; i++ {
+		for j := 0; j < 8; j++ {
+			a, b := fmt.Sprintf("/dufs/proj%d", i), fmt.Sprintf("/dufs/proj%d", j)
+			if router.ShardFor(a+"/x") != router.ShardFor(b+"/x") {
+				src, dst = fmt.Sprintf("/proj%d/data", i), fmt.Sprintf("/proj%d/moved", j)
+				break
+			}
+		}
+	}
+	if src == "" {
+		t.Fatal("eight directories all on one shard — ring badly skewed")
+	}
+	want, err := vfs.ReadFile(alice.FS, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.FS.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.FS.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.FS.Stat(src); err == nil {
+		t.Fatalf("source %s still visible after cross-shard rename", src)
+	}
+	data, err := vfs.ReadFile(bob.FS, dst)
+	if err != nil || string(data) != string(want) {
+		t.Fatalf("renamed file = %q, %v; want %q", data, err, want)
+	}
+}
+
+// TestShardedClusterDefaultsToSingle verifies CoordShards=0 keeps the
+// seed behavior: one ensemble, bare sessions, no router in the path.
+func TestShardedClusterDefaultsToSingle(t *testing.T) {
+	c, err := Start(Config{
+		Name:         "shardtest-single",
+		CoordServers: 1,
+		Backends:     1,
+		Kind:         MemFS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isRouter := cl.Session.(*shard.Router); isRouter {
+		t.Fatal("single-shard cluster should hand out a bare session")
+	}
+	if err := cl.FS.Mkdir("/ok", 0o755); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package coord
+
+import (
+	"time"
+
+	"repro/internal/coord/znode"
+)
+
+// Client is the coordination-service API DUFS programs against: the
+// synchronous ZooKeeper-style operation set of a Session, abstracted
+// so that callers cannot tell one ensemble from many.
+//
+// Two implementations exist:
+//
+//   - *Session — a connection to a single ensemble (the paper's
+//     configuration, §IV-D);
+//   - *shard.Router — a client-side fan-out over N independent
+//     ensembles that partitions the znode namespace by
+//     consistent-hashing each node's parent-directory path
+//     (DESIGN.md §7).
+//
+// The guarantees callers may rely on are those of a single session:
+// a client always observes its own writes, and Sync establishes a
+// barrier after which writes committed before the call are visible.
+// Ordering between paths that live on different shards is NOT
+// guaranteed by the Router; DUFS only needs per-path and
+// per-directory ordering, which hashing by parent directory
+// preserves.
+type Client interface {
+	// ID returns the 64-bit session identifier minted by the
+	// replicated state machine; DUFS uses it as the client half of new
+	// FIDs.
+	ID() uint64
+	// Close terminates the session(s), expiring ephemeral nodes.
+	Close() error
+
+	// Create creates a znode, returning the created path (which
+	// differs from the requested path for sequential modes).
+	Create(path string, data []byte, mode znode.CreateMode) (string, error)
+	// Get returns a znode's data and stat.
+	Get(path string) ([]byte, znode.Stat, error)
+	// Set replaces a znode's data; version -1 disables the check.
+	Set(path string, data []byte, version int32) (znode.Stat, error)
+	// Delete removes a childless znode; version -1 disables the check.
+	Delete(path string, version int32) error
+	// Exists reports whether the znode exists, with its stat.
+	Exists(path string) (znode.Stat, bool, error)
+	// Children returns the sorted child names of a znode.
+	Children(path string) ([]string, error)
+
+	// GetW, ExistsW and ChildrenW are their unwatched counterparts
+	// plus a one-shot watch delivered through PollEvents.
+	GetW(path string) ([]byte, znode.Stat, error)
+	ExistsW(path string) (znode.Stat, bool, error)
+	ChildrenW(path string) ([]string, error)
+	// PollEvents drains fired watches.
+	PollEvents() ([]Event, error)
+	// WaitEvent polls until an event arrives or the timeout expires.
+	WaitEvent(timeout time.Duration) ([]Event, error)
+
+	// Sync is the cross-client visibility barrier (ZooKeeper sync()).
+	Sync() error
+	// Status reports the service's view of itself, for tools and
+	// tests.
+	Status() (Status, error)
+}
+
+var _ Client = (*Session)(nil)

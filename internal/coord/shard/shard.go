@@ -1,0 +1,353 @@
+// Package shard partitions the coordination-service namespace across
+// N independent ensembles and presents them as one coord.Client.
+//
+// The paper answers its title question with a single ZooKeeper-style
+// ensemble, which caps metadata write throughput at one ZAB quorum
+// (§IV-D, Fig 7a). The next scaling lever — the one HopsFS and
+// ChubaoFS take in related work — is to run several ensembles and
+// partition the namespace between them. Router is the client-side
+// realisation of that idea: no server knows it is part of a sharded
+// deployment; all routing intelligence lives in the client, in keeping
+// with DUFS's stateless-client design (§IV-I).
+//
+// # Routing rule
+//
+// A znode lives on the shard selected by consistent-hashing its
+// PARENT-DIRECTORY path on a placement.Ring (the same vnode ring used
+// for FID→back-end placement, §IV-F/§VII):
+//
+//	shard(p) = ring.LocateKey(parent(p))
+//
+// Hashing the parent rather than the path itself means every child of
+// one directory lands on the same shard, so Children and sequential
+// creates remain single-shard operations and per-directory ordering is
+// preserved. Distinct directories spread across shards, which is where
+// the aggregate write throughput comes from (BenchmarkShardScaling).
+//
+// # Ancestor stubs
+//
+// The children of directory D live on shard(D), but D's own
+// authoritative znode lives on shard(parent(D)) — usually a different
+// ensemble. Each shard's state machine still requires a parent node
+// before it accepts a child, so the Router lazily materialises the
+// ancestor chain on the child's shard ("stubs", copies of the
+// authoritative data) the first time a create lands there. Stubs are
+// never read: Get/Set/Exists always route to the authoritative copy.
+// See DESIGN.md §7 for the full protocol, including the delete path
+// and its documented races.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/znode"
+	"repro/internal/placement"
+)
+
+// Router fans one coord.Client API out over N ensembles. It is safe
+// for concurrent use if and only if the underlying sessions are (both
+// implementations in this repository are).
+type Router struct {
+	sessions []coord.Client
+	ring     *placement.Ring
+}
+
+// New builds a Router over one session per ensemble. The ring uses
+// placement.DefaultReplicas virtual nodes per shard, so routing is a
+// pure function of (path, len(sessions)): every client with the same
+// shard count agrees on every placement decision with no coordination.
+func New(sessions []coord.Client) (*Router, error) {
+	if len(sessions) == 0 {
+		return nil, errors.New("shard: need at least one session")
+	}
+	idx := make([]int, len(sessions))
+	for i := range idx {
+		idx[i] = i
+	}
+	ring, err := placement.NewRing(idx, placement.DefaultReplicas)
+	if err != nil {
+		return nil, err
+	}
+	return &Router{sessions: append([]coord.Client(nil), sessions...), ring: ring}, nil
+}
+
+// Shards returns the number of ensembles behind the router.
+func (r *Router) Shards() int { return len(r.sessions) }
+
+// ShardFor returns the shard index that owns the znode at path — the
+// consistent hash of its parent directory. Exposed for tests and
+// tools (dufsctl's status command).
+func (r *Router) ShardFor(path string) int {
+	if path == "/" {
+		return r.ring.LocateKey("/")
+	}
+	parent, _ := znode.SplitPath(path)
+	return r.ring.LocateKey(parent)
+}
+
+// shardForChildren returns the shard holding path's children: they
+// hash by THEIR parent, which is path itself.
+func (r *Router) shardForChildren(path string) int {
+	return r.ring.LocateKey(path)
+}
+
+// owner returns the session holding path's authoritative znode.
+func (r *Router) owner(path string) coord.Client {
+	return r.sessions[r.ShardFor(path)]
+}
+
+// ID implements coord.Client. Shard 0's ensemble mints the identifier;
+// it is unique among all routers sharing that ensemble, which is what
+// FID generation needs.
+func (r *Router) ID() uint64 { return r.sessions[0].ID() }
+
+// Close implements coord.Client: it closes every per-shard session,
+// expiring each shard's ephemerals, and returns the first error.
+func (r *Router) Close() error {
+	var first error
+	for _, s := range r.sessions {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Create implements coord.Client. The node is created on its
+// authoritative shard; if that shard is missing the ancestor chain
+// (ErrNoParent) the chain is materialised as stubs and the create is
+// retried once.
+func (r *Router) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	s := r.owner(path)
+	created, err := s.Create(path, data, mode)
+	if !errors.Is(err, coord.ErrNoParent) {
+		return created, err
+	}
+	if err := r.ensureAncestors(s, path); err != nil {
+		return "", err
+	}
+	return s.Create(path, data, mode)
+}
+
+// ensureAncestors copies the authoritative data of each missing
+// ancestor of path onto session s, root-down. If an ancestor does not
+// exist anywhere the original ErrNoParent is surfaced, exactly as a
+// single ensemble would.
+func (r *Router) ensureAncestors(s coord.Client, path string) error {
+	parent, _ := znode.SplitPath(path)
+	return r.ensureChain(s, parent)
+}
+
+// ensureChain materialises path and its ancestors on session s as
+// stubs (copies of the authoritative data), root-down.
+func (r *Router) ensureChain(s coord.Client, path string) error {
+	var chain []string
+	for p := path; p != "/"; {
+		chain = append(chain, p)
+		p, _ = znode.SplitPath(p)
+	}
+	// chain is leaf-first; walk it root-down.
+	for i := len(chain) - 1; i >= 0; i-- {
+		p := chain[i]
+		if _, ok, err := s.Exists(p); err != nil {
+			return err
+		} else if ok {
+			continue
+		}
+		data, _, err := r.owner(p).Get(p)
+		if err != nil {
+			if errors.Is(err, coord.ErrNoNode) {
+				return coord.ErrNoParent
+			}
+			return err
+		}
+		if _, err := s.Create(p, data, znode.ModePersistent); err != nil && !errors.Is(err, coord.ErrNodeExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get implements coord.Client, reading the authoritative copy.
+func (r *Router) Get(path string) ([]byte, znode.Stat, error) {
+	return r.owner(path).Get(path)
+}
+
+// Set implements coord.Client, writing the authoritative copy.
+func (r *Router) Set(path string, data []byte, version int32) (znode.Stat, error) {
+	return r.owner(path).Set(path, data, version)
+}
+
+// Exists implements coord.Client against the authoritative copy.
+func (r *Router) Exists(path string) (znode.Stat, bool, error) {
+	return r.owner(path).Exists(path)
+}
+
+// Delete implements coord.Client. A single ensemble refuses to delete
+// a node with children; with the children on a different shard than
+// the node itself the router has to enforce that check explicitly:
+//
+//  1. the children shard is consulted — any child means ErrNotEmpty;
+//  2. the authoritative copy is deleted (honouring version);
+//  3. the stub on the children shard, if any, is removed best-effort.
+//
+// A create racing between steps 1 and 2 can slip in, the same
+// lost-update window the paper accepts for rename (§IV-A); DESIGN.md
+// §7.3 discusses why DUFS tolerates it.
+func (r *Router) Delete(path string, version int32) error {
+	owner := r.ShardFor(path)
+	kidShard := r.shardForChildren(path)
+	if kidShard != owner {
+		kids, err := r.sessions[kidShard].Children(path)
+		if err == nil && len(kids) > 0 {
+			return coord.ErrNotEmpty
+		}
+		if err != nil && !errors.Is(err, coord.ErrNoNode) {
+			return err
+		}
+	}
+	if err := r.sessions[owner].Delete(path, version); err != nil {
+		return err
+	}
+	if kidShard != owner {
+		if err := r.sessions[kidShard].Delete(path, -1); err != nil && !errors.Is(err, coord.ErrNoNode) && !errors.Is(err, coord.ErrNotEmpty) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Children implements coord.Client as a single-shard call on the
+// children shard. A directory that exists but has never hosted a
+// child on that shard has no stub there; the authoritative copy
+// disambiguates "empty" from "does not exist".
+func (r *Router) Children(path string) ([]string, error) {
+	kids, err := r.sessions[r.shardForChildren(path)].Children(path)
+	if errors.Is(err, coord.ErrNoNode) {
+		if _, ok, eerr := r.Exists(path); eerr == nil && ok {
+			return nil, nil
+		}
+	}
+	return kids, err
+}
+
+// GetW implements coord.Client; the watch registers on the
+// authoritative shard, where every mutation of the node lands.
+func (r *Router) GetW(path string) ([]byte, znode.Stat, error) {
+	return r.owner(path).GetW(path)
+}
+
+// ExistsW implements coord.Client on the authoritative shard.
+func (r *Router) ExistsW(path string) (znode.Stat, bool, error) {
+	return r.owner(path).ExistsW(path)
+}
+
+// ChildrenW implements coord.Client; the child watch registers on the
+// children shard, where every entry add/remove lands. An existing
+// directory with no stub on its children shard gets the stub
+// materialised first, so the watch is real: a later first child both
+// lands on and fires from that shard (client caches depend on this —
+// a silently absent watch would never invalidate).
+func (r *Router) ChildrenW(path string) ([]string, error) {
+	s := r.sessions[r.shardForChildren(path)]
+	kids, err := s.ChildrenW(path)
+	if !errors.Is(err, coord.ErrNoNode) {
+		return kids, err
+	}
+	if _, ok, eerr := r.Exists(path); eerr != nil || !ok {
+		return kids, err
+	}
+	if cerr := r.ensureChain(s, path); cerr != nil {
+		return nil, cerr
+	}
+	return s.ChildrenW(path)
+}
+
+// PollEvents implements coord.Client by draining every shard and
+// concatenating. Order between shards is arbitrary, matching the
+// interface contract (only per-path order is promised, and one path's
+// watches live on one shard). Fired watches are one-shot and already
+// consumed server-side by a successful drain, so events collected
+// before one shard errors must reach the caller: an error is only
+// reported when no events were drained at all, otherwise the events
+// are returned and the failed shard is retried on the next poll.
+func (r *Router) PollEvents() ([]coord.Event, error) {
+	var out []coord.Event
+	var firstErr error
+	for _, s := range r.sessions {
+		evs, err := s.PollEvents()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out = append(out, evs...)
+	}
+	if len(out) > 0 {
+		return out, nil
+	}
+	return nil, firstErr
+}
+
+// WaitEvent implements coord.Client, polling all shards until an
+// event arrives or the timeout expires.
+func (r *Router) WaitEvent(timeout time.Duration) ([]coord.Event, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		evs, err := r.PollEvents()
+		if err != nil || len(evs) > 0 {
+			return evs, err
+		}
+		if time.Now().After(deadline) {
+			return nil, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Sync implements coord.Client by running the barrier on every shard,
+// so a subsequent read of ANY path observes all previously committed
+// writes, whichever ensemble they landed on.
+func (r *Router) Sync() error {
+	for _, s := range r.sessions {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Status implements coord.Client. Identity fields (server, leader,
+// epoch) describe shard 0; Znodes is the aggregate count across all
+// shards, which is the number tools actually want from a sharded
+// deployment.
+func (r *Router) Status() (coord.Status, error) {
+	agg, err := r.sessions[0].Status()
+	if err != nil {
+		return coord.Status{}, err
+	}
+	for _, s := range r.sessions[1:] {
+		st, err := s.Status()
+		if err != nil {
+			return coord.Status{}, err
+		}
+		agg.Znodes += st.Znodes
+	}
+	return agg, nil
+}
+
+// ShardStatus reports each shard's own Status, for tools.
+func (r *Router) ShardStatus() ([]coord.Status, error) {
+	out := make([]coord.Status, len(r.sessions))
+	for i, s := range r.sessions {
+		st, err := s.Status()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+var _ coord.Client = (*Router)(nil)

@@ -1,0 +1,351 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/znode"
+	"repro/internal/transport"
+)
+
+var harnessSeq int
+
+// startSharded boots `shards` independent ensembles of `servers` each
+// on one in-process network and returns a connected router plus one
+// direct per-shard session for white-box inspection.
+func startSharded(t *testing.T, shards, servers int) (*Router, []*coord.Ensemble, []*coord.Session) {
+	t.Helper()
+	harnessSeq++
+	net := transport.NewInProc()
+	var ensembles []*coord.Ensemble
+	var routed []coord.Client
+	var direct []*coord.Session
+	for s := 0; s < shards; s++ {
+		e, err := coord.StartEnsemble(coord.EnsembleConfig{
+			Servers:           servers,
+			Net:               net,
+			AddrPrefix:        fmt.Sprintf("shardtest%d-%d", harnessSeq, s),
+			HeartbeatInterval: 5 * time.Millisecond,
+			ElectionTimeout:   40 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Stop)
+		sess, err := e.Connect(-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routed = append(routed, sess)
+		insp, err := e.Connect(-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { insp.Close() })
+		direct = append(direct, insp)
+		ensembles = append(ensembles, e)
+	}
+	r, err := New(routed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, ensembles, direct
+}
+
+// TestRoutingDeterministic verifies the placement function is a pure
+// function of (path, shard count): two independent routers agree on
+// every decision, and all children of one directory map to one shard.
+func TestRoutingDeterministic(t *testing.T) {
+	mk := func() *Router {
+		sessions := make([]coord.Client, 4)
+		for i := range sessions {
+			sessions[i] = (*coord.Session)(nil) // routing never dereferences
+		}
+		r, err := New(sessions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	dirs := []string{"/", "/dufs", "/dufs/a", "/dufs/a/b", "/dufs/deep/er/still"}
+	spread := map[int]bool{}
+	for _, dir := range dirs {
+		want := -1
+		for i := 0; i < 32; i++ {
+			p := fmt.Sprintf("%s/child%d", dir, i)
+			if dir == "/" {
+				p = fmt.Sprintf("/child%d", i)
+			}
+			got := a.ShardFor(p)
+			if got != b.ShardFor(p) {
+				t.Fatalf("routers disagree on %s: %d vs %d", p, got, b.ShardFor(p))
+			}
+			if want == -1 {
+				want = got
+			} else if got != want {
+				t.Fatalf("children of %s split across shards %d and %d", dir, want, got)
+			}
+		}
+		spread[a.ShardFor(dir+"/x")] = true
+	}
+	if len(spread) < 2 {
+		t.Fatalf("all %d test directories hashed to one shard; ring is not spreading", len(dirs))
+	}
+}
+
+// TestChildrenColocation creates a directory tree through a 4-shard
+// router and verifies (a) the API behaves like a single ensemble and
+// (b) every child znode physically lives on exactly the one shard the
+// ring picked — the property that keeps Children a single-shard call.
+func TestChildrenColocation(t *testing.T) {
+	r, _, direct := startSharded(t, 4, 1)
+
+	if _, err := r.Create("/app", []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{"/app/logs", "/app/data", "/app/tmp"}
+	for _, dir := range dirs {
+		if _, err := r.Create(dir, []byte("d"), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := r.Create(fmt.Sprintf("%s/f%d", dir, i), []byte("x"), znode.ModePersistent); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, dir := range dirs {
+		kids, err := r.Children(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kids) != 5 {
+			t.Fatalf("Children(%s) = %v, want 5 entries", dir, kids)
+		}
+		home := r.ShardFor(dir + "/f0")
+		for i := 0; i < 5; i++ {
+			p := fmt.Sprintf("%s/f%d", dir, i)
+			if got := r.ShardFor(p); got != home {
+				t.Fatalf("%s routed to shard %d, sibling to %d", p, got, home)
+			}
+			for s, sess := range direct {
+				_, ok, err := sess.Exists(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != (s == home) {
+					t.Fatalf("%s on shard %d: exists=%v, want %v", p, s, ok, s == home)
+				}
+			}
+		}
+	}
+
+	// An empty directory with no stub on its children shard reads as
+	// empty, not absent.
+	if _, err := r.Create("/app/empty", []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	kids, err := r.Children("/app/empty")
+	if err != nil || len(kids) != 0 {
+		t.Fatalf("Children(empty) = %v, %v; want empty, nil", kids, err)
+	}
+}
+
+// TestCrossShardDelete verifies the router's two-shard delete: a
+// directory with children on another shard refuses to die, then
+// deletes cleanly (authoritative copy AND stub) once emptied.
+func TestCrossShardDelete(t *testing.T) {
+	r, _, direct := startSharded(t, 4, 1)
+	// Find a directory whose children live on a different shard than
+	// the directory entry itself, so both code paths run.
+	var dir string
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("/d%d", i)
+		if r.ShardFor(cand) != r.shardForChildren(cand) {
+			dir = cand
+			break
+		}
+	}
+	if _, err := r.Create(dir, []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	file := dir + "/f"
+	if _, err := r.Create(file, []byte("x"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(dir, -1); err != coord.ErrNotEmpty {
+		t.Fatalf("delete of non-empty dir: got %v, want ErrNotEmpty", err)
+	}
+	if err := r.Delete(file, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(dir, -1); err != nil {
+		t.Fatal(err)
+	}
+	for s, sess := range direct {
+		if _, ok, _ := sess.Exists(dir); ok {
+			t.Fatalf("shard %d still holds %s after delete", s, dir)
+		}
+	}
+	if _, ok, err := r.Exists(dir); err != nil || ok {
+		t.Fatalf("Exists(%s) after delete = %v, %v", dir, ok, err)
+	}
+}
+
+// TestRouterWatches verifies a data watch set through the router fires
+// on the shard that owns the path and surfaces through the merged
+// PollEvents stream.
+func TestRouterWatches(t *testing.T) {
+	r, _, _ := startSharded(t, 2, 1)
+	if _, err := r.Create("/w", []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("/w/node", []byte("v1"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.GetW("/w/node"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Set("/w/node", []byte("v2"), -1); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := r.WaitEvent(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 || evs[0].Path != "/w/node" {
+		t.Fatalf("expected data event for /w/node, got %+v", evs)
+	}
+}
+
+// TestChildrenWatchOnStublessDirectory covers the cache-coherence
+// corner: a child watch on a directory that exists authoritatively
+// but has no stub yet on its children shard must still be a REAL
+// watch — the first child create has to fire it.
+func TestChildrenWatchOnStublessDirectory(t *testing.T) {
+	r, _, _ := startSharded(t, 4, 1)
+	// A directory whose entry and children live on different shards,
+	// so no stub exists until something forces one.
+	var dir string
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("/wd%d", i)
+		if r.ShardFor(cand) != r.shardForChildren(cand) {
+			dir = cand
+			break
+		}
+	}
+	if _, err := r.Create(dir, []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	kids, err := r.ChildrenW(dir)
+	if err != nil || len(kids) != 0 {
+		t.Fatalf("ChildrenW(stubless) = %v, %v; want empty, nil", kids, err)
+	}
+	if _, err := r.Create(dir+"/first", []byte("x"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := r.WaitEvent(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range evs {
+		if ev.Path == dir && ev.Type == coord.EventChildrenChanged {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("child watch never fired; events: %+v", evs)
+	}
+}
+
+// TestSyncBarrierAcrossShards verifies Sync makes another router's
+// committed writes visible whichever shard they landed on.
+func TestSyncBarrierAcrossShards(t *testing.T) {
+	r1, ensembles, _ := startSharded(t, 3, 1)
+	var clients []coord.Client
+	for _, e := range ensembles {
+		s, err := e.Connect(-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, s)
+	}
+	r2, err := New(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf("/sync%d", i)
+		if _, err := r1.Create(p, []byte("x"), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+		if err := r2.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := r2.Exists(p); err != nil || !ok {
+			t.Fatalf("after sync, %s invisible to r2: ok=%v err=%v", p, ok, err)
+		}
+	}
+}
+
+// TestSingleShardLeaderFailover kills the leader of one shard's
+// 3-server ensemble and verifies operations routed to that shard
+// fail over within the session retry budget while other shards are
+// untouched — the blast radius the sharded design promises.
+func TestSingleShardLeaderFailover(t *testing.T) {
+	r, ensembles, _ := startSharded(t, 2, 3)
+	if _, err := r.Create("/fo", []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	victimShard := r.shardForChildren("/fo")
+	leader := ensembles[victimShard].Leader()
+	if leader == nil {
+		t.Fatal("shard has no leader")
+	}
+	leader.Stop()
+	if err := ensembles[victimShard].WaitLeader(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := r.Create(fmt.Sprintf("/fo/f%d", i), []byte("x"), znode.ModePersistent); err != nil {
+			t.Fatalf("create after failover: %v", err)
+		}
+	}
+	kids, err := r.Children("/fo")
+	if err != nil || len(kids) != 10 {
+		t.Fatalf("Children after failover = %v, %v; want 10 entries", kids, err)
+	}
+}
+
+// TestStatusAggregates verifies Status sums znode counts across
+// shards.
+func TestStatusAggregates(t *testing.T) {
+	r, _, direct := startSharded(t, 3, 1)
+	for i := 0; i < 9; i++ {
+		if _, err := r.Create(fmt.Sprintf("/s%d", i), nil, znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := r.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, sess := range direct {
+		s, err := sess.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += s.Znodes
+	}
+	if st.Znodes != want {
+		t.Fatalf("aggregate Znodes = %d, want %d", st.Znodes, want)
+	}
+}

@@ -22,7 +22,8 @@ import (
 // metadata caching (the FUSE entry-cache invalidation the paper leaves
 // to future work).
 
-// EventType classifies a watch event.
+// EventType classifies a fired watch: what happened to the watched
+// znode (or, for child watches, to its child list).
 type EventType uint8
 
 // Watch event types.

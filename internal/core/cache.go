@@ -27,7 +27,7 @@ import (
 // instance can.
 type Cached struct {
 	*DUFS
-	sess *coord.Session
+	sess coord.Client
 	reg  *metrics.Registry
 
 	mu      sync.Mutex

@@ -81,8 +81,10 @@ func decodeNodeData(b []byte) (nodeData, error) {
 // Config assembles a DUFS client instance.
 type Config struct {
 	// Session is the coordination-service handle (one per DUFS client,
-	// like the paper's co-located ZooKeeper client library).
-	Session *coord.Session
+	// like the paper's co-located ZooKeeper client library). It is
+	// either a *coord.Session against a single ensemble or a
+	// *shard.Router spanning several; DUFS cannot tell the difference.
+	Session coord.Client
 	// Backends are the underlying parallel-filesystem mounts to union.
 	Backends []vfs.FileSystem
 	// Mapper overrides the FID->back-end mapping function. Defaults to
@@ -99,7 +101,7 @@ type Config struct {
 
 // DUFS is one client instance of the Distributed Union File System.
 type DUFS struct {
-	sess     *coord.Session
+	sess     coord.Client
 	backends []vfs.FileSystem
 	mapper   placement.Mapper
 	zroot    string
@@ -152,6 +154,14 @@ func New(cfg Config) (*DUFS, error) {
 	if _, err := cfg.Session.Create(zroot, rootData, 0); err != nil && !errors.Is(err, coord.ErrNodeExists) {
 		return nil, fmt.Errorf("dufs: creating znode root %s: %w", zroot, err)
 	}
+	if _, err := cfg.Session.Create(d.intentRoot(), rootData, 0); err != nil && !errors.Is(err, coord.ErrNodeExists) {
+		return nil, fmt.Errorf("dufs: creating intent root %s: %w", d.intentRoot(), err)
+	}
+	// Sweep rename intents abandoned by crashed clients (§IV-I keeps
+	// all state in the coordination service, so any booting client can
+	// finish any other client's rename). Best-effort: a failed sweep
+	// must not keep a healthy client from mounting.
+	_, _ = d.RecoverRenames(RenameIntentMinAge)
 	return d, nil
 }
 
@@ -478,11 +488,25 @@ func (d *DUFS) Rename(oldPath, newPath string) error {
 			return err
 		}
 	}
+	// Create-dest-then-delete-src, bracketed by a durable intent so a
+	// crash between the two writes leaves a record any client can roll
+	// forward (RecoverRenames). The FID indirection makes the double
+	// visibility window harmless: both names resolve to the same
+	// physical file.
+	intent, err := d.logRenameIntent(op, np)
+	if err != nil {
+		return err
+	}
 	data := encodeNodeData(nd)
 	if _, err := d.sess.Create(d.zpath(np), data, 0); err != nil {
+		_ = d.sess.Delete(intent, -1)
 		return mapError(err)
 	}
-	return mapError(d.sess.Delete(d.zpath(op), -1))
+	if err := d.sess.Delete(d.zpath(op), -1); err != nil {
+		return mapError(err)
+	}
+	_ = d.sess.Delete(intent, -1)
+	return nil
 }
 
 // renameDir moves a directory subtree znode-by-znode (children first

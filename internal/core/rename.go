@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/znode"
+	"repro/internal/wire"
+)
+
+// Cross-shard rename protocol (DESIGN.md §7.4).
+//
+// A file rename is create-dest-then-delete-src — two znode writes
+// that, under a sharded coordination service, usually land on two
+// different ensembles and therefore cannot be made atomic by any
+// single state machine. Instead of a cross-ensemble transaction, DUFS
+// writes a durable INTENT record before the first step and removes it
+// after the last:
+//
+//	1. create  <intentRoot>/op-NNN   {src, dst}     (sequential znode)
+//	2. create  dst                   (copy of src's node data)
+//	3. delete  src
+//	4. delete  <intentRoot>/op-NNN
+//
+// A crash after 2 leaves both names resolving to the SAME FID — no
+// data is duplicated or lost, the namespace merely has an extra
+// entry. RecoverRenames rolls such intents forward (delete src);
+// intents that never reached step 2 are rolled back by simply
+// discarding them. Because every DUFS client boots with a sweep, the
+// window closes as soon as any client mounts the namespace.
+
+// RenameIntentMinAge is how old an intent must be before a booting
+// client treats it as abandoned. Live renames complete in a few
+// coordination round trips; ten seconds is orders of magnitude above
+// that, so the sweep never races a healthy client's in-flight rename.
+const RenameIntentMinAge = 10 * time.Second
+
+// intentRoot is the znode directory holding rename intents. It is a
+// sibling of the namespace root (outside the zroot subtree), so it
+// never appears in Readdir output.
+func (d *DUFS) intentRoot() string { return d.zroot + ".renames" }
+
+func encodeIntent(src, dst string) []byte {
+	w := wire.NewWriter(16 + len(src) + len(dst))
+	w.String(src)
+	w.String(dst)
+	return w.Bytes()
+}
+
+func decodeIntent(b []byte) (src, dst string, err error) {
+	r := wire.NewReader(b)
+	src = r.String()
+	dst = r.String()
+	if err := r.Err(); err != nil {
+		return "", "", fmt.Errorf("dufs: corrupt rename intent: %w", err)
+	}
+	return src, dst, nil
+}
+
+// logRenameIntent durably records "src is being renamed to dst" and
+// returns the intent's znode path. src and dst are cleaned virtual
+// paths.
+func (d *DUFS) logRenameIntent(src, dst string) (string, error) {
+	created, err := d.sess.Create(d.intentRoot()+"/op-", encodeIntent(src, dst), znode.ModeSequential)
+	if err != nil {
+		return "", mapError(err)
+	}
+	return created, nil
+}
+
+// RecoverRenames scans the intent log for renames abandoned by
+// crashed clients and restores the namespace invariant that each FID
+// has exactly one name. Intents younger than minAge are skipped (they
+// may belong to a live client mid-rename). It returns how many
+// intents were resolved.
+//
+// The decision per intent is:
+//
+//   - dst exists with the same node data as src  → the rename
+//     committed; finish it by deleting src (roll forward);
+//   - dst exists but src is gone or differs      → the rename
+//     completed (or dst was re-created since); drop the intent;
+//   - dst does not exist                         → the rename never
+//     reached its first real write; drop the intent (roll back).
+//
+// Deleting src goes through the session directly — NOT Unlink — so
+// the physical file, now owned by dst, is never touched.
+func (d *DUFS) RecoverRenames(minAge time.Duration) (int, error) {
+	names, err := d.sess.Children(d.intentRoot())
+	if err != nil {
+		if errors.Is(err, coord.ErrNoNode) {
+			return 0, nil
+		}
+		return 0, mapError(err)
+	}
+	now := time.Now().UnixNano()
+	resolved := 0
+	for _, name := range names {
+		ipath := d.intentRoot() + "/" + name
+		data, stat, err := d.sess.Get(ipath)
+		if err != nil {
+			continue // another client's sweep got there first
+		}
+		if minAge > 0 && now-stat.Ctime < int64(minAge) {
+			continue
+		}
+		src, dst, err := decodeIntent(data)
+		if err != nil {
+			// A corrupt record can neither roll forward nor back; drop
+			// it rather than wedge the sweep in front of every valid
+			// intent sorted after it.
+			_ = d.sess.Delete(ipath, -1)
+			continue
+		}
+		dstData, _, derr := d.sess.Get(d.zpath(dst))
+		if derr == nil {
+			srcData, _, serr := d.sess.Get(d.zpath(src))
+			if serr == nil && bytes.Equal(srcData, dstData) {
+				if err := d.sess.Delete(d.zpath(src), -1); err != nil && !errors.Is(err, coord.ErrNoNode) {
+					return resolved, mapError(err)
+				}
+			}
+		}
+		if err := d.sess.Delete(ipath, -1); err != nil && !errors.Is(err, coord.ErrNoNode) {
+			return resolved, mapError(err)
+		}
+		resolved++
+	}
+	return resolved, nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backend/memfs"
+	"repro/internal/coord"
+	"repro/internal/coord/shard"
+	"repro/internal/coord/znode"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+)
+
+var errInjectedCrash = errors.New("injected client crash")
+
+// crashClient wraps a coord.Client and, once armed, lets `allow` more
+// mutations through before failing every subsequent one — simulating
+// a DUFS client that dies mid-protocol (chaos_test.go style, but at
+// the client rather than the server).
+type crashClient struct {
+	coord.Client
+	mu    sync.Mutex
+	armed bool
+	allow int
+}
+
+func (c *crashClient) arm(allow int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed = true
+	c.allow = allow
+}
+
+func (c *crashClient) mutate() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.armed {
+		return nil
+	}
+	if c.allow > 0 {
+		c.allow--
+		return nil
+	}
+	return errInjectedCrash
+}
+
+func (c *crashClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	if err := c.mutate(); err != nil {
+		return "", err
+	}
+	return c.Client.Create(path, data, mode)
+}
+
+func (c *crashClient) Set(path string, data []byte, version int32) (znode.Stat, error) {
+	if err := c.mutate(); err != nil {
+		return znode.Stat{}, err
+	}
+	return c.Client.Set(path, data, version)
+}
+
+func (c *crashClient) Delete(path string, version int32) error {
+	if err := c.mutate(); err != nil {
+		return err
+	}
+	return c.Client.Delete(path, version)
+}
+
+// shardedEnv boots two single-server ensembles and returns a router
+// factory plus shared back-ends, so several DUFS clients can mount
+// the same sharded namespace.
+type shardedEnv struct {
+	t         *testing.T
+	ensembles []*coord.Ensemble
+	backends  []vfs.FileSystem
+}
+
+var shardEnvSeq int
+
+func newShardedEnv(t *testing.T) *shardedEnv {
+	t.Helper()
+	shardEnvSeq++
+	net := transport.NewInProc()
+	env := &shardedEnv{t: t}
+	for s := 0; s < 2; s++ {
+		e, err := coord.StartEnsemble(coord.EnsembleConfig{
+			Servers:           1,
+			Net:               net,
+			AddrPrefix:        fmt.Sprintf("renamecrash%d-%d", shardEnvSeq, s),
+			HeartbeatInterval: 5 * time.Millisecond,
+			ElectionTimeout:   40 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Stop)
+		env.ensembles = append(env.ensembles, e)
+	}
+	env.backends = []vfs.FileSystem{memfs.New(), memfs.New()}
+	return env
+}
+
+func (env *shardedEnv) router() *shard.Router {
+	env.t.Helper()
+	var sessions []coord.Client
+	for _, e := range env.ensembles {
+		s, err := e.Connect(-1)
+		if err != nil {
+			env.t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	r, err := shard.New(sessions)
+	if err != nil {
+		env.t.Fatal(err)
+	}
+	env.t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func (env *shardedEnv) mount(sess coord.Client) *DUFS {
+	env.t.Helper()
+	d, err := New(Config{Session: sess, Backends: env.backends})
+	if err != nil {
+		env.t.Fatal(err)
+	}
+	return d
+}
+
+// crossShardPaths returns src/dst file paths whose PARENT directories
+// live on different shards, so the rename's two writes land on two
+// ensembles.
+func crossShardPaths(t *testing.T, r *shard.Router, zroot string) (src, dst string) {
+	t.Helper()
+	for i := 0; i < 1024; i++ {
+		a := fmt.Sprintf("/a%d", i)
+		b := fmt.Sprintf("/b%d", i)
+		if r.ShardFor(zroot+a+"/f") != r.ShardFor(zroot+b+"/f") {
+			return a + "/src", b + "/dst"
+		}
+	}
+	t.Fatal("no cross-shard directory pair found")
+	return "", ""
+}
+
+func dirOf(p string) string {
+	_, err := vfs.Clean(p)
+	if err != nil {
+		panic(err)
+	}
+	i := len(p) - 1
+	for p[i] != '/' {
+		i--
+	}
+	return p[:i]
+}
+
+// TestCrossShardRenameCrashRollForward kills the client between
+// create-dest and delete-src — the rename committed (dst exists) but
+// left a duplicate name. A later client's sweep must finish the job:
+// dst survives with the file's contents, src disappears, the intent
+// log drains.
+func TestCrossShardRenameCrashRollForward(t *testing.T) {
+	env := newShardedEnv(t)
+	crash := &crashClient{Client: env.router()}
+	d1 := env.mount(crash)
+	src, dst := crossShardPaths(t, crash.Client.(*shard.Router), "/dufs")
+
+	for _, dir := range []string{dirOf(src), dirOf(dst)} {
+		if err := d1.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vfs.WriteFile(d1, src, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Allow intent-create and dst-create, then die at src-delete.
+	crash.arm(2)
+	if err := d1.Rename(src, dst); !errors.Is(err, errInjectedCrash) {
+		t.Fatalf("rename: got %v, want injected crash", err)
+	}
+
+	d2 := env.mount(env.router())
+	if _, err := d2.Stat(src); err != nil {
+		t.Fatalf("pre-sweep: src should still exist (duplicate window): %v", err)
+	}
+	n, err := d2.RecoverRenames(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d intents, want 1", n)
+	}
+	if _, err := d2.Stat(src); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("src after sweep: got %v, want ErrNotExist", err)
+	}
+	data, err := vfs.ReadFile(d2, dst)
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("dst after sweep = %q, %v; want payload", data, err)
+	}
+	if n, err := d2.RecoverRenames(0); err != nil || n != 0 {
+		t.Fatalf("second sweep = %d, %v; want clean log", n, err)
+	}
+}
+
+// TestCrossShardRenameCrashRollBack kills the client before
+// create-dest: nothing committed, so the sweep must discard the
+// intent and leave src untouched.
+func TestCrossShardRenameCrashRollBack(t *testing.T) {
+	env := newShardedEnv(t)
+	crash := &crashClient{Client: env.router()}
+	d1 := env.mount(crash)
+	src, dst := crossShardPaths(t, crash.Client.(*shard.Router), "/dufs")
+
+	for _, dir := range []string{dirOf(src), dirOf(dst)} {
+		if err := d1.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vfs.WriteFile(d1, src, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Allow only the intent create; die at dst-create.
+	crash.arm(1)
+	if err := d1.Rename(src, dst); !errors.Is(err, errInjectedCrash) {
+		t.Fatalf("rename: got %v, want injected crash", err)
+	}
+
+	d2 := env.mount(env.router())
+	n, err := d2.RecoverRenames(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d intents, want 1", n)
+	}
+	data, err := vfs.ReadFile(d2, src)
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("src after rollback = %q, %v; want intact payload", data, err)
+	}
+	if _, err := d2.Stat(dst); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("dst after rollback: got %v, want ErrNotExist", err)
+	}
+}
+
+// TestRenameCleanPathLeavesNoIntent verifies the happy path drains
+// its own intent record.
+func TestRenameCleanPathLeavesNoIntent(t *testing.T) {
+	env := newShardedEnv(t)
+	d := env.mount(env.router())
+	if err := d.Mkdir("/x", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(d, "/x/f", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("/x/f", "/x/g"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d.RecoverRenames(0); err != nil || n != 0 {
+		t.Fatalf("intent log after clean rename = %d, %v; want empty", n, err)
+	}
+	if data, err := vfs.ReadFile(d, "/x/g"); err != nil || string(data) != "v" {
+		t.Fatalf("renamed file = %q, %v", data, err)
+	}
+}

@@ -147,7 +147,21 @@ func vnodeHash(backend, replica int) uint64 {
 // Locate implements Mapper: the first virtual node clockwise from the
 // FID's hash owns the FID.
 func (r *Ring) Locate(f fid.FID) int {
-	h := digest(f)
+	return r.owner(digest(f))
+}
+
+// LocateKey maps an arbitrary string key onto the ring with the same
+// virtual-node walk as Locate. The coordination-shard router uses it
+// to place znode paths: hashing a file's parent-directory path sends
+// every child of one directory to the same shard.
+func (r *Ring) LocateKey(key string) int {
+	sum := md5.Sum([]byte(key))
+	return r.owner(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// owner returns the back-end of the first virtual node clockwise from
+// hash h.
+func (r *Ring) owner(h uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
