@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -358,6 +359,226 @@ func BenchmarkShardScaling(b *testing.B) {
 			b.ReportMetric(total/b.Elapsed().Seconds(), "vops/s")
 		})
 	}
+}
+
+// --- Batched-API round-trip benchmarks (DESIGN.md §8) ------------------
+
+// rpcCountingClient wraps a coord.Client and counts the calls that
+// cross the network, so the round-trip benchmarks can report rpcs/op
+// alongside wall-clock time. Only the methods the measured paths use
+// are intercepted; Atomic is pure client-side math and stays uncounted.
+type rpcCountingClient struct {
+	coord.Client
+	calls atomic.Int64
+}
+
+func (c *rpcCountingClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	c.calls.Add(1)
+	return c.Client.Create(path, data, mode)
+}
+
+func (c *rpcCountingClient) Get(path string) ([]byte, znode.Stat, error) {
+	c.calls.Add(1)
+	return c.Client.Get(path)
+}
+
+func (c *rpcCountingClient) Set(path string, data []byte, version int32) (znode.Stat, error) {
+	c.calls.Add(1)
+	return c.Client.Set(path, data, version)
+}
+
+func (c *rpcCountingClient) Delete(path string, version int32) error {
+	c.calls.Add(1)
+	return c.Client.Delete(path, version)
+}
+
+func (c *rpcCountingClient) Exists(path string) (znode.Stat, bool, error) {
+	c.calls.Add(1)
+	return c.Client.Exists(path)
+}
+
+func (c *rpcCountingClient) Children(path string) ([]string, error) {
+	c.calls.Add(1)
+	return c.Client.Children(path)
+}
+
+func (c *rpcCountingClient) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+	c.calls.Add(1)
+	return c.Client.Multi(ops)
+}
+
+func (c *rpcCountingClient) ChildrenData(path string) ([]coord.ChildEntry, error) {
+	c.calls.Add(1)
+	return c.Client.ChildrenData(path)
+}
+
+// startLatencyDUFS boots a single-server ensemble behind an injected
+// per-call network delay — the round trips ARE the cost, as on real
+// hardware — and mounts a DUFS over a counting session.
+func startLatencyDUFS(b *testing.B, name string, rtt time.Duration) (*core.DUFS, *rpcCountingClient) {
+	b.Helper()
+	net := &transport.Latency{
+		Inner: transport.NewInProc(),
+		Delay: func() time.Duration { return rtt },
+	}
+	ens, err := coord.StartEnsemble(coord.EnsembleConfig{
+		Servers:           1,
+		Net:               net,
+		AddrPrefix:        name,
+		HeartbeatInterval: 5 * time.Millisecond,
+		ElectionTimeout:   40 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ens.Stop)
+	sess, err := ens.Connect(-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sess.Close() })
+	counter := &rpcCountingClient{Client: sess}
+	fs, err := core.New(core.Config{Session: counter, Backends: []vfs.FileSystem{memfs.New()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs, counter
+}
+
+// BenchmarkReaddirFanout measures listing a K-entry directory under
+// injected network latency: the batched ChildrenData readdir (1 RPC)
+// against the per-op baseline this repository shipped before —
+// Get(dir) + Children(dir) + Get(child) per entry, K+2 RPCs. The
+// rpcs/readdir metric is exact; ns/op shows the same ratio because
+// with latency injected the round trips dominate.
+func BenchmarkReaddirFanout(b *testing.B) {
+	const netRTT = 200 * time.Microsecond
+	for _, entries := range []int{8, 32} {
+		entries := entries
+		setup := func(b *testing.B, tag string) (*core.DUFS, *rpcCountingClient) {
+			fs, counter := startLatencyDUFS(b, fmt.Sprintf("readdirfan-%s-%d-%d", tag, entries, rand.Int()), netRTT)
+			if err := fs.Mkdir("/fan", 0o755); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < entries; i++ {
+				h, err := fs.Create(fmt.Sprintf("/fan/f%d", i), 0o644)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h.Close()
+			}
+			counter.calls.Store(0)
+			return fs, counter
+		}
+		b.Run(fmt.Sprintf("entries=%d/batched", entries), func(b *testing.B) {
+			fs, counter := setup(b, "batched")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				es, err := fs.Readdir("/fan")
+				if err != nil || len(es) != entries {
+					b.Fatalf("readdir = %d entries, %v", len(es), err)
+				}
+			}
+			b.ReportMetric(float64(counter.calls.Load())/float64(b.N), "rpcs/readdir")
+		})
+		b.Run(fmt.Sprintf("entries=%d/per-op", entries), func(b *testing.B) {
+			_, counter := setup(b, "perop")
+			sess := counter
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The pre-batching Readdir: type-check the directory,
+				// list names, then fetch each child to learn its kind.
+				if _, _, err := sess.Get("/dufs/fan"); err != nil {
+					b.Fatal(err)
+				}
+				names, err := sess.Children("/dufs/fan")
+				if err != nil || len(names) != entries {
+					b.Fatalf("children = %d, %v", len(names), err)
+				}
+				for _, name := range names {
+					if _, _, err := sess.Get("/dufs/fan/" + name); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(counter.calls.Load())/float64(b.N), "rpcs/readdir")
+		})
+	}
+}
+
+// BenchmarkMultiRename measures a same-directory file rename under
+// injected network latency: the atomic Multi path (get + dest probe +
+// one transaction = 3 RPCs, nothing for a crash to interrupt) against
+// the durable-intent baseline (6 RPCs: two lookups, intent create,
+// dest create, source delete, intent delete).
+func BenchmarkMultiRename(b *testing.B) {
+	const netRTT = 200 * time.Microsecond
+	b.Run("multi", func(b *testing.B) {
+		fs, counter := startLatencyDUFS(b, fmt.Sprintf("multirename-%d", rand.Int()), netRTT)
+		if err := fs.Mkdir("/r", 0o755); err != nil {
+			b.Fatal(err)
+		}
+		h, err := fs.Create("/r/a", 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Close()
+		counter.calls.Store(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, dst := "/r/a", "/r/b"
+			if i%2 == 1 {
+				src, dst = dst, src
+			}
+			if err := fs.Rename(src, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(counter.calls.Load())/float64(b.N), "rpcs/rename")
+	})
+	b.Run("per-op", func(b *testing.B) {
+		fs, counter := startLatencyDUFS(b, fmt.Sprintf("oprename-%d", rand.Int()), netRTT)
+		if err := fs.Mkdir("/r", 0o755); err != nil {
+			b.Fatal(err)
+		}
+		h, err := fs.Create("/r/a", 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Close()
+		sess := counter
+		counter.calls.Store(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, dst := "/dufs/r/a", "/dufs/r/b"
+			if i%2 == 1 {
+				src, dst = dst, src
+			}
+			// The pre-Multi protocol: lookup src, probe dst, then the
+			// intent-bracketed create+delete pair.
+			data, _, err := sess.Get(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := sess.Get(dst); err == nil {
+				b.Fatal("dst should not exist")
+			}
+			intent, err := sess.Create("/dufs.renames/op-", data, znode.ModeSequential)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Create(dst, data, znode.ModePersistent); err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.Delete(src, -1); err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.Delete(intent, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(counter.calls.Load())/float64(b.N), "rpcs/rename")
+	})
 }
 
 // --- Ablations (DESIGN.md §6) ------------------------------------------

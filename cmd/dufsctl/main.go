@@ -128,16 +128,18 @@ func run(fs vfs.FileSystem, args []string) error {
 		if err := need(1); err != nil {
 			return err
 		}
+		// One batched ChildrenData RPC supplies names, kinds, and modes;
+		// no per-entry stat round trips.
 		es, err := fs.Readdir(args[1])
 		if err != nil {
 			return err
 		}
 		for _, e := range es {
-			suffix := ""
+			kind, suffix := "-", ""
 			if e.IsDir {
-				suffix = "/"
+				kind, suffix = "d", "/"
 			}
-			fmt.Println(e.Name + suffix)
+			fmt.Printf("%s%03o %s%s\n", kind, e.Mode, e.Name, suffix)
 		}
 		return nil
 	case "stat":

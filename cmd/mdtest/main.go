@@ -8,6 +8,7 @@
 //	mdtest -system lustre -procs 16 -items 200
 //	mdtest -system pvfs   -procs 16 -items 200
 //	mdtest -system dufs   -shared            # many files in one directory
+//	mdtest -system dufs   -workload readdir  # listing-heavy (batched readdir)
 //
 // Throughput here is real wall-clock throughput of the Go
 // implementation on the local machine — useful for regression tracking
@@ -37,7 +38,18 @@ func main() {
 	depth := flag.Int("depth", 5, "directory tree depth")
 	shared := flag.Bool("shared", false, "create all items in a single shared directory")
 	kind := flag.String("backend-kind", "lustre", "dufs back-end kind: lustre, pvfs, memfs")
+	workload := flag.String("workload", "full", "phase set: full (all phases), readdir (listing-heavy: create, readdir, remove)")
 	flag.Parse()
+
+	var phases []mdtest.Phase
+	switch *workload {
+	case "full":
+		phases = mdtest.AllPhases
+	case "readdir":
+		phases = mdtest.ReaddirHeavyPhases
+	default:
+		log.Fatalf("unknown workload %q (want full, readdir)", *workload)
+	}
 
 	cfg := cluster.Config{
 		Name:         "mdtest",
@@ -88,8 +100,8 @@ func main() {
 		log.Fatalf("unknown system %q (want dufs, lustre, pvfs)", *system)
 	}
 
-	fmt.Printf("mdtest: system=%s procs=%d items=%d fanout=%d depth=%d shared=%v\n\n",
-		*system, *procs, *items, *fanout, *depth, *shared)
+	fmt.Printf("mdtest: system=%s workload=%s procs=%d items=%d fanout=%d depth=%d shared=%v\n\n",
+		*system, *workload, *procs, *items, *fanout, *depth, *shared)
 	res, err := mdtest.Run(mdtest.Config{
 		Mounts:          mounts,
 		Processes:       *procs,
@@ -97,12 +109,12 @@ func main() {
 		Fanout:          *fanout,
 		Depth:           *depth,
 		SharedDir:       *shared,
-		Phases:          mdtest.AllPhases,
+		Phases:          phases,
 	})
 	if err != nil {
 		log.Fatalf("mdtest: %v", err)
 	}
-	for _, ph := range mdtest.AllPhases {
+	for _, ph := range phases {
 		r := res[ph]
 		fmt.Printf("%s   p50=%-10s p99=%-10s max=%s\n",
 			r.String(),

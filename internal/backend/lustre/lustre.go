@@ -473,7 +473,7 @@ func (m *MDS) readdir(path string) ([]vfs.DirEntry, error) {
 	}
 	out := make([]vfs.DirEntry, 0, len(n.children))
 	for name, c := range n.children {
-		out = append(out, vfs.DirEntry{Name: name, IsDir: c.isDir()})
+		out = append(out, vfs.DirEntry{Name: name, IsDir: c.isDir(), Mode: c.mode & vfs.PermMask})
 	}
 	return out, nil
 }

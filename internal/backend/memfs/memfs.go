@@ -330,7 +330,7 @@ func (f *FS) Readdir(path string) ([]vfs.DirEntry, error) {
 	}
 	out := make([]vfs.DirEntry, 0, len(n.children))
 	for name, c := range n.children {
-		out = append(out, vfs.DirEntry{Name: name, IsDir: c.isDir()})
+		out = append(out, vfs.DirEntry{Name: name, IsDir: c.isDir(), Mode: c.mode & vfs.PermMask})
 	}
 	sortEntries(out)
 	return out, nil

@@ -130,6 +130,7 @@ func EncodeDirEntries(w *wire.Writer, es []vfs.DirEntry) {
 	for _, e := range es {
 		w.String(e.Name)
 		w.Bool(e.IsDir)
+		w.Uint32(e.Mode)
 	}
 }
 
@@ -144,7 +145,7 @@ func DecodeDirEntries(r *wire.Reader) []vfs.DirEntry {
 	}
 	out := make([]vfs.DirEntry, 0, n)
 	for i := uint32(0); i < n && r.Err() == nil; i++ {
-		out = append(out, vfs.DirEntry{Name: r.String(), IsDir: r.Bool()})
+		out = append(out, vfs.DirEntry{Name: r.String(), IsDir: r.Bool(), Mode: r.Uint32()})
 	}
 	return out
 }

@@ -392,7 +392,7 @@ func (c *Client) Readdir(path string) ([]vfs.DirEntry, error) {
 	}
 	out := make([]vfs.DirEntry, 0, n)
 	for i := uint32(0); i < n && r.Err() == nil; i++ {
-		out = append(out, vfs.DirEntry{Name: r.String(), IsDir: r.Bool()})
+		out = append(out, vfs.DirEntry{Name: r.String(), IsDir: r.Bool(), Mode: r.Uint32()})
 	}
 	if err := r.Err(); err != nil {
 		return nil, err

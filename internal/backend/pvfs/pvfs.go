@@ -269,6 +269,7 @@ func (m *MetaServer) handle(req []byte) ([]byte, error) {
 		for name, a := range body {
 			w.String(name)
 			w.Bool(a.isDir())
+			w.Uint32(a.Mode & vfs.PermMask)
 		}
 	case opDirUpdate:
 		dir := r.String()

@@ -131,3 +131,79 @@ func TestShardedClusterDefaultsToSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShardedClusterBatchedAPI drives the batched coordination
+// primitives through a full sharded deployment: Readdir rides
+// ChildrenData on whichever shard owns each directory's children, and
+// same-directory renames commit as single Multi transactions with an
+// empty intent log.
+func TestShardedClusterBatchedAPI(t *testing.T) {
+	c, err := Start(Config{
+		Name:         "shardbatch",
+		CoordServers: 1,
+		CoordShards:  4,
+		Backends:     2,
+		Kind:         MemFS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	alice, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := c.NewClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Directories spread over shards; each listing is served whole by
+	// the one shard holding that directory's children.
+	const dirs, files = 6, 5
+	for i := 0; i < dirs; i++ {
+		dir := fmt.Sprintf("/batch%d", i)
+		if err := alice.FS.Mkdir(dir, 0o750); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < files; j++ {
+			if err := vfs.WriteFile(alice.FS, fmt.Sprintf("%s/f%d", dir, j), []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := bob.FS.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < dirs; i++ {
+		dir := fmt.Sprintf("/batch%d", i)
+		entries, err := bob.FS.Readdir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != files {
+			t.Fatalf("Readdir(%s) = %d entries, want %d", dir, len(entries), files)
+		}
+		for _, e := range entries {
+			if e.IsDir || e.Mode != 0o644 {
+				t.Fatalf("entry %+v, want file mode 0644", e)
+			}
+		}
+		// Same-directory rename: atomic Multi on that shard, no intent.
+		if err := bob.FS.Rename(dir+"/f0", dir+"/renamed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := alice.FS.RecoverRenames(0); err != nil || n != 0 {
+		t.Fatalf("intent log after same-shard renames = %d, %v; want empty", n, err)
+	}
+	if err := alice.FS.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < dirs; i++ {
+		if _, err := alice.FS.Stat(fmt.Sprintf("/batch%d/renamed", i)); err != nil {
+			t.Fatalf("renamed file missing in dir %d: %v", i, err)
+		}
+	}
+}

@@ -35,6 +35,8 @@ const (
 	opExistsWatch
 	opChildrenWatch
 	opPollEvents
+	opMulti
+	opChildrenData
 )
 
 // Status codes carried in replies. They replicate deterministically as
@@ -48,6 +50,7 @@ const (
 	codeBadVersion
 	codeBadPath
 	codeNoParent
+	codeRolledBack
 	codeOther
 )
 
@@ -60,6 +63,9 @@ var (
 	ErrBadVersion = znode.ErrBadVersion
 	ErrBadPath    = znode.ErrBadPath
 	ErrNoParent   = znode.ErrNoParent
+	// ErrRolledBack marks a Multi op that was undone (or never ran)
+	// because a sibling op in the same atomic batch failed.
+	ErrRolledBack = znode.ErrRolledBack
 )
 
 func codeForError(err error) uint8 {
@@ -78,6 +84,8 @@ func codeForError(err error) uint8 {
 		return codeBadPath
 	case errors.Is(err, znode.ErrNoParent):
 		return codeNoParent
+	case errors.Is(err, znode.ErrRolledBack):
+		return codeRolledBack
 	default:
 		return codeOther
 	}
@@ -99,6 +107,8 @@ func errorForCode(code uint8, detail string) error {
 		return ErrBadPath
 	case codeNoParent:
 		return ErrNoParent
+	case codeRolledBack:
+		return ErrRolledBack
 	default:
 		if detail == "" {
 			detail = "unknown coordination error"
@@ -131,4 +141,165 @@ func decodeStat(r *wire.Reader) znode.Stat {
 		DataLength:     r.Int32(),
 		EphemeralOwner: r.Uint64(),
 	}
+}
+
+// OpKind selects the operation type of one element of a Multi batch.
+type OpKind uint8
+
+// Multi operation kinds. They mirror znode.MultiKind one-to-one; the
+// duplication keeps the client API free of state-machine imports for
+// callers that only build batches.
+const (
+	OpCheck OpKind = OpKind(znode.MultiCheck)
+	// OpCreate creates a znode (like Client.Create).
+	OpCreate OpKind = OpKind(znode.MultiCreate)
+	// OpSet replaces a znode's data (like Client.Set).
+	OpSet OpKind = OpKind(znode.MultiSet)
+	// OpDelete removes a childless znode (like Client.Delete).
+	OpDelete OpKind = OpKind(znode.MultiDelete)
+)
+
+// Op is one element of a Multi batch.
+type Op struct {
+	Kind    OpKind
+	Path    string
+	Data    []byte           // create, set
+	Mode    znode.CreateMode // create
+	Version int32            // check, set, delete (-1 disables the check)
+}
+
+// CheckOp guards the batch: it fails (aborting the whole transaction)
+// unless path exists and, when version != -1, its data version matches.
+func CheckOp(path string, version int32) Op {
+	return Op{Kind: OpCheck, Path: path, Version: version}
+}
+
+// CreateOp creates a znode as part of a Multi batch.
+func CreateOp(path string, data []byte, mode znode.CreateMode) Op {
+	return Op{Kind: OpCreate, Path: path, Data: data, Mode: mode}
+}
+
+// SetOp replaces a znode's data as part of a Multi batch.
+func SetOp(path string, data []byte, version int32) Op {
+	return Op{Kind: OpSet, Path: path, Data: data, Version: version}
+}
+
+// DeleteOp removes a childless znode as part of a Multi batch.
+func DeleteOp(path string, version int32) Op {
+	return Op{Kind: OpDelete, Path: path, Version: version}
+}
+
+// OpResult is the per-op outcome of a Multi batch. On a committed
+// batch every Err is nil; on an aborted batch the failing op carries
+// its error and every other op carries ErrRolledBack.
+type OpResult struct {
+	Err     error
+	Created string     // create: the created path
+	Stat    znode.Stat // set: the stat after the write
+}
+
+// ChildEntry is one entry of a ChildrenData listing: a znode's name
+// (relative to the listed directory), its data, and its stat. The
+// listed node itself appears as the first entry under the name ".",
+// so one round trip carries both the directory's own metadata and its
+// children's.
+type ChildEntry struct {
+	Name string
+	Data []byte
+	Stat znode.Stat
+}
+
+// encodeOps appends a Multi batch to w (count-prefixed, every field
+// encoded for every op so the layout is kind-independent).
+func encodeOps(w *wire.Writer, ops []Op) {
+	w.Uint32(uint32(len(ops)))
+	for _, op := range ops {
+		w.Uint8(uint8(op.Kind))
+		w.String(op.Path)
+		w.Bytes32(op.Data)
+		w.Uint8(uint8(op.Mode))
+		w.Int32(op.Version)
+	}
+}
+
+// decodeOps reads a Multi batch into the state machine's op type. A
+// frame whose op count disagrees with its payload is an error, never
+// a silently-empty batch: the state machine replicates whatever a
+// client sends, so a truncated or hostile frame must be refused, not
+// committed as a vacuous success.
+func decodeOps(r *wire.Reader) ([]znode.MultiOp, error) {
+	n := r.Uint32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, errors.New("coord: empty multi transaction")
+	}
+	if int(n) > r.Remaining() {
+		return nil, fmt.Errorf("coord: multi op count %d exceeds payload", n)
+	}
+	ops := make([]znode.MultiOp, 0, n)
+	for i := uint32(0); i < n; i++ {
+		op := znode.MultiOp{
+			Kind:    znode.MultiKind(r.Uint8()),
+			Path:    r.String(),
+			Data:    r.BytesCopy32(),
+			Mode:    znode.CreateMode(r.Uint8()),
+			Version: r.Int32(),
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// encodeMultiResults appends the replicated outcome of a Multi batch:
+// the committed flag followed by one (code, detail, created, stat)
+// record per op. Every replica encodes the identical bytes, which is
+// what makes the dedup window's cached replies deterministic.
+func encodeMultiResults(w *wire.Writer, results []znode.MultiResult, committed bool) {
+	w.Bool(committed)
+	w.Uint32(uint32(len(results)))
+	for _, res := range results {
+		w.Uint8(codeForError(res.Err))
+		detail := ""
+		if res.Err != nil {
+			detail = res.Err.Error()
+		}
+		w.String(detail)
+		w.String(res.Created)
+		encodeStat(w, res.Stat)
+	}
+}
+
+// decodeMultiResults reads a Multi outcome back into client-facing
+// OpResults. Malformed replies are errors — a caller must never
+// mistake a truncated reply for a committed empty batch.
+func decodeMultiResults(r *wire.Reader) (results []OpResult, committed bool, err error) {
+	committed = r.Bool()
+	n := r.Uint32()
+	if err := r.Err(); err != nil {
+		return nil, false, err
+	}
+	if int(n) > r.Remaining() {
+		return nil, false, fmt.Errorf("coord: multi result count %d exceeds payload", n)
+	}
+	results = make([]OpResult, 0, n)
+	for i := uint32(0); i < n; i++ {
+		code := r.Uint8()
+		detail := r.String()
+		created := r.String()
+		stat := decodeStat(r)
+		if err := r.Err(); err != nil {
+			return nil, false, err
+		}
+		results = append(results, OpResult{
+			Err:     errorForCode(code, detail),
+			Created: created,
+			Stat:    stat,
+		})
+	}
+	return results, committed, nil
 }

@@ -259,6 +259,71 @@ func (s *Session) Children(path string) ([]string, error) {
 	return kids, nil
 }
 
+// Multi applies the batch as one atomic transaction: a single proposal
+// through the atomic broadcast, applied all-or-nothing by every
+// replica. On success every result's Err is nil. On an aborted batch
+// Multi returns the per-op results — the failing op carries its error,
+// the others ErrRolledBack — plus the failing op's error as the
+// returned error, so callers can treat Multi like any other mutation.
+func (s *Session) Multi(ops []Op) ([]OpResult, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("coord: empty multi")
+	}
+	msg := encodeMultiTxn(ops, s.id, s.seq.Add(1), time.Now().UnixNano())
+	payload, err := s.request(msg)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(payload)
+	results, committed, derr := decodeMultiResults(r)
+	if derr != nil {
+		return nil, fmt.Errorf("coord: malformed multi reply: %w", derr)
+	}
+	if !committed {
+		for _, res := range results {
+			if res.Err != nil && !errors.Is(res.Err, ErrRolledBack) {
+				return results, res.Err
+			}
+		}
+		return results, ErrRolledBack
+	}
+	return results, nil
+}
+
+// ChildrenData returns the znode itself (as the first entry, named
+// ".") and every child with its data and stat — a whole readdir in one
+// round trip, served from the session's local replica like Children.
+func (s *Session) ChildrenData(path string) ([]ChildEntry, error) {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opChildrenData)
+	w.String(path)
+	payload, err := s.request(w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(payload)
+	n := r.Uint32()
+	if r.Err() != nil || int(n) > r.Remaining() {
+		return nil, fmt.Errorf("coord: malformed childrendata reply")
+	}
+	entries := make([]ChildEntry, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		entries = append(entries, ChildEntry{
+			Name: r.String(),
+			Data: r.BytesCopy32(),
+			Stat: decodeStat(r),
+		})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("coord: malformed childrendata reply: %w", err)
+	}
+	return entries, nil
+}
+
+// Atomic implements Client: a session talks to exactly one ensemble,
+// so every batch is atomic.
+func (s *Session) Atomic(paths ...string) bool { return true }
+
 // GetW is Get plus a one-shot data watch: the next create/delete/set
 // on the path (as applied by the session's server) queues an Event
 // retrievable with PollEvents. A failed GetW leaves no watch.

@@ -7,17 +7,23 @@ import (
 )
 
 // Client is the coordination-service API DUFS programs against: the
-// synchronous ZooKeeper-style operation set of a Session, abstracted
-// so that callers cannot tell one ensemble from many.
+// synchronous ZooKeeper-style operation set of a Session — single
+// znode reads and writes, one-shot watches, the Sync barrier — plus
+// two batched primitives that collapse DUFS's hot paths into single
+// round trips: Multi (an atomic check/create/set/delete transaction,
+// one ZAB proposal) and ChildrenData (a directory listing with every
+// entry's data and stat, one read RPC instead of N+1). The interface
+// is abstracted so that callers cannot tell one ensemble from many.
 //
 // Two implementations exist:
 //
 //   - *Session — a connection to a single ensemble (the paper's
-//     configuration, §IV-D);
+//     configuration, §IV-D); every Multi is atomic and Atomic always
+//     reports true;
 //   - *shard.Router — a client-side fan-out over N independent
 //     ensembles that partitions the znode namespace by
 //     consistent-hashing each node's parent-directory path
-//     (DESIGN.md §7).
+//     (DESIGN.md §7, §8).
 //
 // The guarantees callers may rely on are those of a single session:
 // a client always observes its own writes, and Sync establishes a
@@ -25,7 +31,10 @@ import (
 // Ordering between paths that live on different shards is NOT
 // guaranteed by the Router; DUFS only needs per-path and
 // per-directory ordering, which hashing by parent directory
-// preserves.
+// preserves. A Multi spanning shards is NOT atomic — consult Atomic
+// before relying on all-or-nothing semantics, and fall back to an
+// intent-logged protocol (core's cross-shard rename) when it reports
+// false. DESIGN.md §8 states the full atomicity contract.
 type Client interface {
 	// ID returns the 64-bit session identifier minted by the
 	// replicated state machine; DUFS uses it as the client half of new
@@ -47,6 +56,23 @@ type Client interface {
 	Exists(path string) (znode.Stat, bool, error)
 	// Children returns the sorted child names of a znode.
 	Children(path string) ([]string, error)
+
+	// Multi applies the batch of check/create/set/delete operations as
+	// one transaction: all-or-nothing when Atomic(paths...) holds for
+	// the batch's paths, per-shard all-or-nothing otherwise (each
+	// sub-batch commits or aborts independently, in first-appearance
+	// order — see shard.Router.Multi for the exact contract). On abort
+	// the failing op's result carries its error, every other op carries
+	// ErrRolledBack, and the failing op's error is also returned.
+	Multi(ops []Op) ([]OpResult, error)
+	// ChildrenData returns the znode itself (first entry, named ".")
+	// and every child with its data and stat, in one round trip —
+	// the N+1-free readdir. Entries after "." are sorted by name.
+	ChildrenData(path string) ([]ChildEntry, error)
+	// Atomic reports whether a Multi touching exactly these paths
+	// executes as a single atomic transaction. Always true for a
+	// Session; true on a Router iff every path routes to one shard.
+	Atomic(paths ...string) bool
 
 	// GetW, ExistsW and ChildrenW are their unwatched counterparts
 	// plus a one-shot watch delivered through PollEvents.

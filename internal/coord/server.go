@@ -161,6 +161,27 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 			return errResult(err), nil
 		}
 		return okResult(func(w *wire.Writer) { w.StringSlice(kids) }), nil
+	case opChildrenData:
+		path := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		s.reg.Counter("reads").Inc()
+		self, children, err := s.sm.treeRef().ChildrenData(path)
+		if err != nil {
+			return errResult(err), nil
+		}
+		return okResult(func(w *wire.Writer) {
+			w.Uint32(uint32(len(children) + 1))
+			w.String(".")
+			w.Bytes32(self.Data)
+			encodeStat(w, self.Stat)
+			for _, c := range children {
+				w.String(c.Name)
+				w.Bytes32(c.Data)
+				encodeStat(w, c.Stat)
+			}
+		}), nil
 	case opStatus:
 		return okResult(func(w *wire.Writer) {
 			w.Uint64(s.cfg.ID)
@@ -225,7 +246,7 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 		}
 		evs := s.watches.drain(session)
 		return okResult(func(w *wire.Writer) { encodeEvents(w, evs) }), nil
-	case opCreate, opDelete, opSet, opNewSession, opCloseSession, opSync:
+	case opCreate, opDelete, opSet, opMulti, opNewSession, opCloseSession, opSync:
 		// The remaining request payload after the op byte is already in
 		// transaction layout; re-prefix the op and propose it whole.
 		s.reg.Counter("writes").Inc()

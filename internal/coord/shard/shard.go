@@ -220,6 +220,180 @@ func (r *Router) Delete(path string, version int32) error {
 	return nil
 }
 
+// Atomic implements coord.Client: a Multi over exactly these paths is
+// atomic iff every path's authoritative znode lives on one shard.
+// Callers that need all-or-nothing semantics (DUFS's same-directory
+// rename) consult this before building a batch and fall back to an
+// intent-logged protocol when it reports false.
+func (r *Router) Atomic(paths ...string) bool {
+	if len(paths) <= 1 {
+		return true
+	}
+	shard := r.ShardFor(paths[0])
+	for _, p := range paths[1:] {
+		if r.ShardFor(p) != shard {
+			return false
+		}
+	}
+	return true
+}
+
+// Multi implements coord.Client. When every op routes to one shard the
+// batch is forwarded whole and is exactly as atomic as a single
+// ensemble's multi. Otherwise the batch SPLITS: ops are grouped by
+// shard (preserving their relative order) and the per-shard
+// sub-transactions execute sequentially, in order of each shard's
+// first appearance in the batch. Each sub-transaction is atomic on its
+// shard, but the split batch as a whole is NOT: when sub-transaction k
+// fails, sub-transactions before it stay committed, k's ops report
+// their own outcome, and the ops of every later sub-transaction report
+// ErrRolledBack without being attempted. Callers needing true
+// atomicity must check Atomic first (DESIGN.md §8.2).
+func (r *Router) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("shard: empty multi")
+	}
+	shard := r.ShardFor(ops[0].Path)
+	split := false
+	for _, op := range ops[1:] {
+		if r.ShardFor(op.Path) != shard {
+			split = true
+			break
+		}
+	}
+	if !split {
+		return r.multiOnShard(shard, ops)
+	}
+
+	// Group by shard, preserving relative op order and first-appearance
+	// execution order.
+	type group struct {
+		shard   int
+		ops     []coord.Op
+		indices []int
+	}
+	var groups []group
+	byShard := make(map[int]int)
+	for i, op := range ops {
+		s := r.ShardFor(op.Path)
+		gi, ok := byShard[s]
+		if !ok {
+			gi = len(groups)
+			byShard[s] = gi
+			groups = append(groups, group{shard: s})
+		}
+		groups[gi].ops = append(groups[gi].ops, op)
+		groups[gi].indices = append(groups[gi].indices, i)
+	}
+	results := make([]coord.OpResult, len(ops))
+	for i := range results {
+		results[i].Err = coord.ErrRolledBack
+	}
+	for _, g := range groups {
+		sub, err := r.multiOnShard(g.shard, g.ops)
+		for j, idx := range g.indices {
+			if j < len(sub) {
+				results[idx] = sub[j]
+			}
+		}
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// multiOnShard runs one atomic sub-transaction on a single shard. It
+// carries over every per-op responsibility the router's single-op
+// methods have: missing ancestor stubs are materialised for create
+// ops (the ErrNoParent recovery Create performs), and delete ops get
+// Router.Delete's cross-shard treatment — a node whose children live
+// on a DIFFERENT shard is checked for children there first (the
+// executing shard's state machine cannot see them), and its stub on
+// the children shard is removed after commit so a deleted directory
+// does not stay listable as an empty ghost.
+func (r *Router) multiOnShard(shard int, ops []coord.Op) ([]coord.OpResult, error) {
+	// stubbed marks delete ops whose pre-check found a node on their
+	// children shard — only those need post-commit stub removal; a
+	// pre-check that came back ErrNoNode (every file delete, and most
+	// directory deletes) costs no second RPC.
+	var stubbed []int
+	for i, op := range ops {
+		if op.Kind != coord.OpDelete {
+			continue
+		}
+		kidShard := r.shardForChildren(op.Path)
+		if kidShard == shard {
+			continue
+		}
+		kids, err := r.sessions[kidShard].Children(op.Path)
+		if err != nil && !errors.Is(err, coord.ErrNoNode) {
+			return abortedResults(len(ops), i, err), err
+		}
+		if err == nil {
+			if len(kids) > 0 {
+				// Same race window as Router.Delete steps 1-2 (DESIGN.md
+				// §7.3); the batch is refused before anything executes.
+				return abortedResults(len(ops), i, coord.ErrNotEmpty), coord.ErrNotEmpty
+			}
+			stubbed = append(stubbed, i)
+		}
+	}
+	s := r.sessions[shard]
+	results, err := s.Multi(ops)
+	if errors.Is(err, coord.ErrNoParent) {
+		for _, op := range ops {
+			if op.Kind == coord.OpCreate {
+				if serr := r.ensureAncestors(s, op.Path); serr != nil {
+					return results, err
+				}
+			}
+		}
+		results, err = s.Multi(ops)
+	}
+	if err == nil {
+		// Stub removal is best-effort, after the fact: the transaction
+		// has committed, so a failed cleanup (shard down) cannot be
+		// surfaced as a batch failure. A leaked stub is the same
+		// accepted window as Router.Delete's step 3 (DESIGN.md §7.3).
+		for _, i := range stubbed {
+			op := ops[i]
+			_ = r.sessions[r.shardForChildren(op.Path)].Delete(op.Path, -1)
+		}
+	}
+	return results, err
+}
+
+// abortedResults builds the result vector of a batch refused before
+// execution: the failing op carries err, every other op ErrRolledBack.
+func abortedResults(n, failing int, err error) []coord.OpResult {
+	out := make([]coord.OpResult, n)
+	for i := range out {
+		out[i].Err = coord.ErrRolledBack
+	}
+	out[failing].Err = err
+	return out
+}
+
+// ChildrenData implements coord.Client as a single call on the
+// children shard, like Children. A directory that exists but has never
+// hosted a child on that shard has no stub there; the authoritative
+// copy disambiguates "empty" from "does not exist" and supplies the
+// "." entry. On a sharded deployment the "." entry of a stubbed
+// directory is the stub's copy of the data, which can lag the
+// authoritative copy after a Set — callers reading immutable fields
+// from it (DUFS's entry kind) are unaffected; callers needing the
+// latest data must Get the path itself.
+func (r *Router) ChildrenData(path string) ([]coord.ChildEntry, error) {
+	entries, err := r.sessions[r.shardForChildren(path)].ChildrenData(path)
+	if errors.Is(err, coord.ErrNoNode) {
+		if data, stat, gerr := r.owner(path).Get(path); gerr == nil {
+			return []coord.ChildEntry{{Name: ".", Data: data, Stat: stat}}, nil
+		}
+	}
+	return entries, err
+}
+
 // Children implements coord.Client as a single-shard call on the
 // children shard. A directory that exists but has never hosted a
 // child on that shard has no stub there; the authoritative copy

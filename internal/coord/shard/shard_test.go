@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -321,6 +322,234 @@ func TestSingleShardLeaderFailover(t *testing.T) {
 	kids, err := r.Children("/fo")
 	if err != nil || len(kids) != 10 {
 		t.Fatalf("Children after failover = %v, %v; want 10 entries", kids, err)
+	}
+}
+
+// crossShardDirs returns two directory paths whose children live on
+// different shards.
+func crossShardDirs(t *testing.T, r *Router) (a, b string) {
+	t.Helper()
+	for i := 0; i < 1024; i++ {
+		x := fmt.Sprintf("/xa%d", i)
+		y := fmt.Sprintf("/xb%d", i)
+		if r.ShardFor(x+"/f") != r.ShardFor(y+"/f") {
+			return x, y
+		}
+	}
+	t.Fatal("no cross-shard directory pair found")
+	return "", ""
+}
+
+// TestRouterAtomic verifies the atomicity predicate: children of one
+// directory are always one shard (so a same-directory batch is
+// atomic), while a known cross-shard pair is not.
+func TestRouterAtomic(t *testing.T) {
+	r, _, _ := startSharded(t, 4, 1)
+	if !r.Atomic("/d/a", "/d/b", "/d/c") {
+		t.Fatal("same-directory paths reported non-atomic")
+	}
+	if !r.Atomic("/only") {
+		t.Fatal("single path must always be atomic")
+	}
+	a, b := crossShardDirs(t, r)
+	if r.Atomic(a+"/f", b+"/f") {
+		t.Fatalf("cross-shard pair %s,%s reported atomic", a, b)
+	}
+}
+
+// TestRouterMultiSingleShardAtomic sends a batch whose paths all hash
+// to one shard with a failing check in the middle: nothing may apply,
+// exactly as on a single ensemble.
+func TestRouterMultiSingleShardAtomic(t *testing.T) {
+	r, _, _ := startSharded(t, 4, 1)
+	if _, err := r.Create("/app", []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.Multi([]coord.Op{
+		coord.CreateOp("/app/a", nil, znode.ModePersistent),
+		coord.CheckOp("/app/absent", -1),
+		coord.CreateOp("/app/b", nil, znode.ModePersistent),
+	})
+	if !errors.Is(err, coord.ErrNoNode) {
+		t.Fatalf("multi err = %v, want ErrNoNode", err)
+	}
+	if !errors.Is(results[0].Err, coord.ErrRolledBack) || !errors.Is(results[2].Err, coord.ErrRolledBack) {
+		t.Fatalf("sibling results = %+v, want ErrRolledBack", results)
+	}
+	for _, p := range []string{"/app/a", "/app/b"} {
+		if _, ok, err := r.Exists(p); err != nil || ok {
+			t.Fatalf("%s leaked from aborted single-shard batch (ok=%v err=%v)", p, ok, err)
+		}
+	}
+}
+
+// TestRouterMultiCrossShardSplit documents the split contract: a batch
+// spanning two shards executes as two sequential sub-transactions in
+// first-appearance order. When the second sub-transaction aborts, the
+// first STAYS COMMITTED — the router's Multi is only per-shard atomic
+// — and the untouched ops report ErrRolledBack.
+func TestRouterMultiCrossShardSplit(t *testing.T) {
+	r, _, _ := startSharded(t, 4, 1)
+	a, b := crossShardDirs(t, r)
+	for _, dir := range []string{a, b} {
+		if _, err := r.Create(dir, []byte("d"), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shard(a)'s sub-batch commits; shard(b)'s aborts on a bad check.
+	results, err := r.Multi([]coord.Op{
+		coord.CreateOp(a+"/ok", []byte("x"), znode.ModePersistent),
+		coord.CheckOp(b+"/absent", -1),
+		coord.CreateOp(b+"/never", nil, znode.ModePersistent),
+		coord.CreateOp(a+"/ok2", nil, znode.ModePersistent),
+	})
+	if !errors.Is(err, coord.ErrNoNode) {
+		t.Fatalf("split multi err = %v, want ErrNoNode from the failing check", err)
+	}
+	// First-appearance order: shard(a) ran first and stays committed.
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Fatalf("committed sub-batch results = %+v, want nil errors", results)
+	}
+	if _, ok, _ := r.Exists(a + "/ok"); !ok {
+		t.Fatalf("%s/ok missing: committed sub-transaction must survive the later abort", a)
+	}
+	if _, ok, _ := r.Exists(a + "/ok2"); !ok {
+		t.Fatalf("%s/ok2 missing: committed sub-transaction must survive the later abort", a)
+	}
+	// The aborted shard applied nothing.
+	if !errors.Is(results[1].Err, coord.ErrNoNode) {
+		t.Fatalf("failing op result = %v, want ErrNoNode", results[1].Err)
+	}
+	if !errors.Is(results[2].Err, coord.ErrRolledBack) {
+		t.Fatalf("aborted sibling result = %v, want ErrRolledBack", results[2].Err)
+	}
+	if _, ok, _ := r.Exists(b + "/never"); ok {
+		t.Fatalf("%s/never leaked from aborted sub-transaction", b)
+	}
+}
+
+// TestRouterMultiStubMaterialisation verifies a batched create on a
+// shard that has never seen the parent directory materialises the
+// ancestor stub chain and retries, like single-op Create.
+func TestRouterMultiStubMaterialisation(t *testing.T) {
+	r, _, _ := startSharded(t, 4, 1)
+	// Parent created through the router: its znode lives on
+	// shard(parent-of-/stub), while its children live on shard(/stub) —
+	// which has no stub until a child arrives.
+	var dir string
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("/stub%d", i)
+		if r.ShardFor(cand) != r.shardForChildren(cand) {
+			dir = cand
+			break
+		}
+	}
+	if _, err := r.Create(dir, []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.Multi([]coord.Op{
+		coord.CreateOp(dir+"/a", nil, znode.ModePersistent),
+		coord.CreateOp(dir+"/b", nil, znode.ModePersistent),
+	})
+	if err != nil {
+		t.Fatalf("batched create on stubless shard: %v (results %+v)", err, results)
+	}
+	kids, err := r.Children(dir)
+	if err != nil || len(kids) != 2 {
+		t.Fatalf("children = %v, %v; want a,b", kids, err)
+	}
+}
+
+// TestRouterMultiDeleteCrossShardContract verifies batched deletes
+// keep Router.Delete's guarantees: a directory with children hosted on
+// a DIFFERENT shard refuses to die (the executing shard cannot see
+// them), and once empty, a batched delete also removes the stub on the
+// children shard so the path does not stay listable.
+func TestRouterMultiDeleteCrossShardContract(t *testing.T) {
+	r, _, direct := startSharded(t, 4, 1)
+	var dir string
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("/md%d", i)
+		if r.ShardFor(cand) != r.shardForChildren(cand) {
+			dir = cand
+			break
+		}
+	}
+	if _, err := r.Create(dir, []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(dir+"/kid", nil, znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	// Non-empty: the batch must refuse without executing.
+	if _, err := r.Multi([]coord.Op{coord.DeleteOp(dir, -1)}); !errors.Is(err, coord.ErrNotEmpty) {
+		t.Fatalf("batched delete of non-empty cross-shard dir: %v, want ErrNotEmpty", err)
+	}
+	if _, ok, _ := r.Exists(dir); !ok {
+		t.Fatal("refused batch deleted the directory anyway")
+	}
+	if _, err := r.Multi([]coord.Op{coord.DeleteOp(dir+"/kid", -1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Empty now: the batched delete must clean the stub too.
+	if _, err := r.Multi([]coord.Op{coord.DeleteOp(dir, -1)}); err != nil {
+		t.Fatal(err)
+	}
+	for s, sess := range direct {
+		if _, ok, _ := sess.Exists(dir); ok {
+			t.Fatalf("shard %d still holds %s after batched delete (ghost stub)", s, dir)
+		}
+	}
+	if _, err := r.ChildrenData(dir); !errors.Is(err, coord.ErrNoNode) {
+		t.Fatalf("ChildrenData(%s) after batched delete = %v, want ErrNoNode", dir, err)
+	}
+}
+
+// TestRouterChildrenData verifies the batched listing through the
+// router: entries come from the children shard, the "." self entry is
+// present, and a stubless empty directory reads as self-only via the
+// authoritative fallback.
+func TestRouterChildrenData(t *testing.T) {
+	r, _, _ := startSharded(t, 4, 1)
+	if _, err := r.Create("/cd", []byte("self"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"b", "a"} {
+		if _, err := r.Create("/cd/"+name, []byte("v-"+name), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := r.ChildrenData("/cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Name != "." {
+		t.Fatalf("entries = %+v, want . a b", entries)
+	}
+	if entries[1].Name != "a" || string(entries[1].Data) != "v-a" ||
+		entries[2].Name != "b" || string(entries[2].Data) != "v-b" {
+		t.Fatalf("child entries = %+v", entries[1:])
+	}
+
+	// Stubless empty directory: ChildrenData on the children shard
+	// misses; the authoritative copy supplies the self entry.
+	var dir string
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("/cde%d", i)
+		if r.ShardFor(cand) != r.shardForChildren(cand) {
+			dir = cand
+			break
+		}
+	}
+	if _, err := r.Create(dir, []byte("lonely"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = r.ChildrenData(dir)
+	if err != nil || len(entries) != 1 || entries[0].Name != "." || string(entries[0].Data) != "lonely" {
+		t.Fatalf("ChildrenData(stubless empty) = %+v, %v; want self-only", entries, err)
+	}
+	if _, err := r.ChildrenData("/definitely-absent"); !errors.Is(err, coord.ErrNoNode) {
+		t.Fatalf("ChildrenData(absent) err = %v, want ErrNoNode", err)
 	}
 }
 

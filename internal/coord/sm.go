@@ -78,6 +78,8 @@ func newStateMachine() *stateMachine {
 //	create:       session u64, seq u64, path, data, mode u8, nowNano i64
 //	delete:       session u64, seq u64, path, version i32
 //	set:          session u64, seq u64, path, data, version i32, nowNano i64
+//	multi:        session u64, seq u64, nowNano i64, count u32,
+//	              then per op: kind u8, path, data, mode u8, version i32
 //	newSession:   (nothing)
 //	closeSession: session u64, seq u64
 //
@@ -114,6 +116,20 @@ func encodeSetTxn(path string, data []byte, version int32, session, seq uint64, 
 	w.Bytes32(data)
 	w.Int32(version)
 	w.Int64(nowNano)
+	return w.Bytes()
+}
+
+func encodeMultiTxn(ops []Op, session, seq uint64, nowNano int64) []byte {
+	size := 32
+	for _, op := range ops {
+		size += 16 + len(op.Path) + len(op.Data)
+	}
+	w := wire.NewWriter(size)
+	w.Uint8(opMulti)
+	w.Uint64(session)
+	w.Uint64(seq)
+	w.Int64(nowNano)
+	encodeOps(w, ops)
 	return w.Bytes()
 }
 
@@ -250,6 +266,32 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 			return errResult(err)
 		}
 		return okResult(func(w *wire.Writer) { encodeStat(w, stat) })
+	case opMulti:
+		now := r.Int64()
+		if err := r.Err(); err != nil {
+			return errResult(err)
+		}
+		ops, derr := decodeOps(r)
+		if derr != nil {
+			return errResult(derr)
+		}
+		results, committed := s.tree.Multi(ops, session, zxid, now)
+		if committed && s.notify != nil {
+			for i, op := range ops {
+				switch op.Kind {
+				case znode.MultiCreate:
+					s.notify(opCreate, results[i].Created, session, true)
+				case znode.MultiSet:
+					s.notify(opSet, op.Path, session, true)
+				case znode.MultiDelete:
+					s.notify(opDelete, op.Path, session, true)
+				}
+			}
+		}
+		// The outer status is OK either way: an aborted batch is an
+		// application-level outcome the client needs the per-op results
+		// for, not a protocol failure.
+		return okResult(func(w *wire.Writer) { encodeMultiResults(w, results, committed) })
 	case opCloseSession:
 		s.mu.Lock()
 		delete(s.sessions, session)

@@ -33,6 +33,10 @@ var (
 	ErrBadPath      = errors.New("znode: invalid path")
 	ErrNoParent     = errors.New("znode: parent does not exist")
 	ErrRootReadOnly = errors.New("znode: cannot modify the root")
+	// ErrRolledBack marks an operation of a Multi batch that did not
+	// cause the failure itself but was undone (or never attempted)
+	// because a sibling operation failed — ZooKeeper's multi() contract.
+	ErrRolledBack = errors.New("znode: rolled back by failed transaction")
 )
 
 // Stat is the metadata block attached to every znode, mirroring the
@@ -152,28 +156,38 @@ func (t *Tree) lookup(path string) (*node, error) {
 // replicas agree. session is the creator's session ID (used only for
 // ephemeral modes).
 func (t *Tree) Create(path string, data []byte, mode CreateMode, session, zxid uint64, nowNano int64) (string, error) {
-	if err := ValidatePath(path); err != nil {
-		return "", err
-	}
-	if path == "/" {
-		return "", ErrNodeExists
-	}
-	parentPath, name := SplitPath(path)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	created, _, err := t.createLocked(path, data, mode, session, zxid, nowNano)
+	return created, err
+}
+
+// createLocked is Create without the lock, returning an undo closure
+// that restores the exact prior state (including stat counters and the
+// sequential-name counter) for Multi's rollback. Caller holds t.mu.
+func (t *Tree) createLocked(path string, data []byte, mode CreateMode, session, zxid uint64, nowNano int64) (string, func(), error) {
+	if err := ValidatePath(path); err != nil {
+		return "", nil, err
+	}
+	if path == "/" {
+		return "", nil, ErrNodeExists
+	}
+	parentPath, name := SplitPath(path)
 	parent, err := t.lookup(parentPath)
 	if err != nil {
-		return "", ErrNoParent
+		return "", nil, ErrNoParent
 	}
 	if parent.stat.EphemeralOwner != 0 {
-		return "", fmt.Errorf("znode: parent %q is ephemeral and cannot have children", parentPath)
+		return "", nil, fmt.Errorf("znode: parent %q is ephemeral and cannot have children", parentPath)
 	}
+	priorStat, priorSeq := parent.stat, parent.nextSeq
 	if mode.IsSequential() {
 		name = fmt.Sprintf("%s%010d", name, parent.nextSeq)
 		parent.nextSeq++
 	}
 	if _, dup := parent.children[name]; dup {
-		return "", ErrNodeExists
+		parent.nextSeq = priorSeq
+		return "", nil, ErrNodeExists
 	}
 	n := &node{
 		name:     name,
@@ -207,7 +221,22 @@ func (t *Tree) Create(path string, data []byte, mode CreateMode, session, zxid u
 		}
 		m[created] = true
 	}
-	return created, nil
+	undo := func() {
+		delete(parent.children, name)
+		parent.stat = priorStat
+		parent.nextSeq = priorSeq
+		t.nodes--
+		t.dataBytes -= int64(len(data))
+		if mode.IsEphemeral() {
+			if m := t.ephemerals[session]; m != nil {
+				delete(m, created)
+				if len(m) == 0 {
+					delete(t.ephemerals, session)
+				}
+			}
+		}
+	}
+	return created, undo, nil
 }
 
 // Get returns a copy of the node's data and its stat.
@@ -241,62 +270,84 @@ func (t *Tree) Exists(path string) (Stat, bool) {
 // Set replaces the node's data. version -1 skips the optimistic check,
 // matching ZooKeeper semantics.
 func (t *Tree) Set(path string, data []byte, version int32, zxid uint64, nowNano int64) (Stat, error) {
-	if err := ValidatePath(path); err != nil {
-		return Stat{}, err
-	}
-	if path == "/" {
-		return Stat{}, ErrRootReadOnly
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	stat, _, err := t.setLocked(path, data, version, zxid, nowNano)
+	return stat, err
+}
+
+// setLocked is Set without the lock, returning an undo closure for
+// Multi's rollback. Caller holds t.mu.
+func (t *Tree) setLocked(path string, data []byte, version int32, zxid uint64, nowNano int64) (Stat, func(), error) {
+	if err := ValidatePath(path); err != nil {
+		return Stat{}, nil, err
+	}
+	if path == "/" {
+		return Stat{}, nil, ErrRootReadOnly
+	}
 	n, err := t.lookup(path)
 	if err != nil {
-		return Stat{}, err
+		return Stat{}, nil, err
 	}
 	if version != -1 && version != n.stat.Version {
-		return Stat{}, ErrBadVersion
+		return Stat{}, nil, ErrBadVersion
 	}
+	priorData, priorStat := n.data, n.stat
 	t.dataBytes += int64(len(data)) - int64(len(n.data))
 	n.data = append([]byte(nil), data...)
 	n.stat.Version++
 	n.stat.Mzxid = zxid
 	n.stat.Mtime = nowNano
 	n.stat.DataLength = int32(len(data))
-	return n.stat, nil
+	undo := func() {
+		t.dataBytes += int64(len(priorData)) - int64(len(n.data))
+		n.data = priorData
+		n.stat = priorStat
+	}
+	return n.stat, undo, nil
 }
 
 // Delete removes a childless node. version -1 skips the check.
 func (t *Tree) Delete(path string, version int32, zxid uint64) error {
-	if err := ValidatePath(path); err != nil {
-		return err
-	}
-	if path == "/" {
-		return ErrRootReadOnly
-	}
-	parentPath, _ := SplitPath(path)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	_, err := t.deleteLocked(path, version, zxid)
+	return err
+}
+
+// deleteLocked is Delete without the lock, returning an undo closure
+// for Multi's rollback. Caller holds t.mu.
+func (t *Tree) deleteLocked(path string, version int32, zxid uint64) (func(), error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, err
+	}
+	if path == "/" {
+		return nil, ErrRootReadOnly
+	}
+	parentPath, _ := SplitPath(path)
 	n, err := t.lookup(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if version != -1 && version != n.stat.Version {
-		return ErrBadVersion
+		return nil, ErrBadVersion
 	}
 	if len(n.children) > 0 {
-		return ErrNotEmpty
+		return nil, ErrNotEmpty
 	}
 	parent, err := t.lookup(parentPath)
 	if err != nil {
-		return ErrNoParent // unreachable if the tree is consistent
+		return nil, ErrNoParent // unreachable if the tree is consistent
 	}
+	priorStat := parent.stat
 	delete(parent.children, n.name)
 	parent.stat.NumChildren--
 	parent.stat.Cversion++
 	parent.stat.Mzxid = zxid
 	t.nodes--
 	t.dataBytes -= int64(len(n.data))
-	if owner := n.stat.EphemeralOwner; owner != 0 {
+	owner := n.stat.EphemeralOwner
+	if owner != 0 {
 		if m := t.ephemerals[owner]; m != nil {
 			delete(m, path)
 			if len(m) == 0 {
@@ -304,7 +355,21 @@ func (t *Tree) Delete(path string, version int32, zxid uint64) error {
 			}
 		}
 	}
-	return nil
+	undo := func() {
+		parent.children[n.name] = n
+		parent.stat = priorStat
+		t.nodes++
+		t.dataBytes += int64(len(n.data))
+		if owner != 0 {
+			m := t.ephemerals[owner]
+			if m == nil {
+				m = make(map[string]bool)
+				t.ephemerals[owner] = m
+			}
+			m[path] = true
+		}
+	}
+	return undo, nil
 }
 
 // Children returns the sorted child names of the node.
@@ -324,6 +389,144 @@ func (t *Tree) Children(path string) ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// DirEntry is one record of a ChildrenData listing: a znode's name
+// (relative to the listed directory), a copy of its data, and its stat.
+type DirEntry struct {
+	Name string
+	Data []byte
+	Stat Stat
+}
+
+// ChildrenData returns the node's own data and stat plus every child's
+// name, data, and stat (sorted by name) under one lock acquisition —
+// the server-side half of the one-round-trip readdir.
+func (t *Tree) ChildrenData(path string) (self DirEntry, children []DirEntry, err error) {
+	if err := ValidatePath(path); err != nil {
+		return DirEntry{}, nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, err := t.lookup(path)
+	if err != nil {
+		return DirEntry{}, nil, err
+	}
+	self = DirEntry{Data: append([]byte(nil), n.data...), Stat: n.stat}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	children = make([]DirEntry, 0, len(names))
+	for _, name := range names {
+		c := n.children[name]
+		children = append(children, DirEntry{
+			Name: name,
+			Data: append([]byte(nil), c.data...),
+			Stat: c.stat,
+		})
+	}
+	return self, children, nil
+}
+
+// MultiKind selects the operation type of one Multi batch element.
+type MultiKind uint8
+
+// Multi operation kinds, mirroring ZooKeeper's multi() op set.
+const (
+	MultiCheck MultiKind = iota + 1 // version/existence guard, no mutation
+	MultiCreate
+	MultiSet
+	MultiDelete
+)
+
+// MultiOp is one element of an atomic batch.
+type MultiOp struct {
+	Kind    MultiKind
+	Path    string
+	Data    []byte     // create, set
+	Mode    CreateMode // create
+	Version int32      // check, set, delete (-1 disables the check)
+}
+
+// MultiResult is the per-op outcome of a Multi batch.
+type MultiResult struct {
+	Err     error
+	Created string // create: the created path (sequential modes differ)
+	Stat    Stat   // set: the node's stat after the write
+}
+
+// Multi applies the batch atomically: either every operation succeeds,
+// or none is applied. Operations execute in order under one lock, each
+// observing its predecessors' effects (a create may depend on an
+// earlier create in the same batch). On the first failure every applied
+// operation is undone — restoring exact stats, version counters, and
+// sequential-name counters — and committed reports false; the failing
+// op's result carries its error, every other op gets ErrRolledBack.
+func (t *Tree) Multi(ops []MultiOp, session, zxid uint64, nowNano int64) (results []MultiResult, committed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	results = make([]MultiResult, len(ops))
+	undos := make([]func(), 0, len(ops))
+	for i, op := range ops {
+		var err error
+		switch op.Kind {
+		case MultiCheck:
+			err = t.checkLocked(op.Path, op.Version)
+		case MultiCreate:
+			var created string
+			var undo func()
+			created, undo, err = t.createLocked(op.Path, op.Data, op.Mode, session, zxid, nowNano)
+			if err == nil {
+				results[i].Created = created
+				undos = append(undos, undo)
+			}
+		case MultiSet:
+			var stat Stat
+			var undo func()
+			stat, undo, err = t.setLocked(op.Path, op.Data, op.Version, zxid, nowNano)
+			if err == nil {
+				results[i].Stat = stat
+				undos = append(undos, undo)
+			}
+		case MultiDelete:
+			var undo func()
+			undo, err = t.deleteLocked(op.Path, op.Version, zxid)
+			if err == nil {
+				undos = append(undos, undo)
+			}
+		default:
+			err = fmt.Errorf("znode: unknown multi op kind %d", op.Kind)
+		}
+		if err != nil {
+			for j := len(undos) - 1; j >= 0; j-- {
+				undos[j]()
+			}
+			for j := range results {
+				results[j] = MultiResult{Err: ErrRolledBack}
+			}
+			results[i].Err = err
+			return results, false
+		}
+	}
+	return results, true
+}
+
+// checkLocked verifies the node exists and, unless version is -1, that
+// its data version matches. Caller holds t.mu.
+func (t *Tree) checkLocked(path string, version int32) error {
+	if err := ValidatePath(path); err != nil {
+		return err
+	}
+	n, err := t.lookup(path)
+	if err != nil {
+		return err
+	}
+	if version != -1 && version != n.stat.Version {
+		return ErrBadVersion
+	}
+	return nil
 }
 
 // ExpireSession deletes every ephemeral node owned by the session and

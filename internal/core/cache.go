@@ -199,30 +199,35 @@ func (c *Cached) Readdir(path string) ([]vfs.DirEntry, error) {
 	c.mu.Unlock()
 	c.count("cache-miss")
 
-	// The znode tree lists children of any node kind; POSIX readdir on
-	// a non-directory must fail, so check the entry type first.
-	nd, _, err := c.getNode(p)
-	if err != nil {
-		return nil, err
+	// Register the child watch FIRST (its names are discarded), then
+	// fetch the listing with the batched ChildrenData — a mutation in
+	// the window between the two fires the watch and invalidates the
+	// entry we are about to cache, never the reverse. Two RPCs total
+	// instead of the per-child N+1; the "." self entry supplies the
+	// POSIX non-directory check.
+	if _, err := c.sess.ChildrenW(c.zpath(p)); err != nil {
+		return nil, mapError(err)
 	}
-	if nd.Kind != kindDir {
-		return nil, vfs.ErrNotDir
-	}
-	names, err := c.sess.ChildrenW(c.zpath(p))
+	entries, err := c.sess.ChildrenData(c.zpath(p))
 	if err != nil {
 		return nil, mapError(err)
 	}
-	out := make([]vfs.DirEntry, 0, len(names))
-	for _, name := range names {
-		child := p + "/" + name
-		if p == "/" {
-			child = "/" + name
-		}
-		nd, _, err := c.getNode(child)
-		if err != nil {
+	out := make([]vfs.DirEntry, 0, len(entries))
+	for _, e := range entries {
+		nd, derr := decodeNodeData(e.Data)
+		if e.Name == "." {
+			if derr != nil {
+				return nil, derr
+			}
+			if nd.Kind != kindDir {
+				return nil, vfs.ErrNotDir
+			}
 			continue
 		}
-		out = append(out, vfs.DirEntry{Name: name, IsDir: nd.Kind == kindDir})
+		if derr != nil {
+			continue
+		}
+		out = append(out, vfs.DirEntry{Name: e.Name, IsDir: nd.Kind == kindDir, Mode: nd.Mode})
 	}
 	c.mu.Lock()
 	c.listing[p] = append([]vfs.DirEntry(nil), out...)

@@ -285,15 +285,25 @@ func (d *DUFS) Create(path string, perm uint32) (vfs.Handle, error) {
 	if _, err := d.sess.Create(d.zpath(p), data, 0); err != nil {
 		return nil, mapError(err)
 	}
+	// Undo the namespace entry so a failed create is invisible. The
+	// atomic check+delete only removes the znode while its version is
+	// still 0 — i.e. nobody has touched our entry since we registered
+	// it — so the undo can never clobber a concurrent writer's node.
+	// Best-effort, like the physical-side cleanup it compensates.
+	undo := func() {
+		_, _ = d.sess.Multi([]coord.Op{
+			coord.CheckOp(d.zpath(p), 0),
+			coord.DeleteOp(d.zpath(p), 0),
+		})
+	}
 	backend, phys := d.locate(f)
 	if err := d.ensurePhysDirs(backend, f); err != nil {
-		// Undo the namespace entry so a failed create is invisible.
-		_ = d.sess.Delete(d.zpath(p), -1)
+		undo()
 		return nil, err
 	}
 	h, err := backend.Create(phys, perm)
 	if err != nil {
-		_ = d.sess.Delete(d.zpath(p), -1)
+		undo()
 		return nil, err
 	}
 	return h, nil
@@ -322,21 +332,31 @@ func (d *DUFS) Open(path string, flags int) (vfs.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	nd, _, err := d.getNode(p)
-	if err != nil {
-		if errors.Is(err, vfs.ErrNotExist) && flags&vfs.OpenCreate != 0 {
-			return d.Create(p, 0o644)
+	for {
+		nd, _, err := d.getNode(p)
+		if err != nil {
+			if errors.Is(err, vfs.ErrNotExist) && flags&vfs.OpenCreate != 0 {
+				h, cerr := d.Create(p, 0o644)
+				if errors.Is(cerr, vfs.ErrExist) {
+					// Two clients raced Open(OpenCreate): both saw
+					// ErrNotExist, the other's Create won. O_CREAT
+					// without O_EXCL must open the winner's file, so
+					// loop back to the lookup instead of failing.
+					continue
+				}
+				return h, cerr
+			}
+			return nil, err
 		}
-		return nil, err
+		switch nd.Kind {
+		case kindDir:
+			return nil, vfs.ErrIsDir
+		case kindSymlink:
+			return nil, vfs.ErrInvalid // no link chasing at this layer
+		}
+		backend, phys := d.locate(nd.FID)
+		return backend.Open(phys, flags)
 	}
-	switch nd.Kind {
-	case kindDir:
-		return nil, vfs.ErrIsDir
-	case kindSymlink:
-		return nil, vfs.ErrInvalid // no link chasing at this layer
-	}
-	backend, phys := d.locate(nd.FID)
-	return backend.Open(phys, flags)
 }
 
 // Unlink implements vfs.FileSystem: drop the name from the namespace,
@@ -414,38 +434,57 @@ func (d *DUFS) Stat(path string) (vfs.FileInfo, error) {
 
 func unixNano(ns int64) time.Time { return time.Unix(0, ns) }
 
-// Readdir implements vfs.FileSystem: one Children query on the
-// coordination service — the back-end is never consulted.
+// Readdir implements vfs.FileSystem in exactly ONE coordination RPC:
+// ChildrenData returns the directory's own znode (the "." entry, used
+// for the is-it-a-directory check) plus every child's data and stat,
+// so the N+1 per-entry lookups of the naive implementation collapse
+// into a single round trip (DESIGN.md §8.3; the batching lever HopsFS
+// attributes its readdir wins to). The back-end is never consulted.
 func (d *DUFS) Readdir(path string) ([]vfs.DirEntry, error) {
 	d.count("readdir")
 	p, err := vfs.Clean(path)
 	if err != nil {
 		return nil, err
 	}
-	nd, _, err := d.getNode(p)
-	if err != nil {
-		return nil, err
-	}
-	if nd.Kind != kindDir {
-		return nil, vfs.ErrNotDir
-	}
-	names, err := d.sess.Children(d.zpath(p))
+	entries, err := d.sess.ChildrenData(d.zpath(p))
 	if err != nil {
 		return nil, mapError(err)
 	}
-	out := make([]vfs.DirEntry, 0, len(names))
-	for _, name := range names {
-		child := p + "/" + name
-		if p == "/" {
-			child = "/" + name
+	out := make([]vfs.DirEntry, 0, len(entries))
+	for _, e := range entries {
+		nd, derr := decodeNodeData(e.Data)
+		if e.Name == "." {
+			if derr != nil {
+				return nil, derr
+			}
+			if nd.Kind != kindDir {
+				return nil, vfs.ErrNotDir
+			}
+			continue
 		}
-		cnd, _, err := d.getNode(child)
-		if err != nil {
-			continue // deleted concurrently
+		if derr != nil {
+			continue // not a DUFS entry; tolerate like a concurrent delete
 		}
-		out = append(out, vfs.DirEntry{Name: name, IsDir: cnd.Kind == kindDir})
+		out = append(out, vfs.DirEntry{Name: e.Name, IsDir: nd.Kind == kindDir, Mode: nd.Mode})
 	}
 	return out, nil
+}
+
+// listing fetches a directory's own node plus its children in one RPC,
+// split into the "." self entry and the child entries.
+func (d *DUFS) listing(p string) (self coord.ChildEntry, children []coord.ChildEntry, err error) {
+	entries, err := d.sess.ChildrenData(d.zpath(p))
+	if err != nil {
+		return coord.ChildEntry{}, nil, mapError(err)
+	}
+	for _, e := range entries {
+		if e.Name == "." {
+			self = e
+		} else {
+			children = append(children, e)
+		}
+	}
+	return self, children, nil
 }
 
 // Rename implements vfs.FileSystem. Thanks to the FID indirection the
@@ -453,6 +492,13 @@ func (d *DUFS) Readdir(path string) ([]vfs.DirEntry, error) {
 // rename operations and physical data relocation easier"): renaming a
 // file re-binds the FID to a new name in the coordination service.
 // Directory renames move the znode subtree.
+//
+// When source and destination live on the same coordination shard the
+// rename is ONE atomic Multi — check(src)+create(dst)+delete(src) in a
+// single ZAB proposal, with no intermediate state for a crash to
+// expose and no intent znode to write and reap (2 round trips total
+// against the old protocol's 5). Only when the two names hash to
+// different shards does the durable-intent protocol (rename.go) run.
 func (d *DUFS) Rename(oldPath, newPath string) error {
 	d.count("rename")
 	op, err := vfs.Clean(oldPath)
@@ -472,46 +518,82 @@ func (d *DUFS) Rename(oldPath, newPath string) error {
 	if len(np) > len(op) && np[:len(op)] == op && np[len(op)] == '/' {
 		return vfs.ErrInvalid
 	}
-	nd, _, err := d.getNode(op)
-	if err != nil {
-		return err
-	}
-	if nd.Kind == kindDir {
-		return d.renameDir(op, np)
-	}
-	// Replace semantics: an existing destination file is superseded.
-	if existing, _, err := d.getNode(np); err == nil {
-		if existing.Kind == kindDir {
-			return vfs.ErrIsDir
+	for {
+		zop, znp := d.zpath(op), d.zpath(np)
+		raw, stat, gerr := d.sess.Get(zop)
+		if gerr != nil {
+			return mapError(gerr)
 		}
-		if err := d.Unlink(np); err != nil && !errors.Is(err, vfs.ErrNotExist) {
-			return err
+		nd, derr := decodeNodeData(raw)
+		if derr != nil {
+			return derr
+		}
+		if nd.Kind == kindDir {
+			return d.renameDir(op, np)
+		}
+		// Replace semantics: an existing destination file is superseded.
+		var existing nodeData
+		existingRaw, existingStat, exErr := d.sess.Get(znp)
+		if exErr == nil {
+			existing, derr = decodeNodeData(existingRaw)
+			if derr != nil {
+				return derr
+			}
+			if existing.Kind == kindDir {
+				return vfs.ErrIsDir
+			}
+		} else if !errors.Is(exErr, coord.ErrNoNode) && !errors.Is(exErr, coord.ErrNoParent) {
+			return mapError(exErr)
+		}
+		if !d.sess.Atomic(zop, znp) {
+			// Cross-shard fallback: no transaction spans both names, so
+			// the destination is superseded up front and the intent
+			// protocol brackets the two writes.
+			if exErr == nil {
+				if err := d.Unlink(np); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+					return err
+				}
+			}
+			return d.renameFileIntent(op, np, raw)
+		}
+		// The destination replacement rides in the SAME transaction as
+		// the rename (version-guarded), so a rename that fails — src
+		// deleted concurrently, anything — leaves an existing dst fully
+		// intact, as POSIX requires. Only after commit is the replaced
+		// file's physical body reclaimed.
+		ops := []coord.Op{coord.CheckOp(zop, stat.Version)}
+		if exErr == nil {
+			ops = append(ops, coord.DeleteOp(znp, existingStat.Version))
+		}
+		ops = append(ops, coord.CreateOp(znp, raw, 0), coord.DeleteOp(zop, -1))
+		_, err := d.sess.Multi(ops)
+		switch {
+		case err == nil:
+			if exErr == nil && existing.Kind == kindFile {
+				// Best-effort: a failed physical unlink orphans a body
+				// that is unreachable by any name (its FID left the
+				// namespace with the transaction above).
+				backend, phys := d.locate(existing.FID)
+				_ = backend.Unlink(phys)
+			}
+			return nil
+		case errors.Is(err, coord.ErrBadVersion), errors.Is(err, coord.ErrNodeExists),
+			errors.Is(err, coord.ErrNoNode):
+			// A concurrent writer touched src or dst between our reads
+			// and the transaction; nothing was applied. Loop back to
+			// re-resolve and retry.
+			continue
+		default:
+			return mapError(err)
 		}
 	}
-	// Create-dest-then-delete-src, bracketed by a durable intent so a
-	// crash between the two writes leaves a record any client can roll
-	// forward (RecoverRenames). The FID indirection makes the double
-	// visibility window harmless: both names resolve to the same
-	// physical file.
-	intent, err := d.logRenameIntent(op, np)
-	if err != nil {
-		return err
-	}
-	data := encodeNodeData(nd)
-	if _, err := d.sess.Create(d.zpath(np), data, 0); err != nil {
-		_ = d.sess.Delete(intent, -1)
-		return mapError(err)
-	}
-	if err := d.sess.Delete(d.zpath(op), -1); err != nil {
-		return mapError(err)
-	}
-	_ = d.sess.Delete(intent, -1)
-	return nil
 }
 
 // renameDir moves a directory subtree znode-by-znode (children first
 // would orphan them, so parents first, then delete the old subtree
-// bottom-up).
+// bottom-up). An empty directory on one shard — the common leaf move —
+// is a single atomic Multi; deeper trees batch each directory's leaf
+// children into per-directory transactions.
 func (d *DUFS) renameDir(op, np string) error {
 	if existing, _, err := d.getNode(np); err == nil {
 		if existing.Kind != kindDir {
@@ -528,43 +610,131 @@ func (d *DUFS) renameDir(op, np string) error {
 			return mapError(err)
 		}
 	}
-	var copyTree func(from, to string) error
-	copyTree = func(from, to string) error {
-		data, _, err := d.sess.Get(d.zpath(from))
-		if err != nil {
-			return mapError(err)
+	zop, znp := d.zpath(op), d.zpath(np)
+	self, kids, err := d.listing(op)
+	if err != nil {
+		return err
+	}
+	if len(kids) == 0 && d.sess.Atomic(zop, znp) {
+		// Leaf move: the whole rename is one atomic transaction.
+		_, merr := d.sess.Multi([]coord.Op{
+			coord.CheckOp(zop, self.Stat.Version),
+			coord.CreateOp(znp, self.Data, 0),
+			coord.DeleteOp(zop, -1),
+		})
+		if merr == nil {
+			return nil
 		}
-		if _, err := d.sess.Create(d.zpath(to), data, 0); err != nil {
-			return mapError(err)
+		if !errors.Is(merr, coord.ErrNotEmpty) && !errors.Is(merr, coord.ErrBadVersion) {
+			return mapError(merr)
 		}
-		names, err := d.sess.Children(d.zpath(from))
-		if err != nil {
-			return mapError(err)
+		// A child appeared or the data changed since the listing;
+		// nothing was applied — fall through to the subtree walk.
+	}
+	if err := d.copyTree(op, np); err != nil {
+		return err
+	}
+	return d.removeTree(op)
+}
+
+// isLeafEntry reports whether a listed child can be moved without
+// recursion: files and symlinks never have children in DUFS. Child
+// DIRECTORIES always recurse, even when their stat shows no children —
+// on a sharded router the authoritative child znode cannot see
+// children hosted on a different shard, so NumChildren==0 proves
+// nothing; ChildrenData on the child itself consults the right shard.
+func isLeafEntry(e coord.ChildEntry) bool {
+	nd, err := decodeNodeData(e.Data)
+	return err == nil && nd.Kind != kindDir
+}
+
+// copyTree replicates the subtree at from under to, parents first.
+// Each directory costs one ChildrenData (names, data, and kinds in one
+// RPC), one create for itself, and one batched Multi for all of its
+// file/symlink children; only child directories recurse.
+func (d *DUFS) copyTree(from, to string) error {
+	self, kids, err := d.listing(from)
+	if err != nil {
+		return err
+	}
+	if _, err := d.sess.Create(d.zpath(to), self.Data, 0); err != nil {
+		return mapError(err)
+	}
+	var leaves []coord.Op
+	var leafPaths []string
+	for _, e := range kids {
+		if isLeafEntry(e) {
+			p := d.zpath(to + "/" + e.Name)
+			leaves = append(leaves, coord.CreateOp(p, e.Data, 0))
+			leafPaths = append(leafPaths, p)
 		}
-		for _, name := range names {
-			if err := copyTree(from+"/"+name, to+"/"+name); err != nil {
+	}
+	if err := d.applyBatch(leaves, leafPaths); err != nil {
+		return err
+	}
+	for _, e := range kids {
+		if !isLeafEntry(e) {
+			if err := d.copyTree(from+"/"+e.Name, to+"/"+e.Name); err != nil {
 				return err
+			}
+		}
+	}
+	return nil
+}
+
+// removeTree deletes the subtree at p bottom-up, batching each
+// directory's file/symlink children into one Multi.
+func (d *DUFS) removeTree(p string) error {
+	_, kids, err := d.listing(p)
+	if err != nil {
+		return err
+	}
+	var leaves []coord.Op
+	var leafPaths []string
+	for _, e := range kids {
+		if isLeafEntry(e) {
+			zp := d.zpath(p + "/" + e.Name)
+			leaves = append(leaves, coord.DeleteOp(zp, -1))
+			leafPaths = append(leafPaths, zp)
+		} else {
+			if err := d.removeTree(p + "/" + e.Name); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.applyBatch(leaves, leafPaths); err != nil {
+		return err
+	}
+	return mapError(d.sess.Delete(d.zpath(p), -1))
+}
+
+// applyBatch runs the ops as one transaction when they are provably
+// atomic (same shard — always true for children of one directory on a
+// Session), falling back to per-op application otherwise. ops and
+// paths are parallel slices.
+func (d *DUFS) applyBatch(ops []coord.Op, paths []string) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if len(ops) == 1 || !d.sess.Atomic(paths...) {
+		for _, op := range ops {
+			var err error
+			switch op.Kind {
+			case coord.OpCreate:
+				_, err = d.sess.Create(op.Path, op.Data, op.Mode)
+			case coord.OpDelete:
+				err = d.sess.Delete(op.Path, op.Version)
+			}
+			if err != nil {
+				return mapError(err)
 			}
 		}
 		return nil
 	}
-	var remove func(p string) error
-	remove = func(p string) error {
-		names, err := d.sess.Children(d.zpath(p))
-		if err != nil {
-			return mapError(err)
-		}
-		for _, name := range names {
-			if err := remove(p + "/" + name); err != nil {
-				return err
-			}
-		}
-		return mapError(d.sess.Delete(d.zpath(p), -1))
+	if _, err := d.sess.Multi(ops); err != nil {
+		return mapError(err)
 	}
-	if err := copyTree(op, np); err != nil {
-		return err
-	}
-	return remove(op)
+	return nil
 }
 
 // Symlink implements vfs.FileSystem: pure metadata, znode only.

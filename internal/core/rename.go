@@ -13,12 +13,13 @@ import (
 
 // Cross-shard rename protocol (DESIGN.md §7.4).
 //
-// A file rename is create-dest-then-delete-src — two znode writes
-// that, under a sharded coordination service, usually land on two
-// different ensembles and therefore cannot be made atomic by any
-// single state machine. Instead of a cross-ensemble transaction, DUFS
-// writes a durable INTENT record before the first step and removes it
-// after the last:
+// A file rename is create-dest-then-delete-src. When both names hash
+// to ONE coordination shard, Rename (core.go) issues the pair as a
+// single atomic Multi and none of this file's machinery runs. The
+// protocol below is the fallback for the cross-shard case: two znode
+// writes landing on two different ensembles cannot be made atomic by
+// any single state machine, so DUFS writes a durable INTENT record
+// before the first step and removes it after the last:
 //
 //	1. create  <intentRoot>/op-NNN   {src, dst}     (sequential znode)
 //	2. create  dst                   (copy of src's node data)
@@ -69,6 +70,36 @@ func (d *DUFS) logRenameIntent(src, dst string) (string, error) {
 		return "", mapError(err)
 	}
 	return created, nil
+}
+
+// renameFileIntent is the cross-shard file rename: create-dest-then-
+// delete-src bracketed by a durable intent so a crash between the two
+// writes leaves a record any client can roll forward (RecoverRenames).
+// The FID indirection makes the double-visibility window harmless:
+// both names resolve to the same physical file. raw is src's znode
+// data, already fetched by Rename.
+func (d *DUFS) renameFileIntent(op, np string, raw []byte) error {
+	intent, err := d.logRenameIntent(op, np)
+	if err != nil {
+		return err
+	}
+	if _, err := d.sess.Create(d.zpath(np), raw, 0); err != nil {
+		cerr := mapError(err)
+		if derr := d.sess.Delete(intent, -1); derr != nil && !errors.Is(derr, coord.ErrNoNode) {
+			// The cleanup itself failed (e.g. the intent shard became
+			// unavailable): the record outlives this rename until a
+			// RecoverRenames sweep discards it. Surface the leak instead
+			// of swallowing it so operators can correlate sweep work
+			// with its cause; errors.Is still matches cerr.
+			return fmt.Errorf("%w (rename intent %s leaked: %v)", cerr, intent, derr)
+		}
+		return cerr
+	}
+	if err := d.sess.Delete(d.zpath(op), -1); err != nil {
+		return mapError(err)
+	}
+	_ = d.sess.Delete(intent, -1)
+	return nil
 }
 
 // RecoverRenames scans the intent log for renames abandoned by

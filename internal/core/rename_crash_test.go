@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -67,6 +68,13 @@ func (c *crashClient) Delete(path string, version int32) error {
 		return err
 	}
 	return c.Client.Delete(path, version)
+}
+
+func (c *crashClient) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+	if err := c.mutate(); err != nil {
+		return nil, err
+	}
+	return c.Client.Multi(ops)
 }
 
 // shardedEnv boots two single-server ensembles and returns a router
@@ -245,6 +253,129 @@ func TestCrossShardRenameCrashRollBack(t *testing.T) {
 	}
 	if _, err := d2.Stat(dst); !errors.Is(err, vfs.ErrNotExist) {
 		t.Fatalf("dst after rollback: got %v, want ErrNotExist", err)
+	}
+}
+
+// TestRenameIntentLeakIsSurfaced covers the cleanup-failure path: the
+// destination create fails for a reason other than "node exists" (the
+// shard died) and the best-effort intent delete fails too. The intent
+// znode leaks until a sweep — and the error must SAY so instead of
+// swallowing the cleanup failure, while still matching the original
+// error for errors.Is.
+func TestRenameIntentLeakIsSurfaced(t *testing.T) {
+	env := newShardedEnv(t)
+	crash := &crashClient{Client: env.router()}
+	d1 := env.mount(crash)
+	src, dst := crossShardPaths(t, crash.Client.(*shard.Router), "/dufs")
+
+	for _, dir := range []string{dirOf(src), dirOf(dst)} {
+		if err := d1.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vfs.WriteFile(d1, src, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Allow only the intent create: the dst create fails, and so does
+	// the intent-delete cleanup — the leak scenario.
+	crash.arm(1)
+	err := d1.Rename(src, dst)
+	if !errors.Is(err, errInjectedCrash) {
+		t.Fatalf("rename: got %v, want the injected failure", err)
+	}
+	if !strings.Contains(err.Error(), "rename intent") || !strings.Contains(err.Error(), "leaked") {
+		t.Fatalf("cleanup failure swallowed: error %q does not surface the leaked intent", err)
+	}
+
+	// The leak is real: a fresh client's sweep finds and drains it,
+	// leaving src untouched (the rename never committed).
+	d2 := env.mount(env.router())
+	n, err := d2.RecoverRenames(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("sweep resolved %d intents, want the 1 leaked record", n)
+	}
+	if data, err := vfs.ReadFile(d2, src); err != nil || string(data) != "payload" {
+		t.Fatalf("src after leak+sweep = %q, %v; want intact payload", data, err)
+	}
+	if _, err := d2.Stat(dst); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("dst after failed rename: got %v, want ErrNotExist", err)
+	}
+}
+
+// TestShardedDeepDirectoryRename moves depth-2 subtrees through the
+// shard router. Regression: an interior directory's authoritative
+// znode cannot see children hosted on another shard (NumChildren is
+// shard-local), so leaf classification must come from the entry KIND,
+// not the stat — otherwise nested directories are copied childless
+// and grandchildren are lost.
+func TestShardedDeepDirectoryRename(t *testing.T) {
+	env := newShardedEnv(t)
+	d := env.mount(env.router())
+	for i := 0; i < 4; i++ {
+		src := fmt.Sprintf("/deep%d", i)
+		if err := d.Mkdir(src, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Mkdir(src+"/sub", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := vfs.WriteFile(d, src+"/sub/f", []byte("grandchild")); err != nil {
+			t.Fatal(err)
+		}
+		if err := vfs.WriteFile(d, src+"/top", []byte("child")); err != nil {
+			t.Fatal(err)
+		}
+		dst := fmt.Sprintf("/moved%d", i)
+		if err := d.Rename(src, dst); err != nil {
+			t.Fatalf("deep rename %s -> %s: %v", src, dst, err)
+		}
+		if data, err := vfs.ReadFile(d, dst+"/sub/f"); err != nil || string(data) != "grandchild" {
+			t.Fatalf("grandchild after rename = %q, %v", data, err)
+		}
+		if data, err := vfs.ReadFile(d, dst+"/top"); err != nil || string(data) != "child" {
+			t.Fatalf("child after rename = %q, %v", data, err)
+		}
+		for _, gone := range []string{src, src + "/sub", src + "/sub/f", src + "/top"} {
+			if _, err := d.Stat(gone); !errors.Is(err, vfs.ErrNotExist) {
+				t.Fatalf("source %s survives rename: %v", gone, err)
+			}
+		}
+	}
+}
+
+// TestShardedLeafRenameLeavesNoGhostStub covers the stub-cleanup
+// regression: renaming away a directory that had materialised a stub
+// on its children shard (by once hosting a child) must remove the
+// stub too, or the old name remains listable as an empty ghost.
+func TestShardedLeafRenameLeavesNoGhostStub(t *testing.T) {
+	env := newShardedEnv(t)
+	d := env.mount(env.router())
+	for i := 0; i < 4; i++ {
+		dir := fmt.Sprintf("/ghost%d", i)
+		if err := d.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		// Materialise the stub on the children shard, then empty the
+		// directory again so the rename takes the leaf fast path.
+		if err := vfs.WriteFile(d, dir+"/x", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Unlink(dir + "/x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Rename(dir, dir+"-moved"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Stat(dir); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("stat(%s) after rename = %v, want ErrNotExist", dir, err)
+		}
+		if _, err := d.Readdir(dir); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("readdir(%s) after rename = %v, want ErrNotExist (ghost stub)", dir, err)
+		}
 	}
 }
 

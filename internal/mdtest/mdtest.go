@@ -32,20 +32,30 @@ type Phase string
 // (mdtest's -D read pass) that lists each process's working directory
 // while the created entries are present.
 const (
-	DirCreate  Phase = "dir-create"
-	DirStat    Phase = "dir-stat"
-	DirReaddir Phase = "dir-readdir"
-	DirRemove  Phase = "dir-remove"
-	FileCreate Phase = "file-create"
-	FileStat   Phase = "file-stat"
-	FileRemove Phase = "file-remove"
+	DirCreate   Phase = "dir-create"
+	DirStat     Phase = "dir-stat"
+	DirReaddir  Phase = "dir-readdir"
+	DirRemove   Phase = "dir-remove"
+	FileCreate  Phase = "file-create"
+	FileStat    Phase = "file-stat"
+	FileReaddir Phase = "file-readdir"
+	FileRemove  Phase = "file-remove"
 )
 
 // Phases lists the paper's six phases in execution order.
 var Phases = []Phase{DirCreate, DirStat, DirRemove, FileCreate, FileStat, FileRemove}
 
-// AllPhases additionally interleaves the readdir pass.
-var AllPhases = []Phase{DirCreate, DirStat, DirReaddir, DirRemove, FileCreate, FileStat, FileRemove}
+// AllPhases additionally interleaves the two readdir passes (mdtest's
+// -D read pass): DirReaddir lists each working directory while the
+// created directories are present, FileReaddir while the files are.
+var AllPhases = []Phase{DirCreate, DirStat, DirReaddir, DirRemove, FileCreate, FileStat, FileReaddir, FileRemove}
+
+// ReaddirHeavyPhases is the listing-dominated workload: populate each
+// working directory once, then hammer it with readdirs (each process
+// performs ItemsPerProcess listings of an ItemsPerProcess-entry
+// directory). This is the workload the batched ChildrenData readdir
+// exists for — every listing is one coordination RPC instead of N+1.
+var ReaddirHeavyPhases = []Phase{FileCreate, FileReaddir, FileRemove}
 
 // Config parameterizes a run.
 type Config struct {
@@ -227,6 +237,9 @@ func doOp(fs vfs.FileSystem, ph Phase, workdir string, p, i int) error {
 		return h.Close()
 	case FileStat:
 		_, err := fs.Stat(itemPath(workdir, p, i, true))
+		return err
+	case FileReaddir:
+		_, err := fs.Readdir(workdir)
 		return err
 	case FileRemove:
 		return fs.Unlink(itemPath(workdir, p, i, true))

@@ -76,10 +76,14 @@ func (fi FileInfo) IsDir() bool { return fi.Mode&ModeDir != 0 }
 // IsSymlink reports whether the entry is a symbolic link.
 func (fi FileInfo) IsSymlink() bool { return fi.Mode&ModeSymlink == ModeSymlink }
 
-// DirEntry is one readdir record.
+// DirEntry is one readdir record. Mode carries the entry's permission
+// bits when the filesystem has them at listing time (DUFS's batched
+// readdir does); 0 means "not reported" — callers needing authoritative
+// modes must Stat.
 type DirEntry struct {
 	Name  string
 	IsDir bool
+	Mode  uint32
 }
 
 // Handle is an open file. Read/write follow the pread/pwrite model
