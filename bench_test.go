@@ -361,6 +361,101 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupCommit measures coordination write throughput under
+// injected network latency as concurrent sessions grow, comparing the
+// group-commit pipeline (DESIGN.md §9) against the serialized
+// one-txn-per-quorum-round-trip baseline (MaxBatchTxns=1,
+// MaxInflightFrames=1 — the pre-pipeline propose path). Serialized,
+// every znode write pays a full exclusive quorum round trip, so
+// throughput is flat in the session count; with group commit the
+// leader coalesces the writes queued behind each round trip into
+// multi-txn frames, so throughput scales with the concurrency — ≥4×
+// at 16 sessions is the acceptance bar.
+func BenchmarkGroupCommit(b *testing.B) {
+	const (
+		netRTT       = 500 * time.Microsecond
+		opsPerClient = 25
+	)
+	modes := []struct {
+		name          string
+		batch, window int
+	}{
+		{"serialized", 1, 1},
+		{"grouped", 0, 0}, // zero = the pipeline defaults
+	}
+	for _, mode := range modes {
+		for _, clients := range []int{1, 4, 16} {
+			mode, clients := mode, clients
+			b.Run(fmt.Sprintf("%s/clients=%d", mode.name, clients), func(b *testing.B) {
+				net := &transport.Latency{
+					Inner: transport.NewInProc(),
+					Delay: func() time.Duration { return netRTT },
+				}
+				ens, err := coord.StartEnsemble(coord.EnsembleConfig{
+					Servers:           3,
+					Net:               net,
+					AddrPrefix:        fmt.Sprintf("gcommit-%s-%d-%d", mode.name, clients, rand.Int()),
+					HeartbeatInterval: 5 * time.Millisecond,
+					ElectionTimeout:   50 * time.Millisecond,
+					MaxBatchTxns:      mode.batch,
+					MaxInflightFrames: mode.window,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(ens.Stop)
+				// Pin every session to the leader's server so both modes
+				// measure the leader write pipeline itself rather than
+				// follower-forwarding hops.
+				leaderIdx := 0
+				for i, s := range ens.Servers {
+					if s.IsLeader() {
+						leaderIdx = i
+					}
+				}
+				sessions := make([]*coord.Session, clients)
+				for c := 0; c < clients; c++ {
+					sess, err := ens.Connect(leaderIdx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { sess.Close() })
+					sessions[c] = sess
+				}
+				if _, err := sessions[0].Create("/gc", nil, znode.ModePersistent); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					errs := make([]error, clients)
+					for c := 0; c < clients; c++ {
+						wg.Add(1)
+						go func(c int) {
+							defer wg.Done()
+							for j := 0; j < opsPerClient; j++ {
+								p := fmt.Sprintf("/gc/i%d-c%d-%d", i, c, j)
+								if _, err := sessions[c].Create(p, nil, znode.ModePersistent); err != nil {
+									errs[c] = err
+									return
+								}
+							}
+						}(c)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				total := float64(b.N) * float64(clients) * opsPerClient
+				b.ReportMetric(total/b.Elapsed().Seconds(), "writes/s")
+			})
+		}
+	}
+}
+
 // --- Batched-API round-trip benchmarks (DESIGN.md §8) ------------------
 
 // rpcCountingClient wraps a coord.Client and counts the calls that

@@ -31,6 +31,7 @@ import (
 func main() {
 	system := flag.String("system", "dufs", "system under test: dufs, lustre, pvfs")
 	procs := flag.Int("procs", 8, "client processes")
+	clients := flag.Int("clients", 1, "concurrent client goroutines per process (in-flight ops feeding the group-commit pipeline)")
 	items := flag.Int("items", 100, "items per process per phase")
 	backends := flag.Int("backends", 2, "back-end mounts unioned by DUFS")
 	coordServers := flag.Int("coord", 3, "coordination ensemble size")
@@ -100,11 +101,12 @@ func main() {
 		log.Fatalf("unknown system %q (want dufs, lustre, pvfs)", *system)
 	}
 
-	fmt.Printf("mdtest: system=%s workload=%s procs=%d items=%d fanout=%d depth=%d shared=%v\n\n",
-		*system, *workload, *procs, *items, *fanout, *depth, *shared)
+	fmt.Printf("mdtest: system=%s workload=%s procs=%d clients=%d items=%d fanout=%d depth=%d shared=%v\n\n",
+		*system, *workload, *procs, *clients, *items, *fanout, *depth, *shared)
 	res, err := mdtest.Run(mdtest.Config{
 		Mounts:          mounts,
 		Processes:       *procs,
+		Clients:         *clients,
 		ItemsPerProcess: *items,
 		Fanout:          *fanout,
 		Depth:           *depth,

@@ -160,6 +160,242 @@ func TestChaosAcknowledgedWritesSurvive(t *testing.T) {
 	t.Logf("verified %d acknowledged writes across %d writers under chaos", total, writers)
 }
 
+// TestChaosLeaderFailoverMidBatch aims chaos at the group-commit
+// pipeline specifically: concurrent writers keep multi-txn frames in
+// flight while the CURRENT LEADER is repeatedly killed, so frames die
+// at every stage — queued, proposed-but-unacked, quorum-acked-but-
+// uncommitted on followers. Afterwards the durability contract must
+// hold exactly:
+//
+//   - every ACKED write (single create or atomic Multi) exists;
+//   - no unacked Multi is half-applied: its ops either all committed
+//     (a frame that survived the failover) or none did.
+func TestChaosLeaderFailoverMidBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const servers = 5
+	net := transport.NewInProc()
+	peers := make(map[uint64]string, servers)
+	for i := 1; i <= servers; i++ {
+		peers[uint64(i)] = fmt.Sprintf("midbatch-p%d", i)
+	}
+	// mk reports failure with Errorf, not Fatal: it is also called from
+	// the chaos goroutine, where FailNow would kill the wrong goroutine.
+	mk := func(id uint64, checkpoint []byte, checkpointZxid uint64) *Server {
+		srv, err := NewServer(ServerConfig{
+			ID: id, PeerAddrs: peers,
+			ClientAddr:        fmt.Sprintf("midbatch-c%d", id),
+			Net:               net,
+			HeartbeatInterval: 5 * time.Millisecond,
+			ElectionTimeout:   30 * time.Millisecond,
+			MaxLogEntries:     128,
+			Checkpoint:        checkpoint,
+			CheckpointZxid:    checkpointZxid,
+		})
+		if err != nil {
+			t.Errorf("server %d: %v", id, err)
+			return nil
+		}
+		return srv
+	}
+	var mu sync.Mutex
+	live := make(map[uint64]*Server, servers)
+	var clientAddrs []string
+	for i := 1; i <= servers; i++ {
+		srv := mk(uint64(i), nil, 0)
+		if srv == nil {
+			t.FailNow()
+		}
+		live[uint64(i)] = srv
+		clientAddrs = append(clientAddrs, fmt.Sprintf("midbatch-c%d", i))
+	}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range live {
+			if s != nil {
+				s.Stop()
+			}
+		}
+	}()
+
+	// Chaos: find whoever currently leads and kill exactly it, so the
+	// in-flight frames of the group-commit pipeline are orphaned.
+	stopChaos := make(chan struct{})
+	var chaosWg sync.WaitGroup
+	var failovers int
+	chaosWg.Add(1)
+	go func() {
+		defer chaosWg.Done()
+		for {
+			select {
+			case <-stopChaos:
+				return
+			case <-time.After(60 * time.Millisecond):
+			}
+			mu.Lock()
+			var victim *Server
+			var victimID uint64
+			for id, s := range live {
+				if s != nil && s.IsLeader() {
+					victim, victimID = s, id
+					break
+				}
+			}
+			if victim != nil {
+				live[victimID] = nil
+				failovers++
+			}
+			mu.Unlock()
+			if victim == nil {
+				continue
+			}
+			victim.Stop()
+			// The victim rejoins from its durable checkpoint (§IV-I), as
+			// a production deployment would. Rejoining EMPTY instead
+			// would make it a zero-tip voter during the very election
+			// its death triggers, able to hand the quorum to a lagging
+			// candidate that never held an acked frame — a genuine state
+			// loss this model cannot survive without durability (see
+			// DESIGN.md §9.4). A killed leader has applied everything it
+			// acknowledged, so its checkpoint carries every acked write.
+			snap, snapZxid := victim.Checkpoint()
+			time.Sleep(40 * time.Millisecond)
+			reborn := mk(victimID, snap, snapZxid)
+			if reborn == nil {
+				return // mk already flagged the failure
+			}
+			mu.Lock()
+			live[victimID] = reborn
+			mu.Unlock()
+		}
+	}()
+
+	// Writers alternate single creates with 2-op atomic Multis for a
+	// fixed window that spans several leader kills. acked records
+	// successes; pairs records every ATTEMPTED Multi for the
+	// all-or-nothing check, acked or not.
+	const writers = 6
+	writeWindow := time.Now().Add(1200 * time.Millisecond)
+	type pair struct {
+		a, b  string
+		acked bool
+	}
+	acked := make([][]string, writers)
+	pairs := make([][]pair, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess, err := Connect(net, clientAddrs)
+			if err != nil {
+				t.Errorf("writer %d connect: %v", w, err)
+				return
+			}
+			defer sess.Close()
+			for i := 0; time.Now().Before(writeWindow); i++ {
+				if i%2 == 0 {
+					path := fmt.Sprintf("/mb-w%d-%d", w, i)
+					if _, err := sess.Create(path, []byte("x"), znode.ModePersistent); err == nil {
+						acked[w] = append(acked[w], path)
+					}
+					continue
+				}
+				p := pair{
+					a: fmt.Sprintf("/mb-w%d-%d-a", w, i),
+					b: fmt.Sprintf("/mb-w%d-%d-b", w, i),
+				}
+				_, err := sess.Multi([]Op{
+					CreateOp(p.a, []byte("x"), znode.ModePersistent),
+					CreateOp(p.b, []byte("x"), znode.ModePersistent),
+				})
+				p.acked = err == nil
+				pairs[w] = append(pairs[w], p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopChaos)
+	chaosWg.Wait()
+
+	ens := &Ensemble{net: net, ClientAddrs: clientAddrs}
+	mu.Lock()
+	for _, s := range live {
+		if s != nil {
+			ens.Servers = append(ens.Servers, s)
+		}
+	}
+	kills := failovers
+	mu.Unlock()
+	if err := ens.WaitLeader(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Connect(net, clientAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+
+	exists := func(path string) bool {
+		_, ok, err := sess.Exists(path)
+		return err == nil && ok
+	}
+	waitExists := func(path string) bool {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if exists(path) {
+				return true
+			}
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	dumpReplicas := func(path string) {
+		for _, s := range ens.Servers {
+			_, ok := s.Tree().Exists(path)
+			t.Logf("server %d: exists(%s)=%v %s", s.ID(), path, ok, s.DebugString())
+		}
+	}
+	ackedTotal, pairTotal := 0, 0
+	for w := 0; w < writers; w++ {
+		for _, path := range acked[w] {
+			if !waitExists(path) {
+				dumpReplicas(path)
+				t.Fatalf("acknowledged single write %s lost", path)
+			}
+			ackedTotal++
+		}
+		for _, p := range pairs[w] {
+			pairTotal++
+			if p.acked {
+				if !waitExists(p.a) || !waitExists(p.b) {
+					dumpReplicas(p.a)
+					dumpReplicas(p.b)
+					t.Fatalf("acknowledged multi %s/%s lost a member", p.a, p.b)
+				}
+				continue
+			}
+			// Unacked: the frame either wholly committed under a later
+			// leader or wholly vanished — never half.
+			a, b := exists(p.a), exists(p.b)
+			if a != b {
+				t.Fatalf("unacked multi half-applied: %s=%v %s=%v", p.a, a, p.b, b)
+			}
+		}
+	}
+	if ackedTotal == 0 || pairTotal == 0 {
+		t.Fatalf("chaos too severe (acked=%d pairs=%d); test proves nothing", ackedTotal, pairTotal)
+	}
+	t.Logf("survived %d leader kills: %d acked singles, %d multi pairs all-or-nothing", kills, ackedTotal, pairTotal)
+}
+
 // TestFlakyTransportStillConverges wraps the network so a fraction of
 // peer RPCs fail, and verifies the ensemble still commits writes and
 // converges — the retry/sync machinery at work.

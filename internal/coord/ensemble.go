@@ -24,6 +24,9 @@ type EnsembleConfig struct {
 	HeartbeatInterval time.Duration
 	ElectionTimeout   time.Duration
 	MaxLogEntries     int
+	// Group-commit tunables (zero = defaults; see ServerConfig).
+	MaxBatchTxns      int
+	MaxInflightFrames int
 }
 
 // Ensemble is a running coordination service.
@@ -64,6 +67,8 @@ func StartEnsemble(cfg EnsembleConfig) (*Ensemble, error) {
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			ElectionTimeout:   cfg.ElectionTimeout,
 			MaxLogEntries:     cfg.MaxLogEntries,
+			MaxBatchTxns:      cfg.MaxBatchTxns,
+			MaxInflightFrames: cfg.MaxInflightFrames,
 		})
 		if err != nil {
 			e.Stop()

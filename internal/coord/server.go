@@ -27,6 +27,12 @@ type ServerConfig struct {
 	HeartbeatInterval time.Duration
 	ElectionTimeout   time.Duration
 	MaxLogEntries     int
+	// Group-commit tunables (zero = defaults): how many transactions
+	// the leader's proposer coalesces per frame and how many
+	// uncommitted frames it pipelines. 1/1 degrades to the serialized
+	// one-txn-per-quorum-round-trip cycle (the ablation baseline).
+	MaxBatchTxns      int
+	MaxInflightFrames int
 
 	// Checkpoint, when non-nil, primes the server from a durable
 	// snapshot produced by Server.Checkpoint (paper §IV-I: ZooKeeper
@@ -57,6 +63,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 		watches.observeApply(op, path, ok)
 	}
+	reg := metrics.NewRegistry()
 	node, err := zab.NewNode(zab.Config{
 		ID:                cfg.ID,
 		Peers:             cfg.PeerAddrs,
@@ -64,13 +71,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		ElectionTimeout:   cfg.ElectionTimeout,
 		MaxLogEntries:     cfg.MaxLogEntries,
+		MaxBatchTxns:      cfg.MaxBatchTxns,
+		MaxInflightFrames: cfg.MaxInflightFrames,
+		Metrics:           reg,
 		InitialSnapshot:   cfg.Checkpoint,
 		InitialZxid:       cfg.CheckpointZxid,
 	}, sm)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, sm: sm, node: node, reg: metrics.NewRegistry(), watches: watches}
+	s := &Server{cfg: cfg, sm: sm, node: node, reg: reg, watches: watches}
 	if err := node.Start(); err != nil {
 		return nil, err
 	}
@@ -109,6 +119,16 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // DebugString reports the underlying replication state (diagnostics).
 func (s *Server) DebugString() string { return s.node.DebugString() }
+
+// CommitZxid reports the server's replicated commit horizon — the
+// highest transaction known quorum-durable. Operators compare it
+// across members to spot laggards.
+func (s *Server) CommitZxid() uint64 { return s.node.CommitZxid() }
+
+// LastApplied reports the zxid of the last transaction this replica's
+// state machine has applied; reads served here reflect exactly the
+// history up to it.
+func (s *Server) LastApplied() uint64 { return s.node.LastApplied() }
 
 // Checkpoint serializes the applied state for durable storage.
 func (s *Server) Checkpoint() (snap []byte, zxid uint64) {

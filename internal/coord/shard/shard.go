@@ -40,6 +40,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/coord"
@@ -104,16 +105,43 @@ func (r *Router) owner(path string) coord.Client {
 // FID generation needs.
 func (r *Router) ID() uint64 { return r.sessions[0].ID() }
 
-// Close implements coord.Client: it closes every per-shard session,
-// expiring each shard's ephemerals, and returns the first error.
+// eachShard runs fn once per shard, concurrently, and returns the
+// per-shard errors as a parallel slice. It is the fan-out primitive
+// for the operations with no cross-shard ordering contract (Sync,
+// PollEvents, Status, Close): with group-commit leaders each shard's
+// round trip is independent, so the fan-out costs one RTT rather than
+// Shards() of them. Multi deliberately does NOT use it — split batches
+// execute per-shard sub-transactions sequentially in first-appearance
+// order (DESIGN.md §8.2), and that ordering contract is load-bearing
+// for callers that sequence dependent ops across shards.
+func (r *Router) eachShard(fn func(i int, s coord.Client) error) []error {
+	errs := make([]error, len(r.sessions))
+	if len(r.sessions) == 1 {
+		errs[0] = fn(0, r.sessions[0])
+		return errs
+	}
+	var wg sync.WaitGroup
+	for i, s := range r.sessions {
+		wg.Add(1)
+		go func(i int, s coord.Client) {
+			defer wg.Done()
+			errs[i] = fn(i, s)
+		}(i, s)
+	}
+	wg.Wait()
+	return errs
+}
+
+// Close implements coord.Client: it closes every per-shard session in
+// parallel, expiring each shard's ephemerals, and returns the first
+// error.
 func (r *Router) Close() error {
-	var first error
-	for _, s := range r.sessions {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
+	for _, err := range r.eachShard(func(_ int, s coord.Client) error { return s.Close() }) {
+		if err != nil {
+			return err
 		}
 	}
-	return first
+	return nil
 }
 
 // Create implements coord.Client. The node is created on its
@@ -316,27 +344,46 @@ func (r *Router) multiOnShard(shard int, ops []coord.Op) ([]coord.OpResult, erro
 	// stubbed marks delete ops whose pre-check found a node on their
 	// children shard — only those need post-commit stub removal; a
 	// pre-check that came back ErrNoNode (every file delete, and most
-	// directory deletes) costs no second RPC.
-	var stubbed []int
+	// directory deletes) costs no second RPC. The pre-checks are
+	// independent reads on foreign shards, so they fan out in parallel
+	// and are then evaluated in op order (the first failing op aborts
+	// the batch deterministically, exactly as the sequential walk did).
+	type precheck struct {
+		op   int
+		kids []string
+		err  error
+	}
+	var checks []*precheck
 	for i, op := range ops {
-		if op.Kind != coord.OpDelete {
+		if op.Kind != coord.OpDelete || r.shardForChildren(op.Path) == shard {
 			continue
 		}
-		kidShard := r.shardForChildren(op.Path)
-		if kidShard == shard {
-			continue
+		checks = append(checks, &precheck{op: i})
+	}
+	if len(checks) > 0 {
+		var wg sync.WaitGroup
+		for _, c := range checks {
+			wg.Add(1)
+			go func(c *precheck) {
+				defer wg.Done()
+				op := ops[c.op]
+				c.kids, c.err = r.sessions[r.shardForChildren(op.Path)].Children(op.Path)
+			}(c)
 		}
-		kids, err := r.sessions[kidShard].Children(op.Path)
-		if err != nil && !errors.Is(err, coord.ErrNoNode) {
-			return abortedResults(len(ops), i, err), err
+		wg.Wait()
+	}
+	var stubbed []int
+	for _, c := range checks {
+		if c.err != nil && !errors.Is(c.err, coord.ErrNoNode) {
+			return abortedResults(len(ops), c.op, c.err), c.err
 		}
-		if err == nil {
-			if len(kids) > 0 {
+		if c.err == nil {
+			if len(c.kids) > 0 {
 				// Same race window as Router.Delete steps 1-2 (DESIGN.md
 				// §7.3); the batch is refused before anything executes.
-				return abortedResults(len(ops), i, coord.ErrNotEmpty), coord.ErrNotEmpty
+				return abortedResults(len(ops), c.op, coord.ErrNotEmpty), coord.ErrNotEmpty
 			}
-			stubbed = append(stubbed, i)
+			stubbed = append(stubbed, c.op)
 		}
 	}
 	s := r.sessions[shard]
@@ -440,28 +487,35 @@ func (r *Router) ChildrenW(path string) ([]string, error) {
 	return s.ChildrenW(path)
 }
 
-// PollEvents implements coord.Client by draining every shard and
-// concatenating. Order between shards is arbitrary, matching the
-// interface contract (only per-path order is promised, and one path's
-// watches live on one shard). Fired watches are one-shot and already
-// consumed server-side by a successful drain, so events collected
-// before one shard errors must reach the caller: an error is only
-// reported when no events were drained at all, otherwise the events
-// are returned and the failed shard is retried on the next poll.
+// PollEvents implements coord.Client by draining every shard in
+// parallel and concatenating. Order between shards is arbitrary,
+// matching the interface contract (only per-path order is promised,
+// and one path's watches live on one shard). Fired watches are
+// one-shot and already consumed server-side by a successful drain, so
+// events collected before one shard errors must reach the caller: an
+// error is only reported when no events were drained at all, otherwise
+// the events are returned and the failed shard is retried on the next
+// poll.
 func (r *Router) PollEvents() ([]coord.Event, error) {
-	var out []coord.Event
-	var firstErr error
-	for _, s := range r.sessions {
+	perShard := make([][]coord.Event, len(r.sessions))
+	errs := r.eachShard(func(i int, s coord.Client) error {
 		evs, err := s.PollEvents()
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
+		perShard[i] = evs
+		return err
+	})
+	var out []coord.Event
+	for _, evs := range perShard {
 		out = append(out, evs...)
 	}
 	if len(out) > 0 {
 		return out, nil
 	}
-	return nil, firstErr
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
 }
 
 // WaitEvent implements coord.Client, polling all shards until an
@@ -480,12 +534,15 @@ func (r *Router) WaitEvent(timeout time.Duration) ([]coord.Event, error) {
 	}
 }
 
-// Sync implements coord.Client by running the barrier on every shard,
-// so a subsequent read of ANY path observes all previously committed
-// writes, whichever ensemble they landed on.
+// Sync implements coord.Client by running the barrier on every shard
+// in parallel, so a subsequent read of ANY path observes all
+// previously committed writes, whichever ensemble they landed on. The
+// barriers are independent per-ensemble no-ops with no cross-shard
+// ordering requirement, so the fan-out is safe and costs one quorum
+// round trip instead of Shards().
 func (r *Router) Sync() error {
-	for _, s := range r.sessions {
-		if err := s.Sync(); err != nil {
+	for _, err := range r.eachShard(func(_ int, s coord.Client) error { return s.Sync() }) {
+		if err != nil {
 			return err
 		}
 	}
@@ -495,31 +552,32 @@ func (r *Router) Sync() error {
 // Status implements coord.Client. Identity fields (server, leader,
 // epoch) describe shard 0; Znodes is the aggregate count across all
 // shards, which is the number tools actually want from a sharded
-// deployment.
+// deployment. All shards are queried in parallel.
 func (r *Router) Status() (coord.Status, error) {
-	agg, err := r.sessions[0].Status()
+	sts, err := r.ShardStatus()
 	if err != nil {
 		return coord.Status{}, err
 	}
-	for _, s := range r.sessions[1:] {
-		st, err := s.Status()
-		if err != nil {
-			return coord.Status{}, err
-		}
+	agg := sts[0]
+	for _, st := range sts[1:] {
 		agg.Znodes += st.Znodes
 	}
 	return agg, nil
 }
 
-// ShardStatus reports each shard's own Status, for tools.
+// ShardStatus reports each shard's own Status, queried in parallel,
+// for tools.
 func (r *Router) ShardStatus() ([]coord.Status, error) {
 	out := make([]coord.Status, len(r.sessions))
-	for i, s := range r.sessions {
+	errs := r.eachShard(func(i int, s coord.Client) error {
 		st, err := s.Status()
+		out[i] = st
+		return err
+	})
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		out[i] = st
 	}
 	return out, nil
 }

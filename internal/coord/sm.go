@@ -173,6 +173,19 @@ func errResult(err error) []byte {
 	return w.Bytes()
 }
 
+// ApplyBatch implements zab.BatchStateMachine: a group-commit frame is
+// N ordered transactions — transaction i carries zxid firstZxid+i —
+// each producing its own result exactly as N sequential Apply calls
+// would (including per-session retry dedup, which keys on session/seq
+// and so is insensitive to how transactions were framed).
+func (s *stateMachine) ApplyBatch(txns [][]byte, firstZxid uint64) [][]byte {
+	results := make([][]byte, len(txns))
+	for i, txn := range txns {
+		results[i] = s.Apply(txn, firstZxid+uint64(i))
+	}
+	return results
+}
+
 // Apply implements zab.StateMachine.
 func (s *stateMachine) Apply(txn []byte, zxid uint64) []byte {
 	r := wire.NewReader(txn)

@@ -16,78 +16,135 @@ const (
 	msgForward
 )
 
-// entry is one replicated log record. Txn bytes are opaque to this
-// package; kind noopTxn entries are leader barriers that never reach
-// the state machine.
+// entry is one replicated log record: a group-commit FRAME holding one
+// or more transactions. Zxid is the zxid of the FIRST transaction;
+// transaction i carries zxid Zxid+i, so every transaction keeps its
+// own identity while the frame replicates, commits and recovers as a
+// single unit (all-or-nothing). Txn bytes are opaque to this package;
+// Noop entries are leader barriers that never reach the state machine.
 type entry struct {
 	Zxid uint64
 	Noop bool
-	Txn  []byte
+	Txns [][]byte
+}
+
+// last returns the zxid of the frame's final transaction.
+func (e entry) last() uint64 {
+	if n := len(e.Txns); n > 1 {
+		return e.Zxid + uint64(n-1)
+	}
+	return e.Zxid
 }
 
 func encodeEntry(w *wire.Writer, e entry) {
 	w.Uint64(e.Zxid)
 	w.Bool(e.Noop)
-	w.Bytes32(e.Txn)
-}
-
-func decodeEntry(r *wire.Reader) entry {
-	return entry{
-		Zxid: r.Uint64(),
-		Noop: r.Bool(),
-		Txn:  r.BytesCopy32(),
+	w.Uint32(uint32(len(e.Txns)))
+	for _, txn := range e.Txns {
+		w.Bytes32(txn)
 	}
 }
 
-// proposeReq replicates a single entry with a Raft-style consistency
-// check: the follower accepts only if its last zxid equals PrevZxid.
+func decodeEntry(r *wire.Reader) entry {
+	e := entry{
+		Zxid: r.Uint64(),
+		Noop: r.Bool(),
+	}
+	// Every encoded txn costs at least its 4-byte length prefix, so a
+	// count claiming more than Remaining/4 elements is structurally
+	// impossible — reject it before allocating slice headers for it.
+	n := r.Uint32()
+	if r.Err() != nil || int(n) > r.Remaining()/4 {
+		r.Fail(fmt.Errorf("zab: entry claims %d txns in %d bytes", n, r.Remaining()))
+		return e
+	}
+	e.Txns = make([][]byte, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		e.Txns = append(e.Txns, r.BytesCopy32())
+	}
+	return e
+}
+
+// proposeReq replicates a window of frames with a Raft-style
+// consistency check: the follower accepts only if it holds PrevZxid
+// (committed entries always count as held). A single request may carry
+// several frames — the per-follower sender coalesces everything that
+// queued up behind the previous round trip, which is what keeps the
+// pipe full under concurrent load.
 type proposeReq struct {
 	Epoch    uint64
 	LeaderID uint64
 	PrevZxid uint64
-	Entry    entry
+	Entries  []entry
 	Commit   uint64 // leader's commit zxid, piggybacked
 }
 
 func (m proposeReq) encode() []byte {
-	w := wire.NewWriter(64 + len(m.Entry.Txn))
+	size := 64
+	for _, e := range m.Entries {
+		size += 24
+		for _, txn := range e.Txns {
+			size += 8 + len(txn)
+		}
+	}
+	w := wire.NewWriter(size)
 	w.Uint8(msgPropose)
 	w.Uint64(m.Epoch)
 	w.Uint64(m.LeaderID)
 	w.Uint64(m.PrevZxid)
-	encodeEntry(w, m.Entry)
+	w.Uint32(uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		encodeEntry(w, e)
+	}
 	w.Uint64(m.Commit)
 	return w.Bytes()
 }
 
 func decodeProposeReq(r *wire.Reader) proposeReq {
-	return proposeReq{
+	m := proposeReq{
 		Epoch:    r.Uint64(),
 		LeaderID: r.Uint64(),
 		PrevZxid: r.Uint64(),
-		Entry:    decodeEntry(r),
-		Commit:   r.Uint64(),
 	}
+	// An encoded entry costs at least 13 bytes (zxid + noop flag + txn
+	// count); bound the claimed count by that before allocating.
+	n := r.Uint32()
+	if r.Err() != nil || int(n) > r.Remaining()/13 {
+		r.Fail(fmt.Errorf("zab: propose claims %d entries in %d bytes", n, r.Remaining()))
+		return m
+	}
+	m.Entries = make([]entry, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		m.Entries = append(m.Entries, decodeEntry(r))
+	}
+	m.Commit = r.Uint64()
+	return m
 }
 
-// proposeResp acknowledges (or refuses) a proposal.
+// proposeResp acknowledges (or refuses) a propose window. LastZxid is
+// the follower's log tip after processing — a CUMULATIVE ack: the
+// leader trusts it as the follower's replicated horizon because an ack
+// is only sent once the follower's whole log is a verified prefix of
+// the leader's.
 type proposeResp struct {
 	Ack      bool
 	NeedSync bool
 	Epoch    uint64 // responder's epoch, so a stale leader steps down
+	LastZxid uint64
 }
 
 func (m proposeResp) encode() []byte {
-	w := wire.NewWriter(16)
+	w := wire.NewWriter(24)
 	w.Bool(m.Ack)
 	w.Bool(m.NeedSync)
 	w.Uint64(m.Epoch)
+	w.Uint64(m.LastZxid)
 	return w.Bytes()
 }
 
 func decodeProposeResp(b []byte) (proposeResp, error) {
 	r := wire.NewReader(b)
-	m := proposeResp{Ack: r.Bool(), NeedSync: r.Bool(), Epoch: r.Uint64()}
+	m := proposeResp{Ack: r.Bool(), NeedSync: r.Bool(), Epoch: r.Uint64(), LastZxid: r.Uint64()}
 	return m, r.Err()
 }
 
@@ -228,7 +285,7 @@ func decodeSyncResp(b []byte) (syncResp, error) {
 	if r.Err() != nil {
 		return m, r.Err()
 	}
-	if int(n) > r.Remaining() {
+	if int(n) > r.Remaining()/13 {
 		return m, fmt.Errorf("zab: sync response claims %d entries in %d bytes", n, r.Remaining())
 	}
 	m.Entries = make([]entry, 0, n)

@@ -9,13 +9,31 @@
 // the property DUFS leans on: "all modifications on the namespace
 // appear to be atomic and strictly ordered to all the clients".
 //
+// # Group commit and pipelining
+//
+// The leader write path is a production-style Zab pipeline rather than
+// a one-transaction-per-quorum-round-trip lockstep:
+//
+//   - Client proposals land in a queue. A proposer goroutine drains
+//     it and coalesces the pending transactions into one FRAME (an
+//     entry holding up to MaxBatchTxns transactions / MaxBatchBytes
+//     bytes) that replicates, commits and recovers as a single unit.
+//   - One sender goroutine per follower streams frames with a
+//     cumulative-ack protocol: each round trip carries every frame
+//     that queued up behind the previous one, so the leader keeps
+//     proposing (up to MaxInflightFrames uncommitted frames) while
+//     earlier acks are still in flight.
+//   - A frame's transactions commit together when a quorum holds the
+//     frame; each waiting proposer is woken with its own per-txn
+//     apply result. An unacknowledged frame either wholly commits or
+//     wholly vanishes — transactions never partially survive a
+//     leader failover.
+//
 // Differences from production Zab, chosen for clarity and testability:
 //
 //   - Leader election is a Raft-style vote (epoch + last-zxid
 //     up-to-dateness check) rather than ZooKeeper's fast leader
 //     election; the elected-leader safety property is the same.
-//   - Proposals are replicated one at a time (the leader serializes);
-//     production Zab pipelines. An ablation bench quantifies this.
 //   - The log lives in memory with snapshot-based truncation, like
 //     ZooKeeper's in-memory database; durable checkpoints are layered
 //     on top by internal/coord (paper §IV-I: "periodically
@@ -31,6 +49,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -48,6 +67,17 @@ type StateMachine interface {
 	Snapshot() []byte
 	// Restore replaces the state with a snapshot taken at snapZxid.
 	Restore(snap []byte, snapZxid uint64) error
+}
+
+// BatchStateMachine is an optional StateMachine extension: a state
+// machine that can apply a whole group-commit frame in one call —
+// transaction i of txns carries zxid firstZxid+i — returning one
+// result per transaction. Implementations can amortize per-apply
+// overhead (locking, notification batching) across the frame; the
+// semantics must be identical to N ordered Apply calls.
+type BatchStateMachine interface {
+	StateMachine
+	ApplyBatch(txns [][]byte, firstZxid uint64) [][]byte
 }
 
 // Config describes one ensemble member.
@@ -71,6 +101,22 @@ type Config struct {
 	// entries are folded into a state-machine snapshot.
 	// Defaults to 8192.
 	MaxLogEntries int
+	// MaxBatchTxns bounds how many transactions the proposer coalesces
+	// into one group-commit frame. 1 disables batching (every
+	// transaction is its own frame). Defaults to 128.
+	MaxBatchTxns int
+	// MaxBatchBytes bounds a frame's total transaction payload.
+	// Defaults to 1 MiB.
+	MaxBatchBytes int
+	// MaxInflightFrames bounds how many proposed-but-uncommitted
+	// frames the leader keeps in flight (the pipelining window). 1
+	// reduces the pipeline to the lockstep propose→commit cycle.
+	// Defaults to 16.
+	MaxInflightFrames int
+	// Metrics, when non-nil, receives the leader's proposer gauges
+	// ("zab.proposer.queue_depth", "zab.proposer.inflight_frames") and
+	// the batch-size distribution ("zab.proposer.batch_txns").
+	Metrics *metrics.Registry
 	// InitialSnapshot, when non-nil, primes the node from a durable
 	// checkpoint: the state machine is restored before Start and the
 	// log begins at InitialZxid.
@@ -92,10 +138,32 @@ var (
 	ErrNoQuorum = errors.New("zab: failed to reach quorum")
 )
 
+// proposeTimeout bounds how long a proposal waits for commit+apply.
+const proposeTimeout = 10 * time.Second
+
+// maxFramesPerSend bounds how many frames one sender RPC carries; a
+// follower further behind than this catches up over several round
+// trips (or via the sync protocol once its position leaves the log).
+const maxFramesPerSend = 64
+
+// pendingTxn is one queued proposal waiting for its frame to commit.
+type pendingTxn struct {
+	txn  []byte
+	noop bool
+	ch   chan proposeOutcome // buffered(1); exactly one send ever happens
+}
+
+type proposeOutcome struct {
+	zxid   uint64
+	result []byte
+	err    error
+}
+
 // Node is one member of the replicated ensemble.
 type Node struct {
 	cfg Config
 	sm  StateMachine
+	bsm BatchStateMachine // non-nil when sm supports batch apply
 	rng *rand.Rand
 
 	mu           sync.Mutex
@@ -112,10 +180,25 @@ type Node struct {
 	electionDue  time.Duration
 	syncing      bool
 	stopped      bool
-	results      map[uint64][]byte // zxid -> apply result (leader-side)
-	applyCond    *sync.Cond        // signalled when lastApplied advances
 
-	proposeMu sync.Mutex // serializes the propose->commit pipeline
+	// Leader-side group-commit state. leaderGen increments on every
+	// leadership transition; the proposer and sender goroutines carry
+	// the generation they were started under and exit when it moves.
+	leaderGen  uint64
+	propQ      []*pendingTxn
+	waiters    map[uint64]*pendingTxn // txn zxid -> waiter (leader only)
+	match      map[uint64]uint64      // peer -> cumulative acked zxid
+	stallSince time.Time              // commit horizon stuck since
+	leaderCond *sync.Cond             // work/window/role changes
+
+	// applyWaiters are follower-side (and forwarded-write) waits for
+	// the local state machine to reach a zxid; each registered channel
+	// is closed exactly once when lastApplied passes its key.
+	applyWaiters map[uint64][]chan struct{}
+
+	gQueue    *metrics.Gauge
+	gInflight *metrics.Gauge
+	dBatch    *metrics.Distribution
 
 	connMu sync.Mutex
 	conns  map[uint64]transport.Conn
@@ -143,15 +226,33 @@ func NewNode(cfg Config, sm StateMachine) (*Node, error) {
 	if cfg.MaxLogEntries <= 0 {
 		cfg.MaxLogEntries = 8192
 	}
-	n := &Node{
-		cfg:     cfg,
-		sm:      sm,
-		rng:     rand.New(rand.NewSource(int64(cfg.ID))),
-		conns:   make(map[uint64]transport.Conn),
-		stopCh:  make(chan struct{}),
-		results: make(map[uint64][]byte),
+	if cfg.MaxBatchTxns <= 0 {
+		cfg.MaxBatchTxns = 128
 	}
-	n.applyCond = sync.NewCond(&n.mu)
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 1 << 20
+	}
+	if cfg.MaxInflightFrames <= 0 {
+		cfg.MaxInflightFrames = 16
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	n := &Node{
+		cfg:          cfg,
+		sm:           sm,
+		rng:          rand.New(rand.NewSource(int64(cfg.ID))),
+		conns:        make(map[uint64]transport.Conn),
+		stopCh:       make(chan struct{}),
+		waiters:      make(map[uint64]*pendingTxn),
+		match:        make(map[uint64]uint64),
+		applyWaiters: make(map[uint64][]chan struct{}),
+		gQueue:       cfg.Metrics.Gauge("zab.proposer.queue_depth"),
+		gInflight:    cfg.Metrics.Gauge("zab.proposer.inflight_frames"),
+		dBatch:       cfg.Metrics.Distribution("zab.proposer.batch_txns"),
+	}
+	n.bsm, _ = sm.(BatchStateMachine)
+	n.leaderCond = sync.NewCond(&n.mu)
 	if cfg.InitialSnapshot != nil {
 		if err := sm.Restore(cfg.InitialSnapshot, cfg.InitialZxid); err != nil {
 			return nil, fmt.Errorf("zab: restoring initial snapshot: %w", err)
@@ -190,9 +291,12 @@ func (n *Node) Stop() {
 		return
 	}
 	n.stopped = true
+	if n.role == roleLeader {
+		n.failLeaderLocked(ErrStopped)
+	}
 	n.role = roleFollower // a stopped node must not report leadership
 	n.leaderID = 0
-	n.applyCond.Broadcast()
+	n.leaderCond.Broadcast()
 	n.mu.Unlock()
 	close(n.stopCh)
 	if n.listener != nil {
@@ -248,6 +352,13 @@ func (n *Node) CommitZxid() uint64 {
 	return n.commitZxid
 }
 
+// LastApplied returns the zxid of the last locally applied transaction.
+func (n *Node) LastApplied() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastApplied
+}
+
 // DebugString reports the node's replication state for diagnostics.
 func (n *Node) DebugString() string {
 	n.mu.Lock()
@@ -259,9 +370,10 @@ func (n *Node) DebugString() string {
 	case roleLeader:
 		role = "leader"
 	}
-	return fmt.Sprintf("id=%d role=%s epoch=%d granted=%d leader=%d last=%x commit=%x applied=%x log=%d syncing=%v stopped=%v sinceContact=%s due=%s",
+	return fmt.Sprintf("id=%d role=%s epoch=%d granted=%d leader=%d last=%x commit=%x applied=%x log=%d queue=%d inflight=%d syncing=%v stopped=%v sinceContact=%s due=%s",
 		n.cfg.ID, role, n.epoch, n.grantedEpoch, n.leaderID,
 		n.lastZxidLocked(), n.commitZxid, n.lastApplied, len(n.log),
+		len(n.propQ), n.uncommittedFramesLocked(),
 		n.syncing, n.stopped, time.Since(n.lastContact).Round(time.Millisecond), n.electionDue)
 }
 
@@ -277,7 +389,7 @@ func (n *Node) lastZxidLocked() uint64 {
 	if len(n.log) == 0 {
 		return n.snapZxid
 	}
-	return n.log[len(n.log)-1].Zxid
+	return n.log[len(n.log)-1].last()
 }
 
 func (n *Node) quorum() int { return len(n.cfg.Peers)/2 + 1 }
@@ -398,6 +510,9 @@ func (n *Node) adoptEpochLocked(epoch, leaderID uint64) {
 	if epoch > n.epoch {
 		n.epoch = epoch
 	}
+	if n.role == roleLeader {
+		n.failLeaderLocked(ErrNoLeader)
+	}
 	n.role = roleFollower
 	if leaderID != 0 {
 		n.leaderID = leaderID
@@ -405,26 +520,44 @@ func (n *Node) adoptEpochLocked(epoch, leaderID uint64) {
 	n.resetElectionTimer()
 }
 
+// handlePropose processes one propose window: a run of consecutive
+// frames attaching at PrevZxid. Frames the follower already holds are
+// skipped (retransmits after a partial round trip); the first novel
+// frame must attach exactly at the log tip, otherwise the follower
+// asks to sync. The ack carries the follower's tip as a CUMULATIVE
+// acknowledgement: equal zxids imply equal logs (one leader per epoch,
+// one entry per zxid), so the leader may trust it as this follower's
+// replicated horizon.
 func (n *Node) handlePropose(m proposeReq) proposeResp {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if m.Epoch < n.epoch {
-		return proposeResp{Epoch: n.epoch}
+		return proposeResp{Epoch: n.epoch, LastZxid: n.lastZxidLocked()}
 	}
 	n.adoptEpochLocked(m.Epoch, m.LeaderID)
-	if m.Entry.Zxid == n.lastZxidLocked() {
-		// Idempotent re-send: we already hold this entry (a leader
-		// retry after other followers had to sync). Ack again.
-		n.advanceCommitLocked(m.Commit)
-		return proposeResp{Ack: true, Epoch: n.epoch}
+	prev := m.PrevZxid
+	tip := n.lastZxidLocked()
+	for _, e := range m.Entries {
+		if e.last() <= tip {
+			// Already held (an overlap from a retransmitted window).
+			prev = e.last()
+			continue
+		}
+		if prev != tip {
+			n.triggerSyncLocked()
+			return proposeResp{NeedSync: true, Epoch: n.epoch, LastZxid: tip}
+		}
+		n.log = append(n.log, e)
+		tip = e.last()
+		prev = tip
 	}
-	if n.lastZxidLocked() != m.PrevZxid {
+	if len(m.Entries) == 0 && prev != tip {
+		// A probe from a leader that lost track of our position.
 		n.triggerSyncLocked()
-		return proposeResp{NeedSync: true, Epoch: n.epoch}
+		return proposeResp{NeedSync: true, Epoch: n.epoch, LastZxid: tip}
 	}
-	n.log = append(n.log, m.Entry)
 	n.advanceCommitLocked(m.Commit)
-	return proposeResp{Ack: true, Epoch: n.epoch}
+	return proposeResp{Ack: true, Epoch: n.epoch, LastZxid: n.lastZxidLocked()}
 }
 
 func (n *Node) handleCommit(epoch, zxid uint64) {
@@ -461,6 +594,9 @@ func (n *Node) handleRequestVote(m requestVoteReq) requestVoteResp {
 	}
 	n.grantedEpoch = m.Epoch
 	n.epoch = m.Epoch
+	if n.role == roleLeader {
+		n.failLeaderLocked(ErrNoLeader)
+	}
 	n.role = roleFollower
 	n.leaderID = 0 // unknown until the new leader heartbeats
 	n.resetElectionTimer()
@@ -477,28 +613,72 @@ func (n *Node) advanceCommitLocked(commit uint64) {
 		return
 	}
 	n.commitZxid = commit
+	n.stallSince = time.Time{}
 	n.applyCommittedLocked()
+	n.leaderCond.Broadcast() // the pipelining window may have opened
 }
 
-// applyCommittedLocked feeds committed-but-unapplied entries to the
-// state machine in zxid order and handles log truncation.
+// applyCommittedLocked feeds committed-but-unapplied frames to the
+// state machine in zxid order — whole frames only, never a prefix of
+// one — wakes per-txn waiters with their results, and handles log
+// truncation.
 func (n *Node) applyCommittedLocked() {
 	i := sort.Search(len(n.log), func(i int) bool { return n.log[i].Zxid > n.lastApplied })
 	for ; i < len(n.log); i++ {
 		e := n.log[i]
-		if e.Zxid > n.commitZxid {
+		if e.last() > n.commitZxid {
 			break
 		}
-		if !e.Noop {
-			res := n.sm.Apply(e.Txn, e.Zxid)
-			if n.role == roleLeader {
-				n.results[e.Zxid] = res
+		if e.Noop {
+			n.lastApplied = e.Zxid
+			n.wakeWaiterLocked(e.Zxid, nil)
+			continue
+		}
+		var results [][]byte
+		if n.bsm != nil {
+			results = n.bsm.ApplyBatch(e.Txns, e.Zxid)
+		} else {
+			results = make([][]byte, len(e.Txns))
+			for j, txn := range e.Txns {
+				results[j] = n.sm.Apply(txn, e.Zxid+uint64(j))
 			}
 		}
-		n.lastApplied = e.Zxid
+		n.lastApplied = e.last()
+		for j := range e.Txns {
+			var res []byte
+			if j < len(results) {
+				res = results[j]
+			}
+			n.wakeWaiterLocked(e.Zxid+uint64(j), res)
+		}
 	}
-	n.applyCond.Broadcast()
+	n.wakeAppliedLocked()
 	n.maybeTruncateLocked()
+}
+
+// wakeWaiterLocked delivers a committed transaction's result to its
+// proposer, if one is still waiting on this node.
+func (n *Node) wakeWaiterLocked(zxid uint64, result []byte) {
+	if w, ok := n.waiters[zxid]; ok {
+		delete(n.waiters, zxid)
+		w.ch <- proposeOutcome{zxid: zxid, result: result}
+	}
+}
+
+// wakeAppliedLocked closes every registered apply-wait channel whose
+// zxid the state machine has now reached. Each waiter has its own
+// channel keyed by the exact zxid it needs, so a commit wakes only the
+// waits it satisfies — no broadcast herd.
+func (n *Node) wakeAppliedLocked() {
+	for z, chans := range n.applyWaiters {
+		if z > n.lastApplied {
+			continue
+		}
+		for _, ch := range chans {
+			close(ch)
+		}
+		delete(n.applyWaiters, z)
+	}
 }
 
 // maybeTruncateLocked drops the bulk of the applied log prefix when
@@ -515,13 +695,8 @@ func (n *Node) maybeTruncateLocked() {
 		return
 	}
 	cut -= margin
-	n.snapZxid = n.log[cut-1].Zxid
+	n.snapZxid = n.log[cut-1].last()
 	n.log = append([]entry(nil), n.log[cut:]...)
-	for z := range n.results {
-		if z <= n.snapZxid {
-			delete(n.results, z)
-		}
-	}
 }
 
 // triggerSyncLocked schedules a pull-based catch-up from the leader.
@@ -567,15 +742,13 @@ func (n *Node) syncFromLeader(leader, from uint64) {
 			n.commitZxid = resp.SnapZxid
 		}
 		n.log = nil
+		n.wakeAppliedLocked()
 	} else if n.lastZxidLocked() != from {
 		// Our log moved while the sync was in flight; retry later.
 		return
 	}
 	for _, e := range resp.Entries {
-		if e.Zxid <= n.lastZxidLocked() && len(n.log) > 0 {
-			continue
-		}
-		if e.Zxid <= n.snapZxid {
+		if e.last() <= n.lastZxidLocked() || e.last() <= n.snapZxid {
 			continue
 		}
 		n.log = append(n.log, e)
@@ -598,7 +771,7 @@ func (n *Node) handleSync(m syncReq) (syncResp, error) {
 		return resp, nil
 	}
 	for i, e := range n.log {
-		if e.Zxid == m.FromZxid {
+		if e.last() == m.FromZxid {
 			resp.Entries = append(resp.Entries, n.log[i+1:]...)
 			return resp, nil
 		}
@@ -623,6 +796,10 @@ func (n *Node) handleSync(m syncReq) (syncResp, error) {
 // once the transaction is committed and applied on THIS node, which
 // gives sessions connected here read-your-writes consistency — the
 // same guarantee a ZooKeeper server provides its clients.
+//
+// Propose is safe for arbitrary concurrency; concurrent calls are
+// coalesced by the leader's proposer into group-commit frames instead
+// of queueing on a serialized quorum round trip.
 func (n *Node) Propose(txn []byte) ([]byte, error) {
 	result, zxid, err := n.propose(txn)
 	if err != nil {
@@ -662,151 +839,359 @@ func (n *Node) propose(txn []byte) ([]byte, uint64, error) {
 }
 
 // waitApplied blocks until this node's state machine has applied the
-// given zxid (or the node stops / the wait times out).
+// given zxid (or the node stops / the wait times out). Each call
+// registers one channel keyed by the exact zxid it needs and performs
+// a single deadline-aware select on it — a timeout wakes only this
+// caller, never the other waiters.
 func (n *Node) waitApplied(zxid uint64) error {
-	const timeout = 10 * time.Second
-	timer := time.AfterFunc(timeout, func() {
-		n.mu.Lock()
-		n.applyCond.Broadcast()
-		n.mu.Unlock()
-	})
-	defer timer.Stop()
-	deadline := time.Now().Add(timeout)
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	for n.lastApplied < zxid {
-		if n.stopped {
-			return ErrStopped
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("zab: zxid %x not applied locally within %v", zxid, timeout)
-		}
-		n.applyCond.Wait()
+	if n.lastApplied >= zxid {
+		n.mu.Unlock()
+		return nil
 	}
-	return nil
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	ch := make(chan struct{})
+	n.applyWaiters[zxid] = append(n.applyWaiters[zxid], ch)
+	n.mu.Unlock()
+
+	timer := time.NewTimer(proposeTimeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-n.stopCh:
+		return ErrStopped
+	case <-timer.C:
+		n.mu.Lock()
+		applied := n.lastApplied >= zxid
+		chans := n.applyWaiters[zxid]
+		for i, c := range chans {
+			if c == ch {
+				n.applyWaiters[zxid] = append(chans[:i:i], chans[i+1:]...)
+				break
+			}
+		}
+		if len(n.applyWaiters[zxid]) == 0 {
+			delete(n.applyWaiters, zxid)
+		}
+		n.mu.Unlock()
+		if applied {
+			return nil
+		}
+		return fmt.Errorf("zab: zxid %x not applied locally within %v", zxid, proposeTimeout)
+	}
 }
 
+// proposeAsLeader enqueues one transaction for the proposer goroutine
+// and waits for its frame to commit and apply, returning the per-txn
+// state-machine result.
 func (n *Node) proposeAsLeader(txn []byte, noop bool) ([]byte, uint64, error) {
-	n.proposeMu.Lock()
-	defer n.proposeMu.Unlock()
-
+	p := &pendingTxn{txn: txn, noop: noop, ch: make(chan proposeOutcome, 1)}
 	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil, 0, ErrStopped
+	}
 	if n.role != roleLeader {
 		n.mu.Unlock()
 		return nil, 0, ErrNoLeader
 	}
-	n.nextSeq++
-	e := entry{Zxid: makeZxid(n.epoch, n.nextSeq), Noop: noop, Txn: txn}
-	req := proposeReq{
-		Epoch:    n.epoch,
-		LeaderID: n.cfg.ID,
-		PrevZxid: n.lastZxidLocked(),
-		Entry:    e,
-		Commit:   n.commitZxid,
-	}
-	n.log = append(n.log, e)
+	n.propQ = append(n.propQ, p)
+	n.gQueue.Set(int64(len(n.propQ)))
+	n.leaderCond.Broadcast()
 	n.mu.Unlock()
 
-	// Followers that answer NeedSync are alive but lagging; they pull
-	// our state in the background (triggerSync), so give them a few
-	// rounds before declaring the quorum lost. Without this, a single
-	// lagging follower in a 3-live-of-5 configuration livelocks every
-	// election: the barrier no-op can never commit, the new leader
-	// steps down instantly, and the laggard never finds a leader to
-	// sync from.
-	acks, needSync := n.broadcastPropose(req)
-	for attempt := 0; acks < n.quorum() && acks+needSync >= n.quorum() && attempt < 8; attempt++ {
-		time.Sleep(n.cfg.HeartbeatInterval)
-		n.mu.Lock()
-		stillLeader := n.role == roleLeader && n.epoch == req.Epoch && !n.stopped
-		n.mu.Unlock()
-		if !stillLeader {
-			return nil, 0, ErrNoLeader
+	timer := time.NewTimer(proposeTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-p.ch:
+		if o.err != nil {
+			return nil, 0, o.err
 		}
-		acks, needSync = n.broadcastPropose(req)
+		return o.result, o.zxid, nil
+	case <-n.stopCh:
+		return nil, 0, ErrStopped
+	case <-timer.C:
+		// The transaction stays queued/in flight; it may still commit
+		// (the session layer's retry dedup absorbs that), but this
+		// caller stops waiting.
+		return nil, 0, fmt.Errorf("zab: proposal not committed within %v", proposeTimeout)
 	}
-	if acks < n.quorum() {
-		// We could not commit. Step down; a healthier member will win
-		// the next election, and our uncommitted tail will be resolved
-		// by its sync protocol.
-		n.mu.Lock()
-		if n.role == roleLeader && n.epoch == req.Epoch {
-			n.role = roleFollower
-			n.leaderID = 0
-			n.resetElectionTimer()
-		}
-		n.mu.Unlock()
-		return nil, 0, ErrNoQuorum
-	}
-
-	n.mu.Lock()
-	n.advanceCommitLocked(e.Zxid)
-	result := n.results[e.Zxid]
-	delete(n.results, e.Zxid)
-	epoch := n.epoch
-	commit := n.commitZxid
-	n.mu.Unlock()
-
-	n.broadcastAsync(commitReq{Epoch: epoch, Zxid: commit}.encode())
-	return result, e.Zxid, nil
 }
 
-// broadcastPropose replicates one entry to all peers and returns the
-// ack count (including the leader itself) and how many peers asked to
-// sync first.
-func (n *Node) broadcastPropose(req proposeReq) (acks, needSync int) {
-	payload := req.encode()
-	type res struct{ ack, needSync bool }
-	ch := make(chan res, len(n.cfg.Peers))
-	outstanding := 0
-	for id := range n.cfg.Peers {
-		if id == n.cfg.ID {
-			continue
-		}
-		outstanding++
-		go func(id uint64) {
-			respB, err := n.callPeer(id, payload)
-			if err != nil {
-				ch <- res{}
-				return
-			}
-			resp, err := decodeProposeResp(respB)
-			if err != nil {
-				ch <- res{}
-				return
-			}
-			if resp.Epoch > req.Epoch {
-				n.mu.Lock()
-				if resp.Epoch > n.epoch {
-					n.adoptEpochLocked(resp.Epoch, 0)
-					n.leaderID = 0
-				}
-				n.mu.Unlock()
-			}
-			ch <- res{ack: resp.Ack, needSync: resp.NeedSync}
-		}(id)
+// failLeaderLocked fails every queued and in-flight proposal with err
+// and retires the current leadership generation, stopping the proposer
+// and sender goroutines. Writes that already replicated may still
+// commit under the next leader — the error only means THIS node can no
+// longer promise anything, the same contract a ZooKeeper connection
+// loss gives a client.
+func (n *Node) failLeaderLocked(err error) {
+	for _, p := range n.propQ {
+		p.ch <- proposeOutcome{err: err}
 	}
-	acks = 1 // self
-	for i := 0; i < outstanding; i++ {
-		r := <-ch
-		if r.ack {
-			acks++
+	n.propQ = nil
+	for z, p := range n.waiters {
+		delete(n.waiters, z)
+		p.ch <- proposeOutcome{err: err}
+	}
+	n.leaderGen++
+	n.stallSince = time.Time{}
+	n.gQueue.Set(0)
+	n.gInflight.Set(0)
+	n.leaderCond.Broadcast()
+}
+
+// leaderGenLocked reports whether the node still leads under the given
+// leadership generation.
+func (n *Node) leaderGenLocked(gen uint64) bool {
+	return n.role == roleLeader && n.leaderGen == gen && !n.stopped
+}
+
+// uncommittedFramesLocked counts proposed-but-uncommitted frames — the
+// pipelining window occupancy.
+func (n *Node) uncommittedFramesLocked() int {
+	i := sort.Search(len(n.log), func(i int) bool { return n.log[i].Zxid > n.commitZxid })
+	return len(n.log) - i
+}
+
+// proposerLoop is the group-commit heart: it drains the proposal
+// queue, coalesces pending transactions into one frame bounded by
+// MaxBatchTxns/MaxBatchBytes, appends it to the log and hands it to
+// the per-follower senders — without waiting for the previous frame's
+// acks, up to MaxInflightFrames outstanding.
+func (n *Node) proposerLoop(gen uint64) {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		// The epoch barrier is exempt from the pipelining window: a
+		// leader elected with an inherited uncommitted tail of
+		// MaxInflightFrames or more frames must still propose its
+		// barrier, because nothing inherited can commit until a
+		// current-epoch frame exists (the §5.4.2 rule) — gating the
+		// barrier on the window would livelock the whole shard.
+		for n.leaderGenLocked(gen) &&
+			(len(n.propQ) == 0 ||
+				(!n.propQ[0].noop && n.uncommittedFramesLocked() >= n.cfg.MaxInflightFrames)) {
+			n.leaderCond.Wait()
 		}
-		if r.needSync {
-			needSync++
+		if !n.leaderGenLocked(gen) {
+			n.mu.Unlock()
+			return
 		}
-		if acks >= n.quorum() {
-			// Drain the rest in the background so goroutines exit.
-			remaining := outstanding - i - 1
-			go func() {
-				for j := 0; j < remaining; j++ {
-					<-ch
-				}
-			}()
+		batch := n.drainBatchLocked()
+		n.gQueue.Set(int64(len(n.propQ)))
+		n.dBatch.Observe(int64(len(batch)))
+
+		first := n.nextSeq + 1
+		e := entry{Zxid: makeZxid(n.epoch, first), Noop: batch[0].noop}
+		if e.Noop {
+			n.nextSeq++
+			n.waiters[e.Zxid] = batch[0]
+		} else {
+			e.Txns = make([][]byte, len(batch))
+			for i, p := range batch {
+				e.Txns[i] = p.txn
+				n.waiters[e.Zxid+uint64(i)] = p
+			}
+			n.nextSeq += uint32(len(batch))
+		}
+		n.log = append(n.log, e)
+		n.gInflight.Set(int64(n.uncommittedFramesLocked()))
+		// A single-member "quorum" commits on append; otherwise the
+		// senders' acks advance the horizon.
+		n.maybeAdvanceLeaderCommitLocked()
+		n.leaderCond.Broadcast()
+		n.mu.Unlock()
+	}
+}
+
+// drainBatchLocked takes the next group-commit batch off the queue: a
+// lone no-op barrier, or a run of transactions bounded by count and
+// bytes (never mixing a barrier into a transaction frame).
+func (n *Node) drainBatchLocked() []*pendingTxn {
+	if n.propQ[0].noop {
+		batch := n.propQ[:1:1]
+		n.propQ = n.propQ[1:]
+		return batch
+	}
+	count, bytes := 0, 0
+	for _, p := range n.propQ {
+		if p.noop || count >= n.cfg.MaxBatchTxns {
 			break
 		}
+		if count > 0 && bytes+len(p.txn) > n.cfg.MaxBatchBytes {
+			break
+		}
+		count++
+		bytes += len(p.txn)
 	}
-	return acks, needSync
+	batch := n.propQ[:count:count]
+	n.propQ = n.propQ[count:]
+	return batch
+}
+
+// maybeAdvanceLeaderCommitLocked recomputes the quorum-replicated
+// horizon from the cumulative acks and commits every frame of the
+// CURRENT epoch fully below it (frames inherited from older epochs
+// commit transitively — the barrier no-op guarantees one current-epoch
+// frame exists, the Raft §5.4.2 safety argument).
+func (n *Node) maybeAdvanceLeaderCommitLocked() {
+	if n.role != roleLeader {
+		return
+	}
+	tips := make([]uint64, 0, len(n.cfg.Peers))
+	tips = append(tips, n.lastZxidLocked())
+	for id := range n.cfg.Peers {
+		if id != n.cfg.ID {
+			tips = append(tips, n.match[id])
+		}
+	}
+	sort.Slice(tips, func(i, j int) bool { return tips[i] > tips[j] })
+	q := tips[n.quorum()-1]
+	if q <= n.commitZxid {
+		return
+	}
+	target := n.commitZxid
+	for i := len(n.log) - 1; i >= 0; i-- {
+		e := n.log[i]
+		if e.last() > q {
+			continue
+		}
+		if epochOf(e.Zxid) == n.epoch {
+			target = e.last()
+		}
+		break
+	}
+	if target <= n.commitZxid {
+		return
+	}
+	epoch := n.epoch
+	n.advanceCommitLocked(target)
+	n.gInflight.Set(int64(n.uncommittedFramesLocked()))
+	// Let followers apply promptly instead of waiting for the next
+	// piggybacked horizon.
+	n.broadcastAsync(commitReq{Epoch: epoch, Zxid: n.commitZxid}.encode())
+}
+
+// senderLoop streams the log to one follower: each RPC carries every
+// frame past the follower's acked horizon (capped at maxFramesPerSend),
+// so frames proposed while the previous round trip was in flight ride
+// the next one — the pipelining that keeps the pipe full. Acks are
+// cumulative; a follower that answers NeedSync pulls the missing state
+// itself while the sender backs off.
+func (n *Node) senderLoop(gen, id, base uint64) {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		for n.leaderGenLocked(gen) && base >= n.lastZxidLocked() {
+			n.leaderCond.Wait()
+		}
+		if !n.leaderGenLocked(gen) {
+			n.mu.Unlock()
+			return
+		}
+		req := proposeReq{
+			Epoch:    n.epoch,
+			LeaderID: n.cfg.ID,
+			PrevZxid: base,
+			Entries:  n.entriesAfterLocked(base),
+			Commit:   n.commitZxid,
+		}
+		if len(req.Entries) == 0 {
+			// base is not a position we can stream from (truncated away,
+			// or a divergent tail the follower kept across a failover).
+			// Probe with OUR tip: a follower that matches it is caught
+			// up; any other answers NeedSync and starts its own sync
+			// pull. Probing with base instead would be acked by a
+			// divergent follower forever, wedging it silently.
+			req.PrevZxid = n.lastZxidLocked()
+		}
+		n.mu.Unlock()
+
+		respB, err := n.callPeer(id, req.encode())
+		if err != nil {
+			if !n.sleepInterruptible(n.cfg.HeartbeatInterval) {
+				return
+			}
+			continue
+		}
+		resp, derr := decodeProposeResp(respB)
+		if derr != nil {
+			if !n.sleepInterruptible(n.cfg.HeartbeatInterval) {
+				return
+			}
+			continue
+		}
+		if resp.Epoch > req.Epoch {
+			n.mu.Lock()
+			if resp.Epoch > n.epoch {
+				n.adoptEpochLocked(resp.Epoch, 0)
+				n.leaderID = 0
+			}
+			n.mu.Unlock()
+			return
+		}
+		progressed := resp.LastZxid != base || len(req.Entries) > 0
+		base = resp.LastZxid
+		if resp.Ack {
+			n.mu.Lock()
+			if n.leaderGenLocked(gen) && resp.LastZxid > n.match[id] {
+				n.match[id] = resp.LastZxid
+				n.maybeAdvanceLeaderCommitLocked()
+			}
+			n.mu.Unlock()
+			if !progressed {
+				// An acked probe of a position we cannot stream from
+				// (the follower holds a divergent tail and is syncing);
+				// don't spin on it.
+				if !n.sleepInterruptible(n.cfg.HeartbeatInterval) {
+					return
+				}
+			}
+			continue
+		}
+		// The follower is lagging or divergent and is syncing from us;
+		// probe again after a beat.
+		if !n.sleepInterruptible(n.cfg.HeartbeatInterval) {
+			return
+		}
+	}
+}
+
+// entriesAfterLocked returns the run of log frames following the given
+// zxid, or nil (a position probe) when the position is not a frame
+// boundary we hold — the follower's own sync pull repairs that.
+func (n *Node) entriesAfterLocked(base uint64) []entry {
+	start := -1
+	if base == n.snapZxid {
+		start = 0
+	} else {
+		i := sort.Search(len(n.log), func(i int) bool { return n.log[i].last() >= base })
+		if i < len(n.log) && n.log[i].last() == base {
+			start = i + 1
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	end := len(n.log)
+	if end-start > maxFramesPerSend {
+		end = start + maxFramesPerSend
+	}
+	return n.log[start:end:end]
+}
+
+// sleepInterruptible sleeps for d unless the node stops first.
+func (n *Node) sleepInterruptible(d time.Duration) bool {
+	select {
+	case <-n.stopCh:
+		return false
+	case <-time.After(d):
+		return true
+	}
 }
 
 // broadcastAsync fires one payload at every peer without waiting.
@@ -921,15 +1306,34 @@ func (n *Node) becomeLeader(epoch uint64) {
 	n.role = roleLeader
 	n.leaderID = n.cfg.ID
 	n.nextSeq = 0
+	n.leaderGen++
+	n.match = make(map[uint64]uint64, len(n.cfg.Peers))
+	n.stallSince = time.Time{}
+	// Queue the epoch barrier at the HEAD of the proposal queue inside
+	// the same critical section that flips the role, so no client
+	// proposal can slot in ahead of it: the proposer's window
+	// exemption keys off the queue head, and a barrier stuck behind a
+	// client write would re-open the full-inherited-window livelock.
+	// The barrier commits every entry inherited from previous epochs
+	// under the new epoch (Raft §5.4.2 trick; Zab achieves the same
+	// with its NEWLEADER phase). Nobody waits on its outcome channel.
+	barrier := &pendingTxn{noop: true, ch: make(chan proposeOutcome, 1)}
+	n.propQ = append([]*pendingTxn{barrier}, n.propQ...)
+	n.gQueue.Set(int64(len(n.propQ)))
+	gen := n.leaderGen
+	tip := n.lastZxidLocked()
+	n.leaderCond.Broadcast()
 	n.mu.Unlock()
-	// Commit a barrier entry so every entry inherited from previous
-	// epochs becomes committed under the new epoch (Raft §5.4.2 trick;
-	// Zab achieves the same with its NEWLEADER phase).
+
 	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		_, _, _ = n.proposeAsLeader(nil, true)
-	}()
+	go n.proposerLoop(gen)
+	for id := range n.cfg.Peers {
+		if id == n.cfg.ID {
+			continue
+		}
+		n.wg.Add(1)
+		go n.senderLoop(gen, id, tip)
+	}
 }
 
 func (n *Node) heartbeatLoop() {
@@ -946,6 +1350,24 @@ func (n *Node) heartbeatLoop() {
 		if n.role != roleLeader {
 			n.mu.Unlock()
 			continue
+		}
+		// Quorum-loss watchdog: a leader whose pipeline cannot commit
+		// (partitioned, too few live followers) steps down instead of
+		// wedging its clients, so a healthier member can win the next
+		// election and resolve the uncommitted tail via sync.
+		if n.commitZxid < n.lastZxidLocked() {
+			if n.stallSince.IsZero() {
+				n.stallSince = time.Now()
+			} else if time.Since(n.stallSince) > 2*n.cfg.ElectionTimeout {
+				n.failLeaderLocked(ErrNoQuorum)
+				n.role = roleFollower
+				n.leaderID = 0
+				n.resetElectionTimer()
+				n.mu.Unlock()
+				continue
+			}
+		} else {
+			n.stallSince = time.Time{}
 		}
 		req := heartbeatReq{Epoch: n.epoch, LeaderID: n.cfg.ID, Commit: n.commitZxid}
 		n.mu.Unlock()

@@ -1,13 +1,16 @@
 package zab
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // kvSM is a deterministic append-log state machine for tests: every
@@ -409,6 +412,286 @@ func TestNewNodeValidation(t *testing.T) {
 	}
 	if _, err := NewNode(Config{Net: transport.NewInProc(), ID: 9, Peers: map[uint64]string{1: "a"}}, &kvSM{}); err == nil {
 		t.Fatal("NewNode with ID outside peers succeeded")
+	}
+}
+
+// TestGroupCommitCoalescesAndReturnsPerTxnResults drives a 3-node
+// ensemble behind injected latency with many concurrent proposers.
+// Under that load the proposer MUST coalesce transactions into
+// multi-txn frames (queue builds up behind the quorum round trip), and
+// every caller must get back ITS OWN transaction's result, not a
+// neighbour's from the same frame.
+func TestGroupCommitCoalescesAndReturnsPerTxnResults(t *testing.T) {
+	net := &transport.Latency{
+		Inner: transport.NewInProc(),
+		Delay: func() time.Duration { return 300 * time.Microsecond },
+	}
+	peers := map[uint64]string{1: "gc-1", 2: "gc-2", 3: "gc-3"}
+	nodes := make(map[uint64]*Node)
+	sms := make(map[uint64]*kvSM)
+	regs := make(map[uint64]*metrics.Registry)
+	for id := range peers {
+		sm := &kvSM{}
+		reg := metrics.NewRegistry()
+		n, err := NewNode(Config{
+			ID:                id,
+			Peers:             peers,
+			Net:               net,
+			HeartbeatInterval: 5 * time.Millisecond,
+			ElectionTimeout:   40 * time.Millisecond,
+			Metrics:           reg,
+		}, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		nodes[id], sms[id], regs[id] = n, sm, reg
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	var leader *Node
+	deadline := time.Now().Add(5 * time.Second)
+	for leader == nil {
+		for _, n := range nodes {
+			if n.IsLeader() {
+				leader = n
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no leader")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	const workers = 24
+	const perWorker = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				txn := fmt.Sprintf("w%d-%d", w, i)
+				res, err := leader.Propose([]byte(txn))
+				if err != nil {
+					errCh <- fmt.Errorf("propose %s: %w", txn, err)
+					return
+				}
+				// kvSM echoes zxid || txn: the result must be OURS.
+				if len(res) < 8 || !bytes.Equal(res[8:], []byte(txn)) {
+					errCh <- fmt.Errorf("propose %s got someone else's result %q", txn, res[8:])
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	waitConverged(t, &ensemble{nodes: nodes, sms: sms, peers: peers}, workers*perWorker, 1, 2, 3)
+	d := regs[leader.ID()].Distribution("zab.proposer.batch_txns")
+	if d.Count() == 0 {
+		t.Fatal("proposer batch distribution never observed a frame")
+	}
+	if d.Max() < 2 {
+		t.Fatalf("no multi-txn frame formed under %d concurrent writers (max batch = %d)", workers, d.Max())
+	}
+	t.Logf("frames=%d batch mean=%.1f max=%d queue gauge=%d",
+		d.Count(), d.Mean(), d.Max(), regs[leader.ID()].Gauge("zab.proposer.queue_depth").Value())
+}
+
+// TestSerializedModeStillCorrect pins the ablation baseline: with
+// MaxBatchTxns=1 and MaxInflightFrames=1 the pipeline degrades to the
+// one-frame-per-quorum-round-trip lockstep and everything still
+// replicates in order.
+func TestSerializedModeStillCorrect(t *testing.T) {
+	e := &ensemble{
+		nodes: make(map[uint64]*Node),
+		sms:   make(map[uint64]*kvSM),
+		net:   transport.NewInProc(),
+		peers: map[uint64]string{1: "ser-1", 2: "ser-2", 3: "ser-3"},
+	}
+	for id := range e.peers {
+		sm := &kvSM{}
+		n, err := NewNode(Config{
+			ID:                id,
+			Peers:             e.peers,
+			Net:               e.net,
+			HeartbeatInterval: 5 * time.Millisecond,
+			ElectionTimeout:   30 * time.Millisecond,
+			MaxBatchTxns:      1,
+			MaxInflightFrames: 1,
+		}, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		e.nodes[id], e.sms[id] = n, sm
+	}
+	defer e.stopAll()
+	leader := e.waitLeader(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				proposeOK(t, leader, fmt.Sprintf("s%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitConverged(t, e, 40, 1, 2, 3)
+}
+
+// TestBarrierExemptFromInflightWindow pins the livelock fix: a leader
+// re-elected with an inherited uncommitted tail that already fills the
+// pipelining window must still propose its epoch barrier — nothing
+// inherited can commit until a current-epoch frame exists, so gating
+// the barrier on the window would wedge the shard forever.
+func TestBarrierExemptFromInflightWindow(t *testing.T) {
+	e := &ensemble{
+		nodes: make(map[uint64]*Node),
+		sms:   make(map[uint64]*kvSM),
+		net:   transport.NewInProc(),
+		peers: map[uint64]string{1: "bar-1", 2: "bar-2"},
+	}
+	mk := func(id uint64) {
+		sm := &kvSM{}
+		n, err := NewNode(Config{
+			ID:                id,
+			Peers:             e.peers,
+			Net:               e.net,
+			HeartbeatInterval: 5 * time.Millisecond,
+			ElectionTimeout:   30 * time.Millisecond,
+			MaxInflightFrames: 1,
+		}, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		e.nodes[id], e.sms[id] = n, sm
+	}
+	mk(1)
+	mk(2)
+	defer e.stopAll()
+	leader := e.waitLeader(t)
+	follower := e.nodes[3-leader.ID()]
+	proposeOK(t, leader, "committed-before")
+
+	// Cut the follower, then fire writes that fill the window as an
+	// uncommitted tail and force the stall watchdog to step the leader
+	// down.
+	follower.Stop()
+	for i := 0; i < 2; i++ {
+		go leader.Propose([]byte(fmt.Sprintf("tail-%d", i))) //nolint:errcheck
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for leader.IsLeader() {
+		if time.Now().After(deadline) {
+			t.Fatal("quorumless leader never stepped down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Restart the follower empty WITH THE SAME window=1 config.
+	// Whichever node wins the next election inherits the uncommitted
+	// tail (the restarted node syncs it from the other's log before or
+	// after voting), so the new leader's window is already full when
+	// its barrier queues.
+	mk(follower.ID())
+	newLeader := e.waitLeader(t)
+	// Without the barrier exemption this times out: the barrier never
+	// proposes, nothing commits, and the watchdog churns elections.
+	proposeOK(t, newLeader, "after-recovery")
+}
+
+// TestProposeWindowCodec round-trips a multi-frame propose window and
+// rejects structurally impossible counts instead of allocating them.
+func TestProposeWindowCodec(t *testing.T) {
+	req := proposeReq{
+		Epoch:    7,
+		LeaderID: 3,
+		PrevZxid: makeZxid(7, 4),
+		Entries: []entry{
+			{Zxid: makeZxid(7, 5), Txns: [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}},
+			{Zxid: makeZxid(7, 8), Noop: true},
+			{Zxid: makeZxid(7, 9), Txns: [][]byte{[]byte("d")}},
+		},
+		Commit: makeZxid(7, 4),
+	}
+	b := req.encode()
+	r := wire.NewReader(b)
+	if kind := r.Uint8(); kind != msgPropose {
+		t.Fatalf("kind = %d", kind)
+	}
+	got := decodeProposeReq(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != req.Epoch || got.PrevZxid != req.PrevZxid || got.Commit != req.Commit {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	if got.Entries[0].last() != makeZxid(7, 7) {
+		t.Fatalf("frame 0 last = %x", got.Entries[0].last())
+	}
+	if !got.Entries[1].Noop || got.Entries[1].last() != makeZxid(7, 8) {
+		t.Fatalf("noop frame decoded wrong: %+v", got.Entries[1])
+	}
+	if string(got.Entries[2].Txns[0]) != "d" {
+		t.Fatalf("frame 2 txn = %q", got.Entries[2].Txns[0])
+	}
+
+	// A claimed entry count larger than the remaining bytes must fail
+	// the reader, not allocate.
+	w := wire.NewWriter(32)
+	w.Uint64(1) // epoch
+	w.Uint64(1) // leader
+	w.Uint64(0) // prev
+	w.Uint32(1 << 30)
+	bad := wire.NewReader(w.Bytes())
+	decodeProposeReq(bad)
+	if bad.Err() == nil {
+		t.Fatal("oversized entry count not rejected")
+	}
+
+	// Amplification guard: a count that FITS the remaining byte count
+	// but exceeds what those bytes could structurally encode (>= 13
+	// bytes per entry) must also fail before allocating slice headers
+	// ~40x the message size.
+	w = wire.NewWriter(256)
+	w.Uint64(1)
+	w.Uint64(1)
+	w.Uint64(0)
+	w.Uint32(100) // claims 100 entries...
+	for i := 0; i < 100; i++ {
+		w.Uint8(0) // ...backed by only 100 bytes
+	}
+	amp := wire.NewReader(w.Bytes())
+	decodeProposeReq(amp)
+	if amp.Err() == nil {
+		t.Fatal("amplifying entry count not rejected")
 	}
 }
 

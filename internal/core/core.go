@@ -25,6 +25,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/coord"
@@ -631,10 +632,74 @@ func (d *DUFS) renameDir(op, np string) error {
 		// A child appeared or the data changed since the listing;
 		// nothing was applied — fall through to the subtree walk.
 	}
-	if err := d.copyTree(op, np); err != nil {
+	sem := make(chan struct{}, renameConcurrency)
+	if err := d.copyTree(sem, op, np); err != nil {
 		return err
 	}
-	return d.removeTree(op)
+	return d.removeTree(sem, op)
+}
+
+// renameConcurrency bounds how many sibling directories a subtree
+// rename walks at once. Each directory costs a listing plus a batched
+// Multi; with group-commit leaders those per-directory transactions
+// coalesce into shared proposal frames, so keeping several in flight
+// is what converts the walk from RTT-bound to pipeline-bound.
+const renameConcurrency = 8
+
+// boundedGroup runs subtree-walk steps with bounded concurrency: tasks
+// draw goroutines from a semaphore shared by the whole rename and run
+// INLINE when it is exhausted, so arbitrarily deep recursion can never
+// deadlock on its own tokens. Wait joins the tasks of one directory
+// level and reports the first error.
+type boundedGroup struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+func (g *boundedGroup) record(err error) {
+	if err == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+}
+
+func (g *boundedGroup) failed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err != nil
+}
+
+// Go schedules fn, concurrently when a token is free, inline otherwise.
+func (g *boundedGroup) Go(fn func() error) {
+	if g.failed() {
+		return
+	}
+	select {
+	case g.sem <- struct{}{}:
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			err := fn()
+			<-g.sem
+			g.record(err)
+		}()
+	default:
+		g.record(fn())
+	}
+}
+
+// Wait blocks for every scheduled task and returns the first error.
+func (g *boundedGroup) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
 }
 
 // isLeafEntry reports whether a listed child can be moved without
@@ -651,8 +716,11 @@ func isLeafEntry(e coord.ChildEntry) bool {
 // copyTree replicates the subtree at from under to, parents first.
 // Each directory costs one ChildrenData (names, data, and kinds in one
 // RPC), one create for itself, and one batched Multi for all of its
-// file/symlink children; only child directories recurse.
-func (d *DUFS) copyTree(from, to string) error {
+// file/symlink children; only child directories recurse. Sibling
+// directories copy concurrently (bounded by sem): each one's create
+// happens after its parent's, preserving the parents-first invariant,
+// while independent branches overlap their coordination round trips.
+func (d *DUFS) copyTree(sem chan struct{}, from, to string) error {
 	self, kids, err := d.listing(from)
 	if err != nil {
 		return err
@@ -672,37 +740,44 @@ func (d *DUFS) copyTree(from, to string) error {
 	if err := d.applyBatch(leaves, leafPaths); err != nil {
 		return err
 	}
+	g := &boundedGroup{sem: sem}
 	for _, e := range kids {
 		if !isLeafEntry(e) {
-			if err := d.copyTree(from+"/"+e.Name, to+"/"+e.Name); err != nil {
-				return err
-			}
+			name := e.Name
+			g.Go(func() error { return d.copyTree(sem, from+"/"+name, to+"/"+name) })
 		}
 	}
-	return nil
+	return g.Wait()
 }
 
 // removeTree deletes the subtree at p bottom-up, batching each
-// directory's file/symlink children into one Multi.
-func (d *DUFS) removeTree(p string) error {
+// directory's file/symlink children into one Multi. Child directories
+// are removed concurrently (bounded by sem); the directory itself is
+// deleted only after every child — leaf batch and recursed subtrees —
+// is gone, preserving the children-first invariant.
+func (d *DUFS) removeTree(sem chan struct{}, p string) error {
 	_, kids, err := d.listing(p)
 	if err != nil {
 		return err
 	}
 	var leaves []coord.Op
 	var leafPaths []string
+	g := &boundedGroup{sem: sem}
 	for _, e := range kids {
 		if isLeafEntry(e) {
 			zp := d.zpath(p + "/" + e.Name)
 			leaves = append(leaves, coord.DeleteOp(zp, -1))
 			leafPaths = append(leafPaths, zp)
 		} else {
-			if err := d.removeTree(p + "/" + e.Name); err != nil {
-				return err
-			}
+			name := e.Name
+			g.Go(func() error { return d.removeTree(sem, p+"/"+name) })
 		}
 	}
 	if err := d.applyBatch(leaves, leafPaths); err != nil {
+		g.Wait() //nolint:errcheck // surfacing the batch error first
+		return err
+	}
+	if err := g.Wait(); err != nil {
 		return err
 	}
 	return mapError(d.sess.Delete(d.zpath(p), -1))

@@ -65,6 +65,14 @@ type Config struct {
 	Mounts []vfs.FileSystem
 	// Processes is the number of concurrent client processes.
 	Processes int
+	// Clients is the number of concurrent client goroutines per
+	// process (default 1). A process's items are divided among its
+	// clients, which issue them concurrently over the process's mount —
+	// the knob that generates the concurrent in-flight writes the
+	// coordination service's group-commit pipeline coalesces. With
+	// Clients=1 each process issues its operations strictly one at a
+	// time, the paper's original closed-loop behaviour.
+	Clients int
 	// ItemsPerProcess is the number of directories/files each process
 	// creates in each phase.
 	ItemsPerProcess int
@@ -101,6 +109,9 @@ func Run(cfg Config) (Results, error) {
 	}
 	if cfg.ItemsPerProcess <= 0 {
 		cfg.ItemsPerProcess = 100
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
 	}
 	if cfg.Fanout <= 0 {
 		cfg.Fanout = 10
@@ -180,26 +191,32 @@ func itemPath(workdir string, p, i int, file bool) string {
 
 func runPhase(cfg Config, ph Phase, work []string, mount func(int) vfs.FileSystem) (PhaseResult, error) {
 	var wg sync.WaitGroup
-	errs := make(chan error, cfg.Processes)
+	errs := make(chan error, cfg.Processes*cfg.Clients)
 	start := make(chan struct{})
 	totalOps := int64(cfg.Processes) * int64(cfg.ItemsPerProcess)
 	lat := &metrics.Histogram{}
 
 	for p := 0; p < cfg.Processes; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			fs := mount(p)
-			<-start
-			for i := 0; i < cfg.ItemsPerProcess; i++ {
-				opStart := time.Now()
-				if err := doOp(fs, ph, work[p], p, i); err != nil {
-					errs <- fmt.Errorf("proc %d item %d: %w", p, i, err)
-					return
+		// Each process's items are striped across cfg.Clients concurrent
+		// workers, so one process keeps several operations in flight —
+		// the load shape that makes the coordination service's write
+		// pipelining visible.
+		for w := 0; w < cfg.Clients; w++ {
+			wg.Add(1)
+			go func(p, w int) {
+				defer wg.Done()
+				fs := mount(p)
+				<-start
+				for i := w; i < cfg.ItemsPerProcess; i += cfg.Clients {
+					opStart := time.Now()
+					if err := doOp(fs, ph, work[p], p, i); err != nil {
+						errs <- fmt.Errorf("proc %d item %d: %w", p, i, err)
+						return
+					}
+					lat.Observe(time.Since(opStart))
 				}
-				lat.Observe(time.Since(opStart))
-			}
-		}(p)
+			}(p, w)
+		}
 	}
 
 	begin := time.Now()

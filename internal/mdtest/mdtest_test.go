@@ -44,6 +44,37 @@ func TestRunAllPhasesOnMemFS(t *testing.T) {
 	}
 }
 
+// TestConcurrentClientsPerProcess runs the harness with several
+// concurrent client goroutines per process: every item must still be
+// executed exactly once (full op counts) and a full cycle must leave
+// the filesystem empty, whichever worker handled which item.
+func TestConcurrentClientsPerProcess(t *testing.T) {
+	fs := memfs.New()
+	res, err := Run(Config{
+		Mounts:          []vfs.FileSystem{fs},
+		Processes:       3,
+		Clients:         4,
+		ItemsPerProcess: 26, // deliberately not divisible by Clients
+		Fanout:          10,
+		Depth:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range Phases {
+		if res[ph].Ops != 3*26 {
+			t.Fatalf("phase %s ops = %d, want %d", ph, res[ph].Ops, 3*26)
+		}
+		if res[ph].Latency.Count() != 3*26 {
+			t.Fatalf("phase %s latency samples = %d, want %d", ph, res[ph].Latency.Count(), 3*26)
+		}
+	}
+	files, _ := fs.Counts()
+	if files != 0 {
+		t.Fatalf("files left behind: %d", files)
+	}
+}
+
 func TestLeafPathsSpreadAndAreStable(t *testing.T) {
 	seen := map[string]bool{}
 	for p := 0; p < 30; p++ {

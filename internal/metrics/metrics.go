@@ -15,7 +15,8 @@ import (
 	"time"
 )
 
-// Counter is a monotonically increasing 64-bit counter.
+// Counter is a monotonically increasing 64-bit counter. For values
+// that move both ways (queue depths, in-flight counts) use Gauge.
 type Counter struct {
 	v atomic.Int64
 }
@@ -23,37 +24,147 @@ type Counter struct {
 // Inc adds one to the counter.
 func (c *Counter) Inc() { c.v.Add(1) }
 
-// Add adds delta (which may be negative for gauges reusing Counter).
+// Add adds delta to the counter, e.g. the size of a batch of events.
+// Negative deltas are not rejected, but a value that legitimately
+// moves both ways should be a Gauge, not a Counter.
 func (c *Counter) Add(delta int64) { c.v.Add(delta) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Histogram records durations into exponentially sized buckets and
-// retains exact min/max/sum for mean computation. The zero value is
-// ready to use.
-type Histogram struct {
+// Gauge is a point-in-time level: it can rise and fall, unlike
+// Counter. The coordination service uses gauges for proposer queue
+// depth and in-flight proposal frames.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds one to the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one from the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds delta (positive or negative) to the gauge.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the gauge's current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Distribution records unitless int64 samples (batch sizes, fan-outs,
+// queue lengths at drain time) into power-of-two buckets with exact
+// count/sum/min/max — the integer sibling of the duration Histogram.
+// The zero value is ready to use.
+type Distribution struct {
 	mu      sync.Mutex
 	count   int64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
+	sum     int64
+	min     int64
+	max     int64
 	buckets [nBuckets]int64
 }
 
-// nBuckets covers 1ns..~9.2s with 64 powers-of-two-ish buckets.
-const nBuckets = 64
-
-func bucketFor(d time.Duration) int {
-	if d <= 0 {
+func valueBucketFor(v int64) int {
+	if v <= 0 {
 		return 0
 	}
-	b := 64 - leadingZeros64(uint64(d))
+	b := 64 - leadingZeros64(uint64(v))
 	if b >= nBuckets {
 		b = nBuckets - 1
 	}
 	return b
 }
+
+// Observe records one sample.
+func (d *Distribution) Observe(v int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if v > d.max {
+		d.max = v
+	}
+	d.count++
+	d.sum += v
+	d.buckets[valueBucketFor(v)]++
+}
+
+// Count returns the number of samples.
+func (d *Distribution) Count() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// Sum returns the running total of all samples.
+func (d *Distribution) Sum() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sum
+}
+
+// Mean returns the arithmetic mean of all samples.
+func (d *Distribution) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.count)
+}
+
+// Min returns the smallest sample.
+func (d *Distribution) Min() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.min
+}
+
+// Max returns the largest sample.
+func (d *Distribution) Max() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.max
+}
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1) using the
+// bucket upper bounds; the error is bounded by the bucket width.
+func (d *Distribution) Quantile(q float64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(d.count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range d.buckets {
+		seen += n
+		if seen >= target {
+			return int64(1) << uint(i)
+		}
+	}
+	return d.max
+}
+
+// nBuckets covers 1ns..~9.2s with 64 powers-of-two-ish buckets.
+const nBuckets = 64
+
+// bucketFor is valueBucketFor in duration clothing, kept for the
+// duration-facing tests and any future duration-specific bucketing.
+func bucketFor(d time.Duration) int { return valueBucketFor(int64(d)) }
 
 func leadingZeros64(x uint64) int {
 	n := 0
@@ -67,78 +178,41 @@ func leadingZeros64(x uint64) int {
 	return n
 }
 
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 || d < h.min {
-		h.min = d
-	}
-	if d > h.max {
-		h.max = d
-	}
-	h.count++
-	h.sum += d
-	h.buckets[bucketFor(d)]++
+// Histogram records durations into exponentially sized buckets and
+// retains exact min/max/sum for mean computation. The zero value is
+// ready to use. A duration is a nanosecond int64, so the statistics
+// engine is a Distribution; Histogram is its duration-typed face.
+type Histogram struct {
+	d Distribution
 }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.d.Observe(int64(d)) }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() int64 { return h.d.Count() }
 
-// Mean returns the arithmetic mean of all observations.
+// Mean returns the arithmetic mean of all observations (one
+// consistent snapshot, integer nanosecond division as before).
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if h.d.count == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.count)
+	return time.Duration(h.d.sum / h.d.count)
 }
 
 // Min returns the smallest observation.
-func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.min
-}
+func (h *Histogram) Min() time.Duration { return time.Duration(h.d.Min()) }
 
 // Max returns the largest observation.
-func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
+func (h *Histogram) Max() time.Duration { return time.Duration(h.d.Max()) }
 
 // Quantile returns an approximate q-quantile (0 <= q <= 1) using the
 // bucket upper bounds. The error is bounded by the bucket width.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	target := int64(math.Ceil(q * float64(h.count)))
-	if target == 0 {
-		target = 1
-	}
-	var seen int64
-	for i, n := range h.buckets {
-		seen += n
-		if seen >= target {
-			return time.Duration(uint64(1) << uint(i))
-		}
-	}
-	return h.max
+	return time.Duration(h.d.Quantile(q))
 }
 
 // Summary describes the outcome of a timed closed-loop run: how many
@@ -163,18 +237,23 @@ func (s Summary) String() string {
 		s.Name, s.Ops, s.Elapsed.Round(time.Microsecond), s.Throughput())
 }
 
-// Registry is a named collection of counters and histograms.
+// Registry is a named collection of counters, gauges, histograms and
+// distributions.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	histograms map[string]*Histogram
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	distributions map[string]*Distribution
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		histograms: make(map[string]*Histogram),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		distributions: make(map[string]*Distribution),
 	}
 }
 
@@ -190,6 +269,18 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the histogram with the given name, creating it if needed.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
@@ -202,12 +293,50 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Distribution returns the distribution with the given name, creating
+// it if needed.
+func (r *Registry) Distribution(name string) *Distribution {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.distributions[name]
+	if !ok {
+		d = &Distribution{}
+		r.distributions[name] = d
+	}
+	return d
+}
+
 // CounterNames returns the sorted names of all registered counters.
 func (r *Registry) CounterNames() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns the sorted names of all registered gauges.
+func (r *Registry) GaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DistributionNames returns the sorted names of all registered
+// distributions.
+func (r *Registry) DistributionNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.distributions))
+	for n := range r.distributions {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -122,3 +122,98 @@ func TestBucketForEdges(t *testing.T) {
 		t.Fatalf("bucketFor overflow bucket = %d", b)
 	}
 }
+
+func TestGaugeMovesBothWays(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Inc()
+	g.Add(4)
+	g.Dec()
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge = %d, want 9", got)
+	}
+	g.Add(-20)
+	if got := g.Value(); got != -11 {
+		t.Fatalf("gauge = %d, want -11", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge after balanced inc/dec = %d, want 0", got)
+	}
+}
+
+func TestDistributionBasics(t *testing.T) {
+	var d Distribution
+	for _, v := range []int64{1, 2, 4, 8, 128} {
+		d.Observe(v)
+	}
+	if d.Count() != 5 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if d.Sum() != 143 {
+		t.Fatalf("sum = %d", d.Sum())
+	}
+	if d.Min() != 1 || d.Max() != 128 {
+		t.Fatalf("min/max = %d/%d", d.Min(), d.Max())
+	}
+	if m := d.Mean(); m < 28.5 || m > 28.7 {
+		t.Fatalf("mean = %f", m)
+	}
+	if q := d.Quantile(1); q < 128 {
+		t.Fatalf("q100 = %d, want >= 128", q)
+	}
+	if lo, hi := d.Quantile(0), d.Quantile(0.99); lo > hi {
+		t.Fatalf("quantiles not monotone: q0=%d q99=%d", lo, hi)
+	}
+}
+
+func TestDistributionZeroValueAndEdges(t *testing.T) {
+	var d Distribution
+	if d.Mean() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatal("zero-value distribution not zero")
+	}
+	d.Observe(0)
+	d.Observe(-3)
+	if d.Min() != -3 || d.Max() != 0 {
+		t.Fatalf("min/max = %d/%d", d.Min(), d.Max())
+	}
+	if valueBucketFor(0) != 0 || valueBucketFor(-1) != 0 {
+		t.Fatal("non-positive samples must land in bucket 0")
+	}
+	if b := valueBucketFor(1 << 62); b >= nBuckets {
+		t.Fatalf("overflow bucket = %d", b)
+	}
+}
+
+func TestRegistryGaugesAndDistributions(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("queue").Set(3)
+	if r.Gauge("queue").Value() != 3 {
+		t.Fatal("gauge not shared across lookups")
+	}
+	r.Distribution("batch").Observe(7)
+	if r.Distribution("batch").Count() != 1 {
+		t.Fatal("distribution not shared across lookups")
+	}
+	if names := r.GaugeNames(); len(names) != 1 || names[0] != "queue" {
+		t.Fatalf("GaugeNames() = %v", names)
+	}
+	if names := r.DistributionNames(); len(names) != 1 || names[0] != "batch" {
+		t.Fatalf("DistributionNames() = %v", names)
+	}
+}

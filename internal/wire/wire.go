@@ -113,6 +113,16 @@ func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 // Err returns the first decoding error, or nil.
 func (r *Reader) Err() error { return r.err }
 
+// Fail marks the reader as failed with a caller-supplied error (e.g. a
+// structurally impossible element count), so subsequent reads return
+// zero values and Err reports the problem. A reader that already
+// failed keeps its original error.
+func (r *Reader) Fail(err error) {
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+}
+
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -162,5 +163,25 @@ func TestWriterReset(t *testing.T) {
 	w.Reset()
 	if w.Len() != 0 {
 		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+}
+
+func TestReaderFail(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4})
+	r.Fail(nil) // nil must not mark the reader failed
+	if r.Err() != nil {
+		t.Fatal("Fail(nil) set an error")
+	}
+	sentinel := errors.New("structurally impossible count")
+	r.Fail(sentinel)
+	if r.Err() != sentinel {
+		t.Fatalf("Err() = %v, want sentinel", r.Err())
+	}
+	if got := r.Uint8(); got != 0 {
+		t.Fatalf("read after Fail = %d, want zero value", got)
+	}
+	r.Fail(errors.New("second"))
+	if r.Err() != sentinel {
+		t.Fatal("Fail overwrote the original error")
 	}
 }
