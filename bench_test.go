@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -456,55 +457,173 @@ func BenchmarkGroupCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncPipeline measures the client-side half of the write
+// pipeline (DESIGN.md §10): ONE goroutine issuing znode creates under
+// injected network latency, synchronously (one blocking round trip per
+// create — the paper's client model) versus through Begin/Pipeline
+// (dozens of tagged requests in flight over the same session). The
+// server side is identical group-commit ZAB in both modes; the only
+// variable is whether the client waits out each round trip before
+// submitting the next. The acceptance bar is ≥4x; with a 48-deep
+// pipeline over a 500µs RTT the expected gap is an order of magnitude.
+func BenchmarkAsyncPipeline(b *testing.B) {
+	const (
+		netRTT   = 500 * time.Microsecond
+		pipeline = 48 // outstanding futures before a Wait
+	)
+	setup := func(b *testing.B, tag string) *coord.Session {
+		net := &transport.Latency{
+			Inner: transport.NewInProc(),
+			Delay: func() time.Duration { return netRTT },
+		}
+		ens, err := coord.StartEnsemble(coord.EnsembleConfig{
+			Servers:           1,
+			Net:               net,
+			AddrPrefix:        fmt.Sprintf("apipe-%s-%d", tag, rand.Int()),
+			HeartbeatInterval: 5 * time.Millisecond,
+			ElectionTimeout:   50 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(ens.Stop)
+		sess, err := ens.Connect(-1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { sess.Close() })
+		if _, err := sess.Create("/ap", nil, znode.ModePersistent); err != nil {
+			b.Fatal(err)
+		}
+		return sess
+	}
+	b.Run("sync", func(b *testing.B) {
+		sess := setup(b, "sync")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Create(fmt.Sprintf("/ap/s%d", i), nil, znode.ModePersistent); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "writes/s")
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		sess := setup(b, "pipe")
+		pl := coord.NewPipeline(context.Background(), sess)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pl.Create(fmt.Sprintf("/ap/p%d", i), nil, znode.ModePersistent)
+			if pl.Outstanding() >= pipeline {
+				if err := pl.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := pl.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "writes/s")
+	})
+}
+
 // --- Batched-API round-trip benchmarks (DESIGN.md §8) ------------------
 
 // rpcCountingClient wraps a coord.Client and counts the calls that
 // cross the network, so the round-trip benchmarks can report rpcs/op
-// alongside wall-clock time. Only the methods the measured paths use
-// are intercepted; Atomic is pure client-side math and stays uncounted.
+// alongside wall-clock time. Both the context-aware primaries (which
+// the DUFS hot paths call) and the synchronous wrappers route through
+// the counter; the async submissions count one RPC per future. Atomic
+// is pure client-side math and stays uncounted.
 type rpcCountingClient struct {
 	coord.Client
 	calls atomic.Int64
 }
 
-func (c *rpcCountingClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+func (c *rpcCountingClient) CreateCtx(ctx context.Context, path string, data []byte, mode znode.CreateMode) (string, error) {
 	c.calls.Add(1)
-	return c.Client.Create(path, data, mode)
+	return c.Client.CreateCtx(ctx, path, data, mode)
+}
+
+func (c *rpcCountingClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	return c.CreateCtx(context.Background(), path, data, mode)
+}
+
+func (c *rpcCountingClient) GetCtx(ctx context.Context, path string) ([]byte, znode.Stat, error) {
+	c.calls.Add(1)
+	return c.Client.GetCtx(ctx, path)
 }
 
 func (c *rpcCountingClient) Get(path string) ([]byte, znode.Stat, error) {
+	return c.GetCtx(context.Background(), path)
+}
+
+func (c *rpcCountingClient) SetCtx(ctx context.Context, path string, data []byte, version int32) (znode.Stat, error) {
 	c.calls.Add(1)
-	return c.Client.Get(path)
+	return c.Client.SetCtx(ctx, path, data, version)
 }
 
 func (c *rpcCountingClient) Set(path string, data []byte, version int32) (znode.Stat, error) {
+	return c.SetCtx(context.Background(), path, data, version)
+}
+
+func (c *rpcCountingClient) DeleteCtx(ctx context.Context, path string, version int32) error {
 	c.calls.Add(1)
-	return c.Client.Set(path, data, version)
+	return c.Client.DeleteCtx(ctx, path, version)
 }
 
 func (c *rpcCountingClient) Delete(path string, version int32) error {
+	return c.DeleteCtx(context.Background(), path, version)
+}
+
+func (c *rpcCountingClient) ExistsCtx(ctx context.Context, path string) (znode.Stat, bool, error) {
 	c.calls.Add(1)
-	return c.Client.Delete(path, version)
+	return c.Client.ExistsCtx(ctx, path)
 }
 
 func (c *rpcCountingClient) Exists(path string) (znode.Stat, bool, error) {
+	return c.ExistsCtx(context.Background(), path)
+}
+
+func (c *rpcCountingClient) ChildrenCtx(ctx context.Context, path string) ([]string, error) {
 	c.calls.Add(1)
-	return c.Client.Exists(path)
+	return c.Client.ChildrenCtx(ctx, path)
 }
 
 func (c *rpcCountingClient) Children(path string) ([]string, error) {
+	return c.ChildrenCtx(context.Background(), path)
+}
+
+func (c *rpcCountingClient) MultiCtx(ctx context.Context, ops []coord.Op) ([]coord.OpResult, error) {
 	c.calls.Add(1)
-	return c.Client.Children(path)
+	return c.Client.MultiCtx(ctx, ops)
 }
 
 func (c *rpcCountingClient) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+	return c.MultiCtx(context.Background(), ops)
+}
+
+func (c *rpcCountingClient) ChildrenDataCtx(ctx context.Context, path string) ([]coord.ChildEntry, error) {
 	c.calls.Add(1)
-	return c.Client.Multi(ops)
+	return c.Client.ChildrenDataCtx(ctx, path)
 }
 
 func (c *rpcCountingClient) ChildrenData(path string) ([]coord.ChildEntry, error) {
+	return c.ChildrenDataCtx(context.Background(), path)
+}
+
+func (c *rpcCountingClient) Begin(ctx context.Context, op coord.Op) *coord.Future {
 	c.calls.Add(1)
-	return c.Client.ChildrenData(path)
+	return c.Client.Begin(ctx, op)
+}
+
+func (c *rpcCountingClient) BeginMulti(ctx context.Context, ops []coord.Op) *coord.Future {
+	c.calls.Add(1)
+	return c.Client.BeginMulti(ctx, ops)
+}
+
+func (c *rpcCountingClient) BeginChildrenData(ctx context.Context, path string) *coord.Future {
+	c.calls.Add(1)
+	return c.Client.BeginChildrenData(ctx, path)
 }
 
 // startLatencyDUFS boots a single-server ensemble behind an injected

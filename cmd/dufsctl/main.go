@@ -18,15 +18,21 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/coord"
 	"repro/internal/coord/shard"
+	"repro/internal/core"
 	"repro/internal/vfs"
 )
 
@@ -55,7 +61,7 @@ func main() {
 	fs := cl.FS
 	fmt.Printf("DUFS shell: %d back-end %s mounts, %d coordination shard(s) of %d server(s) (client ID %d)\n",
 		*backends, *kind, *shards, *coordServers, fs.ClientID())
-	fmt.Println(`commands: mkdir ls stat put cat rm rmdir mv ln readlink chmod truncate status help quit`)
+	fmt.Println(`commands: mkdir ls stat put cat rm rmdir mv ln readlink chmod truncate watch status help quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -78,10 +84,66 @@ func main() {
 			}
 			continue
 		}
+		if args[0] == "watch" {
+			if err := watch(cl.Session, fs, args[1:], os.Stdout); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			continue
+		}
 		if err := run(fs, args); err != nil {
 			fmt.Printf("error: %v\n", err)
 		}
 	}
+}
+
+// watch tails invalidation events for a path over the push stream:
+// `watch PATH [N]` blocks until N events (default 1) have been
+// delivered, printing each as it fires — the live demonstration of
+// the watch machinery the client cache invalidates from.
+func watch(sess coord.Client, fs *core.DUFS, args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("watch needs a path")
+	}
+	n := 1
+	if len(args) > 1 {
+		v, err := strconv.Atoi(args[1])
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad event count %q", args[1])
+		}
+		n = v
+	}
+	zp, err := fs.ZnodePath(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "watching %s (znode %s) for %d event(s)...\n", args[0], zp, n)
+	return watchZnode(sess, zp, n, out)
+}
+
+// watchZnode registers one-shot data and child watches on zp and
+// blocks on the push event stream, re-registering after each delivery
+// (watches are one-shot, as in ZooKeeper), until n events have been
+// printed.
+func watchZnode(sess coord.Client, zp string, n int, out io.Writer) error {
+	for seen := 0; seen < n; {
+		// ExistsW fires on creation of a currently-absent node too, so
+		// a watch on a not-yet-existing path is meaningful.
+		if _, _, err := sess.ExistsW(zp); err != nil {
+			return err
+		}
+		if _, err := sess.ChildrenW(zp); err != nil && !errors.Is(err, coord.ErrNoNode) {
+			return err
+		}
+		evs, err := sess.WaitEvents(context.Background(), 30*time.Second)
+		if err != nil {
+			return err
+		}
+		for _, ev := range evs {
+			fmt.Fprintf(out, "%s %s\n", ev.Type, ev.Path)
+			seen++
+		}
+	}
+	return nil
 }
 
 // status prints the coordination service's view of itself — per shard
@@ -117,7 +179,7 @@ func run(fs vfs.FileSystem, args []string) error {
 	case "help":
 		fmt.Println("mkdir PATH | ls PATH | stat PATH | put PATH DATA | cat PATH |")
 		fmt.Println("rm PATH | rmdir PATH | mv OLD NEW | ln TARGET LINK | readlink PATH |")
-		fmt.Println("chmod PATH OCTAL | truncate PATH SIZE | status | quit")
+		fmt.Println("chmod PATH OCTAL | truncate PATH SIZE | watch PATH [N] | status | quit")
 		return nil
 	case "mkdir":
 		if err := need(1); err != nil {

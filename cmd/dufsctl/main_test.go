@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestWatchCommandTailsEvents is the smoke test for `dufsctl watch`:
+// one client parks a watch on a directory over the push stream, a
+// second client mutates it, and the watcher prints the invalidation
+// events without ever polling.
+func TestWatchCommandTailsEvents(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{
+		Name:         "dufsctl-watch-test",
+		CoordServers: 1,
+		Backends:     1,
+		Kind:         cluster.MemFS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	watcher, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutator, err := c.NewClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := watcher.FS.Mkdir("/proj", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	var mu sync.Mutex
+	lockedOut := struct {
+		w  *strings.Builder
+		mu *sync.Mutex
+	}{&out, &mu}
+	done := make(chan error, 1)
+	go func() {
+		done <- watch(watcher.Session, watcher.FS, []string{"/proj", "2"}, syncWriter{lockedOut.w, lockedOut.mu})
+	}()
+	// Give the watcher time to park, then mutate from the other
+	// client: one child create (children-changed) and one directory
+	// chmod (data-changed).
+	time.Sleep(100 * time.Millisecond)
+	if err := mutator.FS.Mkdir("/proj/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := mutator.FS.Chmod("/proj", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("watch: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch never delivered 2 events")
+	}
+	mu.Lock()
+	got := out.String()
+	mu.Unlock()
+	if !strings.Contains(got, "/dufs/proj") {
+		t.Fatalf("watch output %q does not mention the watched znode", got)
+	}
+	if !strings.Contains(got, "children-changed") && !strings.Contains(got, "data-changed") {
+		t.Fatalf("watch output %q carries no invalidation events", got)
+	}
+}
+
+// syncWriter serialises the watcher goroutine's prints against the
+// test's final read.
+type syncWriter struct {
+	w  *strings.Builder
+	mu *sync.Mutex
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

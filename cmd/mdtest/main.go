@@ -9,6 +9,7 @@
 //	mdtest -system pvfs   -procs 16 -items 200
 //	mdtest -system dufs   -shared            # many files in one directory
 //	mdtest -system dufs   -workload readdir  # listing-heavy (batched readdir)
+//	mdtest -system dufs   -workload stat     # stat-heavy over the client cache
 //
 // Throughput here is real wall-clock throughput of the Go
 // implementation on the local machine — useful for regression tracking
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/mdtest"
 	"repro/internal/vfs"
 )
@@ -39,17 +41,24 @@ func main() {
 	depth := flag.Int("depth", 5, "directory tree depth")
 	shared := flag.Bool("shared", false, "create all items in a single shared directory")
 	kind := flag.String("backend-kind", "lustre", "dufs back-end kind: lustre, pvfs, memfs")
-	workload := flag.String("workload", "full", "phase set: full (all phases), readdir (listing-heavy: create, readdir, remove)")
+	workload := flag.String("workload", "full", "phase set: full (all phases), readdir (listing-heavy: create, readdir, remove), stat (stat-heavy over the watch-coherent client cache)")
 	flag.Parse()
 
 	var phases []mdtest.Phase
+	cached := false
 	switch *workload {
 	case "full":
 		phases = mdtest.AllPhases
 	case "readdir":
 		phases = mdtest.ReaddirHeavyPhases
+	case "stat":
+		// The stat-dominated workload mounts DUFS through core.Cached,
+		// so the hot phase exercises the client metadata cache and its
+		// push-invalidation event stream.
+		phases = mdtest.StatHeavyPhases
+		cached = true
 	default:
-		log.Fatalf("unknown workload %q (want full, readdir)", *workload)
+		log.Fatalf("unknown workload %q (want full, readdir, stat)", *workload)
 	}
 
 	cfg := cluster.Config{
@@ -65,6 +74,7 @@ func main() {
 	defer c.Stop()
 
 	mounts := make([]vfs.FileSystem, *procs)
+	var caches []*core.Cached
 	switch *system {
 	case "dufs":
 		for p := 0; p < *procs; p++ {
@@ -72,7 +82,14 @@ func main() {
 			if err != nil {
 				log.Fatalf("client %d: %v", p, err)
 			}
-			mounts[p] = cl.FS
+			if cached {
+				cc := core.NewCached(cl.FS, cl.Metrics)
+				defer cc.Close()
+				caches = append(caches, cc)
+				mounts[p] = cc
+			} else {
+				mounts[p] = cl.FS
+			}
 		}
 	case "lustre":
 		base, err := c.BasicLustreClient()
@@ -123,5 +140,15 @@ func main() {
 			r.Latency.Quantile(0.50).Round(time.Microsecond),
 			r.Latency.Quantile(0.99).Round(time.Microsecond),
 			r.Latency.Max().Round(time.Microsecond))
+	}
+	if len(caches) > 0 {
+		var hits, misses int64
+		for _, cc := range caches {
+			h, m := cc.CacheStats()
+			hits += h
+			misses += m
+		}
+		fmt.Printf("\nclient cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
 	}
 }

@@ -37,6 +37,10 @@ const (
 	opPollEvents
 	opMulti
 	opChildrenData
+	// opWaitEvents is the push-shaped event wait: the server parks the
+	// request until a watch fires for the session or the carried
+	// timeout expires. Client-local (never replicated).
+	opWaitEvents
 )
 
 // Status codes carried in replies. They replicate deterministically as
@@ -157,6 +161,11 @@ const (
 	OpSet OpKind = OpKind(znode.MultiSet)
 	// OpDelete removes a childless znode (like Client.Delete).
 	OpDelete OpKind = OpKind(znode.MultiDelete)
+	// OpSync is the visibility barrier (Client.Sync) as an async
+	// submission. It is only meaningful to Begin — a Multi batch cannot
+	// carry it — which is why its value sits far outside the
+	// znode.MultiKind range.
+	OpSync OpKind = 255
 )
 
 // Op is one element of a Multi batch.

@@ -1,0 +1,310 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/coord/znode"
+	"repro/internal/wire"
+)
+
+// The asynchronous submission layer (DESIGN.md §10).
+//
+// Begin decouples operation SUBMISSION from COMPLETION: it returns a
+// Future immediately and keeps the request in flight alongside every
+// other outstanding submission on the same session, multiplexed over
+// the one transport connection (the TCP transport tags each request
+// frame with a call ID; responses complete the matching future). One
+// goroutine can therefore keep dozens of writes in the leader's
+// group-commit pipeline — the client-side half of the server-side
+// batching PR 3 built, and the design λFS argues is what lets a
+// metadata service exploit server parallelism.
+//
+// Ordering: futures are INDEPENDENT. Two Begin calls race exactly like
+// two synchronous calls from two goroutines — the service serializes
+// them in an arbitrary order. Callers that need ordering chain on a
+// future's completion or put the dependent ops in one Multi. The
+// synchronous API keeps its stronger property trivially: a goroutine
+// issuing sync calls observes each result before the next submission.
+
+// asyncWindow bounds a session's concurrently in-flight asynchronous
+// submissions. It must stay well below the server's per-session
+// retry-dedup window (dedupWindowSize) so a post-failover replay of
+// any in-flight write is always recognised as a duplicate.
+const asyncWindow = 64
+
+// Future is the pending result of an asynchronous submission. All
+// accessors block until the operation completes; Done exposes the
+// completion signal for select loops.
+type Future struct {
+	done    chan struct{}
+	op      OpResult
+	multi   []OpResult
+	entries []ChildEntry
+	err     error
+}
+
+// Done is closed when the future resolves.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Err blocks until completion and returns the operation's error.
+func (f *Future) Err() error {
+	<-f.done
+	return f.err
+}
+
+// Result blocks until completion and returns the single-op outcome
+// (create path, set stat) — for futures minted by Begin.
+func (f *Future) Result() (OpResult, error) {
+	<-f.done
+	return f.op, f.err
+}
+
+// Results blocks until completion and returns the per-op outcomes of
+// a BeginMulti future, with Multi's abort semantics.
+func (f *Future) Results() ([]OpResult, error) {
+	<-f.done
+	return f.multi, f.err
+}
+
+// Entries blocks until completion and returns a BeginChildrenData
+// future's listing.
+func (f *Future) Entries() ([]ChildEntry, error) {
+	<-f.done
+	return f.entries, f.err
+}
+
+// FutureOp resolves a future from fn, run asynchronously. It is the
+// composition hook for Client implementations that wrap other clients
+// (the shard router layers its routing semantics over the per-shard
+// sessions' native submissions this way).
+func FutureOp(fn func() (OpResult, error)) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		f.op, f.err = fn()
+	}()
+	return f
+}
+
+// FutureMulti is FutureOp for batch results.
+func FutureMulti(fn func() ([]OpResult, error)) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		f.multi, f.err = fn()
+	}()
+	return f
+}
+
+// FutureEntries is FutureOp for listing results.
+func FutureEntries(fn func() ([]ChildEntry, error)) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		f.entries, f.err = fn()
+	}()
+	return f
+}
+
+// resolvedFuture returns an already-failed future (malformed ops).
+func resolvedFuture(err error) *Future {
+	f := &Future{done: make(chan struct{}), err: err}
+	f.op.Err = err
+	close(f.done)
+	return f
+}
+
+// Begin submits one operation asynchronously and returns its future.
+// The write sequence number is allocated at submission, so a future's
+// retry after failover deduplicates exactly like a synchronous
+// retry's. A context cancelled while the operation is in flight
+// resolves the future with ctx.Err() immediately; the abandoned
+// request drains harmlessly (its tagged response is dropped) and the
+// session remains fully usable.
+func (s *Session) Begin(ctx context.Context, op Op) *Future {
+	msg, decode, err := s.encodeAsyncOp(op)
+	if err != nil {
+		return resolvedFuture(err)
+	}
+	return FutureOp(func() (OpResult, error) {
+		select {
+		case s.window <- struct{}{}:
+		case <-ctx.Done():
+			return OpResult{Err: ctx.Err()}, ctx.Err()
+		}
+		defer func() { <-s.window }()
+		payload, err := s.requestCtx(ctx, msg)
+		if err != nil {
+			return OpResult{Err: err}, err
+		}
+		return decode(payload)
+	})
+}
+
+// encodeAsyncOp translates one Op into its wire transaction and reply
+// decoder. Checks ride as single-op Multi transactions (the protocol
+// has no standalone check); OpSync maps to the sync barrier.
+func (s *Session) encodeAsyncOp(op Op) (msg []byte, decode func([]byte) (OpResult, error), err error) {
+	switch op.Kind {
+	case OpCreate:
+		msg = encodeCreateTxn(op.Path, op.Data, op.Mode, s.id, s.seq.Add(1), time.Now().UnixNano())
+		decode = func(payload []byte) (OpResult, error) {
+			created, err := decodeCreateReply(payload)
+			return OpResult{Err: err, Created: created}, err
+		}
+	case OpSet:
+		msg = encodeSetTxn(op.Path, op.Data, op.Version, s.id, s.seq.Add(1), time.Now().UnixNano())
+		decode = func(payload []byte) (OpResult, error) {
+			stat, err := decodeSetReply(payload)
+			return OpResult{Err: err, Stat: stat}, err
+		}
+	case OpDelete:
+		msg = encodeDeleteTxn(op.Path, op.Version, s.id, s.seq.Add(1))
+		decode = func([]byte) (OpResult, error) { return OpResult{}, nil }
+	case OpCheck:
+		msg = encodeMultiTxn([]Op{op}, s.id, s.seq.Add(1), time.Now().UnixNano())
+		decode = func(payload []byte) (OpResult, error) {
+			results, err := decodeMultiReply(payload)
+			if len(results) == 1 {
+				return results[0], err
+			}
+			return OpResult{Err: err}, err
+		}
+	case OpSync:
+		msg = encodeSyncTxn(s.id, s.seq.Add(1))
+		decode = func([]byte) (OpResult, error) { return OpResult{}, nil }
+	default:
+		return nil, nil, fmt.Errorf("coord: unknown async op kind %d", op.Kind)
+	}
+	return msg, decode, nil
+}
+
+// BeginMulti submits a whole atomic batch asynchronously.
+func (s *Session) BeginMulti(ctx context.Context, ops []Op) *Future {
+	if len(ops) == 0 {
+		return resolvedFuture(errors.New("coord: empty multi"))
+	}
+	msg := encodeMultiTxn(ops, s.id, s.seq.Add(1), time.Now().UnixNano())
+	return FutureMulti(func() ([]OpResult, error) {
+		select {
+		case s.window <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.window }()
+		payload, err := s.requestCtx(ctx, msg)
+		if err != nil {
+			return nil, err
+		}
+		return decodeMultiReply(payload)
+	})
+}
+
+// BeginChildrenData submits a whole-directory listing asynchronously —
+// the read half of the pipelined subtree walks (core's BFS rename).
+func (s *Session) BeginChildrenData(ctx context.Context, path string) *Future {
+	w := wire.NewWriter(8 + len(path))
+	w.Uint8(opChildrenData)
+	w.String(path)
+	msg := w.Bytes()
+	return FutureEntries(func() ([]ChildEntry, error) {
+		select {
+		case s.window <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.window }()
+		payload, err := s.requestCtx(ctx, msg)
+		if err != nil {
+			return nil, err
+		}
+		return decodeChildrenDataReply(payload)
+	})
+}
+
+// Pipeline batches asynchronous submissions behind one tiny API: queue
+// operations without blocking, then Wait for the whole flight. It is
+// how single-goroutine callers (core's subtree walks, the benchmarks)
+// keep the coordination pipeline full without managing futures by
+// hand. A Pipeline is not safe for concurrent use; make one per
+// goroutine.
+type Pipeline struct {
+	ctx  context.Context
+	c    Client
+	futs []*Future
+}
+
+// NewPipeline starts an empty pipeline over c. Every queued operation
+// inherits ctx.
+func NewPipeline(ctx context.Context, c Client) *Pipeline {
+	return &Pipeline{ctx: ctx, c: c}
+}
+
+// Begin queues an arbitrary operation.
+func (p *Pipeline) Begin(op Op) *Future {
+	f := p.c.Begin(p.ctx, op)
+	p.futs = append(p.futs, f)
+	return f
+}
+
+// Create queues a znode create.
+func (p *Pipeline) Create(path string, data []byte, mode znode.CreateMode) *Future {
+	return p.Begin(CreateOp(path, data, mode))
+}
+
+// Set queues a data write.
+func (p *Pipeline) Set(path string, data []byte, version int32) *Future {
+	return p.Begin(SetOp(path, data, version))
+}
+
+// Delete queues a znode delete.
+func (p *Pipeline) Delete(path string, version int32) *Future {
+	return p.Begin(DeleteOp(path, version))
+}
+
+// Multi queues a whole atomic batch.
+func (p *Pipeline) Multi(ops []Op) *Future {
+	f := p.c.BeginMulti(p.ctx, ops)
+	p.futs = append(p.futs, f)
+	return f
+}
+
+// ChildrenData queues a whole-directory listing.
+func (p *Pipeline) ChildrenData(path string) *Future {
+	f := p.c.BeginChildrenData(p.ctx, path)
+	p.futs = append(p.futs, f)
+	return f
+}
+
+// Outstanding reports how many queued futures Wait will join.
+func (p *Pipeline) Outstanding() int { return len(p.futs) }
+
+// WaitOne joins only the OLDEST queued future and returns its error —
+// the sliding-window primitive: callers that cap their flight at K
+// submissions wait one out and submit the next, keeping the wire
+// continuously occupied instead of draining to empty every K ops.
+func (p *Pipeline) WaitOne() error {
+	if len(p.futs) == 0 {
+		return nil
+	}
+	f := p.futs[0]
+	p.futs = p.futs[1:]
+	return f.Err()
+}
+
+// Wait joins every queued future, clears the queue, and returns the
+// first error encountered in submission order. All futures are waited
+// even after an error, so the flight is fully drained.
+func (p *Pipeline) Wait() error {
+	var first error
+	for _, f := range p.futs {
+		if err := f.Err(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.futs = p.futs[:0]
+	return first
+}

@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,9 +14,13 @@ import (
 )
 
 // Session is a client connection to the coordination service,
-// equivalent to a ZooKeeper handle. DUFS uses the synchronous API
-// exactly as the paper does ("The synchronous ZooKeeper API were used
-// for this purpose", §IV-D).
+// equivalent to a ZooKeeper handle. The paper's DUFS programs against
+// the synchronous API ("The synchronous ZooKeeper API were used for
+// this purpose", §IV-D); this session keeps that surface and rebuilds
+// it over a context-aware core (the *Ctx methods) plus an
+// asynchronous submission layer (Begin / Pipeline, async.go) that
+// keeps many tagged requests in flight over the one connection —
+// matching how real ZooKeeper clients pipeline their outbound queue.
 //
 // A session connects to one server; reads are answered by that server
 // from its local replica, writes are forwarded by the server through
@@ -26,12 +31,31 @@ type Session struct {
 	addrs []string
 	seq   atomic.Uint64 // per-session write sequence, for exact-once retries
 
-	mu     sync.Mutex
-	conn   transport.Conn
-	cur    int // index into addrs of the current server
-	id     uint64
-	closed bool
+	// window bounds concurrently in-flight async submissions; it must
+	// stay well under the server's per-session retry-dedup window so a
+	// reconnect replay can always be recognised.
+	window chan struct{}
+
+	mu      sync.Mutex
+	conn    transport.Conn
+	connGen uint64 // bumped on every fresh dial; watch-loss detection
+	cur     int    // index into addrs of the current server
+	id      uint64
+	closed  bool
+
+	// eventGen remembers the connection generation of the last
+	// WaitEvents call, so a failover BETWEEN two parks (detected by a
+	// concurrent writer, redialed before the next park) still surfaces
+	// as watch loss instead of silently parking on a server that holds
+	// none of this session's watches.
+	eventGen atomic.Uint64
 }
+
+// ErrWatchesLost reports that the session's connection was replaced
+// (server death, failover): the watches registered through it — and
+// any undelivered events — were server-local state and are gone.
+// Consumers must re-register watches and assume missed invalidations.
+var ErrWatchesLost = errors.New("coord: session failed over; server-local watches were lost")
 
 // DialTimeout bounds how long Connect and request retries keep trying
 // before giving up (elections take a few heartbeats to settle).
@@ -44,7 +68,11 @@ func Connect(net transport.Network, addrs []string) (*Session, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("coord: no server addresses")
 	}
-	s := &Session{net: net, addrs: append([]string(nil), addrs...)}
+	s := &Session{
+		net:    net,
+		addrs:  append([]string(nil), addrs...),
+		window: make(chan struct{}, asyncWindow),
+	}
 	resp, err := s.request(encodeNewSessionTxn())
 	if err != nil {
 		return nil, fmt.Errorf("coord: establishing session: %w", err)
@@ -84,13 +112,21 @@ func (s *Session) Close() error {
 // necessary. It never holds the lock across a dial of more than one
 // candidate address.
 func (s *Session) getConn() (transport.Conn, error) {
+	c, _, err := s.getConnGen()
+	return c, err
+}
+
+// getConnGen is getConn plus the connection's generation number —
+// bumped on every fresh dial, so event consumers can detect that the
+// connection (and with it the server holding their watches) changed.
+func (s *Session) getConnGen() (transport.Conn, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, errors.New("coord: session closed")
+		return nil, 0, errors.New("coord: session closed")
 	}
 	if s.conn != nil {
-		return s.conn, nil
+		return s.conn, s.connGen, nil
 	}
 	var lastErr error
 	for i := 0; i < len(s.addrs); i++ {
@@ -102,9 +138,10 @@ func (s *Session) getConn() (transport.Conn, error) {
 		}
 		s.cur = (s.cur + i) % len(s.addrs)
 		s.conn = c
-		return c, nil
+		s.connGen++
+		return c, s.connGen, nil
 	}
-	return nil, fmt.Errorf("coord: all servers unreachable: %w", lastErr)
+	return nil, 0, fmt.Errorf("coord: all servers unreachable: %w", lastErr)
 }
 
 func (s *Session) dropConn() {
@@ -118,33 +155,63 @@ func (s *Session) dropConn() {
 }
 
 // request sends one protocol message and returns the payload after the
-// status header, retrying transient failures (dead server, election in
-// progress) until DialTimeout.
+// status header, retrying transient failures until DialTimeout.
 func (s *Session) request(msg []byte) ([]byte, error) {
+	return s.requestCtx(context.Background(), msg)
+}
+
+// requestCtx is the session's request engine: it sends one protocol
+// message and returns the payload after the status header, retrying
+// transient failures (dead server, election in progress) until
+// DialTimeout or the context's deadline, whichever is sooner. A
+// cancelled context releases the caller immediately — the in-flight
+// call is abandoned at the transport (its tagged response is dropped
+// when it arrives) and, for writes, the per-session sequence number
+// lets a later retry be deduplicated, so abandonment never corrupts
+// the session.
+func (s *Session) requestCtx(ctx context.Context, msg []byte) ([]byte, error) {
 	deadline := time.Now().Add(DialTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if time.Now().After(deadline) {
+			if lastErr == nil {
+				lastErr = context.DeadlineExceeded
+			}
 			return nil, fmt.Errorf("coord: request failed after retries: %w", lastErr)
 		}
 		c, err := s.getConn()
 		if err != nil {
 			lastErr = err
-			time.Sleep(retryDelay(attempt))
+			if serr := sleepCtx(ctx, retryDelay(attempt)); serr != nil {
+				return nil, serr
+			}
 			continue
 		}
-		resp, err := c.Call(msg)
+		resp, err := s.call(ctx, c, msg)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			lastErr = err
 			var remote *transport.RemoteError
 			if errors.As(err, &remote) {
 				// The server is alive but the proposal failed (e.g. an
 				// election is in flight). Retry on the same server.
-				time.Sleep(retryDelay(attempt))
+				if serr := sleepCtx(ctx, retryDelay(attempt)); serr != nil {
+					return nil, serr
+				}
 				continue
 			}
 			s.dropConn()
-			time.Sleep(retryDelay(attempt))
+			if serr := sleepCtx(ctx, retryDelay(attempt)); serr != nil {
+				return nil, serr
+			}
 			continue
 		}
 		r := wire.NewReader(resp)
@@ -160,6 +227,38 @@ func (s *Session) request(msg []byte) ([]byte, error) {
 	}
 }
 
+// call performs one transport round trip. Uncancellable contexts take
+// the direct path (no goroutine, no channel — the hot path is exactly
+// the old synchronous one); cancellable contexts go through the
+// transport's async submission so the wait can be abandoned.
+func (s *Session) call(ctx context.Context, c transport.Conn, msg []byte) ([]byte, error) {
+	if ctx.Done() == nil {
+		return c.Call(msg)
+	}
+	select {
+	case res := <-transport.CallAsync(c, msg):
+		return res.Payload, res.Err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// sleepCtx pauses for d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func retryDelay(attempt int) time.Duration {
 	d := time.Duration(attempt+1) * 2 * time.Millisecond
 	if d > 50*time.Millisecond {
@@ -168,14 +267,24 @@ func retryDelay(attempt int) time.Duration {
 	return d
 }
 
-// Create creates a znode and returns the created path (which differs
-// from the requested path for sequential modes).
-func (s *Session) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+// CreateCtx creates a znode and returns the created path (which
+// differs from the requested path for sequential modes). The context
+// bounds the whole operation including failover retries.
+func (s *Session) CreateCtx(ctx context.Context, path string, data []byte, mode znode.CreateMode) (string, error) {
 	msg := encodeCreateTxn(path, data, mode, s.id, s.seq.Add(1), time.Now().UnixNano())
-	payload, err := s.request(msg)
+	payload, err := s.requestCtx(ctx, msg)
 	if err != nil {
 		return "", err
 	}
+	return decodeCreateReply(payload)
+}
+
+// Create creates a znode with the background context.
+func (s *Session) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	return s.CreateCtx(context.Background(), path, data, mode)
+}
+
+func decodeCreateReply(payload []byte) (string, error) {
 	r := wire.NewReader(payload)
 	created := r.String()
 	if err := r.Err(); err != nil {
@@ -184,12 +293,12 @@ func (s *Session) Create(path string, data []byte, mode znode.CreateMode) (strin
 	return created, nil
 }
 
-// Get returns the znode's data and stat.
-func (s *Session) Get(path string) ([]byte, znode.Stat, error) {
+// GetCtx returns the znode's data and stat.
+func (s *Session) GetCtx(ctx context.Context, path string) ([]byte, znode.Stat, error) {
 	w := wire.NewWriter(8 + len(path))
 	w.Uint8(opGet)
 	w.String(path)
-	payload, err := s.request(w.Bytes())
+	payload, err := s.requestCtx(ctx, w.Bytes())
 	if err != nil {
 		return nil, znode.Stat{}, err
 	}
@@ -202,14 +311,28 @@ func (s *Session) Get(path string) ([]byte, znode.Stat, error) {
 	return data, stat, nil
 }
 
-// Set replaces the znode's data; version -1 disables the optimistic
+// Get returns the znode's data and stat with the background context.
+func (s *Session) Get(path string) ([]byte, znode.Stat, error) {
+	return s.GetCtx(context.Background(), path)
+}
+
+// SetCtx replaces the znode's data; version -1 disables the optimistic
 // concurrency check.
-func (s *Session) Set(path string, data []byte, version int32) (znode.Stat, error) {
+func (s *Session) SetCtx(ctx context.Context, path string, data []byte, version int32) (znode.Stat, error) {
 	msg := encodeSetTxn(path, data, version, s.id, s.seq.Add(1), time.Now().UnixNano())
-	payload, err := s.request(msg)
+	payload, err := s.requestCtx(ctx, msg)
 	if err != nil {
 		return znode.Stat{}, err
 	}
+	return decodeSetReply(payload)
+}
+
+// Set replaces the znode's data with the background context.
+func (s *Session) Set(path string, data []byte, version int32) (znode.Stat, error) {
+	return s.SetCtx(context.Background(), path, data, version)
+}
+
+func decodeSetReply(payload []byte) (znode.Stat, error) {
 	r := wire.NewReader(payload)
 	stat := decodeStat(r)
 	if err := r.Err(); err != nil {
@@ -218,18 +341,23 @@ func (s *Session) Set(path string, data []byte, version int32) (znode.Stat, erro
 	return stat, nil
 }
 
-// Delete removes a childless znode; version -1 disables the check.
-func (s *Session) Delete(path string, version int32) error {
-	_, err := s.request(encodeDeleteTxn(path, version, s.id, s.seq.Add(1)))
+// DeleteCtx removes a childless znode; version -1 disables the check.
+func (s *Session) DeleteCtx(ctx context.Context, path string, version int32) error {
+	_, err := s.requestCtx(ctx, encodeDeleteTxn(path, version, s.id, s.seq.Add(1)))
 	return err
 }
 
-// Exists returns the stat and whether the znode exists.
-func (s *Session) Exists(path string) (znode.Stat, bool, error) {
+// Delete removes a childless znode with the background context.
+func (s *Session) Delete(path string, version int32) error {
+	return s.DeleteCtx(context.Background(), path, version)
+}
+
+// ExistsCtx returns the stat and whether the znode exists.
+func (s *Session) ExistsCtx(ctx context.Context, path string) (znode.Stat, bool, error) {
 	w := wire.NewWriter(8 + len(path))
 	w.Uint8(opExists)
 	w.String(path)
-	payload, err := s.request(w.Bytes())
+	payload, err := s.requestCtx(ctx, w.Bytes())
 	if err != nil {
 		return znode.Stat{}, false, err
 	}
@@ -242,12 +370,17 @@ func (s *Session) Exists(path string) (znode.Stat, bool, error) {
 	return stat, ok, nil
 }
 
-// Children returns the sorted child names of the znode.
-func (s *Session) Children(path string) ([]string, error) {
+// Exists returns the stat and existence with the background context.
+func (s *Session) Exists(path string) (znode.Stat, bool, error) {
+	return s.ExistsCtx(context.Background(), path)
+}
+
+// ChildrenCtx returns the sorted child names of the znode.
+func (s *Session) ChildrenCtx(ctx context.Context, path string) ([]string, error) {
 	w := wire.NewWriter(8 + len(path))
 	w.Uint8(opChildren)
 	w.String(path)
-	payload, err := s.request(w.Bytes())
+	payload, err := s.requestCtx(ctx, w.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -259,21 +392,36 @@ func (s *Session) Children(path string) ([]string, error) {
 	return kids, nil
 }
 
-// Multi applies the batch as one atomic transaction: a single proposal
-// through the atomic broadcast, applied all-or-nothing by every
-// replica. On success every result's Err is nil. On an aborted batch
-// Multi returns the per-op results — the failing op carries its error,
-// the others ErrRolledBack — plus the failing op's error as the
-// returned error, so callers can treat Multi like any other mutation.
-func (s *Session) Multi(ops []Op) ([]OpResult, error) {
+// Children returns the sorted child names with the background context.
+func (s *Session) Children(path string) ([]string, error) {
+	return s.ChildrenCtx(context.Background(), path)
+}
+
+// MultiCtx applies the batch as one atomic transaction: a single
+// proposal through the atomic broadcast, applied all-or-nothing by
+// every replica. On success every result's Err is nil. On an aborted
+// batch MultiCtx returns the per-op results — the failing op carries
+// its error, the others ErrRolledBack — plus the failing op's error as
+// the returned error, so callers can treat Multi like any other
+// mutation.
+func (s *Session) MultiCtx(ctx context.Context, ops []Op) ([]OpResult, error) {
 	if len(ops) == 0 {
 		return nil, errors.New("coord: empty multi")
 	}
 	msg := encodeMultiTxn(ops, s.id, s.seq.Add(1), time.Now().UnixNano())
-	payload, err := s.request(msg)
+	payload, err := s.requestCtx(ctx, msg)
 	if err != nil {
 		return nil, err
 	}
+	return decodeMultiReply(payload)
+}
+
+// Multi applies the batch with the background context.
+func (s *Session) Multi(ops []Op) ([]OpResult, error) {
+	return s.MultiCtx(context.Background(), ops)
+}
+
+func decodeMultiReply(payload []byte) ([]OpResult, error) {
 	r := wire.NewReader(payload)
 	results, committed, derr := decodeMultiResults(r)
 	if derr != nil {
@@ -290,17 +438,26 @@ func (s *Session) Multi(ops []Op) ([]OpResult, error) {
 	return results, nil
 }
 
-// ChildrenData returns the znode itself (as the first entry, named
+// ChildrenDataCtx returns the znode itself (as the first entry, named
 // ".") and every child with its data and stat — a whole readdir in one
 // round trip, served from the session's local replica like Children.
-func (s *Session) ChildrenData(path string) ([]ChildEntry, error) {
+func (s *Session) ChildrenDataCtx(ctx context.Context, path string) ([]ChildEntry, error) {
 	w := wire.NewWriter(8 + len(path))
 	w.Uint8(opChildrenData)
 	w.String(path)
-	payload, err := s.request(w.Bytes())
+	payload, err := s.requestCtx(ctx, w.Bytes())
 	if err != nil {
 		return nil, err
 	}
+	return decodeChildrenDataReply(payload)
+}
+
+// ChildrenData returns the whole listing with the background context.
+func (s *Session) ChildrenData(path string) ([]ChildEntry, error) {
+	return s.ChildrenDataCtx(context.Background(), path)
+}
+
+func decodeChildrenDataReply(payload []byte) ([]ChildEntry, error) {
 	r := wire.NewReader(payload)
 	n := r.Uint32()
 	if r.Err() != nil || int(n) > r.Remaining() {
@@ -404,29 +561,108 @@ func (s *Session) PollEvents() ([]Event, error) {
 	return evs, nil
 }
 
-// WaitEvent polls until an event arrives or the timeout expires.
-func (s *Session) WaitEvent(timeout time.Duration) ([]Event, error) {
-	deadline := time.Now().Add(timeout)
+// WaitEvents is the push-shaped event wait: one long-poll RPC that the
+// server PARKS until a watch fires for this session (or maxWait
+// expires, returning nil, nil). While the session is idle it costs
+// zero server work and zero polling traffic — the replacement for the
+// PollEvents ticker loops. A cancelled context releases the client
+// immediately; the parked server request times out on its own. Events
+// may be lost across a failover (watches are server-local state, as in
+// ZooKeeper), so an error return means the caller must assume missed
+// invalidations and re-register its watches.
+func (s *Session) WaitEvents(ctx context.Context, maxWait time.Duration) ([]Event, error) {
+	deadline := time.Now().Add(maxWait)
+	var gen uint64
+	first := true
 	for {
-		evs, err := s.PollEvents()
-		if err != nil || len(evs) > 0 {
-			return evs, err
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		if time.Now().After(deadline) {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
 			return nil, nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		c, g, err := s.getConnGen()
+		if err != nil {
+			// Unlike the write path, there is no point retrying onto a
+			// DIFFERENT server: watches are server-local, so once the
+			// connection is gone the caller's watches are gone with it.
+			// Surface that immediately.
+			return nil, err
+		}
+		if first {
+			// A failover between two WaitEvents calls (a concurrent
+			// writer noticed the dead server and redialed) must surface
+			// exactly like one during a park.
+			first = false
+			gen = g
+			if last := s.eventGen.Swap(g); last != 0 && last != g {
+				return nil, ErrWatchesLost
+			}
+		} else if g != gen {
+			s.eventGen.Store(g)
+			return nil, ErrWatchesLost
+		}
+		w := wire.NewWriter(24)
+		w.Uint8(opWaitEvents)
+		w.Uint64(s.id)
+		w.Uint32(uint32(remaining / time.Millisecond))
+		resp, err := s.call(ctx, c, w.Bytes())
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			var remote *transport.RemoteError
+			if !errors.As(err, &remote) {
+				// The connection died mid-park — and with it the
+				// server-local watches and any undelivered events.
+				// Drop the conn (the next operation fails over) and
+				// report the loss rather than silently re-parking on a
+				// server that holds none of the caller's watches.
+				s.dropConn()
+			}
+			return nil, err
+		}
+		r := wire.NewReader(resp)
+		code := r.Uint8()
+		detail := r.String()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("coord: malformed events reply: %w", err)
+		}
+		if err := errorForCode(code, detail); err != nil {
+			return nil, err
+		}
+		evs := decodeEvents(r)
+		if len(evs) > 0 {
+			return evs, nil
+		}
+		// Parked to the server-side timeout without an event; re-park
+		// on the SAME connection until our own deadline (covers capped
+		// server waits).
 	}
 }
 
-// Sync is ZooKeeper's sync(): a no-op barrier through the atomic
+// WaitEvent blocks until an event arrives or the timeout expires —
+// the synchronous wrapper over WaitEvents. Unlike the pre-push
+// implementation it issues no polling RPCs: the single request parks
+// on the server.
+func (s *Session) WaitEvent(timeout time.Duration) ([]Event, error) {
+	return s.WaitEvents(context.Background(), timeout)
+}
+
+// SyncCtx is ZooKeeper's sync(): a no-op barrier through the atomic
 // broadcast. When it returns, the session's server has applied every
 // write committed before the call, so subsequent local reads observe
 // them — the cross-client visibility guarantee DUFS needs after
 // another client's mutation.
-func (s *Session) Sync() error {
-	_, err := s.request(encodeSyncTxn(s.id, s.seq.Add(1)))
+func (s *Session) SyncCtx(ctx context.Context) error {
+	_, err := s.requestCtx(ctx, encodeSyncTxn(s.id, s.seq.Add(1)))
 	return err
+}
+
+// Sync is the barrier with the background context.
+func (s *Session) Sync() error {
+	return s.SyncCtx(context.Background())
 }
 
 // Status reports a server's view of the ensemble, for tools and tests.

@@ -1,19 +1,28 @@
 package coord
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/coord/znode"
 )
 
 // Client is the coordination-service API DUFS programs against: the
-// synchronous ZooKeeper-style operation set of a Session — single
-// znode reads and writes, one-shot watches, the Sync barrier — plus
-// two batched primitives that collapse DUFS's hot paths into single
-// round trips: Multi (an atomic check/create/set/delete transaction,
-// one ZAB proposal) and ChildrenData (a directory listing with every
-// entry's data and stat, one read RPC instead of N+1). The interface
-// is abstracted so that callers cannot tell one ensemble from many.
+// ZooKeeper-style operation set of a Session — single znode reads and
+// writes, one-shot watches, the Sync barrier — plus the batched
+// primitives that collapse DUFS's hot paths into single round trips
+// (Multi, ChildrenData), an ASYNCHRONOUS submission layer (Begin,
+// BeginMulti, BeginChildrenData) that keeps many tagged operations in
+// flight over one connection, and a PUSH-shaped event wait
+// (WaitEvents) that parks on the server until a watch fires. The
+// interface is abstracted so that callers cannot tell one ensemble
+// from many.
+//
+// Every operation comes in two forms: a context-aware primary
+// (CreateCtx, GetCtx, …) whose context bounds the whole call including
+// failover retries, and the original synchronous signature, kept as a
+// thin wrapper over the primary with the background context so the
+// paper-faithful call sites keep compiling unchanged.
 //
 // Two implementations exist:
 //
@@ -28,13 +37,16 @@ import (
 // The guarantees callers may rely on are those of a single session:
 // a client always observes its own writes, and Sync establishes a
 // barrier after which writes committed before the call are visible.
-// Ordering between paths that live on different shards is NOT
-// guaranteed by the Router; DUFS only needs per-path and
-// per-directory ordering, which hashing by parent directory
-// preserves. A Multi spanning shards is NOT atomic — consult Atomic
-// before relying on all-or-nothing semantics, and fall back to an
-// intent-logged protocol (core's cross-shard rename) when it reports
-// false. DESIGN.md §8 states the full atomicity contract.
+// Asynchronous submissions are mutually UNORDERED — two Begin calls
+// race like two synchronous calls from different goroutines; callers
+// needing order chain futures or use Multi (DESIGN.md §10). Ordering
+// between paths that live on different shards is NOT guaranteed by the
+// Router; DUFS only needs per-path and per-directory ordering, which
+// hashing by parent directory preserves. A Multi spanning shards is
+// NOT atomic — consult Atomic before relying on all-or-nothing
+// semantics, and fall back to an intent-logged protocol (core's
+// cross-shard rename) when it reports false. DESIGN.md §8 states the
+// full atomicity contract.
 type Client interface {
 	// ID returns the 64-bit session identifier minted by the
 	// replicated state machine; DUFS uses it as the client half of new
@@ -43,48 +55,87 @@ type Client interface {
 	// Close terminates the session(s), expiring ephemeral nodes.
 	Close() error
 
-	// Create creates a znode, returning the created path (which
+	// CreateCtx creates a znode, returning the created path (which
 	// differs from the requested path for sequential modes).
+	CreateCtx(ctx context.Context, path string, data []byte, mode znode.CreateMode) (string, error)
+	// GetCtx returns a znode's data and stat.
+	GetCtx(ctx context.Context, path string) ([]byte, znode.Stat, error)
+	// SetCtx replaces a znode's data; version -1 disables the check.
+	SetCtx(ctx context.Context, path string, data []byte, version int32) (znode.Stat, error)
+	// DeleteCtx removes a childless znode; version -1 disables the
+	// check.
+	DeleteCtx(ctx context.Context, path string, version int32) error
+	// ExistsCtx reports whether the znode exists, with its stat.
+	ExistsCtx(ctx context.Context, path string) (znode.Stat, bool, error)
+	// ChildrenCtx returns the sorted child names of a znode.
+	ChildrenCtx(ctx context.Context, path string) ([]string, error)
+
+	// Create/Get/Set/Delete/Exists/Children are the synchronous
+	// wrappers: the *Ctx primaries with the background context.
 	Create(path string, data []byte, mode znode.CreateMode) (string, error)
-	// Get returns a znode's data and stat.
 	Get(path string) ([]byte, znode.Stat, error)
-	// Set replaces a znode's data; version -1 disables the check.
 	Set(path string, data []byte, version int32) (znode.Stat, error)
-	// Delete removes a childless znode; version -1 disables the check.
 	Delete(path string, version int32) error
-	// Exists reports whether the znode exists, with its stat.
 	Exists(path string) (znode.Stat, bool, error)
-	// Children returns the sorted child names of a znode.
 	Children(path string) ([]string, error)
 
-	// Multi applies the batch of check/create/set/delete operations as
-	// one transaction: all-or-nothing when Atomic(paths...) holds for
-	// the batch's paths, per-shard all-or-nothing otherwise (each
+	// MultiCtx applies the batch of check/create/set/delete operations
+	// as one transaction: all-or-nothing when Atomic(paths...) holds
+	// for the batch's paths, per-shard all-or-nothing otherwise (each
 	// sub-batch commits or aborts independently, in first-appearance
 	// order — see shard.Router.Multi for the exact contract). On abort
 	// the failing op's result carries its error, every other op carries
 	// ErrRolledBack, and the failing op's error is also returned.
+	MultiCtx(ctx context.Context, ops []Op) ([]OpResult, error)
+	// Multi is MultiCtx with the background context.
 	Multi(ops []Op) ([]OpResult, error)
-	// ChildrenData returns the znode itself (first entry, named ".")
-	// and every child with its data and stat, in one round trip —
-	// the N+1-free readdir. Entries after "." are sorted by name.
+	// ChildrenDataCtx returns the znode itself (first entry, named ".")
+	// and every child with its data and stat, in one round trip — the
+	// N+1-free readdir. Entries after "." are sorted by name.
+	ChildrenDataCtx(ctx context.Context, path string) ([]ChildEntry, error)
+	// ChildrenData is ChildrenDataCtx with the background context.
 	ChildrenData(path string) ([]ChildEntry, error)
 	// Atomic reports whether a Multi touching exactly these paths
 	// executes as a single atomic transaction. Always true for a
 	// Session; true on a Router iff every path routes to one shard.
 	Atomic(paths ...string) bool
 
+	// Begin submits one operation asynchronously: it returns
+	// immediately with a Future and keeps the request in flight
+	// alongside every other outstanding submission, multiplexed over
+	// the session's connection. Supported kinds: OpCreate, OpSet,
+	// OpDelete, OpCheck, OpSync. Futures are mutually unordered. A
+	// context cancelled mid-flight resolves the future with ctx.Err()
+	// without disturbing the session.
+	Begin(ctx context.Context, op Op) *Future
+	// BeginMulti is Begin for a whole atomic batch (results via
+	// Future.Results).
+	BeginMulti(ctx context.Context, ops []Op) *Future
+	// BeginChildrenData is Begin for a whole-directory listing
+	// (results via Future.Entries).
+	BeginChildrenData(ctx context.Context, path string) *Future
+
 	// GetW, ExistsW and ChildrenW are their unwatched counterparts
-	// plus a one-shot watch delivered through PollEvents.
+	// plus a one-shot watch delivered through WaitEvents/PollEvents.
 	GetW(path string) ([]byte, znode.Stat, error)
 	ExistsW(path string) (znode.Stat, bool, error)
 	ChildrenW(path string) ([]string, error)
-	// PollEvents drains fired watches.
+	// WaitEvents parks on the service until a watch fires, maxWait
+	// expires (nil, nil), or ctx ends. It is push delivery: an idle
+	// caller issues no polling traffic — one parked request per
+	// maxWait window. An error return means events may have been
+	// missed (failover); re-register watches.
+	WaitEvents(ctx context.Context, maxWait time.Duration) ([]Event, error)
+	// PollEvents drains fired watches without blocking (pull; tools
+	// and tests).
 	PollEvents() ([]Event, error)
-	// WaitEvent polls until an event arrives or the timeout expires.
+	// WaitEvent is the synchronous WaitEvents wrapper.
 	WaitEvent(timeout time.Duration) ([]Event, error)
 
-	// Sync is the cross-client visibility barrier (ZooKeeper sync()).
+	// SyncCtx is the cross-client visibility barrier (ZooKeeper
+	// sync()).
+	SyncCtx(ctx context.Context) error
+	// Sync is SyncCtx with the background context.
 	Sync() error
 	// Status reports the service's view of itself, for tools and
 	// tests.

@@ -12,6 +12,10 @@ import (
 	"repro/internal/wire"
 )
 
+// maxEventWait caps how long one opWaitEvents request may stay parked
+// server-side; clients that want to wait longer simply re-park.
+const maxEventWait = 60 * time.Second
+
 // ServerConfig describes one coordination server.
 type ServerConfig struct {
 	// ID is this server's ensemble identity (key of PeerAddrs).
@@ -93,8 +97,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return s, nil
 }
 
-// Stop shuts the server down.
+// Stop shuts the server down, releasing any parked event waits first
+// so no long-poll handler outlives the listener.
 func (s *Server) Stop() {
+	s.watches.close()
 	if s.clientLn != nil {
 		s.clientLn.Close()
 	}
@@ -265,6 +271,23 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 			return nil, err
 		}
 		evs := s.watches.drain(session)
+		return okResult(func(w *wire.Writer) { encodeEvents(w, evs) }), nil
+	case opWaitEvents:
+		session := r.Uint64()
+		millis := r.Uint32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		// The request parks here — in its own handler goroutine over
+		// TCP, in the (dedicated) caller goroutine over the in-process
+		// transport — until a watch fires for the session, the wait
+		// expires, or the server stops. Capped so an absurd client
+		// timeout cannot pin handler state for hours.
+		wait := time.Duration(millis) * time.Millisecond
+		if wait > maxEventWait {
+			wait = maxEventWait
+		}
+		evs := s.watches.await(session, wait)
 		return okResult(func(w *wire.Writer) { encodeEvents(w, evs) }), nil
 	case opCreate, opDelete, opSet, opMulti, opNewSession, opCloseSession, opSync:
 		// The remaining request payload after the op byte is already in

@@ -38,6 +38,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -54,6 +55,18 @@ import (
 type Router struct {
 	sessions []coord.Client
 	ring     *placement.Ring
+
+	// Event fan-in (see WaitEvents): one forwarder per shard keeps a
+	// long-poll parked on its ensemble and pushes fired watches into
+	// evbuf; consumers block on evnotify instead of sweeping N shards
+	// on a timer.
+	evmu       sync.Mutex
+	evbuf      []coord.Event
+	everr      error // pending stream error (shard failover: watches lost)
+	evnotify   chan struct{}
+	streaming  bool
+	streamStop context.CancelFunc
+	streamOnce sync.Once
 }
 
 // New builds a Router over one session per ensemble. The ring uses
@@ -72,7 +85,11 @@ func New(sessions []coord.Client) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Router{sessions: append([]coord.Client(nil), sessions...), ring: ring}, nil
+	return &Router{
+		sessions: append([]coord.Client(nil), sessions...),
+		ring:     ring,
+		evnotify: make(chan struct{}, 1),
+	}, nil
 }
 
 // Shards returns the number of ensembles behind the router.
@@ -106,14 +123,15 @@ func (r *Router) owner(path string) coord.Client {
 func (r *Router) ID() uint64 { return r.sessions[0].ID() }
 
 // eachShard runs fn once per shard, concurrently, and returns the
-// per-shard errors as a parallel slice. It is the fan-out primitive
-// for the operations with no cross-shard ordering contract (Sync,
-// PollEvents, Status, Close): with group-commit leaders each shard's
-// round trip is independent, so the fan-out costs one RTT rather than
-// Shards() of them. Multi deliberately does NOT use it — split batches
-// execute per-shard sub-transactions sequentially in first-appearance
-// order (DESIGN.md §8.2), and that ordering contract is load-bearing
-// for callers that sequence dependent ops across shards.
+// per-shard errors as a parallel slice. It remains the fan-out
+// primitive for the rare control-plane operations with no async form
+// (Close, Status, the pre-stream PollEvents sweep); the hot fan-outs
+// moved onto the async layer — Sync submits Begin(OpSync) futures and
+// event fan-in rides the WaitEvents stream. Multi deliberately does
+// NOT use it — split batches execute per-shard sub-transactions
+// sequentially in first-appearance order (DESIGN.md §8.2), and that
+// ordering contract is load-bearing for callers that sequence
+// dependent ops across shards.
 func (r *Router) eachShard(fn func(i int, s coord.Client) error) []error {
 	errs := make([]error, len(r.sessions))
 	if len(r.sessions) == 1 {
@@ -132,10 +150,15 @@ func (r *Router) eachShard(fn func(i int, s coord.Client) error) []error {
 	return errs
 }
 
-// Close implements coord.Client: it closes every per-shard session in
-// parallel, expiring each shard's ephemerals, and returns the first
-// error.
+// Close implements coord.Client: it stops the event fan-in stream and
+// closes every per-shard session in parallel, expiring each shard's
+// ephemerals, and returns the first error.
 func (r *Router) Close() error {
+	r.evmu.Lock()
+	if r.streamStop != nil {
+		r.streamStop()
+	}
+	r.evmu.Unlock()
 	for _, err := range r.eachShard(func(_ int, s coord.Client) error { return s.Close() }) {
 		if err != nil {
 			return err
@@ -144,34 +167,39 @@ func (r *Router) Close() error {
 	return nil
 }
 
-// Create implements coord.Client. The node is created on its
+// CreateCtx implements coord.Client. The node is created on its
 // authoritative shard; if that shard is missing the ancestor chain
 // (ErrNoParent) the chain is materialised as stubs and the create is
 // retried once.
-func (r *Router) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+func (r *Router) CreateCtx(ctx context.Context, path string, data []byte, mode znode.CreateMode) (string, error) {
 	s := r.owner(path)
-	created, err := s.Create(path, data, mode)
+	created, err := s.CreateCtx(ctx, path, data, mode)
 	if !errors.Is(err, coord.ErrNoParent) {
 		return created, err
 	}
-	if err := r.ensureAncestors(s, path); err != nil {
+	if err := r.ensureAncestors(ctx, s, path); err != nil {
 		return "", err
 	}
-	return s.Create(path, data, mode)
+	return s.CreateCtx(ctx, path, data, mode)
+}
+
+// Create implements coord.Client with the background context.
+func (r *Router) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	return r.CreateCtx(context.Background(), path, data, mode)
 }
 
 // ensureAncestors copies the authoritative data of each missing
 // ancestor of path onto session s, root-down. If an ancestor does not
 // exist anywhere the original ErrNoParent is surfaced, exactly as a
 // single ensemble would.
-func (r *Router) ensureAncestors(s coord.Client, path string) error {
+func (r *Router) ensureAncestors(ctx context.Context, s coord.Client, path string) error {
 	parent, _ := znode.SplitPath(path)
-	return r.ensureChain(s, parent)
+	return r.ensureChain(ctx, s, parent)
 }
 
 // ensureChain materialises path and its ancestors on session s as
 // stubs (copies of the authoritative data), root-down.
-func (r *Router) ensureChain(s coord.Client, path string) error {
+func (r *Router) ensureChain(ctx context.Context, s coord.Client, path string) error {
 	var chain []string
 	for p := path; p != "/"; {
 		chain = append(chain, p)
@@ -180,43 +208,59 @@ func (r *Router) ensureChain(s coord.Client, path string) error {
 	// chain is leaf-first; walk it root-down.
 	for i := len(chain) - 1; i >= 0; i-- {
 		p := chain[i]
-		if _, ok, err := s.Exists(p); err != nil {
+		if _, ok, err := s.ExistsCtx(ctx, p); err != nil {
 			return err
 		} else if ok {
 			continue
 		}
-		data, _, err := r.owner(p).Get(p)
+		data, _, err := r.owner(p).GetCtx(ctx, p)
 		if err != nil {
 			if errors.Is(err, coord.ErrNoNode) {
 				return coord.ErrNoParent
 			}
 			return err
 		}
-		if _, err := s.Create(p, data, znode.ModePersistent); err != nil && !errors.Is(err, coord.ErrNodeExists) {
+		if _, err := s.CreateCtx(ctx, p, data, znode.ModePersistent); err != nil && !errors.Is(err, coord.ErrNodeExists) {
 			return err
 		}
 	}
 	return nil
 }
 
-// Get implements coord.Client, reading the authoritative copy.
+// GetCtx implements coord.Client, reading the authoritative copy.
+func (r *Router) GetCtx(ctx context.Context, path string) ([]byte, znode.Stat, error) {
+	return r.owner(path).GetCtx(ctx, path)
+}
+
+// Get implements coord.Client with the background context.
 func (r *Router) Get(path string) ([]byte, znode.Stat, error) {
-	return r.owner(path).Get(path)
+	return r.GetCtx(context.Background(), path)
 }
 
-// Set implements coord.Client, writing the authoritative copy.
+// SetCtx implements coord.Client, writing the authoritative copy.
+func (r *Router) SetCtx(ctx context.Context, path string, data []byte, version int32) (znode.Stat, error) {
+	return r.owner(path).SetCtx(ctx, path, data, version)
+}
+
+// Set implements coord.Client with the background context.
 func (r *Router) Set(path string, data []byte, version int32) (znode.Stat, error) {
-	return r.owner(path).Set(path, data, version)
+	return r.SetCtx(context.Background(), path, data, version)
 }
 
-// Exists implements coord.Client against the authoritative copy.
+// ExistsCtx implements coord.Client against the authoritative copy.
+func (r *Router) ExistsCtx(ctx context.Context, path string) (znode.Stat, bool, error) {
+	return r.owner(path).ExistsCtx(ctx, path)
+}
+
+// Exists implements coord.Client with the background context.
 func (r *Router) Exists(path string) (znode.Stat, bool, error) {
-	return r.owner(path).Exists(path)
+	return r.ExistsCtx(context.Background(), path)
 }
 
-// Delete implements coord.Client. A single ensemble refuses to delete
-// a node with children; with the children on a different shard than
-// the node itself the router has to enforce that check explicitly:
+// DeleteCtx implements coord.Client. A single ensemble refuses to
+// delete a node with children; with the children on a different shard
+// than the node itself the router has to enforce that check
+// explicitly:
 //
 //  1. the children shard is consulted — any child means ErrNotEmpty;
 //  2. the authoritative copy is deleted (honouring version);
@@ -225,11 +269,11 @@ func (r *Router) Exists(path string) (znode.Stat, bool, error) {
 // A create racing between steps 1 and 2 can slip in, the same
 // lost-update window the paper accepts for rename (§IV-A); DESIGN.md
 // §7.3 discusses why DUFS tolerates it.
-func (r *Router) Delete(path string, version int32) error {
+func (r *Router) DeleteCtx(ctx context.Context, path string, version int32) error {
 	owner := r.ShardFor(path)
 	kidShard := r.shardForChildren(path)
 	if kidShard != owner {
-		kids, err := r.sessions[kidShard].Children(path)
+		kids, err := r.sessions[kidShard].ChildrenCtx(ctx, path)
 		if err == nil && len(kids) > 0 {
 			return coord.ErrNotEmpty
 		}
@@ -237,15 +281,20 @@ func (r *Router) Delete(path string, version int32) error {
 			return err
 		}
 	}
-	if err := r.sessions[owner].Delete(path, version); err != nil {
+	if err := r.sessions[owner].DeleteCtx(ctx, path, version); err != nil {
 		return err
 	}
 	if kidShard != owner {
-		if err := r.sessions[kidShard].Delete(path, -1); err != nil && !errors.Is(err, coord.ErrNoNode) && !errors.Is(err, coord.ErrNotEmpty) {
+		if err := r.sessions[kidShard].DeleteCtx(ctx, path, -1); err != nil && !errors.Is(err, coord.ErrNoNode) && !errors.Is(err, coord.ErrNotEmpty) {
 			return err
 		}
 	}
 	return nil
+}
+
+// Delete implements coord.Client with the background context.
+func (r *Router) Delete(path string, version int32) error {
+	return r.DeleteCtx(context.Background(), path, version)
 }
 
 // Atomic implements coord.Client: a Multi over exactly these paths is
@@ -266,8 +315,8 @@ func (r *Router) Atomic(paths ...string) bool {
 	return true
 }
 
-// Multi implements coord.Client. When every op routes to one shard the
-// batch is forwarded whole and is exactly as atomic as a single
+// MultiCtx implements coord.Client. When every op routes to one shard
+// the batch is forwarded whole and is exactly as atomic as a single
 // ensemble's multi. Otherwise the batch SPLITS: ops are grouped by
 // shard (preserving their relative order) and the per-shard
 // sub-transactions execute sequentially, in order of each shard's
@@ -277,7 +326,7 @@ func (r *Router) Atomic(paths ...string) bool {
 // their own outcome, and the ops of every later sub-transaction report
 // ErrRolledBack without being attempted. Callers needing true
 // atomicity must check Atomic first (DESIGN.md §8.2).
-func (r *Router) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+func (r *Router) MultiCtx(ctx context.Context, ops []coord.Op) ([]coord.OpResult, error) {
 	if len(ops) == 0 {
 		return nil, errors.New("shard: empty multi")
 	}
@@ -290,7 +339,7 @@ func (r *Router) Multi(ops []coord.Op) ([]coord.OpResult, error) {
 		}
 	}
 	if !split {
-		return r.multiOnShard(shard, ops)
+		return r.multiOnShard(ctx, shard, ops)
 	}
 
 	// Group by shard, preserving relative op order and first-appearance
@@ -318,7 +367,7 @@ func (r *Router) Multi(ops []coord.Op) ([]coord.OpResult, error) {
 		results[i].Err = coord.ErrRolledBack
 	}
 	for _, g := range groups {
-		sub, err := r.multiOnShard(g.shard, g.ops)
+		sub, err := r.multiOnShard(ctx, g.shard, g.ops)
 		for j, idx := range g.indices {
 			if j < len(sub) {
 				results[idx] = sub[j]
@@ -331,6 +380,11 @@ func (r *Router) Multi(ops []coord.Op) ([]coord.OpResult, error) {
 	return results, nil
 }
 
+// Multi implements coord.Client with the background context.
+func (r *Router) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+	return r.MultiCtx(context.Background(), ops)
+}
+
 // multiOnShard runs one atomic sub-transaction on a single shard. It
 // carries over every per-op responsibility the router's single-op
 // methods have: missing ancestor stubs are materialised for create
@@ -340,7 +394,7 @@ func (r *Router) Multi(ops []coord.Op) ([]coord.OpResult, error) {
 // executing shard's state machine cannot see them), and its stub on
 // the children shard is removed after commit so a deleted directory
 // does not stay listable as an empty ghost.
-func (r *Router) multiOnShard(shard int, ops []coord.Op) ([]coord.OpResult, error) {
+func (r *Router) multiOnShard(ctx context.Context, shard int, ops []coord.Op) ([]coord.OpResult, error) {
 	// stubbed marks delete ops whose pre-check found a node on their
 	// children shard — only those need post-commit stub removal; a
 	// pre-check that came back ErrNoNode (every file delete, and most
@@ -367,7 +421,7 @@ func (r *Router) multiOnShard(shard int, ops []coord.Op) ([]coord.OpResult, erro
 			go func(c *precheck) {
 				defer wg.Done()
 				op := ops[c.op]
-				c.kids, c.err = r.sessions[r.shardForChildren(op.Path)].Children(op.Path)
+				c.kids, c.err = r.sessions[r.shardForChildren(op.Path)].ChildrenCtx(ctx, op.Path)
 			}(c)
 		}
 		wg.Wait()
@@ -387,16 +441,16 @@ func (r *Router) multiOnShard(shard int, ops []coord.Op) ([]coord.OpResult, erro
 		}
 	}
 	s := r.sessions[shard]
-	results, err := s.Multi(ops)
+	results, err := s.MultiCtx(ctx, ops)
 	if errors.Is(err, coord.ErrNoParent) {
 		for _, op := range ops {
 			if op.Kind == coord.OpCreate {
-				if serr := r.ensureAncestors(s, op.Path); serr != nil {
+				if serr := r.ensureAncestors(ctx, s, op.Path); serr != nil {
 					return results, err
 				}
 			}
 		}
-		results, err = s.Multi(ops)
+		results, err = s.MultiCtx(ctx, ops)
 	}
 	if err == nil {
 		// Stub removal is best-effort, after the fact: the transaction
@@ -405,7 +459,7 @@ func (r *Router) multiOnShard(shard int, ops []coord.Op) ([]coord.OpResult, erro
 		// accepted window as Router.Delete's step 3 (DESIGN.md §7.3).
 		for _, i := range stubbed {
 			op := ops[i]
-			_ = r.sessions[r.shardForChildren(op.Path)].Delete(op.Path, -1)
+			_ = r.sessions[r.shardForChildren(op.Path)].DeleteCtx(ctx, op.Path, -1)
 		}
 	}
 	return results, err
@@ -422,7 +476,7 @@ func abortedResults(n, failing int, err error) []coord.OpResult {
 	return out
 }
 
-// ChildrenData implements coord.Client as a single call on the
+// ChildrenDataCtx implements coord.Client as a single call on the
 // children shard, like Children. A directory that exists but has never
 // hosted a child on that shard has no stub there; the authoritative
 // copy disambiguates "empty" from "does not exist" and supplies the
@@ -431,28 +485,38 @@ func abortedResults(n, failing int, err error) []coord.OpResult {
 // authoritative copy after a Set — callers reading immutable fields
 // from it (DUFS's entry kind) are unaffected; callers needing the
 // latest data must Get the path itself.
-func (r *Router) ChildrenData(path string) ([]coord.ChildEntry, error) {
-	entries, err := r.sessions[r.shardForChildren(path)].ChildrenData(path)
+func (r *Router) ChildrenDataCtx(ctx context.Context, path string) ([]coord.ChildEntry, error) {
+	entries, err := r.sessions[r.shardForChildren(path)].ChildrenDataCtx(ctx, path)
 	if errors.Is(err, coord.ErrNoNode) {
-		if data, stat, gerr := r.owner(path).Get(path); gerr == nil {
+		if data, stat, gerr := r.owner(path).GetCtx(ctx, path); gerr == nil {
 			return []coord.ChildEntry{{Name: ".", Data: data, Stat: stat}}, nil
 		}
 	}
 	return entries, err
 }
 
-// Children implements coord.Client as a single-shard call on the
+// ChildrenData implements coord.Client with the background context.
+func (r *Router) ChildrenData(path string) ([]coord.ChildEntry, error) {
+	return r.ChildrenDataCtx(context.Background(), path)
+}
+
+// ChildrenCtx implements coord.Client as a single-shard call on the
 // children shard. A directory that exists but has never hosted a
 // child on that shard has no stub there; the authoritative copy
 // disambiguates "empty" from "does not exist".
-func (r *Router) Children(path string) ([]string, error) {
-	kids, err := r.sessions[r.shardForChildren(path)].Children(path)
+func (r *Router) ChildrenCtx(ctx context.Context, path string) ([]string, error) {
+	kids, err := r.sessions[r.shardForChildren(path)].ChildrenCtx(ctx, path)
 	if errors.Is(err, coord.ErrNoNode) {
-		if _, ok, eerr := r.Exists(path); eerr == nil && ok {
+		if _, ok, eerr := r.ExistsCtx(ctx, path); eerr == nil && ok {
 			return nil, nil
 		}
 	}
 	return kids, err
+}
+
+// Children implements coord.Client with the background context.
+func (r *Router) Children(path string) ([]string, error) {
+	return r.ChildrenCtx(context.Background(), path)
 }
 
 // GetW implements coord.Client; the watch registers on the
@@ -481,22 +545,145 @@ func (r *Router) ChildrenW(path string) ([]string, error) {
 	if _, ok, eerr := r.Exists(path); eerr != nil || !ok {
 		return kids, err
 	}
-	if cerr := r.ensureChain(s, path); cerr != nil {
+	if cerr := r.ensureChain(context.Background(), s, path); cerr != nil {
 		return nil, cerr
 	}
 	return s.ChildrenW(path)
 }
 
-// PollEvents implements coord.Client by draining every shard in
-// parallel and concatenating. Order between shards is arbitrary,
-// matching the interface contract (only per-path order is promised,
-// and one path's watches live on one shard). Fired watches are
+// streamWait is how long each per-shard forwarder parks one long-poll
+// on its ensemble before re-parking (a liveness bound, not a poll
+// interval: events release the park immediately).
+const streamWait = 30 * time.Second
+
+// startStream lazily launches the event fan-in: one forwarder per
+// shard keeps a WaitEvents long-poll parked on its ensemble and pushes
+// fired watches into the router's buffer. From that point the router's
+// event delivery is fully push-shaped — no timer ever sweeps the
+// shards — and PollEvents drains the local buffer only (the forwarders
+// are the sole server-side consumers, so events are never claimed
+// twice).
+func (r *Router) startStream() {
+	r.streamOnce.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		r.evmu.Lock()
+		r.streaming = true
+		r.streamStop = cancel
+		r.evmu.Unlock()
+		for _, s := range r.sessions {
+			go func(s coord.Client) {
+				for {
+					evs, err := s.WaitEvents(ctx, streamWait)
+					if ctx.Err() != nil {
+						return
+					}
+					if len(evs) > 0 {
+						r.pushEvents(evs)
+					}
+					if err != nil {
+						// Shard unreachable (failover in progress): the
+						// watches registered on that server — and any
+						// undelivered events — died with it. Surface
+						// the error to consumers (a single Session's
+						// WaitEvents does the same), so caches drop and
+						// re-register instead of trusting dead watches;
+						// then back off briefly and re-park on whatever
+						// server the session failed over to.
+						r.pushError(err)
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(20 * time.Millisecond):
+						}
+					}
+				}
+			}(s)
+		}
+	})
+}
+
+func (r *Router) pushEvents(evs []coord.Event) {
+	r.evmu.Lock()
+	r.evbuf = append(r.evbuf, evs...)
+	r.evmu.Unlock()
+	select {
+	case r.evnotify <- struct{}{}:
+	default:
+	}
+}
+
+func (r *Router) pushError(err error) {
+	r.evmu.Lock()
+	r.everr = err
+	r.evmu.Unlock()
+	select {
+	case r.evnotify <- struct{}{}:
+	default:
+	}
+}
+
+// drainBuffer returns pending events, or — only when no events are
+// queued — a pending stream error. Events drain before the error so
+// nothing already delivered to the router is lost; the error is
+// cleared once reported.
+func (r *Router) drainBuffer() ([]coord.Event, error) {
+	r.evmu.Lock()
+	defer r.evmu.Unlock()
+	if len(r.evbuf) > 0 {
+		evs := r.evbuf
+		r.evbuf = nil
+		return evs, nil
+	}
+	err := r.everr
+	r.everr = nil
+	return nil, err
+}
+
+// WaitEvents implements coord.Client: it blocks on the merged
+// per-shard event stream until something fires, maxWait expires, or
+// ctx ends. The first call starts the per-shard forwarders; event
+// fan-in is push all the way from each shard's commit to this caller.
+// A shard failover surfaces as an error, exactly as on a single
+// session: events may have been missed, re-register watches.
+func (r *Router) WaitEvents(ctx context.Context, maxWait time.Duration) ([]coord.Event, error) {
+	r.startStream()
+	t := time.NewTimer(maxWait)
+	defer t.Stop()
+	for {
+		if evs, err := r.drainBuffer(); len(evs) > 0 || err != nil {
+			return evs, err
+		}
+		select {
+		case <-r.evnotify:
+		case <-t.C:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// WaitEvent implements coord.Client, blocking on the merged stream.
+func (r *Router) WaitEvent(timeout time.Duration) ([]coord.Event, error) {
+	return r.WaitEvents(context.Background(), timeout)
+}
+
+// PollEvents implements coord.Client. Once the push stream is running
+// it drains the router's local buffer (the forwarders own the
+// server-side queues); before that it sweeps every shard in parallel
+// and concatenates, the pull path tools use. Fired watches are
 // one-shot and already consumed server-side by a successful drain, so
 // events collected before one shard errors must reach the caller: an
 // error is only reported when no events were drained at all, otherwise
 // the events are returned and the failed shard is retried on the next
 // poll.
 func (r *Router) PollEvents() ([]coord.Event, error) {
+	r.evmu.Lock()
+	streaming := r.streaming
+	r.evmu.Unlock()
+	if streaming {
+		return r.drainBuffer()
+	}
 	perShard := make([][]coord.Event, len(r.sessions))
 	errs := r.eachShard(func(i int, s coord.Client) error {
 		evs, err := s.PollEvents()
@@ -518,35 +705,85 @@ func (r *Router) PollEvents() ([]coord.Event, error) {
 	return nil, nil
 }
 
-// WaitEvent implements coord.Client, polling all shards until an
-// event arrives or the timeout expires.
-func (r *Router) WaitEvent(timeout time.Duration) ([]coord.Event, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		evs, err := r.PollEvents()
-		if err != nil || len(evs) > 0 {
-			return evs, err
+// SyncCtx implements coord.Client by running the barrier on every
+// shard, so a subsequent read of ANY path observes all previously
+// committed writes, whichever ensemble they landed on. The barriers
+// are independent per-ensemble no-ops with no cross-shard ordering
+// requirement, so they are submitted through the async layer — one
+// goroutine-free fan-out costing one quorum round trip instead of
+// Shards().
+func (r *Router) SyncCtx(ctx context.Context) error {
+	if len(r.sessions) == 1 {
+		return r.sessions[0].SyncCtx(ctx)
+	}
+	futs := make([]*coord.Future, len(r.sessions))
+	for i, s := range r.sessions {
+		futs[i] = s.Begin(ctx, coord.Op{Kind: coord.OpSync})
+	}
+	var first error
+	for _, f := range futs {
+		if err := f.Err(); err != nil && first == nil {
+			first = err
 		}
-		if time.Now().After(deadline) {
-			return nil, nil
-		}
-		time.Sleep(2 * time.Millisecond)
+	}
+	return first
+}
+
+// Sync implements coord.Client with the background context.
+func (r *Router) Sync() error {
+	return r.SyncCtx(context.Background())
+}
+
+// Begin implements coord.Client: the operation is routed exactly as
+// its synchronous counterpart — creates get the ErrNoParent stub
+// recovery, deletes the cross-shard emptiness contract, OpSync the
+// all-shard barrier — and submitted through the owning session's
+// pipelined connection. Set and check ops route straight to the owner
+// session's native submission; the compound kinds compose their
+// routing logic asynchronously via FutureOp.
+func (r *Router) Begin(ctx context.Context, op coord.Op) *coord.Future {
+	switch op.Kind {
+	case coord.OpSet, coord.OpCheck:
+		return r.owner(op.Path).Begin(ctx, op)
+	case coord.OpCreate:
+		return coord.FutureOp(func() (coord.OpResult, error) {
+			created, err := r.CreateCtx(ctx, op.Path, op.Data, op.Mode)
+			return coord.OpResult{Err: err, Created: created}, err
+		})
+	case coord.OpDelete:
+		return coord.FutureOp(func() (coord.OpResult, error) {
+			err := r.DeleteCtx(ctx, op.Path, op.Version)
+			return coord.OpResult{Err: err}, err
+		})
+	case coord.OpSync:
+		return coord.FutureOp(func() (coord.OpResult, error) {
+			err := r.SyncCtx(ctx)
+			return coord.OpResult{Err: err}, err
+		})
+	default:
+		return coord.FutureOp(func() (coord.OpResult, error) {
+			err := fmt.Errorf("shard: unknown async op kind %d", op.Kind)
+			return coord.OpResult{Err: err}, err
+		})
 	}
 }
 
-// Sync implements coord.Client by running the barrier on every shard
-// in parallel, so a subsequent read of ANY path observes all
-// previously committed writes, whichever ensemble they landed on. The
-// barriers are independent per-ensemble no-ops with no cross-shard
-// ordering requirement, so the fan-out is safe and costs one quorum
-// round trip instead of Shards().
-func (r *Router) Sync() error {
-	for _, err := range r.eachShard(func(_ int, s coord.Client) error { return s.Sync() }) {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+// BeginMulti implements coord.Client with MultiCtx's split-batch
+// contract, run asynchronously.
+func (r *Router) BeginMulti(ctx context.Context, ops []coord.Op) *coord.Future {
+	return coord.FutureMulti(func() ([]coord.OpResult, error) {
+		return r.MultiCtx(ctx, ops)
+	})
+}
+
+// BeginChildrenData implements coord.Client: a single-shard listing on
+// the children shard, submitted through that session's pipeline.
+func (r *Router) BeginChildrenData(ctx context.Context, path string) *coord.Future {
+	// The stub-miss fallback (authoritative "." synthesis) needs
+	// routing logic, so compose it asynchronously.
+	return coord.FutureEntries(func() ([]coord.ChildEntry, error) {
+		return r.ChildrenDataCtx(ctx, path)
+	})
 }
 
 // Status implements coord.Client. Identity fields (server, leader,

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -576,5 +577,119 @@ func TestStatusAggregates(t *testing.T) {
 	}
 	if st.Znodes != want {
 		t.Fatalf("aggregate Znodes = %d, want %d", st.Znodes, want)
+	}
+}
+
+// TestRouterEventStreamMergesShards verifies the push fan-in: watches
+// firing on DIFFERENT shards all surface through one blocking
+// WaitEvents call stream, with no polling sweep.
+func TestRouterEventStreamMergesShards(t *testing.T) {
+	r, _, _ := startSharded(t, 4, 1)
+	// Two watched nodes whose authoritative copies live on different
+	// shards: a node's shard is the hash of its parent directory, so
+	// pick two directories whose children shards differ and watch one
+	// file in each.
+	var dirs []string
+	for i := 0; len(dirs) < 2; i++ {
+		d := fmt.Sprintf("/se%d", i)
+		if len(dirs) == 1 && r.shardForChildren(d) == r.shardForChildren(dirs[0]) {
+			continue
+		}
+		dirs = append(dirs, d)
+	}
+	var paths []string
+	for _, d := range dirs {
+		if _, err := r.Create(d, []byte("d"), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+		p := d + "/w"
+		if _, err := r.Create(p, []byte("v"), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.GetW(p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	for _, p := range paths {
+		if _, err := r.Set(p, []byte("v2"), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]bool{}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < 2 && time.Now().Before(deadline) {
+		evs, err := r.WaitEvent(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			if ev.Type == coord.EventDataChanged {
+				got[ev.Path] = true
+			}
+		}
+	}
+	for _, p := range paths {
+		if !got[p] {
+			t.Fatalf("event for %s (shard %d) never surfaced; got %v", p, r.ShardFor(p), got)
+		}
+	}
+}
+
+// TestRouterAsyncBeginRoutes drives the router's async layer across
+// op kinds, including the create path that needs ancestor-stub
+// recovery on the children shard.
+func TestRouterAsyncBeginRoutes(t *testing.T) {
+	r, _, direct := startSharded(t, 4, 1)
+	ctx := context.Background()
+	if _, err := r.Create("/ab", []byte("d"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	// A flight of creates under one directory — all on the children
+	// shard of /ab, stubs materialised as needed by Begin's routing.
+	futs := make([]*coord.Future, 8)
+	for i := range futs {
+		futs[i] = r.Begin(ctx, coord.CreateOp(fmt.Sprintf("/ab/f%d", i), []byte("x"), znode.ModePersistent))
+	}
+	for i, f := range futs {
+		if res, err := f.Result(); err != nil || res.Created == "" {
+			t.Fatalf("future %d: %+v, %v", i, res, err)
+		}
+	}
+	kids, err := r.Children("/ab")
+	if err != nil || len(kids) != 8 {
+		t.Fatalf("children = %v, %v", kids, err)
+	}
+	// Async set + check + delete against authoritative copies.
+	if _, err := r.Begin(ctx, coord.SetOp("/ab/f0", []byte("y"), -1)).Result(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Begin(ctx, coord.CheckOp("/ab/f0", -1)).Result(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Begin(ctx, coord.DeleteOp("/ab/f1", -1)).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r.Exists("/ab/f1"); ok {
+		t.Fatal("async delete did not apply")
+	}
+	// Async sync barrier reaches every shard.
+	if err := r.Begin(ctx, coord.Op{Kind: coord.OpSync}).Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Async listing routes to the children shard.
+	entries, err := r.BeginChildrenData(ctx, "/ab").Entries()
+	if err != nil || len(entries) != 8 { // "." + 7 remaining children
+		t.Fatalf("async listing = %d entries, %v", len(entries), err)
+	}
+	// And the per-shard sessions agree the namespace is consistent.
+	total := 0
+	for _, s := range direct {
+		if kids, err := s.Children("/ab"); err == nil {
+			total += len(kids)
+		}
+	}
+	if total != 7 {
+		t.Fatalf("shard-wide children = %d, want 7", total)
 	}
 }

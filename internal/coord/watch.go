@@ -2,6 +2,7 @@ package coord
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/coord/znode"
 	"repro/internal/wire"
@@ -15,12 +16,16 @@ import (
 // ZooKeeper, which is why a failover loses them and clients must
 // re-register.
 //
-// Delivery is by polling (Session.PollEvents): our transport is pure
-// request/response, so the server queues events per session and the
-// client drains them. The paper's DUFS uses only the synchronous API;
+// Delivery is push-shaped (Session.WaitEvents): the transport is pure
+// request/response, so the client keeps one long-poll request PARKED
+// on its server and the server releases it the moment a watch fires —
+// event latency is one transit, not a poll interval, and an idle
+// session costs nothing. The pull API (Session.PollEvents) remains for
+// tools and tests. The paper's DUFS uses only the synchronous API;
 // watches are provided as the natural extension for client-side
 // metadata caching (the FUSE entry-cache invalidation the paper leaves
-// to future work).
+// to future work), and Fletch's measurements argue delivery latency is
+// the limiting factor for such caches — hence the parked delivery.
 
 // EventType classifies a fired watch: what happened to the watched
 // znode (or, for child watches, to its child list).
@@ -72,6 +77,13 @@ type watchTable struct {
 	children map[string]map[uint64]bool
 	// queues holds undelivered events per session.
 	queues map[uint64][]Event
+	// waiters holds the parked long-poll requests per session: each
+	// channel is closed (exactly once, under mu) when an event lands
+	// for that session, releasing the parked handler.
+	waiters map[uint64]map[chan struct{}]bool
+	// closed releases every parked waiter when the server stops.
+	closed chan struct{}
+	down   bool
 }
 
 func newWatchTable() *watchTable {
@@ -79,7 +91,73 @@ func newWatchTable() *watchTable {
 		data:     make(map[string]map[uint64]bool),
 		children: make(map[string]map[uint64]bool),
 		queues:   make(map[uint64][]Event),
+		waiters:  make(map[uint64]map[chan struct{}]bool),
+		closed:   make(chan struct{}),
 	}
+}
+
+// close releases every parked waiter; used on server shutdown so
+// long-poll handlers never outlive the server.
+func (w *watchTable) close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.down {
+		w.down = true
+		close(w.closed)
+	}
+}
+
+// wake releases a session's parked waiters (with mu held).
+func (w *watchTable) wake(session uint64) {
+	if set := w.waiters[session]; set != nil {
+		for ch := range set {
+			close(ch)
+		}
+		delete(w.waiters, session)
+	}
+}
+
+// await parks until the session has pending events, the timeout
+// expires, or the server shuts down, and returns whatever is queued —
+// possibly nothing, which the client reads as "park again". This is
+// what turns watch delivery from pull to push: the event's commit
+// releases the request in the same instant it queues the event.
+func (w *watchTable) await(session uint64, maxWait time.Duration) []Event {
+	w.mu.Lock()
+	if w.down || maxWait <= 0 || len(w.queues[session]) > 0 {
+		evs := w.queues[session]
+		delete(w.queues, session)
+		w.mu.Unlock()
+		return evs
+	}
+	ch := make(chan struct{})
+	set := w.waiters[session]
+	if set == nil {
+		set = make(map[chan struct{}]bool)
+		w.waiters[session] = set
+	}
+	set[ch] = true
+	w.mu.Unlock()
+
+	t := time.NewTimer(maxWait)
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-t.C:
+	case <-w.closed:
+	}
+
+	w.mu.Lock()
+	if set, ok := w.waiters[session]; ok {
+		delete(set, ch)
+		if len(set) == 0 {
+			delete(w.waiters, session)
+		}
+	}
+	evs := w.queues[session]
+	delete(w.queues, session)
+	w.mu.Unlock()
+	return evs
 }
 
 func (w *watchTable) register(kind watchKind, path string, session uint64) {
@@ -130,6 +208,7 @@ func (w *watchTable) fire(kind watchKind, path string, ev Event) {
 	delete(m, path)
 	for session := range set {
 		w.queues[session] = append(w.queues[session], ev)
+		w.wake(session)
 	}
 }
 
@@ -159,6 +238,7 @@ func (w *watchTable) dropSession(session uint64) {
 		}
 	}
 	delete(w.queues, session)
+	w.wake(session)
 }
 
 // observeApply translates one committed mutation into watch events.

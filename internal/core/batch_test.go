@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -26,44 +27,98 @@ func (c *countingClient) rpc() { c.calls.Add(1) }
 func (c *countingClient) ID() uint64   { return c.inner.ID() }
 func (c *countingClient) Close() error { return c.inner.Close() }
 
-func (c *countingClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+func (c *countingClient) CreateCtx(ctx context.Context, path string, data []byte, mode znode.CreateMode) (string, error) {
 	c.rpc()
-	return c.inner.Create(path, data, mode)
+	return c.inner.CreateCtx(ctx, path, data, mode)
+}
+
+func (c *countingClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	return c.CreateCtx(context.Background(), path, data, mode)
+}
+
+func (c *countingClient) GetCtx(ctx context.Context, path string) ([]byte, znode.Stat, error) {
+	c.rpc()
+	return c.inner.GetCtx(ctx, path)
 }
 
 func (c *countingClient) Get(path string) ([]byte, znode.Stat, error) {
+	return c.GetCtx(context.Background(), path)
+}
+
+func (c *countingClient) SetCtx(ctx context.Context, path string, data []byte, version int32) (znode.Stat, error) {
 	c.rpc()
-	return c.inner.Get(path)
+	return c.inner.SetCtx(ctx, path, data, version)
 }
 
 func (c *countingClient) Set(path string, data []byte, version int32) (znode.Stat, error) {
+	return c.SetCtx(context.Background(), path, data, version)
+}
+
+func (c *countingClient) DeleteCtx(ctx context.Context, path string, version int32) error {
 	c.rpc()
-	return c.inner.Set(path, data, version)
+	return c.inner.DeleteCtx(ctx, path, version)
 }
 
 func (c *countingClient) Delete(path string, version int32) error {
+	return c.DeleteCtx(context.Background(), path, version)
+}
+
+func (c *countingClient) ExistsCtx(ctx context.Context, path string) (znode.Stat, bool, error) {
 	c.rpc()
-	return c.inner.Delete(path, version)
+	return c.inner.ExistsCtx(ctx, path)
 }
 
 func (c *countingClient) Exists(path string) (znode.Stat, bool, error) {
+	return c.ExistsCtx(context.Background(), path)
+}
+
+func (c *countingClient) ChildrenCtx(ctx context.Context, path string) ([]string, error) {
 	c.rpc()
-	return c.inner.Exists(path)
+	return c.inner.ChildrenCtx(ctx, path)
 }
 
 func (c *countingClient) Children(path string) ([]string, error) {
+	return c.ChildrenCtx(context.Background(), path)
+}
+
+func (c *countingClient) MultiCtx(ctx context.Context, ops []coord.Op) ([]coord.OpResult, error) {
 	c.rpc()
-	return c.inner.Children(path)
+	return c.inner.MultiCtx(ctx, ops)
 }
 
 func (c *countingClient) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+	return c.MultiCtx(context.Background(), ops)
+}
+
+func (c *countingClient) ChildrenDataCtx(ctx context.Context, path string) ([]coord.ChildEntry, error) {
 	c.rpc()
-	return c.inner.Multi(ops)
+	return c.inner.ChildrenDataCtx(ctx, path)
 }
 
 func (c *countingClient) ChildrenData(path string) ([]coord.ChildEntry, error) {
+	return c.ChildrenDataCtx(context.Background(), path)
+}
+
+// The async submissions count one RPC each, like their synchronous
+// counterparts — a future is one tagged request on the wire.
+func (c *countingClient) Begin(ctx context.Context, op coord.Op) *coord.Future {
 	c.rpc()
-	return c.inner.ChildrenData(path)
+	return c.inner.Begin(ctx, op)
+}
+
+func (c *countingClient) BeginMulti(ctx context.Context, ops []coord.Op) *coord.Future {
+	c.rpc()
+	return c.inner.BeginMulti(ctx, ops)
+}
+
+func (c *countingClient) BeginChildrenData(ctx context.Context, path string) *coord.Future {
+	c.rpc()
+	return c.inner.BeginChildrenData(ctx, path)
+}
+
+func (c *countingClient) WaitEvents(ctx context.Context, maxWait time.Duration) ([]coord.Event, error) {
+	c.rpc()
+	return c.inner.WaitEvents(ctx, maxWait)
 }
 
 func (c *countingClient) Atomic(paths ...string) bool { return c.inner.Atomic(paths...) }
@@ -93,9 +148,13 @@ func (c *countingClient) WaitEvent(timeout time.Duration) ([]coord.Event, error)
 	return c.inner.WaitEvent(timeout)
 }
 
-func (c *countingClient) Sync() error {
+func (c *countingClient) SyncCtx(ctx context.Context) error {
 	c.rpc()
-	return c.inner.Sync()
+	return c.inner.SyncCtx(ctx)
+}
+
+func (c *countingClient) Sync() error {
+	return c.SyncCtx(context.Background())
 }
 
 func (c *countingClient) Status() (coord.Status, error) {
@@ -290,13 +349,17 @@ type multiRaceClient struct {
 	fired  atomic.Bool
 }
 
-func (c *multiRaceClient) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+func (c *multiRaceClient) MultiCtx(ctx context.Context, ops []coord.Op) ([]coord.OpResult, error) {
 	if !c.fired.Swap(true) {
 		if err := c.rival.Unlink(c.victim); err != nil {
 			return nil, err
 		}
 	}
-	return c.Client.Multi(ops)
+	return c.Client.MultiCtx(ctx, ops)
+}
+
+func (c *multiRaceClient) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+	return c.MultiCtx(context.Background(), ops)
 }
 
 // TestFailedReplacingRenameLeavesDestinationIntact locks in the POSIX
@@ -350,14 +413,32 @@ type raceClient struct {
 	hits   atomic.Int64
 }
 
-func (c *raceClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+func (c *raceClient) CreateCtx(ctx context.Context, path string, data []byte, mode znode.CreateMode) (string, error) {
 	if path == c.victim && !c.fired.Swap(true) {
 		if err := vfs.WriteFile(c.rival, "/race/f", []byte("winner")); err != nil {
 			return "", err
 		}
 		c.hits.Add(1)
 	}
-	return c.Client.Create(path, data, mode)
+	return c.Client.CreateCtx(ctx, path, data, mode)
+}
+
+func (c *raceClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	return c.CreateCtx(context.Background(), path, data, mode)
+}
+
+// Begin is where DUFS.Create's namespace write now enters; inject the
+// same race before forwarding.
+func (c *raceClient) Begin(ctx context.Context, op coord.Op) *coord.Future {
+	if op.Kind == coord.OpCreate && op.Path == c.victim && !c.fired.Swap(true) {
+		if err := vfs.WriteFile(c.rival, "/race/f", []byte("winner")); err != nil {
+			return coord.FutureOp(func() (coord.OpResult, error) {
+				return coord.OpResult{Err: err}, err
+			})
+		}
+		c.hits.Add(1)
+	}
+	return c.Client.Begin(ctx, op)
 }
 
 // TestOpenCreateRaceFallsBackToLookup reproduces the satellite bug:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -34,31 +35,42 @@ type Cached struct {
 	attrs   map[string]vfs.FileInfo   // virtual path -> cached stat (dirs/symlinks)
 	listing map[string][]vfs.DirEntry // virtual path -> cached readdir
 
-	stopOnce sync.Once
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 }
 
-// NewCached wraps d. The wrapper starts a background poller that
-// drains watch events from the session; call Close to stop it.
+// cacheEventWait is how long each invalidation long-poll stays parked
+// before re-parking. It is a liveness bound, not a delivery interval:
+// a fired watch releases the parked request immediately. An IDLE mount
+// therefore keeps exactly one request parked and issues two RPCs a
+// minute — versus the 500 polls per second of the ticker loop this
+// replaced.
+const cacheEventWait = 30 * time.Second
+
+// NewCached wraps d. The wrapper starts a background event stream that
+// blocks on the session's push-delivered watch events; call Close to
+// stop it.
 func NewCached(d *DUFS, reg *metrics.Registry) *Cached {
+	ctx, cancel := context.WithCancel(context.Background())
 	c := &Cached{
 		DUFS:    d,
 		sess:    d.sess,
 		reg:     reg,
 		attrs:   make(map[string]vfs.FileInfo),
 		listing: make(map[string][]vfs.DirEntry),
-		stop:    make(chan struct{}),
+		cancel:  cancel,
 	}
 	c.wg.Add(1)
-	go c.pollLoop()
+	go c.eventLoop(ctx)
 	return c
 }
 
-// Close stops the invalidation poller (the underlying DUFS session is
-// owned by the caller and stays open).
+// Close stops the invalidation stream (the underlying DUFS session is
+// owned by the caller and stays open). The cancelled context releases
+// the in-flight long-poll immediately; the server-side park times out
+// on its own.
 func (c *Cached) Close() error {
-	c.stopOnce.Do(func() { close(c.stop) })
+	c.cancel()
 	c.wg.Wait()
 	return nil
 }
@@ -69,20 +81,31 @@ func (c *Cached) count(name string) {
 	}
 }
 
-// pollLoop drains fired watches and invalidates affected entries.
-func (c *Cached) pollLoop() {
+// eventLoop blocks on the push event stream and invalidates affected
+// entries the moment their watch fires. No polling: while nothing
+// changes, the loop holds one parked request and issues no RPCs.
+func (c *Cached) eventLoop(ctx context.Context) {
 	defer c.wg.Done()
-	ticker := time.NewTicker(2 * time.Millisecond)
-	defer ticker.Stop()
 	for {
-		select {
-		case <-c.stop:
+		evs, err := c.sess.WaitEvents(ctx, cacheEventWait)
+		if ctx.Err() != nil {
 			return
-		case <-ticker.C:
 		}
-		evs, err := c.sess.PollEvents()
 		if err != nil {
-			continue // session hiccup; retry next tick
+			// Session hiccup (failover): the watches lived on the dead
+			// server, so cached entries may go stale. Drop everything —
+			// the next read re-fetches and re-registers — and back off
+			// briefly before re-parking.
+			c.mu.Lock()
+			c.attrs = make(map[string]vfs.FileInfo)
+			c.listing = make(map[string][]vfs.DirEntry)
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
 		}
 		if len(evs) == 0 {
 			continue

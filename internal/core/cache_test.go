@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/backend/backendtest"
+	"repro/internal/coord"
 	"repro/internal/metrics"
 	"repro/internal/vfs"
 )
@@ -163,5 +166,93 @@ func TestCachedFileStatsNeverCached(t *testing.T) {
 	fi, err = c.Stat("/f")
 	if err != nil || fi.Size != 2 {
 		t.Fatalf("stat after truncate = %+v, %v (file sizes must not be cached)", fi, err)
+	}
+}
+
+// eventCountingClient counts the event-delivery RPCs a session issues:
+// polls (the pull API the push redesign retired from the hot path) and
+// parked waits (the long-poll stream). Everything else forwards.
+type eventCountingClient struct {
+	coord.Client
+	polls atomic.Int64
+	waits atomic.Int64
+}
+
+func (c *eventCountingClient) PollEvents() ([]coord.Event, error) {
+	c.polls.Add(1)
+	return c.Client.PollEvents()
+}
+
+func (c *eventCountingClient) WaitEvent(timeout time.Duration) ([]coord.Event, error) {
+	c.polls.Add(1)
+	return c.Client.WaitEvent(timeout)
+}
+
+func (c *eventCountingClient) WaitEvents(ctx context.Context, maxWait time.Duration) ([]coord.Event, error) {
+	c.waits.Add(1)
+	return c.Client.WaitEvents(ctx, maxWait)
+}
+
+// TestCachedIdleMountIssuesNoPollingRPCs is the push-delivery
+// acceptance check: an idle Cached mount keeps exactly one long-poll
+// PARKED on the server and issues ZERO event-polling RPCs — where the
+// ticker loop this replaced polled ~500 times a second.
+func TestCachedIdleMountIssuesNoPollingRPCs(t *testing.T) {
+	env := newEnv(t, 1, 1)
+	sess, err := env.ens.Connect(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	ec := &eventCountingClient{Client: sess}
+	d, err := New(Config{Session: ec, Backends: env.backends, ZRoot: "/idle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(d, metrics.NewRegistry())
+	t.Cleanup(func() { c.Close() })
+
+	// Warm the cache so the mount has live watches, then go idle.
+	if err := c.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/d"); err != nil {
+		t.Fatal(err)
+	}
+	ec.polls.Store(0)
+	ec.waits.Store(0)
+	time.Sleep(400 * time.Millisecond)
+
+	if got := ec.polls.Load(); got != 0 {
+		t.Fatalf("idle mount issued %d event-polling RPCs, want 0", got)
+	}
+	// One parked long-poll (the stream) is the entire idle cost; a
+	// second may appear if the loop happened to re-park.
+	if got := ec.waits.Load(); got > 2 {
+		t.Fatalf("idle mount issued %d parked waits in 400ms, want ≤2 (30s park window)", got)
+	}
+
+	// The parked stream still delivers: a remote mutation invalidates
+	// the cached stat promptly.
+	b := env.newDUFS(t, "/idle")
+	if err := b.Chmod("/d", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fi, err := c.Stat("/d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Mode&vfs.PermMask == 0o700 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("push stream never invalidated the cached stat; still %o", fi.Mode&vfs.PermMask)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := ec.polls.Load(); got != 0 {
+		t.Fatalf("event delivery used %d polling RPCs, want 0 (push only)", got)
 	}
 }

@@ -23,9 +23,9 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/coord"
@@ -190,6 +190,24 @@ func (d *DUFS) zpath(p string) string {
 	return d.zroot + p
 }
 
+// ZnodePath exposes the zpath mapping for tools (dufsctl's watch
+// command registers coordination watches on the znode backing a
+// virtual path).
+func (d *DUFS) ZnodePath(p string) (string, error) {
+	cp, err := vfs.Clean(p)
+	if err != nil {
+		return "", err
+	}
+	return d.zpath(cp), nil
+}
+
+// opCtx is the per-operation context of the vfs entry points. The vfs
+// interface carries no context, so the public methods run under the
+// background context; every internal helper below threads an explicit
+// ctx so deadline- or cancel-scoped callers (and the async walks) are
+// fully plumbed.
+func opCtx() context.Context { return context.Background() }
+
 // mapError converts coordination-service errors to vfs errors.
 func mapError(err error) error {
 	switch {
@@ -209,8 +227,8 @@ func mapError(err error) error {
 }
 
 // getNode fetches and decodes a znode (steps A+B of Fig 3).
-func (d *DUFS) getNode(p string) (nodeData, coordStat, error) {
-	data, stat, err := d.sess.Get(d.zpath(p))
+func (d *DUFS) getNode(ctx context.Context, p string) (nodeData, coordStat, error) {
+	data, stat, err := d.sess.GetCtx(ctx, d.zpath(p))
 	if err != nil {
 		return nodeData{}, coordStat{}, mapError(err)
 	}
@@ -248,13 +266,14 @@ func (d *DUFS) Mkdir(path string, perm uint32) error {
 		return vfs.ErrExist
 	}
 	data := encodeNodeData(nodeData{Kind: kindDir, Mode: perm & vfs.PermMask})
-	_, err = d.sess.Create(d.zpath(p), data, 0)
+	_, err = d.sess.CreateCtx(opCtx(), d.zpath(p), data, 0)
 	return mapError(err)
 }
 
 // Rmdir implements vfs.FileSystem.
 func (d *DUFS) Rmdir(path string) error {
 	d.count("rmdir")
+	ctx := opCtx()
 	p, err := vfs.Clean(path)
 	if err != nil {
 		return err
@@ -262,49 +281,76 @@ func (d *DUFS) Rmdir(path string) error {
 	if p == "/" {
 		return vfs.ErrPerm
 	}
-	nd, _, err := d.getNode(p)
+	nd, _, err := d.getNode(ctx, p)
 	if err != nil {
 		return err
 	}
 	if nd.Kind != kindDir {
 		return vfs.ErrNotDir
 	}
-	return mapError(d.sess.Delete(d.zpath(p), -1))
+	return mapError(d.sess.DeleteCtx(ctx, d.zpath(p), -1))
 }
 
 // Create implements vfs.FileSystem: mint a FID locally, register the
 // filename znode, then create the physical file on the mapped
-// back-end under the FID-derived path.
+// back-end under the FID-derived path. The znode registration is
+// submitted ASYNCHRONOUSLY and the FID directory hierarchy is prepared
+// on the back-end while it is in flight — the two touch disjoint
+// systems, so the create's latency is max(quorum RTT, back-end mkdirs)
+// instead of their sum.
 func (d *DUFS) Create(path string, perm uint32) (vfs.Handle, error) {
 	d.count("create")
+	ctx := opCtx()
 	p, err := vfs.Clean(path)
 	if err != nil {
 		return nil, err
 	}
 	f := d.gen.Next()
 	data := encodeNodeData(nodeData{Kind: kindFile, Mode: perm & vfs.PermMask, FID: f})
-	if _, err := d.sess.Create(d.zpath(p), data, 0); err != nil {
-		return nil, mapError(err)
-	}
+	fut := d.sess.Begin(ctx, coord.CreateOp(d.zpath(p), data, 0))
 	// Undo the namespace entry so a failed create is invisible. The
 	// atomic check+delete only removes the znode while its version is
 	// still 0 — i.e. nobody has touched our entry since we registered
 	// it — so the undo can never clobber a concurrent writer's node.
 	// Best-effort, like the physical-side cleanup it compensates.
 	undo := func() {
-		_, _ = d.sess.Multi([]coord.Op{
+		_, _ = d.sess.MultiCtx(ctx, []coord.Op{
 			coord.CheckOp(d.zpath(p), 0),
 			coord.DeleteOp(d.zpath(p), 0),
 		})
 	}
 	backend, phys := d.locate(f)
-	if err := d.ensurePhysDirs(backend, f); err != nil {
+	// If the namespace write already failed (fast round trip, EEXIST
+	// race), skip the backend work entirely — the old sequential path's
+	// behaviour on the contention path.
+	select {
+	case <-fut.Done():
+		if _, err := fut.Result(); err != nil {
+			return nil, mapError(err)
+		}
+	default:
+	}
+	// Preparing the chain concurrently with the namespace write is
+	// safe — the hierarchy is deterministic per FID (§IV-G), so a
+	// racing client creating the same dirs just sees ErrExist — but if
+	// the namespace write then FAILS the freshly-minted FID is
+	// discarded and its chain would be litter; removePhysDirs sweeps
+	// it best-effort on that (rare) path.
+	physErr := d.ensurePhysDirs(backend, f)
+	if _, err := fut.Result(); err != nil {
+		if physErr == nil {
+			d.removePhysDirs(backend, f)
+		}
+		return nil, mapError(err)
+	}
+	if physErr != nil {
 		undo()
-		return nil, err
+		return nil, physErr
 	}
 	h, err := backend.Create(phys, perm)
 	if err != nil {
 		undo()
+		d.removePhysDirs(backend, f)
 		return nil, err
 	}
 	return h, nil
@@ -324,17 +370,37 @@ func (d *DUFS) ensurePhysDirs(backend vfs.FileSystem, f fid.FID) error {
 	return nil
 }
 
+// removePhysDirs unwinds a discarded FID's directory chain bottom-up,
+// best-effort: components shared with live files refuse with
+// ErrNotEmpty and stop the sweep, so only the litter a failed create
+// would otherwise leave behind is removed.
+func (d *DUFS) removePhysDirs(backend vfs.FileSystem, f fid.FID) {
+	dirs := f.PhysicalDirs()
+	paths := make([]string, 0, len(dirs))
+	cur := ""
+	for _, seg := range dirs {
+		cur += "/" + seg
+		paths = append(paths, cur)
+	}
+	for i := len(paths) - 1; i >= 0; i-- {
+		if err := backend.Rmdir(paths[i]); err != nil {
+			return
+		}
+	}
+}
+
 // Open implements vfs.FileSystem — the paper's Fig 3 walk-through:
 // (A) virtual path in, (B) znode lookup returns the FID, (C) the
 // mapping function picks the back-end, (D) the physical file opens.
 func (d *DUFS) Open(path string, flags int) (vfs.Handle, error) {
 	d.count("open")
+	ctx := opCtx()
 	p, err := vfs.Clean(path)
 	if err != nil {
 		return nil, err
 	}
 	for {
-		nd, _, err := d.getNode(p)
+		nd, _, err := d.getNode(ctx, p)
 		if err != nil {
 			if errors.Is(err, vfs.ErrNotExist) && flags&vfs.OpenCreate != 0 {
 				h, cerr := d.Create(p, 0o644)
@@ -365,18 +431,19 @@ func (d *DUFS) Open(path string, flags int) (vfs.Handle, error) {
 // same virtual name later refer to brand-new contents (§IV-A).
 func (d *DUFS) Unlink(path string) error {
 	d.count("unlink")
+	ctx := opCtx()
 	p, err := vfs.Clean(path)
 	if err != nil {
 		return err
 	}
-	nd, _, err := d.getNode(p)
+	nd, _, err := d.getNode(ctx, p)
 	if err != nil {
 		return err
 	}
 	if nd.Kind == kindDir {
 		return vfs.ErrIsDir
 	}
-	if err := d.sess.Delete(d.zpath(p), -1); err != nil {
+	if err := d.sess.DeleteCtx(ctx, d.zpath(p), -1); err != nil {
 		return mapError(err)
 	}
 	if nd.Kind == kindFile {
@@ -398,7 +465,7 @@ func (d *DUFS) Stat(path string) (vfs.FileInfo, error) {
 	if err != nil {
 		return vfs.FileInfo{}, err
 	}
-	nd, st, err := d.getNode(p)
+	nd, st, err := d.getNode(opCtx(), p)
 	if err != nil {
 		return vfs.FileInfo{}, err
 	}
@@ -447,7 +514,7 @@ func (d *DUFS) Readdir(path string) ([]vfs.DirEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries, err := d.sess.ChildrenData(d.zpath(p))
+	entries, err := d.sess.ChildrenDataCtx(opCtx(), d.zpath(p))
 	if err != nil {
 		return nil, mapError(err)
 	}
@@ -473,19 +540,34 @@ func (d *DUFS) Readdir(path string) ([]vfs.DirEntry, error) {
 
 // listing fetches a directory's own node plus its children in one RPC,
 // split into the "." self entry and the child entries.
-func (d *DUFS) listing(p string) (self coord.ChildEntry, children []coord.ChildEntry, err error) {
-	entries, err := d.sess.ChildrenData(d.zpath(p))
+func (d *DUFS) listing(ctx context.Context, p string) (self coord.ChildEntry, children []coord.ChildEntry, err error) {
+	entries, err := d.sess.ChildrenDataCtx(ctx, d.zpath(p))
 	if err != nil {
 		return coord.ChildEntry{}, nil, mapError(err)
 	}
+	return splitListing(entries), entriesWithoutSelf(entries), nil
+}
+
+// splitListing returns the "." self entry of a ChildrenData listing.
+func splitListing(entries []coord.ChildEntry) (self coord.ChildEntry) {
 	for _, e := range entries {
 		if e.Name == "." {
-			self = e
-		} else {
+			return e
+		}
+	}
+	return coord.ChildEntry{}
+}
+
+// entriesWithoutSelf returns a listing's child entries (everything but
+// ".").
+func entriesWithoutSelf(entries []coord.ChildEntry) []coord.ChildEntry {
+	var children []coord.ChildEntry
+	for _, e := range entries {
+		if e.Name != "." {
 			children = append(children, e)
 		}
 	}
-	return self, children, nil
+	return children
 }
 
 // Rename implements vfs.FileSystem. Thanks to the FID indirection the
@@ -502,6 +584,7 @@ func (d *DUFS) listing(p string) (self coord.ChildEntry, children []coord.ChildE
 // different shards does the durable-intent protocol (rename.go) run.
 func (d *DUFS) Rename(oldPath, newPath string) error {
 	d.count("rename")
+	ctx := opCtx()
 	op, err := vfs.Clean(oldPath)
 	if err != nil {
 		return err
@@ -521,7 +604,7 @@ func (d *DUFS) Rename(oldPath, newPath string) error {
 	}
 	for {
 		zop, znp := d.zpath(op), d.zpath(np)
-		raw, stat, gerr := d.sess.Get(zop)
+		raw, stat, gerr := d.sess.GetCtx(ctx, zop)
 		if gerr != nil {
 			return mapError(gerr)
 		}
@@ -530,11 +613,11 @@ func (d *DUFS) Rename(oldPath, newPath string) error {
 			return derr
 		}
 		if nd.Kind == kindDir {
-			return d.renameDir(op, np)
+			return d.renameDir(ctx, op, np)
 		}
 		// Replace semantics: an existing destination file is superseded.
 		var existing nodeData
-		existingRaw, existingStat, exErr := d.sess.Get(znp)
+		existingRaw, existingStat, exErr := d.sess.GetCtx(ctx, znp)
 		if exErr == nil {
 			existing, derr = decodeNodeData(existingRaw)
 			if derr != nil {
@@ -555,7 +638,7 @@ func (d *DUFS) Rename(oldPath, newPath string) error {
 					return err
 				}
 			}
-			return d.renameFileIntent(op, np, raw)
+			return d.renameFileIntent(ctx, op, np, raw)
 		}
 		// The destination replacement rides in the SAME transaction as
 		// the rename (version-guarded), so a rename that fails — src
@@ -567,7 +650,7 @@ func (d *DUFS) Rename(oldPath, newPath string) error {
 			ops = append(ops, coord.DeleteOp(znp, existingStat.Version))
 		}
 		ops = append(ops, coord.CreateOp(znp, raw, 0), coord.DeleteOp(zop, -1))
-		_, err := d.sess.Multi(ops)
+		_, err := d.sess.MultiCtx(ctx, ops)
 		switch {
 		case err == nil:
 			if exErr == nil && existing.Kind == kindFile {
@@ -595,30 +678,30 @@ func (d *DUFS) Rename(oldPath, newPath string) error {
 // bottom-up). An empty directory on one shard — the common leaf move —
 // is a single atomic Multi; deeper trees batch each directory's leaf
 // children into per-directory transactions.
-func (d *DUFS) renameDir(op, np string) error {
-	if existing, _, err := d.getNode(np); err == nil {
+func (d *DUFS) renameDir(ctx context.Context, op, np string) error {
+	if existing, _, err := d.getNode(ctx, np); err == nil {
 		if existing.Kind != kindDir {
 			return vfs.ErrNotDir
 		}
-		names, err := d.sess.Children(d.zpath(np))
+		names, err := d.sess.ChildrenCtx(ctx, d.zpath(np))
 		if err != nil {
 			return mapError(err)
 		}
 		if len(names) > 0 {
 			return vfs.ErrNotEmpty
 		}
-		if err := d.sess.Delete(d.zpath(np), -1); err != nil {
+		if err := d.sess.DeleteCtx(ctx, d.zpath(np), -1); err != nil {
 			return mapError(err)
 		}
 	}
 	zop, znp := d.zpath(op), d.zpath(np)
-	self, kids, err := d.listing(op)
+	self, kids, err := d.listing(ctx, op)
 	if err != nil {
 		return err
 	}
 	if len(kids) == 0 && d.sess.Atomic(zop, znp) {
 		// Leaf move: the whole rename is one atomic transaction.
-		_, merr := d.sess.Multi([]coord.Op{
+		_, merr := d.sess.MultiCtx(ctx, []coord.Op{
 			coord.CheckOp(zop, self.Stat.Version),
 			coord.CreateOp(znp, self.Data, 0),
 			coord.DeleteOp(zop, -1),
@@ -632,74 +715,10 @@ func (d *DUFS) renameDir(op, np string) error {
 		// A child appeared or the data changed since the listing;
 		// nothing was applied — fall through to the subtree walk.
 	}
-	sem := make(chan struct{}, renameConcurrency)
-	if err := d.copyTree(sem, op, np); err != nil {
+	if err := d.copyTree(ctx, op, np); err != nil {
 		return err
 	}
-	return d.removeTree(sem, op)
-}
-
-// renameConcurrency bounds how many sibling directories a subtree
-// rename walks at once. Each directory costs a listing plus a batched
-// Multi; with group-commit leaders those per-directory transactions
-// coalesce into shared proposal frames, so keeping several in flight
-// is what converts the walk from RTT-bound to pipeline-bound.
-const renameConcurrency = 8
-
-// boundedGroup runs subtree-walk steps with bounded concurrency: tasks
-// draw goroutines from a semaphore shared by the whole rename and run
-// INLINE when it is exhausted, so arbitrarily deep recursion can never
-// deadlock on its own tokens. Wait joins the tasks of one directory
-// level and reports the first error.
-type boundedGroup struct {
-	sem chan struct{}
-	wg  sync.WaitGroup
-	mu  sync.Mutex
-	err error
-}
-
-func (g *boundedGroup) record(err error) {
-	if err == nil {
-		return
-	}
-	g.mu.Lock()
-	if g.err == nil {
-		g.err = err
-	}
-	g.mu.Unlock()
-}
-
-func (g *boundedGroup) failed() bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.err != nil
-}
-
-// Go schedules fn, concurrently when a token is free, inline otherwise.
-func (g *boundedGroup) Go(fn func() error) {
-	if g.failed() {
-		return
-	}
-	select {
-	case g.sem <- struct{}{}:
-		g.wg.Add(1)
-		go func() {
-			defer g.wg.Done()
-			err := fn()
-			<-g.sem
-			g.record(err)
-		}()
-	default:
-		g.record(fn())
-	}
-}
-
-// Wait blocks for every scheduled task and returns the first error.
-func (g *boundedGroup) Wait() error {
-	g.wg.Wait()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.err
+	return d.removeTree(ctx, op)
 }
 
 // isLeafEntry reports whether a listed child can be moved without
@@ -713,101 +732,196 @@ func isLeafEntry(e coord.ChildEntry) bool {
 	return err == nil && nd.Kind != kindDir
 }
 
-// copyTree replicates the subtree at from under to, parents first.
-// Each directory costs one ChildrenData (names, data, and kinds in one
-// RPC), one create for itself, and one batched Multi for all of its
-// file/symlink children; only child directories recurse. Sibling
-// directories copy concurrently (bounded by sem): each one's create
-// happens after its parent's, preserving the parents-first invariant,
-// while independent branches overlap their coordination round trips.
-func (d *DUFS) copyTree(sem chan struct{}, from, to string) error {
-	self, kids, err := d.listing(from)
+// dirPair is one (source, destination) directory of a subtree copy.
+type dirPair struct{ from, to string }
+
+// walkFlight bounds how many futures a subtree walk keeps outstanding
+// at once — enough to keep the session's async window (and behind it
+// the leader's group-commit pipeline) full, without materialising a
+// goroutine and a future per entry of an arbitrarily wide level.
+const walkFlight = 48
+
+// listLevel fans ChildrenData listings for a BFS level through the
+// asynchronous layer, walkFlight at a time — a chunk's round trips
+// overlap, so the wall-clock cost is ~len(dirs)/walkFlight round
+// trips instead of len(dirs).
+func (d *DUFS) listLevel(ctx context.Context, dirs []string) ([][]coord.ChildEntry, error) {
+	out := make([][]coord.ChildEntry, len(dirs))
+	var first error
+	for base := 0; base < len(dirs); base += walkFlight {
+		end := base + walkFlight
+		if end > len(dirs) {
+			end = len(dirs)
+		}
+		futs := make([]*coord.Future, end-base)
+		for i := base; i < end; i++ {
+			futs[i-base] = d.sess.BeginChildrenData(ctx, d.zpath(dirs[i]))
+		}
+		for i, f := range futs {
+			entries, err := f.Entries()
+			if err != nil && first == nil {
+				first = mapError(err)
+			}
+			out[base+i] = entriesWithoutSelf(entries)
+		}
+	}
+	return out, first
+}
+
+// flushFull keeps the pipeline a SLIDING window: once walkFlight
+// futures are outstanding, the oldest are waited out one by one as new
+// submissions arrive — the wire stays continuously occupied (no
+// burst-then-drain), while memory and goroutines stay bounded.
+func flushFull(pl *coord.Pipeline) error {
+	for pl.Outstanding() >= walkFlight {
+		if err := pl.WaitOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchInto queues one directory's leaf-child ops: as a single atomic
+// Multi when the batch is provably same-shard (always true for
+// children of one directory on a Session), as independent pipelined
+// submissions otherwise. ops and paths are parallel slices.
+func batchInto(pl *coord.Pipeline, ops []coord.Op, paths []string, atomic func(...string) bool) {
+	switch {
+	case len(ops) == 0:
+	case len(ops) > 1 && atomic(paths...):
+		pl.Multi(ops)
+	default:
+		for _, op := range ops {
+			pl.Begin(op)
+		}
+	}
+}
+
+// copyTree replicates the subtree at from under to, parents first, as
+// a breadth-first walk over futures: a level's listings are fetched in
+// one pipelined flight, then every directory's leaf children (one
+// batched Multi each) and every next-level directory node are
+// submitted in a second flight. The walk is a SINGLE goroutine — the
+// concurrency the old semaphore recursion simulated with goroutines
+// now lives in the wire pipeline — and the parents-first invariant
+// holds by construction: a level's nodes are created before any of its
+// children are queued. Child-directory data comes from the parent's
+// listing, which is the child node's authoritative shard.
+func (d *DUFS) copyTree(ctx context.Context, from, to string) error {
+	self, kids, err := d.listing(ctx, from)
 	if err != nil {
 		return err
 	}
-	if _, err := d.sess.Create(d.zpath(to), self.Data, 0); err != nil {
+	if _, err := d.sess.CreateCtx(ctx, d.zpath(to), self.Data, 0); err != nil {
 		return mapError(err)
 	}
-	var leaves []coord.Op
-	var leafPaths []string
-	for _, e := range kids {
-		if isLeafEntry(e) {
-			p := d.zpath(to + "/" + e.Name)
-			leaves = append(leaves, coord.CreateOp(p, e.Data, 0))
-			leafPaths = append(leafPaths, p)
-		}
-	}
-	if err := d.applyBatch(leaves, leafPaths); err != nil {
-		return err
-	}
-	g := &boundedGroup{sem: sem}
-	for _, e := range kids {
-		if !isLeafEntry(e) {
-			name := e.Name
-			g.Go(func() error { return d.copyTree(sem, from+"/"+name, to+"/"+name) })
-		}
-	}
-	return g.Wait()
-}
-
-// removeTree deletes the subtree at p bottom-up, batching each
-// directory's file/symlink children into one Multi. Child directories
-// are removed concurrently (bounded by sem); the directory itself is
-// deleted only after every child — leaf batch and recursed subtrees —
-// is gone, preserving the children-first invariant.
-func (d *DUFS) removeTree(sem chan struct{}, p string) error {
-	_, kids, err := d.listing(p)
-	if err != nil {
-		return err
-	}
-	var leaves []coord.Op
-	var leafPaths []string
-	g := &boundedGroup{sem: sem}
-	for _, e := range kids {
-		if isLeafEntry(e) {
-			zp := d.zpath(p + "/" + e.Name)
-			leaves = append(leaves, coord.DeleteOp(zp, -1))
-			leafPaths = append(leafPaths, zp)
-		} else {
-			name := e.Name
-			g.Go(func() error { return d.removeTree(sem, p+"/"+name) })
-		}
-	}
-	if err := d.applyBatch(leaves, leafPaths); err != nil {
-		g.Wait() //nolint:errcheck // surfacing the batch error first
-		return err
-	}
-	if err := g.Wait(); err != nil {
-		return err
-	}
-	return mapError(d.sess.Delete(d.zpath(p), -1))
-}
-
-// applyBatch runs the ops as one transaction when they are provably
-// atomic (same shard — always true for children of one directory on a
-// Session), falling back to per-op application otherwise. ops and
-// paths are parallel slices.
-func (d *DUFS) applyBatch(ops []coord.Op, paths []string) error {
-	if len(ops) == 0 {
-		return nil
-	}
-	if len(ops) == 1 || !d.sess.Atomic(paths...) {
-		for _, op := range ops {
-			var err error
-			switch op.Kind {
-			case coord.OpCreate:
-				_, err = d.sess.Create(op.Path, op.Data, op.Mode)
-			case coord.OpDelete:
-				err = d.sess.Delete(op.Path, op.Version)
+	pairs := []dirPair{{from, to}}
+	listings := [][]coord.ChildEntry{kids}
+	for {
+		var next []dirPair
+		pl := coord.NewPipeline(ctx, d.sess)
+		for i, pair := range pairs {
+			var leaves []coord.Op
+			var leafPaths []string
+			for _, e := range listings[i] {
+				if isLeafEntry(e) {
+					p := d.zpath(pair.to + "/" + e.Name)
+					leaves = append(leaves, coord.CreateOp(p, e.Data, 0))
+					leafPaths = append(leafPaths, p)
+				} else {
+					next = append(next, dirPair{pair.from + "/" + e.Name, pair.to + "/" + e.Name})
+					pl.Create(d.zpath(pair.to+"/"+e.Name), e.Data, 0)
+					if err := flushFull(pl); err != nil {
+						return mapError(err)
+					}
+				}
 			}
-			if err != nil {
+			batchInto(pl, leaves, leafPaths, d.sess.Atomic)
+			if err := flushFull(pl); err != nil {
 				return mapError(err)
 			}
 		}
-		return nil
+		if err := pl.Wait(); err != nil {
+			return mapError(err)
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		pairs = next
+		from := make([]string, len(next))
+		for i, pair := range next {
+			from[i] = pair.from
+		}
+		if listings, err = d.listLevel(ctx, from); err != nil {
+			return err
+		}
 	}
-	if _, err := d.sess.Multi(ops); err != nil {
-		return mapError(err)
+}
+
+// removeTree deletes the subtree at p bottom-up: a breadth-first
+// descent collects every level's structure (pipelined listings), then
+// the levels unwind deepest-first — each level's leaf children go out
+// as batched Multis and its directory nodes as pipelined deletes, all
+// futures of one level in flight together. Children-first holds by
+// construction: level k+1 is fully deleted before level k's directory
+// nodes are touched. Single goroutine, like copyTree. Only the PATHS
+// survive the descent — each listing's data blobs are discarded as
+// soon as its entries are classified, so the client's footprint is
+// O(subtree paths), not O(subtree bytes).
+func (d *DUFS) removeTree(ctx context.Context, p string) error {
+	type rmLevel struct {
+		dirs   []string   // this level's directories (virtual paths)
+		leaves [][]string // per-directory leaf-child zpaths
+	}
+	var stack []rmLevel
+	for cur := []string{p}; len(cur) > 0; {
+		lst, err := d.listLevel(ctx, cur)
+		if err != nil {
+			return err
+		}
+		lvl := rmLevel{dirs: cur, leaves: make([][]string, len(cur))}
+		var next []string
+		for i, dir := range cur {
+			for _, e := range lst[i] {
+				if isLeafEntry(e) {
+					lvl.leaves[i] = append(lvl.leaves[i], d.zpath(dir+"/"+e.Name))
+				} else {
+					next = append(next, dir+"/"+e.Name)
+				}
+			}
+			lst[i] = nil // release the listing's data blobs promptly
+		}
+		stack = append(stack, lvl)
+		cur = next
+	}
+	for k := len(stack) - 1; k >= 0; k-- {
+		pl := coord.NewPipeline(ctx, d.sess)
+		for _, leafPaths := range stack[k].leaves {
+			ops := make([]coord.Op, len(leafPaths))
+			for i, zp := range leafPaths {
+				ops[i] = coord.DeleteOp(zp, -1)
+			}
+			batchInto(pl, ops, leafPaths, d.sess.Atomic)
+			if err := flushFull(pl); err != nil {
+				return mapError(err)
+			}
+		}
+		if err := pl.Wait(); err != nil {
+			return mapError(err)
+		}
+		// The level's directories themselves, after their leaf files and
+		// (already unwound) subdirectories are gone. Routed through
+		// Begin so cross-shard deletes keep the router's contract.
+		for _, dir := range stack[k].dirs {
+			pl.Delete(d.zpath(dir), -1)
+			if err := flushFull(pl); err != nil {
+				return mapError(err)
+			}
+		}
+		if err := pl.Wait(); err != nil {
+			return mapError(err)
+		}
+		stack[k] = rmLevel{} // unwound; release its paths
 	}
 	return nil
 }
@@ -820,7 +934,7 @@ func (d *DUFS) Symlink(target, linkPath string) error {
 		return err
 	}
 	data := encodeNodeData(nodeData{Kind: kindSymlink, Mode: 0o777, Target: target})
-	_, err = d.sess.Create(d.zpath(p), data, 0)
+	_, err = d.sess.CreateCtx(opCtx(), d.zpath(p), data, 0)
 	return mapError(err)
 }
 
@@ -831,7 +945,7 @@ func (d *DUFS) Readlink(path string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	nd, _, err := d.getNode(p)
+	nd, _, err := d.getNode(opCtx(), p)
 	if err != nil {
 		return "", err
 	}
@@ -849,7 +963,7 @@ func (d *DUFS) Truncate(path string, size int64) error {
 	if err != nil {
 		return err
 	}
-	nd, _, err := d.getNode(p)
+	nd, _, err := d.getNode(opCtx(), p)
 	if err != nil {
 		return err
 	}
@@ -868,11 +982,12 @@ func (d *DUFS) Truncate(path string, size int64) error {
 // paper's split of metadata ownership (§IV-D).
 func (d *DUFS) Chmod(path string, perm uint32) error {
 	d.count("chmod")
+	ctx := opCtx()
 	p, err := vfs.Clean(path)
 	if err != nil {
 		return err
 	}
-	nd, _, err := d.getNode(p)
+	nd, _, err := d.getNode(ctx, p)
 	if err != nil {
 		return err
 	}
@@ -881,7 +996,7 @@ func (d *DUFS) Chmod(path string, perm uint32) error {
 		return backend.Chmod(phys, perm)
 	}
 	nd.Mode = perm & vfs.PermMask
-	_, err = d.sess.Set(d.zpath(p), encodeNodeData(nd), -1)
+	_, err = d.sess.SetCtx(ctx, d.zpath(p), encodeNodeData(nd), -1)
 	return mapError(err)
 }
 
@@ -892,7 +1007,7 @@ func (d *DUFS) Access(path string, mask uint32) error {
 	if err != nil {
 		return err
 	}
-	nd, _, err := d.getNode(p)
+	nd, _, err := d.getNode(opCtx(), p)
 	if err != nil {
 		return err
 	}

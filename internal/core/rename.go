@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -64,8 +65,8 @@ func decodeIntent(b []byte) (src, dst string, err error) {
 // logRenameIntent durably records "src is being renamed to dst" and
 // returns the intent's znode path. src and dst are cleaned virtual
 // paths.
-func (d *DUFS) logRenameIntent(src, dst string) (string, error) {
-	created, err := d.sess.Create(d.intentRoot()+"/op-", encodeIntent(src, dst), znode.ModeSequential)
+func (d *DUFS) logRenameIntent(ctx context.Context, src, dst string) (string, error) {
+	created, err := d.sess.CreateCtx(ctx, d.intentRoot()+"/op-", encodeIntent(src, dst), znode.ModeSequential)
 	if err != nil {
 		return "", mapError(err)
 	}
@@ -78,14 +79,14 @@ func (d *DUFS) logRenameIntent(src, dst string) (string, error) {
 // The FID indirection makes the double-visibility window harmless:
 // both names resolve to the same physical file. raw is src's znode
 // data, already fetched by Rename.
-func (d *DUFS) renameFileIntent(op, np string, raw []byte) error {
-	intent, err := d.logRenameIntent(op, np)
+func (d *DUFS) renameFileIntent(ctx context.Context, op, np string, raw []byte) error {
+	intent, err := d.logRenameIntent(ctx, op, np)
 	if err != nil {
 		return err
 	}
-	if _, err := d.sess.Create(d.zpath(np), raw, 0); err != nil {
+	if _, err := d.sess.CreateCtx(ctx, d.zpath(np), raw, 0); err != nil {
 		cerr := mapError(err)
-		if derr := d.sess.Delete(intent, -1); derr != nil && !errors.Is(derr, coord.ErrNoNode) {
+		if derr := d.sess.DeleteCtx(ctx, intent, -1); derr != nil && !errors.Is(derr, coord.ErrNoNode) {
 			// The cleanup itself failed (e.g. the intent shard became
 			// unavailable): the record outlives this rename until a
 			// RecoverRenames sweep discards it. Surface the leak instead
@@ -95,10 +96,10 @@ func (d *DUFS) renameFileIntent(op, np string, raw []byte) error {
 		}
 		return cerr
 	}
-	if err := d.sess.Delete(d.zpath(op), -1); err != nil {
+	if err := d.sess.DeleteCtx(ctx, d.zpath(op), -1); err != nil {
 		return mapError(err)
 	}
-	_ = d.sess.Delete(intent, -1)
+	_ = d.sess.DeleteCtx(ctx, intent, -1)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -49,32 +50,68 @@ func (c *crashClient) mutate() error {
 	return errInjectedCrash
 }
 
-func (c *crashClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+func (c *crashClient) CreateCtx(ctx context.Context, path string, data []byte, mode znode.CreateMode) (string, error) {
 	if err := c.mutate(); err != nil {
 		return "", err
 	}
-	return c.Client.Create(path, data, mode)
+	return c.Client.CreateCtx(ctx, path, data, mode)
 }
 
-func (c *crashClient) Set(path string, data []byte, version int32) (znode.Stat, error) {
+func (c *crashClient) Create(path string, data []byte, mode znode.CreateMode) (string, error) {
+	return c.CreateCtx(context.Background(), path, data, mode)
+}
+
+func (c *crashClient) SetCtx(ctx context.Context, path string, data []byte, version int32) (znode.Stat, error) {
 	if err := c.mutate(); err != nil {
 		return znode.Stat{}, err
 	}
-	return c.Client.Set(path, data, version)
+	return c.Client.SetCtx(ctx, path, data, version)
 }
 
-func (c *crashClient) Delete(path string, version int32) error {
+func (c *crashClient) Set(path string, data []byte, version int32) (znode.Stat, error) {
+	return c.SetCtx(context.Background(), path, data, version)
+}
+
+func (c *crashClient) DeleteCtx(ctx context.Context, path string, version int32) error {
 	if err := c.mutate(); err != nil {
 		return err
 	}
-	return c.Client.Delete(path, version)
+	return c.Client.DeleteCtx(ctx, path, version)
 }
 
-func (c *crashClient) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+func (c *crashClient) Delete(path string, version int32) error {
+	return c.DeleteCtx(context.Background(), path, version)
+}
+
+func (c *crashClient) MultiCtx(ctx context.Context, ops []coord.Op) ([]coord.OpResult, error) {
 	if err := c.mutate(); err != nil {
 		return nil, err
 	}
-	return c.Client.Multi(ops)
+	return c.Client.MultiCtx(ctx, ops)
+}
+
+func (c *crashClient) Multi(ops []coord.Op) ([]coord.OpResult, error) {
+	return c.MultiCtx(context.Background(), ops)
+}
+
+// The async submissions crash exactly like their synchronous
+// counterparts: a dead client cannot put new proposals on the wire.
+func (c *crashClient) Begin(ctx context.Context, op coord.Op) *coord.Future {
+	if op.Kind != coord.OpCheck && op.Kind != coord.OpSync {
+		if err := c.mutate(); err != nil {
+			return coord.FutureOp(func() (coord.OpResult, error) {
+				return coord.OpResult{Err: err}, err
+			})
+		}
+	}
+	return c.Client.Begin(ctx, op)
+}
+
+func (c *crashClient) BeginMulti(ctx context.Context, ops []coord.Op) *coord.Future {
+	if err := c.mutate(); err != nil {
+		return coord.FutureMulti(func() ([]coord.OpResult, error) { return nil, err })
+	}
+	return c.Client.BeginMulti(ctx, ops)
 }
 
 // shardedEnv boots two single-server ensembles and returns a router

@@ -34,6 +34,7 @@ type Phase string
 const (
 	DirCreate   Phase = "dir-create"
 	DirStat     Phase = "dir-stat"
+	DirStatHot  Phase = "dir-stat-hot"
 	DirReaddir  Phase = "dir-readdir"
 	DirRemove   Phase = "dir-remove"
 	FileCreate  Phase = "file-create"
@@ -56,6 +57,16 @@ var AllPhases = []Phase{DirCreate, DirStat, DirReaddir, DirRemove, FileCreate, F
 // directory). This is the workload the batched ChildrenData readdir
 // exists for — every listing is one coordination RPC instead of N+1.
 var ReaddirHeavyPhases = []Phase{FileCreate, FileReaddir, FileRemove}
+
+// StatHeavyPhases is the stat-dominated workload: populate, stat every
+// item once (cold — each lookup is a coordination round trip), then
+// hammer each process's working directory with repeated stats
+// (DirStatHot). Over a plain DUFS mount the hot phase pays a round
+// trip per stat exactly like the cold one; over core.Cached the first
+// stat registers a watch and every subsequent one is a local cache
+// hit kept coherent by the push event stream — the paper-style table
+// where the client cache and the invalidation push show up.
+var StatHeavyPhases = []Phase{DirCreate, DirStat, DirStatHot, DirRemove}
 
 // Config parameterizes a run.
 type Config struct {
@@ -240,6 +251,11 @@ func doOp(fs vfs.FileSystem, ph Phase, workdir string, p, i int) error {
 		return fs.Mkdir(itemPath(workdir, p, i, false), 0o755)
 	case DirStat:
 		_, err := fs.Stat(itemPath(workdir, p, i, false))
+		return err
+	case DirStatHot:
+		// Repeated stat of the process's working directory — the hot
+		// entry a client-side metadata cache serves locally.
+		_, err := fs.Stat(workdir)
 		return err
 	case DirReaddir:
 		_, err := fs.Readdir(workdir)

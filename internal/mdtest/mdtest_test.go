@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/backend/memfs"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/vfs"
 )
 
@@ -179,5 +180,61 @@ func TestRunOnDUFSCluster(t *testing.T) {
 		if res[ph].Ops != procs*10 {
 			t.Fatalf("phase %s ops = %d", ph, res[ph].Ops)
 		}
+	}
+}
+
+// TestStatHeavyPhasesOverCachedDUFS runs the stat-dominated workload
+// over core.Cached mounts on a real cluster: the hot phase must be
+// served overwhelmingly from the client cache (its watch-coherent
+// entries), demonstrating the push-invalidation stream under the
+// paper-style harness.
+func TestStatHeavyPhasesOverCachedDUFS(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{
+		Name:         "mdtest-stat",
+		CoordServers: 1,
+		Backends:     1,
+		Kind:         cluster.MemFS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	const procs = 2
+	mounts := make([]vfs.FileSystem, procs)
+	var caches []*core.Cached
+	for p := 0; p < procs; p++ {
+		cl, err := c.NewClient(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := core.NewCached(cl.FS, cl.Metrics)
+		defer cc.Close()
+		caches = append(caches, cc)
+		mounts[p] = cc
+	}
+	res, err := Run(Config{
+		Mounts:          mounts,
+		Processes:       procs,
+		ItemsPerProcess: 30,
+		Depth:           2,
+		Phases:          StatHeavyPhases,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range StatHeavyPhases {
+		if res[ph].Ops != procs*30 {
+			t.Fatalf("phase %s ops = %d, want %d", ph, res[ph].Ops, procs*30)
+		}
+	}
+	var hits int64
+	for _, cc := range caches {
+		h, _ := cc.CacheStats()
+		hits += h
+	}
+	// The hot phase alone is procs*30 stats of an unchanging
+	// directory; all but the cold first one per mount must hit.
+	if hits < int64(procs*30)/2 {
+		t.Fatalf("cache hits = %d over the hot-stat phase, want the phase served from cache", hits)
 	}
 }

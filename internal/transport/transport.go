@@ -48,6 +48,42 @@ type Conn interface {
 	Close() error
 }
 
+// CallResult is the outcome of one asynchronous call.
+type CallResult struct {
+	Payload []byte
+	Err     error
+}
+
+// AsyncCaller is implemented by connections that can submit a request
+// without blocking for its response — the wire-pipelining primitive:
+// many requests in flight over one connection, each tagged so the
+// responses find their callers. The TCP connection implements it
+// natively (its frames already carry call IDs); every other Conn gets
+// the behaviour from the CallAsync helper.
+type AsyncCaller interface {
+	// CallAsync submits req and returns a channel (buffered, capacity
+	// one) that will receive exactly one CallResult. Abandoning the
+	// channel is safe: the result is dropped, never blocking the
+	// connection's reader.
+	CallAsync(req []byte) <-chan CallResult
+}
+
+// CallAsync submits req on c without waiting for the response. It uses
+// the connection's native pipelining when available and otherwise
+// falls back to a goroutine around the blocking Call — semantically
+// identical, at the cost of one goroutine per in-flight request.
+func CallAsync(c Conn, req []byte) <-chan CallResult {
+	if ac, ok := c.(AsyncCaller); ok {
+		return ac.CallAsync(req)
+	}
+	ch := make(chan CallResult, 1)
+	go func() {
+		payload, err := c.Call(req)
+		ch <- CallResult{Payload: payload, Err: err}
+	}()
+	return ch
+}
+
 // Network abstracts how servers listen and clients dial, so the same
 // service code runs over TCP or in-process dispatch.
 type Network interface {
@@ -191,13 +227,8 @@ type tcpConn struct {
 	wmu    sync.Mutex
 	mu     sync.Mutex
 	nextID uint64
-	pend   map[uint64]chan callResult
+	pend   map[uint64]chan CallResult
 	closed bool
-}
-
-type callResult struct {
-	payload []byte
-	err     error
 }
 
 // Dial implements Network.
@@ -206,7 +237,7 @@ func (TCP) Dial(addr string) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	tc := &tcpConn{c: c, pend: make(map[uint64]chan callResult)}
+	tc := &tcpConn{c: c, pend: make(map[uint64]chan CallResult)}
 	go tc.readLoop()
 	return tc, nil
 }
@@ -221,11 +252,11 @@ func (tc *tcpConn) readLoop() {
 		r := wire.NewReader(frame)
 		id := r.Uint64()
 		status := r.Uint8()
-		var res callResult
+		var res CallResult
 		if status == statusErr {
-			res.err = &RemoteError{Msg: r.String()}
+			res.Err = &RemoteError{Msg: r.String()}
 		} else {
-			res.payload = r.BytesCopy32()
+			res.Payload = r.BytesCopy32()
 		}
 		if r.Err() != nil {
 			tc.failAll(r.Err())
@@ -249,18 +280,22 @@ func (tc *tcpConn) failAll(err error) {
 	}
 	for id, ch := range tc.pend {
 		delete(tc.pend, id)
-		ch <- callResult{err: err}
+		ch <- CallResult{Err: err}
 	}
 	tc.closed = true
 }
 
-// Call implements Conn.
-func (tc *tcpConn) Call(req []byte) ([]byte, error) {
-	ch := make(chan callResult, 1)
+// CallAsync implements AsyncCaller natively: the request frame carries
+// a fresh call ID and the per-call channel is parked in the pending
+// map for readLoop to complete — no goroutine per in-flight request,
+// arbitrarily many calls pipelined over the one socket.
+func (tc *tcpConn) CallAsync(req []byte) <-chan CallResult {
+	ch := make(chan CallResult, 1)
 	tc.mu.Lock()
 	if tc.closed {
 		tc.mu.Unlock()
-		return nil, ErrClosed
+		ch <- CallResult{Err: ErrClosed}
+		return ch
 	}
 	tc.nextID++
 	id := tc.nextID
@@ -275,12 +310,20 @@ func (tc *tcpConn) Call(req []byte) ([]byte, error) {
 	tc.wmu.Unlock()
 	if err != nil {
 		tc.mu.Lock()
+		_, pending := tc.pend[id]
 		delete(tc.pend, id)
 		tc.mu.Unlock()
-		return nil, err
+		if pending {
+			ch <- CallResult{Err: err}
+		}
 	}
-	res := <-ch
-	return res.payload, res.err
+	return ch
+}
+
+// Call implements Conn as a blocking wait on CallAsync.
+func (tc *tcpConn) Call(req []byte) ([]byte, error) {
+	res := <-tc.CallAsync(req)
+	return res.Payload, res.Err
 }
 
 // Close implements Conn.

@@ -241,3 +241,91 @@ func TestLatencyWrapperDelays(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTCPCallAsyncPipelines verifies the native wire pipelining: many
+// requests submitted back-to-back on ONE connection, responses
+// collected afterwards, every call ID matched to its caller.
+func TestTCPCallAsyncPipelines(t *testing.T) {
+	var tcp TCP
+	ln, err := tcp.Listen("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c, err := tcp.Dial(ln.(interface{ Addr() net.Addr }).Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ac, ok := c.(AsyncCaller)
+	if !ok {
+		t.Fatal("tcp conn does not implement AsyncCaller")
+	}
+	const n = 64
+	chans := make([]<-chan CallResult, n)
+	for i := 0; i < n; i++ {
+		chans[i] = ac.CallAsync([]byte(fmt.Sprintf("req-%d", i)))
+	}
+	for i, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatalf("call %d: %v", i, res.Err)
+		}
+		want := fmt.Sprintf("echo:req-%d", i)
+		if string(res.Payload) != want {
+			t.Fatalf("call %d payload = %q, want %q", i, res.Payload, want)
+		}
+	}
+}
+
+// TestCallAsyncFallback exercises the goroutine fallback on a Conn
+// without native pipelining (the in-process network).
+func TestCallAsyncFallback(t *testing.T) {
+	n := NewInProc()
+	ln, err := n.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c, err := n.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res := <-CallAsync(c, []byte("x"))
+	if res.Err != nil || string(res.Payload) != "echo:x" {
+		t.Fatalf("fallback result = %q, %v", res.Payload, res.Err)
+	}
+}
+
+// TestCallAsyncOverlapsLatency proves abandonment-free concurrency
+// under the latency wrapper: K async calls through a delayed network
+// complete in far less than K sequential round trips.
+func TestCallAsyncOverlapsLatency(t *testing.T) {
+	const rtt = 20 * time.Millisecond
+	n := &Latency{Inner: NewInProc(), Delay: func() time.Duration { return rtt }}
+	ln, err := n.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c, err := n.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const k = 10
+	start := time.Now()
+	chans := make([]<-chan CallResult, k)
+	for i := 0; i < k; i++ {
+		chans[i] = CallAsync(c, []byte("x"))
+	}
+	for _, ch := range chans {
+		if res := <-ch; res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Duration(k)*rtt/2 {
+		t.Fatalf("pipelined calls took %v, want well under the %v serial cost", elapsed, time.Duration(k)*rtt)
+	}
+}
