@@ -457,6 +457,94 @@ func BenchmarkGroupCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableGroupCommit measures what durability costs the
+// group-commit pipeline (DESIGN.md §11): the same 3-server ensemble
+// and concurrent-session workload as BenchmarkGroupCommit, in-memory
+// versus backed by the storage engine, where every acknowledgement
+// waits on an fsync. Because the fsync rides whole group-commit
+// frames — a follower syncs once per propose window, the leader's
+// sync loop covers every frame appended since the previous fsync —
+// one sync amortizes across the batch, and durable throughput at 16
+// sessions must stay within a small factor (the acceptance bar is
+// ≥25%) of the in-memory path rather than collapsing to one fsync
+// per write.
+func BenchmarkDurableGroupCommit(b *testing.B) {
+	const (
+		netRTT       = 500 * time.Microsecond
+		opsPerClient = 25
+	)
+	for _, mode := range []string{"memory", "durable"} {
+		for _, clients := range []int{1, 16} {
+			mode, clients := mode, clients
+			b.Run(fmt.Sprintf("%s/clients=%d", mode, clients), func(b *testing.B) {
+				net := &transport.Latency{
+					Inner: transport.NewInProc(),
+					Delay: func() time.Duration { return netRTT },
+				}
+				cfg := coord.EnsembleConfig{
+					Servers:           3,
+					Net:               net,
+					AddrPrefix:        fmt.Sprintf("dgc-%s-%d-%d", mode, clients, rand.Int()),
+					HeartbeatInterval: 5 * time.Millisecond,
+					ElectionTimeout:   50 * time.Millisecond,
+				}
+				if mode == "durable" {
+					cfg.DataDir = b.TempDir()
+				}
+				ens, err := coord.StartEnsemble(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(ens.Stop)
+				leaderIdx := 0
+				for i, s := range ens.Servers {
+					if s.IsLeader() {
+						leaderIdx = i
+					}
+				}
+				sessions := make([]*coord.Session, clients)
+				for c := 0; c < clients; c++ {
+					sess, err := ens.Connect(leaderIdx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { sess.Close() })
+					sessions[c] = sess
+				}
+				if _, err := sessions[0].Create("/dgc", nil, znode.ModePersistent); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					errs := make([]error, clients)
+					for c := 0; c < clients; c++ {
+						wg.Add(1)
+						go func(c int) {
+							defer wg.Done()
+							for j := 0; j < opsPerClient; j++ {
+								p := fmt.Sprintf("/dgc/i%d-c%d-%d", i, c, j)
+								if _, err := sessions[c].Create(p, nil, znode.ModePersistent); err != nil {
+									errs[c] = err
+									return
+								}
+							}
+						}(c)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				total := float64(b.N) * float64(clients) * opsPerClient
+				b.ReportMetric(total/b.Elapsed().Seconds(), "writes/s")
+			})
+		}
+	}
+}
+
 // BenchmarkAsyncPipeline measures the client-side half of the write
 // pipeline (DESIGN.md §10): ONE goroutine issuing znode creates under
 // injected network latency, synchronously (one blocking round trip per

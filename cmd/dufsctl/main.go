@@ -41,6 +41,7 @@ func main() {
 	coordServers := flag.Int("coord", 3, "coordination ensemble size")
 	shards := flag.Int("shards", 1, "independent coordination ensembles to partition the namespace across")
 	kind := flag.String("kind", "lustre", "back-end kind: lustre, pvfs, memfs")
+	dataDir := flag.String("data-dir", "", "durable coordination storage directory (WAL + snapshots); status then shows the durable horizon")
 	flag.Parse()
 
 	c, err := cluster.Start(cluster.Config{
@@ -49,6 +50,7 @@ func main() {
 		CoordShards:  *shards,
 		Backends:     *backends,
 		Kind:         cluster.BackendKind(*kind),
+		CoordDataDir: *dataDir,
 	})
 	if err != nil {
 		log.Fatalf("dufsctl: %v", err)
@@ -155,8 +157,8 @@ func status(sess coord.Client) error {
 			return err
 		}
 		for i, st := range sts {
-			fmt.Printf("shard %d: server=%d leader=%d epoch=%d znodes=%d\n",
-				i, st.ServerID, st.LeaderID, st.Epoch, st.Znodes)
+			fmt.Printf("shard %d: server=%d leader=%d epoch=%d znodes=%d%s\n",
+				i, st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st))
 		}
 		return nil
 	}
@@ -164,8 +166,19 @@ func status(sess coord.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("server=%d leader=%d epoch=%d znodes=%d\n", st.ServerID, st.LeaderID, st.Epoch, st.Znodes)
+	fmt.Printf("server=%d leader=%d epoch=%d znodes=%d%s\n",
+		st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st))
 	return nil
+}
+
+// storageStatus renders the durable-storage fields of a status reply;
+// empty for in-memory servers (no WAL segments).
+func storageStatus(st coord.Status) string {
+	if st.WALSegments == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" storage.last_durable_zxid=%x storage.wal_segments=%d storage.fsync_batch_txns=%d",
+		st.LastDurableZxid, st.WALSegments, st.FsyncBatchTxns)
 }
 
 func run(fs vfs.FileSystem, args []string) error {

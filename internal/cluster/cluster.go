@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/backend/lustre"
@@ -67,6 +68,16 @@ type Config struct {
 	// Coord tunables (zero = package defaults).
 	HeartbeatInterval time.Duration
 	ElectionTimeout   time.Duration
+
+	// CoordDataDir, when non-empty, gives every coordination server a
+	// durable storage engine under
+	// CoordDataDir/shard<k>/node<id>, making acknowledged metadata
+	// writes survive member crashes and whole-cluster cold restarts
+	// (RestartCoord). Empty keeps coordination state in memory.
+	CoordDataDir string
+	// CoordSyncEvery is the fsync-cadence ablation forwarded to the
+	// storage engine (see coord.ServerConfig.SyncEvery).
+	CoordSyncEvery int
 }
 
 // Cluster is a running deployment.
@@ -134,13 +145,18 @@ func Start(cfg Config) (*Cluster, error) {
 	c := &Cluster{cfg: cfg, net: cfg.Net}
 
 	for s := 0; s < cfg.CoordShards; s++ {
-		ens, err := coord.StartEnsemble(coord.EnsembleConfig{
+		ecfg := coord.EnsembleConfig{
 			Servers:           cfg.CoordServers,
 			Net:               cfg.Net,
 			AddrPrefix:        fmt.Sprintf("%s-coord%d", cfg.Name, s),
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			ElectionTimeout:   cfg.ElectionTimeout,
-		})
+			SyncEvery:         cfg.CoordSyncEvery,
+		}
+		if cfg.CoordDataDir != "" {
+			ecfg.DataDir = filepath.Join(cfg.CoordDataDir, fmt.Sprintf("shard%d", s))
+		}
+		ens, err := coord.StartEnsemble(ecfg)
 		if err != nil {
 			c.Stop()
 			return nil, fmt.Errorf("cluster: coordination ensemble %d: %w", s, err)
@@ -288,6 +304,24 @@ func (c *Cluster) BasicPVFSClient() (*pvfs.Client, error) {
 		dataAddrs = append(dataAddrs, fmt.Sprintf("%s-p0-data%d", c.cfg.Name, i))
 	}
 	return pvfs.NewClient(c.net, metaAddrs, dataAddrs), nil
+}
+
+// RestartCoord cold-restarts every coordination ensemble from its
+// data directories — the paper's §IV-I scenario of all metadata
+// servers failing and being brought back. Client sessions ride their
+// normal failover/retry paths across the outage; the recovered
+// ensembles hold every write they acknowledged, including the session
+// table, so existing mounts keep working.
+func (c *Cluster) RestartCoord() error {
+	if c.cfg.CoordDataDir == "" {
+		return fmt.Errorf("cluster: RestartCoord needs Config.CoordDataDir (in-memory ensembles cannot restart)")
+	}
+	for s, ens := range c.Ensembles {
+		if err := ens.Restart(); err != nil {
+			return fmt.Errorf("cluster: restarting coordination shard %d: %w", s, err)
+		}
+	}
+	return nil
 }
 
 // LustreInstances exposes the running Lustre back-ends (tests).

@@ -672,6 +672,14 @@ type Status struct {
 	Epoch    uint64
 	IsLeader bool
 	Znodes   uint64
+
+	// Durable-storage observability (all zero when the server runs
+	// without a data directory): the highest zxid covered by a
+	// completed fsync, the live WAL segment count, and the mean
+	// transactions hardened per fsync (the group-commit amortization).
+	LastDurableZxid uint64
+	WALSegments     uint64
+	FsyncBatchTxns  uint64
 }
 
 // Status queries the connected server.
@@ -690,6 +698,9 @@ func (s *Session) Status() (Status, error) {
 		IsLeader: r.Bool(),
 		Znodes:   r.Uint64(),
 	}
+	st.LastDurableZxid = r.Uint64()
+	st.WALSegments = r.Uint64()
+	st.FsyncBatchTxns = r.Uint64()
 	if err := r.Err(); err != nil {
 		return Status{}, fmt.Errorf("coord: malformed status reply: %w", err)
 	}

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/transport"
@@ -27,6 +28,14 @@ type EnsembleConfig struct {
 	// Group-commit tunables (zero = defaults; see ServerConfig).
 	MaxBatchTxns      int
 	MaxInflightFrames int
+
+	// DataDir, when non-empty, gives every member a durable storage
+	// engine under DataDir/node<id>, so members — or the whole
+	// ensemble — can be stopped and restarted from disk without losing
+	// an acknowledged write (StopServer / StartServer / Restart).
+	DataDir string
+	// SyncEvery is the fsync-cadence ablation (see ServerConfig).
+	SyncEvery int
 }
 
 // Ensemble is a running coordination service.
@@ -34,11 +43,14 @@ type Ensemble struct {
 	Servers     []*Server
 	ClientAddrs []string
 	net         transport.Network
+	cfgs        []ServerConfig // per-member configs, for restart
 }
 
 // StartEnsemble boots a full coordination ensemble and waits for a
 // leader, mirroring how the paper runs 1–8 ZooKeeper servers
-// (§V-A/V-B).
+// (§V-A/V-B). With DataDir set, each member recovers from its data
+// directory, so StartEnsemble over an existing directory is a
+// whole-cluster cold restart.
 func StartEnsemble(cfg EnsembleConfig) (*Ensemble, error) {
 	if cfg.Servers <= 0 {
 		return nil, fmt.Errorf("coord: ensemble needs at least one server, got %d", cfg.Servers)
@@ -59,7 +71,7 @@ func StartEnsemble(cfg EnsembleConfig) (*Ensemble, error) {
 	e := &Ensemble{net: cfg.Net}
 	for i := 1; i <= cfg.Servers; i++ {
 		clientAddr := addrFor(uint64(i), "client")
-		srv, err := NewServer(ServerConfig{
+		scfg := ServerConfig{
 			ID:                uint64(i),
 			PeerAddrs:         peers,
 			ClientAddr:        clientAddr,
@@ -69,13 +81,19 @@ func StartEnsemble(cfg EnsembleConfig) (*Ensemble, error) {
 			MaxLogEntries:     cfg.MaxLogEntries,
 			MaxBatchTxns:      cfg.MaxBatchTxns,
 			MaxInflightFrames: cfg.MaxInflightFrames,
-		})
+			SyncEvery:         cfg.SyncEvery,
+		}
+		if cfg.DataDir != "" {
+			scfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node%d", i))
+		}
+		srv, err := NewServer(scfg)
 		if err != nil {
 			e.Stop()
 			return nil, err
 		}
 		e.Servers = append(e.Servers, srv)
 		e.ClientAddrs = append(e.ClientAddrs, clientAddr)
+		e.cfgs = append(e.cfgs, scfg)
 	}
 	if err := e.WaitLeader(10 * time.Second); err != nil {
 		e.Stop()
@@ -89,7 +107,7 @@ func (e *Ensemble) WaitLeader(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		for _, s := range e.Servers {
-			if s.IsLeader() {
+			if s != nil && s.IsLeader() {
 				return nil
 			}
 		}
@@ -101,11 +119,53 @@ func (e *Ensemble) WaitLeader(timeout time.Duration) error {
 // Leader returns the current leader server, or nil.
 func (e *Ensemble) Leader() *Server {
 	for _, s := range e.Servers {
-		if s.IsLeader() {
+		if s != nil && s.IsLeader() {
 			return s
 		}
 	}
 	return nil
+}
+
+// StopServer stops member i (0-based), leaving its slot nil. With a
+// DataDir the member's durable state stays on disk for StartServer.
+func (e *Ensemble) StopServer(i int) {
+	if s := e.Servers[i]; s != nil {
+		s.Stop()
+		e.Servers[i] = nil
+	}
+}
+
+// StartServer (re)starts member i from its recorded configuration —
+// with a DataDir, that means recovering from its data directory.
+func (e *Ensemble) StartServer(i int) error {
+	if e.Servers[i] != nil {
+		return fmt.Errorf("coord: server %d already running", i)
+	}
+	if e.cfgs == nil {
+		return fmt.Errorf("coord: ensemble was not built by StartEnsemble; cannot restart members")
+	}
+	srv, err := NewServer(e.cfgs[i])
+	if err != nil {
+		return err
+	}
+	e.Servers[i] = srv
+	return nil
+}
+
+// Restart performs a whole-cluster cold restart: every member is
+// stopped, then every member is started again from its data directory
+// and a leader is awaited. Without a DataDir this is a state wipe —
+// only durable ensembles restart meaningfully.
+func (e *Ensemble) Restart() error {
+	for i := range e.Servers {
+		e.StopServer(i)
+	}
+	for i := range e.Servers {
+		if err := e.StartServer(i); err != nil {
+			return fmt.Errorf("coord: restarting server %d: %w", i, err)
+		}
+	}
+	return e.WaitLeader(10 * time.Second)
 }
 
 // Connect opens a session against the ensemble. preferred selects the

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/coord/storage"
 	"repro/internal/coord/zab"
 	"repro/internal/coord/znode"
 	"repro/internal/metrics"
@@ -41,8 +42,23 @@ type ServerConfig struct {
 	// Checkpoint, when non-nil, primes the server from a durable
 	// snapshot produced by Server.Checkpoint (paper §IV-I: ZooKeeper
 	// tolerates the failure of all servers by restarting from disk).
+	// Deprecated in favour of DataDir; ignored when the data directory
+	// holds any recovered state.
 	Checkpoint     []byte
 	CheckpointZxid uint64
+
+	// DataDir, when non-empty, attaches the durable storage engine
+	// (internal/coord/storage): a segmented write-ahead log plus fuzzy
+	// snapshots under this directory make every acknowledged write
+	// survive even a whole-ensemble crash — the server recovers from
+	// the newest snapshot plus the log tail on start. Empty keeps the
+	// original in-memory behaviour.
+	DataDir string
+	// SyncEvery relaxes the engine's fsync cadence (the durability
+	// ablation): 0 or 1 fsyncs before every acknowledgement; N>1
+	// performs one real fsync per N sync windows, trading crash
+	// durability for throughput. Only meaningful with DataDir.
+	SyncEvery int
 }
 
 // Server is one member of the coordination ensemble: a replicated
@@ -51,6 +67,7 @@ type Server struct {
 	cfg      ServerConfig
 	sm       *stateMachine
 	node     *zab.Node
+	eng      *storage.Engine // nil without a DataDir
 	clientLn io.Closer
 	reg      *metrics.Registry
 	watches  *watchTable
@@ -68,7 +85,19 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		watches.observeApply(op, path, ok)
 	}
 	reg := metrics.NewRegistry()
-	node, err := zab.NewNode(zab.Config{
+	var eng *storage.Engine
+	if cfg.DataDir != "" {
+		var err error
+		eng, err = storage.Open(storage.Options{
+			Dir:       cfg.DataDir,
+			SyncEvery: cfg.SyncEvery,
+			Metrics:   reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("coord: storage engine: %w", err)
+		}
+	}
+	zcfg := zab.Config{
 		ID:                cfg.ID,
 		Peers:             cfg.PeerAddrs,
 		Net:               cfg.Net,
@@ -80,17 +109,27 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Metrics:           reg,
 		InitialSnapshot:   cfg.Checkpoint,
 		InitialZxid:       cfg.CheckpointZxid,
-	}, sm)
+	}
+	if eng != nil {
+		zcfg.Storage = eng
+	}
+	node, err := zab.NewNode(zcfg, sm)
 	if err != nil {
+		if eng != nil {
+			eng.Close()
+		}
 		return nil, err
 	}
-	s := &Server{cfg: cfg, sm: sm, node: node, reg: reg, watches: watches}
+	s := &Server{cfg: cfg, sm: sm, node: node, eng: eng, reg: reg, watches: watches}
 	if err := node.Start(); err != nil {
+		if eng != nil {
+			eng.Close()
+		}
 		return nil, err
 	}
 	ln, err := cfg.Net.Listen(cfg.ClientAddr, transport.HandlerFunc(s.handleClient))
 	if err != nil {
-		node.Stop()
+		s.Stop()
 		return nil, fmt.Errorf("coord: client listener: %w", err)
 	}
 	s.clientLn = ln
@@ -98,13 +137,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 }
 
 // Stop shuts the server down, releasing any parked event waits first
-// so no long-poll handler outlives the listener.
+// so no long-poll handler outlives the listener, then closing the
+// storage engine after the replication node has quiesced.
 func (s *Server) Stop() {
 	s.watches.close()
 	if s.clientLn != nil {
 		s.clientLn.Close()
 	}
 	s.node.Stop()
+	if s.eng != nil {
+		s.eng.Close()
+	}
 }
 
 // ID returns the server's ensemble identity.
@@ -215,6 +258,20 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 			w.Uint64(s.node.Epoch())
 			w.Bool(s.node.IsLeader())
 			w.Uint64(uint64(s.sm.treeRef().Count()))
+			// Storage durability horizon (zeros without a data dir), so
+			// operators can see how far behind the commit horizon the
+			// durable one trails and how well fsyncs batch.
+			var durable, segs, batch uint64
+			if s.eng != nil {
+				durable = s.eng.LastDurableZxid()
+				segs = uint64(s.eng.Segments())
+				if mean, n := s.eng.FsyncBatchTxns(); n > 0 {
+					batch = uint64(mean + 0.5)
+				}
+			}
+			w.Uint64(durable)
+			w.Uint64(segs)
+			w.Uint64(batch)
 		}), nil
 	case opGetWatch:
 		session := r.Uint64()

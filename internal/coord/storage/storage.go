@@ -1,0 +1,858 @@
+// Package storage is the durable storage engine under the
+// coordination service's replication layer: a per-node segmented
+// write-ahead log plus fuzzy snapshots, the on-disk half of
+// ZooKeeper's "replicated database" that makes an acknowledged write
+// survive the crash of every server (paper §IV-I; DESIGN.md §11).
+//
+// # On-disk layout
+//
+// A data directory holds two kinds of files:
+//
+//	wal-00000042.seg    log segment 42 (preallocated, CRC-framed records)
+//	snap-00000000000001c3.snap   snapshot covering zxid 0x1c3
+//
+// Each segment is preallocated to SegmentSize and filled with
+// records framed as
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// where the payload is either a log frame (the group-commit unit of
+// internal/coord/zab — one fsync therefore amortizes a whole
+// multi-transaction frame) or a hard-state record (epoch + granted
+// vote). A fresh segment's first record re-states the current hard
+// state, so reclaiming old segments never loses the vote. The
+// preallocated tail is zeros; a zero length marks the end of the
+// written prefix.
+//
+// # Recovery
+//
+// Open replays every segment in order. A record that fails its CRC at
+// the very tail of the newest segment with nothing but zeros after it
+// is a torn write — the crash interrupted the append — and is
+// truncated away: it was never acknowledged, because acknowledgement
+// requires Sync. A bad record anywhere else (valid data follows it)
+// is real corruption and Open refuses to start rather than silently
+// dropping acknowledged history. Snapshots are written to a temp file,
+// fsynced and renamed, so a *.snap file is complete by construction;
+// one that fails its checksum anyway is corruption and refuses
+// startup the same way.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/coord/zab"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Record payload kinds.
+const (
+	recHardState uint8 = 1
+	recFrame     uint8 = 2
+)
+
+// recHeaderSize is the per-record framing overhead: u32 length +
+// u32 CRC-32C.
+const recHeaderSize = 8
+
+// snapMagic marks a snapshot file ("DSNP").
+const snapMagic uint32 = 0x44534e50
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("storage: engine closed")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the data directory; created if absent.
+	Dir string
+	// SegmentSize is the preallocated size of each log segment.
+	// Defaults to 8 MiB.
+	SegmentSize int64
+	// SyncEvery relaxes the fsync cadence (the durability ablation,
+	// ZooKeeper's forceSync=no): 0 or 1 performs a real fsync on every
+	// Sync call — the full guarantee; N>1 performs one real fsync per
+	// N Sync calls and reports the rest durable optimistically, so a
+	// power loss may drop the acknowledged writes of up to N-1 sync
+	// windows.
+	SyncEvery int
+	// Metrics, when non-nil, receives the engine's gauges
+	// ("storage.last_durable_zxid", "storage.wal_segments") and the
+	// fsync batch distribution ("storage.fsync_batch_txns").
+	Metrics *metrics.Registry
+}
+
+// segment is one WAL file. Only the newest segment is open for
+// writing; sealed segments are fsynced and closed at rotation.
+type segment struct {
+	path    string
+	seq     int
+	f       *os.File // nil once sealed
+	off     int64    // end of the written prefix
+	maxZxid uint64   // Last() of the newest frame it holds (0 if none)
+}
+
+// Engine implements zab.Storage over a data directory.
+type Engine struct {
+	opt  Options
+	dirf *os.File // kept open for directory fsyncs
+
+	mu     sync.Mutex
+	closed bool
+	failed error // sticky first I/O failure
+
+	epoch   uint64
+	granted uint64
+
+	snapData []byte // recovered snapshot, released after first save
+	snapZxid uint64
+	hasSnap  bool
+	frames   []zab.Frame // recovered log tail
+
+	segs []*segment // ascending seq; last is the active writer
+
+	lastAppended uint64 // zxid horizon written (not necessarily durable)
+	lastDurable  uint64 // zxid horizon covered by a completed fsync
+	replayTip    uint64 // recovery-time frame ordering check
+	unsyncedTxns int64  // transactions appended since the last fsync
+	sinceFsync   int    // Sync calls since the last real fsync
+
+	syncing  bool // an fsync is in flight outside the lock
+	syncCond *sync.Cond
+
+	gDurable  *metrics.Gauge
+	gSegments *metrics.Gauge
+	dBatch    *metrics.Distribution
+}
+
+var _ zab.Storage = (*Engine)(nil)
+
+// Open creates or recovers the engine in opt.Dir.
+func Open(opt Options) (*Engine, error) {
+	if opt.Dir == "" {
+		return nil, errors.New("storage: Options.Dir is required")
+	}
+	if opt.SegmentSize <= 0 {
+		opt.SegmentSize = 8 << 20
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = metrics.NewRegistry()
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	dirf, err := os.Open(opt.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	e := &Engine{
+		opt:       opt,
+		dirf:      dirf,
+		gDurable:  opt.Metrics.Gauge("storage.last_durable_zxid"),
+		gSegments: opt.Metrics.Gauge("storage.wal_segments"),
+		dBatch:    opt.Metrics.Distribution("storage.fsync_batch_txns"),
+	}
+	e.syncCond = sync.NewCond(&e.mu)
+	if err := e.recover(); err != nil {
+		dirf.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// --- recovery ---------------------------------------------------------
+
+func (e *Engine) recover() error {
+	entries, err := os.ReadDir(e.opt.Dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	var segSeqs []int
+	var snapZxids []uint64
+	for _, de := range entries {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// An interrupted snapshot write; never made durable.
+			os.Remove(filepath.Join(e.opt.Dir, name))
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"))
+			if err != nil {
+				return fmt.Errorf("storage: unrecognized segment name %q", name)
+			}
+			segSeqs = append(segSeqs, seq)
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			z, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+			if err != nil {
+				return fmt.Errorf("storage: unrecognized snapshot name %q", name)
+			}
+			snapZxids = append(snapZxids, z)
+		}
+	}
+	sort.Ints(segSeqs)
+	sort.Slice(snapZxids, func(i, j int) bool { return snapZxids[i] < snapZxids[j] })
+
+	if len(snapZxids) > 0 {
+		z := snapZxids[len(snapZxids)-1]
+		data, err := readSnapshot(e.snapPath(z), z)
+		if err != nil {
+			// A renamed snapshot was fully written and fsynced before the
+			// rename; a checksum failure is corruption, not a torn write.
+			return err
+		}
+		e.snapData, e.snapZxid, e.hasSnap = data, z, true
+		e.lastAppended, e.lastDurable = z, z
+	}
+
+	for i, seq := range segSeqs {
+		last := i == len(segSeqs)-1
+		seg, err := e.recoverSegment(seq, last)
+		if err != nil {
+			return err
+		}
+		e.segs = append(e.segs, seg)
+	}
+	if len(e.segs) == 0 {
+		if err := e.addSegmentLocked(1); err != nil {
+			return err
+		}
+	} else {
+		// Reopen the newest segment for writing.
+		act := e.segs[len(e.segs)-1]
+		f, err := os.OpenFile(act.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		act.f = f
+	}
+	e.gSegments.Set(int64(len(e.segs)))
+	e.gDurable.Set(int64(e.lastDurable))
+	return nil
+}
+
+// recoverSegment replays one segment file. Frames accumulate into
+// e.frames; hard-state records overwrite e.epoch / e.granted (the
+// newest wins). A torn tail in the final segment is truncated; any
+// other invalid record refuses startup.
+func (e *Engine) recoverSegment(seq int, lastSeg bool) (*segment, error) {
+	path := filepath.Join(e.opt.Dir, fmt.Sprintf("wal-%08d.seg", seq))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	seg := &segment{path: path, seq: seq}
+	off := int64(0)
+	for {
+		if off+recHeaderSize > int64(len(data)) {
+			break // a full segment with no end marker
+		}
+		length := int64(binary.BigEndian.Uint32(data[off:]))
+		if length == 0 {
+			// End of the written prefix — the preallocated tail must be
+			// all zeros, else something was written past a zeroed header.
+			if !allZero(data[off:]) {
+				return nil, fmt.Errorf("storage: %s: data past the log end at offset %d", path, off)
+			}
+			break
+		}
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		recEnd := off + recHeaderSize + length
+		valid := recEnd <= int64(len(data))
+		var payload []byte
+		if valid {
+			payload = data[off+recHeaderSize : recEnd]
+			valid = crc32.Checksum(payload, crcTable) == crc
+		}
+		if !valid {
+			// Distinguish a torn append (nothing valid follows — the rest
+			// of the preallocated file is zeros) from corruption in the
+			// middle of acknowledged history.
+			tailFrom := recEnd
+			if tailFrom > int64(len(data)) {
+				tailFrom = int64(len(data))
+			}
+			if lastSeg && allZero(data[tailFrom:]) {
+				if err := truncateSegment(path, off, int64(len(data))); err != nil {
+					return nil, err
+				}
+				break
+			}
+			return nil, fmt.Errorf("storage: %s: corrupt record at offset %d (CRC mismatch); refusing startup", path, off)
+		}
+		if err := e.replayRecord(path, off, payload, seg); err != nil {
+			return nil, err
+		}
+		off = recEnd
+	}
+	seg.off = off
+	return seg, nil
+}
+
+func (e *Engine) replayRecord(path string, off int64, payload []byte, seg *segment) error {
+	r := wire.NewReader(payload)
+	switch kind := r.Uint8(); kind {
+	case recHardState:
+		e.epoch = r.Uint64()
+		e.granted = r.Uint64()
+	case recFrame:
+		f := zab.Frame{Zxid: r.Uint64(), Noop: r.Bool()}
+		n := r.Uint32()
+		if r.Err() == nil {
+			if int(n) > r.Remaining()/4 {
+				r.Fail(fmt.Errorf("frame claims %d txns in %d bytes", n, r.Remaining()))
+			} else {
+				f.Txns = make([][]byte, 0, n)
+				for i := uint32(0); i < n && r.Err() == nil; i++ {
+					f.Txns = append(f.Txns, r.BytesCopy32())
+				}
+			}
+		}
+		if r.Err() == nil {
+			if f.Zxid <= e.replayTip {
+				return fmt.Errorf("storage: %s: frame zxid %x out of order at offset %d; refusing startup", path, f.Zxid, off)
+			}
+			e.replayTip = f.Last()
+			seg.maxZxid = f.Last()
+			if f.Last() > e.lastAppended {
+				e.lastAppended = f.Last()
+				e.lastDurable = f.Last()
+			}
+			e.frames = append(e.frames, f)
+		}
+	default:
+		r.Fail(fmt.Errorf("unknown record kind %d", kind))
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("storage: %s: corrupt record at offset %d: %w; refusing startup", path, off, err)
+	}
+	return nil
+}
+
+// truncateSegment zeroes a segment from off onward (cut the torn
+// record) while keeping its preallocated size.
+func truncateSegment(path string, off, size int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- zab.Storage ------------------------------------------------------
+
+// HardState implements zab.Storage.
+func (e *Engine) HardState() (epoch, grantedEpoch uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch, e.granted
+}
+
+// SaveHardState implements zab.Storage: the record is appended and
+// fsynced before returning, regardless of SyncEvery — a forgotten vote
+// can elect two leaders, so the ablation never relaxes it. The fsync
+// also hardens any frames appended ahead of it in the same segment.
+func (e *Engine) SaveHardState(epoch, grantedEpoch uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.usableLocked(); err != nil {
+		return err
+	}
+	w := wire.NewWriter(24)
+	w.Uint8(recHardState)
+	w.Uint64(epoch)
+	w.Uint64(grantedEpoch)
+	if err := e.appendRecordLocked(w.Bytes()); err != nil {
+		return err
+	}
+	e.epoch, e.granted = epoch, grantedEpoch
+	mark := e.lastAppended
+	txns := e.unsyncedTxns
+	e.unsyncedTxns = 0
+	if err := e.activeLocked().f.Sync(); err != nil {
+		e.failed = fmt.Errorf("storage: fsync: %w", err)
+		return e.failed
+	}
+	if mark > e.lastDurable {
+		e.lastDurable = mark
+		e.gDurable.Set(int64(mark))
+	}
+	if txns > 0 {
+		e.dBatch.Observe(txns)
+	}
+	return nil
+}
+
+// Snapshot implements zab.Storage.
+func (e *Engine) Snapshot() (data []byte, zxid uint64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.hasSnap {
+		return nil, 0, false
+	}
+	return e.snapData, e.snapZxid, true
+}
+
+// Frames implements zab.Storage. It is single-shot: the recovered
+// tail is handed over and released, so a node that crashed with a
+// large uncommitted tail does not keep a duplicate of every
+// transaction pinned in the engine for its whole lifetime.
+func (e *Engine) Frames() []zab.Frame {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]zab.Frame, 0, len(e.frames))
+	for _, f := range e.frames {
+		if !e.hasSnap || f.Last() > e.snapZxid {
+			out = append(out, f)
+		}
+	}
+	e.frames = nil
+	return out
+}
+
+// Append implements zab.Storage: a page-cache write of each frame,
+// rotating to a fresh preallocated segment when the active one fills.
+func (e *Engine) Append(frames []zab.Frame) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.usableLocked(); err != nil {
+		return err
+	}
+	for _, f := range frames {
+		size := 18
+		for _, txn := range f.Txns {
+			size += 4 + len(txn)
+		}
+		w := wire.NewWriter(size)
+		w.Uint8(recFrame)
+		w.Uint64(f.Zxid)
+		w.Bool(f.Noop)
+		w.Uint32(uint32(len(f.Txns)))
+		for _, txn := range f.Txns {
+			w.Bytes32(txn)
+		}
+		if err := e.appendRecordLocked(w.Bytes()); err != nil {
+			return err
+		}
+		seg := e.activeLocked()
+		if f.Last() > seg.maxZxid {
+			seg.maxZxid = f.Last()
+		}
+		if f.Last() > e.lastAppended {
+			e.lastAppended = f.Last()
+		}
+		if n := int64(len(f.Txns)); n > 0 {
+			e.unsyncedTxns += n
+		} else {
+			e.unsyncedTxns++ // a barrier still rides the fsync
+		}
+	}
+	return nil
+}
+
+// appendRecordLocked frames payload with length + CRC and writes it at
+// the active segment's tail, rotating first if it would not fit.
+func (e *Engine) appendRecordLocked(payload []byte) error {
+	need := int64(recHeaderSize + len(payload))
+	seg := e.activeLocked()
+	if seg.off+need > e.opt.SegmentSize && seg.off > 0 {
+		if err := e.rotateLocked(); err != nil {
+			return err
+		}
+		seg = e.activeLocked()
+	}
+	rec := make([]byte, need)
+	binary.BigEndian.PutUint32(rec, uint32(len(payload)))
+	binary.BigEndian.PutUint32(rec[4:], crc32.Checksum(payload, crcTable))
+	copy(rec[recHeaderSize:], payload)
+	if seg.off+need > e.opt.SegmentSize {
+		// One oversized record; grow this segment to fit it.
+		if err := seg.f.Truncate(seg.off + need); err != nil {
+			e.failed = fmt.Errorf("storage: %w", err)
+			return e.failed
+		}
+	}
+	if _, err := seg.f.WriteAt(rec, seg.off); err != nil {
+		e.failed = fmt.Errorf("storage: %w", err)
+		return e.failed
+	}
+	seg.off += need
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close, so a later
+// Sync need only touch the new file) and opens the next one. It first
+// waits out any rider fsync in flight on the file it is about to
+// close — a Sync that captured the FD outside the lock would
+// otherwise fsync a closed file and sticky-fail a healthy engine.
+func (e *Engine) rotateLocked() error {
+	e.waitSyncLocked()
+	seg := e.activeLocked()
+	if err := seg.f.Sync(); err != nil {
+		e.failed = fmt.Errorf("storage: fsync: %w", err)
+		return e.failed
+	}
+	seg.f.Close()
+	seg.f = nil
+	return e.addSegmentLocked(seg.seq + 1)
+}
+
+// waitSyncLocked blocks until no fsync is in flight outside the lock.
+func (e *Engine) waitSyncLocked() {
+	for e.syncing {
+		e.syncCond.Wait()
+	}
+}
+
+// addSegmentLocked creates and preallocates a fresh segment whose
+// first record re-states the current hard state, then fsyncs the
+// directory so the file itself survives a crash.
+func (e *Engine) addSegmentLocked(seq int) error {
+	path := filepath.Join(e.opt.Dir, fmt.Sprintf("wal-%08d.seg", seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		e.failed = fmt.Errorf("storage: %w", err)
+		return e.failed
+	}
+	if err := f.Truncate(e.opt.SegmentSize); err != nil {
+		f.Close()
+		e.failed = fmt.Errorf("storage: %w", err)
+		return e.failed
+	}
+	e.segs = append(e.segs, &segment{path: path, seq: seq, f: f})
+	e.gSegments.Set(int64(len(e.segs)))
+	if err := e.dirf.Sync(); err != nil {
+		e.failed = fmt.Errorf("storage: fsync dir: %w", err)
+		return e.failed
+	}
+	if e.epoch != 0 || e.granted != 0 {
+		w := wire.NewWriter(24)
+		w.Uint8(recHardState)
+		w.Uint64(e.epoch)
+		w.Uint64(e.granted)
+		return e.appendRecordLocked(w.Bytes())
+	}
+	return nil
+}
+
+func (e *Engine) activeLocked() *segment { return e.segs[len(e.segs)-1] }
+
+func (e *Engine) usableLocked() error {
+	if e.closed {
+		return ErrClosed
+	}
+	return e.failed
+}
+
+// Sync implements zab.Storage with rider-style group commit: the
+// first caller becomes the syncer and fsyncs outside the lock;
+// callers arriving meanwhile wait, and every caller whose appends the
+// completed fsync covered returns without issuing its own.
+func (e *Engine) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if err := e.usableLocked(); err != nil {
+			return err
+		}
+		mark := e.lastAppended
+		if mark <= e.lastDurable {
+			return nil
+		}
+		if e.opt.SyncEvery > 1 {
+			e.sinceFsync++
+			if e.sinceFsync < e.opt.SyncEvery {
+				// Relaxed mode (the ablation): report durable without the
+				// fsync; a power loss here loses this window.
+				e.lastDurable = mark
+				e.gDurable.Set(int64(mark))
+				return nil
+			}
+			e.sinceFsync = 0
+		}
+		if e.syncing {
+			e.syncCond.Wait()
+			continue // the finished fsync may have covered our mark
+		}
+		e.syncing = true
+		f := e.activeLocked().f
+		txns := e.unsyncedTxns
+		e.unsyncedTxns = 0
+		e.mu.Unlock()
+		err := f.Sync()
+		e.mu.Lock()
+		e.syncing = false
+		if err != nil {
+			e.failed = fmt.Errorf("storage: fsync: %w", err)
+		} else {
+			if mark > e.lastDurable {
+				e.lastDurable = mark
+				e.gDurable.Set(int64(mark))
+			}
+			if txns > 0 {
+				e.dBatch.Observe(txns)
+			}
+		}
+		e.syncCond.Broadcast()
+		if err != nil {
+			return e.failed
+		}
+		return nil
+	}
+}
+
+// LastDurableZxid implements zab.Storage.
+func (e *Engine) LastDurableZxid() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastDurable
+}
+
+// SaveSnapshot implements zab.Storage: the fuzzy snapshot path. The
+// snapshot is written beside the live log (temp + fsync + rename +
+// dir fsync), then sealed segments wholly covered by it are reclaimed
+// and older snapshots pruned.
+func (e *Engine) SaveSnapshot(data []byte, zxid uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.usableLocked(); err != nil {
+		return err
+	}
+	if e.hasSnap && zxid <= e.snapZxid {
+		return nil
+	}
+	if err := e.writeSnapshotLocked(data, zxid); err != nil {
+		return err
+	}
+	e.reclaimSegmentsLocked()
+	return nil
+}
+
+// InstallSnapshot implements zab.Storage: a leader-shipped snapshot
+// replaces the entire log, divergent tail included.
+func (e *Engine) InstallSnapshot(data []byte, zxid uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.usableLocked(); err != nil {
+		return err
+	}
+	if err := e.writeSnapshotLocked(data, zxid); err != nil {
+		return err
+	}
+	// Drop every segment and start fresh past the snapshot. Wait out
+	// any rider fsync first — it holds an FD we are about to close.
+	e.waitSyncLocked()
+	act := e.activeLocked()
+	nextSeq := act.seq + 1
+	for _, seg := range e.segs {
+		if seg.f != nil {
+			seg.f.Close()
+			seg.f = nil
+		}
+		os.Remove(seg.path)
+	}
+	e.segs = nil
+	e.frames = nil
+	// The horizons move DOWN to exactly the snapshot: everything past
+	// it was just discarded, so a stale-high lastDurable would make
+	// later Syncs no-op and let unfsynced pulled frames be acked.
+	e.lastAppended = zxid
+	e.lastDurable = zxid
+	e.gDurable.Set(int64(zxid))
+	e.unsyncedTxns = 0
+	if err := e.addSegmentLocked(nextSeq); err != nil {
+		return err
+	}
+	// Harden the fresh segment's restated hard state: the old durable
+	// copies were deleted with the old segments.
+	if err := e.activeLocked().f.Sync(); err != nil {
+		e.failed = fmt.Errorf("storage: fsync: %w", err)
+		return e.failed
+	}
+	return nil
+}
+
+func (e *Engine) writeSnapshotLocked(data []byte, zxid uint64) error {
+	path := e.snapPath(zxid)
+	tmp := path + ".tmp"
+	w := wire.NewWriter(24 + len(data))
+	w.Uint32(snapMagic)
+	w.Uint64(zxid)
+	w.Uint32(crc32.Checksum(data, crcTable))
+	w.Bytes32(data)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.Write(w.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: fsync: %w", err)
+	}
+	f.Close()
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := e.dirf.Sync(); err != nil {
+		e.failed = fmt.Errorf("storage: fsync dir: %w", err)
+		return e.failed
+	}
+	prev, hadPrev := e.snapZxid, e.hasSnap
+	e.snapZxid, e.hasSnap = zxid, true
+	e.snapData = nil // recovered copy no longer needed
+	// Keep the previous snapshot as a fallback generation; prune older.
+	if hadPrev {
+		if matches, err := filepath.Glob(filepath.Join(e.opt.Dir, "snap-*.snap")); err == nil {
+			for _, m := range matches {
+				base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "snap-"), ".snap")
+				if z, err := strconv.ParseUint(base, 16, 64); err == nil && z < prev {
+					os.Remove(m)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reclaimSegmentsLocked deletes sealed segments wholly covered by the
+// newest snapshot. Frames are appended in zxid order, so covered
+// segments always form a prefix. Before deleting anything, the active
+// segment is fsynced: its head record re-states the hard state, and
+// until that copy is durable the sealed segments being deleted may
+// hold the only fsynced record of the vote.
+func (e *Engine) reclaimSegmentsLocked() {
+	victims := 0
+	for i, seg := range e.segs {
+		if i < len(e.segs)-1 && seg.maxZxid <= e.snapZxid {
+			victims++
+		}
+	}
+	if victims == 0 {
+		return
+	}
+	if err := e.activeLocked().f.Sync(); err != nil {
+		e.failed = fmt.Errorf("storage: fsync: %w", err)
+		return
+	}
+	keep := e.segs[:0]
+	for i, seg := range e.segs {
+		sealed := i < len(e.segs)-1
+		if sealed && seg.maxZxid <= e.snapZxid {
+			os.Remove(seg.path)
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	e.segs = keep
+	e.gSegments.Set(int64(len(e.segs)))
+}
+
+func (e *Engine) snapPath(zxid uint64) string {
+	return filepath.Join(e.opt.Dir, fmt.Sprintf("snap-%016x.snap", zxid))
+}
+
+func readSnapshot(path string, wantZxid uint64) ([]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	r := wire.NewReader(buf)
+	magic := r.Uint32()
+	zxid := r.Uint64()
+	crc := r.Uint32()
+	data := r.BytesCopy32()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("storage: %s: truncated snapshot: %w; refusing startup", path, err)
+	}
+	if magic != snapMagic || zxid != wantZxid {
+		return nil, fmt.Errorf("storage: %s: bad snapshot header; refusing startup", path)
+	}
+	if crc32.Checksum(data, crcTable) != crc {
+		return nil, fmt.Errorf("storage: %s: snapshot checksum mismatch; refusing startup", path)
+	}
+	return data, nil
+}
+
+// --- introspection ----------------------------------------------------
+
+// Segments reports the number of live WAL segments.
+func (e *Engine) Segments() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.segs)
+}
+
+// SnapshotZxid reports the coverage of the newest durable snapshot
+// (0 when none exists).
+func (e *Engine) SnapshotZxid() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapZxid
+}
+
+// FsyncBatchTxns reports the mean transactions hardened per fsync —
+// the group-commit amortization factor — and the fsync count.
+func (e *Engine) FsyncBatchTxns() (mean float64, count int64) {
+	return e.dBatch.Mean(), e.dBatch.Count()
+}
+
+// Close fsyncs and closes the engine. Further operations return
+// ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	for e.syncing {
+		e.syncCond.Wait()
+	}
+	e.closed = true
+	var first error
+	for _, seg := range e.segs {
+		if seg.f == nil {
+			continue
+		}
+		if err := seg.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+		seg.f.Close()
+		seg.f = nil
+	}
+	if err := e.dirf.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -34,10 +34,15 @@
 //   - Leader election is a Raft-style vote (epoch + last-zxid
 //     up-to-dateness check) rather than ZooKeeper's fast leader
 //     election; the elected-leader safety property is the same.
-//   - The log lives in memory with snapshot-based truncation, like
-//     ZooKeeper's in-memory database; durable checkpoints are layered
-//     on top by internal/coord (paper §IV-I: "periodically
-//     checkpointed on disk").
+//   - Durability is pluggable: without a Storage the log lives purely
+//     in memory (acknowledgement = quorum replication, the original
+//     model); with one (internal/coord/storage) every frame is
+//     persisted and fsynced before it is acknowledged — follower acks
+//     sync their window first, the leader's own quorum vote is capped
+//     at its durable horizon by a group-fsync loop — votes survive
+//     restart, and NewNode recovers from the newest fuzzy snapshot
+//     plus the log tail, giving ZooKeeper's §IV-I guarantee that the
+//     service "can tolerate the failure of all servers".
 package zab
 
 import (
@@ -119,9 +124,15 @@ type Config struct {
 	Metrics *metrics.Registry
 	// InitialSnapshot, when non-nil, primes the node from a durable
 	// checkpoint: the state machine is restored before Start and the
-	// log begins at InitialZxid.
+	// log begins at InitialZxid. Deprecated in favour of Storage; it
+	// is ignored when Storage holds any recovered state.
 	InitialSnapshot []byte
 	InitialZxid     uint64
+	// Storage, when non-nil, makes the node durable: frames are
+	// persisted and fsynced before acknowledgement, votes and epochs
+	// survive restart, and NewNode recovers from the newest snapshot
+	// plus the log tail. Nil keeps the original in-memory behaviour.
+	Storage Storage
 }
 
 // Roles of an ensemble member.
@@ -196,6 +207,14 @@ type Node struct {
 	// is closed exactly once when lastApplied passes its key.
 	applyWaiters map[uint64][]chan struct{}
 
+	// Durable-storage state (cfg.Storage != nil): the coverage of the
+	// newest durable snapshot — in-memory truncation may not outrun it,
+	// because recovery is that snapshot plus the log tail — and the
+	// kick channel for the background fuzzy snapshotter.
+	durableSnapZxid uint64
+	snapReq         chan struct{}
+	snapInFlight    bool
+
 	gQueue    *metrics.Gauge
 	gInflight *metrics.Gauge
 	dBatch    *metrics.Distribution
@@ -253,17 +272,61 @@ func NewNode(cfg Config, sm StateMachine) (*Node, error) {
 	}
 	n.bsm, _ = sm.(BatchStateMachine)
 	n.leaderCond = sync.NewCond(&n.mu)
-	if cfg.InitialSnapshot != nil {
-		if err := sm.Restore(cfg.InitialSnapshot, cfg.InitialZxid); err != nil {
-			return nil, fmt.Errorf("zab: restoring initial snapshot: %w", err)
-		}
-		n.snapZxid = cfg.InitialZxid
-		n.commitZxid = cfg.InitialZxid
-		n.lastApplied = cfg.InitialZxid
-		n.epoch = epochOf(cfg.InitialZxid)
+	n.snapReq = make(chan struct{}, 1)
+	if err := n.recoverFromStorage(); err != nil {
+		return nil, err
 	}
 	n.resetElectionTimer()
 	return n, nil
+}
+
+// recoverFromStorage primes the node from its durable store — newest
+// snapshot, log tail, persisted vote — falling back to the deprecated
+// InitialSnapshot checkpoint when the store is absent or empty.
+func (n *Node) recoverFromStorage() error {
+	st := n.cfg.Storage
+	var frames []Frame
+	recovered := false
+	if st != nil {
+		epoch, granted := st.HardState()
+		frames = st.Frames()
+		n.epoch, n.grantedEpoch = epoch, granted
+		if snap, z, ok := st.Snapshot(); ok {
+			recovered = true
+			if err := n.sm.Restore(snap, z); err != nil {
+				return fmt.Errorf("zab: restoring durable snapshot: %w", err)
+			}
+			n.snapZxid = z
+			n.commitZxid = z
+			n.lastApplied = z
+			n.durableSnapZxid = z
+			if e := epochOf(z); e > n.epoch {
+				n.epoch = e
+			}
+		}
+		recovered = recovered || len(frames) > 0 || epoch != 0 || granted != 0
+	}
+	if !recovered && n.cfg.InitialSnapshot != nil {
+		if err := n.sm.Restore(n.cfg.InitialSnapshot, n.cfg.InitialZxid); err != nil {
+			return fmt.Errorf("zab: restoring initial snapshot: %w", err)
+		}
+		n.snapZxid = n.cfg.InitialZxid
+		n.commitZxid = n.cfg.InitialZxid
+		n.lastApplied = n.cfg.InitialZxid
+		n.epoch = epochOf(n.cfg.InitialZxid)
+	}
+	// Replay the durable log tail: the frames sit uncommitted until a
+	// quorum re-forms — an elected leader's epoch barrier commits them
+	// transitively, exactly as an inherited in-memory tail would.
+	for _, f := range frames {
+		n.log = append(n.log, entry{Zxid: f.Zxid, Noop: f.Noop, Txns: f.Txns})
+	}
+	if len(n.log) > 0 {
+		if e := epochOf(n.log[len(n.log)-1].last()); e > n.epoch {
+			n.epoch = e
+		}
+	}
+	return nil
 }
 
 func makeZxid(epoch uint64, seq uint32) uint64 { return epoch<<32 | uint64(seq) }
@@ -280,6 +343,10 @@ func (n *Node) Start() error {
 	n.wg.Add(2)
 	go n.electionLoop()
 	go n.heartbeatLoop()
+	if n.cfg.Storage != nil {
+		n.wg.Add(1)
+		go n.snapshotLoop()
+	}
 	return nil
 }
 
@@ -527,16 +594,34 @@ func (n *Node) adoptEpochLocked(epoch, leaderID uint64) {
 // asks to sync. The ack carries the follower's tip as a CUMULATIVE
 // acknowledgement: equal zxids imply equal logs (one leader per epoch,
 // one entry per zxid), so the leader may trust it as this follower's
-// replicated horizon.
+// replicated horizon. On a durable node the ack is additionally a
+// durability promise, so the whole window is fsynced — one sync per
+// window, amortizing every frame and transaction it carried — before
+// the ack is returned; the fsync happens outside the node mutex so
+// applies and reads proceed meanwhile.
 func (n *Node) handlePropose(m proposeReq) proposeResp {
+	resp, appended := n.handleProposeLocked(m)
+	if appended && resp.Ack && n.cfg.Storage != nil {
+		if err := n.cfg.Storage.Sync(); err != nil {
+			// Not durable: withhold both the ack and the sync request —
+			// a node whose disk is failing should fall out of the quorum,
+			// not churn the leader.
+			return proposeResp{Epoch: resp.Epoch, LastZxid: resp.LastZxid}
+		}
+	}
+	return resp
+}
+
+func (n *Node) handleProposeLocked(m proposeReq) (proposeResp, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if m.Epoch < n.epoch {
-		return proposeResp{Epoch: n.epoch, LastZxid: n.lastZxidLocked()}
+		return proposeResp{Epoch: n.epoch, LastZxid: n.lastZxidLocked()}, false
 	}
 	n.adoptEpochLocked(m.Epoch, m.LeaderID)
 	prev := m.PrevZxid
 	tip := n.lastZxidLocked()
+	var novel []entry
 	for _, e := range m.Entries {
 		if e.last() <= tip {
 			// Already held (an overlap from a retransmitted window).
@@ -545,19 +630,41 @@ func (n *Node) handlePropose(m proposeReq) proposeResp {
 		}
 		if prev != tip {
 			n.triggerSyncLocked()
-			return proposeResp{NeedSync: true, Epoch: n.epoch, LastZxid: tip}
+			return proposeResp{NeedSync: true, Epoch: n.epoch, LastZxid: n.lastZxidLocked()}, false
 		}
-		n.log = append(n.log, e)
+		novel = append(novel, e)
 		tip = e.last()
 		prev = tip
 	}
 	if len(m.Entries) == 0 && prev != tip {
 		// A probe from a leader that lost track of our position.
 		n.triggerSyncLocked()
-		return proposeResp{NeedSync: true, Epoch: n.epoch, LastZxid: tip}
+		return proposeResp{NeedSync: true, Epoch: n.epoch, LastZxid: tip}, false
+	}
+	if len(novel) > 0 {
+		// Persist before extending the in-memory log, so the tip this
+		// node exposes (acks, votes) never exceeds what a restart could
+		// reconstruct once the trailing Sync lands.
+		if err := n.appendStorageLocked(novel); err != nil {
+			return proposeResp{Epoch: n.epoch, LastZxid: n.lastZxidLocked()}, false
+		}
+		n.log = append(n.log, novel...)
 	}
 	n.advanceCommitLocked(m.Commit)
-	return proposeResp{Ack: true, Epoch: n.epoch, LastZxid: n.lastZxidLocked()}
+	return proposeResp{Ack: true, Epoch: n.epoch, LastZxid: n.lastZxidLocked()}, len(novel) > 0
+}
+
+// appendStorageLocked writes frames to the durable log (no-op without
+// storage). Durability is deferred to the caller's Sync.
+func (n *Node) appendStorageLocked(entries []entry) error {
+	if n.cfg.Storage == nil {
+		return nil
+	}
+	frames := make([]Frame, len(entries))
+	for i, e := range entries {
+		frames[i] = Frame{Zxid: e.Zxid, Noop: e.Noop, Txns: e.Txns}
+	}
+	return n.cfg.Storage.Append(frames)
 }
 
 func (n *Node) handleCommit(epoch, zxid uint64) {
@@ -591,6 +698,14 @@ func (n *Node) handleRequestVote(m requestVoteReq) requestVoteResp {
 	}
 	if m.LastZxid < n.lastZxidLocked() {
 		return requestVoteResp{Epoch: n.epoch}
+	}
+	// The vote must be durable before it is granted: a node that
+	// forgets a grant across a crash could vote twice in one epoch and
+	// elect two leaders.
+	if n.cfg.Storage != nil {
+		if err := n.cfg.Storage.SaveHardState(m.Epoch, m.Epoch); err != nil {
+			return requestVoteResp{Epoch: n.epoch}
+		}
 	}
 	n.grantedEpoch = m.Epoch
 	n.epoch = m.Epoch
@@ -685,12 +800,27 @@ func (n *Node) wakeAppliedLocked() {
 // the log grows beyond the configured bound, keeping a small margin so
 // slightly-lagging followers can still catch up from the log instead
 // of a full snapshot (which handleSync regenerates on demand).
+//
+// On a durable node the cut is additionally bounded by SNAPSHOT
+// COVERAGE, not the bare entry count: recovery is the newest durable
+// snapshot plus the log tail, so an in-memory frame may only be
+// dropped once a durable snapshot covers it (the same snapshot then
+// lets the storage engine reclaim the WAL segments behind it). When
+// coverage lags, the background fuzzy snapshotter is kicked and the
+// log is allowed to run past its bound until the snapshot lands.
 func (n *Node) maybeTruncateLocked() {
 	if len(n.log) <= n.cfg.MaxLogEntries {
 		return
 	}
 	const margin = 64
 	cut := sort.Search(len(n.log), func(i int) bool { return n.log[i].Zxid > n.lastApplied })
+	if n.cfg.Storage != nil {
+		n.requestSnapshotLocked()
+		covered := sort.Search(len(n.log), func(i int) bool { return n.log[i].last() > n.durableSnapZxid })
+		if covered < cut {
+			cut = covered
+		}
+	}
 	if cut <= margin {
 		return
 	}
@@ -733,10 +863,19 @@ func (n *Node) syncFromLeader(leader, from uint64) {
 	}
 	n.adoptEpochLocked(resp.Epoch, resp.LeaderID)
 	if resp.HasSnapshot {
+		// Durable first: the snapshot replaces our whole log (divergent
+		// tail included), so InstallSnapshot resets the on-disk log the
+		// same way the in-memory one is reset below.
+		if n.cfg.Storage != nil {
+			if err := n.cfg.Storage.InstallSnapshot(resp.Snapshot, resp.SnapZxid); err != nil {
+				return
+			}
+		}
 		if err := n.sm.Restore(resp.Snapshot, resp.SnapZxid); err != nil {
 			return
 		}
 		n.snapZxid = resp.SnapZxid
+		n.durableSnapZxid = resp.SnapZxid
 		n.lastApplied = resp.SnapZxid
 		if n.commitZxid < resp.SnapZxid {
 			n.commitZxid = resp.SnapZxid
@@ -747,18 +886,29 @@ func (n *Node) syncFromLeader(leader, from uint64) {
 		// Our log moved while the sync was in flight; retry later.
 		return
 	}
+	var novel []entry
 	for _, e := range resp.Entries {
 		if e.last() <= n.lastZxidLocked() || e.last() <= n.snapZxid {
 			continue
 		}
+		novel = append(novel, e)
 		n.log = append(n.log, e)
+	}
+	if len(novel) > 0 && n.cfg.Storage != nil {
+		// Persist and harden the pulled tail before it can be claimed by
+		// a later ack or vote; the sync pull is rare, so the inline
+		// fsync under the lock is acceptable.
+		if n.appendStorageLocked(novel) != nil || n.cfg.Storage.Sync() != nil {
+			n.log = n.log[:len(n.log)-len(novel)]
+			return
+		}
 	}
 	n.advanceCommitLocked(resp.Commit)
 }
 
 // handleSync runs on the leader: ship either the log suffix after
-// FromZxid, or a full snapshot when the follower's position is unknown
-// to us (trimmed away or divergent).
+// FromZxid, or a full snapshot when the follower's position precedes
+// the log horizon or is unknown to us (trimmed away or divergent).
 func (n *Node) handleSync(m syncReq) (syncResp, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -770,14 +920,21 @@ func (n *Node) handleSync(m syncReq) (syncResp, error) {
 		resp.Entries = append(resp.Entries, n.log...)
 		return resp, nil
 	}
-	for i, e := range n.log {
-		if e.last() == m.FromZxid {
-			resp.Entries = append(resp.Entries, n.log[i+1:]...)
-			return resp, nil
+	if m.FromZxid > n.snapZxid {
+		for i, e := range n.log {
+			if e.last() == m.FromZxid {
+				resp.Entries = append(resp.Entries, n.log[i+1:]...)
+				return resp, nil
+			}
 		}
 	}
-	// Unknown position: full snapshot of the applied state plus the
-	// unapplied tail.
+	// Snapshot-first determinism: a position BEHIND the log horizon
+	// (truncation dropped the frames the follower still needs) skips
+	// the log scan above and lands here directly, as does a position
+	// we do not recognize (a divergent tail kept across a failover).
+	// Either way the answer is the full checkpoint of the applied
+	// state plus the unapplied tail — never a suffix with a silent
+	// gap the caller would have to detect.
 	resp.HasSnapshot = true
 	resp.SnapZxid = n.lastApplied
 	resp.Snapshot = n.sm.Snapshot()
@@ -987,21 +1144,41 @@ func (n *Node) proposerLoop(gen uint64) {
 
 		first := n.nextSeq + 1
 		e := entry{Zxid: makeZxid(n.epoch, first), Noop: batch[0].noop}
+		if !e.Noop {
+			e.Txns = make([][]byte, len(batch))
+			for i, p := range batch {
+				e.Txns[i] = p.txn
+			}
+		}
+		// Persist the frame before exposing it: once in the log it is
+		// streamed to followers and counted toward the leader's own
+		// (durable) tip. The fsync itself rides the leader sync loop.
+		if err := n.appendStorageLocked([]entry{e}); err != nil {
+			// The local disk is failing; this node can no longer lead.
+			for _, p := range batch {
+				p.ch <- proposeOutcome{err: err}
+			}
+			n.failLeaderLocked(err)
+			n.role = roleFollower
+			n.leaderID = 0
+			n.resetElectionTimer()
+			n.mu.Unlock()
+			return
+		}
 		if e.Noop {
 			n.nextSeq++
 			n.waiters[e.Zxid] = batch[0]
 		} else {
-			e.Txns = make([][]byte, len(batch))
 			for i, p := range batch {
-				e.Txns[i] = p.txn
 				n.waiters[e.Zxid+uint64(i)] = p
 			}
 			n.nextSeq += uint32(len(batch))
 		}
 		n.log = append(n.log, e)
 		n.gInflight.Set(int64(n.uncommittedFramesLocked()))
-		// A single-member "quorum" commits on append; otherwise the
-		// senders' acks advance the horizon.
+		// A single-member "quorum" commits on append (durable nodes:
+		// once the sync loop's fsync covers it); otherwise the senders'
+		// acks advance the horizon.
 		n.maybeAdvanceLeaderCommitLocked()
 		n.leaderCond.Broadcast()
 		n.mu.Unlock()
@@ -1043,7 +1220,7 @@ func (n *Node) maybeAdvanceLeaderCommitLocked() {
 		return
 	}
 	tips := make([]uint64, 0, len(n.cfg.Peers))
-	tips = append(tips, n.lastZxidLocked())
+	tips = append(tips, n.selfTipLocked())
 	for id := range n.cfg.Peers {
 		if id != n.cfg.ID {
 			tips = append(tips, n.match[id])
@@ -1074,6 +1251,104 @@ func (n *Node) maybeAdvanceLeaderCommitLocked() {
 	// Let followers apply promptly instead of waiting for the next
 	// piggybacked horizon.
 	n.broadcastAsync(commitReq{Epoch: epoch, Zxid: n.commitZxid}.encode())
+}
+
+// selfTipLocked is the leader's own contribution to the commit
+// quorum: its log tip, capped at the durable horizon when a storage
+// engine is attached — the leader's vote for a frame is subject to the
+// same fsync discipline as a follower's ack.
+func (n *Node) selfTipLocked() uint64 {
+	tip := n.lastZxidLocked()
+	if n.cfg.Storage != nil {
+		if d := n.cfg.Storage.LastDurableZxid(); d < tip {
+			tip = d
+		}
+	}
+	return tip
+}
+
+// leaderSyncLoop (durable leaders only) is the group-fsync heart of
+// the write path: whenever the log tip is ahead of the durable
+// horizon it issues one Sync, which hardens every frame appended since
+// the previous one — frames keep arriving from the proposer while the
+// fsync is in flight and ride the next — then re-derives the commit
+// horizon with the leader's now-advanced durable tip.
+func (n *Node) leaderSyncLoop(gen uint64) {
+	defer n.wg.Done()
+	st := n.cfg.Storage
+	for {
+		n.mu.Lock()
+		for n.leaderGenLocked(gen) && n.lastZxidLocked() <= st.LastDurableZxid() {
+			n.leaderCond.Wait()
+		}
+		if !n.leaderGenLocked(gen) {
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+		if err := st.Sync(); err != nil {
+			n.mu.Lock()
+			if n.leaderGenLocked(gen) {
+				n.failLeaderLocked(err)
+				n.role = roleFollower
+				n.leaderID = 0
+				n.resetElectionTimer()
+			}
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Lock()
+		n.maybeAdvanceLeaderCommitLocked()
+		n.mu.Unlock()
+	}
+}
+
+// snapshotLoop (durable nodes only) writes fuzzy snapshots in the
+// background: maybeTruncateLocked kicks it when the in-memory log
+// outgrows its bound, it captures a consistent (state, lastApplied)
+// cut under the lock, persists it OUTSIDE the lock alongside the live
+// log — writes keep flowing while the snapshot lands, which is what
+// makes it fuzzy — and then lets truncation and WAL-segment reclaim
+// proceed up to the new durable coverage.
+func (n *Node) snapshotLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.snapReq:
+		}
+		n.mu.Lock()
+		z := n.lastApplied
+		if z <= n.durableSnapZxid {
+			n.snapInFlight = false
+			n.mu.Unlock()
+			continue
+		}
+		snap := n.sm.Snapshot()
+		n.mu.Unlock()
+		err := n.cfg.Storage.SaveSnapshot(snap, z)
+		n.mu.Lock()
+		n.snapInFlight = false
+		if err == nil && z > n.durableSnapZxid {
+			n.durableSnapZxid = z
+			n.maybeTruncateLocked()
+		}
+		n.mu.Unlock()
+	}
+}
+
+// requestSnapshotLocked kicks the background snapshotter (at most one
+// snapshot in flight).
+func (n *Node) requestSnapshotLocked() {
+	if n.snapInFlight || n.stopped || n.lastApplied <= n.durableSnapZxid {
+		return
+	}
+	select {
+	case n.snapReq <- struct{}{}:
+		n.snapInFlight = true
+	default:
+	}
 }
 
 // senderLoop streams the log to one follower: each RPC carries every
@@ -1237,6 +1512,13 @@ func (n *Node) runElection() {
 	if n.grantedEpoch >= next {
 		next = n.grantedEpoch + 1
 	}
+	// Campaigning is a self-vote; persist it like any other grant.
+	if n.cfg.Storage != nil {
+		if err := n.cfg.Storage.SaveHardState(next, next); err != nil {
+			n.mu.Unlock()
+			return
+		}
+	}
 	n.epoch = next
 	n.grantedEpoch = next
 	n.role = roleCandidate
@@ -1327,6 +1609,10 @@ func (n *Node) becomeLeader(epoch uint64) {
 
 	n.wg.Add(1)
 	go n.proposerLoop(gen)
+	if n.cfg.Storage != nil {
+		n.wg.Add(1)
+		go n.leaderSyncLoop(gen)
+	}
 	for id := range n.cfg.Peers {
 		if id == n.cfg.ID {
 			continue

@@ -1,0 +1,79 @@
+package zab
+
+// Frame is one durable log record: a replicated group-commit frame,
+// the unit in which transactions are proposed, acknowledged and
+// recovered. It mirrors the in-memory entry exactly — transaction i of
+// Txns carries zxid Zxid+i — so a log recovered from disk is
+// indistinguishable from one that never left memory.
+type Frame struct {
+	Zxid uint64
+	Noop bool
+	Txns [][]byte
+}
+
+// Last returns the zxid of the frame's final transaction.
+func (f Frame) Last() uint64 {
+	if n := len(f.Txns); n > 1 {
+		return f.Zxid + uint64(n-1)
+	}
+	return f.Zxid
+}
+
+// Storage is the durable state a node keeps under the replication
+// protocol. When Config.Storage is nil the node behaves exactly as the
+// original in-memory implementation: acknowledgements promise only
+// quorum replication, and a full-ensemble crash loses everything past
+// the last application-level checkpoint. With a Storage attached the
+// node upgrades its acknowledgement to ZooKeeper's contract — frames
+// are persisted and fsynced BEFORE they are acknowledged to the
+// leader (and before the leader counts its own log tip toward the
+// commit quorum), votes and epochs survive restart, and NewNode
+// recovers the state machine from the newest snapshot plus the log
+// tail.
+//
+// Implementations must be safe for concurrent use: Append is always
+// called under the node's mutex, but Sync runs outside it and may be
+// invoked from several goroutines at once (the per-window follower ack
+// path and the leader's sync loop).
+type Storage interface {
+	// HardState returns the persisted epoch / vote state recovered at
+	// open: the highest epoch this node has adopted and the highest
+	// epoch it has granted a vote for. Both zero on a fresh store.
+	HardState() (epoch, grantedEpoch uint64)
+	// SaveHardState durably records the epoch / vote state. It must
+	// not return before the state is on stable storage: a node that
+	// grants a vote and forgets it across a crash can hand out two
+	// votes in one epoch, electing two leaders.
+	SaveHardState(epoch, grantedEpoch uint64) error
+
+	// Snapshot returns the newest durable state-machine snapshot and
+	// the zxid it covers, or ok=false when none has been taken.
+	Snapshot() (data []byte, zxid uint64, ok bool)
+	// Frames returns the recovered log tail — every frame past the
+	// newest snapshot's coverage, in zxid order. Only meaningful
+	// immediately after opening the store.
+	Frames() []Frame
+
+	// Append adds frames to the log. Durability is deferred to Sync so
+	// one fsync can cover a whole propose window (the group-commit
+	// amortization); implementations should make Append itself cheap
+	// (a buffered or page-cache write).
+	Append(frames []Frame) error
+	// Sync makes every previously appended frame durable. Concurrent
+	// callers may share one fsync: a caller whose frames are already
+	// covered by an in-flight or completed sync returns immediately.
+	Sync() error
+	// LastDurableZxid reports the highest frame zxid covered by a
+	// completed sync — the durable horizon the node may acknowledge.
+	LastDurableZxid() uint64
+
+	// SaveSnapshot durably records a fuzzy snapshot covering zxid,
+	// written side-by-side with the live log; log segments wholly
+	// covered by it may be reclaimed. The log tail past zxid is kept.
+	SaveSnapshot(data []byte, zxid uint64) error
+	// InstallSnapshot durably records a snapshot received from the
+	// leader and RESETS the log: every local frame — including any
+	// divergent tail past zxid — is discarded. Used by the follower
+	// sync path when its position has left the leader's log.
+	InstallSnapshot(data []byte, zxid uint64) error
+}
