@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document (BENCH_core.json in CI). Each
+// benchmark line becomes one record carrying every reported metric —
+// ns/op, B/op, allocs/op, and the custom units this repo emits via
+// b.ReportMetric (writes/s, vops/s, create-ops/s, rpcs/readdir, ...).
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x | benchjson -out BENCH_core.json
+//	benchjson -in bench.txt
+//
+// Non-benchmark lines (PASS, ok, warm-up chatter) are ignored, so the
+// raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path,
+	// with the -<procs> suffix stripped (e.g. "GroupCommit/batch=64").
+	Name string `json:"name"`
+	// Procs is GOMAXPROCS at run time (the -N name suffix).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every pair on the line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_core.json schema (DESIGN.md §12).
+type Report struct {
+	Kind          string       `json:"kind"`
+	GeneratedUnix int64        `json:"generated_unix"`
+	Benchmarks    []*Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "read bench text from this file (default stdin)")
+	out := flag.String("out", "", "write JSON to this file (default stdout)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := Parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := Report{Kind: "gobench", GeneratedUnix: time.Now().Unix(), Benchmarks: benches}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+}
+
+// Parse extracts benchmark records from go-bench text. Lines that do
+// not look like benchmark results are skipped; a malformed value on a
+// line that does is an error (corrupt output should fail CI loudly,
+// not vanish from the trajectory).
+func Parse(r io.Reader) ([]*Benchmark, error) {
+	var out []*Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shortest legal line: name, iterations, value, unit.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name, procs := splitProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmarking..." chatter, not a result line
+		}
+		b := &Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q in %q", name, fields[i], line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// splitProcs strips the trailing -<GOMAXPROCS> go-bench appends to the
+// name. Sub-benchmark names can themselves contain dashes, so only a
+// final all-digit segment counts.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

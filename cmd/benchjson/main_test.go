@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkGroupCommit/batch=64-8         	     120	   9876543 ns/op	    123456 writes/s
+BenchmarkAsyncPipeline-8                	      50	  22000000 ns/op	    404040.5 writes/s	  1024 B/op	  17 allocs/op
+BenchmarkShardScaling/shards=4-16       	      10	 100000000 ns/op	     88999 vops/s
+BenchmarkFig11Memory-8                  	       1	1000000000 ns/op	       512.25 MB/1e6-dirs
+BenchmarkConsistentHashRelocation-8     	     100	    500000 ns/op	        49.8 modN-%moved	         2.1 ring-%moved
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(benches))
+	}
+
+	byName := map[string]*Benchmark{}
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+
+	gc, ok := byName["GroupCommit/batch=64"]
+	if !ok {
+		t.Fatalf("GroupCommit/batch=64 missing; have %v", names(benches))
+	}
+	if gc.Procs != 8 || gc.Iterations != 120 {
+		t.Errorf("GroupCommit procs=%d iters=%d, want 8/120", gc.Procs, gc.Iterations)
+	}
+	if got := gc.Metrics["writes/s"]; got != 123456 {
+		t.Errorf("GroupCommit writes/s = %v, want 123456", got)
+	}
+	if got := gc.Metrics["ns/op"]; got != 9876543 {
+		t.Errorf("GroupCommit ns/op = %v, want 9876543", got)
+	}
+
+	ap := byName["AsyncPipeline"]
+	if ap == nil {
+		t.Fatal("AsyncPipeline missing")
+	}
+	if got := ap.Metrics["writes/s"]; got != 404040.5 {
+		t.Errorf("AsyncPipeline writes/s = %v, want 404040.5", got)
+	}
+	if got := ap.Metrics["allocs/op"]; got != 17 {
+		t.Errorf("AsyncPipeline allocs/op = %v, want 17", got)
+	}
+
+	ss := byName["ShardScaling/shards=4"]
+	if ss == nil || ss.Procs != 16 {
+		t.Fatalf("ShardScaling/shards=4 missing or wrong procs: %+v", ss)
+	}
+
+	ch := byName["ConsistentHashRelocation"]
+	if ch == nil {
+		t.Fatal("ConsistentHashRelocation missing")
+	}
+	if got := ch.Metrics["ring-%moved"]; got != 2.1 {
+		t.Errorf("ring-%%moved = %v, want 2.1", got)
+	}
+}
+
+func TestParseSkipsChatter(t *testing.T) {
+	benches, err := Parse(strings.NewReader("PASS\nok\t repro 1s\n--- BENCH: x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Fatalf("parsed %d benchmarks from chatter, want 0", len(benches))
+	}
+}
+
+func TestParseRejectsCorruptValue(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX-8\t10\tNaN?\tns/op\n"))
+	if err == nil {
+		t.Fatal("corrupt value parsed without error")
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"GroupCommit-8", "GroupCommit", 8},
+		{"Fig9-vs-mdtest-16", "Fig9-vs-mdtest", 16},
+		{"NoSuffix", "NoSuffix", 1},
+		{"Sub/case=a-2", "Sub/case=a", 2},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q/%d, want %q/%d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}
+
+func names(bs []*Benchmark) []string {
+	var out []string
+	for _, b := range bs {
+		out = append(out, b.Name)
+	}
+	return out
+}

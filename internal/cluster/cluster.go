@@ -17,6 +17,7 @@ import (
 	"repro/internal/backend/pvfs"
 	"repro/internal/coord"
 	"repro/internal/coord/shard"
+	"repro/internal/coord/zab"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/transport"
@@ -78,6 +79,13 @@ type Config struct {
 	// CoordSyncEvery is the fsync-cadence ablation forwarded to the
 	// storage engine (see coord.ServerConfig.SyncEvery).
 	CoordSyncEvery int
+	// CoordWrapStorage, when non-nil, wraps coordination member
+	// (shard, member)'s durable storage engine — the slow-disk
+	// injection seam the chaos scenarios use (see
+	// coord.EnsembleConfig.WrapStorage for restart semantics). member
+	// is the 0-based Ensemble.Servers index, matching StopServer /
+	// LeaderIndex. Only meaningful with CoordDataDir.
+	CoordWrapStorage func(shard, member int, s zab.Storage) zab.Storage
 }
 
 // Cluster is a running deployment.
@@ -155,6 +163,14 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		if cfg.CoordDataDir != "" {
 			ecfg.DataDir = filepath.Join(cfg.CoordDataDir, fmt.Sprintf("shard%d", s))
+		}
+		if cfg.CoordWrapStorage != nil {
+			shard := s
+			// The ensemble hands out 1-based wire IDs; the cluster API
+			// speaks 0-based member indexes throughout.
+			ecfg.WrapStorage = func(id uint64, st zab.Storage) zab.Storage {
+				return cfg.CoordWrapStorage(shard, int(id)-1, st)
+			}
 		}
 		ens, err := coord.StartEnsemble(ecfg)
 		if err != nil {

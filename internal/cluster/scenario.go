@@ -1,0 +1,473 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/transport"
+)
+
+// This file is the chaos scenario matrix: declarative fault schedules
+// that run WHILE an open-loop load generator holds the offered rate
+// fixed, so a fault's cost shows up where it belongs — in tail latency
+// and error counts under load — instead of being averaged away by a
+// closed loop that politely stops offering work when the service
+// stalls. Every scenario ends with the same two hard questions: did
+// the tail stay inside the SLO, and does every acknowledged write
+// still exist?
+
+// FaultKind names one class of injected failure.
+type FaultKind string
+
+// The fault classes the matrix composes.
+const (
+	// FaultSlowDisk delays fsync on one voter's storage engine
+	// (requires a durable scenario).
+	FaultSlowDisk FaultKind = "slow-disk"
+	// FaultPartition blocks every message TO one voter while its own
+	// outbound traffic still flows — the asymmetric "can talk, can't
+	// be talked to" split.
+	FaultPartition FaultKind = "partition"
+	// FaultLeaderKill stops the current leader, then restarts it after
+	// Duration.
+	FaultLeaderKill FaultKind = "leader-kill"
+	// FaultLeaderFlap repeatedly kills whoever leads, every Interval,
+	// for Duration — the pathological election churn case.
+	FaultLeaderFlap FaultKind = "leader-flap"
+	// FaultRestartAll cold-restarts every coordination member from disk
+	// mid-load (requires a durable scenario).
+	FaultRestartAll FaultKind = "restart-all"
+)
+
+// Victim selectors for Fault.Victim (non-negative = explicit member
+// index, resolved when the fault fires).
+const (
+	VictimLeader   = -1
+	VictimFollower = -2
+)
+
+// Fault is one scheduled failure inside a scenario.
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// At is the fault's start, as an offset into the load window.
+	At time.Duration `json:"at"`
+	// Duration is how long the fault stays active before it is healed
+	// (ignored by restart-all, which is instantaneous).
+	Duration time.Duration `json:"duration,omitempty"`
+	// Victim picks the member (VictimLeader / VictimFollower / index).
+	Victim int `json:"victim"`
+	// Delay is the injected fsync latency (slow-disk only).
+	Delay time.Duration `json:"delay,omitempty"`
+	// Interval is the kill cadence (leader-flap only).
+	Interval time.Duration `json:"interval,omitempty"`
+	// Shard selects the coordination shard (default 0).
+	Shard int `json:"shard,omitempty"`
+}
+
+// SLO bounds a scenario's outcome. Zero fields are not checked —
+// except acked-write loss, which is always a violation.
+type SLO struct {
+	// MaxP99 bounds overall operation latency at the 99th percentile.
+	MaxP99 time.Duration `json:"max_p99,omitempty"`
+	// MaxErrorFrac bounds (errors+timeouts)/submitted.
+	MaxErrorFrac float64 `json:"max_error_frac,omitempty"`
+	// MinAchievedFrac bounds achieved/offered throughput from below.
+	MinAchievedFrac float64 `json:"min_achieved_frac,omitempty"`
+}
+
+// Scenario is one cell of the matrix: a load shape, a fault schedule
+// and the bounds the run must stay inside.
+type Scenario struct {
+	Name         string         `json:"name"`
+	Load         loadgen.Config `json:"-"`
+	Faults       []Fault        `json:"faults"`
+	SLO          SLO            `json:"slo"`
+	CoordMembers int            `json:"coord_members,omitempty"` // default 3
+	Sessions     int            `json:"sessions,omitempty"`      // default 2
+	// Durable gives every member a disk-backed storage engine (needed
+	// by slow-disk and restart-all).
+	Durable bool `json:"durable,omitempty"`
+}
+
+// ScenarioResult is the machine-readable outcome of one scenario run.
+type ScenarioResult struct {
+	Scenario     string         `json:"scenario"`
+	Scale        float64        `json:"scale"`
+	Faults       []string       `json:"fault_log"`
+	Load         loadgen.Result `json:"load"`
+	AckedChecked int            `json:"acked_checked"`
+	MissingAcked int            `json:"missing_acked"`
+	Violations   []string       `json:"violations,omitempty"`
+}
+
+// OK reports whether the run stayed inside its SLO with zero acked loss.
+func (r *ScenarioResult) OK() bool { return len(r.Violations) == 0 }
+
+func scaleDur(d time.Duration, scale float64) time.Duration {
+	return time.Duration(float64(d) * scale)
+}
+
+// sleepUntil waits for a wall-clock instant, returning early on ctx
+// cancellation.
+func sleepUntil(ctx context.Context, at time.Time) {
+	d := time.Until(at)
+	if d <= 0 {
+		return
+	}
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}
+
+// Matrix returns the builtin scenario set at smoke scale: each cell
+// holds ~2s of load, so the whole matrix stays test-suite friendly.
+// RunScenario's scale parameter stretches every duration for the full
+// (long) tier.
+func Matrix() []Scenario {
+	base := func(name string, seed int64) loadgen.Config {
+		return loadgen.Config{
+			Name:       name,
+			Rate:       250,
+			Arrival:    loadgen.Poisson,
+			Duration:   2 * time.Second,
+			Dirs:       4,
+			Keys:       16,
+			OpTimeout:  4 * time.Second,
+			Seed:       seed,
+			TrackAcked: true,
+		}
+	}
+	return []Scenario{
+		{
+			Name: "steady-state",
+			Load: base("steady-state", 1),
+			SLO:  SLO{MaxP99: 250 * time.Millisecond, MaxErrorFrac: 0.001, MinAchievedFrac: 0.85},
+		},
+		{
+			Name:    "slow-disk-follower",
+			Load:    base("slow-disk-follower", 2),
+			Durable: true,
+			Faults:  []Fault{{Kind: FaultSlowDisk, At: 400 * time.Millisecond, Duration: time.Second, Victim: VictimFollower, Delay: 15 * time.Millisecond}},
+			// Quorum = leader + the healthy follower, so the tail should
+			// barely move; this cell is the decentralization dividend.
+			SLO: SLO{MaxP99: 400 * time.Millisecond, MaxErrorFrac: 0.01, MinAchievedFrac: 0.7},
+		},
+		{
+			Name:    "slow-disk-leader",
+			Load:    base("slow-disk-leader", 3),
+			Durable: true,
+			Faults:  []Fault{{Kind: FaultSlowDisk, At: 400 * time.Millisecond, Duration: time.Second, Victim: VictimLeader, Delay: 4 * time.Millisecond}},
+			// Every commit pays the leader's fsync, but group commit
+			// amortizes one sync across a whole propose window.
+			SLO: SLO{MaxP99: 800 * time.Millisecond, MaxErrorFrac: 0.01, MinAchievedFrac: 0.6},
+		},
+		{
+			Name:   "partition-follower",
+			Load:   base("partition-follower", 4),
+			Faults: []Fault{{Kind: FaultPartition, At: 500 * time.Millisecond, Duration: 800 * time.Millisecond, Victim: VictimFollower}},
+			// The isolated follower hears nothing, so its election timer
+			// fires and its (outbound-only) campaign deposes the leader
+			// once; after the re-elected leader's epoch barrier commits,
+			// later campaigns lose the log-recency check and the
+			// ensemble stays stable. One short disturbance, then quorum
+			// carries on without the victim.
+			SLO: SLO{MaxP99: 800 * time.Millisecond, MaxErrorFrac: 0.05, MinAchievedFrac: 0.6},
+		},
+		{
+			Name:   "partition-leader",
+			Load:   base("partition-leader", 8),
+			Faults: []Fault{{Kind: FaultPartition, At: 600 * time.Millisecond, Duration: 700 * time.Millisecond, Victim: VictimLeader}},
+			// The nastiest asymmetric case, pinned deliberately: the
+			// leader's outbound traffic still flows, so followers keep
+			// hearing heartbeats and never call an election — but no
+			// client request or forwarded write can reach the leader
+			// until the partition heals. Writes stall for the whole
+			// fault window (ZooKeeper has the same exposure; resolving
+			// it needs inbound-reachability self-checks on the leader).
+			SLO: SLO{MaxP99: 2 * time.Second, MaxErrorFrac: 0.3, MinAchievedFrac: 0.35},
+		},
+		{
+			Name:   "leader-kill",
+			Load:   base("leader-kill", 5),
+			Faults: []Fault{{Kind: FaultLeaderKill, At: 600 * time.Millisecond, Duration: 600 * time.Millisecond, Victim: VictimLeader}},
+			SLO:    SLO{MaxP99: 2 * time.Second, MaxErrorFrac: 0.25, MinAchievedFrac: 0.4},
+		},
+		{
+			Name:   "leader-flap",
+			Load:   base("leader-flap", 6),
+			Faults: []Fault{{Kind: FaultLeaderFlap, At: 300 * time.Millisecond, Duration: 1200 * time.Millisecond, Interval: 400 * time.Millisecond}},
+			SLO:    SLO{MaxP99: 3 * time.Second, MaxErrorFrac: 0.5, MinAchievedFrac: 0.2},
+		},
+		{
+			Name:    "restart-all",
+			Load:    base("restart-all", 7),
+			Durable: true,
+			Faults:  []Fault{{Kind: FaultRestartAll, At: 800 * time.Millisecond}},
+			SLO:     SLO{MaxP99: 3 * time.Second, MaxErrorFrac: 0.5, MinAchievedFrac: 0.2},
+		},
+	}
+}
+
+// FindScenario returns the builtin scenario with the given name.
+func FindScenario(name string) (Scenario, bool) {
+	for _, sc := range Matrix() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// RunScenario boots a dedicated cluster, drives the scenario's load
+// through real coordination sessions while the fault schedule runs,
+// heals everything, verifies every acknowledged write still exists and
+// grades the result against the SLO. scale (<=0 → 1) stretches the
+// load window and every fault time: the smoke tier runs at 1, the long
+// tier at 3-5.
+func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResult, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if sc.CoordMembers <= 0 {
+		sc.CoordMembers = 3
+	}
+	if sc.Sessions <= 0 {
+		sc.Sessions = 2
+	}
+	load := sc.Load
+	load.Duration = scaleDur(load.Duration, scale)
+
+	fnet := transport.NewFaults(transport.NewInProc())
+	chaos := NewDiskChaos()
+	ccfg := Config{
+		Name:              "chaos-" + sc.Name,
+		Net:               fnet,
+		CoordServers:      sc.CoordMembers,
+		Backends:          1,
+		Kind:              MemFS,
+		HeartbeatInterval: 10 * time.Millisecond,
+		ElectionTimeout:   80 * time.Millisecond,
+	}
+	if sc.Durable {
+		dir, err := os.MkdirTemp("", "chaos-"+sc.Name+"-")
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		defer os.RemoveAll(dir)
+		ccfg.CoordDataDir = dir
+		ccfg.CoordWrapStorage = chaos.Wrap
+	}
+	cl, err := Start(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	defer cl.Stop()
+	if err := cl.Ensemble.WaitLeader(5 * time.Second); err != nil {
+		return nil, fmt.Errorf("scenario %s: no leader: %w", sc.Name, err)
+	}
+
+	prep, err := cl.ConnectCoord(-1)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	defer prep.Close()
+	if err := loadgen.Prepare(ctx, prep, load); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	var targets []loadgen.Target
+	for i := 0; i < sc.Sessions; i++ {
+		s, err := cl.ConnectCoord(i)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: session %d: %w", sc.Name, i, err)
+		}
+		defer s.Close()
+		targets = append(targets, loadgen.NewClientTarget(s))
+	}
+
+	res := &ScenarioResult{Scenario: sc.Name, Scale: scale}
+	var fmu sync.Mutex   // serializes ensemble surgery across faults
+	var logMu sync.Mutex // guards the fault log (logf is called under fmu)
+	start := time.Now()
+	logf := func(format string, a ...any) {
+		logMu.Lock()
+		res.Faults = append(res.Faults, fmt.Sprintf("%8v %s", time.Since(start).Round(time.Millisecond), fmt.Sprintf(format, a...)))
+		logMu.Unlock()
+	}
+	var fwg sync.WaitGroup
+	for _, f := range sc.Faults {
+		f := f
+		f.At = scaleDur(f.At, scale)
+		f.Duration = scaleDur(f.Duration, scale)
+		f.Interval = scaleDur(f.Interval, scale)
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			runFault(ctx, cl, fnet, chaos, &fmu, f, start, logf)
+		}()
+	}
+
+	result, err := loadgen.Run(ctx, load, targets)
+	fwg.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	// Belt and braces: every fault heals itself, but make sure nothing
+	// is left injected before the verification pass.
+	chaos.Clear()
+	fnet.Clear()
+	if err := cl.Ensemble.WaitLeader(5 * time.Second); err != nil {
+		return nil, fmt.Errorf("scenario %s: no leader after faults: %w", sc.Name, err)
+	}
+	res.Load = *result
+
+	vs, err := cl.ConnectCoord(-1)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: verify session: %w", sc.Name, err)
+	}
+	defer vs.Close()
+	missing, err := loadgen.VerifyAcked(ctx, vs, result.AckedPaths)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: verify: %w", sc.Name, err)
+	}
+	res.AckedChecked = len(result.AckedPaths)
+	res.MissingAcked = len(missing)
+
+	// Grade. Acked-write loss is always fatal; the rest follow the SLO.
+	if res.MissingAcked > 0 {
+		res.Violations = append(res.Violations, fmt.Sprintf("%d of %d acknowledged writes lost (first: %s)", res.MissingAcked, res.AckedChecked, missing[0]))
+	}
+	if sc.SLO.MaxP99 > 0 {
+		if p99 := result.Latency.P99(); p99 > scaleDur(sc.SLO.MaxP99, scale) {
+			res.Violations = append(res.Violations, fmt.Sprintf("p99 %v > SLO %v", p99, scaleDur(sc.SLO.MaxP99, scale)))
+		}
+	}
+	if sc.SLO.MaxErrorFrac > 0 && result.Submitted > 0 {
+		if frac := float64(result.Errors+result.Timeouts) / float64(result.Submitted); frac > sc.SLO.MaxErrorFrac {
+			res.Violations = append(res.Violations, fmt.Sprintf("error fraction %.4f > SLO %.4f (%d err, %d timeout / %d)", frac, sc.SLO.MaxErrorFrac, result.Errors, result.Timeouts, result.Submitted))
+		}
+	}
+	if sc.SLO.MinAchievedFrac > 0 && result.RateOps > 0 {
+		if frac := result.AchievedOps / result.RateOps; frac < sc.SLO.MinAchievedFrac {
+			res.Violations = append(res.Violations, fmt.Sprintf("achieved %.0f/s is %.2f of offered %.0f/s, SLO floor %.2f", result.AchievedOps, frac, result.RateOps, sc.SLO.MinAchievedFrac))
+		}
+	}
+	return res, nil
+}
+
+// waitLeaderIndex polls for an elected leader on shard s.
+func waitLeaderIndex(ctx context.Context, cl *Cluster, s int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		if i := cl.LeaderIndex(s); i >= 0 {
+			return i
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return -1
+}
+
+// resolveVictim turns a Victim selector into a member index.
+func resolveVictim(ctx context.Context, cl *Cluster, shard, v int) int {
+	if v >= 0 {
+		return v
+	}
+	l := waitLeaderIndex(ctx, cl, shard, 5*time.Second)
+	if l < 0 {
+		return 0
+	}
+	if v == VictimLeader {
+		return l
+	}
+	return (l + 1) % len(cl.Ensembles[shard].Servers)
+}
+
+// runFault applies one fault at its scheduled time and heals it after
+// its duration. Ensemble surgery is serialized on mu so overlapping
+// faults cannot race StopServer/StartServer.
+func runFault(ctx context.Context, cl *Cluster, fnet *transport.Faults, chaos *DiskChaos, mu *sync.Mutex, f Fault, start time.Time, logf func(string, ...any)) {
+	sleepUntil(ctx, start.Add(f.At))
+	if ctx.Err() != nil {
+		return
+	}
+	ens := cl.Ensembles[f.Shard]
+	switch f.Kind {
+	case FaultSlowDisk:
+		id := resolveVictim(ctx, cl, f.Shard, f.Victim)
+		chaos.SetDelay(f.Shard, id, f.Delay)
+		logf("slow-disk: member %d fsync +%v", id, f.Delay)
+		sleepUntil(ctx, start.Add(f.At+f.Duration))
+		chaos.SetDelay(f.Shard, id, 0)
+		logf("slow-disk: member %d healed", id)
+	case FaultPartition:
+		id := resolveVictim(ctx, cl, f.Shard, f.Victim)
+		peer, client := cl.CoordAddrs(f.Shard, id)
+		fnet.Block(peer, client)
+		logf("partition: member %d unreachable (%s, %s)", id, peer, client)
+		sleepUntil(ctx, start.Add(f.At+f.Duration))
+		fnet.Unblock(peer, client)
+		logf("partition: member %d healed", id)
+	case FaultLeaderKill:
+		id := resolveVictim(ctx, cl, f.Shard, f.Victim)
+		mu.Lock()
+		ens.StopServer(id)
+		mu.Unlock()
+		logf("leader-kill: stopped member %d", id)
+		sleepUntil(ctx, start.Add(f.At+f.Duration))
+		mu.Lock()
+		err := ens.StartServer(id)
+		mu.Unlock()
+		if err != nil {
+			logf("leader-kill: restart of member %d FAILED: %v", id, err)
+		} else {
+			logf("leader-kill: member %d restarted", id)
+		}
+	case FaultLeaderFlap:
+		deadline := start.Add(f.At + f.Duration)
+		down := -1
+		for time.Now().Before(deadline) && ctx.Err() == nil {
+			mu.Lock()
+			if down >= 0 {
+				if err := ens.StartServer(down); err != nil {
+					logf("leader-flap: restart of member %d FAILED: %v", down, err)
+				}
+				down = -1
+			}
+			mu.Unlock()
+			id := waitLeaderIndex(ctx, cl, f.Shard, time.Second)
+			if id < 0 {
+				break
+			}
+			mu.Lock()
+			ens.StopServer(id)
+			down = id
+			mu.Unlock()
+			logf("leader-flap: killed leader %d", id)
+			sleepUntil(ctx, time.Now().Add(f.Interval))
+		}
+		mu.Lock()
+		if down >= 0 {
+			if err := ens.StartServer(down); err != nil {
+				logf("leader-flap: final restart of member %d FAILED: %v", down, err)
+			} else {
+				logf("leader-flap: member %d restarted, flapping over", down)
+			}
+		}
+		mu.Unlock()
+	case FaultRestartAll:
+		mu.Lock()
+		err := cl.RestartCoord()
+		mu.Unlock()
+		if err != nil {
+			logf("restart-all FAILED: %v", err)
+		} else {
+			logf("restart-all: every member cold-restarted from disk")
+		}
+	default:
+		logf("unknown fault kind %q ignored", f.Kind)
+	}
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"context"
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/coord/zab"
+)
+
+// -scenario.long stretches every scenario (load window and fault
+// schedule) by this factor; 0 keeps the ~2s smoke tier that runs in
+// `go test -run TestScenario -short`.
+var scenarioScale = flag.Float64("scenario.long", 0, "run the chaos matrix at this time scale (0 = smoke tier)")
+
+// TestScenarioMatrix runs every cell of the chaos matrix: fixed-rate
+// open-loop load, a fault schedule firing mid-run, then SLO grading
+// and the zero-acked-write-loss check.
+func TestScenarioMatrix(t *testing.T) {
+	scale := *scenarioScale
+	if scale <= 0 {
+		scale = 1 // smoke tier
+	}
+	for _, sc := range Matrix() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res, err := RunScenario(ctx, sc, scale)
+			if err != nil {
+				t.Fatalf("scenario %s: %v", sc.Name, err)
+			}
+			for _, line := range res.Faults {
+				t.Logf("fault: %s", line)
+			}
+			t.Logf("load: %s", &res.Load)
+			t.Logf("acked writes verified: %d (missing %d)", res.AckedChecked, res.MissingAcked)
+			if sc.Load.TrackAcked && res.AckedChecked == 0 {
+				t.Fatal("no acknowledged writes were tracked — the loss check was vacuous")
+			}
+			for _, v := range res.Violations {
+				t.Errorf("SLO violation: %s", v)
+			}
+		})
+	}
+}
+
+// TestScenarioSlowDiskReWrapsOnRestart pins the restart semantics of
+// the storage injection seam: a member restarted mid-fault gets a
+// fresh wrapper bound to the same DiskChaos, so the fault persists
+// across the restart until it is explicitly healed.
+func TestScenarioSlowDiskReWrapsOnRestart(t *testing.T) {
+	chaos := NewDiskChaos()
+	chaos.SetDelay(0, 1, 25*time.Millisecond)
+	s := chaos.Wrap(0, 1, nopStorage{}) // as StartServer would re-create it
+	startT := time.Now()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(startT); d < 25*time.Millisecond {
+		t.Fatalf("fresh wrapper ignored pre-existing delay (sync took %v)", d)
+	}
+	chaos.Clear()
+	startT = time.Now()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(startT); d > 20*time.Millisecond {
+		t.Fatalf("Clear did not lift the delay (sync took %v)", d)
+	}
+}
+
+// nopStorage is the minimal zab.Storage for wrapper tests.
+type nopStorage struct{}
+
+func (nopStorage) HardState() (uint64, uint64)          { return 0, 0 }
+func (nopStorage) SaveHardState(uint64, uint64) error   { return nil }
+func (nopStorage) Snapshot() ([]byte, uint64, bool)     { return nil, 0, false }
+func (nopStorage) Frames() []zab.Frame                  { return nil }
+func (nopStorage) Append([]zab.Frame) error             { return nil }
+func (nopStorage) Sync() error                          { return nil }
+func (nopStorage) LastDurableZxid() uint64              { return 0 }
+func (nopStorage) SaveSnapshot([]byte, uint64) error    { return nil }
+func (nopStorage) InstallSnapshot([]byte, uint64) error { return nil }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/coord/zab"
 	"repro/internal/transport"
 )
 
@@ -36,6 +37,12 @@ type EnsembleConfig struct {
 	DataDir string
 	// SyncEvery is the fsync-cadence ablation (see ServerConfig).
 	SyncEvery int
+	// WrapStorage, when non-nil, wraps member id's durable storage
+	// engine (see ServerConfig.WrapStorage). The hook is recorded in the
+	// member's config, so a restarted member is re-wrapped — fault
+	// injectors that must survive StopServer/StartServer keep their
+	// control state outside the wrapper they return.
+	WrapStorage func(id uint64, s zab.Storage) zab.Storage
 }
 
 // Ensemble is a running coordination service.
@@ -85,6 +92,10 @@ func StartEnsemble(cfg EnsembleConfig) (*Ensemble, error) {
 		}
 		if cfg.DataDir != "" {
 			scfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node%d", i))
+		}
+		if cfg.WrapStorage != nil {
+			id := uint64(i)
+			scfg.WrapStorage = func(s zab.Storage) zab.Storage { return cfg.WrapStorage(id, s) }
 		}
 		srv, err := NewServer(scfg)
 		if err != nil {

@@ -59,6 +59,12 @@ type ServerConfig struct {
 	// performs one real fsync per N sync windows, trading crash
 	// durability for throughput. Only meaningful with DataDir.
 	SyncEvery int
+	// WrapStorage, when non-nil, wraps the durable storage engine
+	// before it is handed to the replication layer — the fault-injection
+	// seam the chaos scenarios use to slow one voter's disk
+	// (internal/cluster). Only consulted with a DataDir; the wrapper
+	// must preserve the zab.Storage contract.
+	WrapStorage func(zab.Storage) zab.Storage
 }
 
 // Server is one member of the coordination ensemble: a replicated
@@ -111,7 +117,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		InitialZxid:       cfg.CheckpointZxid,
 	}
 	if eng != nil {
-		zcfg.Storage = eng
+		var st zab.Storage = eng
+		if cfg.WrapStorage != nil {
+			st = cfg.WrapStorage(st)
+		}
+		zcfg.Storage = st
 	}
 	node, err := zab.NewNode(zcfg, sm)
 	if err != nil {

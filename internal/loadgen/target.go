@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/coord"
+	"repro/internal/coord/znode"
+)
+
+// ClientTarget executes generated operations against one coordination
+// session (or shard router). Writes go through the asynchronous
+// submission layer — Begin / BeginMulti — so many arrivals share the
+// session's pipelined connection; the per-session async window then
+// bounds in-flight writes exactly as it does for any production
+// client, and queueing beyond it shows up in the measured latency,
+// which is the point of the open-loop harness.
+type ClientTarget struct {
+	C coord.Client
+	// Payload is the data written by create/set (default 8 bytes).
+	Payload []byte
+}
+
+// NewClientTarget wraps a coordination client.
+func NewClientTarget(c coord.Client) *ClientTarget {
+	return &ClientTarget{C: c, Payload: []byte("loadgen!")}
+}
+
+// Do implements Target.
+func (t *ClientTarget) Do(ctx context.Context, op Op) error {
+	switch op.Kind {
+	case OpCreate:
+		_, err := t.C.Begin(ctx, coord.CreateOp(op.Path, t.Payload, znode.ModePersistent)).Result()
+		return err
+	case OpSet:
+		_, err := t.C.Begin(ctx, coord.SetOp(op.Path, t.Payload, -1)).Result()
+		return err
+	case OpStat:
+		_, ok, err := t.C.ExistsCtx(ctx, op.Path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return coord.ErrNoNode
+		}
+		return nil
+	case OpReaddir:
+		_, err := t.C.BeginChildrenData(ctx, op.Path).Entries()
+		return err
+	case OpMulti:
+		_, err := t.C.BeginMulti(ctx, []coord.Op{
+			coord.CreateOp(op.Path, t.Payload, znode.ModePersistent),
+			coord.CreateOp(op.Path2, t.Payload, znode.ModePersistent),
+		}).Results()
+		return err
+	default:
+		return fmt.Errorf("loadgen: unknown op kind %q", op.Kind)
+	}
+}
+
+// Prepare creates the namespace a run draws from: the PathPrefix root,
+// Dirs working directories and Keys pre-created keys per directory
+// (the stat/set keyspace). Idempotent — existing nodes are fine — and
+// pipelined, so a large keyspace costs few round trips.
+func Prepare(ctx context.Context, c coord.Client, cfg Config) error {
+	if err := (&cfg).normalize(); err != nil {
+		return err
+	}
+	if _, err := c.CreateCtx(ctx, cfg.PathPrefix, nil, znode.ModePersistent); err != nil && err != coord.ErrNodeExists {
+		return fmt.Errorf("loadgen: prepare root %s: %w", cfg.PathPrefix, err)
+	}
+	p := coord.NewPipeline(ctx, c)
+	const flight = 48
+	drainTo := func(n int) error {
+		for p.Outstanding() > n {
+			if err := p.WaitOne(); err != nil && err != coord.ErrNodeExists {
+				return err
+			}
+		}
+		return nil
+	}
+	for d := 0; d < cfg.Dirs; d++ {
+		dir := fmt.Sprintf("%s/d%d", cfg.PathPrefix, d)
+		// The directory must exist before its keys; wait it out alone.
+		if _, err := c.CreateCtx(ctx, dir, nil, znode.ModePersistent); err != nil && err != coord.ErrNodeExists {
+			return fmt.Errorf("loadgen: prepare %s: %w", dir, err)
+		}
+		for k := 0; k < cfg.Keys; k++ {
+			p.Create(fmt.Sprintf("%s/k%d", dir, k), []byte("seed"), znode.ModePersistent)
+			if err := drainTo(flight); err != nil {
+				return fmt.Errorf("loadgen: prepare keys: %w", err)
+			}
+		}
+	}
+	if err := drainTo(0); err != nil {
+		return fmt.Errorf("loadgen: prepare keys: %w", err)
+	}
+	return nil
+}
+
+// VerifyAcked checks that every acknowledged write still exists: the
+// zero-acked-write-loss assertion the chaos scenarios make after the
+// fault schedule has run. It issues a Sync barrier first so the read
+// reflects everything committed, then pipelines the existence checks.
+// The returned slice holds the missing paths (empty = no loss).
+func VerifyAcked(ctx context.Context, c coord.Client, paths []string) ([]string, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	if err := c.SyncCtx(ctx); err != nil {
+		return nil, fmt.Errorf("loadgen: sync before verify: %w", err)
+	}
+	var missing []string
+	for _, path := range paths {
+		_, ok, err := c.ExistsCtx(ctx, path)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: verify %s: %w", path, err)
+		}
+		if !ok {
+			missing = append(missing, path)
+		}
+	}
+	return missing, nil
+}

@@ -131,8 +131,12 @@ func (d *Distribution) Max() int64 {
 	return d.max
 }
 
-// Quantile returns an approximate q-quantile (0 <= q <= 1) using the
-// bucket upper bounds; the error is bounded by the bucket width.
+// Quantile returns an approximate q-quantile (0 <= q <= 1). The target
+// rank is located in its power-of-two bucket and the value is linearly
+// interpolated across that bucket's range, clamped to the observed
+// min/max — so the error is a fraction of one bucket's width rather
+// than the full width, and load harnesses can assert p99 bounds
+// against it directly.
 func (d *Distribution) Quantile(q float64) int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -145,16 +149,41 @@ func (d *Distribution) Quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	target := int64(math.Ceil(q * float64(d.count)))
-	if target == 0 {
+	target := q * float64(d.count)
+	if target < 1 {
 		target = 1
 	}
-	var seen int64
+	var seen float64
 	for i, n := range d.buckets {
-		seen += n
-		if seen >= target {
-			return int64(1) << uint(i)
+		if n == 0 {
+			continue
 		}
+		fn := float64(n)
+		if seen+fn < target {
+			seen += fn
+			continue
+		}
+		// Bucket i holds [2^(i-1), 2^i - 1] for i >= 1; bucket 0 holds
+		// every non-positive sample. Interpolate the rank's position
+		// across the bucket's inclusive value range.
+		var lo, hi float64
+		if i == 0 {
+			lo, hi = float64(d.min), 0
+			if lo > 0 {
+				lo = 0
+			}
+		} else {
+			lo = float64(int64(1) << uint(i-1))
+			hi = 2*lo - 1
+		}
+		v := int64(math.Round(lo + (hi-lo)*(target-seen)/fn))
+		if v < d.min {
+			v = d.min
+		}
+		if v > d.max {
+			v = d.max
+		}
+		return v
 	}
 	return d.max
 }
@@ -209,8 +238,9 @@ func (h *Histogram) Min() time.Duration { return time.Duration(h.d.Min()) }
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.d.Max()) }
 
-// Quantile returns an approximate q-quantile (0 <= q <= 1) using the
-// bucket upper bounds. The error is bounded by the bucket width.
+// Quantile returns an approximate q-quantile (0 <= q <= 1), linearly
+// interpolated within the target rank's bucket and clamped to the
+// observed min/max (see Distribution.Quantile).
 func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(h.d.Quantile(q))
 }

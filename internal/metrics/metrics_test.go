@@ -200,6 +200,83 @@ func TestDistributionZeroValueAndEdges(t *testing.T) {
 	}
 }
 
+func TestDistributionQuantileInterpolates(t *testing.T) {
+	var d Distribution
+	for v := int64(1); v <= 1024; v++ {
+		d.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.25, 256},
+		{0.5, 512},
+		{0.9, 922},
+		{0.99, 1014},
+		{0.999, 1023},
+	}
+	for _, c := range cases {
+		got := d.Quantile(c.q)
+		// Interpolation keeps the error to a fraction of the bucket
+		// width; 10% tolerance is far tighter than the 2x the old
+		// upper-bound answer allowed (q50 used to report 1024).
+		lo := c.want - c.want/10
+		hi := c.want + c.want/10
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%g) = %d, want within [%d, %d]", c.q, got, lo, hi)
+		}
+	}
+	if got := d.Quantile(1); got != 1024 {
+		t.Fatalf("Quantile(1) = %d, want exact max 1024", got)
+	}
+	if got := d.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %d, want min 1", got)
+	}
+}
+
+func TestDistributionQuantileMonotoneDense(t *testing.T) {
+	var d Distribution
+	for v := int64(1); v <= 5000; v += 3 {
+		d.Observe(v)
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := d.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%g) = %d < previous %d", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestDistributionQuantileClampsToObserved(t *testing.T) {
+	var d Distribution
+	d.Observe(100)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := d.Quantile(q); got != 100 {
+			t.Fatalf("single-sample Quantile(%g) = %d, want 100", q, got)
+		}
+	}
+	var neg Distribution
+	neg.Observe(-50)
+	neg.Observe(-10)
+	if got := neg.Quantile(0.5); got < -50 || got > 0 {
+		t.Fatalf("non-positive-sample Quantile(0.5) = %d, want within [-50, 0]", got)
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p99 := h.Quantile(0.99)
+	want := 990 * time.Microsecond
+	if p99 < want-want/10 || p99 > want+want/10 {
+		t.Fatalf("p99 = %v, want ~%v", p99, want)
+	}
+}
+
 func TestRegistryGaugesAndDistributions(t *testing.T) {
 	r := NewRegistry()
 	r.Gauge("queue").Set(3)

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"sort"
+	"time"
+)
+
+// OpenLoopStats summarizes one open-loop replay: sojourn time is
+// measured from the *scheduled* arrival instant, exactly like the real
+// load generator, so queue buildup during overload shows up in the
+// tail instead of silently throttling the source.
+type OpenLoopStats struct {
+	Arrivals  int
+	Completed int
+	// Sojourns holds per-request time-in-system (wait + service) in
+	// arrival order.
+	Sojourns []time.Duration
+	// End is the virtual time the last request completed.
+	End time.Duration
+}
+
+// Mean returns the average sojourn time.
+func (s *OpenLoopStats) Mean() time.Duration {
+	if len(s.Sojourns) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.Sojourns {
+		sum += d
+	}
+	return sum / time.Duration(len(s.Sojourns))
+}
+
+// Quantile returns the q-th sojourn quantile (0 < q <= 1) by sorting a
+// copy; fine at simulation scale.
+func (s *OpenLoopStats) Quantile(q float64) time.Duration {
+	if len(s.Sojourns) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.Sojourns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RunOpenLoop replays a fixed arrival schedule (offsets from time
+// zero, e.g. loadgen.Schedule's output) against an FCFS station and
+// runs the engine to completion. service(i) gives request i's service
+// demand, letting callers model deterministic (M/D/1), exponential
+// (M/M/1) or empirical service processes against the same schedule
+// the live harness offers a real cluster.
+//
+// This is the bridge between the two measurement paths in this repo:
+// the model layer predicts what the load harness should observe, and
+// divergence between the two is a finding, not noise.
+func RunOpenLoop(eng *Engine, station *Resource, arrivals []time.Duration, service func(i int) time.Duration) *OpenLoopStats {
+	stats := &OpenLoopStats{
+		Arrivals: len(arrivals),
+		Sojourns: make([]time.Duration, len(arrivals)),
+	}
+	for i, at := range arrivals {
+		i, at := i, at
+		eng.Schedule(at, func() {
+			station.Acquire(service(i), func() {
+				stats.Sojourns[i] = eng.Now() - at
+				stats.Completed++
+				if eng.Now() > stats.End {
+					stats.End = eng.Now()
+				}
+			})
+		})
+	}
+	eng.Run()
+	return stats
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// TestOpenLoopMD1Calibration checks the replay engine against closed-
+// form queueing theory: an M/D/1 queue at utilization rho has mean
+// wait rho*S/(2*(1-rho)), so mean sojourn at rho=0.5 is exactly 1.5*S.
+// If this drifts, every model-layer prediction built on RunOpenLoop is
+// suspect.
+func TestOpenLoopMD1Calibration(t *testing.T) {
+	const (
+		rate    = 1000.0 // arrivals/s
+		service = 500 * time.Microsecond
+		rho     = 0.5
+		horizon = 120 * time.Second
+	)
+	if got := rate * service.Seconds(); math.Abs(got-rho) > 1e-9 {
+		t.Fatalf("test misconfigured: rho = %v, want %v", got, rho)
+	}
+	arrivals := loadgen.Schedule(loadgen.Poisson, rate, horizon, 42)
+	if len(arrivals) < 100000 {
+		t.Fatalf("only %d arrivals over %v", len(arrivals), horizon)
+	}
+
+	eng := &Engine{}
+	station := NewResource(eng, 1)
+	stats := RunOpenLoop(eng, station, arrivals, func(int) time.Duration { return service })
+
+	if stats.Completed != stats.Arrivals {
+		t.Fatalf("completed %d of %d", stats.Completed, stats.Arrivals)
+	}
+	want := service + time.Duration(rho*float64(service)/(2*(1-rho))) // 1.5*S
+	got := stats.Mean()
+	if ratio := float64(got) / float64(want); ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("M/D/1 mean sojourn %v, theory %v (ratio %.3f)", got, want, ratio)
+	}
+
+	util := station.Utilization(stats.End)
+	if util < rho*0.95 || util > rho*1.05 {
+		t.Errorf("utilization %.3f, want ~%.2f", util, rho)
+	}
+}
+
+// A deterministic drumbeat slower than the server never queues: every
+// sojourn is exactly the service time.
+func TestOpenLoopUniformNoQueueing(t *testing.T) {
+	const (
+		rate    = 100.0
+		service = 2 * time.Millisecond // gap is 10ms, so no overlap
+	)
+	arrivals := loadgen.Schedule(loadgen.Uniform, rate, 5*time.Second, 7)
+	eng := &Engine{}
+	stats := RunOpenLoop(eng, NewResource(eng, 1), arrivals, func(int) time.Duration { return service })
+	for i, d := range stats.Sojourns {
+		if d != service {
+			t.Fatalf("request %d sojourn %v, want exactly %v", i, d, service)
+		}
+	}
+}
+
+// Above saturation the open-loop queue grows without bound, so late
+// arrivals wait far longer than early ones — the signature a closed
+// loop can never show.
+func TestOpenLoopOverloadQueueGrows(t *testing.T) {
+	const (
+		rate    = 1000.0
+		service = 1200 * time.Microsecond // rho = 1.2
+	)
+	arrivals := loadgen.Schedule(loadgen.Uniform, rate, 10*time.Second, 1)
+	eng := &Engine{}
+	stats := RunOpenLoop(eng, NewResource(eng, 1), arrivals, func(int) time.Duration { return service })
+
+	n := len(stats.Sojourns)
+	first, last := stats.Sojourns[0], stats.Sojourns[n-1]
+	if last < 100*first || last < 500*time.Millisecond {
+		t.Errorf("overload did not build a queue: first sojourn %v, final %v", first, last)
+	}
+	// The final backlog is predictable for deterministic arrivals:
+	// excess work accumulates at (rho-1) seconds per second.
+	wantLast := time.Duration(0.2 * 10 * float64(time.Second))
+	if ratio := float64(last) / float64(wantLast); ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("final sojourn %v, want ~%v (ratio %.3f)", last, wantLast, ratio)
+	}
+}

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Faults wraps a Network with runtime-controllable per-address fault
+// injection: any destination address can be blackholed (calls fail
+// immediately) or delayed (calls sleep before dispatch), and the rules
+// can change while connections are open — every Call consults the
+// current rule set, so a partition can begin and heal mid-connection.
+//
+// Rules are keyed by DESTINATION address only, which is exactly the
+// asymmetry a one-directional partition needs: blocking a server's
+// addresses makes it unreachable by everyone while its own outbound
+// dials (which target OTHER addresses) still succeed — the classic
+// "can talk but can't be talked to" failure the chaos scenario matrix
+// injects (internal/cluster).
+//
+// Listen passes through untouched: a blocked server keeps serving
+// whatever traffic reaches it by other paths.
+type Faults struct {
+	Inner Network
+
+	mu      sync.RWMutex
+	blocked map[string]bool
+	delays  map[string]time.Duration
+}
+
+// NewFaults wraps inner with an empty rule set.
+func NewFaults(inner Network) *Faults {
+	return &Faults{
+		Inner:   inner,
+		blocked: make(map[string]bool),
+		delays:  make(map[string]time.Duration),
+	}
+}
+
+// Block blackholes every future call to the given addresses.
+func (f *Faults) Block(addrs ...string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range addrs {
+		f.blocked[a] = true
+	}
+}
+
+// Unblock lifts the blackhole on the given addresses.
+func (f *Faults) Unblock(addrs ...string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range addrs {
+		delete(f.blocked, a)
+	}
+}
+
+// SetDelay injects d of extra latency before every call to addr
+// (zero removes the rule).
+func (f *Faults) SetDelay(addr string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d <= 0 {
+		delete(f.delays, addr)
+		return
+	}
+	f.delays[addr] = d
+}
+
+// Clear removes every rule, healing all injected faults.
+func (f *Faults) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blocked = make(map[string]bool)
+	f.delays = make(map[string]time.Duration)
+}
+
+// rules reports the current fault state for one destination.
+func (f *Faults) rules(addr string) (blocked bool, delay time.Duration) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.blocked[addr], f.delays[addr]
+}
+
+// Listen implements Network by delegating to the inner network.
+func (f *Faults) Listen(addr string, h Handler) (io.Closer, error) {
+	return f.Inner.Listen(addr, h)
+}
+
+// Dial implements Network; calls on the returned Conn consult the
+// fault rules for the dialed address at call time. Dialing a blocked
+// address fails immediately, like a dropped SYN.
+func (f *Faults) Dial(addr string) (Conn, error) {
+	if blocked, _ := f.rules(addr); blocked {
+		return nil, fmt.Errorf("transport: fault injected: %s unreachable", addr)
+	}
+	c, err := f.Inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{inner: c, net: f, addr: addr}, nil
+}
+
+type faultConn struct {
+	inner Conn
+	net   *Faults
+	addr  string
+}
+
+func (c *faultConn) Call(req []byte) ([]byte, error) {
+	blocked, delay := c.net.rules(c.addr)
+	if blocked {
+		return nil, fmt.Errorf("transport: fault injected: %s unreachable", c.addr)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.inner.Call(req)
+}
+
+func (c *faultConn) Close() error { return c.inner.Close() }

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultsBlockAndHeal(t *testing.T) {
+	inner := NewInProc()
+	f := NewFaults(inner)
+	if _, err := f.Listen("srv", HandlerFunc(func(req []byte) ([]byte, error) {
+		return append([]byte("ok:"), req...), nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if resp, err := c.Call([]byte("a")); err != nil || string(resp) != "ok:a" {
+		t.Fatalf("pre-fault call = %q, %v", resp, err)
+	}
+
+	// Rules apply to ALREADY-OPEN connections: block mid-connection.
+	f.Block("srv")
+	if _, err := c.Call([]byte("b")); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("blocked call should fail with unreachable, got %v", err)
+	}
+	if _, err := f.Dial("srv"); err == nil {
+		t.Fatal("dialing a blocked address should fail")
+	}
+
+	// Healing restores the same connection.
+	f.Unblock("srv")
+	if resp, err := c.Call([]byte("c")); err != nil || string(resp) != "ok:c" {
+		t.Fatalf("healed call = %q, %v", resp, err)
+	}
+}
+
+func TestFaultsDelayIsPerAddress(t *testing.T) {
+	inner := NewInProc()
+	f := NewFaults(inner)
+	echo := HandlerFunc(func(req []byte) ([]byte, error) { return req, nil })
+	for _, addr := range []string{"slow", "fast"} {
+		if _, err := f.Listen(addr, echo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow, err := f.Dial("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	fast, err := f.Dial("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+
+	f.SetDelay("slow", 30*time.Millisecond)
+	start := time.Now()
+	if _, err := slow.Call(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delayed call took %v, want >= 30ms", d)
+	}
+	start = time.Now()
+	if _, err := fast.Call(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("undelayed address took %v", d)
+	}
+
+	f.Clear()
+	start = time.Now()
+	if _, err := slow.Call(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("Clear did not lift the delay (took %v)", d)
+	}
+}
