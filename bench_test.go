@@ -362,6 +362,98 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkObserverReadScaling measures read throughput as non-voting
+// observers join a fixed 3-voter ensemble (DESIGN.md §13). Under
+// injected network latency each replica is connection-capacity bound,
+// so the client population scales with the replica count
+// (workersPerReplica × (voters + observers), each worker holding its
+// own policy-routed read handle): adding observers should grow read
+// throughput near-linearly — the paper's Fig 7d read curve extended
+// past the voting ensemble — because observers never touch quorum
+// math. observers=0 is the baseline: the same router spreading reads
+// across voters only.
+func BenchmarkObserverReadScaling(b *testing.B) {
+	const (
+		workersPerReplica = 6
+		voters            = 3
+		opsPerWorker      = 30
+		paths             = 64
+		netRTT            = 500 * time.Microsecond
+	)
+	for _, observers := range []int{0, 1, 2, 4} {
+		observers := observers
+		b.Run(fmt.Sprintf("observers=%d", observers), func(b *testing.B) {
+			c, err := cluster.Start(cluster.Config{
+				Name: fmt.Sprintf("bench-obs-%d-%d", observers, rand.Int()),
+				Net: &transport.Latency{
+					Inner: transport.NewInProc(),
+					Delay: func() time.Duration { return netRTT },
+				},
+				CoordServers:   voters,
+				CoordObservers: observers,
+				Backends:       1,
+				Kind:           cluster.MemFS,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Stop)
+			seed, err := c.ConnectCoord(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { seed.Close() })
+			if _, err := seed.Create("/bench", nil, znode.ModePersistent); err != nil {
+				b.Fatal(err)
+			}
+			for p := 0; p < paths; p++ {
+				if _, err := seed.Create(fmt.Sprintf("/bench/f%02d", p), []byte("obs-bench"), znode.ModePersistent); err != nil {
+					b.Fatal(err)
+				}
+			}
+			workers := workersPerReplica * (voters + observers)
+			routers := make([]*coord.ReadRouter, workers)
+			for w := 0; w < workers; w++ {
+				r, err := c.ConnectCoordRead(coord.ReadAny, 0, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				routers[w] = r
+				b.Cleanup(func() { r.Close() })
+			}
+			// Let the routers' first health probes land so reads spread
+			// across the full replica set from the first iteration.
+			time.Sleep(20 * time.Millisecond)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, workers)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for j := 0; j < opsPerWorker; j++ {
+							p := fmt.Sprintf("/bench/f%02d", (w*opsPerWorker+j)%paths)
+							if _, _, err := routers[w].Get(p); err != nil {
+								errs[w] = err
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			total := float64(b.N) * float64(workers) * opsPerWorker
+			b.ReportMetric(total/b.Elapsed().Seconds(), "vops/s")
+		})
+	}
+}
+
 // BenchmarkGroupCommit measures coordination write throughput under
 // injected network latency as concurrent sessions grow, comparing the
 // group-commit pipeline (DESIGN.md §9) against the serialized

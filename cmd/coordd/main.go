@@ -33,6 +33,19 @@
 // serves shard 0 peers on 7101 and clients on 7201, shard 1 on
 // 7111/7211, shard 2 on 7121/7221, shard 3 on 7131/7231. Checkpoint
 // files get a ".s<shard>" suffix.
+//
+// With -observer the process joins the ensemble as a NON-VOTING
+// observer replica instead: it tails the leader's committed log (over
+// the same -peers addresses, which stay the voters'), serves reads
+// from its local replica, and proxies writes to the leader. Observers
+// never vote and never slow the write quorum — they are pure read
+// capacity. Pick an -id disjoint from the voters' (convention: 101+):
+//
+//	coordd -observer -id 101 -peers 1=h1:7101,2=h2:7102,3=h3:7103 -client h4:7204
+//
+// Observers are diskless by design (-data-dir/-checkpoint are
+// rejected): a restarted observer rebuilds itself from a leader
+// snapshot.
 package main
 
 import (
@@ -51,6 +64,7 @@ import (
 	"time"
 
 	"repro/internal/coord"
+	"repro/internal/coord/observer"
 	"repro/internal/transport"
 )
 
@@ -66,13 +80,18 @@ func main() {
 	interval := flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint period")
 	shards := flag.Int("shards", 1, "number of independent ensembles this process serves a member of")
 	stride := flag.Int("shard-stride", 10, "port offset between consecutive shards")
+	observerMode := flag.Bool("observer", false, "join as a non-voting observer replica: -peers lists the voters, -id must be disjoint from theirs")
 	flag.Parse()
 
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
 		log.Fatalf("coordd: %v", err)
 	}
-	if *id == 0 || peers[*id] == "" {
+	if *observerMode {
+		if *id == 0 || peers[*id] != "" {
+			log.Fatalf("coordd: observer -id %d must be nonzero and disjoint from the voter IDs in -peers", *id)
+		}
+	} else if *id == 0 || peers[*id] == "" {
 		log.Fatalf("coordd: -id %d not present in -peers", *id)
 	}
 	if *clientAddr == "" {
@@ -80,6 +99,13 @@ func main() {
 	}
 	if *shards < 1 {
 		log.Fatalf("coordd: -shards must be >= 1, got %d", *shards)
+	}
+	if *observerMode && (*dataDir != "" || *checkpoint != "") {
+		log.Fatal("coordd: observers are diskless; -data-dir/-checkpoint do not apply in -observer mode")
+	}
+	if *observerMode {
+		runObservers(*id, peers, *clientAddr, *shards, *stride)
+		return
 	}
 	if *dataDir != "" && *checkpoint != "" {
 		log.Printf("coordd: -checkpoint is deprecated and ignored with -data-dir; the storage engine subsumes it")
@@ -148,6 +174,48 @@ func main() {
 			}
 			return
 		}
+	}
+}
+
+// runObservers boots one non-voting observer replica per shard (same
+// per-shard port derivation as voter mode) and blocks until a
+// shutdown signal. Observers keep no durable state, so shutdown is
+// just closing the listeners — a restart rebuilds from a leader
+// snapshot.
+func runObservers(id uint64, voters map[uint64]string, clientAddr string, shards, stride int) {
+	var servers []*observer.Server
+	for s := 0; s < shards; s++ {
+		shardVoters := make(map[uint64]string, len(voters))
+		for pid, addr := range voters {
+			a, err := offsetAddr(addr, s*stride)
+			if err != nil {
+				log.Fatalf("coordd: shard %d voter %d: %v", s, pid, err)
+			}
+			shardVoters[pid] = a
+		}
+		shardClient, err := offsetAddr(clientAddr, s*stride)
+		if err != nil {
+			log.Fatalf("coordd: shard %d client addr: %v", s, err)
+		}
+		srv, err := observer.NewServer(observer.Config{
+			ID:         id,
+			Voters:     shardVoters,
+			ClientAddr: shardClient,
+			Net:        transport.TCP{},
+		})
+		if err != nil {
+			log.Fatalf("coordd: shard %d observer: %v", s, err)
+		}
+		servers = append(servers, srv)
+		log.Printf("coordd: shard %d observer %d up (non-voting), tailing voters=%v, clients on %s",
+			s, id, shardVoters, shardClient)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("coordd: %v, shutting down", sig)
+	for _, srv := range servers {
+		srv.Stop()
 	}
 }
 

@@ -42,15 +42,17 @@ func main() {
 	shards := flag.Int("shards", 1, "independent coordination ensembles to partition the namespace across")
 	kind := flag.String("kind", "lustre", "back-end kind: lustre, pvfs, memfs")
 	dataDir := flag.String("data-dir", "", "durable coordination storage directory (WAL + snapshots); status then shows the durable horizon")
+	observers := flag.Int("observers", 0, "non-voting observer replicas per shard; status shows each one's replication lag")
 	flag.Parse()
 
 	c, err := cluster.Start(cluster.Config{
-		Name:         "dufsctl",
-		CoordServers: *coordServers,
-		CoordShards:  *shards,
-		Backends:     *backends,
-		Kind:         cluster.BackendKind(*kind),
-		CoordDataDir: *dataDir,
+		Name:           "dufsctl",
+		CoordServers:   *coordServers,
+		CoordShards:    *shards,
+		CoordObservers: *observers,
+		Backends:       *backends,
+		Kind:           cluster.BackendKind(*kind),
+		CoordDataDir:   *dataDir,
 	})
 	if err != nil {
 		log.Fatalf("dufsctl: %v", err)
@@ -81,7 +83,7 @@ func main() {
 			return
 		}
 		if args[0] == "status" {
-			if err := status(cl.Session); err != nil {
+			if err := status(c, cl.Session, *shards, *observers); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
 			continue
@@ -149,26 +151,52 @@ func watchZnode(sess coord.Client, zp string, n int, out io.Writer) error {
 }
 
 // status prints the coordination service's view of itself — per shard
-// when the handle is a router, as a single line otherwise.
-func status(sess coord.Client) error {
+// when the handle is a router, as a single line otherwise — followed
+// by each shard's observer tier and its replication lag.
+func status(c *cluster.Cluster, sess coord.Client, shards, observers int) error {
 	if r, ok := sess.(*shard.Router); ok {
 		sts, err := r.ShardStatus()
 		if err != nil {
 			return err
 		}
 		for i, st := range sts {
-			fmt.Printf("shard %d: server=%d leader=%d epoch=%d znodes=%d%s\n",
-				i, st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st))
+			fmt.Printf("shard %d: server=%d leader=%d epoch=%d znodes=%d%s%s\n",
+				i, st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st), observerFeedStatus(st))
 		}
-		return nil
+	} else {
+		st, err := sess.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server=%d leader=%d epoch=%d znodes=%d%s%s\n",
+			st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st), observerFeedStatus(st))
 	}
-	st, err := sess.Status()
-	if err != nil {
-		return err
+	for s := 0; s < shards; s++ {
+		for i := 0; i < observers; i++ {
+			obs := c.Observer(s, i)
+			if obs == nil {
+				fmt.Printf("shard %d observer %d: down\n", s, i)
+				continue
+			}
+			fmt.Printf("shard %d observer %d: id=%d applied=%x lag_txns=%d znodes=%d snapshot_installs=%d\n",
+				s, i, obs.ID(), obs.LastApplied(), obs.LagTxns(), obs.Znodes(), obs.SnapshotInstalls())
+		}
 	}
-	fmt.Printf("server=%d leader=%d epoch=%d znodes=%d%s\n",
-		st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st))
 	return nil
+}
+
+// observerFeedStatus renders the per-observer lag a leader reports in
+// its status reply (empty on followers and observer-free ensembles).
+func observerFeedStatus(st coord.Status) string {
+	if len(st.Observers) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, o := range st.Observers {
+		fmt.Fprintf(&b, " observer[%d].applied=%x observer[%d].lag_txns=%d observer[%d].lag_ms=%d",
+			o.ID, o.AppliedZxid, o.ID, o.LagTxns, o.ID, o.LagMS)
+	}
+	return b.String()
 }
 
 // storageStatus renders the durable-storage fields of a status reply;

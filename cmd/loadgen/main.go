@@ -10,6 +10,7 @@
 //	loadgen -rate 500 -duration 5s -sessions 4
 //	loadgen -rate 500 -mix 'create=60,stat=30,readdir=10' -arrival uniform
 //	loadgen -closed                  # closed-loop comparison run
+//	loadgen -observers 2 -read-from observer   # reads on the observer tier
 //	loadgen -scenario leader-kill    # one chaos cell
 //	loadgen -scenario all -scale 2   # whole matrix, stretched 2x
 //	loadgen -json BENCH_loadgen.json -max-p99 500ms
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/coord"
 	"repro/internal/loadgen"
 )
 
@@ -42,6 +44,8 @@ func main() {
 	keys := flag.Int("keys", 64, "pre-created keys per directory (stat/set keyspace)")
 	coord := flag.Int("coord", 3, "coordination ensemble size")
 	shards := flag.Int("shards", 1, "coordination shards (ensembles)")
+	observers := flag.Int("observers", 0, "non-voting observer replicas (single shard only)")
+	readFrom := flag.String("read-from", "", "read routing policy: leader, observer, any or nearest (empty = plain sessions)")
 	opTimeout := flag.Duration("op-timeout", 5*time.Second, "per-operation timeout")
 	seed := flag.Int64("seed", 1, "deterministic schedule seed")
 	closed := flag.Bool("closed", false, "run the closed-loop generator instead (comparison)")
@@ -93,6 +97,7 @@ func main() {
 			rate: *rate, duration: *duration, sessions: *sessions,
 			mixSpec: *mixSpec, arrival: *arrival, dirs: *dirs, hot: *hot,
 			keys: *keys, coord: *coord, shards: *shards,
+			observers: *observers, readFrom: *readFrom,
 			opTimeout: *opTimeout, seed: *seed, closed: *closed,
 		})
 		out.Runs = append(out.Runs, res)
@@ -138,6 +143,8 @@ type loadCfg struct {
 	keys      int
 	coord     int
 	shards    int
+	observers int
+	readFrom  string
 	opTimeout time.Duration
 	seed      int64
 	closed    bool
@@ -152,12 +159,16 @@ func runLoad(ctx context.Context, c loadCfg) *loadgen.Result {
 	if c.arrival == string(loadgen.Uniform) {
 		arr = loadgen.Uniform
 	}
+	if c.readFrom != "" && c.shards > 1 {
+		log.Fatal("-read-from needs a single coordination shard (policy-routed reads don't cross the shard router)")
+	}
 	cl, err := cluster.Start(cluster.Config{
-		Name:         "loadgen",
-		CoordServers: c.coord,
-		CoordShards:  c.shards,
-		Backends:     1,
-		Kind:         cluster.MemFS,
+		Name:           "loadgen",
+		CoordServers:   c.coord,
+		CoordShards:    c.shards,
+		CoordObservers: c.observers,
+		Backends:       1,
+		Kind:           cluster.MemFS,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -184,8 +195,25 @@ func runLoad(ctx context.Context, c loadCfg) *loadgen.Result {
 	if err := loadgen.Prepare(ctx, prep, cfg); err != nil {
 		log.Fatal(err)
 	}
+	var readCounters *coord.ReadCounters
 	var targets []loadgen.Target
 	for i := 0; i < c.sessions; i++ {
+		if c.readFrom != "" {
+			// Policy-routed sessions: reads follow -read-from across
+			// the voter/observer tiers, writes stay on the voters. The
+			// shared counters record which tier actually served each
+			// read — that split lands in BENCH_loadgen.json.
+			if readCounters == nil {
+				readCounters = &coord.ReadCounters{}
+			}
+			r, err := cl.ConnectCoordRead(coord.ReadPolicy(c.readFrom), 0, readCounters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer r.Close()
+			targets = append(targets, loadgen.NewClientTarget(r))
+			continue
+		}
 		s, err := cl.ConnectCoord(i)
 		if err != nil {
 			log.Fatal(err)
@@ -200,6 +228,10 @@ func runLoad(ctx context.Context, c loadCfg) *loadgen.Result {
 	res, err := run(ctx, cfg, targets)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if c.readFrom != "" {
+		res.ReadFrom = c.readFrom
+		res.ReadSplit = readCounters.Split()
 	}
 	missing, err := loadgen.VerifyAcked(ctx, prep, res.AckedPaths)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/backend/memfs"
 	"repro/internal/backend/pvfs"
 	"repro/internal/coord"
+	"repro/internal/coord/observer"
 	"repro/internal/coord/shard"
 	"repro/internal/coord/zab"
 	"repro/internal/core"
@@ -66,9 +67,19 @@ type Config struct {
 	LustreDelay func(op uint8) time.Duration
 	PVFSDelay   func(op uint8) time.Duration
 
+	// CoordObservers is the size of each shard's non-voting observer
+	// tier (default 0): log-shipped replicas that serve reads but never
+	// vote, so they scale read throughput without slowing writes. Use
+	// ConnectCoordRead to open a policy-routed read handle over them.
+	CoordObservers int
+
 	// Coord tunables (zero = package defaults).
 	HeartbeatInterval time.Duration
 	ElectionTimeout   time.Duration
+	// CoordMaxLogEntries caps each member's in-memory log before
+	// truncation (zero = the zab default). Chaos scenarios shrink it to
+	// force lagging replicas through the snapshot catch-up path.
+	CoordMaxLogEntries int
 
 	// CoordDataDir, when non-empty, gives every coordination server a
 	// durable storage engine under
@@ -98,6 +109,10 @@ type Cluster struct {
 	// Ensembles holds every coordination shard, Ensembles[0] ==
 	// Ensemble.
 	Ensembles []*coord.Ensemble
+
+	// observers[shard] is that shard's observer tier; a stopped slot
+	// keeps its config (and address) so StartObserver can revive it.
+	observers [][]*observerSlot
 
 	lustres []*lustre.Instance
 	pvfses  []*pvfs.Instance
@@ -159,6 +174,7 @@ func Start(cfg Config) (*Cluster, error) {
 			AddrPrefix:        fmt.Sprintf("%s-coord%d", cfg.Name, s),
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			ElectionTimeout:   cfg.ElectionTimeout,
+			MaxLogEntries:     cfg.CoordMaxLogEntries,
 			SyncEvery:         cfg.CoordSyncEvery,
 		}
 		if cfg.CoordDataDir != "" {
@@ -180,6 +196,16 @@ func Start(cfg Config) (*Cluster, error) {
 		c.Ensembles = append(c.Ensembles, ens)
 	}
 	c.Ensemble = c.Ensembles[0]
+
+	c.observers = make([][]*observerSlot, cfg.CoordShards)
+	for s := 0; s < cfg.CoordShards; s++ {
+		for o := 0; o < cfg.CoordObservers; o++ {
+			if _, err := c.AddObserver(s); err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("cluster: observer %d of shard %d: %w", o, s, err)
+			}
+		}
+	}
 
 	for b := 0; b < cfg.Backends; b++ {
 		switch cfg.Kind {
@@ -343,6 +369,110 @@ func (c *Cluster) RestartCoord() error {
 // LustreInstances exposes the running Lustre back-ends (tests).
 func (c *Cluster) LustreInstances() []*lustre.Instance { return c.lustres }
 
+// --- observer tier ----------------------------------------------------
+
+// observerSlot is one observer position in a shard's tier. The config
+// survives StopObserver so the slot can be revived in place — the
+// kill-and-restart path of the chaos matrix.
+type observerSlot struct {
+	cfg observer.Config
+	srv *observer.Server // nil while stopped
+}
+
+// observerBaseID keeps observer feed IDs disjoint from voter IDs
+// (voters are 1..CoordServers; no practical ensemble reaches 100).
+const observerBaseID = 100
+
+// AddObserver boots one more observer replica on shard s and returns
+// its 0-based index within the tier. The observer starts catching up
+// (snapshot first, then streamed frames) immediately.
+func (c *Cluster) AddObserver(s int) (int, error) {
+	idx := len(c.observers[s])
+	slot := &observerSlot{cfg: observer.Config{
+		ID:         uint64(observerBaseID + idx + 1),
+		Voters:     c.Ensembles[s].PeerAddrs(),
+		ClientAddr: fmt.Sprintf("%s-coord%d-obs-client-%d", c.cfg.Name, s, idx+1),
+		Net:        c.net,
+	}}
+	srv, err := observer.NewServer(slot.cfg)
+	if err != nil {
+		return 0, err
+	}
+	slot.srv = srv
+	c.observers[s] = append(c.observers[s], slot)
+	return idx, nil
+}
+
+// StopObserver kills observer (s, idx), keeping its slot for
+// StartObserver. Clients reading from it fail over to other replicas;
+// nothing replicated is lost — the replica was a read-only copy.
+func (c *Cluster) StopObserver(s, idx int) {
+	if slot := c.observers[s][idx]; slot.srv != nil {
+		slot.srv.Stop()
+		slot.srv = nil
+	}
+}
+
+// StartObserver revives observer (s, idx) at its original address.
+// The replica restarts empty and rebuilds itself from a leader
+// snapshot — observers are diskless by design.
+func (c *Cluster) StartObserver(s, idx int) error {
+	slot := c.observers[s][idx]
+	if slot.srv != nil {
+		return fmt.Errorf("cluster: observer %d/%d already running", s, idx)
+	}
+	srv, err := observer.NewServer(slot.cfg)
+	if err != nil {
+		return err
+	}
+	slot.srv = srv
+	return nil
+}
+
+// Observer returns the running observer server (s, idx), or nil while
+// the slot is stopped.
+func (c *Cluster) Observer(s, idx int) *observer.Server {
+	return c.observers[s][idx].srv
+}
+
+// ObserverAddr returns observer (s, idx)'s client address — what a
+// fault injector blocks to partition the observer from its readers.
+func (c *Cluster) ObserverAddr(s, idx int) string {
+	return c.observers[s][idx].cfg.ClientAddr
+}
+
+// ObserverAddrs lists shard s's observer client addresses (stopped
+// slots included: routers probe health themselves).
+func (c *Cluster) ObserverAddrs(s int) []string {
+	if s >= len(c.observers) {
+		return nil
+	}
+	addrs := make([]string, 0, len(c.observers[s]))
+	for _, slot := range c.observers[s] {
+		addrs = append(addrs, slot.cfg.ClientAddr)
+	}
+	return addrs
+}
+
+// ConnectCoordRead opens a policy-routed read handle over shard 0's
+// voters and observer tier: reads follow the policy (leader-lease,
+// observer-first, any, nearest), writes and sync barriers use the
+// embedded voter session. Only single-shard clusters route reads this
+// way — the shard router owns multi-shard fan-out.
+func (c *Cluster) ConnectCoordRead(policy coord.ReadPolicy, maxLagTxns uint64, counters *coord.ReadCounters) (*coord.ReadRouter, error) {
+	if len(c.Ensembles) != 1 {
+		return nil, fmt.Errorf("cluster: policy-routed reads need a single coordination shard, have %d", len(c.Ensembles))
+	}
+	return coord.NewReadRouter(coord.RouterConfig{
+		Net:        c.net,
+		Voters:     append([]string(nil), c.Ensemble.ClientAddrs...),
+		Observers:  c.ObserverAddrs(0),
+		Policy:     policy,
+		MaxLagTxns: maxLagTxns,
+		Counters:   counters,
+	})
+}
+
 // Stop closes every client and shuts every server down.
 func (c *Cluster) Stop() {
 	for _, cl := range c.clients {
@@ -353,6 +483,14 @@ func (c *Cluster) Stop() {
 	}
 	for _, inst := range c.pvfses {
 		inst.Stop()
+	}
+	for _, tier := range c.observers {
+		for _, slot := range tier {
+			if slot.srv != nil {
+				slot.srv.Stop()
+				slot.srv = nil
+			}
+		}
 	}
 	for _, ens := range c.Ensembles {
 		ens.Stop()

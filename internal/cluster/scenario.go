@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/loadgen"
 	"repro/internal/transport"
 )
@@ -41,6 +42,15 @@ const (
 	// FaultRestartAll cold-restarts every coordination member from disk
 	// mid-load (requires a durable scenario).
 	FaultRestartAll FaultKind = "restart-all"
+	// FaultObserverPartition cuts one observer replica off mid-load:
+	// its client address is blocked (readers can't reach it) and its
+	// log tail is stalled (it stops replicating). Victim is the
+	// 0-based observer index. Reads routed observer-first must fail
+	// over to the voters inside the SLO; after the heal the observer
+	// catches back up — through a snapshot install when the leader has
+	// truncated past its tail (the scenario shrinks MaxLogEntries to
+	// force exactly that).
+	FaultObserverPartition FaultKind = "observer-partition"
 )
 
 // Victim selectors for Fault.Victim (non-negative = explicit member
@@ -91,6 +101,16 @@ type Scenario struct {
 	// Durable gives every member a disk-backed storage engine (needed
 	// by slow-disk and restart-all).
 	Durable bool `json:"durable,omitempty"`
+	// Observers sizes the non-voting observer tier (default 0).
+	Observers int `json:"observers,omitempty"`
+	// ReadFrom, when non-empty, routes the load's reads by policy
+	// ("leader" / "observer" / "any" / "nearest") through a
+	// coord.ReadRouter instead of the plain per-session replica.
+	ReadFrom string `json:"read_from,omitempty"`
+	// MaxLogEntries shrinks the members' in-memory log bound so a
+	// stalled replica falls behind the truncation horizon and must
+	// catch up by snapshot (0 = default bound).
+	MaxLogEntries int `json:"max_log_entries,omitempty"`
 }
 
 // ScenarioResult is the machine-readable outcome of one scenario run.
@@ -210,6 +230,21 @@ func Matrix() []Scenario {
 			Faults:  []Fault{{Kind: FaultRestartAll, At: 800 * time.Millisecond}},
 			SLO:     SLO{MaxP99: 3 * time.Second, MaxErrorFrac: 0.5, MinAchievedFrac: 0.2},
 		},
+		{
+			Name:      "observer-partition",
+			Load:      base("observer-partition", 9),
+			Observers: 2,
+			ReadFrom:  "observer",
+			// A tight log bound so the stalled observer falls behind the
+			// truncation horizon and must rejoin by snapshot install.
+			MaxLogEntries: 8,
+			Faults:        []Fault{{Kind: FaultObserverPartition, At: 500 * time.Millisecond, Duration: 900 * time.Millisecond, Victim: 0}},
+			// Reads routed observer-first ride the router's bounded
+			// attempt onto the healthy observer (and the voters) while
+			// the victim is dark; writes never touch observers at all,
+			// so the write path must not feel the fault.
+			SLO: SLO{MaxP99: 800 * time.Millisecond, MaxErrorFrac: 0.05, MinAchievedFrac: 0.7},
+		},
 	}
 }
 
@@ -245,13 +280,15 @@ func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResu
 	fnet := transport.NewFaults(transport.NewInProc())
 	chaos := NewDiskChaos()
 	ccfg := Config{
-		Name:              "chaos-" + sc.Name,
-		Net:               fnet,
-		CoordServers:      sc.CoordMembers,
-		Backends:          1,
-		Kind:              MemFS,
-		HeartbeatInterval: 10 * time.Millisecond,
-		ElectionTimeout:   80 * time.Millisecond,
+		Name:               "chaos-" + sc.Name,
+		Net:                fnet,
+		CoordServers:       sc.CoordMembers,
+		CoordObservers:     sc.Observers,
+		CoordMaxLogEntries: sc.MaxLogEntries,
+		Backends:           1,
+		Kind:               MemFS,
+		HeartbeatInterval:  10 * time.Millisecond,
+		ElectionTimeout:    80 * time.Millisecond,
 	}
 	if sc.Durable {
 		dir, err := os.MkdirTemp("", "chaos-"+sc.Name+"-")
@@ -280,8 +317,21 @@ func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResu
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	var targets []loadgen.Target
+	var readCounters *coord.ReadCounters
 	for i := 0; i < sc.Sessions; i++ {
-		s, err := cl.ConnectCoord(i)
+		var s coord.Client
+		var err error
+		if sc.ReadFrom != "" {
+			// Policy-routed reads: each session drives a ReadRouter so
+			// the scenario's stat/readdir load actually lands on the
+			// tier under test (and fails over when it is faulted).
+			if readCounters == nil {
+				readCounters = &coord.ReadCounters{}
+			}
+			s, err = cl.ConnectCoordRead(coord.ReadPolicy(sc.ReadFrom), 0, readCounters)
+		} else {
+			s, err = cl.ConnectCoord(i)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: session %d: %w", sc.Name, i, err)
 		}
@@ -324,6 +374,30 @@ func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResu
 		return nil, fmt.Errorf("scenario %s: no leader after faults: %w", sc.Name, err)
 	}
 	res.Load = *result
+	if sc.ReadFrom != "" {
+		res.Load.ReadFrom = sc.ReadFrom
+		res.Load.ReadSplit = readCounters.Split()
+	}
+
+	// Every observer must converge back onto the leader's commit
+	// horizon after the heal — by streamed frames if its tail survived
+	// truncation, by snapshot install otherwise.
+	for idx := 0; idx < sc.Observers; idx++ {
+		obs := cl.Observer(0, idx)
+		if obs == nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("observer %d not running after heal", idx))
+			continue
+		}
+		target := cl.Ensemble.Leader().CommitZxid()
+		deadline := time.Now().Add(5 * time.Second)
+		for obs.LastApplied() < target && time.Now().Before(deadline) && ctx.Err() == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := obs.LastApplied(); got < target {
+			res.Violations = append(res.Violations, fmt.Sprintf("observer %d stuck at zxid %x, leader committed %x", idx, got, target))
+		}
+		logf("observer %d caught up to %x (snapshot installs: %d)", idx, obs.LastApplied(), obs.SnapshotInstalls())
+	}
 
 	vs, err := cl.ConnectCoord(-1)
 	if err != nil {
@@ -458,6 +532,28 @@ func runFault(ctx context.Context, cl *Cluster, fnet *transport.Faults, chaos *D
 			}
 		}
 		mu.Unlock()
+	case FaultObserverPartition:
+		idx := f.Victim
+		if idx < 0 {
+			idx = 0
+		}
+		addr := cl.ObserverAddr(f.Shard, idx)
+		obs := cl.Observer(f.Shard, idx)
+		// Readers can't reach it, and it stops replicating: the
+		// observer is dark on both planes. (Its tail is pull-based over
+		// outbound connections, so the replication stall is injected at
+		// the tail loop rather than the transport.)
+		fnet.Block(addr)
+		if obs != nil {
+			obs.SetPaused(true)
+		}
+		logf("observer-partition: observer %d dark (%s)", idx, addr)
+		sleepUntil(ctx, start.Add(f.At+f.Duration))
+		fnet.Unblock(addr)
+		if obs != nil {
+			obs.SetPaused(false)
+		}
+		logf("observer-partition: observer %d healed", idx)
 	case FaultRestartAll:
 		mu.Lock()
 		err := cl.RestartCoord()

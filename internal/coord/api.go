@@ -41,6 +41,14 @@ const (
 	// request until a watch fires for the session or the carried
 	// timeout expires. Client-local (never replicated).
 	opWaitEvents
+	// opLeaseRead wraps one read op (opGet/opExists/opChildren/
+	// opChildrenData follows as the payload) with a leader-lease check:
+	// the server answers from its local replica ONLY while it holds the
+	// clock-skew-bounded read lease, making the read linearizable
+	// without a quorum round trip; otherwise it returns ErrNoLease and
+	// the client falls back (re-locate the leader, or a sync barrier).
+	// Client-local (never replicated).
+	opLeaseRead
 )
 
 // Status codes carried in replies. They replicate deterministically as
@@ -56,6 +64,7 @@ const (
 	codeNoParent
 	codeRolledBack
 	codeOther
+	codeNoLease
 )
 
 // Error values surfaced to DUFS. They intentionally mirror the znode
@@ -70,6 +79,12 @@ var (
 	// ErrRolledBack marks a Multi op that was undone (or never ran)
 	// because a sibling op in the same atomic batch failed.
 	ErrRolledBack = znode.ErrRolledBack
+	// ErrNoLease is returned for a lease read served by a node that
+	// does not currently hold the leader read lease (not the leader,
+	// or deposed, or its heartbeat-funded deadline expired). The read
+	// was NOT served; the caller must retry elsewhere or fall back to
+	// a sync barrier.
+	ErrNoLease = errors.New("coord: no read lease held")
 )
 
 func codeForError(err error) uint8 {
@@ -90,6 +105,8 @@ func codeForError(err error) uint8 {
 		return codeNoParent
 	case errors.Is(err, znode.ErrRolledBack):
 		return codeRolledBack
+	case errors.Is(err, ErrNoLease):
+		return codeNoLease
 	default:
 		return codeOther
 	}
@@ -113,6 +130,8 @@ func errorForCode(code uint8, detail string) error {
 		return ErrNoParent
 	case codeRolledBack:
 		return ErrRolledBack
+	case codeNoLease:
+		return ErrNoLease
 	default:
 		if detail == "" {
 			detail = "unknown coordination error"

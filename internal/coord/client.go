@@ -302,6 +302,15 @@ func (s *Session) GetCtx(ctx context.Context, path string) ([]byte, znode.Stat, 
 	if err != nil {
 		return nil, znode.Stat{}, err
 	}
+	return decodeGetReply(payload)
+}
+
+// Get returns the znode's data and stat with the background context.
+func (s *Session) Get(path string) ([]byte, znode.Stat, error) {
+	return s.GetCtx(context.Background(), path)
+}
+
+func decodeGetReply(payload []byte) ([]byte, znode.Stat, error) {
 	r := wire.NewReader(payload)
 	data := r.BytesCopy32()
 	stat := decodeStat(r)
@@ -309,11 +318,6 @@ func (s *Session) GetCtx(ctx context.Context, path string) ([]byte, znode.Stat, 
 		return nil, znode.Stat{}, fmt.Errorf("coord: malformed get reply: %w", err)
 	}
 	return data, stat, nil
-}
-
-// Get returns the znode's data and stat with the background context.
-func (s *Session) Get(path string) ([]byte, znode.Stat, error) {
-	return s.GetCtx(context.Background(), path)
 }
 
 // SetCtx replaces the znode's data; version -1 disables the optimistic
@@ -361,6 +365,15 @@ func (s *Session) ExistsCtx(ctx context.Context, path string) (znode.Stat, bool,
 	if err != nil {
 		return znode.Stat{}, false, err
 	}
+	return decodeExistsReply(payload)
+}
+
+// Exists returns the stat and existence with the background context.
+func (s *Session) Exists(path string) (znode.Stat, bool, error) {
+	return s.ExistsCtx(context.Background(), path)
+}
+
+func decodeExistsReply(payload []byte) (znode.Stat, bool, error) {
 	r := wire.NewReader(payload)
 	ok := r.Bool()
 	stat := decodeStat(r)
@@ -368,11 +381,6 @@ func (s *Session) ExistsCtx(ctx context.Context, path string) (znode.Stat, bool,
 		return znode.Stat{}, false, fmt.Errorf("coord: malformed exists reply: %w", err)
 	}
 	return stat, ok, nil
-}
-
-// Exists returns the stat and existence with the background context.
-func (s *Session) Exists(path string) (znode.Stat, bool, error) {
-	return s.ExistsCtx(context.Background(), path)
 }
 
 // ChildrenCtx returns the sorted child names of the znode.
@@ -384,6 +392,15 @@ func (s *Session) ChildrenCtx(ctx context.Context, path string) ([]string, error
 	if err != nil {
 		return nil, err
 	}
+	return decodeChildrenReply(payload)
+}
+
+// Children returns the sorted child names with the background context.
+func (s *Session) Children(path string) ([]string, error) {
+	return s.ChildrenCtx(context.Background(), path)
+}
+
+func decodeChildrenReply(payload []byte) ([]string, error) {
 	r := wire.NewReader(payload)
 	kids := r.StringSlice()
 	if err := r.Err(); err != nil {
@@ -392,9 +409,65 @@ func (s *Session) ChildrenCtx(ctx context.Context, path string) ([]string, error
 	return kids, nil
 }
 
-// Children returns the sorted child names with the background context.
-func (s *Session) Children(path string) ([]string, error) {
-	return s.ChildrenCtx(context.Background(), path)
+// LeaseGetCtx is GetCtx served under the leader's read lease: the
+// answer is linearizable (no stale reads, no quorum round trip) but
+// only the leader — while its quorum-funded, clock-skew-bounded lease
+// is live — will serve it. Any other member, or a deposed/expired
+// leader, returns ErrNoLease without touching its replica; the caller
+// (the read router) then re-locates the leader or falls back to
+// Sync-then-read.
+func (s *Session) LeaseGetCtx(ctx context.Context, path string) ([]byte, znode.Stat, error) {
+	w := wire.NewWriter(9 + len(path))
+	w.Uint8(opLeaseRead)
+	w.Uint8(opGet)
+	w.String(path)
+	payload, err := s.requestCtx(ctx, w.Bytes())
+	if err != nil {
+		return nil, znode.Stat{}, err
+	}
+	return decodeGetReply(payload)
+}
+
+// LeaseExistsCtx is ExistsCtx under the leader's read lease (see
+// LeaseGetCtx for the contract).
+func (s *Session) LeaseExistsCtx(ctx context.Context, path string) (znode.Stat, bool, error) {
+	w := wire.NewWriter(9 + len(path))
+	w.Uint8(opLeaseRead)
+	w.Uint8(opExists)
+	w.String(path)
+	payload, err := s.requestCtx(ctx, w.Bytes())
+	if err != nil {
+		return znode.Stat{}, false, err
+	}
+	return decodeExistsReply(payload)
+}
+
+// LeaseChildrenCtx is ChildrenCtx under the leader's read lease (see
+// LeaseGetCtx for the contract).
+func (s *Session) LeaseChildrenCtx(ctx context.Context, path string) ([]string, error) {
+	w := wire.NewWriter(9 + len(path))
+	w.Uint8(opLeaseRead)
+	w.Uint8(opChildren)
+	w.String(path)
+	payload, err := s.requestCtx(ctx, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeChildrenReply(payload)
+}
+
+// LeaseChildrenDataCtx is ChildrenDataCtx under the leader's read
+// lease (see LeaseGetCtx for the contract).
+func (s *Session) LeaseChildrenDataCtx(ctx context.Context, path string) ([]ChildEntry, error) {
+	w := wire.NewWriter(9 + len(path))
+	w.Uint8(opLeaseRead)
+	w.Uint8(opChildrenData)
+	w.String(path)
+	payload, err := s.requestCtx(ctx, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeChildrenDataReply(payload)
 }
 
 // MultiCtx applies the batch as one atomic transaction: a single
@@ -680,6 +753,27 @@ type Status struct {
 	LastDurableZxid uint64
 	WALSegments     uint64
 	FsyncBatchTxns  uint64
+
+	// Observer-tier observability. IsObserver marks a non-voting
+	// replica (it tails the committed log and never appears in quorum
+	// math); AppliedZxid is the member's replication tip; LagTxns is
+	// how far it trails the leader's commit horizon (always 0 on a
+	// voter reporting about itself). Observers lists the per-observer
+	// replication lag the leader-side feed tracks — populated only in
+	// the current leader's status.
+	IsObserver  bool
+	AppliedZxid uint64
+	LagTxns     uint64
+	Observers   []ObserverStatus
+}
+
+// ObserverStatus is one observer replica's replication state as
+// reported by the leader it polls.
+type ObserverStatus struct {
+	ID          uint64
+	AppliedZxid uint64
+	LagTxns     uint64
+	LagMS       uint64
 }
 
 // Status queries the connected server.
@@ -701,6 +795,20 @@ func (s *Session) Status() (Status, error) {
 	st.LastDurableZxid = r.Uint64()
 	st.WALSegments = r.Uint64()
 	st.FsyncBatchTxns = r.Uint64()
+	st.IsObserver = r.Bool()
+	st.AppliedZxid = r.Uint64()
+	st.LagTxns = r.Uint64()
+	n := r.Uint32()
+	if r.Err() == nil && int(n) <= r.Remaining() {
+		for i := uint32(0); i < n; i++ {
+			st.Observers = append(st.Observers, ObserverStatus{
+				ID:          r.Uint64(),
+				AppliedZxid: r.Uint64(),
+				LagTxns:     r.Uint64(),
+				LagMS:       r.Uint64(),
+			})
+		}
+	}
 	if err := r.Err(); err != nil {
 		return Status{}, fmt.Errorf("coord: malformed status reply: %w", err)
 	}

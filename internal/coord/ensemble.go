@@ -179,6 +179,20 @@ func (e *Ensemble) Restart() error {
 	return e.WaitLeader(10 * time.Second)
 }
 
+// PeerAddrs returns the voter ID → peer-traffic address map, the
+// contact list an observer replica needs to find (and follow) the
+// leader's log feed.
+func (e *Ensemble) PeerAddrs() map[uint64]string {
+	if len(e.cfgs) == 0 {
+		return nil
+	}
+	out := make(map[uint64]string, len(e.cfgs[0].PeerAddrs))
+	for id, addr := range e.cfgs[0].PeerAddrs {
+		out[id] = addr
+	}
+	return out
+}
+
 // Connect opens a session against the ensemble. preferred selects the
 // server index (sessions spread across servers, like the paper's DUFS
 // clients each talking to a co-located ZooKeeper server); a negative

@@ -1,0 +1,150 @@
+// Package observer implements the non-voting read tier of the
+// coordination service (ZooKeeper's "observer" role). An observer
+// server holds a full replica of the znode tree, kept current by
+// tailing the leader's committed log over the zab observer feed, and
+// answers the read half of the client protocol — Get, Exists,
+// Children, ChildrenData, Stat/Status — entirely locally. Writes that
+// land on an observer are proxied to the leader and acknowledged only
+// after the observer's own replica has applied them, which gives every
+// session read-your-writes no matter which tier serves its reads.
+//
+// Observers never vote, never ack proposals and never appear in
+// quorum math: adding observers scales read throughput (Fig 7d's
+// curve, extended past the voting ensemble) without touching write
+// latency. They are diskless — a restarted observer rebuilds itself
+// from a leader snapshot, exactly as it would after the leader
+// truncates its log past the observer's tail position.
+package observer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/zab"
+	"repro/internal/transport"
+)
+
+// Config describes one observer server.
+type Config struct {
+	// ID is the observer's identity in the leader's feed and its
+	// status reports. Must be disjoint from the voter IDs (by
+	// convention: voter IDs are small, observers start at 100).
+	ID uint64
+	// Voters maps the VOTING members' IDs to their peer-traffic
+	// addresses — where the observer polls for committed frames and
+	// forwards writes.
+	Voters map[uint64]string
+	// ClientAddr is where this observer accepts client sessions.
+	ClientAddr string
+	// Net is the transport for both planes.
+	Net transport.Network
+	// PollInterval is the idle tail cadence (zero = the zab default).
+	PollInterval time.Duration
+}
+
+// Server is one observer replica: a local znode tree fed by the
+// leader's committed log, plus the client-facing read pipeline.
+type Server struct {
+	cfg      Config
+	state    *coord.ObserverState
+	tail     *zab.Observer
+	clientLn io.Closer
+}
+
+// NewServer builds and starts an observer server: the log tailer
+// begins catching up (snapshot first, then streamed frames)
+// immediately, and the client listener accepts sessions right away —
+// early readers simply see an older, consistent prefix of the tree
+// until the tail closes the gap.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.ClientAddr == "" {
+		return nil, errors.New("observer: ClientAddr is required")
+	}
+	state := coord.NewObserverState()
+	tail, err := zab.NewObserver(zab.ObserverConfig{
+		ID:           cfg.ID,
+		Peers:        cfg.Voters,
+		Net:          cfg.Net,
+		PollInterval: cfg.PollInterval,
+	}, state.Machine())
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, state: state, tail: tail}
+	tail.Start()
+	ln, err := cfg.Net.Listen(cfg.ClientAddr, transport.HandlerFunc(s.handleClient))
+	if err != nil {
+		tail.Stop()
+		return nil, fmt.Errorf("observer: client listener: %w", err)
+	}
+	s.clientLn = ln
+	return s, nil
+}
+
+// Stop shuts the observer down. The voters don't notice beyond the
+// leader evicting the silent feed entry; nothing replicated is lost.
+func (s *Server) Stop() {
+	if s.clientLn != nil {
+		s.clientLn.Close()
+	}
+	s.tail.Stop()
+}
+
+// ID returns the observer's identity.
+func (s *Server) ID() uint64 { return s.cfg.ID }
+
+// LastApplied reports the replica's replication tip.
+func (s *Server) LastApplied() uint64 { return s.tail.LastApplied() }
+
+// LagTxns reports how far the replica trails the last leader commit
+// horizon it saw (a conservative zxid delta).
+func (s *Server) LagTxns() uint64 { return s.tail.LagTxns() }
+
+// SnapshotInstalls counts replica rebuilds from a shipped snapshot.
+func (s *Server) SnapshotInstalls() uint64 { return s.tail.SnapshotInstalls() }
+
+// SetPaused stalls or resumes log tailing — the replication-delay
+// injection hook for tests and chaos scenarios.
+func (s *Server) SetPaused(p bool) { s.tail.SetPaused(p) }
+
+// Tree-level read access for tests and memory accounting.
+func (s *Server) Znodes() int64 { return s.state.Tree().Count() }
+
+func (s *Server) info() coord.ReplicaInfo {
+	return coord.ReplicaInfo{
+		ID:          s.cfg.ID,
+		LeaderID:    s.tail.LeaderID(),
+		Epoch:       s.tail.Epoch(),
+		AppliedZxid: s.tail.LastApplied(),
+		LagTxns:     s.tail.LagTxns(),
+	}
+}
+
+// handleClient implements the client protocol on the observer tier.
+// Reads (and status) come straight off the local replica. Writes and
+// session ops follow one rule: forward the whole request to the
+// leader, then hold the client's ack until the local replica has
+// applied the resulting transaction. That single rule is also the
+// sync barrier — opSync forwards like any write, so when it returns,
+// this observer's tree reflects everything committed before the call
+// (ZooKeeper's sync-then-read recipe, §2.3): read-your-writes against
+// the very replica the session reads from.
+func (s *Server) handleClient(req []byte) ([]byte, error) {
+	resp, handled, err := s.state.ServeRead(req, s.info)
+	if handled {
+		return resp, err
+	}
+	result, zxid, err := s.tail.Forward(req)
+	if err != nil {
+		return nil, fmt.Errorf("observer: forwarding to leader: %w", err)
+	}
+	if zxid != 0 {
+		if err := s.tail.WaitApplied(zxid); err != nil {
+			return nil, fmt.Errorf("observer: write committed as zxid %x but local apply timed out: %w", zxid, err)
+		}
+	}
+	return result, nil
+}

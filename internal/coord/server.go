@@ -204,63 +204,30 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 		return nil, r.Err()
 	}
 	switch op {
-	case opGet:
-		path := r.String()
+	case opGet, opExists, opChildren, opChildrenData:
+		s.reg.Counter("reads").Inc()
+		return serveTreeRead(op, r, s.sm.treeRef())
+	case opLeaseRead:
+		// A lease read wraps one plain read op; it is served from the
+		// local replica ONLY while this node's leader lease — funded by
+		// quorum heartbeat acks, bounded by the clock-skew margin — is
+		// live. That makes the answer linearizable without a quorum
+		// round trip; a node that cannot vouch refuses definitively so
+		// the client can re-locate the leader or fall back to a sync
+		// barrier.
+		inner := r.Uint8()
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		s.reg.Counter("reads").Inc()
-		data, stat, err := s.sm.treeRef().Get(path)
-		if err != nil {
-			return errResult(err), nil
+		if !isTreeReadOp(inner) {
+			return nil, fmt.Errorf("coord: lease read cannot wrap op %d", inner)
 		}
-		return okResult(func(w *wire.Writer) {
-			w.Bytes32(data)
-			encodeStat(w, stat)
-		}), nil
-	case opExists:
-		path := r.String()
-		if err := r.Err(); err != nil {
-			return nil, err
+		if !s.node.HoldsReadLease() {
+			return errResult(ErrNoLease), nil
 		}
 		s.reg.Counter("reads").Inc()
-		stat, ok := s.sm.treeRef().Exists(path)
-		return okResult(func(w *wire.Writer) {
-			w.Bool(ok)
-			encodeStat(w, stat)
-		}), nil
-	case opChildren:
-		path := r.String()
-		if err := r.Err(); err != nil {
-			return nil, err
-		}
-		s.reg.Counter("reads").Inc()
-		kids, err := s.sm.treeRef().Children(path)
-		if err != nil {
-			return errResult(err), nil
-		}
-		return okResult(func(w *wire.Writer) { w.StringSlice(kids) }), nil
-	case opChildrenData:
-		path := r.String()
-		if err := r.Err(); err != nil {
-			return nil, err
-		}
-		s.reg.Counter("reads").Inc()
-		self, children, err := s.sm.treeRef().ChildrenData(path)
-		if err != nil {
-			return errResult(err), nil
-		}
-		return okResult(func(w *wire.Writer) {
-			w.Uint32(uint32(len(children) + 1))
-			w.String(".")
-			w.Bytes32(self.Data)
-			encodeStat(w, self.Stat)
-			for _, c := range children {
-				w.String(c.Name)
-				w.Bytes32(c.Data)
-				encodeStat(w, c.Stat)
-			}
-		}), nil
+		s.reg.Counter("lease_reads").Inc()
+		return serveTreeRead(inner, r, s.sm.treeRef())
 	case opStatus:
 		return okResult(func(w *wire.Writer) {
 			w.Uint64(s.cfg.ID)
@@ -282,6 +249,22 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 			w.Uint64(durable)
 			w.Uint64(segs)
 			w.Uint64(batch)
+			// Observer-tier fields (appended so old clients that stop
+			// reading here stay compatible). A voting server reports the
+			// per-observer replication lag its leader-side feed tracks;
+			// an observer replica reports its own tip instead (see
+			// ObserverState.ServeRead).
+			w.Bool(false) // this member votes
+			w.Uint64(s.node.LastApplied())
+			w.Uint64(0) // voters don't trail themselves
+			lags := s.node.ObserverLags()
+			w.Uint32(uint32(len(lags)))
+			for _, l := range lags {
+				w.Uint64(l.ID)
+				w.Uint64(l.AppliedZxid)
+				w.Uint64(l.LagTxns)
+				w.Uint64(l.LagMS)
+			}
 		}), nil
 	case opGetWatch:
 		session := r.Uint64()

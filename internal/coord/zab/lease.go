@@ -1,0 +1,61 @@
+package zab
+
+import "time"
+
+// Leader read leases.
+//
+// A leader that holds the lease may serve linearizable reads from its
+// local state machine without a quorum round trip. The lease is funded
+// by heartbeat acks: when a quorum acknowledges a heartbeat round that
+// began at time T (on the leader's clock), every acking follower has
+// reset its election timer no earlier than T, so none of them will
+// grant a leadership vote before T + ElectionTimeout on its own clock
+// (the stickiness check in handleRequestVote). Any rival's vote quorum
+// intersects this ack quorum, so no rival can be elected — and
+// therefore no write can commit elsewhere — until the earliest such
+// expiry. Discounting the bounded clock skew between members, the
+// leader may trust its state until T + ElectionTimeout - MaxClockSkew
+// on its own clock.
+//
+// The lease is revoked (leaseUntil zeroed) on every step-down path —
+// adopting a higher epoch, granting a vote while leading, the
+// quorum-loss watchdog, Stop — all of which funnel through
+// failLeaderLocked before the node stops being the leader.
+
+// leaseDeadline computes the expiry a quorum of heartbeat acks
+// gathered for a round that began at `round` supports. A skew bound at
+// or above the election timeout yields a deadline that is never in the
+// future: lease reads are effectively disabled rather than unsound.
+func leaseDeadline(round time.Time, electionTimeout, maxSkew time.Duration) time.Time {
+	margin := electionTimeout - maxSkew
+	if margin < 0 {
+		margin = 0
+	}
+	return round.Add(margin)
+}
+
+// extendLease advances the lease deadline after a quorum of heartbeat
+// acks for a round that began at `round` under `epoch`. The epoch
+// guard discards extensions that race a step-down: acks collected for
+// an older leadership cannot fund the new one.
+func (n *Node) extendLease(round time.Time, epoch uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != roleLeader || n.epoch != epoch || n.stopped {
+		return
+	}
+	if d := leaseDeadline(round, n.cfg.ElectionTimeout, n.cfg.MaxClockSkew); d.After(n.leaseUntil) {
+		n.leaseUntil = d
+	}
+}
+
+// HoldsReadLease reports whether this node may serve a linearizable
+// read locally right now: it leads, and its lease deadline — funded by
+// a quorum of heartbeat acks, discounted by the clock-skew bound — has
+// not passed. A deposed or stopped leader always reports false (the
+// lease is revoked before the role changes).
+func (n *Node) HoldsReadLease() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == roleLeader && !n.stopped && n.now().Before(n.leaseUntil)
+}

@@ -1,0 +1,162 @@
+package zab
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestLeaseDeadlineSkewTable pins the arithmetic that keeps lease reads
+// safe under clock drift: the deadline discounts the skew bound, and a
+// skew at or above the election timeout collapses the margin to zero so
+// the deadline can never sit in the future.
+func TestLeaseDeadlineSkewTable(t *testing.T) {
+	round := time.Unix(1000, 0)
+	cases := []struct {
+		et, skew time.Duration
+		want     time.Duration // margin past round
+	}{
+		{100 * time.Millisecond, 0, 100 * time.Millisecond},
+		{100 * time.Millisecond, 10 * time.Millisecond, 90 * time.Millisecond},
+		{100 * time.Millisecond, 99 * time.Millisecond, 1 * time.Millisecond},
+		{100 * time.Millisecond, 100 * time.Millisecond, 0}, // skew == ET: disabled
+		{100 * time.Millisecond, 250 * time.Millisecond, 0}, // skew > ET: clamped, not negative
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("et=%v_skew=%v", c.et, c.skew), func(t *testing.T) {
+			got := leaseDeadline(round, c.et, c.skew)
+			if want := round.Add(c.want); !got.Equal(want) {
+				t.Fatalf("leaseDeadline(%v, %v) = %v, want %v", c.et, c.skew, got, want)
+			}
+			if got.After(round.Add(c.et)) {
+				t.Fatalf("deadline %v exceeds the unskewed bound %v", got, round.Add(c.et))
+			}
+		})
+	}
+}
+
+// startSolo boots a single-node ensemble (quorum of one: every
+// heartbeat round self-acks immediately) with the given skew bound.
+func startSolo(t *testing.T, maxSkew time.Duration) *Node {
+	t.Helper()
+	sm := &kvSM{}
+	node, err := NewNode(Config{
+		ID:                1,
+		Peers:             map[uint64]string{1: "lease-solo-1"},
+		Net:               transport.NewInProc(),
+		HeartbeatInterval: 5 * time.Millisecond,
+		ElectionTimeout:   40 * time.Millisecond,
+		MaxClockSkew:      maxSkew,
+		MaxLogEntries:     128,
+	}, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Stop)
+	return node
+}
+
+func waitHolds(n *Node, want bool, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if n.HoldsReadLease() == want {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return n.HoldsReadLease() == want
+}
+
+// TestLeaderAcquiresReadLease: once a quorum of heartbeat acks lands,
+// the leader holds the lease; followers never do.
+func TestLeaderAcquiresReadLease(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	if !waitHolds(leader, true, 2*time.Second) {
+		t.Fatal("leader never acquired the read lease despite quorum heartbeats")
+	}
+	for id, n := range e.nodes {
+		if id == leader.ID() {
+			continue
+		}
+		if n.HoldsReadLease() {
+			t.Fatalf("follower %d claims a read lease", id)
+		}
+	}
+}
+
+// TestLeaseExpiresWithoutQuorum: a leader cut off from every follower
+// stops extending the lease, so it lapses within one election timeout —
+// before any rival could be elected — and lease reads are refused.
+func TestLeaseExpiresWithoutQuorum(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	if !waitHolds(leader, true, 2*time.Second) {
+		t.Fatal("leader never acquired the read lease")
+	}
+	for id, n := range e.nodes {
+		if id != leader.ID() {
+			n.Stop()
+		}
+	}
+	if !waitHolds(leader, false, 2*time.Second) {
+		t.Fatal("lease did not expire after quorum loss")
+	}
+	// And it must stay revoked: no self-funding single-node extension.
+	time.Sleep(3 * leader.cfg.ElectionTimeout)
+	if leader.HoldsReadLease() {
+		t.Fatal("isolated leader re-acquired the lease without a quorum")
+	}
+}
+
+// TestStoppedLeaderRefusesLease: Stop revokes the lease before the node
+// goes quiet, so a deposed process can never serve one more stale read.
+func TestStoppedLeaderRefusesLease(t *testing.T) {
+	e := newEnsemble(t, 3)
+	leader := e.waitLeader(t)
+	if !waitHolds(leader, true, 2*time.Second) {
+		t.Fatal("leader never acquired the read lease")
+	}
+	leader.Stop()
+	if leader.HoldsReadLease() {
+		t.Fatal("stopped leader still claims the read lease")
+	}
+}
+
+// TestSkewBoundDisablesLease: with MaxClockSkew at or above the
+// election timeout the lease margin is zero — a leader keeps leading
+// and committing but never claims the fast read path. Degraded, not
+// unsound.
+func TestSkewBoundDisablesLease(t *testing.T) {
+	n := startSolo(t, 200*time.Millisecond) // skew > 40ms election timeout
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !n.IsLeader() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !n.IsLeader() {
+		t.Fatal("solo node never elected itself")
+	}
+	if _, err := n.Propose([]byte("x")); err != nil {
+		t.Fatalf("solo leader cannot commit: %v", err)
+	}
+	// Heartbeats are self-acking every 5ms; give several rounds a
+	// chance to (incorrectly) fund a lease.
+	time.Sleep(60 * time.Millisecond)
+	if n.HoldsReadLease() {
+		t.Fatal("lease granted despite clock-skew bound >= election timeout")
+	}
+}
+
+// TestSoloLeaderHoldsLease is the control for the skew test: the same
+// topology with a sane skew bound does hold the lease.
+func TestSoloLeaderHoldsLease(t *testing.T) {
+	n := startSolo(t, 0)
+	if !waitHolds(n, true, 2*time.Second) {
+		t.Fatal("solo leader with zero skew bound never acquired the lease")
+	}
+}

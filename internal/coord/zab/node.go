@@ -118,9 +118,22 @@ type Config struct {
 	// reduces the pipeline to the lockstep propose→commit cycle.
 	// Defaults to 16.
 	MaxInflightFrames int
+	// MaxClockSkew bounds the clock drift assumed between ensemble
+	// members for the leader read lease: a quorum of heartbeat acks
+	// gathered at time T lets the leader serve lease reads until
+	// T + ElectionTimeout - MaxClockSkew on its own clock. Defaults to
+	// ElectionTimeout / 10. A bound at or above ElectionTimeout
+	// disables lease reads entirely (the deadline never lies in the
+	// future).
+	MaxClockSkew time.Duration
+	// Clock overrides the time source consulted by the read lease and
+	// the election timer (tests inject skewed or frozen clocks here).
+	// Defaults to time.Now.
+	Clock func() time.Time
 	// Metrics, when non-nil, receives the leader's proposer gauges
-	// ("zab.proposer.queue_depth", "zab.proposer.inflight_frames") and
-	// the batch-size distribution ("zab.proposer.batch_txns").
+	// ("zab.proposer.queue_depth", "zab.proposer.inflight_frames"),
+	// the batch-size distribution ("zab.proposer.batch_txns") and the
+	// observer-feed gauges ("zab.observer.{count,lag_txns,lag_ms}").
 	Metrics *metrics.Registry
 	// InitialSnapshot, when non-nil, primes the node from a durable
 	// checkpoint: the state machine is restored before Start and the
@@ -215,9 +228,21 @@ type Node struct {
 	snapReq         chan struct{}
 	snapInFlight    bool
 
-	gQueue    *metrics.Gauge
-	gInflight *metrics.Gauge
-	dBatch    *metrics.Distribution
+	// Read-lease state: the instant (on this node's clock) until which
+	// a quorum of heartbeat acks guarantees no rival leader can have
+	// committed a write, and the leader-side observer feed — the
+	// non-voting replicas tailing this node's committed log, tracked
+	// for lag but excluded from every quorum computation.
+	now        func() time.Time
+	leaseUntil time.Time
+	observers  map[uint64]*observerFeed
+
+	gQueue      *metrics.Gauge
+	gInflight   *metrics.Gauge
+	dBatch      *metrics.Distribution
+	gObsCount   *metrics.Gauge
+	gObsLagTxns *metrics.Gauge
+	gObsLagMS   *metrics.Gauge
 
 	connMu sync.Mutex
 	conns  map[uint64]transport.Conn
@@ -254,6 +279,12 @@ func NewNode(cfg Config, sm StateMachine) (*Node, error) {
 	if cfg.MaxInflightFrames <= 0 {
 		cfg.MaxInflightFrames = 16
 	}
+	if cfg.MaxClockSkew <= 0 {
+		cfg.MaxClockSkew = cfg.ElectionTimeout / 10
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
@@ -266,9 +297,14 @@ func NewNode(cfg Config, sm StateMachine) (*Node, error) {
 		waiters:      make(map[uint64]*pendingTxn),
 		match:        make(map[uint64]uint64),
 		applyWaiters: make(map[uint64][]chan struct{}),
+		now:          cfg.Clock,
+		observers:    make(map[uint64]*observerFeed),
 		gQueue:       cfg.Metrics.Gauge("zab.proposer.queue_depth"),
 		gInflight:    cfg.Metrics.Gauge("zab.proposer.inflight_frames"),
 		dBatch:       cfg.Metrics.Distribution("zab.proposer.batch_txns"),
+		gObsCount:    cfg.Metrics.Gauge("zab.observer.count"),
+		gObsLagTxns:  cfg.Metrics.Gauge("zab.observer.lag_txns"),
+		gObsLagMS:    cfg.Metrics.Gauge("zab.observer.lag_ms"),
 	}
 	n.bsm, _ = sm.(BatchStateMachine)
 	n.leaderCond = sync.NewCond(&n.mu)
@@ -462,7 +498,7 @@ func (n *Node) lastZxidLocked() uint64 {
 func (n *Node) quorum() int { return len(n.cfg.Peers)/2 + 1 }
 
 func (n *Node) resetElectionTimer() {
-	n.lastContact = time.Now()
+	n.lastContact = n.now()
 	n.electionDue = n.cfg.ElectionTimeout +
 		time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
 }
@@ -565,6 +601,12 @@ func (n *Node) handle(req []byte) ([]byte, error) {
 			return nil, err
 		}
 		return forwardResp{Zxid: zxid, Result: result}.encode(), nil
+	case msgObserverPoll:
+		m := observerPollReq{ObserverID: r.Uint64(), FromZxid: r.Uint64(), AppliedZxid: r.Uint64()}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return n.handleObserverPoll(m).encode(), nil
 	default:
 		return nil, fmt.Errorf("zab: unknown message kind %d", kind)
 	}
@@ -697,6 +739,26 @@ func (n *Node) handleRequestVote(m requestVoteReq) requestVoteResp {
 		return requestVoteResp{Epoch: n.epoch}
 	}
 	if m.LastZxid < n.lastZxidLocked() {
+		return requestVoteResp{Epoch: n.epoch}
+	}
+	// Leader stickiness: a follower whose election timer has not aged a
+	// full ElectionTimeout refuses to elect a replacement leader
+	// (without adopting the candidate's epoch — inflating our own epoch
+	// here would depose the leader through our next heartbeat ack).
+	// This is what makes the read lease sound: every member of a
+	// winning vote quorum either went a full election timeout without
+	// resetting its timer (so, by quorum intersection with the lease's
+	// heartbeat-ack quorum, the old lease expired before the new leader
+	// could commit anything) or was the old leader itself (which
+	// revokes its lease in the same critical section that grants the
+	// vote, below). The timer — not "heard a leader" — is the
+	// condition on purpose: it also keeps a just-restarted voter, whose
+	// pre-crash heartbeat ack may be funding a still-live lease, from
+	// voting inside that window. Election liveness is unaffected: a
+	// member only campaigns once its own timer passes the same bound,
+	// by which point its electorate has aged past it too.
+	if n.role == roleFollower && m.CandidateID != n.leaderID &&
+		n.now().Sub(n.lastContact) < n.cfg.ElectionTimeout {
 		return requestVoteResp{Epoch: n.epoch}
 	}
 	// The vote must be durable before it is granted: a node that
@@ -1096,6 +1158,13 @@ func (n *Node) failLeaderLocked(err error) {
 	}
 	n.leaderGen++
 	n.stallSince = time.Time{}
+	// Step-down revokes the read lease and retires the observer feed;
+	// both are leader-only state.
+	n.leaseUntil = time.Time{}
+	n.observers = make(map[uint64]*observerFeed)
+	n.gObsCount.Set(0)
+	n.gObsLagTxns.Set(0)
+	n.gObsLagMS.Set(0)
 	n.gQueue.Set(0)
 	n.gInflight.Set(0)
 	n.leaderCond.Broadcast()
@@ -1494,7 +1563,7 @@ func (n *Node) electionLoop() {
 		case <-ticker.C:
 		}
 		n.mu.Lock()
-		due := n.role != roleLeader && time.Since(n.lastContact) > n.electionDue
+		due := n.role != roleLeader && n.now().Sub(n.lastContact) > n.electionDue
 		n.mu.Unlock()
 		if due {
 			n.runElection()
@@ -1658,6 +1727,16 @@ func (n *Node) heartbeatLoop() {
 		req := heartbeatReq{Epoch: n.epoch, LeaderID: n.cfg.ID, Commit: n.commitZxid}
 		n.mu.Unlock()
 		payload := req.encode()
+		// Lease bookkeeping: the round timestamp is taken BEFORE any
+		// heartbeat is sent, so a quorum of acks proves the promise
+		// quorum was intact at `round` and the lease may extend to
+		// round + ElectionTimeout - MaxClockSkew.
+		round := n.now()
+		var ackMu sync.Mutex
+		acks := 1 // self
+		if acks >= n.quorum() {
+			n.extendLease(round, req.Epoch)
+		}
 		for id := range n.cfg.Peers {
 			if id == n.cfg.ID {
 				continue
@@ -1678,6 +1757,14 @@ func (n *Node) heartbeatLoop() {
 						n.leaderID = 0
 					}
 					n.mu.Unlock()
+					return
+				}
+				ackMu.Lock()
+				acks++
+				reached := acks == n.quorum()
+				ackMu.Unlock()
+				if reached {
+					n.extendLease(round, req.Epoch)
 				}
 			}(id)
 		}

@@ -339,6 +339,14 @@ type Result struct {
 	// when Config.TrackAcked was set (kept out of the JSON artifact).
 	AckedWrites int64    `json:"acked_writes"`
 	AckedPaths  []string `json:"-"`
+
+	// ReadFrom and ReadSplit describe policy-routed read runs: the
+	// routing policy the harness drove reads through and where those
+	// reads were actually served (leader / voter / observer, plus
+	// failover and lease-fallback counts). Populated by the caller —
+	// the generator itself is routing-agnostic.
+	ReadFrom  string            `json:"read_from,omitempty"`
+	ReadSplit map[string]uint64 `json:"read_split,omitempty"`
 }
 
 // String renders the headline line the harness prints.
