@@ -316,6 +316,7 @@ func BenchmarkShardScaling(b *testing.B) {
 			if _, err := sessions[0].Create("/bench", nil, znode.ModePersistent); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var wg sync.WaitGroup
@@ -424,6 +425,7 @@ func BenchmarkObserverReadScaling(b *testing.B) {
 			// Let the routers' first health probes land so reads spread
 			// across the full replica set from the first iteration.
 			time.Sleep(20 * time.Millisecond)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var wg sync.WaitGroup
@@ -518,6 +520,18 @@ func BenchmarkGroupCommit(b *testing.B) {
 				if _, err := sessions[0].Create("/gc", nil, znode.ModePersistent); err != nil {
 					b.Fatal(err)
 				}
+				// Pre-format every path so the timed section measures
+				// the write pipeline, not fmt.Sprintf.
+				paths := make([][]string, clients)
+				for c := 0; c < clients; c++ {
+					paths[c] = make([]string, b.N*opsPerClient)
+					for i := 0; i < b.N; i++ {
+						for j := 0; j < opsPerClient; j++ {
+							paths[c][i*opsPerClient+j] = fmt.Sprintf("/gc/i%d-c%d-%d", i, c, j)
+						}
+					}
+				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					var wg sync.WaitGroup
@@ -527,7 +541,7 @@ func BenchmarkGroupCommit(b *testing.B) {
 						go func(c int) {
 							defer wg.Done()
 							for j := 0; j < opsPerClient; j++ {
-								p := fmt.Sprintf("/gc/i%d-c%d-%d", i, c, j)
+								p := paths[c][i*opsPerClient+j]
 								if _, err := sessions[c].Create(p, nil, znode.ModePersistent); err != nil {
 									errs[c] = err
 									return
@@ -606,6 +620,18 @@ func BenchmarkDurableGroupCommit(b *testing.B) {
 				if _, err := sessions[0].Create("/dgc", nil, znode.ModePersistent); err != nil {
 					b.Fatal(err)
 				}
+				// Pre-format every path so the timed section measures
+				// the write pipeline, not fmt.Sprintf.
+				paths := make([][]string, clients)
+				for c := 0; c < clients; c++ {
+					paths[c] = make([]string, b.N*opsPerClient)
+					for i := 0; i < b.N; i++ {
+						for j := 0; j < opsPerClient; j++ {
+							paths[c][i*opsPerClient+j] = fmt.Sprintf("/dgc/i%d-c%d-%d", i, c, j)
+						}
+					}
+				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					var wg sync.WaitGroup
@@ -615,7 +641,7 @@ func BenchmarkDurableGroupCommit(b *testing.B) {
 						go func(c int) {
 							defer wg.Done()
 							for j := 0; j < opsPerClient; j++ {
-								p := fmt.Sprintf("/dgc/i%d-c%d-%d", i, c, j)
+								p := paths[c][i*opsPerClient+j]
 								if _, err := sessions[c].Create(p, nil, znode.ModePersistent); err != nil {
 									errs[c] = err
 									return
@@ -677,11 +703,22 @@ func BenchmarkAsyncPipeline(b *testing.B) {
 		}
 		return sess
 	}
+	// Paths are formatted outside the timed loops so allocs/op counts
+	// the write path, not fmt.Sprintf.
+	prePaths := func(prefix string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s%d", prefix, i)
+		}
+		return out
+	}
 	b.Run("sync", func(b *testing.B) {
 		sess := setup(b, "sync")
+		paths := prePaths("/ap/s", b.N)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sess.Create(fmt.Sprintf("/ap/s%d", i), nil, znode.ModePersistent); err != nil {
+			if _, err := sess.Create(paths[i], nil, znode.ModePersistent); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -690,9 +727,11 @@ func BenchmarkAsyncPipeline(b *testing.B) {
 	b.Run("pipelined", func(b *testing.B) {
 		sess := setup(b, "pipe")
 		pl := coord.NewPipeline(context.Background(), sess)
+		paths := prePaths("/ap/p", b.N)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			pl.Create(fmt.Sprintf("/ap/p%d", i), nil, znode.ModePersistent)
+			pl.Create(paths[i], nil, znode.ModePersistent)
 			if pl.Outstanding() >= pipeline {
 				if err := pl.Wait(); err != nil {
 					b.Fatal(err)
@@ -1128,4 +1167,117 @@ func BenchmarkAblationZnodeTreeOps(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkReadPathContention measures read throughput of the znode
+// tree under a live writer: N reader goroutines probe disjoint subtrees
+// (Exists-dominated, with periodic Get and Children) while one writer
+// tight-loops Sets over its own subtree. Under a whole-tree RWMutex
+// every Set parks every concurrent reader; with striped locking the
+// writer's stripe is disjoint from the readers', so reads proceed
+// without ever blocking. Paths and values are precomputed so the timed
+// loops measure locking, not formatting or allocation.
+func BenchmarkReadPathContention(b *testing.B) {
+	const (
+		subtrees = 16
+		children = 32
+	)
+	for _, readers := range []int{1, 4, 16} {
+		readers := readers
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			tr := znode.New()
+			zxid := uint64(1)
+			mk := func(path string, data []byte) {
+				if _, err := tr.Create(path, data, znode.ModePersistent, 0, zxid, 1); err != nil {
+					b.Fatal(err)
+				}
+				zxid++
+			}
+			mk("/w", nil)
+			wpaths := make([]string, 64)
+			for i := range wpaths {
+				wpaths[i] = fmt.Sprintf("/w/k%d", i)
+				mk(wpaths[i], []byte("v"))
+			}
+			roots := make([]string, subtrees)
+			paths := make([][]string, subtrees)
+			for s := 0; s < subtrees; s++ {
+				roots[s] = fmt.Sprintf("/r%d", s)
+				mk(roots[s], nil)
+				paths[s] = make([]string, children)
+				for c := 0; c < children; c++ {
+					paths[s][c] = fmt.Sprintf("/r%d/c%d", s, c)
+					mk(paths[s][c], []byte("payload"))
+				}
+			}
+			vals := [2][]byte{[]byte("ping"), []byte("pong")}
+
+			stop := make(chan struct{})
+			var writerDone sync.WaitGroup
+			writerDone.Add(1)
+			go func() {
+				defer writerDone.Done()
+				wz := zxid
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					wz++
+					if _, err := tr.Set(wpaths[i&63], vals[i&1], -1, wz, 1); err != nil {
+						return
+					}
+				}
+			}()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / readers
+			if per == 0 {
+				per = 1
+			}
+			total := int64(0)
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					sub := paths[id%subtrees]
+					root := roots[id%subtrees]
+					ops := 0
+					for i := 0; i < per; i++ {
+						if _, ok := tr.Exists(sub[i%children]); !ok {
+							b.Error("reader lost a static node")
+							return
+						}
+						ops++
+						if i%128 == 0 {
+							if _, _, err := tr.Get(sub[i%children]); err != nil {
+								b.Error(err)
+								return
+							}
+							ops++
+						}
+						if i%1024 == 0 {
+							if _, err := tr.Children(root); err != nil {
+								b.Error(err)
+								return
+							}
+							ops++
+						}
+					}
+					atomic.AddInt64(&total, int64(ops))
+				}(r)
+			}
+			wg.Wait()
+			elapsed := b.Elapsed()
+			b.StopTimer()
+			close(stop)
+			writerDone.Wait()
+			if s := elapsed.Seconds(); s > 0 {
+				b.ReportMetric(float64(atomic.LoadInt64(&total))/s, "reads/s")
+			}
+		})
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -49,6 +50,9 @@ type Report struct {
 func main() {
 	in := flag.String("in", "", "read bench text from this file (default stdin)")
 	out := flag.String("out", "", "write JSON to this file (default stdout)")
+	baseline := flag.String("baseline", "", "committed BENCH json to diff against; exit 1 on allocs/op regressions")
+	allocSlack := flag.Float64("alloc-slack", 20, "allowed allocs/op growth vs -baseline, in percent")
+	gateExclude := flag.String("gate-exclude", "", "regexp of benchmark names the -baseline gate skips (their numbers are still recorded)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -72,12 +76,90 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		log.Fatal(err)
+
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gated := benches
+		if *gateExclude != "" {
+			// Benchmarks whose allocation count is inherently
+			// time-dependent (free-running goroutines measured per
+			// b.N) are recorded but not gated.
+			re, err := regexp.Compile(*gateExclude)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gated = nil
+			for _, b := range benches {
+				if !re.MatchString(b.Name) {
+					gated = append(gated, b)
+				}
+			}
+		}
+		violations := CompareAllocs(base.Benchmarks, gated, *allocSlack)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", v)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: allocs/op within %.0f%% of %s\n", *allocSlack, *baseline)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+}
+
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// CompareAllocs diffs allocs/op for every benchmark present in both
+// runs and returns one violation line per benchmark whose allocation
+// count grew more than slackPct percent (or appeared at all where the
+// baseline had zero). Benchmarks missing from either side, or measured
+// without -benchmem, are skipped — the gate only tightens on data both
+// runs actually reported.
+func CompareAllocs(base, cur []*Benchmark, slackPct float64) []string {
+	baseBy := map[string]*Benchmark{}
+	for _, b := range base {
+		baseBy[b.Name] = b
+	}
+	var out []string
+	for _, c := range cur {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			continue
+		}
+		ba, bok := b.Metrics["allocs/op"]
+		ca, cok := c.Metrics["allocs/op"]
+		if !bok || !cok {
+			continue
+		}
+		if ba == 0 {
+			if ca > 0 {
+				out = append(out, fmt.Sprintf("%s: allocs/op 0 -> %.0f (was allocation-free)", c.Name, ca))
+			}
+			continue
+		}
+		if growth := (ca - ba) / ba * 100; growth > slackPct {
+			out = append(out, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (+%.1f%%, slack %.0f%%)", c.Name, ba, ca, growth, slackPct))
+		}
+	}
+	return out
 }
 
 // Parse extracts benchmark records from go-bench text. Lines that do

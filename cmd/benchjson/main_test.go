@@ -106,6 +106,41 @@ func TestSplitProcs(t *testing.T) {
 	}
 }
 
+func TestCompareAllocs(t *testing.T) {
+	mk := func(name string, allocs float64) *Benchmark {
+		return &Benchmark{Name: name, Metrics: map[string]float64{"allocs/op": allocs}}
+	}
+	base := []*Benchmark{
+		mk("A", 100),
+		mk("B", 100),
+		mk("Free", 0),
+		mk("Gone", 50),
+		{Name: "NoAllocs", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	cur := []*Benchmark{
+		mk("A", 119),   // +19% — within the 20% slack
+		mk("B", 121),   // +21% — violation
+		mk("Free", 3),  // was allocation-free — violation
+		mk("New", 999), // not in baseline — skipped
+		{Name: "NoAllocs", Metrics: map[string]float64{"ns/op": 9}}, // no allocs metric — skipped
+	}
+	got := CompareAllocs(base, cur, 20)
+	if len(got) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "B:") || !strings.Contains(got[1], "Free:") {
+		t.Fatalf("unexpected violations: %v", got)
+	}
+}
+
+func TestCompareAllocsImprovementPasses(t *testing.T) {
+	base := []*Benchmark{{Name: "A", Metrics: map[string]float64{"allocs/op": 100}}}
+	cur := []*Benchmark{{Name: "A", Metrics: map[string]float64{"allocs/op": 40}}}
+	if got := CompareAllocs(base, cur, 20); len(got) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", got)
+	}
+}
+
 func names(bs []*Benchmark) []string {
 	var out []string
 	for _, b := range bs {

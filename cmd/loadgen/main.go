@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/cluster"
@@ -108,6 +110,8 @@ func main() {
 		}
 	}
 
+	out.Runtime = captureRuntime(completedOps(&out))
+
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -130,6 +134,68 @@ type report struct {
 	GeneratedUnix int64                     `json:"generated_unix"`
 	Runs          []*loadgen.Result         `json:"runs,omitempty"`
 	Scenarios     []*cluster.ScenarioResult `json:"scenarios,omitempty"`
+	Runtime       *runtimeStats             `json:"runtime,omitempty"`
+}
+
+// runtimeStats is the Go runtime's view of the whole process — GC
+// pause tail, heap footprint and allocation rate — so a wire-path or
+// read-path allocation regression shows up in the JSON artifact next
+// to the latency tail it distorts. The process lifetime of this CLI is
+// the load run, so process-wide GC history is the run's GC history.
+type runtimeStats struct {
+	NumGC        int64   `json:"num_gc"`
+	GCPauseP50Ms float64 `json:"gc_pause_p50_ms"`
+	GCPauseP99Ms float64 `json:"gc_pause_p99_ms"`
+	GCPauseMaxMs float64 `json:"gc_pause_max_ms"`
+	// GCCPUFraction is the fraction of available CPU consumed by the
+	// collector since process start.
+	GCCPUFraction float64 `json:"gc_cpu_fraction"`
+	HeapAllocMB   float64 `json:"heap_alloc_mb"`
+	HeapSysMB     float64 `json:"heap_sys_mb"`
+	HeapObjects   uint64  `json:"heap_objects"`
+	TotalAllocMB  float64 `json:"total_alloc_mb"`
+	// MallocsPerOp is lifetime heap allocations divided by completed
+	// load operations — the end-to-end allocation cost of one op,
+	// harness included. Zero when no ops completed.
+	MallocsPerOp float64 `json:"mallocs_per_op"`
+}
+
+// captureRuntime snapshots the runtime counters after the load window.
+func captureRuntime(ops int64) *runtimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gc := debug.GCStats{PauseQuantiles: make([]time.Duration, 101)}
+	debug.ReadGCStats(&gc)
+	rs := &runtimeStats{
+		NumGC:         gc.NumGC,
+		GCCPUFraction: ms.GCCPUFraction,
+		HeapAllocMB:   float64(ms.HeapAlloc) / (1 << 20),
+		HeapSysMB:     float64(ms.HeapSys) / (1 << 20),
+		HeapObjects:   ms.HeapObjects,
+		TotalAllocMB:  float64(ms.TotalAlloc) / (1 << 20),
+	}
+	if gc.NumGC > 0 {
+		rs.GCPauseP50Ms = float64(gc.PauseQuantiles[50]) / float64(time.Millisecond)
+		rs.GCPauseP99Ms = float64(gc.PauseQuantiles[99]) / float64(time.Millisecond)
+		rs.GCPauseMaxMs = float64(gc.PauseQuantiles[100]) / float64(time.Millisecond)
+	}
+	if ops > 0 {
+		rs.MallocsPerOp = float64(ms.Mallocs) / float64(ops)
+	}
+	return rs
+}
+
+// completedOps totals completed operations across every run and
+// scenario in the report.
+func completedOps(r *report) int64 {
+	var n int64
+	for _, run := range r.Runs {
+		n += run.Completed
+	}
+	for _, sc := range r.Scenarios {
+		n += sc.Load.Completed
+	}
+	return n
 }
 
 type loadCfg struct {

@@ -140,7 +140,11 @@ func errorForCode(code uint8, detail string) error {
 	}
 }
 
-func encodeStat(w *wire.Writer, s znode.Stat) {
+// encodeStat and decodeStat are generic over the wire vocabulary so
+// the one field order serves both the framed RPC path (Writer/Reader)
+// and the streaming snapshot path (Encoder/Decoder) — monomorphised,
+// so the RPC hot path pays no interface dispatch.
+func encodeStat[W wire.Sink](w W, s znode.Stat) {
 	w.Uint64(s.Czxid)
 	w.Uint64(s.Mzxid)
 	w.Int64(s.Ctime)
@@ -152,7 +156,7 @@ func encodeStat(w *wire.Writer, s znode.Stat) {
 	w.Uint64(s.EphemeralOwner)
 }
 
-func decodeStat(r *wire.Reader) znode.Stat {
+func decodeStat[R wire.Source](r R) znode.Stat {
 	return znode.Stat{
 		Czxid:          r.Uint64(),
 		Mzxid:          r.Uint64(),
@@ -269,9 +273,12 @@ func decodeOps(r *wire.Reader) ([]znode.MultiOp, error) {
 	ops := make([]znode.MultiOp, 0, n)
 	for i := uint32(0); i < n; i++ {
 		op := znode.MultiOp{
-			Kind:    znode.MultiKind(r.Uint8()),
-			Path:    r.String(),
-			Data:    r.BytesCopy32(),
+			Kind: znode.MultiKind(r.Uint8()),
+			Path: r.String(),
+			// Borrowed from the transaction buffer: the tree copies data
+			// into any node it creates or sets, and the ops slice does
+			// not outlive the apply call.
+			Data:    r.BorrowBytes(),
 			Mode:    znode.CreateMode(r.Uint8()),
 			Version: r.Int32(),
 		}

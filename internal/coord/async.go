@@ -125,7 +125,7 @@ func resolvedFuture(err error) *Future {
 // request drains harmlessly (its tagged response is dropped) and the
 // session remains fully usable.
 func (s *Session) Begin(ctx context.Context, op Op) *Future {
-	msg, decode, err := s.encodeAsyncOp(op)
+	w, decode, err := s.encodeAsyncOp(op)
 	if err != nil {
 		return resolvedFuture(err)
 	}
@@ -133,10 +133,11 @@ func (s *Session) Begin(ctx context.Context, op Op) *Future {
 		select {
 		case s.window <- struct{}{}:
 		case <-ctx.Done():
+			wire.PutWriter(w) // never sent — safe to recycle here
 			return OpResult{Err: ctx.Err()}, ctx.Err()
 		}
 		defer func() { <-s.window }()
-		payload, err := s.requestCtx(ctx, msg)
+		payload, err := s.requestPooled(ctx, w)
 		if err != nil {
 			return OpResult{Err: err}, err
 		}
@@ -144,28 +145,30 @@ func (s *Session) Begin(ctx context.Context, op Op) *Future {
 	})
 }
 
-// encodeAsyncOp translates one Op into its wire transaction and reply
-// decoder. Checks ride as single-op Multi transactions (the protocol
-// has no standalone check); OpSync maps to the sync barrier.
-func (s *Session) encodeAsyncOp(op Op) (msg []byte, decode func([]byte) (OpResult, error), err error) {
+// encodeAsyncOp translates one Op into its wire transaction — encoded
+// in a pooled scratch writer the eventual sender releases — and the
+// reply decoder. Checks ride as single-op Multi transactions (the
+// protocol has no standalone check); OpSync maps to the sync barrier.
+func (s *Session) encodeAsyncOp(op Op) (w *wire.Writer, decode func([]byte) (OpResult, error), err error) {
+	w = wire.GetWriter()
 	switch op.Kind {
 	case OpCreate:
-		msg = encodeCreateTxn(op.Path, op.Data, op.Mode, s.id, s.seq.Add(1), time.Now().UnixNano())
+		appendCreateTxn(w, op.Path, op.Data, op.Mode, s.id, s.seq.Add(1), time.Now().UnixNano())
 		decode = func(payload []byte) (OpResult, error) {
 			created, err := decodeCreateReply(payload)
 			return OpResult{Err: err, Created: created}, err
 		}
 	case OpSet:
-		msg = encodeSetTxn(op.Path, op.Data, op.Version, s.id, s.seq.Add(1), time.Now().UnixNano())
+		appendSetTxn(w, op.Path, op.Data, op.Version, s.id, s.seq.Add(1), time.Now().UnixNano())
 		decode = func(payload []byte) (OpResult, error) {
 			stat, err := decodeSetReply(payload)
 			return OpResult{Err: err, Stat: stat}, err
 		}
 	case OpDelete:
-		msg = encodeDeleteTxn(op.Path, op.Version, s.id, s.seq.Add(1))
+		appendDeleteTxn(w, op.Path, op.Version, s.id, s.seq.Add(1))
 		decode = func([]byte) (OpResult, error) { return OpResult{}, nil }
 	case OpCheck:
-		msg = encodeMultiTxn([]Op{op}, s.id, s.seq.Add(1), time.Now().UnixNano())
+		appendMultiTxn(w, []Op{op}, s.id, s.seq.Add(1), time.Now().UnixNano())
 		decode = func(payload []byte) (OpResult, error) {
 			results, err := decodeMultiReply(payload)
 			if len(results) == 1 {
@@ -174,12 +177,13 @@ func (s *Session) encodeAsyncOp(op Op) (msg []byte, decode func([]byte) (OpResul
 			return OpResult{Err: err}, err
 		}
 	case OpSync:
-		msg = encodeSyncTxn(s.id, s.seq.Add(1))
+		appendSyncTxn(w, s.id, s.seq.Add(1))
 		decode = func([]byte) (OpResult, error) { return OpResult{}, nil }
 	default:
+		wire.PutWriter(w)
 		return nil, nil, fmt.Errorf("coord: unknown async op kind %d", op.Kind)
 	}
-	return msg, decode, nil
+	return w, decode, nil
 }
 
 // BeginMulti submits a whole atomic batch asynchronously.
@@ -187,15 +191,17 @@ func (s *Session) BeginMulti(ctx context.Context, ops []Op) *Future {
 	if len(ops) == 0 {
 		return resolvedFuture(errors.New("coord: empty multi"))
 	}
-	msg := encodeMultiTxn(ops, s.id, s.seq.Add(1), time.Now().UnixNano())
+	w := wire.GetWriter()
+	appendMultiTxn(w, ops, s.id, s.seq.Add(1), time.Now().UnixNano())
 	return FutureMulti(func() ([]OpResult, error) {
 		select {
 		case s.window <- struct{}{}:
 		case <-ctx.Done():
+			wire.PutWriter(w) // never sent — safe to recycle here
 			return nil, ctx.Err()
 		}
 		defer func() { <-s.window }()
-		payload, err := s.requestCtx(ctx, msg)
+		payload, err := s.requestPooled(ctx, w)
 		if err != nil {
 			return nil, err
 		}
@@ -206,18 +212,18 @@ func (s *Session) BeginMulti(ctx context.Context, ops []Op) *Future {
 // BeginChildrenData submits a whole-directory listing asynchronously —
 // the read half of the pipelined subtree walks (core's BFS rename).
 func (s *Session) BeginChildrenData(ctx context.Context, path string) *Future {
-	w := wire.NewWriter(8 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opChildrenData)
 	w.String(path)
-	msg := w.Bytes()
 	return FutureEntries(func() ([]ChildEntry, error) {
 		select {
 		case s.window <- struct{}{}:
 		case <-ctx.Done():
+			wire.PutWriter(w) // never sent — safe to recycle here
 			return nil, ctx.Err()
 		}
 		defer func() { <-s.window }()
-		payload, err := s.requestCtx(ctx, msg)
+		payload, err := s.requestPooled(ctx, w)
 		if err != nil {
 			return nil, err
 		}

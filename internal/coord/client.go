@@ -170,6 +170,28 @@ func (s *Session) request(msg []byte) ([]byte, error) {
 // lets a later retry be deduplicated, so abandonment never corrupts
 // the session.
 func (s *Session) requestCtx(ctx context.Context, msg []byte) ([]byte, error) {
+	payload, _, err := s.requestCtxOwned(ctx, msg)
+	return payload, err
+}
+
+// requestPooled is requestCtx for a message encoded in a pooled scratch
+// writer: it sends w.Bytes() and releases w back to the wire pool as
+// soon as no in-flight reference to the buffer can remain — on reply,
+// on a terminal error, or after the last retry. The one case that
+// forfeits the release is an abandoned call whose transport may still
+// be reading the buffer (see call); the writer is then left to the GC,
+// which is a pool miss, never a use-after-release.
+func (s *Session) requestPooled(ctx context.Context, w *wire.Writer) ([]byte, error) {
+	payload, retained, err := s.requestCtxOwned(ctx, w.Bytes())
+	if !retained {
+		wire.PutWriter(w)
+	}
+	return payload, err
+}
+
+// requestCtxOwned reports, in addition to requestCtx's results, whether
+// some abandoned in-flight call may still reference msg.
+func (s *Session) requestCtxOwned(ctx context.Context, msg []byte) (payload []byte, retained bool, err error) {
 	deadline := time.Now().Add(DialTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
@@ -177,26 +199,27 @@ func (s *Session) requestCtx(ctx context.Context, msg []byte) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, retained, err
 		}
 		if time.Now().After(deadline) {
 			if lastErr == nil {
 				lastErr = context.DeadlineExceeded
 			}
-			return nil, fmt.Errorf("coord: request failed after retries: %w", lastErr)
+			return nil, retained, fmt.Errorf("coord: request failed after retries: %w", lastErr)
 		}
 		c, err := s.getConn()
 		if err != nil {
 			lastErr = err
 			if serr := sleepCtx(ctx, retryDelay(attempt)); serr != nil {
-				return nil, serr
+				return nil, retained, serr
 			}
 			continue
 		}
-		resp, err := s.call(ctx, c, msg)
+		resp, abandoned, err := s.call(ctx, c, msg)
+		retained = retained || abandoned
 		if err != nil {
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return nil, retained, ctx.Err()
 			}
 			lastErr = err
 			var remote *transport.RemoteError
@@ -204,13 +227,13 @@ func (s *Session) requestCtx(ctx context.Context, msg []byte) ([]byte, error) {
 				// The server is alive but the proposal failed (e.g. an
 				// election is in flight). Retry on the same server.
 				if serr := sleepCtx(ctx, retryDelay(attempt)); serr != nil {
-					return nil, serr
+					return nil, retained, serr
 				}
 				continue
 			}
 			s.dropConn()
 			if serr := sleepCtx(ctx, retryDelay(attempt)); serr != nil {
-				return nil, serr
+				return nil, retained, serr
 			}
 			continue
 		}
@@ -218,28 +241,34 @@ func (s *Session) requestCtx(ctx context.Context, msg []byte) ([]byte, error) {
 		code := r.Uint8()
 		detail := r.String()
 		if err := r.Err(); err != nil {
-			return nil, fmt.Errorf("coord: malformed reply: %w", err)
+			return nil, retained, fmt.Errorf("coord: malformed reply: %w", err)
 		}
 		if err := errorForCode(code, detail); err != nil {
-			return nil, err
+			return nil, retained, err
 		}
-		return resp[len(resp)-r.Remaining():], nil
+		return resp[len(resp)-r.Remaining():], retained, nil
 	}
 }
 
 // call performs one transport round trip. Uncancellable contexts take
 // the direct path (no goroutine, no channel — the hot path is exactly
 // the old synchronous one); cancellable contexts go through the
-// transport's async submission so the wait can be abandoned.
-func (s *Session) call(ctx context.Context, c transport.Conn, msg []byte) ([]byte, error) {
+// transport's async submission so the wait can be abandoned. The
+// abandoned flag reports whether msg may still be referenced after
+// return: a natively-pipelining connection has copied msg out before
+// CallAsync returns, but the goroutine fallback around a blocking Call
+// holds msg until the call completes.
+func (s *Session) call(ctx context.Context, c transport.Conn, msg []byte) (payload []byte, abandoned bool, err error) {
 	if ctx.Done() == nil {
-		return c.Call(msg)
+		payload, err = c.Call(msg)
+		return payload, false, err
 	}
+	_, native := c.(transport.AsyncCaller)
 	select {
 	case res := <-transport.CallAsync(c, msg):
-		return res.Payload, res.Err
+		return res.Payload, false, res.Err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, !native, ctx.Err()
 	}
 }
 
@@ -271,8 +300,12 @@ func retryDelay(attempt int) time.Duration {
 // differs from the requested path for sequential modes). The context
 // bounds the whole operation including failover retries.
 func (s *Session) CreateCtx(ctx context.Context, path string, data []byte, mode znode.CreateMode) (string, error) {
-	msg := encodeCreateTxn(path, data, mode, s.id, s.seq.Add(1), time.Now().UnixNano())
-	payload, err := s.requestCtx(ctx, msg)
+	// Write requests ride pooled writers too: nothing on the client
+	// retains the message (the server copies before the replication
+	// layer keeps anything), so the buffer is free at reply time.
+	w := wire.GetWriter()
+	appendCreateTxn(w, path, data, mode, s.id, s.seq.Add(1), time.Now().UnixNano())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return "", err
 	}
@@ -295,10 +328,10 @@ func decodeCreateReply(payload []byte) (string, error) {
 
 // GetCtx returns the znode's data and stat.
 func (s *Session) GetCtx(ctx context.Context, path string) ([]byte, znode.Stat, error) {
-	w := wire.NewWriter(8 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opGet)
 	w.String(path)
-	payload, err := s.requestCtx(ctx, w.Bytes())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return nil, znode.Stat{}, err
 	}
@@ -323,8 +356,9 @@ func decodeGetReply(payload []byte) ([]byte, znode.Stat, error) {
 // SetCtx replaces the znode's data; version -1 disables the optimistic
 // concurrency check.
 func (s *Session) SetCtx(ctx context.Context, path string, data []byte, version int32) (znode.Stat, error) {
-	msg := encodeSetTxn(path, data, version, s.id, s.seq.Add(1), time.Now().UnixNano())
-	payload, err := s.requestCtx(ctx, msg)
+	w := wire.GetWriter()
+	appendSetTxn(w, path, data, version, s.id, s.seq.Add(1), time.Now().UnixNano())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return znode.Stat{}, err
 	}
@@ -347,7 +381,9 @@ func decodeSetReply(payload []byte) (znode.Stat, error) {
 
 // DeleteCtx removes a childless znode; version -1 disables the check.
 func (s *Session) DeleteCtx(ctx context.Context, path string, version int32) error {
-	_, err := s.requestCtx(ctx, encodeDeleteTxn(path, version, s.id, s.seq.Add(1)))
+	w := wire.GetWriter()
+	appendDeleteTxn(w, path, version, s.id, s.seq.Add(1))
+	_, err := s.requestPooled(ctx, w)
 	return err
 }
 
@@ -358,10 +394,10 @@ func (s *Session) Delete(path string, version int32) error {
 
 // ExistsCtx returns the stat and whether the znode exists.
 func (s *Session) ExistsCtx(ctx context.Context, path string) (znode.Stat, bool, error) {
-	w := wire.NewWriter(8 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opExists)
 	w.String(path)
-	payload, err := s.requestCtx(ctx, w.Bytes())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return znode.Stat{}, false, err
 	}
@@ -385,10 +421,10 @@ func decodeExistsReply(payload []byte) (znode.Stat, bool, error) {
 
 // ChildrenCtx returns the sorted child names of the znode.
 func (s *Session) ChildrenCtx(ctx context.Context, path string) ([]string, error) {
-	w := wire.NewWriter(8 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opChildren)
 	w.String(path)
-	payload, err := s.requestCtx(ctx, w.Bytes())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -417,11 +453,11 @@ func decodeChildrenReply(payload []byte) ([]string, error) {
 // (the read router) then re-locates the leader or falls back to
 // Sync-then-read.
 func (s *Session) LeaseGetCtx(ctx context.Context, path string) ([]byte, znode.Stat, error) {
-	w := wire.NewWriter(9 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opLeaseRead)
 	w.Uint8(opGet)
 	w.String(path)
-	payload, err := s.requestCtx(ctx, w.Bytes())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return nil, znode.Stat{}, err
 	}
@@ -431,11 +467,11 @@ func (s *Session) LeaseGetCtx(ctx context.Context, path string) ([]byte, znode.S
 // LeaseExistsCtx is ExistsCtx under the leader's read lease (see
 // LeaseGetCtx for the contract).
 func (s *Session) LeaseExistsCtx(ctx context.Context, path string) (znode.Stat, bool, error) {
-	w := wire.NewWriter(9 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opLeaseRead)
 	w.Uint8(opExists)
 	w.String(path)
-	payload, err := s.requestCtx(ctx, w.Bytes())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return znode.Stat{}, false, err
 	}
@@ -445,11 +481,11 @@ func (s *Session) LeaseExistsCtx(ctx context.Context, path string) (znode.Stat, 
 // LeaseChildrenCtx is ChildrenCtx under the leader's read lease (see
 // LeaseGetCtx for the contract).
 func (s *Session) LeaseChildrenCtx(ctx context.Context, path string) ([]string, error) {
-	w := wire.NewWriter(9 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opLeaseRead)
 	w.Uint8(opChildren)
 	w.String(path)
-	payload, err := s.requestCtx(ctx, w.Bytes())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -459,11 +495,11 @@ func (s *Session) LeaseChildrenCtx(ctx context.Context, path string) ([]string, 
 // LeaseChildrenDataCtx is ChildrenDataCtx under the leader's read
 // lease (see LeaseGetCtx for the contract).
 func (s *Session) LeaseChildrenDataCtx(ctx context.Context, path string) ([]ChildEntry, error) {
-	w := wire.NewWriter(9 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opLeaseRead)
 	w.Uint8(opChildrenData)
 	w.String(path)
-	payload, err := s.requestCtx(ctx, w.Bytes())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -481,8 +517,9 @@ func (s *Session) MultiCtx(ctx context.Context, ops []Op) ([]OpResult, error) {
 	if len(ops) == 0 {
 		return nil, errors.New("coord: empty multi")
 	}
-	msg := encodeMultiTxn(ops, s.id, s.seq.Add(1), time.Now().UnixNano())
-	payload, err := s.requestCtx(ctx, msg)
+	w := wire.GetWriter()
+	appendMultiTxn(w, ops, s.id, s.seq.Add(1), time.Now().UnixNano())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -515,10 +552,10 @@ func decodeMultiReply(payload []byte) ([]OpResult, error) {
 // ".") and every child with its data and stat — a whole readdir in one
 // round trip, served from the session's local replica like Children.
 func (s *Session) ChildrenDataCtx(ctx context.Context, path string) ([]ChildEntry, error) {
-	w := wire.NewWriter(8 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opChildrenData)
 	w.String(path)
-	payload, err := s.requestCtx(ctx, w.Bytes())
+	payload, err := s.requestPooled(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -558,11 +595,11 @@ func (s *Session) Atomic(paths ...string) bool { return true }
 // on the path (as applied by the session's server) queues an Event
 // retrievable with PollEvents. A failed GetW leaves no watch.
 func (s *Session) GetW(path string) ([]byte, znode.Stat, error) {
-	w := wire.NewWriter(16 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opGetWatch)
 	w.Uint64(s.id)
 	w.String(path)
-	payload, err := s.request(w.Bytes())
+	payload, err := s.requestPooled(context.Background(), w)
 	if err != nil {
 		return nil, znode.Stat{}, err
 	}
@@ -578,11 +615,11 @@ func (s *Session) GetW(path string) ([]byte, znode.Stat, error) {
 // ExistsW is Exists plus a one-shot watch; it fires on creation of a
 // currently-absent node as well, matching ZooKeeper.
 func (s *Session) ExistsW(path string) (znode.Stat, bool, error) {
-	w := wire.NewWriter(16 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opExistsWatch)
 	w.Uint64(s.id)
 	w.String(path)
-	payload, err := s.request(w.Bytes())
+	payload, err := s.requestPooled(context.Background(), w)
 	if err != nil {
 		return znode.Stat{}, false, err
 	}
@@ -599,11 +636,11 @@ func (s *Session) ExistsW(path string) (znode.Stat, bool, error) {
 // entry is added to or removed from the directory, or the directory
 // itself is deleted).
 func (s *Session) ChildrenW(path string) ([]string, error) {
-	w := wire.NewWriter(16 + len(path))
+	w := wire.GetWriter()
 	w.Uint8(opChildrenWatch)
 	w.Uint64(s.id)
 	w.String(path)
-	payload, err := s.request(w.Bytes())
+	payload, err := s.requestPooled(context.Background(), w)
 	if err != nil {
 		return nil, err
 	}
@@ -619,10 +656,10 @@ func (s *Session) ChildrenW(path string) ([]string, error) {
 // Delivery is pull-based (the transport is request/response); watches
 // are one-shot and server-local, as in ZooKeeper.
 func (s *Session) PollEvents() ([]Event, error) {
-	w := wire.NewWriter(16)
+	w := wire.GetWriter()
 	w.Uint8(opPollEvents)
 	w.Uint64(s.id)
-	payload, err := s.request(w.Bytes())
+	payload, err := s.requestPooled(context.Background(), w)
 	if err != nil {
 		return nil, err
 	}
@@ -676,11 +713,14 @@ func (s *Session) WaitEvents(ctx context.Context, maxWait time.Duration) ([]Even
 			s.eventGen.Store(g)
 			return nil, ErrWatchesLost
 		}
-		w := wire.NewWriter(24)
+		w := wire.GetWriter()
 		w.Uint8(opWaitEvents)
 		w.Uint64(s.id)
 		w.Uint32(uint32(remaining / time.Millisecond))
-		resp, err := s.call(ctx, c, w.Bytes())
+		resp, abandoned, err := s.call(ctx, c, w.Bytes())
+		if !abandoned {
+			wire.PutWriter(w)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -729,7 +769,9 @@ func (s *Session) WaitEvent(timeout time.Duration) ([]Event, error) {
 // them — the cross-client visibility guarantee DUFS needs after
 // another client's mutation.
 func (s *Session) SyncCtx(ctx context.Context) error {
-	_, err := s.requestCtx(ctx, encodeSyncTxn(s.id, s.seq.Add(1)))
+	w := wire.GetWriter()
+	appendSyncTxn(w, s.id, s.seq.Add(1))
+	_, err := s.requestPooled(ctx, w)
 	return err
 }
 
@@ -778,9 +820,9 @@ type ObserverStatus struct {
 
 // Status queries the connected server.
 func (s *Session) Status() (Status, error) {
-	w := wire.NewWriter(1)
+	w := wire.GetWriter()
 	w.Uint8(opStatus)
-	payload, err := s.request(w.Bytes())
+	payload, err := s.requestPooled(context.Background(), w)
 	if err != nil {
 		return Status{}, err
 	}

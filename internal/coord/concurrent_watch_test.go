@@ -1,0 +1,87 @@
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coord/znode"
+)
+
+// TestWatchSemanticsUnderConcurrentReads pins that the striped read
+// path did not change watch-fire semantics: while reader goroutines
+// hammer the same server's Get/Children/Exists (read locks on the very
+// stripes the watched paths hash to), every registered one-shot watch
+// still fires exactly once for the write that follows it.
+func TestWatchSemanticsUnderConcurrentReads(t *testing.T) {
+	_, a, b := watchEnv(t)
+	const paths = 6
+	for i := 0; i < paths; i++ {
+		if _, err := a.Create(fmt.Sprintf("/cw%d", i), []byte("v0"), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < paths; i++ {
+					p := fmt.Sprintf("/cw%d", i)
+					b.Get(p)
+					b.Exists(p)
+				}
+				b.Children("/")
+			}
+		}()
+	}
+
+	// Register a data watch per path, then write each path once. Every
+	// watch must deliver exactly one EventDataChanged despite the read
+	// storm on the same stripes.
+	for i := 0; i < paths; i++ {
+		if _, _, err := a.GetW(fmt.Sprintf("/cw%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < paths; i++ {
+		if _, err := b.Set(fmt.Sprintf("/cw%d", i), []byte("v1"), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := waitEvents(t, a, paths)
+	close(stop)
+	wg.Wait()
+
+	seen := map[string]int{}
+	for _, ev := range evs {
+		if ev.Type != EventDataChanged {
+			t.Fatalf("event = %+v, want EventDataChanged", ev)
+		}
+		seen[ev.Path]++
+	}
+	for i := 0; i < paths; i++ {
+		p := fmt.Sprintf("/cw%d", i)
+		if seen[p] != 1 {
+			t.Fatalf("watch on %s fired %d times, want 1 (all: %v)", p, seen[p], seen)
+		}
+	}
+
+	// One-shot: a second write after the fire must not deliver again.
+	if _, err := b.Set("/cw0", []byte("v2"), -1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if extra, err := a.PollEvents(); err != nil || len(extra) != 0 {
+		t.Fatalf("one-shot watch re-fired: %v (%v)", extra, err)
+	}
+}

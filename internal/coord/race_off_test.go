@@ -1,0 +1,7 @@
+//go:build !race
+
+package coord
+
+// raceEnabled reports whether the race detector is active; allocation
+// budgets are meaningless under its instrumentation.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package coord
+
+const raceEnabled = true

@@ -342,8 +342,13 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 	case opCreate, opDelete, opSet, opMulti, opNewSession, opCloseSession, opSync:
 		// The remaining request payload after the op byte is already in
 		// transaction layout; re-prefix the op and propose it whole.
+		// Propose retains the transaction bytes (replication log, WAL),
+		// but req is a transport-owned buffer the handler must not keep
+		// — so the write path pays exactly one defensive copy here.
 		s.reg.Counter("writes").Inc()
-		result, err := s.node.Propose(req)
+		txn := make([]byte, len(req))
+		copy(txn, req)
+		result, err := s.node.Propose(txn)
 		if err != nil {
 			return nil, fmt.Errorf("coord: proposal failed: %w", err)
 		}

@@ -1,7 +1,11 @@
 package coord
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"io"
+	"slices"
 	"sync"
 
 	"repro/internal/coord/znode"
@@ -26,6 +30,11 @@ type stateMachine struct {
 	sessions    map[uint64]bool
 	nextSession uint64
 	dedup       map[uint64]*dedupWindow
+
+	// batchScratch is ApplyBatch's reusable result container. Frames
+	// apply sequentially from the replication layer's single apply
+	// goroutine, so one scratch per state machine suffices.
+	batchScratch [][]byte
 
 	// notify, when set, observes every applied mutation on this
 	// replica (op code, affected path, acting session, success). The
@@ -85,8 +94,15 @@ func newStateMachine() *stateMachine {
 //
 // Session 0 / seq 0 marks an undeduplicated transaction (session
 // establishment happens before the client has an identity).
-func encodeCreateTxn(path string, data []byte, mode znode.CreateMode, session, seq uint64, nowNano int64) []byte {
-	w := wire.NewWriter(48 + len(path) + len(data))
+// The transaction appenders below write into a caller-supplied Writer:
+// the client encodes requests into pooled scratch writers (the server
+// copies before any retention — see Propose), while the encode*Txn
+// wrappers keep an owned-buffer form for callers whose bytes ARE
+// retained — the replication log, the WAL, the dedup window, replay
+// in tests. Owned buffers can never come from a pool; a fresh buffer
+// per transaction is the correct lifetime there.
+func appendCreateTxn(w *wire.Writer, path string, data []byte, mode znode.CreateMode, session, seq uint64, nowNano int64) {
+	w.Grow(48 + len(path) + len(data))
 	w.Uint8(opCreate)
 	w.Uint64(session)
 	w.Uint64(seq)
@@ -94,21 +110,31 @@ func encodeCreateTxn(path string, data []byte, mode znode.CreateMode, session, s
 	w.Bytes32(data)
 	w.Uint8(uint8(mode))
 	w.Int64(nowNano)
+}
+
+func encodeCreateTxn(path string, data []byte, mode znode.CreateMode, session, seq uint64, nowNano int64) []byte {
+	var w wire.Writer
+	appendCreateTxn(&w, path, data, mode, session, seq, nowNano)
 	return w.Bytes()
 }
 
-func encodeDeleteTxn(path string, version int32, session, seq uint64) []byte {
-	w := wire.NewWriter(32 + len(path))
+func appendDeleteTxn(w *wire.Writer, path string, version int32, session, seq uint64) {
+	w.Grow(32 + len(path))
 	w.Uint8(opDelete)
 	w.Uint64(session)
 	w.Uint64(seq)
 	w.String(path)
 	w.Int32(version)
+}
+
+func encodeDeleteTxn(path string, version int32, session, seq uint64) []byte {
+	var w wire.Writer
+	appendDeleteTxn(&w, path, version, session, seq)
 	return w.Bytes()
 }
 
-func encodeSetTxn(path string, data []byte, version int32, session, seq uint64, nowNano int64) []byte {
-	w := wire.NewWriter(48 + len(path) + len(data))
+func appendSetTxn(w *wire.Writer, path string, data []byte, version int32, session, seq uint64, nowNano int64) {
+	w.Grow(48 + len(path) + len(data))
 	w.Uint8(opSet)
 	w.Uint64(session)
 	w.Uint64(seq)
@@ -116,58 +142,99 @@ func encodeSetTxn(path string, data []byte, version int32, session, seq uint64, 
 	w.Bytes32(data)
 	w.Int32(version)
 	w.Int64(nowNano)
+}
+
+func encodeSetTxn(path string, data []byte, version int32, session, seq uint64, nowNano int64) []byte {
+	var w wire.Writer
+	appendSetTxn(&w, path, data, version, session, seq, nowNano)
 	return w.Bytes()
 }
 
-func encodeMultiTxn(ops []Op, session, seq uint64, nowNano int64) []byte {
+func appendMultiTxn(w *wire.Writer, ops []Op, session, seq uint64, nowNano int64) {
 	size := 32
 	for _, op := range ops {
 		size += 16 + len(op.Path) + len(op.Data)
 	}
-	w := wire.NewWriter(size)
+	w.Grow(size)
 	w.Uint8(opMulti)
 	w.Uint64(session)
 	w.Uint64(seq)
 	w.Int64(nowNano)
 	encodeOps(w, ops)
+}
+
+func encodeMultiTxn(ops []Op, session, seq uint64, nowNano int64) []byte {
+	var w wire.Writer
+	appendMultiTxn(&w, ops, session, seq, nowNano)
 	return w.Bytes()
 }
 
 func encodeNewSessionTxn() []byte {
-	w := wire.NewWriter(1)
+	var w wire.Writer
 	w.Uint8(opNewSession)
 	return w.Bytes()
 }
 
 func encodeCloseSessionTxn(session, seq uint64) []byte {
-	w := wire.NewWriter(24)
+	var w wire.Writer
+	w.Grow(24)
 	w.Uint8(opCloseSession)
 	w.Uint64(session)
 	w.Uint64(seq)
 	return w.Bytes()
 }
 
-func encodeSyncTxn(session, seq uint64) []byte {
-	w := wire.NewWriter(24)
+func appendSyncTxn(w *wire.Writer, session, seq uint64) {
+	w.Grow(24)
 	w.Uint8(opSync)
 	w.Uint64(session)
 	w.Uint64(seq)
+}
+
+func encodeSyncTxn(session, seq uint64) []byte {
+	var w wire.Writer
+	appendSyncTxn(&w, session, seq)
 	return w.Bytes()
 }
 
 // okResult builds a successful result with an optional payload writer.
+// Results are retained in the dedup window, so the buffer is owned by
+// the result — never pooled.
 func okResult(fill func(w *wire.Writer)) []byte {
-	w := wire.NewWriter(64)
+	var w wire.Writer
+	w.Grow(64)
 	w.Uint8(codeOK)
 	w.String("") // detail
 	if fill != nil {
-		fill(w)
+		fill(&w)
 	}
 	return w.Bytes()
 }
 
+// okResultString and okResultStat are closure-free okResult forms for
+// the create/set replies on the write hot path — the generic fill-func
+// shape costs a captured-variable closure allocation per transaction.
+func okResultString(v string) []byte {
+	var w wire.Writer
+	w.Grow(64)
+	w.Uint8(codeOK)
+	w.String("") // detail
+	w.String(v)
+	return w.Bytes()
+}
+
+func okResultStat(stat znode.Stat) []byte {
+	var w wire.Writer
+	w.Grow(64)
+	w.Uint8(codeOK)
+	w.String("") // detail
+	encodeStat(&w, stat)
+	return w.Bytes()
+}
+
 func errResult(err error) []byte {
-	w := wire.NewWriter(64)
+	var w wire.Writer
+	w.Grow(64)
 	w.Uint8(codeForError(err))
 	w.String(err.Error())
 	return w.Bytes()
@@ -178,8 +245,16 @@ func errResult(err error) []byte {
 // each producing its own result exactly as N sequential Apply calls
 // would (including per-session retry dedup, which keys on session/seq
 // and so is insensitive to how transactions were framed).
+// The returned slice is only valid until the next ApplyBatch call: the
+// replication layer consumes the results before applying the next
+// frame (frames apply strictly in order from one goroutine), so the
+// container is a reusable scratch — only the per-txn result buffers
+// are retained (by the dedup window and the waiters).
 func (s *stateMachine) ApplyBatch(txns [][]byte, firstZxid uint64) [][]byte {
-	results := make([][]byte, len(txns))
+	if cap(s.batchScratch) < len(txns) {
+		s.batchScratch = make([][]byte, len(txns))
+	}
+	results := s.batchScratch[:len(txns)]
 	for i, txn := range txns {
 		results[i] = s.Apply(txn, firstZxid+uint64(i))
 	}
@@ -188,7 +263,8 @@ func (s *stateMachine) ApplyBatch(txns [][]byte, firstZxid uint64) [][]byte {
 
 // Apply implements zab.StateMachine.
 func (s *stateMachine) Apply(txn []byte, zxid uint64) []byte {
-	r := wire.NewReader(txn)
+	var r wire.Reader
+	r.Reset(txn)
 	op := r.Uint8()
 	if r.Err() != nil {
 		return errResult(fmt.Errorf("malformed transaction: %w", r.Err()))
@@ -217,7 +293,7 @@ func (s *stateMachine) Apply(txn []byte, zxid uint64) []byte {
 		}
 		s.mu.Unlock()
 	}
-	result := s.applyWrite(op, session, r, zxid)
+	result := s.applyWrite(op, session, &r, zxid)
 	if session != 0 && seq != 0 {
 		s.mu.Lock()
 		w, ok := s.dedup[session]
@@ -235,7 +311,9 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 	switch op {
 	case opCreate:
 		path := r.String()
-		data := r.BytesCopy32()
+		// Borrowed, not copied: the tree duplicates data into the node
+		// it creates, so the slice never outlives this call.
+		data := r.BorrowBytes()
 		mode := znode.CreateMode(r.Uint8())
 		now := r.Int64()
 		if err := r.Err(); err != nil {
@@ -248,7 +326,7 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		if err != nil {
 			return errResult(err)
 		}
-		return okResult(func(w *wire.Writer) { w.String(created) })
+		return okResultString(created)
 	case opDelete:
 		path := r.String()
 		version := r.Int32()
@@ -265,7 +343,7 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		return okResult(nil)
 	case opSet:
 		path := r.String()
-		data := r.BytesCopy32()
+		data := r.BorrowBytes() // the tree copies on Set, as on Create
 		version := r.Int32()
 		now := r.Int64()
 		if err := r.Err(); err != nil {
@@ -278,7 +356,7 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		if err != nil {
 			return errResult(err)
 		}
-		return okResult(func(w *wire.Writer) { encodeStat(w, stat) })
+		return okResultStat(stat)
 	case opMulti:
 		now := r.Int64()
 		if err := r.Err(); err != nil {
@@ -328,42 +406,77 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 	}
 }
 
-// Snapshot implements zab.StateMachine: session state followed by the
-// full tree walk, parents before children.
+// Snapshot implements zab.StateMachine by buffering the streaming
+// serialization — one codepath, so the blob and stream forms are
+// byte-identical by construction.
 func (s *stateMachine) Snapshot() []byte {
+	var buf bytes.Buffer
+	// A bytes.Buffer write cannot fail short of OOM.
+	_ = s.SnapshotTo(&buf)
+	return buf.Bytes()
+}
+
+// SnapshotTo implements zab.StreamingStateMachine: session state
+// followed by the full tree walk (parents before children), pushed
+// through a chunked encoder so serializing a tree of any size needs
+// O(chunk) memory beyond the tree itself.
+func (s *stateMachine) SnapshotTo(out io.Writer) error {
+	enc := wire.NewEncoder(out, 0)
 	s.mu.Lock()
-	w := wire.NewWriter(1 << 16)
-	w.Uint64(s.nextSession)
-	w.Uint32(uint32(len(s.sessions)))
+	enc.Uint64(s.nextSession)
+	// Emit map sections in sorted-key order so serializing the same
+	// state twice yields the same bytes — two replicas at one zxid can
+	// then compare snapshot checksums directly.
+	sessionIDs := make([]uint64, 0, len(s.sessions))
 	for id := range s.sessions {
-		w.Uint64(id)
+		sessionIDs = append(sessionIDs, id)
 	}
-	w.Uint32(uint32(len(s.dedup)))
-	for id, win := range s.dedup {
-		w.Uint64(id)
-		w.Uint32(uint32(len(win.order)))
+	slices.Sort(sessionIDs)
+	enc.Uint32(uint32(len(sessionIDs)))
+	for _, id := range sessionIDs {
+		enc.Uint64(id)
+	}
+	dedupIDs := make([]uint64, 0, len(s.dedup))
+	for id := range s.dedup {
+		dedupIDs = append(dedupIDs, id)
+	}
+	slices.Sort(dedupIDs)
+	enc.Uint32(uint32(len(dedupIDs)))
+	for _, id := range dedupIDs {
+		win := s.dedup[id]
+		enc.Uint64(id)
+		enc.Uint32(uint32(len(win.order)))
 		for _, seq := range win.order {
-			w.Uint64(seq)
-			w.Bytes32(win.results[seq])
+			enc.Uint64(seq)
+			enc.Bytes32(win.results[seq])
 		}
 	}
 	tree := s.tree
 	s.mu.Unlock()
 
 	tree.Walk(func(e znode.WalkEntry) {
-		w.Bool(true)
-		w.String(e.Path)
-		w.Bytes32(e.Data)
-		encodeStat(w, e.Stat)
-		w.Int64(e.Seq)
+		enc.Bool(true)
+		enc.String(e.Path)
+		enc.Bytes32(e.Data)
+		encodeStat(enc, e.Stat)
+		enc.Int64(e.Seq)
 	})
-	w.Bool(false)
-	return w.Bytes()
+	enc.Bool(false)
+	return enc.Flush()
 }
 
-// Restore implements zab.StateMachine.
-func (s *stateMachine) Restore(snap []byte, _ uint64) error {
-	r := wire.NewReader(snap)
+// Restore implements zab.StateMachine over the streaming path.
+func (s *stateMachine) Restore(snap []byte, snapZxid uint64) error {
+	return s.RestoreFrom(bytes.NewReader(snap), snapZxid)
+}
+
+// RestoreFrom implements zab.StreamingStateMachine. The replacement
+// state is built on the side and swapped in only once the whole stream
+// has decoded cleanly — a corrupt snapshot never leaves the machine
+// half-restored. The stream is consumed to EOF, which is what lets a
+// validating source (checksum verified at end-of-data) veto the swap.
+func (s *stateMachine) RestoreFrom(rd io.Reader, _ uint64) error {
+	r := wire.NewDecoder(rd)
 	next := r.Uint64()
 	nSessions := r.Uint32()
 	if err := r.Err(); err != nil {
@@ -387,7 +500,7 @@ func (s *stateMachine) Restore(snap []byte, _ uint64) error {
 		win := &dedupWindow{results: make(map[uint64][]byte, nEntries)}
 		for j := uint32(0); j < nEntries; j++ {
 			seq := r.Uint64()
-			result := r.BytesCopy32()
+			result := r.Bytes32()
 			if err := r.Err(); err != nil {
 				return fmt.Errorf("coord: corrupt snapshot dedup result: %w", err)
 			}
@@ -399,7 +512,7 @@ func (s *stateMachine) Restore(snap []byte, _ uint64) error {
 	for r.Bool() {
 		e := znode.WalkEntry{
 			Path: r.String(),
-			Data: r.BytesCopy32(),
+			Data: r.Bytes32(),
 			Stat: decodeStat(r),
 			Seq:  r.Int64(),
 		}
@@ -411,6 +524,17 @@ func (s *stateMachine) Restore(snap []byte, _ uint64) error {
 		}
 	}
 	if err := r.Err(); err != nil {
+		return fmt.Errorf("coord: corrupt snapshot: %w", err)
+	}
+	// Exactly at end-of-stream: a trailing byte is a framing bug, and
+	// this final read is where a checksum-validating reader reports a
+	// mismatch instead of EOF.
+	var tail [1]byte
+	switch _, err := io.ReadFull(rd, tail[:]); err {
+	case io.EOF:
+	case nil:
+		return errors.New("coord: snapshot has bytes past the encoded state")
+	default:
 		return fmt.Errorf("coord: corrupt snapshot: %w", err)
 	}
 	s.mu.Lock()

@@ -39,10 +39,12 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -87,6 +89,10 @@ type Options struct {
 	// power loss may drop the acknowledged writes of up to N-1 sync
 	// windows.
 	SyncEvery int
+	// SnapChunkSize bounds the buffer the engine uses to stream
+	// snapshots to and from disk — the peak snapshot-path memory is
+	// O(SnapChunkSize) regardless of snapshot size. Defaults to 256 KiB.
+	SnapChunkSize int
 	// Metrics, when non-nil, receives the engine's gauges
 	// ("storage.last_durable_zxid", "storage.wal_segments") and the
 	// fsync batch distribution ("storage.fsync_batch_txns").
@@ -115,7 +121,9 @@ type Engine struct {
 	epoch   uint64
 	granted uint64
 
-	snapData []byte // recovered snapshot, released after first save
+	// The snapshot itself is never retained in memory: recovery verifies
+	// the file's checksum by streaming it, and Snapshot/SnapshotStream
+	// read it back off disk on demand.
 	snapZxid uint64
 	hasSnap  bool
 	frames   []zab.Frame // recovered log tail
@@ -136,7 +144,10 @@ type Engine struct {
 	dBatch    *metrics.Distribution
 }
 
-var _ zab.Storage = (*Engine)(nil)
+var (
+	_ zab.Storage       = (*Engine)(nil)
+	_ zab.StreamStorage = (*Engine)(nil)
+)
 
 // Open creates or recovers the engine in opt.Dir.
 func Open(opt Options) (*Engine, error) {
@@ -145,6 +156,9 @@ func Open(opt Options) (*Engine, error) {
 	}
 	if opt.SegmentSize <= 0 {
 		opt.SegmentSize = 8 << 20
+	}
+	if opt.SnapChunkSize <= 0 {
+		opt.SnapChunkSize = 256 << 10
 	}
 	if opt.Metrics == nil {
 		opt.Metrics = metrics.NewRegistry()
@@ -205,13 +219,12 @@ func (e *Engine) recover() error {
 
 	if len(snapZxids) > 0 {
 		z := snapZxids[len(snapZxids)-1]
-		data, err := readSnapshot(e.snapPath(z), z)
-		if err != nil {
+		if err := e.verifySnapshot(e.snapPath(z), z); err != nil {
 			// A renamed snapshot was fully written and fsynced before the
 			// rename; a checksum failure is corruption, not a torn write.
 			return err
 		}
-		e.snapData, e.snapZxid, e.hasSnap = data, z, true
+		e.snapZxid, e.hasSnap = z, true
 		e.lastAppended, e.lastDurable = z, z
 	}
 
@@ -412,14 +425,45 @@ func (e *Engine) SaveHardState(epoch, grantedEpoch uint64) error {
 	return nil
 }
 
-// Snapshot implements zab.Storage.
+// Snapshot implements zab.Storage by reading the snapshot file back on
+// demand — the engine never pins a serialized copy of the state in
+// memory for its whole lifetime. Open proved the file intact, so a
+// failure here is a live disk fault and poisons the engine rather than
+// presenting an empty store as healthy.
 func (e *Engine) Snapshot() (data []byte, zxid uint64, ok bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.hasSnap {
 		return nil, 0, false
 	}
-	return e.snapData, e.snapZxid, true
+	data, err := readSnapshot(e.snapPath(e.snapZxid), e.snapZxid)
+	if err != nil {
+		if e.failed == nil {
+			e.failed = err
+		}
+		return nil, 0, false
+	}
+	return data, e.snapZxid, true
+}
+
+// SnapshotStream implements zab.StreamStorage: a checksum-validating
+// reader over the newest durable snapshot body. The caller owns the
+// returned reader and must Close it; a corrupt body surfaces as a read
+// error in place of EOF.
+func (e *Engine) SnapshotStream() (io.ReadCloser, uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.hasSnap {
+		return nil, 0, false
+	}
+	sr, err := openSnapshotStream(e.snapPath(e.snapZxid), e.snapZxid)
+	if err != nil {
+		if e.failed == nil {
+			e.failed = err
+		}
+		return nil, 0, false
+	}
+	return sr, e.snapZxid, true
 }
 
 // Frames implements zab.Storage. It is single-shot: the recovered
@@ -638,10 +682,18 @@ func (e *Engine) LastDurableZxid() uint64 {
 }
 
 // SaveSnapshot implements zab.Storage: the fuzzy snapshot path. The
-// snapshot is written beside the live log (temp + fsync + rename +
-// dir fsync), then sealed segments wholly covered by it are reclaimed
-// and older snapshots pruned.
+// blob form simply streams from memory — one codepath, byte-identical
+// files.
 func (e *Engine) SaveSnapshot(data []byte, zxid uint64) error {
+	return e.SaveSnapshotFrom(bytes.NewReader(data), zxid)
+}
+
+// SaveSnapshotFrom implements zab.StreamStorage: the snapshot body is
+// copied from data to a temp file in SnapChunkSize chunks (checksummed
+// incrementally, header patched in place), fsynced and renamed beside
+// the live log, then sealed segments wholly covered by it are
+// reclaimed and older snapshots pruned.
+func (e *Engine) SaveSnapshotFrom(data io.Reader, zxid uint64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.usableLocked(); err != nil {
@@ -660,6 +712,12 @@ func (e *Engine) SaveSnapshot(data []byte, zxid uint64) error {
 // InstallSnapshot implements zab.Storage: a leader-shipped snapshot
 // replaces the entire log, divergent tail included.
 func (e *Engine) InstallSnapshot(data []byte, zxid uint64) error {
+	return e.InstallSnapshotFrom(bytes.NewReader(data), zxid)
+}
+
+// InstallSnapshotFrom implements zab.StreamStorage; see
+// InstallSnapshot and SaveSnapshotFrom.
+func (e *Engine) InstallSnapshotFrom(data io.Reader, zxid uint64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.usableLocked(); err != nil {
@@ -701,19 +759,61 @@ func (e *Engine) InstallSnapshot(data []byte, zxid uint64) error {
 	return nil
 }
 
-func (e *Engine) writeSnapshotLocked(data []byte, zxid uint64) error {
+// snapHeaderSize is the fixed snapshot prologue: magic u32, zxid u64,
+// body CRC-32C u32, body length u32. The layout is shared by the blob
+// and streaming paths — the files they produce are identical.
+const snapHeaderSize = 20
+
+// writeSnapshotLocked streams the snapshot body from data into a temp
+// file in O(SnapChunkSize) memory: the header goes down with zeroed
+// CRC/length slots, the body is copied through a chunk buffer while
+// the checksum accumulates, and the real CRC/length are patched in
+// place before the fsync — the rename still publishes a
+// complete-by-construction file.
+func (e *Engine) writeSnapshotLocked(data io.Reader, zxid uint64) error {
 	path := e.snapPath(zxid)
 	tmp := path + ".tmp"
-	w := wire.NewWriter(24 + len(data))
-	w.Uint32(snapMagic)
-	w.Uint64(zxid)
-	w.Uint32(crc32.Checksum(data, crcTable))
-	w.Bytes32(data)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	if _, err := f.Write(w.Bytes()); err != nil {
+	var hdr [snapHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], snapMagic)
+	binary.BigEndian.PutUint64(hdr[4:], zxid)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	var (
+		crc   uint32
+		total int64
+	)
+	buf := make([]byte, e.opt.SnapChunkSize)
+	for {
+		n, rerr := data.Read(buf)
+		if n > 0 {
+			crc = crc32.Update(crc, crcTable, buf[:n])
+			total += int64(n)
+			if total > int64(^uint32(0)) {
+				f.Close()
+				return errors.New("storage: snapshot exceeds the 4 GiB format bound")
+			}
+			if _, werr := f.Write(buf[:n]); werr != nil {
+				f.Close()
+				return fmt.Errorf("storage: %w", werr)
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			f.Close()
+			return fmt.Errorf("storage: snapshot source: %w", rerr)
+		}
+	}
+	binary.BigEndian.PutUint32(hdr[12:], crc)
+	binary.BigEndian.PutUint32(hdr[16:], uint32(total))
+	if _, err := f.WriteAt(hdr[12:snapHeaderSize], 12); err != nil {
 		f.Close()
 		return fmt.Errorf("storage: %w", err)
 	}
@@ -731,7 +831,6 @@ func (e *Engine) writeSnapshotLocked(data []byte, zxid uint64) error {
 	}
 	prev, hadPrev := e.snapZxid, e.hasSnap
 	e.snapZxid, e.hasSnap = zxid, true
-	e.snapData = nil // recovered copy no longer needed
 	// Keep the previous snapshot as a fallback generation; prune older.
 	if hadPrev {
 		if matches, err := filepath.Glob(filepath.Join(e.opt.Dir, "snap-*.snap")); err == nil {
@@ -781,6 +880,92 @@ func (e *Engine) reclaimSegmentsLocked() {
 
 func (e *Engine) snapPath(zxid uint64) string {
 	return filepath.Join(e.opt.Dir, fmt.Sprintf("snap-%016x.snap", zxid))
+}
+
+// snapReader streams a snapshot body while folding the bytes into a
+// running CRC-32C; once the body is exhausted it verifies the stored
+// checksum and reports a mismatch as a read error in place of io.EOF,
+// so a consumer that reached EOF has by construction read an intact
+// snapshot.
+type snapReader struct {
+	f         *os.File
+	path      string
+	remaining int64
+	crc       uint32
+	want      uint32
+	verified  bool
+}
+
+func (sr *snapReader) Read(p []byte) (int, error) {
+	if sr.remaining == 0 {
+		if !sr.verified {
+			if sr.crc != sr.want {
+				return 0, fmt.Errorf("storage: %s: snapshot checksum mismatch", sr.path)
+			}
+			sr.verified = true
+		}
+		return 0, io.EOF
+	}
+	if int64(len(p)) > sr.remaining {
+		p = p[:sr.remaining]
+	}
+	n, err := sr.f.Read(p)
+	sr.crc = crc32.Update(sr.crc, crcTable, p[:n])
+	sr.remaining -= int64(n)
+	if err == io.EOF {
+		if sr.remaining > 0 {
+			err = fmt.Errorf("storage: %s: truncated snapshot", sr.path)
+		} else {
+			err = nil
+		}
+	}
+	return n, err
+}
+
+func (sr *snapReader) Close() error { return sr.f.Close() }
+
+// openSnapshotStream opens path, checks the header against wantZxid
+// and hands back a validating reader over the body.
+func openSnapshotStream(path string, wantZxid uint64) (*snapReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var hdr [snapHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: truncated snapshot: %w; refusing startup", path, err)
+	}
+	magic := binary.BigEndian.Uint32(hdr[0:])
+	zxid := binary.BigEndian.Uint64(hdr[4:])
+	crc := binary.BigEndian.Uint32(hdr[12:])
+	length := binary.BigEndian.Uint32(hdr[16:])
+	if magic != snapMagic || zxid != wantZxid {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: bad snapshot header; refusing startup", path)
+	}
+	return &snapReader{f: f, path: path, remaining: int64(length), want: crc}, nil
+}
+
+// verifySnapshot streams the whole file through the validating reader
+// — O(SnapChunkSize) memory however large the snapshot — refusing
+// startup on any corruption, exactly as the old load-and-check did.
+func (e *Engine) verifySnapshot(path string, wantZxid uint64) error {
+	sr, err := openSnapshotStream(path, wantZxid)
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	buf := make([]byte, e.opt.SnapChunkSize)
+	for {
+		_, err := sr.Read(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w; refusing startup", err)
+		}
+	}
 }
 
 func readSnapshot(path string, wantZxid uint64) ([]byte, error) {

@@ -88,14 +88,15 @@ func (m proposeReq) encode() []byte {
 			size += 8 + len(txn)
 		}
 	}
-	w := wire.NewWriter(size)
+	var w wire.Writer
+	w.Grow(size)
 	w.Uint8(msgPropose)
 	w.Uint64(m.Epoch)
 	w.Uint64(m.LeaderID)
 	w.Uint64(m.PrevZxid)
 	w.Uint32(uint32(len(m.Entries)))
 	for _, e := range m.Entries {
-		encodeEntry(w, e)
+		encodeEntry(&w, e)
 	}
 	w.Uint64(m.Commit)
 	return w.Bytes()
@@ -135,7 +136,8 @@ type proposeResp struct {
 }
 
 func (m proposeResp) encode() []byte {
-	w := wire.NewWriter(24)
+	var w wire.Writer
+	w.Grow(24)
 	w.Bool(m.Ack)
 	w.Bool(m.NeedSync)
 	w.Uint64(m.Epoch)
@@ -157,7 +159,8 @@ type commitReq struct {
 }
 
 func (m commitReq) encode() []byte {
-	w := wire.NewWriter(24)
+	var w wire.Writer
+	w.Grow(24)
 	w.Uint8(msgCommit)
 	w.Uint64(m.Epoch)
 	w.Uint64(m.Zxid)
@@ -172,7 +175,8 @@ type heartbeatReq struct {
 }
 
 func (m heartbeatReq) encode() []byte {
-	w := wire.NewWriter(32)
+	var w wire.Writer
+	w.Grow(32)
 	w.Uint8(msgHeartbeat)
 	w.Uint64(m.Epoch)
 	w.Uint64(m.LeaderID)
@@ -186,7 +190,8 @@ type heartbeatResp struct {
 }
 
 func (m heartbeatResp) encode() []byte {
-	w := wire.NewWriter(16)
+	var w wire.Writer
+	w.Grow(16)
 	w.Uint64(m.Epoch)
 	w.Uint64(m.LastZxid)
 	return w.Bytes()
@@ -209,7 +214,8 @@ type requestVoteReq struct {
 }
 
 func (m requestVoteReq) encode() []byte {
-	w := wire.NewWriter(32)
+	var w wire.Writer
+	w.Grow(32)
 	w.Uint8(msgRequestVote)
 	w.Uint64(m.Epoch)
 	w.Uint64(m.CandidateID)
@@ -223,7 +229,8 @@ type requestVoteResp struct {
 }
 
 func (m requestVoteResp) encode() []byte {
-	w := wire.NewWriter(16)
+	var w wire.Writer
+	w.Grow(16)
 	w.Bool(m.Granted)
 	w.Uint64(m.Epoch)
 	return w.Bytes()
@@ -241,7 +248,8 @@ type syncReq struct {
 }
 
 func (m syncReq) encode() []byte {
-	w := wire.NewWriter(16)
+	var w wire.Writer
+	w.Grow(16)
 	w.Uint8(msgSync)
 	w.Uint64(m.FromZxid)
 	return w.Bytes()
@@ -261,13 +269,14 @@ type syncResp struct {
 }
 
 func (m syncResp) encode() []byte {
-	w := wire.NewWriter(64 + len(m.Snapshot))
+	var w wire.Writer
+	w.Grow(64 + len(m.Snapshot))
 	w.Bool(m.HasSnapshot)
 	w.Uint64(m.SnapZxid)
 	w.Bytes32(m.Snapshot)
 	w.Uint32(uint32(len(m.Entries)))
 	for _, e := range m.Entries {
-		encodeEntry(w, e)
+		encodeEntry(&w, e)
 	}
 	w.Uint64(m.Commit)
 	w.Uint64(m.Epoch)
@@ -311,7 +320,8 @@ type observerPollReq struct {
 }
 
 func (m observerPollReq) encode() []byte {
-	w := wire.NewWriter(32)
+	var w wire.Writer
+	w.Grow(32)
 	w.Uint8(msgObserverPoll)
 	w.Uint64(m.ObserverID)
 	w.Uint64(m.FromZxid)
@@ -337,14 +347,15 @@ type observerPollResp struct {
 }
 
 func (m observerPollResp) encode() []byte {
-	w := wire.NewWriter(64 + len(m.Snapshot))
+	var w wire.Writer
+	w.Grow(64 + len(m.Snapshot))
 	w.Bool(m.Redirect)
 	w.Bool(m.HasSnapshot)
 	w.Uint64(m.SnapZxid)
 	w.Bytes32(m.Snapshot)
 	w.Uint32(uint32(len(m.Entries)))
 	for _, e := range m.Entries {
-		encodeEntry(w, e)
+		encodeEntry(&w, e)
 	}
 	w.Uint64(m.Commit)
 	w.Uint64(m.Epoch)
@@ -383,7 +394,8 @@ type forwardReq struct {
 }
 
 func (m forwardReq) encode() []byte {
-	w := wire.NewWriter(8 + len(m.Txn))
+	var w wire.Writer
+	w.Grow(8 + len(m.Txn))
 	w.Uint8(msgForward)
 	w.Bytes32(m.Txn)
 	return w.Bytes()
@@ -398,7 +410,8 @@ type forwardResp struct {
 }
 
 func (m forwardResp) encode() []byte {
-	w := wire.NewWriter(16 + len(m.Result))
+	var w wire.Writer
+	w.Grow(16 + len(m.Result))
 	w.Uint64(m.Zxid)
 	w.Bytes32(m.Result)
 	return w.Bytes()

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -79,10 +80,30 @@ type StateMachine interface {
 // transaction i of txns carries zxid firstZxid+i — returning one
 // result per transaction. Implementations can amortize per-apply
 // overhead (locking, notification batching) across the frame; the
-// semantics must be identical to N ordered Apply calls.
+// semantics must be identical to N ordered Apply calls. The returned
+// container is only valid until the next ApplyBatch call — callers
+// consume the results before applying another frame, which lets
+// implementations reuse one scratch slice across frames.
 type BatchStateMachine interface {
 	StateMachine
 	ApplyBatch(txns [][]byte, firstZxid uint64) [][]byte
+}
+
+// StreamingStateMachine is an optional StateMachine extension: a state
+// machine whose snapshots move as streams, so checkpointing never
+// materializes the full serialized state in memory. Paired with a
+// StreamStorage it gives the node O(chunk) snapshot memory end to end;
+// the blob methods must stay byte-compatible with the streamed form.
+type StreamingStateMachine interface {
+	StateMachine
+	// SnapshotTo serializes the full state at the current applied point
+	// to w. It must write the same bytes Snapshot would return.
+	SnapshotTo(w io.Writer) error
+	// RestoreFrom replaces the state with the snapshot streamed from r,
+	// taken at snapZxid. It must consume r to EOF (that is where a
+	// validating stream reports corruption) and must leave the state
+	// untouched on error.
+	RestoreFrom(r io.Reader, snapZxid uint64) error
 }
 
 // Config describes one ensemble member.
@@ -165,6 +186,27 @@ var (
 // proposeTimeout bounds how long a proposal waits for commit+apply.
 const proposeTimeout = 10 * time.Second
 
+// proposeTimers recycles the commit-wait timers: every write on the
+// hot path arms one, and a fresh time.NewTimer costs three allocations.
+// Go 1.23+ timer semantics (unbuffered channel, Reset discards pending
+// fires) make Reset-after-Stop safe without the old drain dance.
+var proposeTimers = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	t.Stop()
+	return t
+}}
+
+func getProposeTimer() *time.Timer {
+	t := proposeTimers.Get().(*time.Timer)
+	t.Reset(proposeTimeout)
+	return t
+}
+
+func putProposeTimer(t *time.Timer) {
+	t.Stop()
+	proposeTimers.Put(t)
+}
+
 // maxFramesPerSend bounds how many frames one sender RPC carries; a
 // follower further behind than this catches up over several round
 // trips (or via the sync protocol once its position leaves the log).
@@ -208,12 +250,16 @@ type Node struct {
 	// Leader-side group-commit state. leaderGen increments on every
 	// leadership transition; the proposer and sender goroutines carry
 	// the generation they were started under and exit when it moves.
-	leaderGen  uint64
-	propQ      []*pendingTxn
-	waiters    map[uint64]*pendingTxn // txn zxid -> waiter (leader only)
-	match      map[uint64]uint64      // peer -> cumulative acked zxid
-	stallSince time.Time              // commit horizon stuck since
-	leaderCond *sync.Cond             // work/window/role changes
+	leaderGen uint64
+	propQ     []*pendingTxn
+	// batchScratch is drainBatchLocked's reusable output buffer,
+	// consumed within one proposer iteration under mu.
+	batchScratch []*pendingTxn
+	waiters      map[uint64]*pendingTxn // txn zxid -> waiter (leader only)
+	match        map[uint64]uint64      // peer -> cumulative acked zxid
+	stallSince   time.Time              // commit horizon stuck since
+	leaderCond   *sync.Cond             // work/window/role changes
+	tipsScratch  []uint64               // quorum-sort scratch, under mu
 
 	// applyWaiters are follower-side (and forwarded-write) waits for
 	// the local state machine to reach a zxid; each registered channel
@@ -327,11 +373,12 @@ func (n *Node) recoverFromStorage() error {
 		epoch, granted := st.HardState()
 		frames = st.Frames()
 		n.epoch, n.grantedEpoch = epoch, granted
-		if snap, z, ok := st.Snapshot(); ok {
+		z, restored, err := n.restoreSnapshotFromStorage(st)
+		if err != nil {
+			return err
+		}
+		if restored {
 			recovered = true
-			if err := n.sm.Restore(snap, z); err != nil {
-				return fmt.Errorf("zab: restoring durable snapshot: %w", err)
-			}
 			n.snapZxid = z
 			n.commitZxid = z
 			n.lastApplied = z
@@ -363,6 +410,37 @@ func (n *Node) recoverFromStorage() error {
 		}
 	}
 	return nil
+}
+
+// restoreSnapshotFromStorage loads the store's newest snapshot into the
+// state machine, streaming when both sides support it (the snapshot is
+// decoded straight off disk, O(chunk) memory) and falling back to the
+// blob interface otherwise.
+func (n *Node) restoreSnapshotFromStorage(st Storage) (zxid uint64, restored bool, err error) {
+	ss, stStream := st.(StreamStorage)
+	sms, smStream := n.sm.(StreamingStateMachine)
+	if stStream && smStream {
+		rc, z, ok := ss.SnapshotStream()
+		if !ok {
+			return 0, false, nil
+		}
+		err := sms.RestoreFrom(rc, z)
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return 0, false, fmt.Errorf("zab: restoring durable snapshot: %w", err)
+		}
+		return z, true, nil
+	}
+	snap, z, ok := st.Snapshot()
+	if !ok {
+		return 0, false, nil
+	}
+	if err := n.sm.Restore(snap, z); err != nil {
+		return 0, false, fmt.Errorf("zab: restoring durable snapshot: %w", err)
+	}
+	return z, true, nil
 }
 
 func makeZxid(epoch uint64, seq uint32) uint64 { return epoch<<32 | uint64(seq) }
@@ -1076,8 +1154,8 @@ func (n *Node) waitApplied(zxid uint64) error {
 	n.applyWaiters[zxid] = append(n.applyWaiters[zxid], ch)
 	n.mu.Unlock()
 
-	timer := time.NewTimer(proposeTimeout)
-	defer timer.Stop()
+	timer := getProposeTimer()
+	defer putProposeTimer(timer)
 	select {
 	case <-ch:
 		return nil
@@ -1123,8 +1201,8 @@ func (n *Node) proposeAsLeader(txn []byte, noop bool) ([]byte, uint64, error) {
 	n.leaderCond.Broadcast()
 	n.mu.Unlock()
 
-	timer := time.NewTimer(proposeTimeout)
-	defer timer.Stop()
+	timer := getProposeTimer()
+	defer putProposeTimer(timer)
 	select {
 	case o := <-p.ch:
 		if o.err != nil {
@@ -1256,26 +1334,35 @@ func (n *Node) proposerLoop(gen uint64) {
 
 // drainBatchLocked takes the next group-commit batch off the queue: a
 // lone no-op barrier, or a run of transactions bounded by count and
-// bytes (never mixing a barrier into a transaction frame).
+// bytes (never mixing a barrier into a transaction frame). The batch
+// is copied into a proposer-owned scratch slice and the queue is
+// compacted in place, keeping propQ's backing array stable — the old
+// reslice-off-the-front scheme bled capacity and made every enqueue
+// reallocate. The scratch is safe to reuse because the proposer fully
+// consumes each batch (under mu) before draining the next.
 func (n *Node) drainBatchLocked() []*pendingTxn {
-	if n.propQ[0].noop {
-		batch := n.propQ[:1:1]
-		n.propQ = n.propQ[1:]
-		return batch
-	}
 	count, bytes := 0, 0
-	for _, p := range n.propQ {
-		if p.noop || count >= n.cfg.MaxBatchTxns {
-			break
+	if n.propQ[0].noop {
+		count = 1
+	} else {
+		for _, p := range n.propQ {
+			if p.noop || count >= n.cfg.MaxBatchTxns {
+				break
+			}
+			if count > 0 && bytes+len(p.txn) > n.cfg.MaxBatchBytes {
+				break
+			}
+			count++
+			bytes += len(p.txn)
 		}
-		if count > 0 && bytes+len(p.txn) > n.cfg.MaxBatchBytes {
-			break
-		}
-		count++
-		bytes += len(p.txn)
 	}
-	batch := n.propQ[:count:count]
-	n.propQ = n.propQ[count:]
+	batch := append(n.batchScratch[:0], n.propQ[:count]...)
+	n.batchScratch = batch
+	rest := copy(n.propQ, n.propQ[count:])
+	for i := rest; i < len(n.propQ); i++ {
+		n.propQ[i] = nil // drop references so abandoned txns can be collected
+	}
+	n.propQ = n.propQ[:rest]
 	return batch
 }
 
@@ -1288,15 +1375,15 @@ func (n *Node) maybeAdvanceLeaderCommitLocked() {
 	if n.role != roleLeader {
 		return
 	}
-	tips := make([]uint64, 0, len(n.cfg.Peers))
-	tips = append(tips, n.selfTipLocked())
+	tips := append(n.tipsScratch[:0], n.selfTipLocked())
 	for id := range n.cfg.Peers {
 		if id != n.cfg.ID {
 			tips = append(tips, n.match[id])
 		}
 	}
-	sort.Slice(tips, func(i, j int) bool { return tips[i] > tips[j] })
-	q := tips[n.quorum()-1]
+	slices.Sort(tips) // ascending; allocation-free, unlike sort.Slice
+	n.tipsScratch = tips
+	q := tips[len(tips)-n.quorum()]
 	if q <= n.commitZxid {
 		return
 	}
@@ -1318,8 +1405,11 @@ func (n *Node) maybeAdvanceLeaderCommitLocked() {
 	n.advanceCommitLocked(target)
 	n.gInflight.Set(int64(n.uncommittedFramesLocked()))
 	// Let followers apply promptly instead of waiting for the next
-	// piggybacked horizon.
-	n.broadcastAsync(commitReq{Epoch: epoch, Zxid: n.commitZxid}.encode())
+	// piggybacked horizon. A single-node ensemble has nobody to tell —
+	// skip the encode, this runs once per commit advance.
+	if len(n.cfg.Peers) > 1 {
+		n.broadcastAsync(commitReq{Epoch: epoch, Zxid: n.commitZxid}.encode())
+	}
 }
 
 // selfTipLocked is the leader's own contribution to the commit
@@ -1394,9 +1484,34 @@ func (n *Node) snapshotLoop() {
 			n.mu.Unlock()
 			continue
 		}
-		snap := n.sm.Snapshot()
-		n.mu.Unlock()
-		err := n.cfg.Storage.SaveSnapshot(snap, z)
+		var err error
+		ss, stStream := n.cfg.Storage.(StreamStorage)
+		if sms, smStream := n.sm.(StreamingStateMachine); stStream && smStream {
+			// Stream the consistent cut straight into the store through a
+			// pipe: the producer serializes under the lock (the same hold
+			// the blob path pays, since chunk writes land in the page
+			// cache), the consumer persists concurrently, and the final
+			// fsync+rename runs after the lock is released — with O(chunk)
+			// memory instead of the full serialized state.
+			pr, pw := io.Pipe()
+			done := make(chan error, 1)
+			go func() {
+				serr := ss.SaveSnapshotFrom(pr, z)
+				// Unblock the producer if the store bailed early.
+				pr.CloseWithError(serr)
+				done <- serr
+			}()
+			// The store's verdict is authoritative: a producer failure
+			// poisons the pipe, so the store reports it too, while a store
+			// that succeeds has already seen the full stream.
+			pw.CloseWithError(sms.SnapshotTo(pw))
+			n.mu.Unlock()
+			err = <-done
+		} else {
+			snap := n.sm.Snapshot()
+			n.mu.Unlock()
+			err = n.cfg.Storage.SaveSnapshot(snap, z)
+		}
 		n.mu.Lock()
 		n.snapInFlight = false
 		if err == nil && z > n.durableSnapZxid {

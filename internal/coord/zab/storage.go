@@ -1,5 +1,7 @@
 package zab
 
+import "io"
+
 // Frame is one durable log record: a replicated group-commit frame,
 // the unit in which transactions are proposed, acknowledged and
 // recovered. It mirrors the in-memory entry exactly — transaction i of
@@ -76,4 +78,27 @@ type Storage interface {
 	// divergent tail past zxid — is discarded. Used by the follower
 	// sync path when its position has left the leader's log.
 	InstallSnapshot(data []byte, zxid uint64) error
+}
+
+// StreamStorage is an optional Storage extension for stores that can
+// move snapshots as streams, so neither saving nor recovering a
+// snapshot ever needs the whole serialized state in memory at once.
+// When both the store and the state machine (StreamingStateMachine)
+// support streaming, the node snapshots through an io.Pipe and
+// recovers through SnapshotStream; otherwise it falls back to the blob
+// methods, which must remain byte-compatible.
+type StreamStorage interface {
+	Storage
+	// SaveSnapshotFrom is SaveSnapshot reading the snapshot body from r
+	// until EOF, buffering O(chunk) at a time.
+	SaveSnapshotFrom(r io.Reader, zxid uint64) error
+	// InstallSnapshotFrom is InstallSnapshot reading the snapshot body
+	// from r until EOF, buffering O(chunk) at a time.
+	InstallSnapshotFrom(r io.Reader, zxid uint64) error
+	// SnapshotStream returns a reader over the newest durable snapshot
+	// body, or ok=false when none exists. The reader validates the
+	// stored checksum incrementally and reports a mismatch as a read
+	// error in place of EOF — a consumer that reads to EOF has read a
+	// proven-intact snapshot. The caller must Close it.
+	SnapshotStream() (snap io.ReadCloser, zxid uint64, ok bool)
 }

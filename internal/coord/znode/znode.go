@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors mirror the ZooKeeper client error codes DUFS depends on.
@@ -84,15 +85,43 @@ type node struct {
 	nextSeq  int64 // per-parent sequence counter for sequential children
 }
 
+// stripeCount is the number of lock stripes guarding the tree. Each
+// top-level subtree (first path component) hashes to one stripe, so
+// reads and writes on disjoint subtrees never touch the same mutex.
+// Power of two, sized well past the core counts this repo targets.
+const stripeCount = 32
+
+// stripe is one padded lock so neighbouring stripes do not share a
+// cache line (an RWMutex is 24 bytes; pad to 64).
+type stripe struct {
+	mu sync.RWMutex
+	_  [40]byte
+}
+
 // Tree is the znode namespace. The zero value is not usable; call New.
+//
+// Concurrency scheme: the single tree RWMutex is replaced by
+// stripeCount reader/writer stripes keyed by the first path component.
+// Every operation on a path under "/x/..." takes exactly the stripe of
+// "x", so operations on disjoint top-level subtrees proceed fully in
+// parallel. Structural changes to the root itself — create or delete
+// of a depth-1 node, which mutate the root's child map and stat — take
+// every stripe in write mode; conversely, any operation that walks
+// through the root holds at least one stripe, so it can never observe
+// the root's child map mid-write. Multi-stripe acquisition (Multi
+// batches, whole-tree reads) is always in ascending stripe order,
+// which makes deadlock impossible. The ephemeral-session index has its
+// own mutex, ordered strictly after stripe locks.
 type Tree struct {
-	mu   sync.RWMutex
-	root *node
+	stripes [stripeCount]stripe
+	root    *node
+	// emu guards ephemerals. Lock order: stripe locks first, emu last.
+	emu sync.Mutex
 	// ephemerals indexes ephemeral node paths by owning session so a
 	// session expiry can delete them in one sweep.
 	ephemerals map[uint64]map[string]bool
-	nodes      int64 // total node count, excluding root
-	dataBytes  int64 // sum of data field lengths
+	nodes      atomic.Int64 // total node count, excluding root
+	dataBytes  atomic.Int64 // sum of data field lengths
 }
 
 // New returns an empty tree containing only the root "/".
@@ -100,6 +129,111 @@ func New() *Tree {
 	return &Tree{
 		root:       &node{name: "/", children: make(map[string]*node)},
 		ephemerals: make(map[uint64]map[string]bool),
+	}
+}
+
+// stripeFor maps a path to the index of the stripe guarding its
+// top-level subtree, or -1 when the operation must hold every stripe
+// (the root itself). The caller has validated that path is absolute.
+func stripeFor(path string) int {
+	if len(path) <= 1 {
+		return -1
+	}
+	seg := path[1:]
+	if end := strings.IndexByte(seg, '/'); end >= 0 {
+		seg = seg[:end]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(seg); i++ {
+		h = (h ^ uint32(seg[i])) * 16777619
+	}
+	return int(h % stripeCount)
+}
+
+func (t *Tree) lockAll() {
+	for i := range t.stripes {
+		t.stripes[i].mu.Lock()
+	}
+}
+
+func (t *Tree) unlockAll() {
+	for i := range t.stripes {
+		t.stripes[i].mu.Unlock()
+	}
+}
+
+func (t *Tree) rlockAll() {
+	for i := range t.stripes {
+		t.stripes[i].mu.RLock()
+	}
+}
+
+func (t *Tree) runlockAll() {
+	for i := range t.stripes {
+		t.stripes[i].mu.RUnlock()
+	}
+}
+
+// lockWrite acquires write coverage for a mutation at path: every
+// stripe when the mutation is structural at the root (rootStructural,
+// or path is the root itself), else the single stripe of path's
+// subtree. It returns the stripe index to hand back to unlockWrite.
+func (t *Tree) lockWrite(path string, rootStructural bool) int {
+	s := -1
+	if !rootStructural {
+		s = stripeFor(path)
+	}
+	if s < 0 {
+		t.lockAll()
+	} else {
+		t.stripes[s].mu.Lock()
+	}
+	return s
+}
+
+func (t *Tree) unlockWrite(s int) {
+	if s < 0 {
+		t.unlockAll()
+	} else {
+		t.stripes[s].mu.Unlock()
+	}
+}
+
+// rlockPath acquires read coverage for path (all stripes for the root,
+// whose child listing spans every subtree).
+func (t *Tree) rlockPath(path string) int {
+	s := stripeFor(path)
+	if s < 0 {
+		t.rlockAll()
+	} else {
+		t.stripes[s].mu.RLock()
+	}
+	return s
+}
+
+func (t *Tree) runlockPath(s int) {
+	if s < 0 {
+		t.runlockAll()
+	} else {
+		t.stripes[s].mu.RUnlock()
+	}
+}
+
+// lockMask acquires the write locks named by mask in ascending stripe
+// order — the same order lockAll uses, so the two can never deadlock.
+func (t *Tree) lockMask(mask uint32) {
+	for i := 0; i < stripeCount; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			t.stripes[i].mu.Lock()
+		}
+	}
+}
+
+func (t *Tree) unlockMask(mask uint32) {
+	for i := 0; i < stripeCount; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			t.stripes[i].mu.Unlock()
+		}
 	}
 }
 
@@ -114,15 +248,26 @@ func ValidatePath(p string) error {
 	if strings.HasSuffix(p, "/") {
 		return fmt.Errorf("%w: %q has a trailing slash", ErrBadPath, p)
 	}
-	for _, seg := range strings.Split(p[1:], "/") {
+	// Segment-at-a-time scan: this runs on every read op, so it must not
+	// allocate the way strings.Split would.
+	rest := p[1:]
+	for {
+		var seg string
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			seg, rest = rest[:i], rest[i+1:]
+		} else {
+			seg, rest = rest, ""
+		}
 		if seg == "" {
 			return fmt.Errorf("%w: %q has an empty component", ErrBadPath, p)
 		}
 		if seg == "." || seg == ".." {
 			return fmt.Errorf("%w: %q has a relative component", ErrBadPath, p)
 		}
+		if rest == "" {
+			return nil
+		}
 	}
-	return nil
 }
 
 // SplitPath returns the parent path and final component of p.
@@ -134,20 +279,33 @@ func SplitPath(p string) (parent, name string) {
 	return p[:i], p[i+1:]
 }
 
-// lookup walks to the node at path. Caller holds t.mu.
+// lookup walks to the node at path. Caller holds stripe locks covering
+// path (any stripe suffices for the walk through the root, because
+// root-structural changes hold every stripe).
 func (t *Tree) lookup(path string) (*node, error) {
 	if path == "/" {
 		return t.root, nil
 	}
+	// Allocation-free walk (map lookup on a substring does not copy it);
+	// this is the hot path under every read lock.
 	cur := t.root
-	for _, seg := range strings.Split(path[1:], "/") {
+	rest := path[1:]
+	for {
+		seg := rest
+		i := strings.IndexByte(rest, '/')
+		if i >= 0 {
+			seg = rest[:i]
+		}
 		next, ok := cur.children[seg]
 		if !ok {
 			return nil, ErrNoNode
 		}
 		cur = next
+		if i < 0 {
+			return cur, nil
+		}
+		rest = rest[i+1:]
 	}
-	return cur, nil
 }
 
 // Create inserts a node. For sequential modes the stored name has the
@@ -156,16 +314,28 @@ func (t *Tree) lookup(path string) (*node, error) {
 // replicas agree. session is the creator's session ID (used only for
 // ephemeral modes).
 func (t *Tree) Create(path string, data []byte, mode CreateMode, session, zxid uint64, nowNano int64) (string, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	created, _, err := t.createLocked(path, data, mode, session, zxid, nowNano)
+	if err := ValidatePath(path); err != nil {
+		return "", err
+	}
+	// A depth-1 create mutates the root's child set: structural.
+	parentPath := "/"
+	if path != "/" {
+		parentPath, _ = SplitPath(path)
+	}
+	s := t.lockWrite(path, parentPath == "/")
+	defer t.unlockWrite(s)
+	created, _, err := t.createLocked(path, data, mode, session, zxid, nowNano, false)
 	return created, err
 }
 
-// createLocked is Create without the lock, returning an undo closure
-// that restores the exact prior state (including stat counters and the
-// sequential-name counter) for Multi's rollback. Caller holds t.mu.
-func (t *Tree) createLocked(path string, data []byte, mode CreateMode, session, zxid uint64, nowNano int64) (string, func(), error) {
+// createLocked is Create without the lock. When wantUndo is set it
+// returns an undo closure that restores the exact prior state
+// (including stat counters and the sequential-name counter) for
+// Multi's rollback; plain Create passes false and skips the closure —
+// one less allocation on the hottest write. Caller holds write
+// coverage for path (the path's stripe; every stripe when the parent
+// is the root).
+func (t *Tree) createLocked(path string, data []byte, mode CreateMode, session, zxid uint64, nowNano int64, wantUndo bool) (string, func(), error) {
 	if err := ValidatePath(path); err != nil {
 		return "", nil, err
 	}
@@ -189,10 +359,12 @@ func (t *Tree) createLocked(path string, data []byte, mode CreateMode, session, 
 		parent.nextSeq = priorSeq
 		return "", nil, ErrNodeExists
 	}
+	// children stays nil until this node's first child arrives: leaf
+	// nodes (the overwhelming majority) never pay for an empty map,
+	// and every read-side use (lookup, range, len) is nil-safe.
 	n := &node{
-		name:     name,
-		data:     append([]byte(nil), data...),
-		children: make(map[string]*node),
+		name: name,
+		data: append([]byte(nil), data...),
 		stat: Stat{
 			Czxid: zxid, Mzxid: zxid,
 			Ctime: nowNano, Mtime: nowNano,
@@ -202,38 +374,48 @@ func (t *Tree) createLocked(path string, data []byte, mode CreateMode, session, 
 	if mode.IsEphemeral() {
 		n.stat.EphemeralOwner = session
 	}
+	if parent.children == nil {
+		parent.children = make(map[string]*node)
+	}
 	parent.children[name] = n
 	parent.stat.NumChildren++
 	parent.stat.Cversion++
 	parent.stat.Mzxid = zxid
-	t.nodes++
-	t.dataBytes += int64(len(data))
+	t.nodes.Add(1)
+	t.dataBytes.Add(int64(len(data)))
 
 	created := parentPath + "/" + name
 	if parentPath == "/" {
 		created = "/" + name
 	}
 	if mode.IsEphemeral() {
+		t.emu.Lock()
 		m := t.ephemerals[session]
 		if m == nil {
 			m = make(map[string]bool)
 			t.ephemerals[session] = m
 		}
 		m[created] = true
+		t.emu.Unlock()
+	}
+	if !wantUndo {
+		return created, nil, nil
 	}
 	undo := func() {
 		delete(parent.children, name)
 		parent.stat = priorStat
 		parent.nextSeq = priorSeq
-		t.nodes--
-		t.dataBytes -= int64(len(data))
+		t.nodes.Add(-1)
+		t.dataBytes.Add(-int64(len(data)))
 		if mode.IsEphemeral() {
+			t.emu.Lock()
 			if m := t.ephemerals[session]; m != nil {
 				delete(m, created)
 				if len(m) == 0 {
 					delete(t.ephemerals, session)
 				}
 			}
+			t.emu.Unlock()
 		}
 	}
 	return created, undo, nil
@@ -244,8 +426,8 @@ func (t *Tree) Get(path string) ([]byte, Stat, error) {
 	if err := ValidatePath(path); err != nil {
 		return nil, Stat{}, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	s := t.rlockPath(path)
+	defer t.runlockPath(s)
 	n, err := t.lookup(path)
 	if err != nil {
 		return nil, Stat{}, err
@@ -258,8 +440,8 @@ func (t *Tree) Exists(path string) (Stat, bool) {
 	if err := ValidatePath(path); err != nil {
 		return Stat{}, false
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	s := t.rlockPath(path)
+	defer t.runlockPath(s)
 	n, err := t.lookup(path)
 	if err != nil {
 		return Stat{}, false
@@ -270,14 +452,17 @@ func (t *Tree) Exists(path string) (Stat, bool) {
 // Set replaces the node's data. version -1 skips the optimistic check,
 // matching ZooKeeper semantics.
 func (t *Tree) Set(path string, data []byte, version int32, zxid uint64, nowNano int64) (Stat, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	if err := ValidatePath(path); err != nil {
+		return Stat{}, err
+	}
+	s := t.lockWrite(path, false) // Set never alters the root's child set
+	defer t.unlockWrite(s)
 	stat, _, err := t.setLocked(path, data, version, zxid, nowNano)
 	return stat, err
 }
 
 // setLocked is Set without the lock, returning an undo closure for
-// Multi's rollback. Caller holds t.mu.
+// Multi's rollback. Caller holds write coverage for path.
 func (t *Tree) setLocked(path string, data []byte, version int32, zxid uint64, nowNano int64) (Stat, func(), error) {
 	if err := ValidatePath(path); err != nil {
 		return Stat{}, nil, err
@@ -293,14 +478,14 @@ func (t *Tree) setLocked(path string, data []byte, version int32, zxid uint64, n
 		return Stat{}, nil, ErrBadVersion
 	}
 	priorData, priorStat := n.data, n.stat
-	t.dataBytes += int64(len(data)) - int64(len(n.data))
+	t.dataBytes.Add(int64(len(data)) - int64(len(n.data)))
 	n.data = append([]byte(nil), data...)
 	n.stat.Version++
 	n.stat.Mzxid = zxid
 	n.stat.Mtime = nowNano
 	n.stat.DataLength = int32(len(data))
 	undo := func() {
-		t.dataBytes += int64(len(priorData)) - int64(len(n.data))
+		t.dataBytes.Add(int64(len(priorData)) - int64(len(n.data)))
 		n.data = priorData
 		n.stat = priorStat
 	}
@@ -309,14 +494,23 @@ func (t *Tree) setLocked(path string, data []byte, version int32, zxid uint64, n
 
 // Delete removes a childless node. version -1 skips the check.
 func (t *Tree) Delete(path string, version int32, zxid uint64) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	if err := ValidatePath(path); err != nil {
+		return err
+	}
+	// A depth-1 delete mutates the root's child set: structural.
+	parentPath := "/"
+	if path != "/" {
+		parentPath, _ = SplitPath(path)
+	}
+	s := t.lockWrite(path, parentPath == "/")
+	defer t.unlockWrite(s)
 	_, err := t.deleteLocked(path, version, zxid)
 	return err
 }
 
 // deleteLocked is Delete without the lock, returning an undo closure
-// for Multi's rollback. Caller holds t.mu.
+// for Multi's rollback. Caller holds write coverage for path (the
+// path's stripe; every stripe when the parent is the root).
 func (t *Tree) deleteLocked(path string, version int32, zxid uint64) (func(), error) {
 	if err := ValidatePath(path); err != nil {
 		return nil, err
@@ -344,29 +538,33 @@ func (t *Tree) deleteLocked(path string, version int32, zxid uint64) (func(), er
 	parent.stat.NumChildren--
 	parent.stat.Cversion++
 	parent.stat.Mzxid = zxid
-	t.nodes--
-	t.dataBytes -= int64(len(n.data))
+	t.nodes.Add(-1)
+	t.dataBytes.Add(-int64(len(n.data)))
 	owner := n.stat.EphemeralOwner
 	if owner != 0 {
+		t.emu.Lock()
 		if m := t.ephemerals[owner]; m != nil {
 			delete(m, path)
 			if len(m) == 0 {
 				delete(t.ephemerals, owner)
 			}
 		}
+		t.emu.Unlock()
 	}
 	undo := func() {
 		parent.children[n.name] = n
 		parent.stat = priorStat
-		t.nodes++
-		t.dataBytes += int64(len(n.data))
+		t.nodes.Add(1)
+		t.dataBytes.Add(int64(len(n.data)))
 		if owner != 0 {
+			t.emu.Lock()
 			m := t.ephemerals[owner]
 			if m == nil {
 				m = make(map[string]bool)
 				t.ephemerals[owner] = m
 			}
 			m[path] = true
+			t.emu.Unlock()
 		}
 	}
 	return undo, nil
@@ -377,8 +575,8 @@ func (t *Tree) Children(path string) ([]string, error) {
 	if err := ValidatePath(path); err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	s := t.rlockPath(path)
+	defer t.runlockPath(s)
 	n, err := t.lookup(path)
 	if err != nil {
 		return nil, err
@@ -406,8 +604,10 @@ func (t *Tree) ChildrenData(path string) (self DirEntry, children []DirEntry, er
 	if err := ValidatePath(path); err != nil {
 		return DirEntry{}, nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	// Listing the root reads every top-level child's data and stat, so
+	// rlockPath's all-stripes coverage for "/" is load-bearing here.
+	s := t.rlockPath(path)
+	defer t.runlockPath(s)
 	n, err := t.lookup(path)
 	if err != nil {
 		return DirEntry{}, nil, err
@@ -465,8 +665,19 @@ type MultiResult struct {
 // sequential-name counters — and committed reports false; the failing
 // op's result carries its error, every other op gets ErrRolledBack.
 func (t *Tree) Multi(ops []MultiOp, session, zxid uint64, nowNano int64) (results []MultiResult, committed bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	// Lock the union of stripes the batch can touch — every stripe if
+	// any op structurally changes the root's child set — in ascending
+	// order, and hold them for the whole batch. The undo closures run
+	// under the same coverage, so rollback is atomic exactly as it was
+	// under the single tree mutex.
+	mask, all := multiLockSet(ops)
+	if all {
+		t.lockAll()
+		defer t.unlockAll()
+	} else {
+		t.lockMask(mask)
+		defer t.unlockMask(mask)
+	}
 	results = make([]MultiResult, len(ops))
 	undos := make([]func(), 0, len(ops))
 	for i, op := range ops {
@@ -477,7 +688,7 @@ func (t *Tree) Multi(ops []MultiOp, session, zxid uint64, nowNano int64) (result
 		case MultiCreate:
 			var created string
 			var undo func()
-			created, undo, err = t.createLocked(op.Path, op.Data, op.Mode, session, zxid, nowNano)
+			created, undo, err = t.createLocked(op.Path, op.Data, op.Mode, session, zxid, nowNano, true)
 			if err == nil {
 				results[i].Created = created
 				undos = append(undos, undo)
@@ -513,8 +724,37 @@ func (t *Tree) Multi(ops []MultiOp, session, zxid uint64, nowNano int64) (result
 	return results, true
 }
 
+// multiLockSet computes the stripes a Multi batch needs: the union of
+// every op path's stripe, escalating to all stripes when any create or
+// delete has the root as its parent (structural), or when any path
+// names the root or is malformed in a way that defeats stripe mapping
+// (it will fail validation under the lock, but must fail while holding
+// coverage for whatever it does read).
+func multiLockSet(ops []MultiOp) (mask uint32, all bool) {
+	for _, op := range ops {
+		p := op.Path
+		if len(p) < 2 || p[0] != '/' {
+			// Root or invalid: checkLocked on "/" reads the root's stat,
+			// covered by any stripe; invalid paths touch nothing. Pin
+			// stripe 0 so coverage is never empty.
+			mask |= 1
+			continue
+		}
+		if op.Kind == MultiCreate || op.Kind == MultiDelete {
+			if strings.IndexByte(p[1:], '/') < 0 {
+				return 0, true // depth-1: mutates the root's child set
+			}
+		}
+		mask |= 1 << uint(stripeFor(p))
+	}
+	if mask == 0 {
+		mask = 1 // empty batch: still take one stripe for the error path
+	}
+	return mask, false
+}
+
 // checkLocked verifies the node exists and, unless version is -1, that
-// its data version matches. Caller holds t.mu.
+// its data version matches. Caller holds the stripe covering path.
 func (t *Tree) checkLocked(path string, version int32) error {
 	if err := ValidatePath(path); err != nil {
 		return err
@@ -532,12 +772,12 @@ func (t *Tree) checkLocked(path string, version int32) error {
 // ExpireSession deletes every ephemeral node owned by the session and
 // returns the deleted paths (deepest first so parents never block).
 func (t *Tree) ExpireSession(session, zxid uint64) []string {
-	t.mu.Lock()
+	t.emu.Lock()
 	paths := make([]string, 0, len(t.ephemerals[session]))
 	for p := range t.ephemerals[session] {
 		paths = append(paths, p)
 	}
-	t.mu.Unlock()
+	t.emu.Unlock()
 	// Deeper paths first; ephemeral nodes cannot have children, but a
 	// deterministic order keeps replicas identical.
 	sort.Slice(paths, func(i, j int) bool {
@@ -556,18 +796,10 @@ func (t *Tree) ExpireSession(session, zxid uint64) []string {
 }
 
 // Count returns the number of znodes, excluding the root.
-func (t *Tree) Count() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.nodes
-}
+func (t *Tree) Count() int64 { return t.nodes.Load() }
 
 // DataBytes returns the total size of all data fields.
-func (t *Tree) DataBytes() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.dataBytes
-}
+func (t *Tree) DataBytes() int64 { return t.dataBytes.Load() }
 
 // WalkEntry is one node visited by Walk/Snapshot.
 type WalkEntry struct {
@@ -578,10 +810,12 @@ type WalkEntry struct {
 }
 
 // Walk visits every node (excluding the root) in depth-first,
-// lexicographic order and calls fn. fn must not mutate the tree.
+// lexicographic order and calls fn. fn must not mutate the tree. The
+// whole walk runs under read coverage of every stripe, so it observes
+// one consistent cut of the namespace.
 func (t *Tree) Walk(fn func(e WalkEntry)) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.rlockAll()
+	defer t.runlockAll()
 	t.walk(t.root, "", fn)
 }
 
@@ -603,8 +837,10 @@ func (t *Tree) walk(n *node, prefix string, fn func(e WalkEntry)) {
 // snapshot. Entries must arrive parents-first.
 func (t *Tree) RestoreEntry(e WalkEntry) error {
 	parentPath, name := SplitPath(e.Path)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	// Restore runs on a tree no reader has seen yet; all-stripe
+	// coverage keeps it trivially correct without a fast path.
+	t.lockAll()
+	defer t.unlockAll()
 	parent, err := t.lookup(parentPath)
 	if err != nil {
 		return ErrNoParent
@@ -613,23 +849,27 @@ func (t *Tree) RestoreEntry(e WalkEntry) error {
 		return ErrNodeExists
 	}
 	n := &node{
-		name:     name,
-		data:     append([]byte(nil), e.Data...),
-		children: make(map[string]*node),
-		stat:     e.Stat,
-		nextSeq:  e.Seq,
+		name:    name,
+		data:    append([]byte(nil), e.Data...),
+		stat:    e.Stat,
+		nextSeq: e.Seq,
+	}
+	if parent.children == nil {
+		parent.children = make(map[string]*node)
 	}
 	parent.children[name] = n
 	parent.stat.NumChildren++
-	t.nodes++
-	t.dataBytes += int64(len(e.Data))
+	t.nodes.Add(1)
+	t.dataBytes.Add(int64(len(e.Data)))
 	if owner := e.Stat.EphemeralOwner; owner != 0 {
+		t.emu.Lock()
 		m := t.ephemerals[owner]
 		if m == nil {
 			m = make(map[string]bool)
 			t.ephemerals[owner] = m
 		}
 		m[e.Path] = true
+		t.emu.Unlock()
 	}
 	return nil
 }
@@ -638,8 +878,8 @@ func (t *Tree) RestoreEntry(e WalkEntry) error {
 // bytes, XOR of path hashes and mzxids) used by tests to compare
 // replica states without serializing whole trees.
 func (t *Tree) Fingerprint() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.rlockAll()
+	defer t.runlockAll()
 	var fp uint64
 	var visit func(n *node, depth uint64)
 	visit = func(n *node, depth uint64) {
@@ -653,5 +893,5 @@ func (t *Tree) Fingerprint() uint64 {
 		}
 	}
 	visit(t.root, 1)
-	return fp ^ uint64(t.nodes)<<48 ^ uint64(t.dataBytes)
+	return fp ^ uint64(t.nodes.Load())<<48 ^ uint64(t.dataBytes.Load())
 }

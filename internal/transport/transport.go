@@ -30,6 +30,14 @@ import (
 // Handler processes one request payload and returns a response payload.
 // Returning an error transmits the error text to the caller instead of
 // a payload.
+//
+// Ownership contract: req is only valid for the duration of the call.
+// The transport may hand the handler a pooled frame buffer (TCP) or
+// the caller's own encode buffer (InProc), and reuses it once Handle
+// returns and the response has been written. A handler that needs the
+// bytes longer — e.g. to append a transaction to a replication log —
+// must copy them. Returning a sub-slice of req as the response is
+// allowed: the response is consumed before the buffer is recycled.
 type Handler interface {
 	Handle(req []byte) ([]byte, error)
 }
@@ -180,6 +188,28 @@ func (s *tcpServer) acceptLoop() {
 	}
 }
 
+// frameBufPool recycles request-frame buffers across connections and
+// requests. A buffer is released back to the pool only after the
+// handler has returned AND its response hit the socket, so a handler
+// may borrow from the frame (zero-copy decode) and even return a
+// sub-slice of it as the response. Oversized buffers are dropped on
+// release so one large frame cannot pin its footprint.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+const pooledFrameMaxCap = 64 << 10
+
+func putFrameBuf(bufp *[]byte, frame []byte) {
+	if cap(frame) > cap(*bufp) {
+		*bufp = frame
+	}
+	if cap(*bufp) <= pooledFrameMaxCap {
+		frameBufPool.Put(bufp)
+	}
+}
+
 func (s *tcpServer) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -192,21 +222,29 @@ func (s *tcpServer) serveConn(c net.Conn) {
 	var inflight sync.WaitGroup
 	defer inflight.Wait()
 	for {
-		frame, err := wire.ReadFrame(c)
+		bufp := frameBufPool.Get().(*[]byte)
+		frame, err := wire.ReadFrameInto(c, (*bufp)[:0])
 		if err != nil {
+			frameBufPool.Put(bufp)
 			return
 		}
-		r := wire.NewReader(frame)
+		var r wire.Reader
+		r.Reset(frame)
 		id := r.Uint64()
-		req := r.BytesCopy32()
+		req := r.BorrowBytes()
 		if r.Err() != nil {
+			putFrameBuf(bufp, frame)
 			return // protocol violation; drop the connection
 		}
 		inflight.Add(1)
 		go func() {
 			defer inflight.Done()
 			resp, herr := s.handler.Handle(req)
-			w := wire.NewWriter(16 + len(resp))
+			// Compose the whole reply — length header included, patched
+			// once the size is known — in a pooled scratch writer so the
+			// frame leaves in a single Write with no per-reply make.
+			w := wire.GetWriter()
+			w.Uint32(0) // frame length, patched below
 			w.Uint64(id)
 			if herr != nil {
 				w.Uint8(statusErr)
@@ -215,16 +253,25 @@ func (s *tcpServer) serveConn(c net.Conn) {
 				w.Uint8(statusOK)
 				w.Bytes32(resp)
 			}
+			w.PatchUint32(0, uint32(w.Len()-4))
 			wmu.Lock()
-			defer wmu.Unlock()
-			_ = wire.WriteFrame(c, w.Bytes())
+			if w.Len()-4 <= wire.MaxFrameSize {
+				_, _ = c.Write(w.Bytes())
+			}
+			wmu.Unlock()
+			wire.PutWriter(w)
+			// The reply (which may alias req) is on the wire; the
+			// request frame's lifetime ends here.
+			putFrameBuf(bufp, frame)
 		}()
 	}
 }
 
 type tcpConn struct {
-	c      net.Conn
-	wmu    sync.Mutex
+	c    net.Conn
+	wmu  sync.Mutex  // guards wbuf and socket writes
+	wbuf wire.Writer // per-connection scratch encoder for request frames
+
 	mu     sync.Mutex
 	nextID uint64
 	pend   map[uint64]chan CallResult
@@ -243,12 +290,16 @@ func (TCP) Dial(addr string) (Conn, error) {
 }
 
 func (tc *tcpConn) readLoop() {
+	// One response buffer reused across frames: the payload handed to a
+	// waiter is copied out below, so the next iteration may overwrite.
+	var rbuf []byte
 	for {
-		frame, err := wire.ReadFrame(tc.c)
+		frame, err := wire.ReadFrameInto(tc.c, rbuf[:0])
 		if err != nil {
 			tc.failAll(err)
 			return
 		}
+		rbuf = frame
 		r := wire.NewReader(frame)
 		id := r.Uint64()
 		status := r.Uint8()
@@ -302,11 +353,20 @@ func (tc *tcpConn) CallAsync(req []byte) <-chan CallResult {
 	tc.pend[id] = ch
 	tc.mu.Unlock()
 
-	w := wire.NewWriter(16 + len(req))
-	w.Uint64(id)
-	w.Bytes32(req)
+	// Encode into the connection's scratch writer — header, call ID and
+	// payload leave in one Write — instead of a fresh buffer per call.
 	tc.wmu.Lock()
-	err := wire.WriteFrame(tc.c, w.Bytes())
+	tc.wbuf.Reset()
+	tc.wbuf.Uint32(0) // frame length, patched below
+	tc.wbuf.Uint64(id)
+	tc.wbuf.Bytes32(req)
+	tc.wbuf.PatchUint32(0, uint32(tc.wbuf.Len()-4))
+	var err error
+	if tc.wbuf.Len()-4 > wire.MaxFrameSize {
+		err = wire.ErrFrameTooLarge
+	} else {
+		_, err = tc.c.Write(tc.wbuf.Bytes())
+	}
 	tc.wmu.Unlock()
 	if err != nil {
 		tc.mu.Lock()
@@ -395,7 +455,9 @@ func (n *InProc) Dial(addr string) (Conn, error) {
 	return &inprocConn{n: n, addr: addr}, nil
 }
 
-// Call implements Conn.
+// Call implements Conn. The request is dispatched zero-copy: the
+// handler sees the caller's own buffer, which the Handler ownership
+// contract already forbids retaining past the call.
 func (c *inprocConn) Call(req []byte) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed

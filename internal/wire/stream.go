@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Encoder speaks the Writer vocabulary onto an io.Writer through a
+// fixed-size chunk buffer, so arbitrarily large payloads (snapshots)
+// serialize in O(chunk) memory instead of one in-memory blob. Errors
+// are sticky like Reader's: keep encoding, check Flush/Err once.
+type Encoder struct {
+	w     io.Writer
+	buf   []byte
+	chunk int
+	err   error
+}
+
+// DefaultStreamChunk is the chunk size used when an Encoder or Decoder
+// is constructed with chunk <= 0.
+const DefaultStreamChunk = 256 << 10
+
+// NewEncoder returns an Encoder writing to w with the given chunk
+// budget (<= 0 selects DefaultStreamChunk).
+func NewEncoder(w io.Writer, chunk int) *Encoder {
+	if chunk <= 0 {
+		chunk = DefaultStreamChunk
+	}
+	return &Encoder{w: w, buf: make([]byte, 0, chunk), chunk: chunk}
+}
+
+// Err returns the first write error, or nil.
+func (e *Encoder) Err() error { return e.err }
+
+// Flush writes any buffered bytes through and returns the sticky
+// error state.
+func (e *Encoder) Flush() error {
+	if e.err == nil && len(e.buf) > 0 {
+		_, err := e.w.Write(e.buf)
+		if err != nil {
+			e.err = err
+		}
+		e.buf = e.buf[:0]
+	}
+	return e.err
+}
+
+func (e *Encoder) room(n int) bool {
+	if e.err != nil {
+		return false
+	}
+	if len(e.buf)+n > e.chunk {
+		e.Flush()
+	}
+	return e.err == nil
+}
+
+// Uint8 appends a single byte.
+func (e *Encoder) Uint8(v uint8) {
+	if e.room(1) {
+		e.buf = append(e.buf, v)
+	}
+}
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint8(1)
+	} else {
+		e.Uint8(0)
+	}
+}
+
+// Uint32 appends a big-endian uint32.
+func (e *Encoder) Uint32(v uint32) {
+	if e.room(4) {
+		e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+	}
+}
+
+// Uint64 appends a big-endian uint64.
+func (e *Encoder) Uint64(v uint64) {
+	if e.room(8) {
+		e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+	}
+}
+
+// Int64 appends a big-endian int64 (two's complement).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Int32 appends a big-endian int32 (two's complement).
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Bytes32 appends a uint32 length prefix followed by the bytes. Slices
+// larger than the chunk budget bypass the buffer and stream straight
+// to the underlying writer.
+func (e *Encoder) Bytes32(b []byte) {
+	e.Uint32(uint32(len(b)))
+	if e.err != nil {
+		return
+	}
+	if len(e.buf)+len(b) <= e.chunk {
+		e.buf = append(e.buf, b...)
+		return
+	}
+	if e.Flush() != nil {
+		return
+	}
+	if _, err := e.w.Write(b); err != nil {
+		e.err = err
+	}
+}
+
+// String appends a uint32 length prefix followed by the string bytes.
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	if e.err != nil {
+		return
+	}
+	if len(e.buf)+len(s) <= e.chunk {
+		e.buf = append(e.buf, s...)
+		return
+	}
+	if e.Flush() != nil {
+		return
+	}
+	if _, err := io.WriteString(e.w, s); err != nil {
+		e.err = err
+	}
+}
+
+// Decoder mirrors Reader over an io.Reader, pulling bytes through a
+// fixed-size internal buffer so decode memory stays O(chunk) no matter
+// how large the stream is. Errors are sticky.
+type Decoder struct {
+	r       io.Reader
+	err     error
+	scratch [8]byte
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r}
+}
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Fail marks the decoder as failed, mirroring Reader.Fail.
+func (d *Decoder) Fail(err error) {
+	if d.err == nil && err != nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) fixed(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	b := d.scratch[:n]
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("wire: stream decode: %w", err)
+		return nil
+	}
+	return b
+}
+
+// Uint8 reads one byte.
+func (d *Decoder) Uint8() uint8 {
+	b := d.fixed(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte as a boolean.
+func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
+
+// Uint32 reads a big-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.fixed(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Uint64 reads a big-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.fixed(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads a big-endian int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Int32 reads a big-endian int32.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Bytes32 reads a uint32 length prefix and returns that many bytes.
+// The slice is freshly allocated (a stream has no backing buffer to
+// borrow from). Lengths beyond MaxFrameSize are rejected so a corrupt
+// stream cannot force an enormous allocation.
+func (d *Decoder) Bytes32() []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxFrameSize {
+		d.err = ErrFrameTooLarge
+		return nil
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(d.r, out); err != nil {
+		d.err = fmt.Errorf("wire: stream decode: %w", err)
+		return nil
+	}
+	return out
+}
+
+// String reads a uint32 length prefix and that many bytes as a string.
+func (d *Decoder) String() string {
+	return string(d.Bytes32())
+}
+
+// Sink is the encode vocabulary shared by Writer and Encoder, so
+// helpers like stat marshalling can be written once (generically, with
+// zero dispatch cost after monomorphisation) and serve both the framed
+// RPC path and the streaming snapshot path.
+type Sink interface {
+	Uint8(uint8)
+	Bool(bool)
+	Uint32(uint32)
+	Uint64(uint64)
+	Int32(int32)
+	Int64(int64)
+	Bytes32([]byte)
+	String(string)
+}
+
+// Source is the decode vocabulary shared by Reader and Decoder.
+type Source interface {
+	Uint8() uint8
+	Bool() bool
+	Uint32() uint32
+	Uint64() uint64
+	Int32() int32
+	Int64() int64
+	Bytes32() []byte
+	String() string
+	Fail(error)
+	Err() error
+}
+
+var (
+	_ Sink   = (*Writer)(nil)
+	_ Sink   = (*Encoder)(nil)
+	_ Source = (*Reader)(nil)
+	_ Source = (*Decoder)(nil)
+)

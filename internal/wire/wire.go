@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxFrameSize bounds a single frame to keep a malformed or hostile
@@ -43,6 +44,59 @@ func (w *Writer) Len() int { return len(w.buf) }
 
 // Reset truncates the buffer for reuse.
 func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Grow ensures capacity for at least n more bytes, so a value Writer
+// (`var w wire.Writer`) can pre-size itself without the heap-allocated
+// Writer struct NewWriter costs.
+func (w *Writer) Grow(n int) {
+	if cap(w.buf)-len(w.buf) >= n {
+		return
+	}
+	buf := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(buf, w.buf)
+	w.buf = buf
+}
+
+// PatchUint32 overwrites the 4 bytes at off with a big-endian uint32.
+// The bytes must already have been written; it is how framed encoders
+// reserve a length slot up front and fill it in once the payload size
+// is known, so a whole frame goes to the socket in one Write.
+func (w *Writer) PatchUint32(off int, v uint32) {
+	binary.BigEndian.PutUint32(w.buf[off:off+4], v)
+}
+
+// writerPool recycles scratch Writers for encode paths whose buffers
+// have a clear end of life (a frame fully written to a socket, a reply
+// delivered). Buffers that grew past pooledWriterMaxCap are dropped on
+// Put so one huge message cannot pin its footprint in the pool.
+var writerPool = sync.Pool{New: func() any { return NewWriter(512) }}
+
+// pooledWriterMaxCap bounds the buffer capacity a pooled Writer may
+// retain between uses.
+const pooledWriterMaxCap = 64 << 10
+
+// GetWriter returns an empty scratch Writer from the pool.
+//
+// Ownership contract: the caller owns the Writer and everything
+// aliasing its buffer (Bytes() results) until it calls PutWriter. It
+// must NOT release a Writer whose bytes a callee may still hold — a
+// retained request (e.g. a transaction handed to the replication log)
+// or an abandoned in-flight call keeps the buffer alive, and returning
+// it to the pool would let a later encode scribble over it.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns a scratch Writer to the pool. See GetWriter for
+// when this is safe.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > pooledWriterMaxCap {
+		return
+	}
+	writerPool.Put(w)
+}
 
 // Uint8 appends a single byte.
 func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
@@ -109,6 +163,15 @@ type Reader struct {
 
 // NewReader returns a Reader over buf. The Reader does not copy buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset points the Reader at buf and clears any sticky error, so a
+// value Reader (`var r wire.Reader; r.Reset(msg)`) decodes without the
+// heap allocation NewReader's escaping pointer usually costs.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.off = 0
+	r.err = nil
+}
 
 // Err returns the first decoding error, or nil.
 func (r *Reader) Err() error { return r.err }
@@ -215,6 +278,21 @@ func (r *Reader) BytesCopy32() []byte {
 	return out
 }
 
+// BorrowBytes reads a uint32 length prefix and returns that many bytes
+// WITHOUT copying.
+//
+// Aliasing contract: the returned slice aliases the Reader's backing
+// buffer and is only valid while that buffer is — until the frame is
+// released back to a pool, the connection reuses its read buffer, or
+// the enclosing call returns. A caller may decode-then-apply (hand the
+// slice to code that copies before returning, like the znode tree's
+// Create/Set which duplicate data internally) but must never store the
+// slice, put it in a struct that outlives the call, or hand it to the
+// replication log. When in doubt, use BytesCopy32.
+func (r *Reader) BorrowBytes() []byte {
+	return r.Bytes32()
+}
+
 // String reads a uint32 length prefix and returns that many bytes as a
 // string (always a copy).
 func (r *Reader) String() string {
@@ -255,6 +333,14 @@ func WriteFrame(w io.Writer, payload []byte) error {
 
 // ReadFrame reads one length-prefixed frame. It allocates the payload.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto reads one length-prefixed frame into buf, reusing its
+// backing array when the capacity suffices and growing otherwise. The
+// returned payload aliases buf (or its replacement) — callers own the
+// buffer's lifetime and must not reuse it while the payload is live.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -263,9 +349,13 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if int(n) > cap(buf) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	return payload, nil
+	return buf, nil
 }
