@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/backend/memfs"
 	"repro/internal/cluster"
 	"repro/internal/coord"
+	"repro/internal/coord/migrate"
 	"repro/internal/coord/znode"
 	"repro/internal/core"
 	"repro/internal/fid"
@@ -1280,4 +1282,138 @@ func BenchmarkReadPathContention(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMigrationUnderLoad measures what the live-migration
+// subsystem (DESIGN.md §15) costs the ops that fly through it: a
+// 2-shard cluster with a fixed writer population hammering a hot
+// directory while the coordinator migrates that directory's hash range
+// back and forth between the shards. Every write goes through the
+// shard router, so fenced bounces retry in place and moved bounces
+// chase the epoch bump — the benchmark fails if a single acked op
+// errors. Reported metrics split client latency into steady-state vs
+// mid-migration, alongside the mean write-unavailability window (the
+// fence) per migration.
+func BenchmarkMigrationUnderLoad(b *testing.B) {
+	const workers = 8
+	c, err := cluster.Start(cluster.Config{
+		Name:         fmt.Sprintf("bench-mig-%d", rand.Int()),
+		CoordServers: 3,
+		CoordShards:  2,
+		Backends:     1,
+		Kind:         cluster.MemFS,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+
+	clients := make([]coord.Client, workers)
+	for w := range clients {
+		cl, err := c.NewClient(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[w] = cl.Session
+	}
+	if _, err := clients[0].Create("/hot", nil, znode.ModePersistent); err != nil {
+		b.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		if _, err := clients[w].Create(fmt.Sprintf("/hot/w%d", w), nil, znode.ModePersistent); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	direct := make([]*coord.Session, len(c.Ensembles))
+	for s, ens := range c.Ensembles {
+		sess, err := ens.Connect(-1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { sess.Close() })
+		direct[s] = sess
+	}
+	co, err := migrate.New(migrate.Config{Sessions: direct})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := migrate.RangeForDir("/hot")
+	ctx := context.Background()
+
+	var (
+		migrating      atomic.Bool
+		mu             sync.Mutex
+		steady, during []time.Duration
+	)
+	stop := make(chan struct{})
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := clients[w]
+			path := fmt.Sprintf("/hot/w%d", w)
+			payload := []byte("payload")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				_, err := sess.Set(path, payload, -1)
+				d := time.Since(t0)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				mu.Lock()
+				if migrating.Load() {
+					during = append(during, d)
+				} else {
+					steady = append(steady, d)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // settle into steady state
+
+	b.ResetTimer()
+	var fenceTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		owner, err := co.Owner(ctx, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		migrating.Store(true)
+		rep, err := co.Migrate(ctx, rng, 1-owner)
+		migrating.Store(false)
+		if err != nil {
+			b.Fatalf("migration %d: %v", i, err)
+		}
+		fenceTotal += rep.FenceDuration
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			b.Fatalf("worker %d lost an op mid-migration: %v", w, err)
+		}
+	}
+
+	p99 := func(ds []time.Duration) float64 {
+		if len(ds) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return float64(sorted[len(sorted)*99/100].Microseconds())
+	}
+	b.ReportMetric(float64(fenceTotal.Microseconds())/float64(b.N), "fence_us/op")
+	b.ReportMetric(p99(steady), "steady_p99_us")
+	b.ReportMetric(p99(during), "migrating_p99_us")
 }

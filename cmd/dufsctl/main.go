@@ -31,8 +31,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/coord"
+	"repro/internal/coord/migrate"
 	"repro/internal/coord/shard"
 	"repro/internal/core"
+	"repro/internal/placement"
 	"repro/internal/vfs"
 )
 
@@ -65,7 +67,7 @@ func main() {
 	fs := cl.FS
 	fmt.Printf("DUFS shell: %d back-end %s mounts, %d coordination shard(s) of %d server(s) (client ID %d)\n",
 		*backends, *kind, *shards, *coordServers, fs.ClientID())
-	fmt.Println(`commands: mkdir ls stat put cat rm rmdir mv ln readlink chmod truncate watch status help quit`)
+	fmt.Println(`commands: mkdir ls stat put cat rm rmdir mv ln readlink chmod truncate watch status migrate help quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -84,6 +86,12 @@ func main() {
 		}
 		if args[0] == "status" {
 			if err := status(c, cl.Session, *shards, *observers); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			continue
+		}
+		if args[0] == "migrate" {
+			if err := migrateCmd(c, fs, *shards, args[1:]); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
 			continue
@@ -150,11 +158,90 @@ func watchZnode(sess coord.Client, zp string, n int, out io.Writer) error {
 	return nil
 }
 
+// migrateCmd drives a live shard migration from the shell:
+//
+//	migrate PATH DEST   — move the range holding PATH's entries to shard DEST
+//	migrate LO:HI DEST  — move an explicit hash range (hex bounds)
+//	migrate recover     — sweep abandoned migrations to a terminal state
+//
+// PATH is a filesystem path; its metadata directory's hash range (the
+// unit the router shards by) is what moves.
+func migrateCmd(c *cluster.Cluster, fs *core.DUFS, shards int, args []string) error {
+	if shards < 2 {
+		return fmt.Errorf("migrate needs -shards >= 2")
+	}
+	sessions := make([]*coord.Session, len(c.Ensembles))
+	for i, ens := range c.Ensembles {
+		s, err := ens.Connect(-1)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+	co, err := migrate.New(migrate.Config{Sessions: sessions})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if len(args) == 1 && args[0] == "recover" {
+		resolved, err := co.Recover(ctx)
+		if err != nil {
+			return err
+		}
+		if len(resolved) == 0 {
+			fmt.Println("no abandoned migrations")
+		}
+		for _, line := range resolved {
+			fmt.Println(line)
+		}
+		return nil
+	}
+	if len(args) < 2 {
+		return fmt.Errorf("migrate needs PATH|LO:HI and DEST-SHARD (or: migrate recover)")
+	}
+	dest, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("bad destination shard %q", args[1])
+	}
+	var rng placement.Range
+	if lo, hi, ok := strings.Cut(args[0], ":"); ok {
+		if _, err := fmt.Sscanf(lo, "%x", &rng.Lo); err != nil {
+			return fmt.Errorf("bad range bound %q", lo)
+		}
+		if _, err := fmt.Sscanf(hi, "%x", &rng.Hi); err != nil {
+			return fmt.Errorf("bad range bound %q", hi)
+		}
+	} else {
+		zp, err := fs.ZnodePath(args[0])
+		if err != nil {
+			return err
+		}
+		rng = migrate.RangeForDir(zp)
+	}
+	src, err := co.Owner(ctx, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("migrating %v: shard %d -> %d\n", rng, src, dest)
+	rep, err := co.Migrate(ctx, rng, dest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done: epoch=%d fence=%v pre_copied=%d delta_txns=%d bytes_shipped=%d\n",
+		rep.Epoch, rep.FenceDuration.Round(time.Microsecond), rep.PrecopyN, rep.DeltaTxns, rep.BytesShipped)
+	return nil
+}
+
 // status prints the coordination service's view of itself — per shard
 // when the handle is a router, as a single line otherwise — followed
-// by each shard's observer tier and its replication lag.
+// by placement/migration state and each shard's observer tier with its
+// replication lag.
 func status(c *cluster.Cluster, sess coord.Client, shards, observers int) error {
 	if r, ok := sess.(*shard.Router); ok {
+		if err := r.RefreshPlacement(context.Background()); err != nil {
+			fmt.Printf("placement refresh failed: %v\n", err)
+		}
 		sts, err := r.ShardStatus()
 		if err != nil {
 			return err
@@ -162,6 +249,18 @@ func status(c *cluster.Cluster, sess coord.Client, shards, observers int) error 
 		for i, st := range sts {
 			fmt.Printf("shard %d: server=%d leader=%d epoch=%d znodes=%d%s%s\n",
 				i, st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st), observerFeedStatus(st))
+			for _, rg := range st.Ranges {
+				state := fmt.Sprintf("fenced -> shard %d (delta shipping)", rg.Dest)
+				if rg.Moved {
+					state = fmt.Sprintf("moved -> shard %d (epoch %d)", rg.Dest, rg.Epoch)
+				}
+				fmt.Printf("shard %d: range [%x,%x): %s\n", i, rg.Lo, rg.Hi, state)
+			}
+		}
+		tbl := r.PlacementTable()
+		fmt.Printf("placement: epoch=%d shards=%d overrides=%d\n", tbl.Epoch(), tbl.Shards(), len(tbl.Overrides()))
+		for _, ov := range tbl.Overrides() {
+			fmt.Printf("placement: range [%x,%x) pinned to shard %d\n", ov.Lo, ov.Hi, ov.Shard)
 		}
 	} else {
 		st, err := sess.Status()
@@ -220,7 +319,8 @@ func run(fs vfs.FileSystem, args []string) error {
 	case "help":
 		fmt.Println("mkdir PATH | ls PATH | stat PATH | put PATH DATA | cat PATH |")
 		fmt.Println("rm PATH | rmdir PATH | mv OLD NEW | ln TARGET LINK | readlink PATH |")
-		fmt.Println("chmod PATH OCTAL | truncate PATH SIZE | watch PATH [N] | status | quit")
+		fmt.Println("chmod PATH OCTAL | truncate PATH SIZE | watch PATH [N] | status |")
+		fmt.Println("migrate PATH|LO:HI DEST-SHARD | migrate recover | quit")
 		return nil
 	case "mkdir":
 		if err := need(1); err != nil {

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"repro/internal/coord"
+	"repro/internal/coord/migrate"
 	"repro/internal/loadgen"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -42,6 +44,14 @@ const (
 	// FaultRestartAll cold-restarts every coordination member from disk
 	// mid-load (requires a durable scenario).
 	FaultRestartAll FaultKind = "restart-all"
+	// FaultMigrate live-migrates one working directory's hash range to
+	// another coordination shard while the load runs: fence, fuzzy
+	// ship, delta replay, ownership flip, placement-epoch bump. The
+	// load's routers discover the move purely through moved-partition
+	// redirects. Requires Shards >= 2; Path names the directory whose
+	// children move; the destination is the next shard after the
+	// current owner.
+	FaultMigrate FaultKind = "migrate"
 	// FaultObserverPartition cuts one observer replica off mid-load:
 	// its client address is blocked (readers can't reach it) and its
 	// log tail is stalled (it stops replicating). Victim is the
@@ -76,6 +86,8 @@ type Fault struct {
 	Interval time.Duration `json:"interval,omitempty"`
 	// Shard selects the coordination shard (default 0).
 	Shard int `json:"shard,omitempty"`
+	// Path names the directory whose hash range migrates (migrate only).
+	Path string `json:"path,omitempty"`
 }
 
 // SLO bounds a scenario's outcome. Zero fields are not checked —
@@ -98,6 +110,10 @@ type Scenario struct {
 	SLO          SLO            `json:"slo"`
 	CoordMembers int            `json:"coord_members,omitempty"` // default 3
 	Sessions     int            `json:"sessions,omitempty"`      // default 2
+	// Shards sizes the sharded coordination tier (default 1). Sessions
+	// become routers when Shards > 1, so migrations exercise the full
+	// redirect-chase path.
+	Shards int `json:"shards,omitempty"`
 	// Durable gives every member a disk-backed storage engine (needed
 	// by slow-disk and restart-all).
 	Durable bool `json:"durable,omitempty"`
@@ -122,6 +138,9 @@ type ScenarioResult struct {
 	AckedChecked int            `json:"acked_checked"`
 	MissingAcked int            `json:"missing_acked"`
 	Violations   []string       `json:"violations,omitempty"`
+	// Migration carries the migration metrics of a resharding run
+	// (placement epoch, fence window, delta size, bytes shipped).
+	Migration map[string]float64 `json:"migration,omitempty"`
 }
 
 // OK reports whether the run stayed inside its SLO with zero acked loss.
@@ -231,6 +250,24 @@ func Matrix() []Scenario {
 			SLO:     SLO{MaxP99: 3 * time.Second, MaxErrorFrac: 0.5, MinAchievedFrac: 0.2},
 		},
 		{
+			Name:   "resharding",
+			Load:   base("resharding", 10),
+			Shards: 2,
+			// Two live migrations mid-load: each moves one working
+			// directory's hash range to the other shard while the open
+			// loop keeps the offered rate fixed. Writes into a fenced
+			// range retry behind the router's chase; once the flip
+			// commits, the moved-partition redirect re-homes them. The
+			// SLO tail is generous (a fenced write waits out the delta
+			// ship) but acked-write loss stays fatal — the migration
+			// invariant under test.
+			Faults: []Fault{
+				{Kind: FaultMigrate, At: 600 * time.Millisecond, Path: "/lg/d0"},
+				{Kind: FaultMigrate, At: 1200 * time.Millisecond, Path: "/lg/d1"},
+			},
+			SLO: SLO{MaxP99: time.Second, MaxErrorFrac: 0.01, MinAchievedFrac: 0.7},
+		},
+		{
 			Name:      "observer-partition",
 			Load:      base("observer-partition", 9),
 			Observers: 2,
@@ -274,6 +311,9 @@ func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResu
 	if sc.Sessions <= 0 {
 		sc.Sessions = 2
 	}
+	if sc.Shards <= 0 {
+		sc.Shards = 1
+	}
 	load := sc.Load
 	load.Duration = scaleDur(load.Duration, scale)
 
@@ -283,6 +323,7 @@ func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResu
 		Name:               "chaos-" + sc.Name,
 		Net:                fnet,
 		CoordServers:       sc.CoordMembers,
+		CoordShards:        sc.Shards,
 		CoordObservers:     sc.Observers,
 		CoordMaxLogEntries: sc.MaxLogEntries,
 		Backends:           1,
@@ -304,8 +345,38 @@ func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResu
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	defer cl.Stop()
-	if err := cl.Ensemble.WaitLeader(5 * time.Second); err != nil {
-		return nil, fmt.Errorf("scenario %s: no leader: %w", sc.Name, err)
+	for s, ens := range cl.Ensembles {
+		if err := ens.WaitLeader(5 * time.Second); err != nil {
+			return nil, fmt.Errorf("scenario %s: shard %d: no leader: %w", sc.Name, s, err)
+		}
+	}
+
+	// A migration fault needs a coordinator over one voter session per
+	// shard, plus a registry the result surfaces migration metrics from.
+	var migCo *migrate.Coordinator
+	var migReg *metrics.Registry
+	for _, f := range sc.Faults {
+		if f.Kind != FaultMigrate {
+			continue
+		}
+		if sc.Shards < 2 {
+			return nil, fmt.Errorf("scenario %s: migrate fault needs Shards >= 2", sc.Name)
+		}
+		sessions := make([]*coord.Session, sc.Shards)
+		for s := range sessions {
+			sess, err := cl.Ensembles[s].Connect(-1)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: migration session %d: %w", sc.Name, s, err)
+			}
+			defer sess.Close()
+			sessions[s] = sess
+		}
+		migReg = metrics.NewRegistry()
+		migCo, err = migrate.New(migrate.Config{Sessions: sessions, Registry: migReg})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		break
 	}
 
 	prep, err := cl.ConnectCoord(-1)
@@ -357,7 +428,7 @@ func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResu
 		fwg.Add(1)
 		go func() {
 			defer fwg.Done()
-			runFault(ctx, cl, fnet, chaos, &fmu, f, start, logf)
+			runFault(ctx, cl, fnet, chaos, migCo, &fmu, f, start, logf)
 		}()
 	}
 
@@ -370,13 +441,25 @@ func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResu
 	// is left injected before the verification pass.
 	chaos.Clear()
 	fnet.Clear()
-	if err := cl.Ensemble.WaitLeader(5 * time.Second); err != nil {
-		return nil, fmt.Errorf("scenario %s: no leader after faults: %w", sc.Name, err)
+	for s, ens := range cl.Ensembles {
+		if err := ens.WaitLeader(5 * time.Second); err != nil {
+			return nil, fmt.Errorf("scenario %s: shard %d: no leader after faults: %w", sc.Name, s, err)
+		}
 	}
 	res.Load = *result
 	if sc.ReadFrom != "" {
 		res.Load.ReadFrom = sc.ReadFrom
 		res.Load.ReadSplit = readCounters.Split()
+	}
+	if migReg != nil {
+		res.Migration = map[string]float64{
+			"migrations":          float64(migReg.Distribution("migrate.delta_txns").Count()),
+			"placement_epoch":     float64(migReg.Gauge("placement.epoch").Value()),
+			"fence_ms_mean":       float64(migReg.Histogram("migrate.fence_duration").Mean()) / float64(time.Millisecond),
+			"fence_ms_max":        float64(migReg.Histogram("migrate.fence_duration").Max()) / float64(time.Millisecond),
+			"delta_txns_total":    float64(migReg.Distribution("migrate.delta_txns").Sum()),
+			"bytes_shipped_total": float64(migReg.Distribution("migrate.bytes_shipped").Sum()),
+		}
 	}
 
 	// Every observer must converge back onto the leader's commit
@@ -463,13 +546,33 @@ func resolveVictim(ctx context.Context, cl *Cluster, shard, v int) int {
 // runFault applies one fault at its scheduled time and heals it after
 // its duration. Ensemble surgery is serialized on mu so overlapping
 // faults cannot race StopServer/StartServer.
-func runFault(ctx context.Context, cl *Cluster, fnet *transport.Faults, chaos *DiskChaos, mu *sync.Mutex, f Fault, start time.Time, logf func(string, ...any)) {
+func runFault(ctx context.Context, cl *Cluster, fnet *transport.Faults, chaos *DiskChaos, migCo *migrate.Coordinator, mu *sync.Mutex, f Fault, start time.Time, logf func(string, ...any)) {
 	sleepUntil(ctx, start.Add(f.At))
 	if ctx.Err() != nil {
 		return
 	}
 	ens := cl.Ensembles[f.Shard]
 	switch f.Kind {
+	case FaultMigrate:
+		if migCo == nil {
+			logf("migrate: no coordinator wired, fault skipped")
+			return
+		}
+		rng := migrate.RangeForDir(f.Path)
+		src, err := migCo.Owner(ctx, rng)
+		if err != nil {
+			logf("migrate: %s owner lookup FAILED: %v", f.Path, err)
+			return
+		}
+		dest := (src + 1) % len(cl.Ensembles)
+		logf("migrate: moving %s (range %v) shard %d -> %d", f.Path, rng, src, dest)
+		rep, err := migCo.Migrate(ctx, rng, dest)
+		if err != nil {
+			logf("migrate: %s FAILED: %v", f.Path, err)
+			return
+		}
+		logf("migrate: %s done: epoch %d, fence %v, %d pre-copied, %d delta txns, %d bytes",
+			f.Path, rep.Epoch, rep.FenceDuration.Round(time.Microsecond), rep.PrecopyN, rep.DeltaTxns, rep.BytesShipped)
 	case FaultSlowDisk:
 		id := resolveVictim(ctx, cl, f.Shard, f.Victim)
 		chaos.SetDelay(f.Shard, id, f.Delay)

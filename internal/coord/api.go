@@ -49,6 +49,17 @@ const (
 	// the client falls back (re-locate the leader, or a sync barrier).
 	// Client-local (never replicated).
 	opLeaseRead
+	// Migration control plane (DESIGN.md §15). The four write ops are
+	// replicated transactions — fence/moved markers and imported entries
+	// are state-machine state, so they survive leader failover and reach
+	// every replica; the two read ops are served locally.
+	opFenceRange   // replicated: mark [lo,hi) fenced (writes bounce retryably)
+	opUnfenceRange // replicated: lift a fence (migration abort)
+	opRangeMoved   // replicated: mark [lo,hi) moved + drop the local copy
+	opWipeRange    // replicated: drop in-range nodes (destination abort)
+	opImportRange  // replicated: graft shipped entries into the namespace
+	opRangeExport  // read: stream in-range entries changed since a zxid
+	opRangeState   // read: fence/moved state of a range
 )
 
 // Status codes carried in replies. They replicate deterministically as
@@ -65,6 +76,11 @@ const (
 	codeRolledBack
 	codeOther
 	codeNoLease
+	// codeFenced and codeMoved are the migration redirect contract:
+	// fenced is transient (retry the same shard shortly), moved is
+	// permanent (refresh placement, go to the shard in the detail).
+	codeFenced
+	codeMoved
 )
 
 // Error values surfaced to DUFS. They intentionally mirror the znode
@@ -85,7 +101,51 @@ var (
 	// was NOT served; the caller must retry elsewhere or fall back to
 	// a sync barrier.
 	ErrNoLease = errors.New("coord: no read lease held")
+	// ErrFenced is returned for a write landing in a hash range that is
+	// fenced for migration. The write did NOT apply; the fence lifts
+	// within the delta-ship window (or on abort), so the caller retries
+	// the same shard after a short backoff.
+	ErrFenced = errors.New("coord: range fenced for migration, retry")
 )
+
+// MovedError is the moved-partition redirect: the addressed range was
+// migrated away at the carried placement epoch and this shard no
+// longer serves it. The operation did NOT run; the caller must refresh
+// its placement table to at least Epoch and retry on Shard.
+type MovedError struct {
+	Epoch uint64
+	Shard int
+}
+
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("coord: partition moved to shard %d at epoch %d", e.Shard, e.Epoch)
+}
+
+// parseMovedDetail recovers a MovedError from its replicated detail
+// string (the exact Error() text, so old and new replicas agree on the
+// bytes in the dedup window).
+func parseMovedDetail(detail string) *MovedError {
+	var e MovedError
+	if _, err := fmt.Sscanf(detail, "coord: partition moved to shard %d at epoch %d", &e.Shard, &e.Epoch); err != nil {
+		return &MovedError{}
+	}
+	return &e
+}
+
+// PlacementPrefix is the top-level subtree holding the placement table
+// and migration intents. It is pinned to shard 0 by every router (not
+// hash-routed) and exempt from fences, moves and range exports, which
+// breaks the circularity of storing "where things live" inside the
+// sharded namespace itself.
+const PlacementPrefix = "/__placement"
+
+// PlacementTablePath is the znode holding the wire-encoded
+// placement.Table; migrations bump it with a compare-and-set Set.
+const PlacementTablePath = PlacementPrefix + "/table"
+
+// PlacementMigrationsPath is the directory of in-flight migration
+// intents, one child per migration, used for crash recovery.
+const PlacementMigrationsPath = PlacementPrefix + "/migrations"
 
 func codeForError(err error) uint8 {
 	switch {
@@ -107,7 +167,13 @@ func codeForError(err error) uint8 {
 		return codeRolledBack
 	case errors.Is(err, ErrNoLease):
 		return codeNoLease
+	case errors.Is(err, ErrFenced):
+		return codeFenced
 	default:
+		var mv *MovedError
+		if errors.As(err, &mv) {
+			return codeMoved
+		}
 		return codeOther
 	}
 }
@@ -132,6 +198,10 @@ func errorForCode(code uint8, detail string) error {
 		return ErrRolledBack
 	case codeNoLease:
 		return ErrNoLease
+	case codeFenced:
+		return ErrFenced
+	case codeMoved:
+		return parseMovedDetail(detail)
 	default:
 		if detail == "" {
 			detail = "unknown coordination error"

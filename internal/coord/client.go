@@ -807,6 +807,19 @@ type Status struct {
 	AppliedZxid uint64
 	LagTxns     uint64
 	Observers   []ObserverStatus
+
+	// Ranges lists the shard's live migration markers (fenced or moved
+	// hash ranges) — the operator-visible migration progress.
+	Ranges []RangeStatus
+}
+
+// RangeStatus is one migration marker in a server's status report.
+type RangeStatus struct {
+	Lo    uint64
+	Hi    uint64
+	Dest  int
+	Epoch uint64
+	Moved bool
 }
 
 // ObserverStatus is one observer replica's replication state as
@@ -848,6 +861,18 @@ func (s *Session) Status() (Status, error) {
 				AppliedZxid: r.Uint64(),
 				LagTxns:     r.Uint64(),
 				LagMS:       r.Uint64(),
+			})
+		}
+	}
+	rn := r.Uint32()
+	if r.Err() == nil && int(rn) <= r.Remaining() {
+		for i := uint32(0); i < rn; i++ {
+			st.Ranges = append(st.Ranges, RangeStatus{
+				Lo:    r.Uint64(),
+				Hi:    r.Uint64(),
+				Dest:  int(r.Uint32()),
+				Epoch: r.Uint64(),
+				Moved: r.Bool(),
 			})
 		}
 	}

@@ -1,0 +1,527 @@
+// Package migrate implements online shard migration: moving a
+// consistent-hash range of the namespace from one ensemble to another
+// while both keep serving, with zero failed acked operations.
+//
+// The paper partitions metadata across back ends with a static
+// consistent-hash ring (§IV-F); adding or draining a server is left as
+// an offline operation. This package supplies the missing control
+// plane: a fence/ship/replay/flip protocol in the spirit of the region
+// moves ZooKeeper-backed stores (HBase) perform, expressed over the
+// repository's own primitives — fuzzy streaming snapshots (DESIGN.md
+// §14) for the bulk copy, replicated fence markers for the write
+// barrier, and an epoch-versioned placement table (placement.Table)
+// for the routing flip.
+//
+// # Protocol
+//
+//  1. INTENT   — a migration intent znode is written under
+//     /__placement/migrations, making the migration discoverable by
+//     Recover whatever happens next.
+//  2. PRE-COPY — a fuzzy export of the range streams to the
+//     destination while the source keeps serving writes. The export's
+//     applied-zxid horizon S is recorded.
+//  3. FENCE    — a replicated fence transaction lands on the source:
+//     writes into the range now bounce with a retryable redirect,
+//     reads keep serving. Acked writes are never lost: every write
+//     either committed before the fence (and ships in the delta) or
+//     bounced (and was never acked).
+//  4. DELTA    — everything the range changed since S ships, plus a
+//     live-path manifest; the destination reconciles deletions against
+//     it. The window is a delta, not a bulk copy — milliseconds.
+//  5. FLIP     — the source's fence marker becomes a moved marker
+//     (reads and writes now redirect permanently, naming the new owner
+//     and epoch) and the source drops its copy of the range.
+//  6. PUBLISH  — the placement table znode is CAS-bumped to the new
+//     epoch. Routers learn lazily: the first op to hit the moved
+//     marker chases the redirect, refreshes the table, retries.
+//  7. CLEANUP  — the intent znode is deleted.
+//
+// A coordinator crash leaves the range owned by exactly one shard at
+// every step: before FLIP the source still owns it (Recover rolls
+// back — wipes the partial destination copy, lifts the fence); from
+// FLIP on the destination owns it (Recover rolls forward — re-publishes
+// the table, deletes the intent). There is no step at which both
+// shards serve the range.
+package migrate
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/znode"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/wire"
+)
+
+// Config wires a Coordinator to a sharded deployment.
+type Config struct {
+	// Sessions holds one voter session per shard, indexed by shard id —
+	// the same order the routers' session slices use.
+	Sessions []*coord.Session
+	// Registry receives migration metrics (migrate.fence_duration,
+	// migrate.delta_txns, migrate.bytes_shipped, placement.epoch).
+	// Optional.
+	Registry *metrics.Registry
+	// BatchEntries caps how many entries ride in one import
+	// transaction. Defaults to 256.
+	BatchEntries int
+	// StepHook, when set, runs before each protocol step with the
+	// step's name ("intent", "precopy", "fence", "delta", "flip",
+	// "publish", "cleanup"). Returning an error abandons the migration
+	// at exactly that point — the crash-injection seam the recovery
+	// tests drive.
+	StepHook func(step string) error
+}
+
+// Coordinator drives migrations and recovers abandoned ones.
+type Coordinator struct {
+	cfg Config
+}
+
+// New validates cfg and returns a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Sessions) < 2 {
+		return nil, errors.New("migrate: need at least two shards")
+	}
+	if cfg.BatchEntries <= 0 {
+		cfg.BatchEntries = 256
+	}
+	return &Coordinator{cfg: cfg}, nil
+}
+
+// Report summarises one completed migration.
+type Report struct {
+	Range         placement.Range
+	Source, Dest  int
+	Epoch         uint64        // placement epoch published for the move
+	FenceDuration time.Duration // fence plant → ownership flip
+	PrecopyN      int           // entries shipped before the fence
+	DeltaTxns     int           // authoritative entries + reconciled deletes in the fenced window
+	BytesShipped  int64         // path+data bytes across both phases
+}
+
+// RangeForDir returns the migration range that moves exactly the
+// children of dir (the unit the routing function shards by).
+func RangeForDir(dir string) placement.Range { return placement.RangeForKey(dir) }
+
+// Owner reports the shard the current placement table routes rng to —
+// the shard Migrate would treat as the source.
+func (c *Coordinator) Owner(ctx context.Context, rng placement.Range) (int, error) {
+	tbl, err := c.loadTable(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.LocateHash(rng.Lo), nil
+}
+
+func (c *Coordinator) step(name string) error {
+	if c.cfg.StepHook != nil {
+		return c.cfg.StepHook(name)
+	}
+	return nil
+}
+
+func entriesBytes(entries []coord.RangeEntry) int64 {
+	var n int64
+	for _, e := range entries {
+		n += int64(len(e.Path) + len(e.Data))
+	}
+	return n
+}
+
+// Migrate moves rng to shard dest. The source is whatever shard the
+// current placement table routes rng to. On error the migration is
+// left wherever it stopped — exactly like a coordinator crash — and
+// Recover rolls it back or forward; nothing is left split-brain.
+func (c *Coordinator) Migrate(ctx context.Context, rng placement.Range, dest int) (*Report, error) {
+	if dest < 0 || dest >= len(c.cfg.Sessions) {
+		return nil, fmt.Errorf("migrate: destination shard %d out of range", dest)
+	}
+	tbl, err := c.loadTable(ctx)
+	if err != nil {
+		return nil, err
+	}
+	src := tbl.LocateHash(rng.Lo)
+	if src == dest {
+		return nil, fmt.Errorf("migrate: range %v already lives on shard %d", rng, dest)
+	}
+	if src < 0 || src >= len(c.cfg.Sessions) {
+		return nil, fmt.Errorf("migrate: source shard %d has no session", src)
+	}
+	next, err := tbl.WithMove(rng, dest)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: %w", err)
+	}
+	epoch := next.Epoch()
+	srcS, destS := c.cfg.Sessions[src], c.cfg.Sessions[dest]
+	rep := &Report{Range: rng, Source: src, Dest: dest, Epoch: epoch}
+
+	// INTENT: make the migration discoverable before anything moves.
+	if err := c.step("intent"); err != nil {
+		return nil, err
+	}
+	if err := c.writeIntent(ctx, rng, src, dest, epoch); err != nil {
+		return nil, err
+	}
+
+	// PRE-COPY: fuzzy bulk ship while the source keeps serving.
+	if err := c.step("precopy"); err != nil {
+		return nil, err
+	}
+	pre, err := srcS.RangeExport(ctx, rng, 0, false)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: pre-copy export: %w", err)
+	}
+	rep.PrecopyN = len(pre.Entries)
+	rep.BytesShipped += entriesBytes(pre.Entries)
+	if err := c.importBatches(ctx, destS, rng, pre.Entries, false, nil); err != nil {
+		return nil, fmt.Errorf("migrate: pre-copy import: %w", err)
+	}
+
+	// FENCE: stop the range's writes on the source.
+	if err := c.step("fence"); err != nil {
+		return nil, err
+	}
+	fenceStart := time.Now()
+	if _, err := srcS.FenceRange(ctx, rng, dest, epoch); err != nil {
+		return nil, fmt.Errorf("migrate: fence: %w", err)
+	}
+
+	// DELTA: ship the post-pre-copy effects and the manifest.
+	if err := c.step("delta"); err != nil {
+		return nil, err
+	}
+	delta, err := srcS.RangeExport(ctx, rng, pre.Zxid, true)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: delta export: %w", err)
+	}
+	rep.BytesShipped += entriesBytes(delta.Entries)
+	reconciled, err := c.importFinal(ctx, destS, rng, delta.Entries, delta.Manifest)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: delta import: %w", err)
+	}
+	for _, e := range delta.Entries {
+		if !e.Stub {
+			rep.DeltaTxns++
+		}
+	}
+	rep.DeltaTxns += reconciled
+
+	// FLIP: ownership changes hands; the source drops its copy.
+	if err := c.step("flip"); err != nil {
+		return nil, err
+	}
+	if _, err := srcS.RangeMoved(ctx, rng, dest, epoch); err != nil {
+		return nil, fmt.Errorf("migrate: flip: %w", err)
+	}
+	rep.FenceDuration = time.Since(fenceStart)
+
+	// PUBLISH: routers can now learn the new epoch.
+	if err := c.step("publish"); err != nil {
+		return nil, err
+	}
+	finalEpoch, err := c.publishMove(ctx, rng, dest)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: publish: %w", err)
+	}
+	rep.Epoch = finalEpoch
+
+	// CLEANUP: the migration is durable everywhere; drop the intent.
+	if err := c.step("cleanup"); err != nil {
+		return nil, err
+	}
+	if err := c.deleteIntent(ctx, rng); err != nil {
+		return nil, err
+	}
+	c.record(rep)
+	return rep, nil
+}
+
+func (c *Coordinator) record(rep *Report) {
+	if c.cfg.Registry == nil {
+		return
+	}
+	c.cfg.Registry.Histogram("migrate.fence_duration").Observe(rep.FenceDuration)
+	c.cfg.Registry.Distribution("migrate.delta_txns").Observe(int64(rep.DeltaTxns))
+	c.cfg.Registry.Distribution("migrate.bytes_shipped").Observe(rep.BytesShipped)
+	c.cfg.Registry.Gauge("placement.epoch").Set(int64(rep.Epoch))
+}
+
+// importBatches ships entries in BatchEntries-sized sub-transactions,
+// preserving the stream's parents-first order.
+func (c *Coordinator) importBatches(ctx context.Context, dest *coord.Session, rng placement.Range, entries []coord.RangeEntry, final bool, manifest []string) error {
+	n := c.cfg.BatchEntries
+	for len(entries) > n {
+		if _, _, err := dest.ImportRange(ctx, rng, entries[:n], false, nil); err != nil {
+			return err
+		}
+		entries = entries[n:]
+	}
+	_, _, err := dest.ImportRange(ctx, rng, entries, final, manifest)
+	return err
+}
+
+// importFinal ships the delta and manifest; the last batch triggers
+// the destination-side reconcile and returns its deletion count.
+func (c *Coordinator) importFinal(ctx context.Context, dest *coord.Session, rng placement.Range, entries []coord.RangeEntry, manifest []string) (int, error) {
+	n := c.cfg.BatchEntries
+	for len(entries) > n {
+		if _, _, err := dest.ImportRange(ctx, rng, entries[:n], false, nil); err != nil {
+			return 0, err
+		}
+		entries = entries[n:]
+	}
+	_, reconciled, err := dest.ImportRange(ctx, rng, entries, true, manifest)
+	return reconciled, err
+}
+
+// loadTable reads the published placement table, falling back to the
+// epoch-0 table for the deployment's shard count when no migration has
+// ever published one.
+func (c *Coordinator) loadTable(ctx context.Context) (*placement.Table, error) {
+	data, _, err := c.cfg.Sessions[0].GetCtx(ctx, coord.PlacementTablePath)
+	if errors.Is(err, coord.ErrNoNode) {
+		return placement.NewTable(len(c.cfg.Sessions))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("migrate: read placement table: %w", err)
+	}
+	tbl, err := placement.DecodeTable(data)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: %w", err)
+	}
+	return tbl, nil
+}
+
+// publishMove CAS-loops the placement znode until a table routing rng
+// to dest is published, and returns its epoch. Competing publishers
+// (another migration, a racing recovery of this one) are absorbed:
+// whoever loses the CAS re-reads and re-applies its move on top.
+func (c *Coordinator) publishMove(ctx context.Context, rng placement.Range, dest int) (uint64, error) {
+	s0 := c.cfg.Sessions[0]
+	for attempt := 0; attempt < 16; attempt++ {
+		data, stat, err := s0.GetCtx(ctx, coord.PlacementTablePath)
+		switch {
+		case errors.Is(err, coord.ErrNoNode):
+			base, terr := placement.NewTable(len(c.cfg.Sessions))
+			if terr != nil {
+				return 0, terr
+			}
+			next, terr := base.WithMove(rng, dest)
+			if terr != nil {
+				return 0, terr
+			}
+			if cerr := c.ensurePlacementChain(ctx); cerr != nil {
+				return 0, cerr
+			}
+			if _, cerr := s0.CreateCtx(ctx, coord.PlacementTablePath, next.Encode(), znode.ModePersistent); cerr != nil {
+				if errors.Is(cerr, coord.ErrNodeExists) {
+					continue // lost the race; re-read and retry
+				}
+				return 0, cerr
+			}
+			return next.Epoch(), nil
+		case err != nil:
+			return 0, err
+		}
+		cur, terr := placement.DecodeTable(data)
+		if terr != nil {
+			return 0, terr
+		}
+		if cur.LocateHash(rng.Lo) == dest && cur.LocateHash(lastHash(rng)) == dest {
+			return cur.Epoch(), nil // already published (recovery re-run)
+		}
+		next, terr := cur.WithMove(rng, dest)
+		if terr != nil {
+			return 0, terr
+		}
+		if _, serr := s0.SetCtx(ctx, coord.PlacementTablePath, next.Encode(), stat.Version); serr != nil {
+			if errors.Is(serr, coord.ErrBadVersion) {
+				continue
+			}
+			return 0, serr
+		}
+		return next.Epoch(), nil
+	}
+	return 0, errors.New("migrate: placement table CAS contention")
+}
+
+// ensurePlacementChain creates /__placement and /__placement/migrations
+// if missing (idempotent).
+func (c *Coordinator) ensurePlacementChain(ctx context.Context) error {
+	s0 := c.cfg.Sessions[0]
+	for _, p := range []string{coord.PlacementPrefix, coord.PlacementMigrationsPath} {
+		if _, err := s0.CreateCtx(ctx, p, nil, znode.ModePersistent); err != nil && !errors.Is(err, coord.ErrNodeExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// lastHash returns the highest hash rng contains (Hi==0 means the
+// range runs through the top of the hash space).
+func lastHash(rng placement.Range) uint64 {
+	if rng.Hi == 0 {
+		return ^uint64(0)
+	}
+	return rng.Hi - 1
+}
+
+// Intent znode payload.
+const intentFormat = 1
+
+type intent struct {
+	rng       placement.Range
+	src, dest int
+	epoch     uint64
+}
+
+func intentName(rng placement.Range) string {
+	return fmt.Sprintf("%016x-%016x", rng.Lo, rng.Hi)
+}
+
+func encodeIntent(it intent) []byte {
+	var buf bytes.Buffer
+	e := wire.NewEncoder(&buf, 0)
+	e.Uint8(intentFormat)
+	e.Uint64(it.rng.Lo)
+	e.Uint64(it.rng.Hi)
+	e.Uint32(uint32(it.src))
+	e.Uint32(uint32(it.dest))
+	e.Uint64(it.epoch)
+	if err := e.Flush(); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	return buf.Bytes()
+}
+
+func decodeIntent(b []byte) (intent, error) {
+	d := wire.NewDecoder(bytes.NewReader(b))
+	if v := d.Uint8(); d.Err() == nil && v != intentFormat {
+		return intent{}, fmt.Errorf("migrate: unknown intent format %d", v)
+	}
+	it := intent{
+		rng:   placement.Range{Lo: d.Uint64(), Hi: d.Uint64()},
+		src:   int(d.Uint32()),
+		dest:  int(d.Uint32()),
+		epoch: d.Uint64(),
+	}
+	if d.Err() != nil {
+		return intent{}, fmt.Errorf("migrate: decode intent: %w", d.Err())
+	}
+	return it, nil
+}
+
+func (c *Coordinator) writeIntent(ctx context.Context, rng placement.Range, src, dest int, epoch uint64) error {
+	if err := c.ensurePlacementChain(ctx); err != nil {
+		return err
+	}
+	path := coord.PlacementMigrationsPath + "/" + intentName(rng)
+	blob := encodeIntent(intent{rng: rng, src: src, dest: dest, epoch: epoch})
+	if _, err := c.cfg.Sessions[0].CreateCtx(ctx, path, blob, znode.ModePersistent); err != nil {
+		if errors.Is(err, coord.ErrNodeExists) {
+			return fmt.Errorf("migrate: migration already in progress for %v", rng)
+		}
+		return err
+	}
+	return nil
+}
+
+func (c *Coordinator) deleteIntent(ctx context.Context, rng placement.Range) error {
+	path := coord.PlacementMigrationsPath + "/" + intentName(rng)
+	err := c.cfg.Sessions[0].DeleteCtx(ctx, path, -1)
+	if errors.Is(err, coord.ErrNoNode) {
+		return nil
+	}
+	return err
+}
+
+// Recover sweeps abandoned migration intents and drives each to a
+// single-owner terminal state. The decision rule exploits the protocol
+// order: RangeMoved is only ever issued after the final delta import,
+// so the source's marker is the commit point —
+//
+//	moved  → the destination has everything: roll FORWARD
+//	         (re-publish the table, drop the intent);
+//	fenced → the delta may be partial: roll BACK (wipe the
+//	         destination's copy, lift the fence, drop the intent);
+//	none   → the crash predates the fence: roll BACK (wipe any
+//	         partial pre-copy, drop the intent).
+//
+// It returns one human-readable line per intent resolved.
+func (c *Coordinator) Recover(ctx context.Context) ([]string, error) {
+	s0 := c.cfg.Sessions[0]
+	names, err := s0.ChildrenCtx(ctx, coord.PlacementMigrationsPath)
+	if errors.Is(err, coord.ErrNoNode) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var resolved []string
+	for _, name := range names {
+		path := coord.PlacementMigrationsPath + "/" + name
+		blob, _, err := s0.GetCtx(ctx, path)
+		if errors.Is(err, coord.ErrNoNode) {
+			continue // concurrently completed
+		}
+		if err != nil {
+			return resolved, err
+		}
+		it, err := decodeIntent(blob)
+		if err != nil {
+			return resolved, fmt.Errorf("migrate: intent %s: %w", name, err)
+		}
+		if it.src < 0 || it.src >= len(c.cfg.Sessions) || it.dest < 0 || it.dest >= len(c.cfg.Sessions) {
+			return resolved, fmt.Errorf("migrate: intent %s names unknown shard", name)
+		}
+		state, _, _, err := c.cfg.Sessions[it.src].RangeState(ctx, it.rng)
+		if err != nil {
+			return resolved, fmt.Errorf("migrate: intent %s: source state: %w", name, err)
+		}
+		switch state {
+		case coord.RangeMovedState:
+			epoch, err := c.publishMove(ctx, it.rng, it.dest)
+			if err != nil {
+				return resolved, err
+			}
+			if c.cfg.Registry != nil {
+				c.cfg.Registry.Gauge("placement.epoch").Set(int64(epoch))
+			}
+			resolved = append(resolved, fmt.Sprintf("%v: rolled forward to shard %d (epoch %d)", it.rng, it.dest, epoch))
+		case coord.RangeFenced:
+			// The delta import may already have landed on the
+			// destination — and with it, retired any moved marker a past
+			// migration left there. Rolling back with RangeMoved rather
+			// than a bare wipe both drops the partial copy and
+			// re-asserts "the source owns this" on the destination, so
+			// routers holding any table epoch still get redirected
+			// instead of a silent miss.
+			tbl, err := c.loadTable(ctx)
+			if err != nil {
+				return resolved, err
+			}
+			if _, err := c.cfg.Sessions[it.dest].RangeMoved(ctx, it.rng, it.src, tbl.Epoch()); err != nil {
+				return resolved, err
+			}
+			if err := c.cfg.Sessions[it.src].UnfenceRange(ctx, it.rng); err != nil {
+				return resolved, err
+			}
+			resolved = append(resolved, fmt.Sprintf("%v: rolled back to shard %d (fence lifted)", it.rng, it.src))
+		default:
+			if _, err := c.cfg.Sessions[it.dest].WipeRange(ctx, it.rng); err != nil {
+				return resolved, err
+			}
+			resolved = append(resolved, fmt.Sprintf("%v: rolled back to shard %d (pre-fence crash)", it.rng, it.src))
+		}
+		if err := c.deleteIntent(ctx, it.rng); err != nil {
+			return resolved, err
+		}
+	}
+	return resolved, nil
+}

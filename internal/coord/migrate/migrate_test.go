@@ -1,0 +1,279 @@
+package migrate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/znode"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/transport"
+)
+
+var harnessSeq int
+
+// startShards boots n independent ensembles on one in-process network
+// and returns a session per shard.
+func startShards(t *testing.T, n, servers int) []*coord.Session {
+	t.Helper()
+	harnessSeq++
+	net := transport.NewInProc()
+	sessions := make([]*coord.Session, n)
+	for s := 0; s < n; s++ {
+		e, err := coord.StartEnsemble(coord.EnsembleConfig{
+			Servers:           servers,
+			Net:               net,
+			AddrPrefix:        fmt.Sprintf("migtest%d-%d", harnessSeq, s),
+			HeartbeatInterval: 5 * time.Millisecond,
+			ElectionTimeout:   40 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Stop)
+		sess, err := e.Connect(-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sess.Close() })
+		sessions[s] = sess
+	}
+	return sessions
+}
+
+// seedRange creates dir and nchildren under it on the shard the
+// epoch-0 table routes them to, returning (source shard, range).
+func seedRange(t *testing.T, sessions []*coord.Session, dir string, nchildren int) (int, placement.Range) {
+	t.Helper()
+	tbl, err := placement.NewTable(len(sessions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tbl.Locate(dir)
+	s := sessions[src]
+	if _, err := s.Create(dir, []byte("dir"), znode.ModePersistent); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nchildren; i++ {
+		p := fmt.Sprintf("%s/n%03d", dir, i)
+		if _, err := s.Create(p, []byte("v0:"+p), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return src, RangeForDir(dir)
+}
+
+func TestMigrateMovesRange(t *testing.T) {
+	sessions := startShards(t, 2, 3)
+	src, rng := seedRange(t, sessions, "/data", 8)
+	dest := 1 - src
+	reg := metrics.NewRegistry()
+	co, err := New(Config{Sessions: sessions, Registry: reg, BatchEntries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := co.Migrate(context.Background(), rng, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Source != src || rep.Dest != dest || rep.Epoch == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.PrecopyN == 0 || rep.BytesShipped == 0 {
+		t.Fatalf("report shipped nothing: %+v", rep)
+	}
+
+	// Destination serves the data.
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("/data/n%03d", i)
+		if data, _, err := sessions[dest].Get(p); err != nil || string(data) != "v0:"+p {
+			t.Fatalf("dest %s = %q, %v", p, data, err)
+		}
+	}
+	// Source redirects.
+	var mv *coord.MovedError
+	if _, _, err := sessions[src].Get("/data/n000"); !errors.As(err, &mv) {
+		t.Fatalf("source read err = %v, want MovedError", err)
+	} else if mv.Shard != dest {
+		t.Fatalf("redirect names shard %d, want %d", mv.Shard, dest)
+	}
+	// The published table routes the range to dest.
+	data, _, err := sessions[0].Get(coord.PlacementTablePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := placement.DecodeTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.LocateHash(rng.Lo); got != dest {
+		t.Fatalf("published table routes range to %d, want %d", got, dest)
+	}
+	if tbl.Epoch() != rep.Epoch {
+		t.Fatalf("published epoch %d, report %d", tbl.Epoch(), rep.Epoch)
+	}
+	// Intent cleaned up.
+	if kids, err := sessions[0].Children(coord.PlacementMigrationsPath); err != nil || len(kids) != 0 {
+		t.Fatalf("leftover intents %v, %v", kids, err)
+	}
+	// Metrics flowed through the registry.
+	if got := reg.Gauge("placement.epoch").Value(); got != int64(rep.Epoch) {
+		t.Fatalf("placement.epoch gauge = %d, want %d", got, rep.Epoch)
+	}
+	if reg.Distribution("migrate.bytes_shipped").Count() != 1 {
+		t.Fatal("migrate.bytes_shipped not recorded")
+	}
+	if reg.Histogram("migrate.fence_duration").Count() != 1 {
+		t.Fatal("migrate.fence_duration not recorded")
+	}
+}
+
+// TestMigrateThereAndBack moves a range away and then home again: the
+// final import must retire the stale moved marker on the returning
+// owner, or its own clients would bounce off their own data forever.
+func TestMigrateThereAndBack(t *testing.T) {
+	sessions := startShards(t, 2, 3)
+	src, rng := seedRange(t, sessions, "/data", 4)
+	dest := 1 - src
+	co, err := New(Config{Sessions: sessions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := co.Migrate(ctx, rng, dest); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co.Migrate(ctx, rng, src)
+	if err != nil {
+		t.Fatalf("migrating home: %v", err)
+	}
+	if rep.Epoch != 2 {
+		t.Fatalf("second migration epoch = %d, want 2", rep.Epoch)
+	}
+	// The original shard serves its data again, reads and writes.
+	if data, _, err := sessions[src].Get("/data/n000"); err != nil || string(data) != "v0:/data/n000" {
+		t.Fatalf("home shard read = %q, %v", data, err)
+	}
+	if _, err := sessions[src].Set("/data/n000", []byte("home"), -1); err != nil {
+		t.Fatalf("home shard write: %v", err)
+	}
+	// The way station redirects home.
+	var mv *coord.MovedError
+	if _, _, err := sessions[dest].Get("/data/n000"); !errors.As(err, &mv) || mv.Shard != src {
+		t.Fatalf("way-station read err = %v, want MovedError to %d", err, src)
+	}
+}
+
+// errCrash is what the step hook "kills" the coordinator with.
+var errCrash = errors.New("injected coordinator crash")
+
+// TestRecoverAtEveryStep kills the coordinator immediately before each
+// protocol step, runs recovery, and asserts the range ends up owned by
+// exactly one shard — rolled back before the flip, rolled forward
+// after — and that the owner accepts writes (no fence leaks).
+func TestRecoverAtEveryStep(t *testing.T) {
+	steps := []string{"intent", "precopy", "fence", "delta", "flip", "publish", "cleanup"}
+	for _, step := range steps {
+		step := step
+		t.Run(step, func(t *testing.T) {
+			sessions := startShards(t, 2, 3)
+			src, rng := seedRange(t, sessions, "/data", 4)
+			dest := 1 - src
+			ctx := context.Background()
+
+			crashing, err := New(Config{
+				Sessions: sessions,
+				StepHook: func(s string) error {
+					if s == step {
+						return errCrash
+					}
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := crashing.Migrate(ctx, rng, dest); !errors.Is(err, errCrash) {
+				t.Fatalf("migrate err = %v, want injected crash", err)
+			}
+
+			rec, err := New(Config{Sessions: sessions})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rec.Recover(ctx); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+
+			// After the flip step has EXECUTED the migration must roll
+			// forward; the hook fires before its step runs, so "publish"
+			// and "cleanup" crashes are post-flip. Crashes while the
+			// source was fenced ("delta", "flip") roll back via
+			// RangeMoved on the destination, which leaves a redirect
+			// marker there instead of a bare miss.
+			rolledForward := step == "publish" || step == "cleanup"
+			remarked := step == "delta" || step == "flip"
+			owner, other := src, dest
+			if rolledForward {
+				owner, other = dest, src
+			}
+			// The owner serves the data and accepts writes.
+			if data, _, err := sessions[owner].Get("/data/n000"); err != nil || string(data) != "v0:/data/n000" {
+				t.Fatalf("owner read = %q, %v", data, err)
+			}
+			if _, err := sessions[owner].Set("/data/n000", []byte("post"), -1); err != nil {
+				t.Fatalf("owner write after recovery: %v", err)
+			}
+			// The other shard owns nothing in the range: reads either
+			// redirect to the owner (moved marker from the flip or from
+			// the fenced-rollback re-mark) or miss outright (pre-fence
+			// crash: partial copy wiped, no marker ever existed).
+			_, _, err = sessions[other].Get("/data/n000")
+			var mv *coord.MovedError
+			switch {
+			case rolledForward || remarked:
+				if !errors.As(err, &mv) {
+					t.Fatalf("non-owner read err = %v, want MovedError", err)
+				}
+				if mv.Shard != owner {
+					t.Fatalf("redirect names shard %d, want %d", mv.Shard, owner)
+				}
+			default:
+				if !errors.Is(err, coord.ErrNoNode) {
+					t.Fatalf("wiped shard read err = %v, want ErrNoNode", err)
+				}
+			}
+			// No intent survives recovery.
+			kids, err := sessions[0].Children(coord.PlacementMigrationsPath)
+			if err != nil && !errors.Is(err, coord.ErrNoNode) {
+				t.Fatal(err)
+			}
+			if len(kids) != 0 {
+				t.Fatalf("leftover intents %v", kids)
+			}
+			// Recovery is idempotent.
+			if _, err := rec.Recover(ctx); err != nil {
+				t.Fatalf("second recover: %v", err)
+			}
+		})
+	}
+}
+
+// TestMigrateRejectsSameShard pins the no-op guard.
+func TestMigrateRejectsSameShard(t *testing.T) {
+	sessions := startShards(t, 2, 1)
+	src, rng := seedRange(t, sessions, "/data", 1)
+	co, err := New(Config{Sessions: sessions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Migrate(context.Background(), rng, src); err == nil {
+		t.Fatal("migrating a range onto its own shard succeeded")
+	}
+}

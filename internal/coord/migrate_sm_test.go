@@ -1,0 +1,212 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/coord/znode"
+	"repro/internal/placement"
+)
+
+// TestFenceBouncesWritesServesReads pins the fence contract: while a
+// range is fenced, writes routed into it bounce with ErrFenced, reads
+// keep serving, and out-of-range traffic is untouched. Unfencing
+// restores writes.
+func TestFenceBouncesWritesServesReads(t *testing.T) {
+	e := startTestEnsemble(t, 3)
+	s := connect(t, e, -1)
+	ctx := context.Background()
+
+	for _, p := range []string{"/mig", "/mig/a", "/other", "/other/x"} {
+		if _, err := s.Create(p, []byte(p), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := placement.RangeForKey("/mig")
+
+	fz, err := s.FenceRange(ctx, rng, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fz == 0 {
+		t.Fatal("fence zxid = 0")
+	}
+
+	if _, err := s.Create("/mig/b", nil, znode.ModePersistent); !errors.Is(err, ErrFenced) {
+		t.Fatalf("create under fence err = %v, want ErrFenced", err)
+	}
+	if _, err := s.Set("/mig/a", []byte("v1"), -1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("set under fence err = %v, want ErrFenced", err)
+	}
+	if err := s.Delete("/mig/a", -1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("delete under fence err = %v, want ErrFenced", err)
+	}
+	// Reads still serve under a fence.
+	if data, _, err := s.Get("/mig/a"); err != nil || string(data) != "/mig/a" {
+		t.Fatalf("get under fence = %q, %v", data, err)
+	}
+	if kids, err := s.Children("/mig"); err != nil || len(kids) != 1 {
+		t.Fatalf("children under fence = %v, %v", kids, err)
+	}
+	// Out-of-range writes are untouched.
+	if _, err := s.Create("/other/y", nil, znode.ModePersistent); err != nil {
+		t.Fatalf("out-of-range create err = %v", err)
+	}
+
+	if err := s.UnfenceRange(ctx, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("/mig/b", nil, znode.ModePersistent); err != nil {
+		t.Fatalf("create after unfence err = %v", err)
+	}
+	// Unfence is idempotent.
+	if err := s.UnfenceRange(ctx, rng); err != nil {
+		t.Fatalf("second unfence err = %v", err)
+	}
+}
+
+// TestMigrationRoundTrip drives the full fence/ship/replay/flip
+// protocol by hand between two live ensembles and checks the
+// destination converges to the source's post-fence state, including a
+// deletion that raced the pre-copy (caught by manifest reconcile).
+func TestMigrationRoundTrip(t *testing.T) {
+	src := startTestEnsemble(t, 3)
+	dst := startTestEnsemble(t, 3)
+	ss := connect(t, src, -1)
+	ds := connect(t, dst, -1)
+	ctx := context.Background()
+
+	for _, p := range []string{"/mig", "/mig/a", "/mig/b", "/other", "/other/x"} {
+		if _, err := ss.Create(p, []byte("v0:"+p), znode.ModePersistent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := placement.RangeForKey("/mig")
+
+	// Pre-copy: fuzzy capture of everything in range.
+	pre, err := ss.RangeExport(ctx, rng, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre.Entries) == 0 {
+		t.Fatal("pre-copy exported nothing")
+	}
+	if _, _, err := ds.ImportRange(ctx, rng, pre.Entries, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent traffic between pre-copy and fence: a mutation and a
+	// deletion the delta must carry.
+	if _, err := ss.Set("/mig/a", []byte("v1:/mig/a"), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Delete("/mig/b", -1); err != nil {
+		t.Fatal(err)
+	}
+
+	const epoch = 9
+	fz, err := ss.FenceRange(ctx, rng, 1, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := ss.RangeExport(ctx, rng, pre.Zxid, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Zxid < fz {
+		t.Fatalf("delta export horizon %d below fence zxid %d", delta.Zxid, fz)
+	}
+	_, reconciled, err := ds.ImportRange(ctx, rng, delta.Entries, true, delta.Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reconciled != 1 {
+		t.Fatalf("reconciled = %d, want 1 (/mig/b)", reconciled)
+	}
+
+	dropped, err := ss.RangeMoved(ctx, rng, 1, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("moved flip dropped no nodes on the source")
+	}
+
+	// Source now bounces both reads and writes with the redirect.
+	var mv *MovedError
+	if _, _, err := ss.Get("/mig/a"); !errors.As(err, &mv) {
+		t.Fatalf("source read after flip err = %v, want MovedError", err)
+	} else if mv.Epoch != epoch || mv.Shard != 1 {
+		t.Fatalf("redirect = %+v, want epoch %d shard 1", mv, epoch)
+	}
+	mv = nil
+	if _, err := ss.Create("/mig/c", nil, znode.ModePersistent); !errors.As(err, &mv) {
+		t.Fatalf("source write after flip err = %v, want MovedError", err)
+	}
+	// Out-of-range data survives on the source.
+	if _, _, err := ss.Get("/other/x"); err != nil {
+		t.Fatalf("out-of-range source read err = %v", err)
+	}
+	// Marker state is queryable for the recovery sweep.
+	state, mdest, mepoch, err := ss.RangeState(ctx, rng)
+	if err != nil || state != RangeMovedState || mdest != 1 || mepoch != epoch {
+		t.Fatalf("range state = %d/%d/%d, %v", state, mdest, mepoch, err)
+	}
+
+	// Destination holds the post-fence image.
+	if data, _, err := ds.Get("/mig/a"); err != nil || string(data) != "v1:/mig/a" {
+		t.Fatalf("dest /mig/a = %q, %v", data, err)
+	}
+	if _, _, err := ds.Get("/mig/b"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("dest /mig/b err = %v, want ErrNoNode", err)
+	}
+	if kids, err := ds.Children("/mig"); err != nil || len(kids) != 1 || kids[0] != "a" {
+		t.Fatalf("dest children = %v, %v", kids, err)
+	}
+}
+
+// TestRangeMarkersSurviveSnapshot pins that fence/moved markers ride
+// the snapshot stream: a replica restored from a snapshot bounces
+// exactly like the one that took it.
+func TestRangeMarkersSurviveSnapshot(t *testing.T) {
+	sm := populateSM(t)
+	want := []rangeState{
+		{rng: placement.Range{Lo: 0x1000, Hi: 0x2000}, dest: 2, epoch: 5},
+		{rng: placement.Range{Lo: 0x3000, Hi: 0x4000}, dest: 1, epoch: 7, moved: true},
+	}
+	sm.mu.Lock()
+	sm.ranges = append([]rangeState(nil), want...)
+	sm.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := sm.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := newStateMachine()
+	if err := restored.RestoreFrom(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.rangeStates(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored markers = %+v, want %+v", got, want)
+	}
+	var mv *MovedError
+	if err := restored.bounceWrite("/any"); err != nil && !errors.Is(err, ErrFenced) && !errors.As(err, &mv) {
+		t.Fatalf("restored bounceWrite err = %v", err)
+	}
+}
+
+// TestMovedErrorDetailRoundTrip pins that the replicated detail string
+// reparses to the identical redirect on every client.
+func TestMovedErrorDetailRoundTrip(t *testing.T) {
+	orig := &MovedError{Epoch: 42, Shard: 3}
+	got := parseMovedDetail(orig.Error())
+	if got.Epoch != orig.Epoch || got.Shard != orig.Shard {
+		t.Fatalf("reparsed = %+v, want %+v", got, orig)
+	}
+	if zero := parseMovedDetail("garbage"); zero.Epoch != 0 || zero.Shard != 0 {
+		t.Fatalf("garbage detail parsed to %+v", zero)
+	}
+}

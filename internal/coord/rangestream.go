@@ -1,0 +1,87 @@
+package coord
+
+import (
+	"fmt"
+
+	"repro/internal/coord/znode"
+	"repro/internal/wire"
+)
+
+// RangeEntry is one node shipped by a range export: a captured
+// WalkEntry plus the stub flag. A stub is an ancestor of in-range
+// nodes shipped only so parents-first import finds a parent; the
+// importer creates it if missing and never overwrites it. An
+// authoritative (non-stub) entry is created-or-overwritten exactly as
+// captured.
+type RangeEntry struct {
+	Path string
+	Data []byte
+	Stat znode.Stat
+	Seq  int64
+	Stub bool
+}
+
+// encodeRangeEntries streams entries in the §14.3 snapshot vocabulary:
+// a true marker before each record, false after the last. Generic over
+// wire.Sink so the same monomorphised body feeds the framed RPC writer
+// and the chunked stream Encoder.
+func encodeRangeEntries[W wire.Sink](w W, entries []RangeEntry) {
+	for _, e := range entries {
+		w.Bool(true)
+		w.Bool(e.Stub)
+		w.String(e.Path)
+		w.Bytes32(e.Data)
+		encodeStat(w, e.Stat)
+		w.Int64(e.Seq)
+	}
+	w.Bool(false)
+}
+
+// decodeRangeEntries reads a stream produced by encodeRangeEntries.
+func decodeRangeEntries[R wire.Source](r R) ([]RangeEntry, error) {
+	var entries []RangeEntry
+	for r.Bool() {
+		e := RangeEntry{Stub: r.Bool(), Path: r.String(), Data: r.Bytes32()}
+		e.Stat = decodeStat(r)
+		e.Seq = r.Int64()
+		if err := sourceErr(r); err != nil {
+			return nil, fmt.Errorf("coord: decode range entry: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sourceErr(r); err != nil {
+		return nil, fmt.Errorf("coord: decode range stream: %w", err)
+	}
+	return entries, nil
+}
+
+// encodeManifest appends the live-path manifest that final delta
+// shipments carry for reconciliation.
+func encodeManifest[W wire.Sink](w W, paths []string) {
+	w.Uint32(uint32(len(paths)))
+	for _, p := range paths {
+		w.String(p)
+	}
+}
+
+func decodeManifest[R wire.Source](r R) ([]string, error) {
+	n := r.Uint32()
+	if err := sourceErr(r); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		paths = append(paths, r.String())
+	}
+	return paths, sourceErr(r)
+}
+
+// sourceErr reads the sticky error out of either Source
+// implementation (wire.Reader or wire.Decoder both expose Err).
+func sourceErr[R wire.Source](r R) error {
+	type errer interface{ Err() error }
+	if e, ok := any(r).(errer); ok {
+		return e.Err()
+	}
+	return nil
+}

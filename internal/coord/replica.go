@@ -152,6 +152,7 @@ func (o *ObserverState) ServeRead(req []byte, info func() ReplicaInfo) (resp []b
 			w.Uint64(ri.AppliedZxid)
 			w.Uint64(ri.LagTxns)
 			w.Uint32(0) // observers track no feed of their own
+			w.Uint32(0) // migration markers live on voters
 		}), true, nil
 	case op == opLeaseRead:
 		// Only a quorum-funded leader may answer a lease read; an
@@ -164,8 +165,14 @@ func (o *ObserverState) ServeRead(req []byte, info func() ReplicaInfo) (resp []b
 		// apply time on the serving member); an observer answers with a
 		// definite refusal so the client can re-home to a voter.
 		return errResult(fmt.Errorf("observer replica cannot serve watch op %d", op)), true, nil
+	case op == opRangeExport, op == opRangeState:
+		// Migration control traffic belongs on voter sessions: an export
+		// must pair with the voter-side applied zxid it was cut at.
+		return errResult(fmt.Errorf("observer replica cannot serve migration op %d", op)), true, nil
 	case op == opCreate, op == opDelete, op == opSet, op == opMulti,
-		op == opNewSession, op == opCloseSession, op == opSync:
+		op == opNewSession, op == opCloseSession, op == opSync,
+		op == opFenceRange, op == opUnfenceRange, op == opRangeMoved,
+		op == opWipeRange, op == opImportRange:
 		return nil, false, nil
 	default:
 		return nil, true, fmt.Errorf("coord: unknown client op %d", op)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/coord/zab"
 	"repro/internal/coord/znode"
 	"repro/internal/metrics"
+	"repro/internal/placement"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -205,6 +206,9 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 	}
 	switch op {
 	case opGet, opExists, opChildren, opChildrenData:
+		if bounce := s.readBounce(op, *r); bounce != nil {
+			return errResult(bounce), nil
+		}
 		s.reg.Counter("reads").Inc()
 		return serveTreeRead(op, r, s.sm.treeRef())
 	case opLeaseRead:
@@ -224,6 +228,9 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 		}
 		if !s.node.HoldsReadLease() {
 			return errResult(ErrNoLease), nil
+		}
+		if bounce := s.readBounce(inner, *r); bounce != nil {
+			return errResult(bounce), nil
 		}
 		s.reg.Counter("reads").Inc()
 		s.reg.Counter("lease_reads").Inc()
@@ -265,12 +272,26 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 				w.Uint64(l.LagTxns)
 				w.Uint64(l.LagMS)
 			}
+			// Migration markers (appended last for the same forward
+			// compatibility): the fenced/moved ranges this shard carries.
+			ranges := s.sm.rangeStates()
+			w.Uint32(uint32(len(ranges)))
+			for _, rs := range ranges {
+				w.Uint64(rs.rng.Lo)
+				w.Uint64(rs.rng.Hi)
+				w.Uint32(uint32(rs.dest))
+				w.Uint64(rs.epoch)
+				w.Bool(rs.moved)
+			}
 		}), nil
 	case opGetWatch:
 		session := r.Uint64()
 		path := r.String()
 		if err := r.Err(); err != nil {
 			return nil, err
+		}
+		if bounce := s.sm.bounceRead(path, false); bounce != nil {
+			return errResult(bounce), nil
 		}
 		s.reg.Counter("reads").Inc()
 		// Register before reading so no mutation can slip between the
@@ -293,6 +314,9 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
+		if bounce := s.sm.bounceRead(path, false); bounce != nil {
+			return errResult(bounce), nil
+		}
 		s.reg.Counter("reads").Inc()
 		stat, ok := s.sm.treeRef().Exists(path)
 		// exists() watches fire on creation too, so register either way.
@@ -306,6 +330,9 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 		path := r.String()
 		if err := r.Err(); err != nil {
 			return nil, err
+		}
+		if bounce := s.sm.bounceRead(path, true); bounce != nil {
+			return errResult(bounce), nil
 		}
 		s.reg.Counter("reads").Inc()
 		s.watches.register(watchChildren, path, session)
@@ -339,7 +366,54 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 		}
 		evs := s.watches.await(session, wait)
 		return okResult(func(w *wire.Writer) { encodeEvents(w, evs) }), nil
-	case opCreate, opDelete, opSet, opMulti, opNewSession, opCloseSession, opSync:
+	case opRangeExport:
+		// A fuzzy range capture from the local replica: the caller
+		// (migration coordinator) records the returned applied zxid S —
+		// taken BEFORE the walk, so an entry racing the cut is re-shipped
+		// rather than missed — and later requests the delta since S.
+		lo, hi := r.Uint64(), r.Uint64()
+		since := r.Uint64()
+		withManifest := r.Bool()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		applied := s.node.LastApplied()
+		entries, manifest := s.sm.exportRange(placement.Range{Lo: lo, Hi: hi}, since, withManifest)
+		return okResult(func(w *wire.Writer) {
+			w.Uint64(applied)
+			encodeRangeEntries(w, entries)
+			w.Bool(withManifest)
+			if withManifest {
+				encodeManifest(w, manifest)
+			}
+		}), nil
+	case opRangeState:
+		lo, hi := r.Uint64(), r.Uint64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		rng := placement.Range{Lo: lo, Hi: hi}
+		var state uint8
+		var dest uint32
+		var epoch uint64
+		for _, rs := range s.sm.rangeStates() {
+			if rs.rng == rng {
+				state = rangeStateFenced
+				if rs.moved {
+					state = rangeStateMoved
+				}
+				dest = uint32(rs.dest)
+				epoch = rs.epoch
+				break
+			}
+		}
+		return okResult(func(w *wire.Writer) {
+			w.Uint8(state)
+			w.Uint32(dest)
+			w.Uint64(epoch)
+		}), nil
+	case opCreate, opDelete, opSet, opMulti, opNewSession, opCloseSession, opSync,
+		opFenceRange, opUnfenceRange, opRangeMoved, opWipeRange, opImportRange:
 		// The remaining request payload after the op byte is already in
 		// transaction layout; re-prefix the op and propose it whole.
 		// Propose retains the transaction bytes (replication log, WAL),
@@ -356,6 +430,25 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("coord: unknown client op %d", op)
 	}
+}
+
+// Range-state values reported by opRangeState.
+const (
+	rangeStateNone uint8 = iota
+	rangeStateFenced
+	rangeStateMoved
+)
+
+// readBounce peeks the path of a plain tree read (the op's first
+// field) without consuming the caller's reader and returns the moved
+// bounce, if any. A malformed frame is left for the real handler to
+// report.
+func (s *Server) readBounce(op uint8, peek wire.Reader) error {
+	path := peek.String()
+	if peek.Err() != nil {
+		return nil
+	}
+	return s.sm.bounceRead(path, op == opChildren || op == opChildrenData)
 }
 
 // treeRef returns the current tree pointer under the state-machine

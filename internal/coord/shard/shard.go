@@ -41,7 +41,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
@@ -54,7 +56,13 @@ import (
 // implementations in this repository are).
 type Router struct {
 	sessions []coord.Client
-	ring     *placement.Ring
+
+	// table is the epoch-versioned placement map (ring + migration
+	// overrides). It starts as the pure function of the shard count and
+	// is replaced wholesale — never mutated — when RefreshPlacement
+	// reads a newer epoch from the placement znode, so routing reads
+	// are a single atomic load.
+	table atomic.Pointer[placement.Table]
 
 	// Event fan-in (see WaitEvents): one forwarder per shard keeps a
 	// long-poll parked on its ensemble and pushes fired watches into
@@ -69,52 +77,192 @@ type Router struct {
 	streamOnce sync.Once
 }
 
-// New builds a Router over one session per ensemble. The ring uses
-// placement.DefaultReplicas virtual nodes per shard, so routing is a
-// pure function of (path, len(sessions)): every client with the same
-// shard count agrees on every placement decision with no coordination.
+// New builds a Router over one session per ensemble. The epoch-0
+// table uses placement.DefaultReplicas virtual nodes per shard, so
+// initial routing is a pure function of (path, len(sessions)): every
+// client with the same shard count agrees on every placement decision
+// with no coordination. Live migrations later publish higher-epoch
+// tables through the placement znode; clients learn of them lazily via
+// the moved-partition redirect (see chase).
 func New(sessions []coord.Client) (*Router, error) {
 	if len(sessions) == 0 {
 		return nil, errors.New("shard: need at least one session")
 	}
-	idx := make([]int, len(sessions))
-	for i := range idx {
-		idx[i] = i
-	}
-	ring, err := placement.NewRing(idx, placement.DefaultReplicas)
+	tbl, err := placement.NewTable(len(sessions))
 	if err != nil {
 		return nil, err
 	}
-	return &Router{
+	r := &Router{
 		sessions: append([]coord.Client(nil), sessions...),
-		ring:     ring,
 		evnotify: make(chan struct{}, 1),
-	}, nil
+	}
+	r.table.Store(tbl)
+	return r, nil
 }
 
 // Shards returns the number of ensembles behind the router.
 func (r *Router) Shards() int { return len(r.sessions) }
 
-// ShardFor returns the shard index that owns the znode at path — the
-// consistent hash of its parent directory. Exposed for tests and
-// tools (dufsctl's status command).
-func (r *Router) ShardFor(path string) int {
-	if path == "/" {
-		return r.ring.LocateKey("/")
+// placementPinned reports whether path lies in the placement subtree
+// (/__placement), which is pinned to shard 0 rather than hash-routed:
+// the table that would route it is the very thing stored there.
+func placementPinned(path string) bool {
+	return path == coord.PlacementPrefix ||
+		strings.HasPrefix(path, coord.PlacementPrefix+"/")
+}
+
+// clampShard folds a table-selected index onto a live session. The
+// indexes only diverge if a published table names more shards than
+// this router has sessions for (a half-deployed scale-out); folding
+// keeps routing total rather than panicking.
+func (r *Router) clampShard(idx int) int {
+	if idx >= 0 && idx < len(r.sessions) {
+		return idx
 	}
-	parent, _ := znode.SplitPath(path)
-	return r.ring.LocateKey(parent)
+	return ((idx % len(r.sessions)) + len(r.sessions)) % len(r.sessions)
+}
+
+// ShardFor returns the shard index that owns the znode at path — the
+// consistent hash of its parent directory under the current placement
+// table. Exposed for tests and tools (dufsctl's status command).
+func (r *Router) ShardFor(path string) int {
+	if placementPinned(path) {
+		return 0
+	}
+	parent := "/"
+	if path != "/" {
+		parent, _ = znode.SplitPath(path)
+	}
+	return r.clampShard(r.table.Load().Locate(parent))
 }
 
 // shardForChildren returns the shard holding path's children: they
 // hash by THEIR parent, which is path itself.
 func (r *Router) shardForChildren(path string) int {
-	return r.ring.LocateKey(path)
+	if placementPinned(path) {
+		return 0
+	}
+	return r.clampShard(r.table.Load().Locate(path))
 }
 
 // owner returns the session holding path's authoritative znode.
 func (r *Router) owner(path string) coord.Client {
 	return r.sessions[r.ShardFor(path)]
+}
+
+// PlacementEpoch returns the epoch of the placement table the router
+// is currently routing with.
+func (r *Router) PlacementEpoch() uint64 { return r.table.Load().Epoch() }
+
+// PlacementTable returns the router's current placement table (tables
+// are immutable, so sharing the pointer is safe).
+func (r *Router) PlacementTable() *placement.Table { return r.table.Load() }
+
+// RefreshPlacement re-reads the published placement table from the
+// placement znode (pinned to shard 0) and installs it if its epoch is
+// newer than the table currently routing. A missing znode is not an
+// error: no migration has ever run, the epoch-0 table stands.
+func (r *Router) RefreshPlacement(ctx context.Context) error {
+	data, _, err := r.sessions[0].GetCtx(ctx, coord.PlacementTablePath)
+	if errors.Is(err, coord.ErrNoNode) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	tbl, err := placement.DecodeTable(data)
+	if err != nil {
+		return fmt.Errorf("shard: bad placement table: %w", err)
+	}
+	for {
+		cur := r.table.Load()
+		if tbl.Epoch() <= cur.Epoch() {
+			return nil
+		}
+		if r.table.CompareAndSwap(cur, tbl) {
+			return nil
+		}
+	}
+}
+
+// Redirect-chase tuning. A fenced range bounces writes for the length
+// of the delta ship (milliseconds in practice), so fence retries are
+// patient; moved redirects resolve after one table refresh, so the hop
+// cap exists only to break routing loops from a torn table.
+const (
+	maxRedirectHops = 8
+	fenceRetryDelay = 3 * time.Millisecond
+	maxFenceWait    = 15 * time.Second
+	epochChaseTries = 500
+	epochChaseDelay = 2 * time.Millisecond
+)
+
+// chase runs fn — which must re-resolve its target shard from the
+// router's table on every call — until it returns something other than
+// a migration bounce. ErrFenced (transient: the range's delta is
+// shipping) retries the same routing after a short sleep; it resolves
+// to either success (migration aborted, fence lifted) or a MovedError
+// (ownership flipped). A MovedError (permanent: the range lives
+// elsewhere now) refreshes the table to at least the redirect's epoch
+// and re-resolves. Acked writes are never lost to a migration: a write
+// either committed on the old owner before the fence, or bounced and
+// commits on the new owner here.
+func (r *Router) chase(ctx context.Context, fn func() error) error {
+	hops := 0
+	var fenceDeadline time.Time
+	for {
+		err := fn()
+		var mv *coord.MovedError
+		switch {
+		case errors.As(err, &mv):
+			hops++
+			if hops > maxRedirectHops {
+				return err
+			}
+			if cerr := r.chaseEpoch(ctx, mv.Epoch); cerr != nil {
+				return err
+			}
+		case errors.Is(err, coord.ErrFenced):
+			if fenceDeadline.IsZero() {
+				fenceDeadline = time.Now().Add(maxFenceWait)
+			} else if time.Now().After(fenceDeadline) {
+				return err
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(fenceRetryDelay):
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// chaseEpoch refreshes the placement table until its epoch reaches at
+// least epoch. The window where a shard already answers MovedError but
+// the table CAS has not landed yet is real (the flip precedes the
+// publish), so a refresh that comes back stale retries briefly.
+func (r *Router) chaseEpoch(ctx context.Context, epoch uint64) error {
+	for i := 0; ; i++ {
+		if r.table.Load().Epoch() >= epoch {
+			return nil
+		}
+		if err := r.RefreshPlacement(ctx); err != nil && ctx.Err() != nil {
+			return err
+		}
+		if r.table.Load().Epoch() >= epoch {
+			return nil
+		}
+		if i >= epochChaseTries {
+			return fmt.Errorf("shard: placement table stuck below epoch %d", epoch)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(epochChaseDelay):
+		}
+	}
 }
 
 // ID implements coord.Client. Shard 0's ensemble mints the identifier;
@@ -172,15 +320,22 @@ func (r *Router) Close() error {
 // (ErrNoParent) the chain is materialised as stubs and the create is
 // retried once.
 func (r *Router) CreateCtx(ctx context.Context, path string, data []byte, mode znode.CreateMode) (string, error) {
-	s := r.owner(path)
-	created, err := s.CreateCtx(ctx, path, data, mode)
-	if !errors.Is(err, coord.ErrNoParent) {
-		return created, err
-	}
-	if err := r.ensureAncestors(ctx, s, path); err != nil {
-		return "", err
-	}
-	return s.CreateCtx(ctx, path, data, mode)
+	var created string
+	err := r.chase(ctx, func() error {
+		s := r.owner(path)
+		var err error
+		created, err = s.CreateCtx(ctx, path, data, mode)
+		if !errors.Is(err, coord.ErrNoParent) {
+			return err
+		}
+		if serr := r.ensureAncestors(ctx, s, path); serr != nil {
+			created = ""
+			return serr
+		}
+		created, err = s.CreateCtx(ctx, path, data, mode)
+		return err
+	})
+	return created, err
 }
 
 // Create implements coord.Client with the background context.
@@ -229,7 +384,14 @@ func (r *Router) ensureChain(ctx context.Context, s coord.Client, path string) e
 
 // GetCtx implements coord.Client, reading the authoritative copy.
 func (r *Router) GetCtx(ctx context.Context, path string) ([]byte, znode.Stat, error) {
-	return r.owner(path).GetCtx(ctx, path)
+	var data []byte
+	var stat znode.Stat
+	err := r.chase(ctx, func() error {
+		var err error
+		data, stat, err = r.owner(path).GetCtx(ctx, path)
+		return err
+	})
+	return data, stat, err
 }
 
 // Get implements coord.Client with the background context.
@@ -239,7 +401,13 @@ func (r *Router) Get(path string) ([]byte, znode.Stat, error) {
 
 // SetCtx implements coord.Client, writing the authoritative copy.
 func (r *Router) SetCtx(ctx context.Context, path string, data []byte, version int32) (znode.Stat, error) {
-	return r.owner(path).SetCtx(ctx, path, data, version)
+	var stat znode.Stat
+	err := r.chase(ctx, func() error {
+		var err error
+		stat, err = r.owner(path).SetCtx(ctx, path, data, version)
+		return err
+	})
+	return stat, err
 }
 
 // Set implements coord.Client with the background context.
@@ -249,7 +417,14 @@ func (r *Router) Set(path string, data []byte, version int32) (znode.Stat, error
 
 // ExistsCtx implements coord.Client against the authoritative copy.
 func (r *Router) ExistsCtx(ctx context.Context, path string) (znode.Stat, bool, error) {
-	return r.owner(path).ExistsCtx(ctx, path)
+	var stat znode.Stat
+	var ok bool
+	err := r.chase(ctx, func() error {
+		var err error
+		stat, ok, err = r.owner(path).ExistsCtx(ctx, path)
+		return err
+	})
+	return stat, ok, err
 }
 
 // Exists implements coord.Client with the background context.
@@ -270,26 +445,28 @@ func (r *Router) Exists(path string) (znode.Stat, bool, error) {
 // lost-update window the paper accepts for rename (§IV-A); DESIGN.md
 // §7.3 discusses why DUFS tolerates it.
 func (r *Router) DeleteCtx(ctx context.Context, path string, version int32) error {
-	owner := r.ShardFor(path)
-	kidShard := r.shardForChildren(path)
-	if kidShard != owner {
-		kids, err := r.sessions[kidShard].ChildrenCtx(ctx, path)
-		if err == nil && len(kids) > 0 {
-			return coord.ErrNotEmpty
+	return r.chase(ctx, func() error {
+		owner := r.ShardFor(path)
+		kidShard := r.shardForChildren(path)
+		if kidShard != owner {
+			kids, err := r.sessions[kidShard].ChildrenCtx(ctx, path)
+			if err == nil && len(kids) > 0 {
+				return coord.ErrNotEmpty
+			}
+			if err != nil && !errors.Is(err, coord.ErrNoNode) {
+				return err
+			}
 		}
-		if err != nil && !errors.Is(err, coord.ErrNoNode) {
+		if err := r.sessions[owner].DeleteCtx(ctx, path, version); err != nil {
 			return err
 		}
-	}
-	if err := r.sessions[owner].DeleteCtx(ctx, path, version); err != nil {
-		return err
-	}
-	if kidShard != owner {
-		if err := r.sessions[kidShard].DeleteCtx(ctx, path, -1); err != nil && !errors.Is(err, coord.ErrNoNode) && !errors.Is(err, coord.ErrNotEmpty) {
-			return err
+		if kidShard != owner {
+			if err := r.sessions[kidShard].DeleteCtx(ctx, path, -1); err != nil && !errors.Is(err, coord.ErrNoNode) && !errors.Is(err, coord.ErrNotEmpty) {
+				return err
+			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Delete implements coord.Client with the background context.
@@ -330,6 +507,14 @@ func (r *Router) MultiCtx(ctx context.Context, ops []coord.Op) ([]coord.OpResult
 	if len(ops) == 0 {
 		return nil, errors.New("shard: empty multi")
 	}
+	return r.dispatchMulti(ctx, ops, 0)
+}
+
+// dispatchMulti routes a batch under the current placement table:
+// whole to one shard when every op co-routes, split into per-shard
+// sub-transactions otherwise. depth counts migration-induced
+// re-dispatches (see multiOnShard).
+func (r *Router) dispatchMulti(ctx context.Context, ops []coord.Op, depth int) ([]coord.OpResult, error) {
 	shard := r.ShardFor(ops[0].Path)
 	split := false
 	for _, op := range ops[1:] {
@@ -339,7 +524,7 @@ func (r *Router) MultiCtx(ctx context.Context, ops []coord.Op) ([]coord.OpResult
 		}
 	}
 	if !split {
-		return r.multiOnShard(ctx, shard, ops)
+		return r.multiOnShard(ctx, shard, ops, depth)
 	}
 
 	// Group by shard, preserving relative op order and first-appearance
@@ -367,7 +552,7 @@ func (r *Router) MultiCtx(ctx context.Context, ops []coord.Op) ([]coord.OpResult
 		results[i].Err = coord.ErrRolledBack
 	}
 	for _, g := range groups {
-		sub, err := r.multiOnShard(ctx, g.shard, g.ops)
+		sub, err := r.multiOnShard(ctx, g.shard, g.ops, depth)
 		for j, idx := range g.indices {
 			if j < len(sub) {
 				results[idx] = sub[j]
@@ -380,13 +565,44 @@ func (r *Router) MultiCtx(ctx context.Context, ops []coord.Op) ([]coord.OpResult
 	return results, nil
 }
 
+// multiOnShard runs one sub-transaction, chasing migration bounces. A
+// bounce refuses the whole sub-transaction before any op applies, so a
+// retry never double-applies. If a redirect's table refresh reveals the
+// group no longer co-routes (the migration moved some of its
+// directories), the group is re-dispatched under the new table: each
+// piece stays atomic on its shard, the group as a whole was only ever
+// as atomic as a split batch (DESIGN.md §8.2).
+func (r *Router) multiOnShard(ctx context.Context, shard int, ops []coord.Op, depth int) ([]coord.OpResult, error) {
+	var results []coord.OpResult
+	err := r.chase(ctx, func() error {
+		cur := r.ShardFor(ops[0].Path)
+		for _, op := range ops[1:] {
+			if r.ShardFor(op.Path) != cur {
+				cur = -1
+				break
+			}
+		}
+		var err error
+		if cur == -1 {
+			if depth >= 2 {
+				return errors.New("shard: batch re-split too many times during migration")
+			}
+			results, err = r.dispatchMulti(ctx, ops, depth+1)
+			return err
+		}
+		results, err = r.execMultiOnShard(ctx, cur, ops)
+		return err
+	})
+	return results, err
+}
+
 // Multi implements coord.Client with the background context.
 func (r *Router) Multi(ops []coord.Op) ([]coord.OpResult, error) {
 	return r.MultiCtx(context.Background(), ops)
 }
 
-// multiOnShard runs one atomic sub-transaction on a single shard. It
-// carries over every per-op responsibility the router's single-op
+// execMultiOnShard runs one atomic sub-transaction on a single shard.
+// It carries over every per-op responsibility the router's single-op
 // methods have: missing ancestor stubs are materialised for create
 // ops (the ErrNoParent recovery Create performs), and delete ops get
 // Router.Delete's cross-shard treatment — a node whose children live
@@ -394,7 +610,7 @@ func (r *Router) Multi(ops []coord.Op) ([]coord.OpResult, error) {
 // executing shard's state machine cannot see them), and its stub on
 // the children shard is removed after commit so a deleted directory
 // does not stay listable as an empty ghost.
-func (r *Router) multiOnShard(ctx context.Context, shard int, ops []coord.Op) ([]coord.OpResult, error) {
+func (r *Router) execMultiOnShard(ctx context.Context, shard int, ops []coord.Op) ([]coord.OpResult, error) {
 	// stubbed marks delete ops whose pre-check found a node on their
 	// children shard — only those need post-commit stub removal; a
 	// pre-check that came back ErrNoNode (every file delete, and most
@@ -486,12 +702,18 @@ func abortedResults(n, failing int, err error) []coord.OpResult {
 // from it (DUFS's entry kind) are unaffected; callers needing the
 // latest data must Get the path itself.
 func (r *Router) ChildrenDataCtx(ctx context.Context, path string) ([]coord.ChildEntry, error) {
-	entries, err := r.sessions[r.shardForChildren(path)].ChildrenDataCtx(ctx, path)
-	if errors.Is(err, coord.ErrNoNode) {
-		if data, stat, gerr := r.owner(path).GetCtx(ctx, path); gerr == nil {
-			return []coord.ChildEntry{{Name: ".", Data: data, Stat: stat}}, nil
+	var entries []coord.ChildEntry
+	err := r.chase(ctx, func() error {
+		var err error
+		entries, err = r.sessions[r.shardForChildren(path)].ChildrenDataCtx(ctx, path)
+		if errors.Is(err, coord.ErrNoNode) {
+			if data, stat, gerr := r.owner(path).GetCtx(ctx, path); gerr == nil {
+				entries = []coord.ChildEntry{{Name: ".", Data: data, Stat: stat}}
+				return nil
+			}
 		}
-	}
+		return err
+	})
 	return entries, err
 }
 
@@ -505,12 +727,18 @@ func (r *Router) ChildrenData(path string) ([]coord.ChildEntry, error) {
 // child on that shard has no stub there; the authoritative copy
 // disambiguates "empty" from "does not exist".
 func (r *Router) ChildrenCtx(ctx context.Context, path string) ([]string, error) {
-	kids, err := r.sessions[r.shardForChildren(path)].ChildrenCtx(ctx, path)
-	if errors.Is(err, coord.ErrNoNode) {
-		if _, ok, eerr := r.ExistsCtx(ctx, path); eerr == nil && ok {
-			return nil, nil
+	var kids []string
+	err := r.chase(ctx, func() error {
+		var err error
+		kids, err = r.sessions[r.shardForChildren(path)].ChildrenCtx(ctx, path)
+		if errors.Is(err, coord.ErrNoNode) {
+			if _, ok, eerr := r.ExistsCtx(ctx, path); eerr == nil && ok {
+				kids = nil
+				return nil
+			}
 		}
-	}
+		return err
+	})
 	return kids, err
 }
 
@@ -522,12 +750,26 @@ func (r *Router) Children(path string) ([]string, error) {
 // GetW implements coord.Client; the watch registers on the
 // authoritative shard, where every mutation of the node lands.
 func (r *Router) GetW(path string) ([]byte, znode.Stat, error) {
-	return r.owner(path).GetW(path)
+	var data []byte
+	var stat znode.Stat
+	err := r.chase(context.Background(), func() error {
+		var err error
+		data, stat, err = r.owner(path).GetW(path)
+		return err
+	})
+	return data, stat, err
 }
 
 // ExistsW implements coord.Client on the authoritative shard.
 func (r *Router) ExistsW(path string) (znode.Stat, bool, error) {
-	return r.owner(path).ExistsW(path)
+	var stat znode.Stat
+	var ok bool
+	err := r.chase(context.Background(), func() error {
+		var err error
+		stat, ok, err = r.owner(path).ExistsW(path)
+		return err
+	})
+	return stat, ok, err
 }
 
 // ChildrenW implements coord.Client; the child watch registers on the
@@ -537,18 +779,25 @@ func (r *Router) ExistsW(path string) (znode.Stat, bool, error) {
 // lands on and fires from that shard (client caches depend on this —
 // a silently absent watch would never invalidate).
 func (r *Router) ChildrenW(path string) ([]string, error) {
-	s := r.sessions[r.shardForChildren(path)]
-	kids, err := s.ChildrenW(path)
-	if !errors.Is(err, coord.ErrNoNode) {
-		return kids, err
-	}
-	if _, ok, eerr := r.Exists(path); eerr != nil || !ok {
-		return kids, err
-	}
-	if cerr := r.ensureChain(context.Background(), s, path); cerr != nil {
-		return nil, cerr
-	}
-	return s.ChildrenW(path)
+	var kids []string
+	err := r.chase(context.Background(), func() error {
+		s := r.sessions[r.shardForChildren(path)]
+		var err error
+		kids, err = s.ChildrenW(path)
+		if !errors.Is(err, coord.ErrNoNode) {
+			return err
+		}
+		if _, ok, eerr := r.Exists(path); eerr != nil || !ok {
+			return err
+		}
+		if cerr := r.ensureChain(context.Background(), s, path); cerr != nil {
+			kids = nil
+			return cerr
+		}
+		kids, err = s.ChildrenW(path)
+		return err
+	})
+	return kids, err
 }
 
 // streamWait is how long each per-shard forwarder parks one long-poll
@@ -744,7 +993,23 @@ func (r *Router) Sync() error {
 func (r *Router) Begin(ctx context.Context, op coord.Op) *coord.Future {
 	switch op.Kind {
 	case coord.OpSet, coord.OpCheck:
-		return r.owner(op.Path).Begin(ctx, op)
+		// Fast path when no migration marker is in play; a bounce falls
+		// back to the chase loop so async writers survive a live
+		// migration exactly like synchronous ones.
+		f := r.owner(op.Path).Begin(ctx, op)
+		return coord.FutureOp(func() (coord.OpResult, error) {
+			res, err := f.Result()
+			var mv *coord.MovedError
+			if !errors.As(err, &mv) && !errors.Is(err, coord.ErrFenced) {
+				return res, err
+			}
+			cerr := r.chase(ctx, func() error {
+				var err error
+				res, err = r.owner(op.Path).Begin(ctx, op).Result()
+				return err
+			})
+			return res, cerr
+		})
 	case coord.OpCreate:
 		return coord.FutureOp(func() (coord.OpResult, error) {
 			created, err := r.CreateCtx(ctx, op.Path, op.Data, op.Mode)

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/coord/znode"
+	"repro/internal/placement"
 	"repro/internal/wire"
 )
 
@@ -30,6 +31,14 @@ type stateMachine struct {
 	sessions    map[uint64]bool
 	nextSession uint64
 	dedup       map[uint64]*dedupWindow
+
+	// ranges holds the migration fence/moved markers for this shard,
+	// sorted by range start. Replicated state: the markers are planted
+	// and cleared by fence/unfence/moved transactions, so every replica
+	// bounces the same writes with the same results and the markers
+	// survive leader failover. Scans are linear — a shard has at most a
+	// handful of live markers.
+	ranges []rangeState
 
 	// batchScratch is ApplyBatch's reusable result container. Frames
 	// apply sequentially from the replication layer's single apply
@@ -319,6 +328,9 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		if err := r.Err(); err != nil {
 			return errResult(err)
 		}
+		if err := s.bounceWrite(path); err != nil {
+			return errResult(err)
+		}
 		created, err := s.tree.Create(path, data, mode, session, zxid, now)
 		if s.notify != nil {
 			s.notify(opCreate, created, session, err == nil)
@@ -331,6 +343,9 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		path := r.String()
 		version := r.Int32()
 		if err := r.Err(); err != nil {
+			return errResult(err)
+		}
+		if err := s.bounceWrite(path); err != nil {
 			return errResult(err)
 		}
 		derr := s.tree.Delete(path, version, zxid)
@@ -349,6 +364,9 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		if err := r.Err(); err != nil {
 			return errResult(err)
 		}
+		if err := s.bounceWrite(path); err != nil {
+			return errResult(err)
+		}
 		stat, err := s.tree.Set(path, data, version, zxid, now)
 		if s.notify != nil {
 			s.notify(opSet, path, session, err == nil)
@@ -365,6 +383,13 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		ops, derr := decodeOps(r)
 		if derr != nil {
 			return errResult(derr)
+		}
+		// The whole batch bounces before any op applies, so a caller can
+		// re-split and retry the sub-transaction without partial effects.
+		for _, op := range ops {
+			if err := s.bounceWrite(op.Path); err != nil {
+				return errResult(err)
+			}
 		}
 		results, committed := s.tree.Multi(ops, session, zxid, now)
 		if committed && s.notify != nil {
@@ -401,6 +426,8 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		// session's server, that replica has caught up with every
 		// write committed before the sync — ZooKeeper's sync().
 		return okResult(nil)
+	case opFenceRange, opUnfenceRange, opRangeMoved, opWipeRange, opImportRange:
+		return s.applyMigration(op, session, r, zxid)
 	default:
 		return errResult(fmt.Errorf("unknown transaction op %d", op))
 	}
@@ -450,6 +477,14 @@ func (s *stateMachine) SnapshotTo(out io.Writer) error {
 			enc.Uint64(seq)
 			enc.Bytes32(win.results[seq])
 		}
+	}
+	enc.Uint32(uint32(len(s.ranges)))
+	for _, rs := range s.ranges {
+		enc.Uint64(rs.rng.Lo)
+		enc.Uint64(rs.rng.Hi)
+		enc.Uint32(uint32(rs.dest))
+		enc.Uint64(rs.epoch)
+		enc.Bool(rs.moved)
 	}
 	tree := s.tree
 	s.mu.Unlock()
@@ -508,6 +543,23 @@ func (s *stateMachine) RestoreFrom(rd io.Reader, _ uint64) error {
 		}
 		dedup[id] = win
 	}
+	nRanges := r.Uint32()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("coord: corrupt snapshot range header: %w", err)
+	}
+	ranges := make([]rangeState, 0, nRanges)
+	for i := uint32(0); i < nRanges; i++ {
+		rs := rangeState{
+			rng:  placement.Range{Lo: r.Uint64(), Hi: r.Uint64()},
+			dest: int(r.Uint32()),
+		}
+		rs.epoch = r.Uint64()
+		rs.moved = r.Bool()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("coord: corrupt snapshot range marker: %w", err)
+		}
+		ranges = append(ranges, rs)
+	}
 	tree := znode.New()
 	for r.Bool() {
 		e := znode.WalkEntry{
@@ -541,6 +593,7 @@ func (s *stateMachine) RestoreFrom(rd io.Reader, _ uint64) error {
 	s.nextSession = next
 	s.sessions = sessions
 	s.dedup = dedup
+	s.ranges = ranges
 	s.tree = tree
 	s.mu.Unlock()
 	return nil

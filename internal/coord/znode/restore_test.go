@@ -1,0 +1,105 @@
+package znode
+
+import (
+	"testing"
+)
+
+// Walk + RestoreEntry must reproduce the exact tree, including
+// NumChildren. A previous version incremented every parent's count on
+// restore even though non-root entries already carry their exact
+// NumChildren, silently doubling the count for every interior node
+// (Fingerprint does not hash NumChildren, so only a direct stat
+// comparison catches it).
+func TestRestoreEntryPreservesNumChildren(t *testing.T) {
+	src := New()
+	mustCreate := func(tr *Tree, p string) {
+		t.Helper()
+		if _, err := tr.Create(p, []byte("d"), ModePersistent, 0, 1, 1); err != nil {
+			t.Fatalf("create %s: %v", p, err)
+		}
+	}
+	mustCreate(src, "/a")
+	mustCreate(src, "/a/b")
+	mustCreate(src, "/a/c")
+	mustCreate(src, "/a/b/d")
+	mustCreate(src, "/e")
+
+	dst := New()
+	src.Walk(func(e WalkEntry) {
+		if err := dst.RestoreEntry(e); err != nil {
+			t.Fatalf("restore %s: %v", e.Path, err)
+		}
+	})
+	for _, p := range []string{"/", "/a", "/a/b", "/a/c", "/a/b/d", "/e"} {
+		want, ok := src.Exists(p)
+		if !ok {
+			t.Fatalf("source lost %s", p)
+		}
+		got, ok := dst.Exists(p)
+		if !ok {
+			t.Fatalf("restore lost %s", p)
+		}
+		if got.NumChildren != want.NumChildren {
+			t.Fatalf("%s: NumChildren = %d after restore, want %d", p, got.NumChildren, want.NumChildren)
+		}
+		// The root has no WalkEntry, so only its child count (not its
+		// Cversion/Mzxid history) survives a restore.
+		if p != "/" && got != want {
+			t.Fatalf("%s: stat %+v after restore, want %+v", p, got, want)
+		}
+	}
+}
+
+func TestPutEntry(t *testing.T) {
+	tr := New()
+	if _, err := tr.Create("/keep", []byte("x"), ModePersistent, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh create via an authoritative entry, parents-first.
+	dirStat := Stat{Czxid: 5, Mzxid: 9, Ctime: 100, Mtime: 200, Version: 3, Cversion: 7, NumChildren: 99, DataLength: 3}
+	if err := tr.PutEntry(WalkEntry{Path: "/mig", Data: []byte("dir"), Stat: dirStat, Seq: 4}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.PutEntry(WalkEntry{Path: "/mig/f1", Data: []byte("one"), Stat: Stat{Czxid: 6, Mzxid: 6}}, true); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Exists("/mig")
+	if !ok {
+		t.Fatal("/mig missing")
+	}
+	// NumChildren is derived from local structure, not trusted from the
+	// entry (which claimed 99).
+	if got.NumChildren != 1 {
+		t.Fatalf("/mig NumChildren = %d, want 1", got.NumChildren)
+	}
+	if got.Mzxid != 9 || got.Version != 3 || got.Cversion != 7 {
+		t.Fatalf("/mig stat not preserved: %+v", got)
+	}
+
+	// Stub semantics: overwrite=false leaves an existing node untouched.
+	if err := tr.PutEntry(WalkEntry{Path: "/keep", Data: []byte("clobbered")}, false); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := tr.Get("/keep")
+	if err != nil || string(data) != "x" {
+		t.Fatalf("stub put clobbered /keep: %q, %v", data, err)
+	}
+
+	// Overwrite replaces data and stat but keeps local children.
+	if err := tr.PutEntry(WalkEntry{Path: "/mig", Data: []byte("dir2"), Stat: Stat{Czxid: 5, Mzxid: 12, Version: 4}, Seq: 8}, true); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tr.Exists("/mig")
+	if got.NumChildren != 1 || got.Mzxid != 12 || got.Version != 4 {
+		t.Fatalf("overwrite stat wrong: %+v", got)
+	}
+	if _, ok := tr.Exists("/mig/f1"); !ok {
+		t.Fatal("overwrite dropped existing child")
+	}
+
+	// Orphan entry (missing parent) is rejected.
+	if err := tr.PutEntry(WalkEntry{Path: "/nope/child"}, true); err != ErrNoParent {
+		t.Fatalf("orphan put: err = %v, want ErrNoParent", err)
+	}
+}

@@ -858,6 +858,99 @@ func (t *Tree) RestoreEntry(e WalkEntry) error {
 		parent.children = make(map[string]*node)
 	}
 	parent.children[name] = n
+	if parent == t.root {
+		// Every non-root parent's own WalkEntry already carried its exact
+		// NumChildren; only the root (which has no entry) accumulates its
+		// count as depth-1 children arrive.
+		parent.stat.NumChildren++
+	}
+	t.nodes.Add(1)
+	t.dataBytes.Add(int64(len(e.Data)))
+	if owner := e.Stat.EphemeralOwner; owner != 0 {
+		t.emu.Lock()
+		m := t.ephemerals[owner]
+		if m == nil {
+			m = make(map[string]bool)
+			t.ephemerals[owner] = m
+		}
+		m[e.Path] = true
+		t.emu.Unlock()
+	}
+	return nil
+}
+
+// PutEntry inserts or updates a node from a captured WalkEntry — the
+// create-or-overwrite primitive migration imports are built on.
+// Entries must arrive parents-first (ship ancestor stubs ahead of the
+// subtree). Unlike RestoreEntry, which rebuilds a whole tree, PutEntry
+// grafts entries into a live namespace, so NumChildren is derived from
+// the local structure rather than trusted from the entry: a fresh
+// create starts at zero children and bumps its parent, an overwrite
+// keeps the local count. With overwrite false an existing node is left
+// untouched (stub semantics); with overwrite true its data, stat and
+// sequential counter are replaced while its children survive.
+func (t *Tree) PutEntry(e WalkEntry, overwrite bool) error {
+	if err := ValidatePath(e.Path); err != nil {
+		return err
+	}
+	if e.Path == "/" {
+		return ErrRootReadOnly
+	}
+	parentPath, name := SplitPath(e.Path)
+	// Imports are cold-path (migration traffic), so all-stripe coverage
+	// keeps this trivially correct.
+	t.lockAll()
+	defer t.unlockAll()
+	parent, err := t.lookup(parentPath)
+	if err != nil {
+		return ErrNoParent
+	}
+	if n, ok := parent.children[name]; ok {
+		if !overwrite {
+			return nil
+		}
+		t.dataBytes.Add(int64(len(e.Data)) - int64(len(n.data)))
+		if owner := n.stat.EphemeralOwner; owner != 0 && owner != e.Stat.EphemeralOwner {
+			t.emu.Lock()
+			if m := t.ephemerals[owner]; m != nil {
+				delete(m, e.Path)
+				if len(m) == 0 {
+					delete(t.ephemerals, owner)
+				}
+			}
+			t.emu.Unlock()
+		}
+		prevOwner := n.stat.EphemeralOwner
+		localChildren := n.stat.NumChildren
+		n.data = append([]byte(nil), e.Data...)
+		n.stat = e.Stat
+		n.stat.NumChildren = localChildren
+		if e.Seq > n.nextSeq {
+			n.nextSeq = e.Seq
+		}
+		if owner := e.Stat.EphemeralOwner; owner != 0 && owner != prevOwner {
+			t.emu.Lock()
+			m := t.ephemerals[owner]
+			if m == nil {
+				m = make(map[string]bool)
+				t.ephemerals[owner] = m
+			}
+			m[e.Path] = true
+			t.emu.Unlock()
+		}
+		return nil
+	}
+	n := &node{
+		name:    name,
+		data:    append([]byte(nil), e.Data...),
+		stat:    e.Stat,
+		nextSeq: e.Seq,
+	}
+	n.stat.NumChildren = 0
+	if parent.children == nil {
+		parent.children = make(map[string]*node)
+	}
+	parent.children[name] = n
 	parent.stat.NumChildren++
 	t.nodes.Add(1)
 	t.dataBytes.Add(int64(len(e.Data)))
