@@ -665,6 +665,105 @@ func BenchmarkDurableGroupCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyPipeline measures the decoupled apply pipeline
+// (DESIGN.md §16) with the network taken out of the picture: a
+// 3-server ensemble over the raw in-process transport (no injected
+// RTT), 16 leader-pinned sessions creating nodes spread over 16
+// disjoint top-level subtrees — the stripe-parallel best case. The
+// workers=1 run is the serialized-apply ablation: the commit→apply
+// queue still decouples the state machine from the node mutex, but
+// every transaction applies on one goroutine; workers=default lets
+// path-disjoint transactions of each committed frame execute
+// concurrently. The spread between the two is the scheduling win and
+// scales with GOMAXPROCS (on a single-core runner they converge — the
+// pipeline then only buys commit/apply overlap, which is what
+// BenchmarkGroupCommit exercises under RTT).
+func BenchmarkApplyPipeline(b *testing.B) {
+	const (
+		clients      = 16
+		opsPerClient = 25
+	)
+	payload := make([]byte, 256)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"serialized", 1},
+		{"parallel", 0}, // zero = GOMAXPROCS-sized pool
+	} {
+		mode := mode
+		b.Run(fmt.Sprintf("%s/clients=%d", mode.name, clients), func(b *testing.B) {
+			ens, err := coord.StartEnsemble(coord.EnsembleConfig{
+				Servers:           3,
+				Net:               transport.NewInProc(),
+				AddrPrefix:        fmt.Sprintf("apipe-%s-%d", mode.name, rand.Int()),
+				HeartbeatInterval: 5 * time.Millisecond,
+				ElectionTimeout:   50 * time.Millisecond,
+				ApplyWorkers:      mode.workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(ens.Stop)
+			leaderIdx := 0
+			for i, s := range ens.Servers {
+				if s.IsLeader() {
+					leaderIdx = i
+				}
+			}
+			sessions := make([]*coord.Session, clients)
+			for c := 0; c < clients; c++ {
+				sess, err := ens.Connect(leaderIdx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { sess.Close() })
+				sessions[c] = sess
+			}
+			// One subtree per session keeps every concurrent create on
+			// its own znode stripe (and its own session), so whole
+			// frames schedule as single waves.
+			paths := make([][]string, clients)
+			for c := 0; c < clients; c++ {
+				if _, err := sessions[c].Create(fmt.Sprintf("/ap%d", c), nil, znode.ModePersistent); err != nil {
+					b.Fatal(err)
+				}
+				paths[c] = make([]string, b.N*opsPerClient)
+				for i := 0; i < b.N*opsPerClient; i++ {
+					paths[c][i] = fmt.Sprintf("/ap%d/n%d", c, i)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, clients)
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						for j := 0; j < opsPerClient; j++ {
+							p := paths[c][i*opsPerClient+j]
+							if _, err := sessions[c].Create(p, payload, znode.ModePersistent); err != nil {
+								errs[c] = err
+								return
+							}
+						}
+					}(c)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			total := float64(b.N) * float64(clients) * opsPerClient
+			b.ReportMetric(total/b.Elapsed().Seconds(), "writes/s")
+		})
+	}
+}
+
 // BenchmarkAsyncPipeline measures the client-side half of the write
 // pipeline (DESIGN.md §10): ONE goroutine issuing znode creates under
 // injected network latency, synchronously (one blocking round trip per

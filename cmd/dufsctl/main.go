@@ -247,8 +247,8 @@ func status(c *cluster.Cluster, sess coord.Client, shards, observers int) error 
 			return err
 		}
 		for i, st := range sts {
-			fmt.Printf("shard %d: server=%d leader=%d epoch=%d znodes=%d%s%s\n",
-				i, st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st), observerFeedStatus(st))
+			fmt.Printf("shard %d: server=%d leader=%d epoch=%d znodes=%d%s%s%s\n",
+				i, st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st), observerFeedStatus(st), applyStatus(st))
 			for _, rg := range st.Ranges {
 				state := fmt.Sprintf("fenced -> shard %d (delta shipping)", rg.Dest)
 				if rg.Moved {
@@ -267,8 +267,8 @@ func status(c *cluster.Cluster, sess coord.Client, shards, observers int) error 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("server=%d leader=%d epoch=%d znodes=%d%s%s\n",
-			st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st), observerFeedStatus(st))
+		fmt.Printf("server=%d leader=%d epoch=%d znodes=%d%s%s%s\n",
+			st.ServerID, st.LeaderID, st.Epoch, st.Znodes, storageStatus(st), observerFeedStatus(st), applyStatus(st))
 	}
 	for s := 0; s < shards; s++ {
 		for i := 0; i < observers; i++ {
@@ -296,6 +296,16 @@ func observerFeedStatus(st coord.Status) string {
 			o.ID, o.AppliedZxid, o.ID, o.LagTxns, o.ID, o.LagMS)
 	}
 	return b.String()
+}
+
+// applyStatus renders the apply-pipeline health of a status reply;
+// empty when the pipeline is idle (the common, healthy case).
+func applyStatus(st coord.Status) string {
+	if st.ApplyLagTxns == 0 && st.ApplyQueueFrames == 0 && st.ApplyWorkersBusy == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" apply.lag_txns=%d apply.queue_frames=%d apply.workers_busy=%d",
+		st.ApplyLagTxns, st.ApplyQueueFrames, st.ApplyWorkersBusy)
 }
 
 // storageStatus renders the durable-storage fields of a status reply;

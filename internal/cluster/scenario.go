@@ -141,6 +141,10 @@ type ScenarioResult struct {
 	// Migration carries the migration metrics of a resharding run
 	// (placement epoch, fence window, delta size, bytes shipped).
 	Migration map[string]float64 `json:"migration,omitempty"`
+	// Apply carries the leader's apply-pipeline health gauges sampled
+	// after the run (commit→apply lag, queue depth, busy workers) —
+	// the post-run residue should be zero on a drained pipeline.
+	Apply map[string]float64 `json:"apply,omitempty"`
 }
 
 // OK reports whether the run stayed inside its SLO with zero acked loss.
@@ -459,6 +463,14 @@ func RunScenario(ctx context.Context, sc Scenario, scale float64) (*ScenarioResu
 			"fence_ms_max":        float64(migReg.Histogram("migrate.fence_duration").Max()) / float64(time.Millisecond),
 			"delta_txns_total":    float64(migReg.Distribution("migrate.delta_txns").Sum()),
 			"bytes_shipped_total": float64(migReg.Distribution("migrate.bytes_shipped").Sum()),
+		}
+	}
+	if ld := cl.Ensemble.Leader(); ld != nil {
+		reg := ld.Metrics()
+		res.Apply = map[string]float64{
+			"lag_txns":     float64(reg.Gauge("zab.apply.lag").Value()),
+			"queue_frames": float64(reg.Gauge("zab.apply.queue_depth").Value()),
+			"workers_busy": float64(reg.Gauge("zab.apply.workers_busy").Value()),
 		}
 	}
 

@@ -1,0 +1,186 @@
+package coord
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coord/znode"
+)
+
+// appliedEvent is one recorded notification, for comparing the watch
+// event stream a schedule produces.
+type appliedEvent struct {
+	op      uint8
+	path    string
+	session uint64
+	ok      bool
+}
+
+// buildApplySchedule produces a deterministic scripted transaction
+// schedule: frames of creates, sets, deletes, multis and syncs spread
+// over several top-level subtrees and sessions, salted with structural
+// depth-1 ops and malformed frames (both classify as barriers). The
+// same schedule feeds the serial and the parallel machine.
+func buildApplySchedule(rng *rand.Rand, sessions int, frames int) [][][]byte {
+	now := time.Unix(0, 1754600000000000000).UnixNano()
+	seq := make([]uint64, sessions+1)
+	next := func(s uint64) uint64 { seq[s]++; return seq[s] }
+	var sched [][][]byte
+
+	// Setup frame: subtree roots the later txns hang their nodes off.
+	var setup [][]byte
+	for d := 0; d < 8; d++ {
+		setup = append(setup, encodeCreateTxn(fmt.Sprintf("/s%d", d), nil, znode.ModePersistent, 1, next(1), now))
+	}
+	sched = append(sched, setup)
+
+	created := 0
+	for f := 0; f < frames; f++ {
+		n := 1 + rng.Intn(16)
+		var frame [][]byte
+		for i := 0; i < n; i++ {
+			s := uint64(1 + rng.Intn(sessions))
+			d := rng.Intn(8)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				created++
+				frame = append(frame, encodeCreateTxn(fmt.Sprintf("/s%d/n%d", d, created), []byte{byte(created)}, znode.ModePersistent, s, next(s), now))
+			case 4, 5:
+				// Set of a node that may or may not exist — errors must
+				// replay identically too.
+				frame = append(frame, encodeSetTxn(fmt.Sprintf("/s%d/n%d", d, 1+rng.Intn(created+1)), []byte{byte(f)}, -1, s, next(s), now))
+			case 6:
+				frame = append(frame, encodeDeleteTxn(fmt.Sprintf("/s%d/n%d", d, 1+rng.Intn(created+1)), -1, s, next(s)))
+			case 7:
+				frame = append(frame, encodeSyncTxn(s, next(s)))
+			case 8:
+				created++
+				ops := []Op{
+					CreateOp(fmt.Sprintf("/s%d/n%d", d, created), []byte("m"), znode.ModePersistent),
+					SetOp(fmt.Sprintf("/s%d", rng.Intn(8)), []byte{byte(f)}, -1),
+				}
+				frame = append(frame, encodeMultiTxn(ops, s, next(s), now))
+			case 9:
+				// Scheduling barriers: a structural depth-1 create, a
+				// fresh session mint, or a malformed frame.
+				switch rng.Intn(3) {
+				case 0:
+					frame = append(frame, encodeCreateTxn(fmt.Sprintf("/x%d-%d", f, i), nil, znode.ModePersistent, s, next(s), now))
+				case 1:
+					frame = append(frame, encodeNewSessionTxn())
+				default:
+					frame = append(frame, []byte{opSet, 0xff})
+				}
+			}
+		}
+		sched = append(sched, frame)
+	}
+	return sched
+}
+
+// runApplySchedule pushes the schedule through one state machine and
+// returns everything observable: per-txn results, the notification
+// stream, and the final tree fingerprint.
+func runApplySchedule(sm *stateMachine, sched [][][]byte) (results [][]byte, events []appliedEvent, fp uint64) {
+	var mu sync.Mutex
+	sm.notify = func(op uint8, path string, session uint64, ok bool) {
+		mu.Lock()
+		events = append(events, appliedEvent{op: op, path: path, session: session, ok: ok})
+		mu.Unlock()
+	}
+	zxid := uint64(1) << 32
+	for _, frame := range sched {
+		rs := sm.ApplyBatch(frame, zxid)
+		for _, r := range rs {
+			results = append(results, append([]byte(nil), r...))
+		}
+		zxid += uint64(len(frame))
+	}
+	return results, events, sm.treeRef().Fingerprint()
+}
+
+// TestParallelApplyEquivalence drives the same scripted schedule
+// through a strictly serial machine and a parallel one (run with
+// -race: the pool workers plus a read storm make any unsound wave
+// scheduling visible). Every observable — per-transaction results,
+// the full notification stream, the final tree fingerprint, sessions
+// minted — must match the serial machine byte for byte.
+func TestParallelApplyEquivalence(t *testing.T) {
+	const sessions = 6
+	frames := 200
+	seeds := int64(2)
+	if raceEnabled || testing.Short() {
+		// The detector slows the pool ~20x; a shorter schedule keeps
+		// the same interleaving coverage per wall-clock budget.
+		frames = 60
+		seeds = 2
+	}
+
+	for seed := int64(1); seed <= seeds; seed++ {
+		sched := buildApplySchedule(rand.New(rand.NewSource(seed)), sessions, frames)
+
+		serial := newStateMachine()
+		for i := 0; i < sessions; i++ {
+			serial.Apply(encodeNewSessionTxn(), uint64(i+1))
+		}
+		wantRes, wantEvs, wantFP := runApplySchedule(serial, sched)
+
+		par := newStateMachine()
+		for i := 0; i < sessions; i++ {
+			par.Apply(encodeNewSessionTxn(), uint64(i+1))
+		}
+		par.startParallelApply(8, nil)
+		// Read storm against the stripes the schedule writes, so the
+		// race detector sees reader/worker interleavings too.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for d := 0; d < 8; d++ {
+						par.treeRef().Children(fmt.Sprintf("/s%d", d))
+					}
+					// Yield so a spinning reader can't monopolize a
+					// whole preemption slice on small GOMAXPROCS.
+					runtime.Gosched()
+				}
+			}()
+		}
+		gotRes, gotEvs, gotFP := runApplySchedule(par, sched)
+		close(stop)
+		wg.Wait()
+		par.stopParallelApply()
+
+		if len(gotRes) != len(wantRes) {
+			t.Fatalf("seed %d: %d results, want %d", seed, len(gotRes), len(wantRes))
+		}
+		for i := range wantRes {
+			if !bytes.Equal(gotRes[i], wantRes[i]) {
+				t.Fatalf("seed %d: result %d differs:\nparallel: %x\n  serial: %x", seed, i, gotRes[i], wantRes[i])
+			}
+		}
+		if len(gotEvs) != len(wantEvs) {
+			t.Fatalf("seed %d: %d events, want %d", seed, len(gotEvs), len(wantEvs))
+		}
+		for i := range wantEvs {
+			if gotEvs[i] != wantEvs[i] {
+				t.Fatalf("seed %d: event %d = %+v, want %+v", seed, i, gotEvs[i], wantEvs[i])
+			}
+		}
+		if gotFP != wantFP {
+			t.Fatalf("seed %d: tree fingerprint %x, want %x", seed, gotFP, wantFP)
+		}
+	}
+}

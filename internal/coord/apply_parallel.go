@@ -1,0 +1,274 @@
+package coord
+
+// Parallel apply scheduling: inside one committed batch, transactions
+// that touch disjoint znode stripes (and different sessions) execute
+// concurrently on a worker pool, while everything observable — result
+// slots, dedup effects, notification order — stays identical to the
+// serial order.
+//
+// The scheduling rule reuses the tree's own lock-coverage function
+// (znode.StripeMaskForWrite): two transactions may share a wave only
+// if their stripe masks are disjoint, neither is a whole-tree barrier,
+// and they act for different sessions. Stripe disjointness implies
+// path disjointness down to the top-level subtree, which subsumes
+// every intra-tree ordering the serial apply provided (parent/child
+// stat updates, per-parent sequential counters); the session rule
+// keeps per-session result and dedup-window order; barriers (session
+// lifecycle, migration control, structural root changes, malformed
+// frames) run alone. Determinism follows: each transaction applies
+// with its own zxid against state its stripe fully owns for the wave,
+// so execution interleaving cannot change any outcome.
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/coord/znode"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// txnClass is a transaction's scheduling footprint: the stripe-lock
+// coverage its tree mutations take, whether it must run alone, and the
+// session it acts for (0 = sessionless).
+type txnClass struct {
+	mask    uint32
+	all     bool
+	session uint64
+}
+
+// classifyTxn peeks a transaction's scheduling footprint straight off
+// the wire form, allocation-free (paths are borrowed, never copied).
+// Anything unrecognized or malformed classifies as a barrier — the
+// serial path then reports the error exactly as before.
+func classifyTxn(txn []byte) (c txnClass) {
+	var r wire.Reader
+	r.Reset(txn)
+	op := r.Uint8()
+	if r.Err() != nil {
+		c.all = true
+		return
+	}
+	switch op {
+	case opCreate, opDelete, opSet:
+		c.session = r.Uint64()
+		r.Uint64() // seq
+		path := r.BorrowBytes()
+		if r.Err() != nil {
+			c.all = true
+			return
+		}
+		// Create and delete are structural: their depth-1 form mutates
+		// the root's child map and takes every stripe.
+		c.mask, c.all = znode.StripeMaskForWrite(path, op != opSet)
+	case opSync:
+		// No tree access; ordered only against its own session.
+		c.session = r.Uint64()
+		if r.Err() != nil {
+			c.all = true
+		}
+	case opMulti:
+		c.session = r.Uint64()
+		r.Uint64() // seq
+		r.Int64()  // nowNano
+		n := r.Uint32()
+		if r.Err() != nil || n == 0 || int(n) > r.Remaining() {
+			c.all = true
+			return
+		}
+		for i := uint32(0); i < n; i++ {
+			kind := znode.MultiKind(r.Uint8())
+			path := r.BorrowBytes()
+			r.BorrowBytes() // data
+			r.Uint8()       // mode
+			r.Int32()       // version
+			if r.Err() != nil {
+				c.all = true
+				return
+			}
+			structural := kind == znode.MultiCreate || kind == znode.MultiDelete
+			m, all := znode.StripeMaskForWrite(path, structural)
+			if all {
+				c.all = true
+				return
+			}
+			c.mask |= m
+		}
+	default:
+		// Session lifecycle, migration control, unknown ops: whole-tree
+		// barriers, applied alone.
+		c.all = true
+	}
+	return
+}
+
+// defaultApplyWorkers sizes the pool when the configuration leaves it
+// to us: enough to exploit the stripe parallelism, capped so a
+// many-core box doesn't burn idle workers per shard.
+func defaultApplyWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// applyTask is one transaction dispatched to the pool. res points at
+// the transaction's slot in the batch result scratch, so completion
+// order never reorders results.
+type applyTask struct {
+	sm   *stateMachine
+	ctx  *applyCtx
+	txn  []byte
+	zxid uint64
+	res  *[]byte
+	done *sync.WaitGroup
+}
+
+// applyPool is a fixed set of workers executing apply tasks. One pool
+// serves one state machine; tasks of a wave are mutually path- and
+// session-disjoint, so workers never contend on replicated state
+// beyond the tree's own stripe locks.
+type applyPool struct {
+	tasks     chan applyTask
+	wg        sync.WaitGroup
+	busy      *metrics.Gauge // zab.apply.workers_busy, may be nil
+	closeOnce sync.Once
+}
+
+func newApplyPool(workers int, busy *metrics.Gauge) *applyPool {
+	p := &applyPool{
+		tasks: make(chan applyTask, 2*workers),
+		busy:  busy,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *applyPool) run() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		if p.busy != nil {
+			p.busy.Add(1)
+		}
+		*t.res = t.sm.applyTxn(t.ctx, t.txn, t.zxid)
+		if p.busy != nil {
+			p.busy.Add(-1)
+		}
+		t.done.Done()
+	}
+}
+
+func (p *applyPool) close() {
+	p.closeOnce.Do(func() {
+		close(p.tasks)
+		p.wg.Wait()
+		if p.busy != nil {
+			p.busy.Set(0)
+		}
+	})
+}
+
+// startParallelApply attaches a worker pool so ApplyBatch schedules
+// path-disjoint transactions concurrently. workers <= 1 leaves the
+// machine strictly serial — the ablation, replay and test path. Must
+// not race ApplyBatch; callers attach before the replication layer
+// starts applying.
+func (s *stateMachine) startParallelApply(workers int, busy *metrics.Gauge) {
+	if workers <= 1 || s.pool != nil {
+		return
+	}
+	s.pool = newApplyPool(workers, busy)
+}
+
+// stopParallelApply drains and joins the pool. Must not race
+// ApplyBatch; callers stop the replication layer first.
+func (s *stateMachine) stopParallelApply() {
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+	}
+}
+
+// applyBatchParallel executes one batch with wave scheduling: scan the
+// transactions in order, greedily packing each into the current wave
+// unless it conflicts (stripe-mask overlap, same session, or barrier);
+// on conflict the wave executes — members concurrently, they are
+// pairwise disjoint — and a new wave starts. Each transaction's
+// notifications buffer on its own context and flush in transaction
+// order after its wave, so watch events still fire in commit order.
+func (s *stateMachine) applyBatchParallel(txns [][]byte, firstZxid uint64, results [][]byte) {
+	if cap(s.classScratch) < len(txns) {
+		s.classScratch = make([]txnClass, len(txns))
+	}
+	classes := s.classScratch[:len(txns)]
+	for i, txn := range txns {
+		classes[i] = classifyTxn(txn)
+	}
+	if cap(s.ctxScratch) < len(txns) {
+		grown := make([]applyCtx, len(txns))
+		copy(grown, s.ctxScratch) // keep the already-grown recs buffers
+		s.ctxScratch = grown
+	}
+	ctxs := s.ctxScratch[:len(txns)]
+
+	wave := s.waveScratch[:0]
+	var waveMask uint32
+	flushWave := func() {
+		switch len(wave) {
+		case 0:
+			return
+		case 1:
+			k := wave[0]
+			results[k] = s.applyTxn(&ctxs[k], txns[k], firstZxid+uint64(k))
+		default:
+			var done sync.WaitGroup
+			done.Add(len(wave))
+			for _, k := range wave {
+				s.pool.tasks <- applyTask{
+					sm:   s,
+					ctx:  &ctxs[k],
+					txn:  txns[k],
+					zxid: firstZxid + uint64(k),
+					res:  &results[k],
+					done: &done,
+				}
+			}
+			done.Wait()
+		}
+		for _, k := range wave {
+			s.flushNotify(&ctxs[k])
+		}
+		wave = wave[:0]
+		waveMask = 0
+	}
+
+	for i := range txns {
+		c := classes[i]
+		if c.all {
+			flushWave()
+			results[i] = s.applyTxn(&ctxs[i], txns[i], firstZxid+uint64(i))
+			s.flushNotify(&ctxs[i])
+			continue
+		}
+		conflict := waveMask&c.mask != 0
+		if !conflict && c.session != 0 {
+			for _, k := range wave {
+				if classes[k].session == c.session {
+					conflict = true
+					break
+				}
+			}
+		}
+		if conflict {
+			flushWave()
+		}
+		wave = append(wave, i)
+		waveMask |= c.mask
+	}
+	flushWave()
+	s.waveScratch = wave[:0]
+}

@@ -811,6 +811,15 @@ type Status struct {
 	// Ranges lists the shard's live migration markers (fenced or moved
 	// hash ranges) — the operator-visible migration progress.
 	Ranges []RangeStatus
+
+	// Apply-pipeline observability: how many committed transactions
+	// await application, how many frames sit in the commit→apply
+	// queue, and how many pool workers are executing right now. All
+	// zero on observers (they apply inline) and on servers predating
+	// the decoupled pipeline.
+	ApplyLagTxns     uint64
+	ApplyQueueFrames uint64
+	ApplyWorkersBusy uint64
 }
 
 // RangeStatus is one migration marker in a server's status report.
@@ -875,6 +884,11 @@ func (s *Session) Status() (Status, error) {
 				Moved: r.Bool(),
 			})
 		}
+	}
+	if r.Err() == nil && r.Remaining() >= 24 {
+		st.ApplyLagTxns = r.Uint64()
+		st.ApplyQueueFrames = r.Uint64()
+		st.ApplyWorkersBusy = r.Uint64()
 	}
 	if err := r.Err(); err != nil {
 		return Status{}, fmt.Errorf("coord: malformed status reply: %w", err)

@@ -29,6 +29,11 @@ type EnsembleConfig struct {
 	// Group-commit tunables (zero = defaults; see ServerConfig).
 	MaxBatchTxns      int
 	MaxInflightFrames int
+	// Apply-pipeline tunables (zero = defaults; see ServerConfig):
+	// commit→apply queue bound and parallel-apply pool size (1 forces
+	// the serialized-apply ablation).
+	MaxApplyQueueFrames int
+	ApplyWorkers        int
 
 	// DataDir, when non-empty, gives every member a durable storage
 	// engine under DataDir/node<id>, so members — or the whole
@@ -79,16 +84,18 @@ func StartEnsemble(cfg EnsembleConfig) (*Ensemble, error) {
 	for i := 1; i <= cfg.Servers; i++ {
 		clientAddr := addrFor(uint64(i), "client")
 		scfg := ServerConfig{
-			ID:                uint64(i),
-			PeerAddrs:         peers,
-			ClientAddr:        clientAddr,
-			Net:               cfg.Net,
-			HeartbeatInterval: cfg.HeartbeatInterval,
-			ElectionTimeout:   cfg.ElectionTimeout,
-			MaxLogEntries:     cfg.MaxLogEntries,
-			MaxBatchTxns:      cfg.MaxBatchTxns,
-			MaxInflightFrames: cfg.MaxInflightFrames,
-			SyncEvery:         cfg.SyncEvery,
+			ID:                  uint64(i),
+			PeerAddrs:           peers,
+			ClientAddr:          clientAddr,
+			Net:                 cfg.Net,
+			HeartbeatInterval:   cfg.HeartbeatInterval,
+			ElectionTimeout:     cfg.ElectionTimeout,
+			MaxLogEntries:       cfg.MaxLogEntries,
+			MaxBatchTxns:        cfg.MaxBatchTxns,
+			MaxInflightFrames:   cfg.MaxInflightFrames,
+			MaxApplyQueueFrames: cfg.MaxApplyQueueFrames,
+			ApplyWorkers:        cfg.ApplyWorkers,
+			SyncEvery:           cfg.SyncEvery,
 		}
 		if cfg.DataDir != "" {
 			scfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node%d", i))

@@ -107,7 +107,9 @@ type ObserverState struct {
 	sm *stateMachine
 }
 
-// NewObserverState builds an empty observer-side state machine.
+// NewObserverState builds an empty observer-side state machine. It
+// applies strictly serially: the observer tails the leader's log on a
+// single goroutine, so a worker pool would only add handoff cost.
 func NewObserverState() *ObserverState {
 	return &ObserverState{sm: newStateMachine()}
 }
@@ -153,6 +155,11 @@ func (o *ObserverState) ServeRead(req []byte, info func() ReplicaInfo) (resp []b
 			w.Uint64(ri.LagTxns)
 			w.Uint32(0) // observers track no feed of their own
 			w.Uint32(0) // migration markers live on voters
+			// Apply-pipeline health: observers apply inline off the log
+			// tailer, so lag/queue/busy are structurally zero.
+			w.Uint64(0)
+			w.Uint64(0)
+			w.Uint64(0)
 		}), true, nil
 	case op == opLeaseRead:
 		// Only a quorum-funded leader may answer a lease read; an

@@ -39,6 +39,14 @@ type ServerConfig struct {
 	// one-txn-per-quorum-round-trip cycle (the ablation baseline).
 	MaxBatchTxns      int
 	MaxInflightFrames int
+	// MaxApplyQueueFrames bounds the commit→apply queue (zero =
+	// default); a full queue backpressures the proposer.
+	MaxApplyQueueFrames int
+	// ApplyWorkers sizes the parallel-apply pool: path-disjoint
+	// transactions of one committed batch execute concurrently on it.
+	// 0 picks a default from GOMAXPROCS; 1 (or negative) forces
+	// strictly serial apply — the ablation baseline.
+	ApplyWorkers int
 
 	// Checkpoint, when non-nil, primes the server from a durable
 	// snapshot produced by Server.Checkpoint (paper §IV-I: ZooKeeper
@@ -78,20 +86,24 @@ type Server struct {
 	clientLn io.Closer
 	reg      *metrics.Registry
 	watches  *watchTable
+	dispatch *watchDispatcher
 }
 
 // NewServer builds and starts a coordination server.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	sm := newStateMachine()
 	watches := newWatchTable()
-	sm.notify = func(op uint8, path string, session uint64, ok bool) {
-		if op == opCloseSession {
-			watches.dropSession(session)
-			return
-		}
-		watches.observeApply(op, path, ok)
-	}
+	// Watch firing is off the apply critical path: apply enqueues, the
+	// dispatcher's goroutine delivers (in commit order — see
+	// watch_dispatch.go).
+	dispatch := newWatchDispatcher(watches)
+	sm.notify = dispatch.dispatch
 	reg := metrics.NewRegistry()
+	workers := cfg.ApplyWorkers
+	if workers == 0 {
+		workers = defaultApplyWorkers()
+	}
+	sm.startParallelApply(workers, reg.Gauge("zab.apply.workers_busy"))
 	var eng *storage.Engine
 	if cfg.DataDir != "" {
 		var err error
@@ -105,17 +117,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 	}
 	zcfg := zab.Config{
-		ID:                cfg.ID,
-		Peers:             cfg.PeerAddrs,
-		Net:               cfg.Net,
-		HeartbeatInterval: cfg.HeartbeatInterval,
-		ElectionTimeout:   cfg.ElectionTimeout,
-		MaxLogEntries:     cfg.MaxLogEntries,
-		MaxBatchTxns:      cfg.MaxBatchTxns,
-		MaxInflightFrames: cfg.MaxInflightFrames,
-		Metrics:           reg,
-		InitialSnapshot:   cfg.Checkpoint,
-		InitialZxid:       cfg.CheckpointZxid,
+		ID:                  cfg.ID,
+		Peers:               cfg.PeerAddrs,
+		Net:                 cfg.Net,
+		HeartbeatInterval:   cfg.HeartbeatInterval,
+		ElectionTimeout:     cfg.ElectionTimeout,
+		MaxLogEntries:       cfg.MaxLogEntries,
+		MaxBatchTxns:        cfg.MaxBatchTxns,
+		MaxInflightFrames:   cfg.MaxInflightFrames,
+		MaxApplyQueueFrames: cfg.MaxApplyQueueFrames,
+		Metrics:             reg,
+		InitialSnapshot:     cfg.Checkpoint,
+		InitialZxid:         cfg.CheckpointZxid,
 	}
 	if eng != nil {
 		var st zab.Storage = eng
@@ -131,7 +144,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 		return nil, err
 	}
-	s := &Server{cfg: cfg, sm: sm, node: node, eng: eng, reg: reg, watches: watches}
+	s := &Server{cfg: cfg, sm: sm, node: node, eng: eng, reg: reg, watches: watches, dispatch: dispatch}
 	if err := node.Start(); err != nil {
 		if eng != nil {
 			eng.Close()
@@ -156,6 +169,8 @@ func (s *Server) Stop() {
 		s.clientLn.Close()
 	}
 	s.node.Stop()
+	s.sm.stopParallelApply()
+	s.dispatch.close()
 	if s.eng != nil {
 		s.eng.Close()
 	}
@@ -176,6 +191,16 @@ func (s *Server) Tree() *znode.Tree { return s.sm.treeRef() }
 
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// gaugeU64 reads a gauge for wire encoding, clamping transient
+// negatives (a worker decrementing busy mid-read) to zero.
+func gaugeU64(reg *metrics.Registry, name string) uint64 {
+	v := reg.Gauge(name).Value()
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
 
 // DebugString reports the underlying replication state (diagnostics).
 func (s *Server) DebugString() string { return s.node.DebugString() }
@@ -283,6 +308,12 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 				w.Uint64(rs.epoch)
 				w.Bool(rs.moved)
 			}
+			// Apply-pipeline health (appended last, same forward
+			// compatibility): commit-to-apply lag in txns, frames queued
+			// between the commit and apply sides, and busy pool workers.
+			w.Uint64(gaugeU64(s.reg, "zab.apply.lag"))
+			w.Uint64(gaugeU64(s.reg, "zab.apply.queue_depth"))
+			w.Uint64(gaugeU64(s.reg, "zab.apply.workers_busy"))
 		}), nil
 	case opGetWatch:
 		session := r.Uint64()
@@ -294,9 +325,12 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 			return errResult(bounce), nil
 		}
 		s.reg.Counter("reads").Inc()
-		// Register before reading so no mutation can slip between the
-		// read and the watch (a mutation in the window fires a
-		// conservative extra event instead of being missed).
+		// Flush queued notifications first so an already-acknowledged
+		// write's events cannot fire this new watch, then register
+		// before reading so no mutation can slip between the read and
+		// the watch (a mutation in the window fires a conservative
+		// extra event instead of being missed).
+		s.dispatch.barrier()
 		s.watches.register(watchData, path, session)
 		data, stat, err := s.sm.treeRef().Get(path)
 		if err != nil {
@@ -318,6 +352,7 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 			return errResult(bounce), nil
 		}
 		s.reg.Counter("reads").Inc()
+		s.dispatch.barrier()
 		stat, ok := s.sm.treeRef().Exists(path)
 		// exists() watches fire on creation too, so register either way.
 		s.watches.register(watchData, path, session)
@@ -335,6 +370,7 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 			return errResult(bounce), nil
 		}
 		s.reg.Counter("reads").Inc()
+		s.dispatch.barrier()
 		s.watches.register(watchChildren, path, session)
 		kids, err := s.sm.treeRef().Children(path)
 		if err != nil {
@@ -347,6 +383,9 @@ func (s *Server) handleClient(req []byte) ([]byte, error) {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
+		// Flush the async dispatch queue first so a session that wrote
+		// and then polls sees the events its own write fired.
+		s.dispatch.barrier()
 		evs := s.watches.drain(session)
 		return okResult(func(w *wire.Writer) { encodeEvents(w, evs) }), nil
 	case opWaitEvents:
@@ -454,7 +493,7 @@ func (s *Server) readBounce(op uint8, peek wire.Reader) error {
 // treeRef returns the current tree pointer under the state-machine
 // lock, so a concurrent snapshot Restore cannot race the read side.
 func (s *stateMachine) treeRef() *znode.Tree {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.tree
 }

@@ -26,11 +26,23 @@ import (
 // exact-once semantics per session, the same guarantee a ZooKeeper
 // server gives reconnecting clients.
 type stateMachine struct {
-	mu          sync.Mutex
+	// mu guards tree pointer swaps, the session table and the
+	// migration markers. Writers of those are rare (session churn,
+	// migration barriers, restore); the per-txn hot-path readers
+	// (bounceWrite/bounceRead, treeRef) take it shared so
+	// path-disjoint transactions scheduled concurrently never
+	// serialize here.
+	mu          sync.RWMutex
 	tree        *znode.Tree
 	sessions    map[uint64]bool
 	nextSession uint64
-	dedup       map[uint64]*dedupWindow
+
+	// dedup is the per-session retry window, sharded by session ID so
+	// concurrently applied transactions from different sessions never
+	// contend on one lock. A session's own transactions are never
+	// scheduled concurrently (the apply scheduler serializes on
+	// session), so per-session ordering within a shard is free.
+	dedup [dedupShardCount]dedupShard
 
 	// ranges holds the migration fence/moved markers for this shard,
 	// sorted by range start. Replicated state: the markers are planted
@@ -46,10 +58,56 @@ type stateMachine struct {
 	batchScratch [][]byte
 
 	// notify, when set, observes every applied mutation on this
-	// replica (op code, affected path, acting session, success). The
-	// server uses it to fire watches and clean up session queues; it
-	// is server-local, not replicated state.
+	// replica (op code, affected path, acting session, success) in
+	// commit order. The server uses it to fire watches and clean up
+	// session queues; it is server-local, not replicated state.
 	notify func(op uint8, path string, session uint64, ok bool)
+
+	// serialCtx is Apply's notification scratch (single apply
+	// goroutine); parallel batches use per-slot contexts owned by the
+	// scheduler in apply_parallel.go.
+	serialCtx applyCtx
+
+	// pool, when non-nil, executes path-disjoint transactions of one
+	// batch concurrently (apply_parallel.go). nil means strictly
+	// serial apply — the replay/ablation path.
+	pool *applyPool
+
+	// Scheduler scratch, touched only by the single apply goroutine.
+	classScratch []txnClass
+	ctxScratch   []applyCtx
+	waveScratch  []int
+}
+
+// applyCtx carries one transaction's application-side effects that
+// must be emitted in commit order rather than execution order: the
+// notify records a concurrently executed transaction would otherwise
+// fire mid-wave. Serial applies flush immediately, so behavior there
+// is unchanged.
+type applyCtx struct {
+	recs []notifyRec
+}
+
+type notifyRec struct {
+	op      uint8
+	path    string
+	session uint64
+	ok      bool
+}
+
+func (c *applyCtx) note(op uint8, path string, session uint64, ok bool) {
+	c.recs = append(c.recs, notifyRec{op: op, path: path, session: session, ok: ok})
+}
+
+// flushNotify delivers a transaction's buffered notifications in the
+// order they were recorded and resets the context for reuse.
+func (s *stateMachine) flushNotify(ctx *applyCtx) {
+	if s.notify != nil {
+		for _, n := range ctx.recs {
+			s.notify(n.op, n.path, n.session, n.ok)
+		}
+	}
+	ctx.recs = ctx.recs[:0]
 }
 
 // dedupWindow remembers a session's most recent write results, keyed
@@ -83,12 +141,60 @@ func (w *dedupWindow) store(seq uint64, result []byte) {
 	}
 }
 
+// dedupShardCount spreads session retry windows over independent
+// locks. Session IDs are sequential, so modulo keeps adjacent sessions
+// on distinct shards. Power of two.
+const dedupShardCount = 16
+
+type dedupShard struct {
+	mu   sync.Mutex
+	wins map[uint64]*dedupWindow
+}
+
+func (s *stateMachine) dedupShardFor(session uint64) *dedupShard {
+	return &s.dedup[session%dedupShardCount]
+}
+
+// dedupLookup returns the cached result of a retried (session, seq)
+// write, if the window remembers it.
+func (s *stateMachine) dedupLookup(session, seq uint64) ([]byte, bool) {
+	sh := s.dedupShardFor(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if w, ok := sh.wins[session]; ok {
+		return w.lookup(seq)
+	}
+	return nil, false
+}
+
+func (s *stateMachine) dedupStore(session, seq uint64, result []byte) {
+	sh := s.dedupShardFor(session)
+	sh.mu.Lock()
+	w, ok := sh.wins[session]
+	if !ok {
+		w = &dedupWindow{results: make(map[uint64][]byte)}
+		sh.wins[session] = w
+	}
+	w.store(seq, result)
+	sh.mu.Unlock()
+}
+
+func (s *stateMachine) dedupDrop(session uint64) {
+	sh := s.dedupShardFor(session)
+	sh.mu.Lock()
+	delete(sh.wins, session)
+	sh.mu.Unlock()
+}
+
 func newStateMachine() *stateMachine {
-	return &stateMachine{
+	s := &stateMachine{
 		tree:     znode.New(),
 		sessions: make(map[uint64]bool),
-		dedup:    make(map[uint64]*dedupWindow),
 	}
+	for i := range s.dedup {
+		s.dedup[i].wins = make(map[uint64]*dedupWindow)
+	}
+	return s
 }
 
 // Transaction layouts (after the op byte):
@@ -259,19 +365,35 @@ func errResult(err error) []byte {
 // frame (frames apply strictly in order from one goroutine), so the
 // container is a reusable scratch — only the per-txn result buffers
 // are retained (by the dedup window and the waiters).
+//
+// With a worker pool attached, path-disjoint transactions of the batch
+// execute concurrently (apply_parallel.go); the results, dedup effects
+// and notifications are identical to the serial order by construction.
 func (s *stateMachine) ApplyBatch(txns [][]byte, firstZxid uint64) [][]byte {
 	if cap(s.batchScratch) < len(txns) {
 		s.batchScratch = make([][]byte, len(txns))
 	}
 	results := s.batchScratch[:len(txns)]
-	for i, txn := range txns {
-		results[i] = s.Apply(txn, firstZxid+uint64(i))
+	if s.pool == nil || len(txns) < 2 {
+		for i, txn := range txns {
+			results[i] = s.Apply(txn, firstZxid+uint64(i))
+		}
+		return results
 	}
+	s.applyBatchParallel(txns, firstZxid, results)
 	return results
 }
 
-// Apply implements zab.StateMachine.
+// Apply implements zab.StateMachine (the strictly serial path).
 func (s *stateMachine) Apply(txn []byte, zxid uint64) []byte {
+	result := s.applyTxn(&s.serialCtx, txn, zxid)
+	s.flushNotify(&s.serialCtx)
+	return result
+}
+
+// applyTxn applies one transaction, buffering its notifications on ctx
+// for the caller to flush in commit order.
+func (s *stateMachine) applyTxn(ctx *applyCtx, txn []byte, zxid uint64) []byte {
 	var r wire.Reader
 	r.Reset(txn)
 	op := r.Uint8()
@@ -293,30 +415,18 @@ func (s *stateMachine) Apply(txn []byte, zxid uint64) []byte {
 		return errResult(err)
 	}
 	if session != 0 && seq != 0 {
-		s.mu.Lock()
-		if w, ok := s.dedup[session]; ok {
-			if cached, hit := w.lookup(seq); hit {
-				s.mu.Unlock()
-				return cached // retry of an already-applied write
-			}
+		if cached, hit := s.dedupLookup(session, seq); hit {
+			return cached // retry of an already-applied write
 		}
-		s.mu.Unlock()
 	}
-	result := s.applyWrite(op, session, &r, zxid)
+	result := s.applyWrite(ctx, op, session, &r, zxid)
 	if session != 0 && seq != 0 {
-		s.mu.Lock()
-		w, ok := s.dedup[session]
-		if !ok {
-			w = &dedupWindow{results: make(map[uint64][]byte)}
-			s.dedup[session] = w
-		}
-		w.store(seq, result)
-		s.mu.Unlock()
+		s.dedupStore(session, seq, result)
 	}
 	return result
 }
 
-func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid uint64) []byte {
+func (s *stateMachine) applyWrite(ctx *applyCtx, op uint8, session uint64, r *wire.Reader, zxid uint64) []byte {
 	switch op {
 	case opCreate:
 		path := r.String()
@@ -333,7 +443,7 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		}
 		created, err := s.tree.Create(path, data, mode, session, zxid, now)
 		if s.notify != nil {
-			s.notify(opCreate, created, session, err == nil)
+			ctx.note(opCreate, created, session, err == nil)
 		}
 		if err != nil {
 			return errResult(err)
@@ -350,7 +460,7 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		}
 		derr := s.tree.Delete(path, version, zxid)
 		if s.notify != nil {
-			s.notify(opDelete, path, session, derr == nil)
+			ctx.note(opDelete, path, session, derr == nil)
 		}
 		if derr != nil {
 			return errResult(derr)
@@ -369,7 +479,7 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		}
 		stat, err := s.tree.Set(path, data, version, zxid, now)
 		if s.notify != nil {
-			s.notify(opSet, path, session, err == nil)
+			ctx.note(opSet, path, session, err == nil)
 		}
 		if err != nil {
 			return errResult(err)
@@ -396,11 +506,11 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 			for i, op := range ops {
 				switch op.Kind {
 				case znode.MultiCreate:
-					s.notify(opCreate, results[i].Created, session, true)
+					ctx.note(opCreate, results[i].Created, session, true)
 				case znode.MultiSet:
-					s.notify(opSet, op.Path, session, true)
+					ctx.note(opSet, op.Path, session, true)
 				case znode.MultiDelete:
-					s.notify(opDelete, op.Path, session, true)
+					ctx.note(opDelete, op.Path, session, true)
 				}
 			}
 		}
@@ -411,14 +521,14 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 	case opCloseSession:
 		s.mu.Lock()
 		delete(s.sessions, session)
-		delete(s.dedup, session)
 		s.mu.Unlock()
+		s.dedupDrop(session)
 		deleted := s.tree.ExpireSession(session, zxid)
 		if s.notify != nil {
 			for _, p := range deleted {
-				s.notify(opDelete, p, session, true)
+				ctx.note(opDelete, p, session, true)
 			}
-			s.notify(opCloseSession, "", session, true)
+			ctx.note(opCloseSession, "", session, true)
 		}
 		return okResult(func(w *wire.Writer) { w.Uint32(uint32(len(deleted))) })
 	case opSync:
@@ -427,7 +537,7 @@ func (s *stateMachine) applyWrite(op uint8, session uint64, r *wire.Reader, zxid
 		// write committed before the sync — ZooKeeper's sync().
 		return okResult(nil)
 	case opFenceRange, opUnfenceRange, opRangeMoved, opWipeRange, opImportRange:
-		return s.applyMigration(op, session, r, zxid)
+		return s.applyMigration(ctx, op, session, r, zxid)
 	default:
 		return errResult(fmt.Errorf("unknown transaction op %d", op))
 	}
@@ -463,20 +573,31 @@ func (s *stateMachine) SnapshotTo(out io.Writer) error {
 	for _, id := range sessionIDs {
 		enc.Uint64(id)
 	}
-	dedupIDs := make([]uint64, 0, len(s.dedup))
-	for id := range s.dedup {
-		dedupIDs = append(dedupIDs, id)
+	// Gather the sharded retry windows back into one sorted section so
+	// the snapshot encoding is independent of the shard layout (and
+	// byte-identical to the pre-sharding format).
+	var dedupIDs []uint64
+	for i := range s.dedup {
+		sh := &s.dedup[i]
+		sh.mu.Lock()
+		for id := range sh.wins {
+			dedupIDs = append(dedupIDs, id)
+		}
+		sh.mu.Unlock()
 	}
 	slices.Sort(dedupIDs)
 	enc.Uint32(uint32(len(dedupIDs)))
 	for _, id := range dedupIDs {
-		win := s.dedup[id]
+		sh := s.dedupShardFor(id)
+		sh.mu.Lock()
+		win := sh.wins[id]
 		enc.Uint64(id)
 		enc.Uint32(uint32(len(win.order)))
 		for _, seq := range win.order {
 			enc.Uint64(seq)
 			enc.Bytes32(win.results[seq])
 		}
+		sh.mu.Unlock()
 	}
 	enc.Uint32(uint32(len(s.ranges)))
 	for _, rs := range s.ranges {
@@ -525,7 +646,10 @@ func (s *stateMachine) RestoreFrom(rd io.Reader, _ uint64) error {
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("coord: corrupt snapshot dedup header: %w", err)
 	}
-	dedup := make(map[uint64]*dedupWindow, nDedup)
+	var dedup [dedupShardCount]dedupShard
+	for i := range dedup {
+		dedup[i].wins = make(map[uint64]*dedupWindow)
+	}
 	for i := uint32(0); i < nDedup; i++ {
 		id := r.Uint64()
 		nEntries := r.Uint32()
@@ -541,7 +665,7 @@ func (s *stateMachine) RestoreFrom(rd io.Reader, _ uint64) error {
 			}
 			win.store(seq, result)
 		}
-		dedup[id] = win
+		dedup[id%dedupShardCount].wins[id] = win
 	}
 	nRanges := r.Uint32()
 	if err := r.Err(); err != nil {
@@ -592,9 +716,14 @@ func (s *stateMachine) RestoreFrom(rd io.Reader, _ uint64) error {
 	s.mu.Lock()
 	s.nextSession = next
 	s.sessions = sessions
-	s.dedup = dedup
 	s.ranges = ranges
 	s.tree = tree
 	s.mu.Unlock()
+	for i := range s.dedup {
+		sh := &s.dedup[i]
+		sh.mu.Lock()
+		sh.wins = dedup[i].wins
+		sh.mu.Unlock()
+	}
 	return nil
 }

@@ -1,0 +1,56 @@
+package zab
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWakeWaiterNonBlocking pins the invariant the decoupled apply loop
+// depends on: wakeWaiterLocked must never block, even against a waiter
+// whose buffered slot is already full (the can't-happen case a plain
+// send would turn into a deadlock inside the node mutex). It must also
+// remove the waiter so a second wake for the same zxid is a no-op.
+func TestWakeWaiterNonBlocking(t *testing.T) {
+	n := &Node{waiters: map[uint64]*pendingTxn{}}
+
+	// Healthy path: empty buffered(1) channel receives the outcome.
+	p := &pendingTxn{ch: make(chan proposeOutcome, 1)}
+	n.waiters[7] = p
+	n.wakeWaiterLocked(7, []byte("res"))
+	select {
+	case out := <-p.ch:
+		if out.zxid != 7 || string(out.result) != "res" {
+			t.Fatalf("outcome = %+v, want zxid 7 result %q", out, "res")
+		}
+	default:
+		t.Fatal("wake delivered nothing to an empty waiter channel")
+	}
+	if _, ok := n.waiters[7]; ok {
+		t.Fatal("waiter not removed after wake")
+	}
+
+	// Adversarial path: the slot is already occupied. A plain send
+	// would block forever (no receiver); the wake must return anyway.
+	full := &pendingTxn{ch: make(chan proposeOutcome, 1)}
+	full.ch <- proposeOutcome{zxid: 99}
+	n.waiters[8] = full
+	done := make(chan struct{})
+	go func() {
+		n.wakeWaiterLocked(8, nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wakeWaiterLocked blocked on a full waiter channel")
+	}
+	if _, ok := n.waiters[8]; ok {
+		t.Fatal("waiter not removed after dropped wake")
+	}
+	if out := <-full.ch; out.zxid != 99 {
+		t.Fatalf("pre-existing outcome clobbered: %+v", out)
+	}
+
+	// Missing waiter: a wake for an unknown zxid is a no-op.
+	n.wakeWaiterLocked(12345, nil)
+}

@@ -139,6 +139,13 @@ type Config struct {
 	// reduces the pipeline to the lockstep propose→commit cycle.
 	// Defaults to 16.
 	MaxInflightFrames int
+	// MaxApplyQueueFrames bounds the commit→apply queue: how many
+	// committed frames may sit between the commit horizon and the
+	// apply loop before the leader's proposer stops admitting new
+	// frames (backpressure, so a slow state machine cannot grow the
+	// log without bound). Followers cap their queue at the same bound
+	// and pull the remainder as the apply loop drains. Defaults to 256.
+	MaxApplyQueueFrames int
 	// MaxClockSkew bounds the clock drift assumed between ensemble
 	// members for the leader read lease: a quorum of heartbeat acks
 	// gathered at time T lets the leader serve lease reads until
@@ -266,6 +273,23 @@ type Node struct {
 	// is closed exactly once when lastApplied passes its key.
 	applyWaiters map[uint64][]chan struct{}
 
+	// Commit→apply pipeline state. Committed frames are enqueued on
+	// applyQ (bounded by cfg.MaxApplyQueueFrames) and drained by the
+	// applyLoop goroutine, which runs the state machine outside mu.
+	//
+	// applyMu is the state-machine transition lock: it serializes
+	// applyLoop batches against snapshot installs (syncFromLeader),
+	// snapshot serialization (snapshotLoop, handleSync, Checkpoint,
+	// handleObserverPoll). The global lock order is applyMu BEFORE mu —
+	// never acquire applyMu while holding mu. While applyMu is held,
+	// lastApplied can only be advanced by the holder.
+	applyMu       sync.Mutex
+	applyQ        []entry
+	applyCond     *sync.Cond // signalled when applyQ gains work or on stop
+	applyEnqueued uint64     // highest zxid moved from log to applyQ
+	applyLagTxns  int        // committed txns not yet applied (gauge feed)
+	applyGen      uint64     // bumped on snapshot install; applyLoop discards stale drains
+
 	// Durable-storage state (cfg.Storage != nil): the coverage of the
 	// newest durable snapshot — in-memory truncation may not outrun it,
 	// because recovery is that snapshot plus the log tail — and the
@@ -289,6 +313,8 @@ type Node struct {
 	gObsCount   *metrics.Gauge
 	gObsLagTxns *metrics.Gauge
 	gObsLagMS   *metrics.Gauge
+	gApplyLag   *metrics.Gauge
+	gApplyQueue *metrics.Gauge
 
 	connMu sync.Mutex
 	conns  map[uint64]transport.Conn
@@ -325,6 +351,9 @@ func NewNode(cfg Config, sm StateMachine) (*Node, error) {
 	if cfg.MaxInflightFrames <= 0 {
 		cfg.MaxInflightFrames = 16
 	}
+	if cfg.MaxApplyQueueFrames <= 0 {
+		cfg.MaxApplyQueueFrames = 256
+	}
 	if cfg.MaxClockSkew <= 0 {
 		cfg.MaxClockSkew = cfg.ElectionTimeout / 10
 	}
@@ -351,13 +380,17 @@ func NewNode(cfg Config, sm StateMachine) (*Node, error) {
 		gObsCount:    cfg.Metrics.Gauge("zab.observer.count"),
 		gObsLagTxns:  cfg.Metrics.Gauge("zab.observer.lag_txns"),
 		gObsLagMS:    cfg.Metrics.Gauge("zab.observer.lag_ms"),
+		gApplyLag:    cfg.Metrics.Gauge("zab.apply.lag"),
+		gApplyQueue:  cfg.Metrics.Gauge("zab.apply.queue_depth"),
 	}
 	n.bsm, _ = sm.(BatchStateMachine)
 	n.leaderCond = sync.NewCond(&n.mu)
+	n.applyCond = sync.NewCond(&n.mu)
 	n.snapReq = make(chan struct{}, 1)
 	if err := n.recoverFromStorage(); err != nil {
 		return nil, err
 	}
+	n.applyEnqueued = n.lastApplied
 	n.resetElectionTimer()
 	return n, nil
 }
@@ -454,9 +487,10 @@ func (n *Node) Start() error {
 		return fmt.Errorf("zab: node %d: %w", n.cfg.ID, err)
 	}
 	n.listener = ln
-	n.wg.Add(2)
+	n.wg.Add(3)
 	go n.electionLoop()
 	go n.heartbeatLoop()
+	go n.applyLoop()
 	if n.cfg.Storage != nil {
 		n.wg.Add(1)
 		go n.snapshotLoop()
@@ -478,6 +512,7 @@ func (n *Node) Stop() {
 	n.role = roleFollower // a stopped node must not report leadership
 	n.leaderID = 0
 	n.leaderCond.Broadcast()
+	n.applyCond.Broadcast()
 	n.mu.Unlock()
 	close(n.stopCh)
 	if n.listener != nil {
@@ -560,10 +595,15 @@ func (n *Node) DebugString() string {
 
 // Checkpoint returns a durable snapshot of the applied state and the
 // zxid it covers, for the disk persistence layered above this package.
+// applyMu freezes the apply pipeline so the serialized state and the
+// reported zxid describe the same cut.
 func (n *Node) Checkpoint() (snap []byte, zxid uint64) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.sm.Snapshot(), n.lastApplied
+	zxid = n.lastApplied
+	n.mu.Unlock()
+	return n.sm.Snapshot(), zxid
 }
 
 func (n *Node) lastZxidLocked() uint64 {
@@ -859,7 +899,7 @@ func (n *Node) handleRequestVote(m requestVoteReq) requestVoteResp {
 }
 
 // advanceCommitLocked raises the commit horizon (bounded by what we
-// actually hold) and applies newly committed entries in order.
+// actually hold) and hands newly committed entries to the apply loop.
 func (n *Node) advanceCommitLocked(commit uint64) {
 	if commit > n.lastZxidLocked() {
 		commit = n.lastZxidLocked()
@@ -869,54 +909,168 @@ func (n *Node) advanceCommitLocked(commit uint64) {
 	}
 	n.commitZxid = commit
 	n.stallSince = time.Time{}
-	n.applyCommittedLocked()
+	n.enqueueCommittedLocked()
 	n.leaderCond.Broadcast() // the pipelining window may have opened
 }
 
-// applyCommittedLocked feeds committed-but-unapplied frames to the
-// state machine in zxid order — whole frames only, never a prefix of
-// one — wakes per-txn waiters with their results, and handles log
-// truncation.
-func (n *Node) applyCommittedLocked() {
-	i := sort.Search(len(n.log), func(i int) bool { return n.log[i].Zxid > n.lastApplied })
-	for ; i < len(n.log); i++ {
+// enqueueCommittedLocked moves committed-but-unqueued frames from the
+// log onto the apply queue, in zxid order, up to the queue bound. The
+// bound is a pull window: when the queue is full the remainder stays
+// in the log and the apply loop pulls it after draining (and the
+// proposer stops admitting new frames until then).
+func (n *Node) enqueueCommittedLocked() {
+	max := n.cfg.MaxApplyQueueFrames
+	if len(n.applyQ) >= max {
+		return
+	}
+	i := sort.Search(len(n.log), func(i int) bool { return n.log[i].Zxid > n.applyEnqueued })
+	for ; i < len(n.log) && len(n.applyQ) < max; i++ {
 		e := n.log[i]
 		if e.last() > n.commitZxid {
 			break
 		}
+		n.applyQ = append(n.applyQ, e)
+		n.applyEnqueued = e.last()
 		if e.Noop {
-			n.lastApplied = e.Zxid
-			n.wakeWaiterLocked(e.Zxid, nil)
-			continue
-		}
-		var results [][]byte
-		if n.bsm != nil {
-			results = n.bsm.ApplyBatch(e.Txns, e.Zxid)
+			n.applyLagTxns++
 		} else {
-			results = make([][]byte, len(e.Txns))
-			for j, txn := range e.Txns {
-				results[j] = n.sm.Apply(txn, e.Zxid+uint64(j))
-			}
-		}
-		n.lastApplied = e.last()
-		for j := range e.Txns {
-			var res []byte
-			if j < len(results) {
-				res = results[j]
-			}
-			n.wakeWaiterLocked(e.Zxid+uint64(j), res)
+			n.applyLagTxns += len(e.Txns)
 		}
 	}
-	n.wakeAppliedLocked()
-	n.maybeTruncateLocked()
+	n.gApplyQueue.Set(int64(len(n.applyQ)))
+	n.gApplyLag.Set(int64(n.applyLagTxns))
+	n.applyCond.Signal()
+}
+
+// maxApplyRunTxns caps how many txns one coalesced apply run hands the
+// state machine, bounding both scheduler working-set and waiter-wakeup
+// latency for the frames at the front of the run.
+const maxApplyRunTxns = 256
+
+// applyLoop is the apply side of the commit→apply split: it drains the
+// queue that advanceCommitLocked feeds and runs the state machine
+// OUTSIDE the node mutex, so proposer drains, follower acks,
+// heartbeats, and reads never queue behind state-machine work.
+// Adjacent frames of the same epoch are coalesced into one run so the
+// state machine can schedule path-disjoint txns across frame
+// boundaries too. Waiter wakeup, lastApplied advancement, and log
+// truncation all live here now.
+func (n *Node) applyLoop() {
+	defer n.wg.Done()
+	var frames []entry  // drained applyQ, reused across iterations
+	var merged [][]byte // cross-frame coalescing scratch
+	for {
+		n.mu.Lock()
+		for !n.stopped && len(n.applyQ) == 0 {
+			n.applyCond.Wait()
+		}
+		if n.stopped {
+			n.mu.Unlock()
+			return
+		}
+		frames = append(frames[:0], n.applyQ...)
+		n.applyQ = n.applyQ[:0]
+		gen := n.applyGen
+		n.mu.Unlock()
+
+		// applyMu → mu is the global order; while we hold applyMu,
+		// lastApplied only moves here. A snapshot install (which also
+		// takes applyMu) may have overtaken the drained frames — it
+		// bumps applyGen and re-enqueues whatever is still needed, so a
+		// stale drain is discarded wholesale rather than applied onto
+		// the wrong base state.
+		n.applyMu.Lock()
+		n.mu.Lock()
+		if gen != n.applyGen {
+			n.mu.Unlock()
+			n.applyMu.Unlock()
+			continue
+		}
+		n.mu.Unlock()
+
+		for i := 0; i < len(frames); {
+			e := frames[i]
+			if e.Noop {
+				n.mu.Lock()
+				n.lastApplied = e.Zxid
+				n.applyLagTxns--
+				n.wakeWaiterLocked(e.Zxid, nil)
+				n.wakeAppliedLocked()
+				n.mu.Unlock()
+				i++
+				continue
+			}
+			// Coalesce a contiguous same-epoch run of txn frames.
+			j := i + 1
+			txns := e.Txns
+			total := len(e.Txns)
+			for j < len(frames) && !frames[j].Noop &&
+				frames[j].Zxid == frames[j-1].last()+1 &&
+				total+len(frames[j].Txns) <= maxApplyRunTxns {
+				total += len(frames[j].Txns)
+				j++
+			}
+			if j > i+1 {
+				merged = merged[:0]
+				for k := i; k < j; k++ {
+					merged = append(merged, frames[k].Txns...)
+				}
+				txns = merged
+			}
+			var results [][]byte
+			if n.bsm != nil {
+				results = n.bsm.ApplyBatch(txns, e.Zxid)
+			} else {
+				results = make([][]byte, len(txns))
+				for k, txn := range txns {
+					results[k] = n.sm.Apply(txn, e.Zxid+uint64(k))
+				}
+			}
+			n.mu.Lock()
+			off := 0
+			for k := i; k < j; k++ {
+				f := frames[k]
+				n.lastApplied = f.last()
+				for t := range f.Txns {
+					var res []byte
+					if off+t < len(results) {
+						res = results[off+t]
+					}
+					n.wakeWaiterLocked(f.Zxid+uint64(t), res)
+				}
+				off += len(f.Txns)
+				n.applyLagTxns -= len(f.Txns)
+			}
+			n.wakeAppliedLocked()
+			n.gApplyLag.Set(int64(n.applyLagTxns))
+			n.mu.Unlock()
+			i = j
+		}
+		n.applyMu.Unlock()
+
+		n.mu.Lock()
+		n.enqueueCommittedLocked() // pull the window the bound withheld
+		n.maybeTruncateLocked()
+		n.gApplyQueue.Set(int64(len(n.applyQ)))
+		n.leaderCond.Broadcast() // reopen the proposer's backpressure gate
+		n.mu.Unlock()
+	}
 }
 
 // wakeWaiterLocked delivers a committed transaction's result to its
-// proposer, if one is still waiting on this node.
+// proposer, if one is still waiting on this node. The send is provably
+// non-blocking — the waiter channel is buffered(1) and each waiter is
+// removed from the map before its single send — but a plain send would
+// still wedge the apply loop inside the node mutex if that invariant
+// ever slipped, so the default arm turns such a bug into a dropped
+// wakeup (the proposer times out) instead of a deadlock.
 func (n *Node) wakeWaiterLocked(zxid uint64, result []byte) {
 	if w, ok := n.waiters[zxid]; ok {
 		delete(n.waiters, zxid)
-		w.ch <- proposeOutcome{zxid: zxid, result: result}
+		select {
+		case w.ch <- proposeOutcome{zxid: zxid, result: result}:
+		default:
+		}
 	}
 }
 
@@ -996,6 +1150,12 @@ func (n *Node) syncFromLeader(leader, from uint64) {
 	if err != nil {
 		return
 	}
+	// applyMu first (applyMu → mu): a snapshot install replaces the
+	// state machine's contents, which must not race an in-flight apply
+	// batch. The sync pull is rare, so stalling the apply loop for the
+	// install is acceptable.
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if resp.Epoch < n.epoch || n.stopped {
@@ -1021,6 +1181,16 @@ func (n *Node) syncFromLeader(leader, from uint64) {
 			n.commitZxid = resp.SnapZxid
 		}
 		n.log = nil
+		// Reset the apply pipeline around the installed state: queued
+		// frames describe transitions from the pre-install state and
+		// must not run, and any drain the apply loop already holds is
+		// invalidated via the generation bump.
+		n.applyQ = n.applyQ[:0]
+		n.applyEnqueued = resp.SnapZxid
+		n.applyLagTxns = 0
+		n.applyGen++
+		n.gApplyQueue.Set(0)
+		n.gApplyLag.Set(0)
 		n.wakeAppliedLocked()
 	} else if n.lastZxidLocked() != from {
 		// Our log moved while the sync was in flight; retry later.
@@ -1044,6 +1214,10 @@ func (n *Node) syncFromLeader(leader, from uint64) {
 		}
 	}
 	n.advanceCommitLocked(resp.Commit)
+	// advanceCommitLocked returns early when the horizon didn't move,
+	// but an install may have rewound applyEnqueued below an unchanged
+	// commitZxid — re-enqueue explicitly so the gap replays.
+	n.enqueueCommittedLocked()
 }
 
 // handleSync runs on the leader: ship either the log suffix after
@@ -1051,30 +1225,44 @@ func (n *Node) syncFromLeader(leader, from uint64) {
 // the log horizon or is unknown to us (trimmed away or divergent).
 func (n *Node) handleSync(m syncReq) (syncResp, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.role != roleLeader {
+		n.mu.Unlock()
 		return syncResp{}, fmt.Errorf("zab: node %d is not the leader", n.cfg.ID)
 	}
 	resp := syncResp{Commit: n.commitZxid, Epoch: n.epoch, LeaderID: n.cfg.ID}
 	if m.FromZxid == n.snapZxid {
 		resp.Entries = append(resp.Entries, n.log...)
+		n.mu.Unlock()
 		return resp, nil
 	}
 	if m.FromZxid > n.snapZxid {
 		for i, e := range n.log {
 			if e.last() == m.FromZxid {
 				resp.Entries = append(resp.Entries, n.log[i+1:]...)
+				n.mu.Unlock()
 				return resp, nil
 			}
 		}
 	}
+	n.mu.Unlock()
+
 	// Snapshot-first determinism: a position BEHIND the log horizon
 	// (truncation dropped the frames the follower still needs) skips
 	// the log scan above and lands here directly, as does a position
 	// we do not recognize (a divergent tail kept across a failover).
 	// Either way the answer is the full checkpoint of the applied
 	// state plus the unapplied tail — never a suffix with a silent
-	// gap the caller would have to detect.
+	// gap the caller would have to detect. applyMu (taken before mu,
+	// per the global order) freezes lastApplied so the serialized
+	// state and the tail describe one consistent cut.
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != roleLeader {
+		return syncResp{}, fmt.Errorf("zab: node %d is not the leader", n.cfg.ID)
+	}
+	resp = syncResp{Commit: n.commitZxid, Epoch: n.epoch, LeaderID: n.cfg.ID}
 	resp.HasSnapshot = true
 	resp.SnapZxid = n.lastApplied
 	resp.Snapshot = n.sm.Snapshot()
@@ -1275,10 +1463,15 @@ func (n *Node) proposerLoop(gen uint64) {
 		// MaxInflightFrames or more frames must still propose its
 		// barrier, because nothing inherited can commit until a
 		// current-epoch frame exists (the §5.4.2 rule) — gating the
-		// barrier on the window would livelock the whole shard.
+		// barrier on the window would livelock the whole shard. The
+		// same exemption covers the apply-queue bound, which is the
+		// commit→apply backpressure: a full queue stops NEW txn frames
+		// so a slow state machine cannot grow the log without bound.
 		for n.leaderGenLocked(gen) &&
 			(len(n.propQ) == 0 ||
-				(!n.propQ[0].noop && n.uncommittedFramesLocked() >= n.cfg.MaxInflightFrames)) {
+				(!n.propQ[0].noop &&
+					(n.uncommittedFramesLocked() >= n.cfg.MaxInflightFrames ||
+						len(n.applyQ) >= n.cfg.MaxApplyQueueFrames))) {
 			n.leaderCond.Wait()
 		}
 		if !n.leaderGenLocked(gen) {
@@ -1477,18 +1670,26 @@ func (n *Node) snapshotLoop() {
 			return
 		case <-n.snapReq:
 		}
+		// Serialize under applyMu, not mu: commits, acks, heartbeats and
+		// reads flow freely during the serialization; only the apply
+		// loop stalls for it, which is the fuzzy-snapshot cost moved off
+		// the commit path entirely. Holding applyMu pins lastApplied, so
+		// the cut is consistent.
+		n.applyMu.Lock()
 		n.mu.Lock()
 		z := n.lastApplied
 		if z <= n.durableSnapZxid {
 			n.snapInFlight = false
 			n.mu.Unlock()
+			n.applyMu.Unlock()
 			continue
 		}
+		n.mu.Unlock()
 		var err error
 		ss, stStream := n.cfg.Storage.(StreamStorage)
 		if sms, smStream := n.sm.(StreamingStateMachine); stStream && smStream {
 			// Stream the consistent cut straight into the store through a
-			// pipe: the producer serializes under the lock (the same hold
+			// pipe: the producer serializes under applyMu (the same hold
 			// the blob path pays, since chunk writes land in the page
 			// cache), the consumer persists concurrently, and the final
 			// fsync+rename runs after the lock is released — with O(chunk)
@@ -1505,11 +1706,11 @@ func (n *Node) snapshotLoop() {
 			// poisons the pipe, so the store reports it too, while a store
 			// that succeeds has already seen the full stream.
 			pw.CloseWithError(sms.SnapshotTo(pw))
-			n.mu.Unlock()
+			n.applyMu.Unlock()
 			err = <-done
 		} else {
 			snap := n.sm.Snapshot()
-			n.mu.Unlock()
+			n.applyMu.Unlock()
 			err = n.cfg.Storage.SaveSnapshot(snap, z)
 		}
 		n.mu.Lock()

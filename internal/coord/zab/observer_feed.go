@@ -69,14 +69,15 @@ func (n *Node) ObserverLags() []ObserverLag {
 
 func (n *Node) handleObserverPoll(m observerPollReq) observerPollResp {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.role != roleLeader {
+		defer n.mu.Unlock()
 		return observerPollResp{Redirect: true, Epoch: n.epoch, LeaderID: n.leaderID}
 	}
 	n.recordObserverLocked(m)
 	resp := observerPollResp{Commit: n.commitZxid, Epoch: n.epoch, LeaderID: n.cfg.ID}
 	if entries, ok := n.committedEntriesAfterLocked(m.FromZxid); ok {
 		resp.Entries = entries
+		n.mu.Unlock()
 		return resp
 	}
 	if n.lastApplied <= m.FromZxid {
@@ -84,11 +85,27 @@ func (n *Node) handleObserverPoll(m observerPollReq) observerPollResp {
 		// Transient right after a leader change, before the new
 		// leader's apply horizon catches up with what the old one
 		// already shipped; nothing useful to send this round.
+		n.mu.Unlock()
 		return resp
 	}
+	n.mu.Unlock()
+
 	// Snapshot-first determinism, as in handleSync: a tip behind the
 	// log horizon gets the full checkpoint of the applied state plus
-	// the committed tail — never a suffix with a silent gap.
+	// the committed tail — never a suffix with a silent gap. applyMu
+	// (before mu, per the global order) pins lastApplied so the
+	// serialized state and the tail describe one consistent cut.
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != roleLeader {
+		return observerPollResp{Redirect: true, Epoch: n.epoch, LeaderID: n.leaderID}
+	}
+	resp = observerPollResp{Commit: n.commitZxid, Epoch: n.epoch, LeaderID: n.cfg.ID}
+	if n.lastApplied <= m.FromZxid {
+		return resp
+	}
 	resp.HasSnapshot = true
 	resp.SnapZxid = n.lastApplied
 	resp.Snapshot = n.sm.Snapshot()
